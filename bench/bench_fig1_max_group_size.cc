@@ -1,0 +1,57 @@
+// Reproduces Figure 1 (paper §6.1): the maximum group size s_g (Eq. 10) as
+// a function of the maximum SA frequency f, for p in {0.3, 0.5, 0.7}, at
+// the default lambda = delta = 0.3.
+//
+//   (a) ADULT:  m = 2,  f in [0.5, 0.9] (income has 2 values, so f >= 0.5)
+//   (b) CENSUS: m = 50, f in [0.1, 0.9]
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/reconstruction_privacy.h"
+#include "exp/reporting.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+void Plot(const std::string& title, size_t m, double f_lo, double f_hi,
+          double f_step) {
+  std::cout << "\n--- " << title << " (m = " << m
+            << ", lambda = delta = 0.3) ---\n";
+  std::vector<std::string> labels;
+  for (double f = f_lo; f <= f_hi + 1e-9; f += f_step) {
+    labels.push_back(FormatDouble(f, 2));
+  }
+  std::vector<exp::Series> series;
+  for (double p : {0.3, 0.5, 0.7}) {
+    core::PrivacyParams params;
+    params.lambda = 0.3;
+    params.delta = 0.3;
+    params.retention_p = p;
+    params.domain_m = m;
+    exp::Series s;
+    s.name = "p=" + FormatDouble(p, 2) + " s_g";
+    for (double f = f_lo; f <= f_hi + 1e-9; f += f_step) {
+      s.values.push_back(core::MaxGroupSize(params, f));
+    }
+    series.push_back(std::move(s));
+  }
+  exp::PrintSeries(std::cout, "f", labels, series, 1);
+}
+
+int Run() {
+  exp::PrintBanner(std::cout,
+                   "Figure 1: maximum group size s_g vs max frequency f",
+                   "EDBT'15 Figure 1 (Eq. 10)");
+  Plot("(a) ADULT", 2, 0.5, 0.9, 0.1);
+  Plot("(b) CENSUS", 50, 0.1, 0.9, 0.1);
+  std::cout
+      << "\npaper shape: s_g falls sharply as f grows; for small f (CENSUS) "
+         "s_g explodes,\nso groups rarely violate; lower p raises s_g.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

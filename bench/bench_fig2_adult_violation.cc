@@ -1,0 +1,52 @@
+// Reproduces Figure 2 (paper §6.2): the extent to which plain uniform
+// perturbation violates (lambda,delta)-reconstruction-privacy on ADULT,
+// as v_g (fraction of violating personal groups) and v_r (fraction of
+// records covered by violating groups), swept over p, lambda, and delta.
+//
+// Paper shape at defaults (p=0.5, lambda=0.3, delta=0.3): ~85% of groups
+// violating, covering > 99% of records.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "exp/sweeps.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout, "Figure 2: ADULT privacy violation (vg, vr)",
+                   "EDBT'15 Figure 2");
+
+  auto ds = exp::PrepareAdult(45222, /*pool_size=*/0, /*seed=*/2015);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  std::cout << "generalized personal groups: " << ds->index.num_groups()
+            << ", records: " << ds->index.num_records() << "\n";
+
+  for (auto axis : {exp::SweepAxis::kRetentionP, exp::SweepAxis::kLambda,
+                    exp::SweepAxis::kDelta}) {
+    const auto values = exp::DefaultAxisValues(axis);
+    exp::ViolationSweep sweep = exp::SweepViolations(ds->index, axis, values);
+    std::cout << "\n--- (" << exp::AxisName(axis)
+              << " sweep, others at defaults p=0.5, lambda=0.3, delta=0.3) "
+                 "---\n";
+    std::vector<std::string> labels;
+    for (double v : values) labels.push_back(FormatDouble(v, 2));
+    exp::PrintSeries(std::cout, exp::AxisName(axis), labels,
+                     {exp::Series{"vg", sweep.vg}, exp::Series{"vr", sweep.vr}});
+  }
+  std::cout << "\npaper shape: violations widespread across all settings; "
+               "vr ~ 1 because the\nlargest groups violate first; lower p "
+               "reduces violations.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,68 @@
+// Reproduces Figure 3 (paper §6.2): the average relative error of the
+// 5,000-query pool on ADULT for plain uniform perturbation (UP) vs the SPS
+// algorithm, swept over p, lambda, and delta (10 randomized runs each).
+//
+// Paper shape: SPS costs up to ~50 percentage points of extra error on
+// ADULT (m = 2 means every group has f >= 0.5, so most groups need heavy
+// sampling).
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "exp/sweeps.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout,
+                   "Figure 3: ADULT relative query error, SPS vs UP",
+                   "EDBT'15 Figure 3");
+
+  const size_t pool_size = exp::FullScale() ? 5000 : 2000;
+  const size_t runs = exp::NumRuns(10);
+  WallTimer timer;
+  auto ds = exp::PrepareAdult(45222, pool_size, /*seed=*/2015);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  std::cout << "prepared ADULT in " << FormatDouble(timer.Seconds(), 3)
+            << "s: " << ds->index.num_groups() << " generalized groups, "
+            << ds->pool.size() << " queries, " << runs << " runs/point\n";
+
+  uint64_t seed = 77;
+  for (auto axis : {exp::SweepAxis::kRetentionP, exp::SweepAxis::kLambda,
+                    exp::SweepAxis::kDelta}) {
+    const auto values = exp::DefaultAxisValues(axis);
+    auto sweep =
+        exp::SweepErrors(ds->index, ds->pool, axis, values, runs, seed++);
+    if (!sweep.ok()) {
+      std::cerr << sweep.status() << "\n";
+      return 1;
+    }
+    std::cout << "\n--- (" << exp::AxisName(axis)
+              << " sweep, others at defaults) ---\n";
+    std::vector<std::string> labels;
+    for (double v : values) labels.push_back(FormatDouble(v, 2));
+    exp::PrintSeries(
+        std::cout, exp::AxisName(axis), labels,
+        {exp::Series{"UP err", sweep->up_error},
+         exp::Series{"SPS err", sweep->sps_error},
+         exp::Series{"UP SE", sweep->up_se},
+         exp::Series{"SPS SE", sweep->sps_se}});
+  }
+  std::cout << "\npaper shape: SPS error exceeds UP substantially on ADULT "
+               "(tens of percentage\npoints at defaults) because m = 2 "
+               "forces f >= 0.5 in every group; small p\ninflates both "
+               "curves (data become pure noise).\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

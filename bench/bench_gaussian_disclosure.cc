@@ -1,0 +1,85 @@
+// Extra study (paper §2, Corollary 1 generality): the NIR ratio attack
+// works for ANY zero-mean fixed-variance noise. We repeat the Table-1 style
+// experiment with the Gaussian mechanism alongside Laplace, matching the
+// two mechanisms on noise variance so the comparison isolates the
+// distribution shape.
+
+#include <cmath>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/adult.h"
+#include "dp/gaussian_mechanism.h"
+#include "dp/laplace_mechanism.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "stats/ratio_estimator.h"
+#include "table/predicate.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout,
+                   "Gaussian vs Laplace: noise shape does not stop the NIR "
+                   "ratio attack",
+                   "EDBT'15 Corollary 1 (all zero-mean fixed-variance "
+                   "noises)");
+
+  Rng rng(2015);
+  auto data = datagen::GenerateAdult({}, rng);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  auto q1 = *table::Predicate::FromBindings(
+      *data->schema(), {{"Education", "Prof-school"},
+                        {"Occupation", "Prof-specialty"},
+                        {"Race", "White"},
+                        {"Gender", "Male"}});
+  auto q2 = q1;
+  q2.Bind(4, *data->schema()->sensitive().domain.GetCode(">50K"));
+  const double x = double(q1.CountMatches(*data));
+  const double y = double(q2.CountMatches(*data));
+  const double conf = y / x;
+  std::cout << "target rule Conf = " << FormatDouble(conf, 4)
+            << " (ans1 = " << x << ")\n\n";
+
+  const size_t trials = exp::NumRuns(10) * 20;  // smooth the comparison
+  exp::AsciiTable out({"noise scale (b)", "Laplace |Conf'-Conf|",
+                       "Gaussian |Conf'-Conf| (same variance)",
+                       "Lemma-1 predicted sd"});
+  for (double b : {4.0, 20.0, 60.0, 200.0}) {
+    auto laplace = *dp::LaplaceMechanism::FromScale(b);
+    // Match variances: sigma^2 = 2 b^2.
+    auto gaussian = *dp::GaussianMechanism::FromSigma(b * std::sqrt(2.0));
+    double laplace_err = 0.0, gaussian_err = 0.0;
+    for (size_t i = 0; i < trials; ++i) {
+      laplace_err += std::abs(laplace.NoisyAnswer(y, rng) /
+                                  laplace.NoisyAnswer(x, rng) -
+                              conf);
+      gaussian_err += std::abs(gaussian.NoisyAnswer(y, rng) /
+                                   gaussian.NoisyAnswer(x, rng) -
+                               conf);
+    }
+    stats::RatioMoments predicted =
+        stats::ApproximateRatioMoments({x, y, laplace.variance()});
+    out.AddRow({FormatDouble(b, 4),
+                FormatDouble(laplace_err / double(trials), 4),
+                FormatDouble(gaussian_err / double(trials), 4),
+                FormatDouble(std::sqrt(predicted.variance), 4)});
+  }
+  out.Print(std::cout);
+  std::cout << "\nreading: at equal variance the two mechanisms leak "
+               "equally — the attack depends\nonly on the fixed noise "
+               "scale, exactly as Corollary 1 states. Defenses must\n"
+               "change the *data* mechanism (reconstruction privacy), not "
+               "the noise shape.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

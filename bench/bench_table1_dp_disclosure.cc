@@ -1,0 +1,91 @@
+// Reproduces Table 1 (paper §1.1, Example 1): the NIR ratio attack on
+// differentially private answers over the ADULT rule
+//   {Prof-school, Prof-specialty, White, Male} -> >50K  (Conf ~ 0.84).
+//
+// For epsilon in {0.01, 0.1, 0.5} (b = 200, 20, 4 at sensitivity 2), runs
+// 10 trials of Laplace noise and reports the mean and standard error of
+// Conf' = ans2'/ans1' and of the relative answer errors.
+
+#include <iostream>
+
+#include "datagen/adult.h"
+#include "dp/count_query_engine.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/nir_attack.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "common/string_util.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout, "Table 1: disclosure through DP noisy answers",
+                   "EDBT'15 Table 1 (Example 1, ADULT)");
+
+  Rng rng(2015);
+  datagen::AdultConfig config;  // 45,222 records as in the paper
+  auto data = datagen::GenerateAdult(config, rng);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+
+  auto q1 = table::Predicate::FromBindings(
+      *data->schema(), {{"Education", "Prof-school"},
+                        {"Occupation", "Prof-specialty"},
+                        {"Race", "White"},
+                        {"Gender", "Male"}});
+  auto q2 = table::Predicate::FromBindings(
+      *data->schema(), {{"Education", "Prof-school"},
+                        {"Occupation", "Prof-specialty"},
+                        {"Race", "White"},
+                        {"Gender", "Male"},
+                        {"Income", ">50K"}});
+  if (!q1.ok() || !q2.ok()) {
+    std::cerr << "predicate construction failed\n";
+    return 1;
+  }
+
+  const size_t trials = exp::NumRuns(10);  // paper: 10 trials
+  exp::AsciiTable out({"epsilon", "b", "Conf' mean", "Conf' SE",
+                       "relerr(ans1) mean", "relerr(ans1) SE",
+                       "relerr(ans2) mean", "relerr(ans2) SE"});
+  double true_conf = 0.0;
+  uint64_t ans1 = 0, ans2 = 0;
+  for (double epsilon : {0.01, 0.1, 0.5}) {
+    auto mech = dp::LaplaceMechanism::Make(epsilon, /*sensitivity=*/2.0);
+    dp::CountQueryEngine engine(&*data, *mech);
+    Rng attack_rng(uint64_t(epsilon * 1000) + 7);
+    auto report = dp::RunRatioAttack(engine, *q1, *q2, trials, attack_rng);
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return 1;
+    }
+    true_conf = report->true_confidence;
+    ans1 = report->true_ans1;
+    ans2 = report->true_ans2;
+    out.AddRow({FormatDouble(epsilon, 3), FormatDouble(mech->scale(), 4),
+                FormatDouble(report->conf.mean, 6),
+                FormatDouble(report->conf.standard_error, 6),
+                FormatDouble(report->rel_err_q1.mean, 6),
+                FormatDouble(report->rel_err_q1.standard_error, 6),
+                FormatDouble(report->rel_err_q2.mean, 6),
+                FormatDouble(report->rel_err_q2.standard_error, 6)});
+  }
+  std::cout << "rule: {Prof-school, Prof-specialty, White, Male} -> >50K\n"
+            << "ans1 = " << ans1 << ", ans2 = " << ans2
+            << ", Conf = " << FormatDouble(true_conf, 4)
+            << "  (paper: 501, 420, 0.8383)\n"
+            << "trials per setting: " << trials << "\n\n";
+  out.Print(std::cout);
+  std::cout << "\npaper shape: at eps=0.5, Conf' within ~1% of Conf with "
+               "small SE while answer\nerrors are small; at eps=0.01 the "
+               "estimate is useless but so are the answers.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

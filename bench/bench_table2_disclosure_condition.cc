@@ -1,0 +1,67 @@
+// Reproduces Table 2 (paper §2): the disclosure-condition indicator
+// 2 (b/x)^2 over the grid b in {10, 20, 40, 200} x x in {5000...100},
+// plus the epsilon corresponding to each b at sensitivity 2.
+//
+// This table is analytic (Corollary 2); the bench also cross-validates two
+// grid cells against Monte-Carlo ratio moments.
+
+#include <cmath>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "exp/reporting.h"
+#include "stats/ratio_estimator.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout, "Table 2: disclosure condition 2(b/x)^2",
+                   "EDBT'15 Table 2 (Corollary 2)");
+
+  const double xs[] = {5000, 1000, 500, 200, 100};
+  const double bs[] = {10, 20, 40, 200};
+
+  exp::AsciiTable out(
+      {"b (eps@delta=2)", "x=5000", "x=1000", "x=500", "x=200", "x=100"});
+  for (double b : bs) {
+    std::vector<std::string> row;
+    row.push_back(FormatDouble(b, 4) + " (eps=" + FormatDouble(2.0 / b, 3) +
+                  ")");
+    for (double x : xs) {
+      row.push_back(FormatDouble(stats::LaplaceRatioBiasBound(b, x), 4));
+    }
+    out.AddRow(std::move(row));
+  }
+  out.Print(std::cout);
+
+  std::cout << "\nrule of thumb: b/x <= 1/20 (cells <= 0.005) makes Y/X a "
+               "good indicator of y/x.\n";
+
+  // Monte-Carlo cross-check of the bound at two cells.
+  std::cout << "\nMonte-Carlo cross-check (|E[Y/X] - y/x| vs bound, y = "
+               "0.8 x, 200k draws):\n";
+  Rng rng(42);
+  for (auto [b, x] : {std::pair<double, double>{20, 500},
+                      std::pair<double, double>{40, 200}}) {
+    const double y = 0.8 * x;
+    double sum = 0.0;
+    const int reps = 200000;
+    for (int i = 0; i < reps; ++i) {
+      sum += (y + SampleLaplace(rng, b)) / (x + SampleLaplace(rng, b));
+    }
+    const double bias = std::abs(sum / reps - y / x);
+    std::cout << "  b=" << b << " x=" << x << ": |bias| = "
+              << FormatDouble(bias, 4)
+              << " <= " << FormatDouble(stats::LaplaceRatioBiasBound(b, x), 4)
+              << (bias <= stats::LaplaceRatioBiasBound(b, x) ? "  OK" : "  !!")
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,65 @@
+// Reproduces Table 4 (paper §6.1): the impact of the chi-squared NA-value
+// aggregation (§3.4) on ADULT — per-attribute domain sizes before/after,
+// the number of personal groups |G|, and the average group size |D|/|G|.
+//
+// Paper values: 16/14/5/2 -> 7/4/2/2, |G| 2240 -> 112, |D|/|G| 20 -> 404.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/generalization.h"
+#include "datagen/adult.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "table/group_index.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout, "Table 4: NA aggregation impact on ADULT",
+                   "EDBT'15 Table 4");
+
+  auto ds = exp::PrepareAdult(45222, /*pool_size=*/0, /*seed=*/2015);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+
+  exp::AsciiTable out({"", "Education", "Occupation", "Race", "Gender", "|G|",
+                       "|D|/|G|"});
+  auto domain_row = [&](const std::string& label, bool after) {
+    std::vector<std::string> row{label};
+    for (size_t a = 0; a < 4; ++a) {
+      const auto& merge = ds->plan.merges[a];
+      row.push_back(std::to_string(after ? merge.domain_after
+                                         : merge.domain_before));
+    }
+    const table::GroupIndex& idx = after ? ds->index : ds->raw_index;
+    row.push_back(std::to_string(idx.num_groups()));
+    row.push_back(FormatDouble(idx.AverageGroupSize(), 4));
+    out.AddRow(std::move(row));
+  };
+  domain_row("Before Aggregation", false);
+  domain_row("After Aggregation", true);
+  out.Print(std::cout);
+
+  std::cout << "\npaper: 16/14/5/2 -> 7/4/2/2, |G| 2240 -> 112, avg 20 -> "
+               "404\n(|G| before aggregation depends on the empirical joint "
+               "distribution; the\nsynthetic generator reproduces the "
+               "post-aggregation class structure).\n";
+
+  std::cout << "\ngeneralized values:\n";
+  for (size_t a = 0; a < 4; ++a) {
+    std::cout << "  " << ds->raw.schema()->attribute(a).name << ":\n";
+    for (const auto& name : ds->plan.merges[a].merged_names) {
+      std::cout << "    [" << name << "]\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,57 @@
+// Reproduces Table 5 (paper §6.1): the impact of NA-value aggregation on
+// CENSUS 300K — Age collapses 77 -> 1 (occupation is independent of age),
+// every other public attribute keeps its full domain, and the group space
+// shrinks to 1 x 2 x 14 x 6 x 9 = 1512.
+//
+// Paper values: 77/2/14/6/9 -> 1/2/14/6/9, |G| 116424 -> 1512.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "table/group_index.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+int Run() {
+  exp::PrintBanner(std::cout, "Table 5: NA aggregation impact on CENSUS 300K",
+                   "EDBT'15 Table 5");
+
+  const size_t records = exp::FullScale() ? 300000 : 300000;  // cheap enough
+  auto ds = exp::PrepareCensus(records, /*pool_size=*/0, /*seed=*/2015);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+
+  exp::AsciiTable out({"", "Age", "Gender", "Education", "Marital", "Race",
+                       "|G|", "|D|/|G|"});
+  auto domain_row = [&](const std::string& label, bool after) {
+    std::vector<std::string> row{label};
+    for (size_t a = 0; a < 5; ++a) {
+      const auto& merge = ds->plan.merges[a];
+      row.push_back(std::to_string(after ? merge.domain_after
+                                         : merge.domain_before));
+    }
+    const table::GroupIndex& idx = after ? ds->index : ds->raw_index;
+    row.push_back(std::to_string(idx.num_groups()));
+    row.push_back(FormatDouble(idx.AverageGroupSize(), 4));
+    out.AddRow(std::move(row));
+  };
+  domain_row("Before Aggregation", false);
+  domain_row("After Aggregation", true);
+  out.Print(std::cout);
+
+  std::cout << "\npaper: 77/2/14/6/9 -> 1/2/14/6/9, |G| 116424 -> 1512, avg "
+               "3 -> 331\n(Age merges to a single class because Occupation "
+               "is independent of Age;\nempty (gender, education, marital, "
+               "race) combos make |G| slightly < 1512).\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,125 @@
+// Statistical learning on an SPS-protected release: the paper's promise is
+// that a data consumer can still learn statistical relationships from D*_2.
+//
+// This example plays the data-consumer role on the synthetic CENSUS data:
+//   1. the publisher generalizes + SPS-perturbs the table and ships it;
+//   2. the analyst (who only sees the release and the public parameters
+//      p, m) reconstructs occupation distributions per education level and
+//      computes occupation "lifts" (conditional share / global share) —
+//      the "smokers tend to have lung cancer" pattern of the paper;
+//   3. we score the analyst against the ground truth the publisher kept
+//      private: the reconstructed lift of each education level's strongest
+//      occupation, and the correlation of lifts across all cells.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "recpriv.h"
+
+using namespace recpriv;  // NOLINT
+
+int main() {
+  // --- publisher side ---
+  Rng rng(2015);
+  datagen::CensusConfig config;
+  config.num_records = 150000;
+  table::Table raw = *datagen::GenerateCensus(config, rng);
+  core::Generalization plan = *core::ComputeGeneralization(raw);
+  table::Table generalized = *core::ApplyGeneralization(plan, raw);
+
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = 50;
+  core::SpsTableResult release =
+      *core::SpsPerturbTable(params, generalized, rng);
+  std::cout << "publisher: " << raw.num_rows() << " records -> SPS release "
+            << release.table.num_rows() << " records ("
+            << release.stats.groups_sampled << "/" << release.stats.num_groups
+            << " groups sampled)\n\n";
+
+  // --- analyst side: sees only `release.table`, p, and m ---
+  const table::Table& published = release.table;
+  const perturb::UniformPerturbation up{params.retention_p, params.domain_m};
+  const size_t edu_col = *published.schema()->IndexOf("Education");
+  const size_t occ_col = published.schema()->sensitive_index();
+  const size_t num_edu = published.schema()->attribute(edu_col).domain.size();
+
+  // Reconstructed global occupation distribution.
+  std::vector<double> global_est =
+      *perturb::MleFrequencies(up, published.SaHistogram(),
+                               published.num_rows());
+  // True distributions (publisher's secret, used only to score).
+  std::vector<double> global_truth(50, 0.0);
+  for (size_t r = 0; r < raw.num_rows(); ++r) ++global_truth[raw.at(r, 5)];
+  for (double& v : global_truth) v /= double(raw.num_rows());
+
+  // Per-education conditional distributions, reconstructed and true.
+  std::vector<std::vector<uint64_t>> cond_obs(num_edu,
+                                              std::vector<uint64_t>(50, 0));
+  std::vector<uint64_t> cond_sizes(num_edu, 0);
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    uint32_t e = published.at(r, edu_col);
+    ++cond_obs[e][published.at(r, occ_col)];
+    ++cond_sizes[e];
+  }
+  std::vector<std::vector<double>> cond_truth(num_edu,
+                                              std::vector<double>(50, 0.0));
+  std::vector<uint64_t> truth_sizes(num_edu, 0);
+  for (size_t r = 0; r < raw.num_rows(); ++r) {
+    uint32_t e = plan.MapCode(2, raw.at(r, 2));  // Education is column 2
+    ++cond_truth[e][raw.at(r, 5)];
+    ++truth_sizes[e];
+  }
+
+  exp::AsciiTable out({"education", "strongest occupation (truth)",
+                       "true lift", "reconstructed lift"});
+  std::vector<double> xs, ys;  // all (edu, occ) lift pairs for correlation
+  for (uint32_t e = 0; e < num_edu; ++e) {
+    if (cond_sizes[e] == 0 || truth_sizes[e] == 0) continue;
+    for (double& v : cond_truth[e]) v /= double(truth_sizes[e]);
+    std::vector<double> cond_est =
+        *perturb::MleFrequencies(up, cond_obs[e], cond_sizes[e]);
+
+    uint32_t best = 0;
+    double best_lift = 0.0;
+    for (uint32_t o = 0; o < 50; ++o) {
+      const double t_lift = cond_truth[e][o] / global_truth[o];
+      const double e_lift = std::max(0.0, cond_est[o]) /
+                            std::max(1e-9, global_est[o]);
+      xs.push_back(t_lift);
+      ys.push_back(e_lift);
+      if (t_lift > best_lift) {
+        best_lift = t_lift;
+        best = o;
+      }
+    }
+    out.AddRow({published.schema()->attribute(edu_col).domain.value(e),
+                raw.schema()->sensitive().domain.value(best),
+                FormatDouble(best_lift, 3),
+                FormatDouble(std::max(0.0, cond_est[best]) /
+                                 std::max(1e-9, global_est[best]),
+                             3)});
+  }
+  out.Print(std::cout);
+
+  // Pearson correlation between true and reconstructed lifts.
+  double mx = stats::Mean(xs), my = stats::Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  const double corr = sxy / std::sqrt(sxx * syy);
+  std::cout << "\ncorrelation of true vs reconstructed lifts over "
+            << xs.size() << " (education, occupation) cells: "
+            << FormatDouble(corr, 3)
+            << "\nreading: the release preserves which occupations are over-"
+               "represented per\neducation level (aggregate reconstruction), "
+               "while every personal group's\nreconstruction is capped by "
+               "(lambda, delta).\n";
+  return 0;
+}

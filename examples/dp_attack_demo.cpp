@@ -1,0 +1,80 @@
+// Section-2 demo: why fixed-scale output perturbation (the differential-
+// privacy Laplace mechanism) leaks through non-independent reasoning as the
+// data grow — and how data perturbation with reconstruction privacy reacts
+// differently.
+//
+// The adversary wants Pr[Income = >50K | t.NA] for a target t. Against a
+// DP query interface it asks two count queries and forms Conf' = Y/X
+// (Example 1); against a perturbed-data release it runs a personal
+// reconstruction. We scale the matching population x and watch:
+//   * DP:   Conf' -> Conf (Corollary 1) — the disclosure sharpens with x;
+//   * SPS:  the reconstruction error is pinned by (lambda, delta)
+//           regardless of x — the group is resampled to s_g trials.
+
+#include <cmath>
+#include <iostream>
+
+#include "recpriv.h"
+
+using namespace recpriv;  // NOLINT
+
+int main() {
+  std::cout << "adversary's goal: learn Pr[>50K] for the sub-population "
+               "matching t.NA\n"
+               "true rate in that sub-population: 80%\n\n";
+
+  const double true_rate = 0.8;
+  const size_t trials = 400;
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = 2;
+  const perturb::UniformPerturbation up{params.retention_p, params.domain_m};
+
+  exp::AsciiTable out({"x (group size)", "DP: mean |Conf'-Conf|",
+                       "DP: 2(b/x)^2", "SPS: mean |F'-f|"});
+
+  Rng rng(2015);
+  for (uint64_t x : {100ULL, 500ULL, 2000ULL, 10000ULL, 50000ULL}) {
+    const uint64_t y = uint64_t(true_rate * double(x));
+
+    // --- DP interface: two noisy counts, b = 20 (eps = 0.1, Delta = 2).
+    auto mech = *dp::LaplaceMechanism::Make(0.1, 2.0);
+    double dp_err = 0.0;
+    for (size_t i = 0; i < trials; ++i) {
+      const double noisy_x = double(x) + SampleLaplace(rng, mech.scale());
+      const double noisy_y = double(y) + SampleLaplace(rng, mech.scale());
+      dp_err += std::abs(noisy_y / noisy_x - true_rate);
+    }
+    dp_err /= double(trials);
+
+    // --- data perturbation with SPS enforcement.
+    std::vector<uint64_t> counts{x - y, y};  // {<=50K, >50K}
+    double sps_err = 0.0;
+    for (size_t i = 0; i < trials; ++i) {
+      auto r = *core::SpsPerturbGroupCounts(params, counts, rng);
+      uint64_t size = r.observed[0] + r.observed[1];
+      sps_err += std::abs(perturb::MleFrequency(up, r.observed[1], size) -
+                          true_rate);
+    }
+    sps_err /= double(trials);
+
+    out.AddRow({FormatWithCommas(int64_t(x)), FormatDouble(dp_err, 4),
+                FormatDouble(stats::LaplaceRatioBiasBound(mech.scale(),
+                                                          double(x)),
+                             4),
+                FormatDouble(sps_err, 4)});
+  }
+  out.Print(std::cout);
+
+  std::cout
+      << "\nreading: the DP ratio attack sharpens as x grows (error -> 0, "
+         "tracking the\n2(b/x)^2 indicator of Table 2) — a personal "
+         "disclosure for large groups. Under\nSPS the error is flat in x: "
+         "sampling caps the number of random trials per\npersonal group at "
+         "s_g, so no amount of data makes the personal reconstruction\n"
+         "accurate. Aggregate statistics remain learnable (see "
+         "example_medical_survey).\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The data-consumer workflow end to end, across a process boundary:
+//
+//   publisher process:  generate -> generalize -> SPS -> WriteRelease
+//                       (CSV + JSON manifest)
+//   consumer process:   LoadRelease -> Reconstructor -> estimates with
+//                       confidence intervals
+//
+// The consumer never touches the raw data or the publisher's RNG; all it
+// needs is the release bundle, exactly as the paper intends ("the
+// reconstruction is performed by the user himself", §3.1).
+
+#include <cstdio>
+#include <iostream>
+
+#include "recpriv.h"
+
+using namespace recpriv;  // NOLINT
+
+namespace {
+
+std::string PublishBundle(const std::string& basename) {
+  Rng rng(2015);
+  datagen::AdultConfig config;
+  config.num_records = 45222;
+  table::Table raw = *datagen::GenerateAdult(config, rng);
+  core::Generalization plan = *core::ComputeGeneralization(raw);
+  table::Table generalized = *core::ApplyGeneralization(plan, raw);
+
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = 2;
+  auto release = *core::SpsPerturbTable(params, generalized, rng);
+
+  analysis::ReleaseBundle bundle{release.table.Clone(), params, "Income", {}};
+  for (const auto& merge : plan.merges) {
+    bundle.generalization.push_back(merge.merged_names);
+  }
+  RECPRIV_CHECK_OK(analysis::WriteRelease(bundle, basename));
+  std::cout << "[publisher] wrote " << bundle.data.num_rows()
+            << " records to " << basename << ".csv (+ manifest)\n";
+
+  // The publisher's ground truth, printed only for the comparison below.
+  auto truth = generalized.SaHistogram();
+  std::printf("[publisher] (secret) true >50K rate: %.4f\n\n",
+              double(truth[1]) / double(generalized.num_rows()));
+  return basename;
+}
+
+}  // namespace
+
+int main() {
+  const std::string base = "/tmp/recpriv_example_release";
+  PublishBundle(base);
+
+  // ----- consumer side: only the bundle exists from here on -----
+  auto bundle = analysis::LoadRelease(base);
+  if (!bundle.ok()) {
+    std::cerr << bundle.status() << "\n";
+    return 1;
+  }
+  std::cout << "[consumer] loaded " << bundle->data.num_rows()
+            << " records; mechanism: p = " << bundle->params.retention_p
+            << ", m = " << bundle->params.domain_m << ", privacy (lambda="
+            << bundle->params.lambda << ", delta=" << bundle->params.delta
+            << ")\n";
+
+  auto rec = *analysis::MakeReconstructor(*bundle);
+  const uint32_t high =
+      *bundle->data.schema()->sensitive().domain.GetCode(">50K");
+
+  // Global rate with a 95% CI.
+  table::Predicate everyone(bundle->data.schema()->num_attributes());
+  auto global = *rec.EstimateFrequency(bundle->data, everyone, high);
+  std::printf("[consumer] >50K rate: %.4f  (95%% CI [%.4f, %.4f], n=%llu)\n",
+              global.frequency, global.ci_low, global.ci_high,
+              static_cast<unsigned long long>(global.subset_size));
+
+  // Per-education rates: the statistical relationships survive.
+  const auto& edu_domain = bundle->data.schema()->attribute(0).domain;
+  std::cout << "\n[consumer] >50K rate by (generalized) education level:\n";
+  for (uint32_t e = 0; e < edu_domain.size(); ++e) {
+    table::Predicate pred(bundle->data.schema()->num_attributes());
+    pred.Bind(0, e);
+    auto est = *rec.EstimateFrequency(bundle->data, pred, high);
+    if (est.subset_size == 0) continue;
+    std::string label = edu_domain.value(e);
+    if (label.size() > 34) label = label.substr(0, 31) + "...";
+    std::printf("  %-35s %6.2f%%  CI [%5.2f%%, %5.2f%%]\n", label.c_str(),
+                100 * est.frequency, 100 * est.ci_low, 100 * est.ci_high);
+  }
+  std::cout << "\nreading: the monotone education -> income gradient is "
+               "fully learnable from the\nrelease, while every single "
+               "personal group inside it is (0.3, 0.3)-\nreconstruction-"
+               "private by construction.\n";
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".manifest.json").c_str());
+  return 0;
+}

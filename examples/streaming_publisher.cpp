@@ -1,0 +1,75 @@
+// Streaming publication demo (paper §3.1): data perturbation is friendly
+// to record insertion — each arriving record is perturbed independently and
+// appended to the release — while noisy *query answers* cannot be patched
+// record-by-record. The demo also shows the publisher's dilemma: as a
+// personal group grows past s_g, the append-only UP stream starts violating
+// reconstruction privacy, and a periodic SPS snapshot is the fix.
+
+#include <iostream>
+
+#include "recpriv.h"
+#include "core/streaming.h"
+
+using namespace recpriv;  // NOLINT
+
+int main() {
+  // Schema: one public attribute (Clinic), one sensitive (Disease, m = 5).
+  std::vector<table::Attribute> attrs;
+  attrs.push_back(table::Attribute{
+      "Clinic", *table::Dictionary::FromValues({"north", "south"})});
+  attrs.push_back(table::Attribute{
+      "Disease", *table::Dictionary::FromValues(
+                     {"flu", "diabetes", "asthma", "hiv", "gout"})});
+  auto schema = std::make_shared<table::Schema>(
+      *table::Schema::Make(std::move(attrs), 1));
+
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = 5;
+  auto publisher = *core::StreamingPublisher::Make(schema, params);
+
+  // North clinic skews heavily to flu (f ~ 0.8) — it will outgrow s_g.
+  const double s_g = core::MaxGroupSize(params, 0.8);
+  std::cout << "append-only stream; north clinic has max frequency ~0.8, "
+               "s_g = " << FormatDouble(s_g, 4) << "\n\n";
+
+  Rng rng(11);
+  exp::AsciiTable timeline({"records inserted", "violating groups",
+                            "records at risk"});
+  size_t inserted = 0;
+  auto insert_batch = [&](size_t north, size_t south) {
+    for (size_t i = 0; i < north; ++i) {
+      uint32_t sa = (i % 10) < 8 ? 0u : uint32_t(1 + i % 4);
+      (void)*publisher.InsertAndRelease(std::vector<uint32_t>{0, sa}, rng);
+      ++inserted;
+    }
+    for (size_t i = 0; i < south; ++i) {
+      (void)*publisher.InsertAndRelease(
+          std::vector<uint32_t>{1, uint32_t(i % 5)}, rng);
+      ++inserted;
+    }
+    auto audit = publisher.Audit();
+    timeline.AddRow({std::to_string(inserted),
+                     std::to_string(audit.violating_groups),
+                     FormatPercent(audit.RecordViolationRate())});
+  };
+  for (int batch = 0; batch < 6; ++batch) insert_batch(60, 40);
+  timeline.Print(std::cout);
+
+  std::cout << "\nthe UP stream eventually violates; a periodic SPS snapshot "
+               "restores privacy:\n";
+  auto snapshot = *publisher.Publish(rng);
+  std::cout << "  snapshot: " << snapshot.table.num_rows() << " records, "
+            << snapshot.stats.groups_sampled
+            << " group(s) sampled down to ~s_g trials\n";
+
+  // Verify: the snapshot's groups all satisfy the criterion by audit of
+  // the *input* profile (Theorem 4 is a property of the mechanism).
+  auto audit = publisher.Audit();
+  std::cout << "  (raw buffer still shows " << audit.violating_groups
+            << " violating group(s) — the snapshot, not the stream, is what "
+               "gets published)\n";
+  return 0;
+}

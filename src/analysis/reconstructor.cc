@@ -1,0 +1,106 @@
+#include "analysis/reconstructor.h"
+
+#include <cmath>
+
+#include "perturb/mle.h"
+#include "stats/special_functions.h"
+
+namespace recpriv::analysis {
+
+using recpriv::perturb::UniformPerturbation;
+using recpriv::table::Predicate;
+using recpriv::table::Table;
+
+Result<Reconstructor> Reconstructor::Make(double retention_p,
+                                          size_t domain_m) {
+  UniformPerturbation up{retention_p, domain_m};
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  return Reconstructor(up);
+}
+
+Result<Estimate> Reconstructor::FromObserved(uint64_t observed_count,
+                                             uint64_t subset_size,
+                                             double confidence) const {
+  if (observed_count > subset_size) {
+    return Status::InvalidArgument("observed count exceeds subset size");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  Estimate e;
+  e.subset_size = subset_size;
+  e.observed_count = observed_count;
+  if (subset_size == 0) return e;
+
+  e.frequency = recpriv::perturb::MleFrequency(up_, observed_count,
+                                               subset_size);
+  e.count = e.frequency * static_cast<double>(subset_size);
+  const double n = static_cast<double>(subset_size);
+  const double q = static_cast<double>(observed_count) / n;
+  // Plug-in Poisson-binomial variance of O*; delta method through Lemma 2.
+  e.std_error = std::sqrt(n * q * (1.0 - q)) / (n * up_.retention_p);
+  const double z = stats::NormalQuantile(0.5 + confidence / 2.0);
+  e.ci_low = e.frequency - z * e.std_error;
+  e.ci_high = e.frequency + z * e.std_error;
+  return e;
+}
+
+Result<Estimate> Reconstructor::EstimateFrequency(const Table& release,
+                                                  const Predicate& predicate,
+                                                  uint32_t sa_code,
+                                                  double confidence) const {
+  const size_t sa_col = release.schema()->sensitive_index();
+  if (predicate.num_attributes() != release.schema()->num_attributes()) {
+    return Status::InvalidArgument("predicate arity mismatch");
+  }
+  if (predicate.is_bound(sa_col)) {
+    return Status::InvalidArgument(
+        "predicate must not constrain the sensitive attribute; the released "
+        "SA is perturbed and filtering on it biases reconstruction");
+  }
+  if (sa_code >= up_.domain_m) {
+    return Status::OutOfRange("sa_code outside the SA domain");
+  }
+  uint64_t observed = 0, size = 0;
+  for (size_t r = 0; r < release.num_rows(); ++r) {
+    if (!predicate.Matches(release, r)) continue;
+    ++size;
+    observed += (release.at(r, sa_col) == sa_code);
+  }
+  return FromObserved(observed, size, confidence);
+}
+
+Result<std::vector<Estimate>> Reconstructor::EstimateDistribution(
+    const Table& release, const Predicate& predicate,
+    double confidence) const {
+  const size_t sa_col = release.schema()->sensitive_index();
+  if (predicate.num_attributes() != release.schema()->num_attributes()) {
+    return Status::InvalidArgument("predicate arity mismatch");
+  }
+  if (predicate.is_bound(sa_col)) {
+    return Status::InvalidArgument(
+        "predicate must not constrain the sensitive attribute");
+  }
+  std::vector<uint64_t> observed(up_.domain_m, 0);
+  uint64_t size = 0;
+  for (size_t r = 0; r < release.num_rows(); ++r) {
+    if (!predicate.Matches(release, r)) continue;
+    ++size;
+    uint32_t code = release.at(r, sa_col);
+    if (code >= up_.domain_m) {
+      return Status::InvalidArgument(
+          "release SA domain exceeds the reconstructor's domain_m");
+    }
+    ++observed[code];
+  }
+  std::vector<Estimate> out;
+  out.reserve(up_.domain_m);
+  for (size_t sa = 0; sa < up_.domain_m; ++sa) {
+    RECPRIV_ASSIGN_OR_RETURN(Estimate e,
+                             FromObserved(observed[sa], size, confidence));
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace recpriv::analysis

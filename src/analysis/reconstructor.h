@@ -1,0 +1,72 @@
+// Consumer-side reconstruction toolkit. The paper's §3.1 notes that with
+// data perturbation "the reconstruction is performed by the user himself";
+// this module is that user's API: given a published release and the public
+// perturbation parameters (p, m), estimate frequencies/counts of SA values
+// over any sub-population, with standard errors and normal-approximation
+// confidence intervals.
+//
+// Estimator (Lemma 2): F' = (O*/|S| - (1-p)/m) / p, unbiased.
+// Uncertainty: O* is a Poisson-binomial sum; the plug-in variance
+// |S| q(1-q) with q = O*/|S| yields SE(F') = sqrt(|S| q(1-q)) / (|S| p).
+// NOTE: for SPS releases the effective number of independent trials in a
+// sampled group is s_g < |S|, so these intervals are *optimistic* for
+// within-single-group estimates — exactly the designed personal-
+// reconstruction penalty. For aggregate estimates spanning many groups the
+// interval is accurate, per Theorem 5.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "perturb/uniform_perturbation.h"
+#include "table/predicate.h"
+#include "table/table.h"
+
+namespace recpriv::analysis {
+
+/// One reconstructed quantity with its uncertainty.
+struct Estimate {
+  double frequency = 0.0;      ///< F', the MLE of the true frequency
+  double count = 0.0;          ///< |S| * F', the estimated true count
+  double std_error = 0.0;      ///< plug-in SE of F'
+  double ci_low = 0.0;         ///< CI lower end (frequency scale)
+  double ci_high = 0.0;        ///< CI upper end (frequency scale)
+  uint64_t subset_size = 0;    ///< |S*|: released records matched
+  uint64_t observed_count = 0; ///< O*: matched records showing the value
+};
+
+/// Reconstructs statistics from a perturbed release.
+class Reconstructor {
+ public:
+  /// `retention_p` and `domain_m` are the published mechanism parameters.
+  static Result<Reconstructor> Make(double retention_p, size_t domain_m);
+
+  /// Frequency of `sa_code` among release rows matching the NA conditions
+  /// of `predicate` (SA conditions in the predicate are rejected: the
+  /// released SA is noise, filtering on it would bias the estimate).
+  Result<Estimate> EstimateFrequency(const recpriv::table::Table& release,
+                                     const recpriv::table::Predicate& predicate,
+                                     uint32_t sa_code,
+                                     double confidence = 0.95) const;
+
+  /// Whole SA distribution for the matched sub-population.
+  Result<std::vector<Estimate>> EstimateDistribution(
+      const recpriv::table::Table& release,
+      const recpriv::table::Predicate& predicate,
+      double confidence = 0.95) const;
+
+  /// Direct form over an already-computed observed histogram.
+  Result<Estimate> FromObserved(uint64_t observed_count, uint64_t subset_size,
+                                double confidence = 0.95) const;
+
+  double retention_p() const { return up_.retention_p; }
+  size_t domain_m() const { return up_.domain_m; }
+
+ private:
+  explicit Reconstructor(recpriv::perturb::UniformPerturbation up) : up_(up) {}
+  recpriv::perturb::UniformPerturbation up_;
+};
+
+}  // namespace recpriv::analysis

@@ -1,0 +1,159 @@
+#include "analysis/release.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "table/csv.h"
+
+namespace recpriv::analysis {
+
+using recpriv::core::PrivacyParams;
+using recpriv::table::Table;
+
+JsonValue BuildManifest(const ReleaseBundle& bundle) {
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("recpriv-release"));
+  root.Set("version", JsonValue::Int(1));
+
+  JsonValue mechanism = JsonValue::Object();
+  mechanism.Set("type", JsonValue::String("uniform-perturbation-sps"));
+  mechanism.Set("retention_p", JsonValue::Number(bundle.params.retention_p));
+  mechanism.Set("domain_m",
+                JsonValue::Int(int64_t(bundle.params.domain_m)));
+  root.Set("mechanism", std::move(mechanism));
+
+  JsonValue privacy = JsonValue::Object();
+  privacy.Set("criterion", JsonValue::String("reconstruction-privacy"));
+  privacy.Set("lambda", JsonValue::Number(bundle.params.lambda));
+  privacy.Set("delta", JsonValue::Number(bundle.params.delta));
+  root.Set("privacy", std::move(privacy));
+
+  root.Set("sensitive_attribute",
+           JsonValue::String(bundle.sensitive_attribute));
+  root.Set("num_records", JsonValue::Int(int64_t(bundle.data.num_rows())));
+
+  JsonValue attrs = JsonValue::Array();
+  const auto& schema = *bundle.data.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    JsonValue attr = JsonValue::Object();
+    attr.Set("name", JsonValue::String(schema.attribute(a).name));
+    attr.Set("domain_size",
+             JsonValue::Int(int64_t(schema.attribute(a).domain.size())));
+    attr.Set("sensitive", JsonValue::Bool(schema.is_sensitive(a)));
+    attrs.Append(std::move(attr));
+  }
+  root.Set("attributes", std::move(attrs));
+
+  if (!bundle.generalization.empty()) {
+    JsonValue gen = JsonValue::Array();
+    for (const auto& merged : bundle.generalization) {
+      JsonValue per_attr = JsonValue::Array();
+      for (const auto& name : merged) {
+        per_attr.Append(JsonValue::String(name));
+      }
+      gen.Append(std::move(per_attr));
+    }
+    root.Set("generalized_values", std::move(gen));
+  }
+  return root;
+}
+
+Status WriteRelease(const ReleaseBundle& bundle, const std::string& basename) {
+  RECPRIV_RETURN_NOT_OK(bundle.params.Validate());
+  if (bundle.params.domain_m != bundle.data.schema()->sa_domain_size()) {
+    return Status::InvalidArgument(
+        "params.domain_m does not match the release's SA domain");
+  }
+  RECPRIV_RETURN_NOT_OK(
+      recpriv::table::WriteCsv(bundle.data, basename + ".csv"));
+  std::ofstream manifest(basename + ".manifest.json");
+  if (!manifest) {
+    return Status::IOError("cannot write manifest: " + basename +
+                           ".manifest.json");
+  }
+  manifest << BuildManifest(bundle).ToString(/*indent=*/2) << "\n";
+  if (!manifest) return Status::IOError("short write to manifest");
+  return Status::OK();
+}
+
+Result<ReleaseBundle> LoadRelease(const std::string& basename) {
+  std::ifstream in(basename + ".manifest.json");
+  if (!in) {
+    return Status::IOError("cannot open manifest: " + basename +
+                           ".manifest.json");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  RECPRIV_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(buffer.str()));
+
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* format, root.Get("format"));
+  RECPRIV_ASSIGN_OR_RETURN(std::string format_name, format->AsString());
+  if (format_name != "recpriv-release") {
+    return Status::InvalidArgument("not a recpriv release manifest");
+  }
+
+  PrivacyParams params;
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* mechanism, root.Get("mechanism"));
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* p_node,
+                           mechanism->Get("retention_p"));
+  RECPRIV_ASSIGN_OR_RETURN(params.retention_p, p_node->AsDouble());
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* m_node,
+                           mechanism->Get("domain_m"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t m, m_node->AsInt());
+  params.domain_m = size_t(m);
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* privacy, root.Get("privacy"));
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* lambda_node,
+                           privacy->Get("lambda"));
+  RECPRIV_ASSIGN_OR_RETURN(params.lambda, lambda_node->AsDouble());
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* delta_node,
+                           privacy->Get("delta"));
+  RECPRIV_ASSIGN_OR_RETURN(params.delta, delta_node->AsDouble());
+
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* sa_node,
+                           root.Get("sensitive_attribute"));
+  RECPRIV_ASSIGN_OR_RETURN(std::string sensitive, sa_node->AsString());
+
+  recpriv::table::CsvReadOptions read_options;
+  read_options.sensitive_attribute = sensitive;
+  read_options.missing_token.clear();  // releases have no missing values
+  RECPRIV_ASSIGN_OR_RETURN(Table data,
+                           recpriv::table::ReadCsv(basename + ".csv",
+                                                   read_options));
+  if (data.schema()->sa_domain_size() > params.domain_m) {
+    return Status::InvalidArgument(
+        "release CSV has more SA values than the manifest's domain_m");
+  }
+  // The CSV may not exercise every SA value; pad the dictionary so the
+  // reconstruction domain matches the manifest.
+  // (Padding with reserved names keeps codes stable for observed values.)
+  while (data.schema()->sa_domain_size() < params.domain_m) {
+    data.schema()->sensitive().domain.GetOrAdd(
+        "__unseen_" +
+        std::to_string(data.schema()->sa_domain_size()));
+  }
+
+  ReleaseBundle bundle{std::move(data), params, std::move(sensitive), {}};
+  if (root.Has("generalized_values")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* gen,
+                             root.Get("generalized_values"));
+    for (size_t a = 0; a < gen->size(); ++a) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* per_attr, gen->At(a));
+      std::vector<std::string> names;
+      for (size_t i = 0; i < per_attr->size(); ++i) {
+        RECPRIV_ASSIGN_OR_RETURN(const JsonValue* name, per_attr->At(i));
+        RECPRIV_ASSIGN_OR_RETURN(std::string s, name->AsString());
+        names.push_back(std::move(s));
+      }
+      bundle.generalization.push_back(std::move(names));
+    }
+  }
+  return bundle;
+}
+
+Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle) {
+  return Reconstructor::Make(bundle.params.retention_p,
+                             bundle.params.domain_m);
+}
+
+}  // namespace recpriv::analysis

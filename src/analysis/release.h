@@ -1,0 +1,46 @@
+// Self-describing releases: a published CSV plus a JSON manifest recording
+// everything a consumer needs to reconstruct correctly — the mechanism
+// parameters (p, m), the privacy specification (lambda, delta), the
+// sensitive attribute, and the generalization mapping that was applied.
+//
+// Without the manifest a consumer must be told p and m out of band; with
+// it, `LoadRelease` + `Reconstructor` is a complete analyst toolchain.
+
+#pragma once
+
+#include <string>
+
+#include "analysis/reconstructor.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "core/generalization.h"
+#include "core/reconstruction_privacy.h"
+#include "table/table.h"
+
+namespace recpriv::analysis {
+
+/// Everything shipped to the consumer.
+struct ReleaseBundle {
+  recpriv::table::Table data;
+  recpriv::core::PrivacyParams params;
+  std::string sensitive_attribute;
+  /// Generalized value names per attribute (empty when no generalization
+  /// was applied): generalization[attr] lists the merged-value labels.
+  std::vector<std::vector<std::string>> generalization;
+};
+
+/// Writes `bundle.data` to `<basename>.csv` and the manifest to
+/// `<basename>.manifest.json`.
+Status WriteRelease(const ReleaseBundle& bundle, const std::string& basename);
+
+/// Loads a release written by WriteRelease. Errors when the manifest and
+/// CSV disagree (schema arity, SA name, SA domain size).
+Result<ReleaseBundle> LoadRelease(const std::string& basename);
+
+/// Builds the manifest JSON (exposed for tests and for embedding).
+recpriv::JsonValue BuildManifest(const ReleaseBundle& bundle);
+
+/// Convenience: a Reconstructor configured from a loaded bundle.
+Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle);
+
+}  // namespace recpriv::analysis

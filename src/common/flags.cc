@@ -1,0 +1,92 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace recpriv {
+
+Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv) {
+  FlagSet fs;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      fs.positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      fs.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not a flag; else bare boolean.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      fs.flags_[body] = argv[++i];
+    } else if (StartsWith(body, "no-")) {
+      fs.flags_[body.substr(3)] = "false";
+    } else {
+      fs.flags_[body] = "";
+    }
+  }
+  return fs;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+Result<double> FlagSet::GetDouble(const std::string& name,
+                                  double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return v;
+}
+
+Result<int64_t> FlagSet::GetInt(const std::string& name,
+                                int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" + it->second +
+                                   "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> FlagSet::GetBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string v = ToLower(it->second);
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("flag --" + name +
+                                 " expects a boolean, got '" + it->second +
+                                 "'");
+}
+
+std::vector<std::string> FlagSet::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace recpriv

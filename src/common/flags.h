@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are errors; positional arguments are collected in order.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace recpriv {
+
+/// Parsed command line: flag map + positional arguments.
+class FlagSet {
+ public:
+  /// Parses argv (skipping argv[0]). "--" ends flag parsing.
+  static Result<FlagSet> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// String flag, or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Typed accessors; error when present but unparseable.
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags present (for unknown-flag validation by the tool).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> flags_;  // "" means bare boolean
+  std::vector<std::string> positional_;
+};
+
+}  // namespace recpriv

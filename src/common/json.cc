@@ -1,0 +1,431 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace recpriv {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+Result<bool> JsonValue::AsBool() const {
+  if (!is_bool()) return Status::InvalidArgument("JSON value is not a bool");
+  return bool_;
+}
+
+Result<double> JsonValue::AsDouble() const {
+  if (!is_number()) {
+    return Status::InvalidArgument("JSON value is not a number");
+  }
+  return number_;
+}
+
+Result<int64_t> JsonValue::AsInt() const {
+  if (!is_number()) {
+    return Status::InvalidArgument("JSON value is not a number");
+  }
+  if (number_ != std::floor(number_)) {
+    return Status::InvalidArgument("JSON number is not an integer");
+  }
+  return static_cast<int64_t>(number_);
+}
+
+Result<std::string> JsonValue::AsString() const {
+  if (!is_string()) {
+    return Status::InvalidArgument("JSON value is not a string");
+  }
+  return string_;
+}
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  RECPRIV_CHECK(is_array()) << "Append on non-array JSON value";
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+Result<const JsonValue*> JsonValue::At(size_t i) const {
+  if (!is_array()) return Status::InvalidArgument("JSON value is not array");
+  if (i >= array_.size()) return Status::OutOfRange("JSON array index");
+  return &array_[i];
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  RECPRIV_CHECK(is_object()) << "Set on non-object JSON value";
+  return object_[key] = std::move(v);
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return is_object() && object_.count(key) > 0;
+}
+
+Result<const JsonValue*> JsonValue::Get(const std::string& key) const {
+  if (!is_object()) {
+    return Status::InvalidArgument("JSON value is not an object");
+  }
+  auto it = object_.find(key);
+  if (it == object_.end()) return Status::NotFound("JSON key: " + key);
+  return &it->second;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void NumberInto(double v, std::string& out) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void JsonValue::WriteTo(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberInto(number_, out);
+      break;
+    case Type::kString:
+      EscapeInto(string_, out);
+      break;
+    case Type::kArray: {
+      out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        array_[i].WriteTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        if (i++ > 0) out += ',';
+        newline(depth + 1);
+        EscapeInto(key, out);
+        out += indent > 0 ? ": " : ":";
+        value.WriteTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::ToString(int indent) const {
+  std::string out;
+  WriteTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view with position.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    RECPRIV_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::IOError("JSON parse error at offset " +
+                           std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      RECPRIV_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::String(std::move(s));
+    }
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      RECPRIV_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      RECPRIV_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      RECPRIV_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= unsigned(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= unsigned(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= unsigned(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate-pair escapes are not supported");
+          }
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue::Bool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue::Bool(false);
+    }
+    return Error("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue::Null();
+    }
+    return Error("bad literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue::Number(v);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace recpriv

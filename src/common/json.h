@@ -1,0 +1,74 @@
+// Minimal JSON value model, writer, and recursive-descent parser — used by
+// the release manifest (analysis/release.h) so published data is
+// self-describing. Supports the full JSON grammar except surrogate-pair
+// \u escapes (non-BMP characters), which are rejected on parse.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace recpriv {
+
+/// A JSON document node: null, bool, number (double), string, array, or
+/// object (string-keyed, sorted for deterministic output).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Int(int64_t v) { return Number(static_cast<double>(v)); }
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; error when the node has a different type.
+  Result<bool> AsBool() const;
+  Result<double> AsDouble() const;
+  Result<int64_t> AsInt() const;
+  Result<std::string> AsString() const;
+
+  /// Array operations.
+  JsonValue& Append(JsonValue v);        ///< requires is_array()
+  size_t size() const;                   ///< array/object element count
+  Result<const JsonValue*> At(size_t i) const;  ///< array index
+
+  /// Object operations.
+  JsonValue& Set(const std::string& key, JsonValue v);  ///< requires object
+  bool Has(const std::string& key) const;
+  Result<const JsonValue*> Get(const std::string& key) const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string ToString(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  void WriteTo(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace recpriv

@@ -1,0 +1,71 @@
+// Minimal leveled logging + CHECK macros (Arrow/RocksDB flavour).
+//
+// RECPRIV_CHECK(cond) << "message";   aborts when cond is false.
+// RECPRIV_DCHECK(cond)                same, compiled out in NDEBUG builds.
+// RECPRIV_LOG(INFO) << "message";     leveled logging to stderr.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace recpriv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level below which RECPRIV_LOG output is suppressed.
+/// Default is kWarning so library users are not spammed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line; emits (and possibly aborts) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands for disabled DCHECKs.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace recpriv
+
+#define RECPRIV_LOG(LEVEL)                                      \
+  ::recpriv::internal::LogMessage(::recpriv::LogLevel::k##LEVEL, \
+                                  __FILE__, __LINE__)
+
+#define RECPRIV_CHECK(cond)  \
+  if (cond) {                \
+  } else /* NOLINT */        \
+    RECPRIV_LOG(Fatal) << "Check failed: " #cond " "
+
+#define RECPRIV_CHECK_OK(expr)                        \
+  if (::recpriv::Status _st = (expr); _st.ok()) {     \
+  } else /* NOLINT */                                 \
+    RECPRIV_LOG(Fatal) << "Status not OK: " << _st.ToString() << " "
+
+#ifdef NDEBUG
+#define RECPRIV_DCHECK(cond) \
+  while (false) ::recpriv::internal::NullStream()
+#else
+#define RECPRIV_DCHECK(cond) RECPRIV_CHECK(cond)
+#endif

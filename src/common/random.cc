@@ -1,0 +1,231 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace recpriv {
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64Next(sm);
+  // xoshiro256++ requires a non-zero state; SplitMix64 of any seed gives one
+  // with overwhelming probability, but guard the adversarial case anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::operator()() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  RECPRIV_DCHECK(n > 0) << "NextUint64 bound must be positive";
+  // Lemire-style rejection to remove modulo bias.
+  uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt64(int64_t lo, int64_t hi) {
+  RECPRIV_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>((*this)());  // full range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() {
+  // Derive a child seed from the parent's stream; advances the parent.
+  return Rng((*this)() ^ 0xD1B54A32D192ED03ULL);
+}
+
+double SampleLaplace(Rng& rng, double scale_b) {
+  RECPRIV_DCHECK(scale_b > 0.0) << "Laplace scale must be positive";
+  // Inverse CDF on u in (-1/2, 1/2): x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = rng.NextDouble() - 0.5;
+  double sign = (u < 0.0) ? -1.0 : 1.0;
+  double a = std::max(1e-300, 1.0 - 2.0 * std::abs(u));
+  return -scale_b * sign * std::log(a);
+}
+
+double SampleNormal(Rng& rng, double mean, double stddev) {
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * rng.NextDouble() - 1.0;
+    v = 2.0 * rng.NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+uint64_t SampleBinomial(Rng& rng, uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  bool flipped = false;
+  if (p > 0.5) {  // sample failures instead, keeps expected work low
+    p = 1.0 - p;
+    flipped = true;
+  }
+  uint64_t successes = 0;
+  if (n * p < 32.0) {
+    // First waiting-time method: count how many geometric inter-success
+    // gaps fit into n trials. Each success consumes (failures before it)+1
+    // trials. E[#iterations] = n*p + 1.
+    const double log_q = std::log1p(-p);
+    double trials_used = 0.0;
+    for (;;) {
+      const double failures =
+          std::floor(std::log(1.0 - rng.NextDouble()) / log_q);
+      trials_used += failures + 1.0;
+      if (trials_used > static_cast<double>(n)) break;
+      ++successes;
+      if (successes == n) break;
+    }
+  } else {
+    // Plain Bernoulli loop; used only when n*p is moderate anyway, and the
+    // waiting-time path handles the sparse regime.
+    for (uint64_t i = 0; i < n; ++i) successes += rng.NextBernoulli(p);
+  }
+  return flipped ? n - successes : successes;
+}
+
+size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    RECPRIV_DCHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  RECPRIV_CHECK(total > 0.0) << "SampleDiscrete requires a positive weight";
+  double r = rng.NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point round-off: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+uint64_t SampleHypergeometric(Rng& rng, uint64_t population,
+                              uint64_t successes, uint64_t draws) {
+  RECPRIV_CHECK(successes <= population && draws <= population)
+      << "hypergeometric parameters out of range";
+  // Sequential exact sampling: at each draw the success probability is the
+  // fraction of successes left in the remaining population.
+  uint64_t got = 0;
+  uint64_t remaining_successes = successes;
+  uint64_t remaining_population = population;
+  for (uint64_t d = 0; d < draws; ++d) {
+    if (remaining_successes == 0) break;
+    if (remaining_successes == remaining_population) {
+      got += draws - d;  // everything left is a success
+      break;
+    }
+    if (rng.NextBernoulli(static_cast<double>(remaining_successes) /
+                          static_cast<double>(remaining_population))) {
+      ++got;
+      --remaining_successes;
+    }
+    --remaining_population;
+  }
+  return got;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t k = weights.size();
+  RECPRIV_CHECK(k > 0) << "AliasSampler requires at least one weight";
+  double total = 0.0;
+  for (double w : weights) {
+    RECPRIV_CHECK(w >= 0.0) << "AliasSampler weight must be non-negative";
+    total += w;
+  }
+  RECPRIV_CHECK(total > 0.0) << "AliasSampler requires a positive weight";
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) scaled[i] = weights[i] * k / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  size_t i = rng.NextUint64(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+std::vector<uint64_t> SampleWithoutReplacement(Rng& rng, uint64_t n,
+                                               uint64_t k) {
+  RECPRIV_CHECK(k <= n) << "cannot sample " << k << " from " << n;
+  // Floyd's algorithm: k iterations, O(k) memory.
+  std::unordered_set<uint64_t> chosen;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng.NextUint64(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace recpriv

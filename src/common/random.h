@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation for all randomized operators.
+//
+// Every randomized operation in recpriv (perturbation, sampling, noise,
+// workload generation) takes an explicit Rng&, so experiments are exactly
+// reproducible from a single master seed. The generator is xoshiro256++
+// (Blackman & Vigna), seeded through SplitMix64; both are implemented here
+// from the published reference algorithms, no <random> engine is used.
+//
+// Distribution samplers are free functions over Rng so that their sequence
+// is stable across standard-library versions (std::normal_distribution etc.
+// are implementation-defined and would break golden tests).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace recpriv {
+
+/// SplitMix64 step: used for seeding and for deriving child seeds.
+uint64_t SplitMix64Next(uint64_t& state);
+
+/// xoshiro256++ PRNG. Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit words via SplitMix64 from `seed`.
+  explicit Rng(uint64_t seed = 0xC0FFEE123456789ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 raw bits.
+  uint64_t operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection method).
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Derives an independent child generator; deterministic in call order.
+  /// Used to give each experiment run / group its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples Laplace(b) noise: density (1/2b) exp(-|x|/b). Requires b > 0.
+double SampleLaplace(Rng& rng, double scale_b);
+
+/// Samples a standard normal via Box-Muller (polar form).
+double SampleNormal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Samples Binomial(n, p) by explicit Bernoulli summation for small n and a
+/// waiting-time (geometric skip) method for larger n. Exact distribution.
+uint64_t SampleBinomial(Rng& rng, uint64_t n, double p);
+
+/// Samples an index in [0, weights.size()) proportionally to weights.
+/// Linear scan; requires at least one positive weight.
+size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights);
+
+/// Samples a Hypergeometric(population, successes, draws) variate: the
+/// number of "success" items in `draws` draws without replacement from a
+/// population containing `successes` successes. Exact sequential method,
+/// O(draws). Requires successes <= population and draws <= population.
+uint64_t SampleHypergeometric(Rng& rng, uint64_t population,
+                              uint64_t successes, uint64_t draws);
+
+/// Alias-method sampler for repeated draws from one discrete distribution.
+/// Build is O(k); each Sample is O(1).
+class AliasSampler {
+ public:
+  /// Builds the alias table from (unnormalized, non-negative) weights with
+  /// at least one positive entry.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability weight[i]/sum(weights).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+/// Fisher-Yates shuffle of `v` in place.
+template <typename T>
+void Shuffle(Rng& rng, std::vector<T>& v) {
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = rng.NextUint64(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+/// Samples `k` distinct indices from [0, n) without replacement
+/// (Floyd's algorithm); result is unsorted. Requires k <= n.
+std::vector<uint64_t> SampleWithoutReplacement(Rng& rng, uint64_t n,
+                                               uint64_t k);
+
+}  // namespace recpriv

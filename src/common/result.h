@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+//
+// A Result<T> holds either a T (status is OK) or a non-OK Status. Accessing
+// the value of an errored Result aborts with the status message, so callers
+// either check ok() / use ValueOr, or treat errors as programming bugs.
+
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace recpriv {
+
+/// Value-or-error return type for fallible functions that produce a T.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RECPRIV_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    RECPRIV_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    RECPRIV_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    RECPRIV_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Dereference sugar: `*result` / `result->member`.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define RECPRIV_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto RECPRIV_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!RECPRIV_CONCAT_(_res_, __LINE__).ok())         \
+    return RECPRIV_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(RECPRIV_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define RECPRIV_CONCAT_IMPL_(a, b) a##b
+#define RECPRIV_CONCAT_(a, b) RECPRIV_CONCAT_IMPL_(a, b)
+
+}  // namespace recpriv

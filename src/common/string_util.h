@@ -1,0 +1,35 @@
+// Small string helpers shared by CSV parsing, reporting, and tests.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recpriv {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Formats a double with `digits` significant digits (for table printing).
+std::string FormatDouble(double v, int digits = 6);
+
+/// Formats v as a percentage string, e.g. 0.1234 -> "12.34%".
+std::string FormatPercent(double v, int decimals = 2);
+
+/// Thousands-separated integer, e.g. 45222 -> "45,222".
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace recpriv

@@ -1,0 +1,29 @@
+// Wall-clock timer for experiment reporting.
+
+#pragma once
+
+#include <chrono>
+
+namespace recpriv {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds as a double.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace recpriv

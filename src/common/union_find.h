@@ -1,0 +1,71 @@
+// Disjoint-set union (union by size + path halving), used by the
+// chi-squared merge graph's connected components (paper §3.4).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace recpriv {
+
+/// Classic union-find over indices [0, n).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of `x`'s component.
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of `a` and `b`; returns true when they were
+  /// previously distinct.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a);
+    size_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  size_t ComponentSize(size_t x) { return size_[Find(x)]; }
+
+  /// Number of distinct components.
+  size_t NumComponents() {
+    size_t n = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) n += (Find(i) == i);
+    return n;
+  }
+
+  /// Dense relabeling: component id in [0, NumComponents()) per element,
+  /// numbered by first appearance.
+  std::vector<uint32_t> DenseLabels() {
+    std::vector<uint32_t> labels(parent_.size(), UINT32_MAX);
+    std::vector<uint32_t> root_label(parent_.size(), UINT32_MAX);
+    uint32_t next = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      size_t r = Find(i);
+      if (root_label[r] == UINT32_MAX) root_label[r] = next++;
+      labels[i] = root_label[r];
+    }
+    return labels;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace recpriv

@@ -1,0 +1,124 @@
+#include "core/generalization.h"
+
+#include <memory>
+
+#include "common/union_find.h"
+#include "stats/chi_squared.h"
+
+namespace recpriv::core {
+
+using recpriv::table::Attribute;
+using recpriv::table::Dictionary;
+using recpriv::table::Predicate;
+using recpriv::table::Schema;
+using recpriv::table::Table;
+
+Result<Generalization> ComputeGeneralization(
+    const Table& t, const GeneralizationOptions& options) {
+  const Schema& schema = *t.schema();
+  const size_t m = schema.sa_domain_size();
+  const size_t sa_col = schema.sensitive_index();
+
+  Generalization plan;
+  plan.merges.resize(schema.num_attributes());
+
+  for (size_t attr = 0; attr < schema.num_attributes(); ++attr) {
+    AttributeMerge& merge = plan.merges[attr];
+    merge.attribute = attr;
+    const size_t k = schema.attribute(attr).domain.size();
+    merge.domain_before = k;
+
+    if (attr == sa_col) {
+      // SA is never generalized: identity mapping.
+      merge.code_mapping.resize(k);
+      for (uint32_t v = 0; v < k; ++v) {
+        merge.code_mapping[v] = v;
+        merge.merged_names.push_back(schema.attribute(attr).domain.value(v));
+      }
+      merge.domain_after = k;
+      continue;
+    }
+
+    // SA histogram conditioned on each value of this attribute: O_i of §3.4.
+    std::vector<std::vector<uint64_t>> cond(k, std::vector<uint64_t>(m, 0));
+    std::vector<uint64_t> totals(k, 0);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      uint32_t v = t.at(r, attr);
+      ++cond[v][t.at(r, sa_col)];
+      ++totals[v];
+    }
+
+    // Pairwise chi-squared tests; link when we fail to disprove the null.
+    UnionFind uf(k);
+    for (size_t a = 0; a < k; ++a) {
+      if (totals[a] == 0) continue;  // no evidence: leave singleton
+      for (size_t b = a + 1; b < k; ++b) {
+        if (totals[b] == 0) continue;
+        if (uf.Connected(a, b)) continue;  // already one component
+        RECPRIV_ASSIGN_OR_RETURN(
+            bool same, stats::SameImpactOnSA(cond[a], cond[b],
+                                             options.significance));
+        if (same) uf.Union(a, b);
+      }
+    }
+
+    merge.code_mapping = uf.DenseLabels();
+    merge.domain_after = uf.NumComponents();
+    // Generalized value names: members joined with '|', in code order.
+    merge.merged_names.assign(merge.domain_after, "");
+    for (uint32_t v = 0; v < k; ++v) {
+      std::string& name = merge.merged_names[merge.code_mapping[v]];
+      if (!name.empty()) name += "|";
+      name += schema.attribute(attr).domain.value(v);
+    }
+  }
+  return plan;
+}
+
+Result<Table> ApplyGeneralization(const Generalization& plan, const Table& t) {
+  const Schema& schema = *t.schema();
+  if (plan.merges.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "generalization plan arity does not match table schema");
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    RECPRIV_ASSIGN_OR_RETURN(
+        Dictionary dom, Dictionary::FromValues(plan.merges[a].merged_names));
+    attrs.push_back(Attribute{schema.attribute(a).name, std::move(dom)});
+  }
+  RECPRIV_ASSIGN_OR_RETURN(
+      Schema gen_schema, Schema::Make(std::move(attrs),
+                                      schema.sensitive_index()));
+  Table out(std::make_shared<Schema>(std::move(gen_schema)));
+  out.Reserve(t.num_rows());
+  std::vector<uint32_t> row(schema.num_attributes());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      row[a] = plan.MapCode(a, t.at(r, a));
+    }
+    out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Result<Predicate> MapPredicate(const Generalization& plan,
+                               const Predicate& original) {
+  if (plan.merges.size() != original.num_attributes()) {
+    return Status::InvalidArgument(
+        "generalization plan arity does not match predicate");
+  }
+  Predicate mapped(original.num_attributes());
+  for (size_t a = 0; a < original.num_attributes(); ++a) {
+    if (original.is_bound(a)) {
+      if (original.code(a) >= plan.merges[a].code_mapping.size()) {
+        return Status::OutOfRange("predicate code outside plan domain");
+      }
+      mapped.Bind(a, plan.MapCode(a, original.code(a)));
+    }
+  }
+  return mapped;
+}
+
+}  // namespace recpriv::core

@@ -1,0 +1,69 @@
+// Generalized personal groups (paper §3.4): merge public-attribute values
+// with the same impact on SA so that aggregate groups cannot be used as
+// surrogate personal groups.
+//
+// For each public attribute Ai and each pair of its values (x, x'), run the
+// two-binned-distribution chi-squared test of Eq. (4) on the SA histograms
+// conditioned on Ai = x and Ai = x' (df = m, significance 0.05). Failing to
+// reject the null links x and x' in a merge graph; every connected component
+// becomes one generalized value. After this preprocessing every generalized
+// value of Ai has a (statistically) different impact on SA.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/predicate.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace recpriv::core {
+
+/// Merge plan for one attribute.
+struct AttributeMerge {
+  size_t attribute = 0;                ///< schema index
+  std::vector<uint32_t> code_mapping;  ///< old code -> new (generalized) code
+  std::vector<std::string> merged_names;  ///< names of generalized values
+  size_t domain_before = 0;
+  size_t domain_after = 0;
+};
+
+/// Full generalization plan: one AttributeMerge per attribute (identity for
+/// SA). Produced against a specific schema; Apply/Map must use tables and
+/// predicates over the same schema.
+struct Generalization {
+  std::vector<AttributeMerge> merges;  ///< indexed by attribute
+
+  /// Generalized value code of (attribute, old code).
+  uint32_t MapCode(size_t attribute, uint32_t code) const {
+    return merges[attribute].code_mapping[code];
+  }
+};
+
+/// Options for the merge procedure.
+struct GeneralizationOptions {
+  double significance = 0.05;  ///< chi-squared significance level (paper)
+};
+
+/// Computes the merge plan from the raw table D. Values that never occur in
+/// D carry no evidence and are left as singleton generalized values.
+Result<Generalization> ComputeGeneralization(
+    const recpriv::table::Table& t,
+    const GeneralizationOptions& options = GeneralizationOptions{});
+
+/// Rewrites `t` onto the generalized schema (new dictionaries, mapped codes;
+/// SA untouched). The result's personal groups are the paper's generalized
+/// personal groups.
+Result<recpriv::table::Table> ApplyGeneralization(
+    const Generalization& plan, const recpriv::table::Table& t);
+
+/// Maps a predicate stated over original values onto the generalized schema
+/// (paper §6.1: the query pool is generated from original NA values, then
+/// NA values are replaced with their aggregated values).
+Result<recpriv::table::Predicate> MapPredicate(
+    const Generalization& plan, const recpriv::table::Predicate& original);
+
+}  // namespace recpriv::core

@@ -1,0 +1,49 @@
+#include "core/rho_privacy.h"
+
+namespace recpriv::core {
+
+Status RhoPrivacy::Validate() const {
+  if (!(rho1 > 0.0 && rho1 < 1.0) || !(rho2 > 0.0 && rho2 < 1.0)) {
+    return Status::InvalidArgument("rho1 and rho2 must be in (0,1)");
+  }
+  if (rho1 >= rho2) {
+    return Status::InvalidArgument("rho1 must be strictly below rho2");
+  }
+  return Status::OK();
+}
+
+double RhoPrivacy::BreachBound() const {
+  return rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2));
+}
+
+double UniformAmplificationGamma(double retention_p, size_t domain_m) {
+  return 1.0 + retention_p * static_cast<double>(domain_m) /
+                   (1.0 - retention_p);
+}
+
+Result<bool> UniformSatisfiesRho(const RhoPrivacy& target, double retention_p,
+                                 size_t domain_m) {
+  RECPRIV_RETURN_NOT_OK(target.Validate());
+  if (retention_p <= 0.0 || retention_p >= 1.0) {
+    return Status::InvalidArgument("retention probability must be in (0,1)");
+  }
+  if (domain_m < 2) {
+    return Status::InvalidArgument("domain size m must be >= 2");
+  }
+  return UniformAmplificationGamma(retention_p, domain_m) <=
+         target.BreachBound();
+}
+
+Result<double> MaxRetentionForRho(const RhoPrivacy& target, size_t domain_m) {
+  RECPRIV_RETURN_NOT_OK(target.Validate());
+  if (domain_m < 2) {
+    return Status::InvalidArgument("domain size m must be >= 2");
+  }
+  const double bound = target.BreachBound();
+  // gamma(p) = 1 + p m / (1-p) is increasing in p; solve gamma(p) = bound.
+  const double p_max =
+      (bound - 1.0) / (static_cast<double>(domain_m) + bound - 1.0);
+  return p_max;
+}
+
+}  // namespace recpriv::core

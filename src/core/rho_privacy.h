@@ -1,0 +1,57 @@
+// rho1-rho2 privacy for randomization operators (Evfimievski, Gehrke,
+// Srikant [6] — the criterion the paper names in §3.1/§3.3 as enforceable
+// "through a proper choice of p", with reconstruction privacy layered on
+// top as additional protection).
+//
+// An adversary with prior belief Pr[property Q(u)] <= rho1 suffers an
+// *upward (rho1, rho2) privacy breach* if some observed output w pushes the
+// posterior Pr[Q(u) | w] above rho2. The amplification result of [6] states
+// that a randomization operator with amplification factor
+//
+//     gamma = max_w max_{u, v} Pr[w | u] / Pr[w | v]
+//
+// permits no upward (rho1, rho2) breach whenever
+//
+//     gamma <= ( rho2 (1 - rho1) ) / ( rho1 (1 - rho2) )      (breach bound)
+//
+// For the uniform perturbation of Eq. (3), gamma = 1 + p m / (1 - p), which
+// yields a closed-form maximum retention probability for a target
+// (rho1, rho2):  p <= (B - 1) / (m + B - 1)  with B the breach bound above.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/result.h"
+
+namespace recpriv::core {
+
+/// A (rho1, rho2) privacy target with 0 < rho1 < rho2 < 1.
+struct RhoPrivacy {
+  double rho1 = 0.1;
+  double rho2 = 0.5;
+
+  Status Validate() const;
+
+  /// The breach bound B = rho2 (1 - rho1) / (rho1 (1 - rho2)); an operator
+  /// with amplification gamma <= B admits no upward (rho1, rho2) breach.
+  double BreachBound() const;
+};
+
+/// Amplification factor of the Eq. (3) uniform operator:
+/// gamma = (p + (1-p)/m) / ((1-p)/m) = 1 + p m / (1 - p).
+/// Requires m >= 2 and p in (0, 1).
+double UniformAmplificationGamma(double retention_p, size_t domain_m);
+
+/// True iff uniform perturbation at `retention_p` over an m-value domain
+/// satisfies the (rho1, rho2) target (gamma <= breach bound).
+Result<bool> UniformSatisfiesRho(const RhoPrivacy& target, double retention_p,
+                                 size_t domain_m);
+
+/// The largest retention probability p for which uniform perturbation over
+/// an m-value domain meets the (rho1, rho2) target:
+/// p_max = (B - 1) / (m + B - 1). This is the paper's "proper choice of p"
+/// input to the reconstruction-privacy problem (Definition 4).
+Result<double> MaxRetentionForRho(const RhoPrivacy& target, size_t domain_m);
+
+}  // namespace recpriv::core

@@ -1,0 +1,48 @@
+#include "core/streaming.h"
+
+#include "perturb/uniform_perturbation.h"
+#include "table/group_index.h"
+
+namespace recpriv::core {
+
+using recpriv::perturb::PerturbValue;
+using recpriv::perturb::UniformPerturbation;
+using recpriv::table::GroupIndex;
+using recpriv::table::SchemaPtr;
+
+Result<StreamingPublisher> StreamingPublisher::Make(SchemaPtr schema,
+                                                    PrivacyParams params) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  RECPRIV_RETURN_NOT_OK(params.Validate());
+  if (schema->sa_domain_size() != params.domain_m) {
+    return Status::InvalidArgument(
+        "params.domain_m does not match the schema's SA domain size");
+  }
+  return StreamingPublisher(std::move(schema), params);
+}
+
+Status StreamingPublisher::Insert(std::span<const uint32_t> row) {
+  return buffer_.AppendRow(row);
+}
+
+Result<std::vector<uint32_t>> StreamingPublisher::InsertAndRelease(
+    std::span<const uint32_t> row, Rng& rng) {
+  RECPRIV_RETURN_NOT_OK(buffer_.AppendRow(row));
+  const UniformPerturbation up{params_.retention_p, params_.domain_m};
+  std::vector<uint32_t> released(row.begin(), row.end());
+  const size_t sa_col = buffer_.schema()->sensitive_index();
+  released[sa_col] = PerturbValue(up, released[sa_col], rng);
+  return released;
+}
+
+ViolationReport StreamingPublisher::Audit() const {
+  return AuditViolations(GroupIndex::Build(buffer_), params_);
+}
+
+Result<SpsTableResult> StreamingPublisher::Publish(Rng& rng) const {
+  return SpsPerturbTable(params_, buffer_, rng);
+}
+
+}  // namespace recpriv::core

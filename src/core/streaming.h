@@ -1,0 +1,67 @@
+// Streaming publication (paper §3.1): "data perturbation is more amendable
+// to record insertion because each record is perturbed independently and
+// the reconstruction is performed by the user himself."
+//
+// StreamingPublisher supports two publication styles over a growing table:
+//
+//  * append-only UP: InsertAndRelease perturbs each arriving record
+//    immediately (independent coin toss) and returns the publishable row —
+//    no previously released row ever changes. This is the insert-friendly
+//    mode the paper contrasts with output perturbation (where a new record
+//    changes many published query answers at once).
+//  * snapshot SPS: Publish() re-runs the full SPS pipeline on the current
+//    buffered data, enforcing (lambda, delta)-reconstruction-privacy for
+//    the groups as they stand now. As groups grow past s_g, append-only UP
+//    alone starts violating — Audit() exposes exactly when.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/reconstruction_privacy.h"
+#include "core/sps.h"
+#include "core/violation.h"
+#include "table/table.h"
+
+namespace recpriv::core {
+
+/// Accepts record inserts and publishes perturbed releases.
+class StreamingPublisher {
+ public:
+  /// The schema's SA domain size must match params.domain_m.
+  static Result<StreamingPublisher> Make(recpriv::table::SchemaPtr schema,
+                                         PrivacyParams params);
+
+  /// Buffers a raw record (codes in schema order, validated).
+  Status Insert(std::span<const uint32_t> row);
+
+  /// Buffers a raw record AND returns its uniformly perturbed publishable
+  /// form (append-only UP mode). NA columns pass through; SA is perturbed
+  /// with an independent coin.
+  Result<std::vector<uint32_t>> InsertAndRelease(std::span<const uint32_t> row,
+                                                 Rng& rng);
+
+  /// Audits the buffered data: which personal groups would violate
+  /// (lambda, delta)-reconstruction privacy under plain UP right now.
+  ViolationReport Audit() const;
+
+  /// Full SPS snapshot of the current buffer (Theorem 4/5 guarantees).
+  Result<SpsTableResult> Publish(Rng& rng) const;
+
+  size_t num_records() const { return buffer_.num_rows(); }
+  const recpriv::table::Table& buffered() const { return buffer_; }
+  const PrivacyParams& params() const { return params_; }
+
+ private:
+  StreamingPublisher(recpriv::table::SchemaPtr schema, PrivacyParams params)
+      : params_(params), buffer_(std::move(schema)) {}
+
+  PrivacyParams params_;
+  recpriv::table::Table buffer_;
+};
+
+}  // namespace recpriv::core

@@ -1,0 +1,222 @@
+#include "datagen/adult.h"
+
+#include <cmath>
+#include <memory>
+
+#include "datagen/effective_model.h"
+#include "table/schema.h"
+
+namespace recpriv::datagen {
+
+using recpriv::table::Attribute;
+using recpriv::table::Schema;
+using recpriv::table::Table;
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// The fixed generative model. All constants are calibrated against the
+/// published UCI ADULT marginals (see adult.h header comment); the
+/// advanced-degree class is mildly inflated (4.0% vs 3.0%) so the Example-1
+/// cell reaches the paper's support of ~500 records.
+struct AdultModel {
+  ClassedAttribute education;
+  ClassedAttribute occupation;
+  ClassedAttribute race;
+  ClassedAttribute gender;
+
+  // Effective-class joint: E marginal, then O|E, R|E, G|E.
+  std::vector<double> p_educlass;
+  std::vector<std::vector<double>> p_occ_given_edu;   // 7 x 4
+  std::vector<double> p_race0_given_edu;              // P(R = class 0 | E)
+  std::vector<double> p_male_given_edu;               // P(G = male | E)
+
+  // Income model: P(>50K | E,O,R,G) = sigmoid(bE + bO + bR + bG + c).
+  std::vector<double> beta_e{-4.2, -1.55, -0.9, -0.45, 0.35, 0.9, 1.6};
+  std::vector<double> beta_o{1.2, 0.3, -0.75, -2.0};
+  std::vector<double> beta_r{0.2, -0.3};
+  std::vector<double> beta_g{0.5, -0.6};  // male, female
+  double intercept = 0.0;
+
+  std::unique_ptr<AliasSampler> educlass_sampler;
+  std::vector<AliasSampler> occ_given_edu_samplers;
+
+  double HighIncomeProb(size_t e, size_t o, size_t r, size_t g) const {
+    return Sigmoid(beta_e[e] + beta_o[o] + beta_r[r] + beta_g[g] + intercept);
+  }
+
+  /// Analytic expected fraction of ">50K" over the class joint.
+  double ExpectedHighIncome() const {
+    double total = 0.0;
+    for (size_t e = 0; e < p_educlass.size(); ++e) {
+      for (size_t o = 0; o < beta_o.size(); ++o) {
+        for (size_t r = 0; r < 2; ++r) {
+          const double pr = r == 0 ? p_race0_given_edu[e]
+                                   : 1.0 - p_race0_given_edu[e];
+          for (size_t g = 0; g < 2; ++g) {
+            const double pg = g == 0 ? p_male_given_edu[e]
+                                     : 1.0 - p_male_given_edu[e];
+            total += p_educlass[e] * p_occ_given_edu[e][o] * pr * pg *
+                     HighIncomeProb(e, o, r, g);
+          }
+        }
+      }
+    }
+    return total;
+  }
+};
+
+const AdultModel& GetModel() {
+  static const AdultModel* model = [] {
+    auto* mdl = new AdultModel();
+    // Education: 16 values in 7 effective classes; within-class weights are
+    // the UCI marginals (percent).
+    mdl->education =
+        ClassedAttribute::Make(
+            "Education",
+            {
+                {{"Preschool", "1st-4th", "5th-6th", "7th-8th"},
+                 {0.8, 0.9, 1.0, 2.0}},
+                {{"9th", "10th", "11th", "12th"}, {1.6, 2.8, 3.6, 1.3}},
+                {{"HS-grad"}, {1.0}},
+                {{"Some-college", "Assoc-voc", "Assoc-acdm"},
+                 {22.4, 4.2, 3.3}},
+                {{"Bachelors"}, {1.0}},
+                {{"Masters"}, {1.0}},
+                {{"Prof-school", "Doctorate"}, {2.64, 1.36}},
+            })
+            .ValueOrDie();
+    // Occupation: 14 values in 4 classes.
+    mdl->occupation =
+        ClassedAttribute::Make(
+            "Occupation",
+            {
+                {{"Prof-specialty", "Exec-managerial"}, {16.0, 10.3}},
+                {{"Tech-support", "Sales", "Protective-serv", "Craft-repair"},
+                 {3.1, 12.1, 2.1, 13.5}},
+                {{"Adm-clerical", "Machine-op-inspct", "Transport-moving",
+                  "Farming-fishing", "Armed-Forces"},
+                 {12.5, 6.6, 5.2, 3.3, 1.0}},
+                {{"Other-service", "Handlers-cleaners", "Priv-house-serv"},
+                 {10.9, 4.6, 1.0}},
+            })
+            .ValueOrDie();
+    // Race: 5 values in 2 classes.
+    mdl->race = ClassedAttribute::Make(
+                    "Race",
+                    {
+                        {{"White", "Asian-Pac-Islander"}, {85.5, 3.0}},
+                        {{"Black", "Amer-Indian-Eskimo", "Other"},
+                         {9.4, 1.0, 1.1}},
+                    })
+                    .ValueOrDie();
+    // Gender: identity partition.
+    mdl->gender = ClassedAttribute::Make("Gender",
+                                         {
+                                             {{"Male"}, {1.0}},
+                                             {{"Female"}, {1.0}},
+                                         })
+                      .ValueOrDie();
+
+    mdl->p_educlass = {0.037, 0.093, 0.323, 0.289, 0.164, 0.054, 0.040};
+    double norm = 0.0;
+    for (double p : mdl->p_educlass) norm += p;
+    for (double& p : mdl->p_educlass) p /= norm;
+
+    mdl->p_occ_given_edu = {
+        {0.03, 0.27, 0.38, 0.32},  // lower elementary
+        {0.05, 0.30, 0.37, 0.28},  // some high school
+        {0.12, 0.34, 0.35, 0.19},  // HS-grad
+        {0.25, 0.35, 0.28, 0.12},  // some college / associate
+        {0.55, 0.27, 0.13, 0.05},  // bachelors
+        {0.72, 0.17, 0.08, 0.03},  // masters
+        {0.92, 0.05, 0.02, 0.01},  // prof-school / doctorate
+    };
+    mdl->p_race0_given_edu = {0.80, 0.84, 0.87, 0.89, 0.91, 0.92, 0.93};
+    mdl->p_male_given_edu = {0.62, 0.64, 0.66, 0.68, 0.70, 0.73, 0.80};
+
+    // Calibrate the intercept so E[>50K] = 24.78% (UCI value).
+    double lo = -8.0, hi = 8.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      mdl->intercept = 0.5 * (lo + hi);
+      if (mdl->ExpectedHighIncome() < 0.2478) {
+        lo = mdl->intercept;
+      } else {
+        hi = mdl->intercept;
+      }
+    }
+
+    mdl->educlass_sampler = std::make_unique<AliasSampler>(mdl->p_educlass);
+    for (const auto& row : mdl->p_occ_given_edu) {
+      mdl->occ_given_edu_samplers.emplace_back(row);
+    }
+    return mdl;
+  }();
+  return *model;
+}
+
+}  // namespace
+
+Result<Table> GenerateAdult(const AdultConfig& config, Rng& rng) {
+  if (config.num_records == 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  const AdultModel& mdl = GetModel();
+
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"Education", mdl.education.dictionary()});
+  attrs.push_back(Attribute{"Occupation", mdl.occupation.dictionary()});
+  attrs.push_back(Attribute{"Race", mdl.race.dictionary()});
+  attrs.push_back(Attribute{"Gender", mdl.gender.dictionary()});
+  recpriv::table::Dictionary income;
+  income.GetOrAdd("<=50K");
+  income.GetOrAdd(">50K");
+  attrs.push_back(Attribute{"Income", std::move(income)});
+  RECPRIV_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs), 4));
+  Table t(std::make_shared<Schema>(std::move(schema)));
+  t.Reserve(config.num_records);
+
+  std::vector<uint32_t> row(5);
+  for (size_t i = 0; i < config.num_records; ++i) {
+    const uint32_t e =
+        static_cast<uint32_t>(mdl.educlass_sampler->Sample(rng));
+    const uint32_t o =
+        static_cast<uint32_t>(mdl.occ_given_edu_samplers[e].Sample(rng));
+    const uint32_t r = rng.NextBernoulli(mdl.p_race0_given_edu[e]) ? 0 : 1;
+    const uint32_t g = rng.NextBernoulli(mdl.p_male_given_edu[e]) ? 0 : 1;
+    row[0] = mdl.education.SampleValue(e, rng);
+    row[1] = mdl.occupation.SampleValue(o, rng);
+    row[2] = mdl.race.SampleValue(r, rng);
+    row[3] = mdl.gender.SampleValue(g, rng);
+    row[4] = rng.NextBernoulli(mdl.HighIncomeProb(e, o, r, g)) ? 1 : 0;
+    t.AppendRowUnchecked(row);
+  }
+  return t;
+}
+
+AdultModelInfo GetAdultModelInfo(const AdultConfig& config) {
+  const AdultModel& mdl = GetModel();
+  AdultModelInfo info;
+  info.intercept = mdl.intercept;
+  info.expected_high_income = mdl.ExpectedHighIncome();
+  // Example-1 cell: educlass 6 (advanced), occclass 0 (professional),
+  // raceclass 0, male.
+  info.headline_confidence = mdl.HighIncomeProb(6, 0, 0, 0);
+  const double p_cell =
+      mdl.p_educlass[6] *
+      mdl.education.WithinClassShare(
+          mdl.education.dictionary().GetCode("Prof-school").ValueOrDie()) *
+      mdl.p_occ_given_edu[6][0] *
+      mdl.occupation.WithinClassShare(
+          mdl.occupation.dictionary().GetCode("Prof-specialty").ValueOrDie()) *
+      mdl.p_race0_given_edu[6] *
+      mdl.race.WithinClassShare(
+          mdl.race.dictionary().GetCode("White").ValueOrDie()) *
+      mdl.p_male_given_edu[6];
+  info.headline_expected_support =
+      p_cell * static_cast<double>(config.num_records);
+  return info;
+}
+
+}  // namespace recpriv::datagen

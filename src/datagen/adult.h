@@ -1,0 +1,55 @@
+// Calibrated synthetic ADULT generator (substitution for the UCI extract —
+// see DESIGN.md §4).
+//
+// Schema (paper §6.1): Education (16 values), Occupation (14), Race (5),
+// Gender (2), and the sensitive attribute Income ("<=50K" / ">50K", m = 2).
+//
+// Generative model (effective classes; see effective_model.h):
+//   educlass   E in 7 classes over the 16 education values
+//   occclass   O in 4 classes over the 14 occupations
+//   raceclass  R in 2 classes over the 5 races
+//   gender     G in 2 classes (identity partition)
+//   E ~ marginal; O|E, R|E, G|E conditionals; raw value | class ~ fixed
+//   within-class split (independent of everything else);
+//   Income ~ Bernoulli( sigmoid(beta_E + beta_O + beta_R + beta_G + c) )
+// with the intercept c calibrated analytically so the expected fraction of
+// ">50K" equals the UCI value 24.78%. The advanced-degree/professional/
+// white/male cell is tuned so the Example-1 rule
+//   {Prof-school, Prof-specialty, White, Male} -> >50K
+// has support around 500 and confidence around 0.84.
+//
+// Because Income depends on the class labels only, the chi-squared merge of
+// §3.4 should rediscover the 7/4/2/2 class partition of Table 4.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace recpriv::datagen {
+
+/// Generator knobs.
+struct AdultConfig {
+  size_t num_records = 45222;  ///< paper's complete-record count
+};
+
+/// The fitted model constants, exposed for tests and documentation.
+struct AdultModelInfo {
+  double intercept = 0.0;            ///< calibrated c
+  double expected_high_income = 0.0; ///< analytic P(>50K) after calibration
+  double headline_confidence = 0.0;  ///< P(>50K | Example-1 cell)
+  double headline_expected_support = 0.0;  ///< expected Q1 count
+};
+
+/// Generates a synthetic ADULT table. Attribute order: Education,
+/// Occupation, Race, Gender, Income (SA = Income).
+Result<recpriv::table::Table> GenerateAdult(const AdultConfig& config,
+                                            Rng& rng);
+
+/// Returns the calibrated model constants for `config`.
+AdultModelInfo GetAdultModelInfo(const AdultConfig& config);
+
+}  // namespace recpriv::datagen

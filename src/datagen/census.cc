@@ -1,0 +1,177 @@
+#include "datagen/census.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "table/schema.h"
+
+namespace recpriv::datagen {
+
+using recpriv::table::Attribute;
+using recpriv::table::Dictionary;
+using recpriv::table::Schema;
+using recpriv::table::Table;
+
+namespace {
+
+constexpr size_t kNumOccupations = 50;
+constexpr int kAgeMin = 18;
+constexpr int kAgeMax = 94;  // 77 distinct ages
+constexpr size_t kNumAges = kAgeMax - kAgeMin + 1;
+
+const std::vector<std::string> kGenderValues = {"Male", "Female"};
+const std::vector<double> kGenderWeights = {52, 48};
+
+const std::vector<std::string> kEducationValues = {
+    "HS-grad",    "Some-college", "Bachelors", "Masters",  "11th",
+    "Assoc-voc",  "Assoc-acdm",   "10th",      "7th-8th",  "Prof-school",
+    "9th",        "12th",         "Doctorate", "5th-6th"};
+const std::vector<double> kEducationWeights = {46, 20, 12, 5, 3.5, 2.5, 2,
+                                               2, 1.5, 1.5, 1.5, 1, 1, 1};
+
+const std::vector<std::string> kMaritalValues = {
+    "Married-civ-spouse", "Never-married",      "Divorced",
+    "Separated",          "Widowed",            "Married-spouse-absent"};
+const std::vector<double> kMaritalWeights = {60, 20, 9, 4, 4, 3};
+
+// All race shares kept >= 4% so the pairwise chi-squared tests retain
+// power even on the 100K sample (see DESIGN.md).
+const std::vector<std::string> kRaceValues = {
+    "White", "Black",  "Hispanic", "Asian",   "Amer-Indian",
+    "Pacific-Islander", "Multiracial", "Other-A", "Other-B"};
+const std::vector<double> kRaceWeights = {52, 14, 9, 7, 4.5, 4, 3.5, 3, 3};
+
+/// Deterministic tilt in [-alpha, alpha] for (attribute, value, occupation),
+/// derived by hashing through SplitMix64 so the "population" is stable
+/// across dataset sizes and runs.
+double Tilt(uint64_t model_seed, uint64_t attr_id, uint64_t value,
+            uint64_t occ, double alpha) {
+  uint64_t state = model_seed ^ (attr_id * 0x9E3779B97F4A7C15ULL) ^
+                   (value * 0xC2B2AE3D27D4EB4FULL) ^
+                   (occ * 0x165667B19E3779F9ULL);
+  const double u =
+      static_cast<double>(SplitMix64Next(state) >> 11) * 0x1.0p-53;
+  return alpha * (2.0 * u - 1.0);
+}
+
+struct CensusModel {
+  std::unique_ptr<AliasSampler> age;
+  std::unique_ptr<AliasSampler> gender;
+  std::unique_ptr<AliasSampler> education;
+  std::unique_ptr<AliasSampler> marital;
+  std::unique_ptr<AliasSampler> race;
+  /// One occupation sampler per (gender, education, marital, race) combo —
+  /// 2 x 14 x 6 x 9 = 1512 of them. Age carries no tilt by design.
+  std::vector<AliasSampler> occupation_by_combo;
+
+  static size_t ComboId(size_t g, size_t e, size_t m, size_t r) {
+    return ((g * kEducationValues.size() + e) * kMaritalValues.size() + m) *
+               kRaceValues.size() +
+           r;
+  }
+
+  explicit CensusModel(const CensusConfig& config) {
+    // Age marginal: flat through the 40s, tapering to the 90s.
+    std::vector<double> age_weights(kNumAges);
+    for (size_t i = 0; i < kNumAges; ++i) {
+      const int a = kAgeMin + static_cast<int>(i);
+      age_weights[i] = a <= 45 ? 1.0
+                               : 1.0 - 0.85 * (a - 45) / double(kAgeMax - 45);
+    }
+    age = std::make_unique<AliasSampler>(age_weights);
+    gender = std::make_unique<AliasSampler>(kGenderWeights);
+    education = std::make_unique<AliasSampler>(kEducationWeights);
+    marital = std::make_unique<AliasSampler>(kMaritalWeights);
+    race = std::make_unique<AliasSampler>(kRaceWeights);
+
+    occupation_by_combo.reserve(2 * kEducationValues.size() *
+                                kMaritalValues.size() * kRaceValues.size());
+    std::vector<double> weights(kNumOccupations);
+    for (size_t g = 0; g < kGenderValues.size(); ++g) {
+      for (size_t e = 0; e < kEducationValues.size(); ++e) {
+        for (size_t m = 0; m < kMaritalValues.size(); ++m) {
+          for (size_t r = 0; r < kRaceValues.size(); ++r) {
+            for (size_t o = 0; o < kNumOccupations; ++o) {
+              const double t =
+                  Tilt(config.model_seed, 1, g, o, config.tilt_alpha) +
+                  Tilt(config.model_seed, 2, e, o, config.tilt_alpha) +
+                  Tilt(config.model_seed, 3, m, o, config.tilt_alpha) +
+                  Tilt(config.model_seed, 4, r, o, config.tilt_alpha);
+              weights[o] = std::exp(t);
+            }
+            occupation_by_combo.emplace_back(weights);
+          }
+        }
+      }
+    }
+  }
+};
+
+Result<Dictionary> MakeDictionary(const std::vector<std::string>& values) {
+  return Dictionary::FromValues(values);
+}
+
+}  // namespace
+
+Result<Table> GenerateCensus(const CensusConfig& config, Rng& rng) {
+  if (config.num_records == 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  if (config.tilt_alpha < 0.0) {
+    return Status::InvalidArgument("tilt_alpha must be non-negative");
+  }
+  CensusModel model(config);
+
+  std::vector<Attribute> attrs;
+  std::vector<std::string> age_values;
+  for (int a = kAgeMin; a <= kAgeMax; ++a) {
+    age_values.push_back(std::to_string(a));
+  }
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary age_dict, MakeDictionary(age_values));
+  attrs.push_back(Attribute{"Age", std::move(age_dict)});
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary gender_dict,
+                           MakeDictionary(kGenderValues));
+  attrs.push_back(Attribute{"Gender", std::move(gender_dict)});
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary edu_dict,
+                           MakeDictionary(kEducationValues));
+  attrs.push_back(Attribute{"Education", std::move(edu_dict)});
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary marital_dict,
+                           MakeDictionary(kMaritalValues));
+  attrs.push_back(Attribute{"Marital", std::move(marital_dict)});
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary race_dict, MakeDictionary(kRaceValues));
+  attrs.push_back(Attribute{"Race", std::move(race_dict)});
+  std::vector<std::string> occ_values;
+  for (size_t o = 0; o < kNumOccupations; ++o) {
+    std::string name = "Occ-";
+    if (o < 10) name += "0";
+    name += std::to_string(o);
+    occ_values.push_back(std::move(name));
+  }
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary occ_dict, MakeDictionary(occ_values));
+  attrs.push_back(Attribute{"Occupation", std::move(occ_dict)});
+
+  RECPRIV_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs), 5));
+  Table t(std::make_shared<Schema>(std::move(schema)));
+  t.Reserve(config.num_records);
+
+  std::vector<uint32_t> row(6);
+  for (size_t i = 0; i < config.num_records; ++i) {
+    const size_t g = model.gender->Sample(rng);
+    const size_t e = model.education->Sample(rng);
+    const size_t m = model.marital->Sample(rng);
+    const size_t r = model.race->Sample(rng);
+    row[0] = static_cast<uint32_t>(model.age->Sample(rng));
+    row[1] = static_cast<uint32_t>(g);
+    row[2] = static_cast<uint32_t>(e);
+    row[3] = static_cast<uint32_t>(m);
+    row[4] = static_cast<uint32_t>(r);
+    row[5] = static_cast<uint32_t>(
+        model.occupation_by_combo[CensusModel::ComboId(g, e, m, r)].Sample(
+            rng));
+    t.AppendRowUnchecked(row);
+  }
+  return t;
+}
+
+}  // namespace recpriv::datagen

@@ -1,0 +1,47 @@
+#include "datagen/effective_model.h"
+
+namespace recpriv::datagen {
+
+Result<ClassedAttribute> ClassedAttribute::Make(
+    std::string name, std::vector<EffectiveClass> classes) {
+  if (classes.empty()) {
+    return Status::InvalidArgument("attribute needs at least one class");
+  }
+  ClassedAttribute attr;
+  attr.name_ = std::move(name);
+  for (uint32_t ci = 0; ci < classes.size(); ++ci) {
+    const EffectiveClass& cls = classes[ci];
+    if (cls.values.empty() || cls.values.size() != cls.weights.size()) {
+      return Status::InvalidArgument(
+          "class values/weights must be non-empty and aligned");
+    }
+    double total = 0.0;
+    for (double w : cls.weights) {
+      if (w <= 0.0) {
+        return Status::InvalidArgument("class weights must be positive");
+      }
+      total += w;
+    }
+    std::vector<uint32_t> member_codes;
+    for (size_t vi = 0; vi < cls.values.size(); ++vi) {
+      if (attr.dict_.Contains(cls.values[vi])) {
+        return Status::AlreadyExists("duplicate raw value: " + cls.values[vi]);
+      }
+      uint32_t code = attr.dict_.GetOrAdd(cls.values[vi]);
+      member_codes.push_back(code);
+      attr.value_class_.push_back(ci);
+      attr.within_share_.push_back(cls.weights[vi] / total);
+    }
+    attr.class_values_.push_back(std::move(member_codes));
+    attr.class_samplers_.emplace_back(cls.weights);
+  }
+  return attr;
+}
+
+uint32_t ClassedAttribute::SampleValue(uint32_t class_id, Rng& rng) const {
+  RECPRIV_DCHECK(class_id < class_samplers_.size());
+  size_t k = class_samplers_[class_id].Sample(rng);
+  return class_values_[class_id][k];
+}
+
+}  // namespace recpriv::datagen

@@ -1,0 +1,109 @@
+#include "datagen/simple.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "table/schema.h"
+
+namespace recpriv::datagen {
+
+using recpriv::table::Attribute;
+using recpriv::table::Dictionary;
+using recpriv::table::Schema;
+using recpriv::table::Table;
+
+namespace {
+
+Result<Table> BuildSkeleton(const SimpleDatasetSpec& spec) {
+  if (spec.sa_domain.size() < 2) {
+    return Status::InvalidArgument("SA domain must have m >= 2 values");
+  }
+  std::vector<Attribute> attrs;
+  for (const auto& name : spec.public_attributes) {
+    attrs.push_back(Attribute{name, Dictionary()});
+  }
+  RECPRIV_ASSIGN_OR_RETURN(Dictionary sa_dict,
+                           Dictionary::FromValues(spec.sa_domain));
+  attrs.push_back(Attribute{spec.sensitive_attribute, std::move(sa_dict)});
+  RECPRIV_ASSIGN_OR_RETURN(
+      Schema schema, Schema::Make(std::move(attrs), attrs.size() - 1));
+  return Table(std::make_shared<Schema>(std::move(schema)));
+}
+
+Status ValidateGroup(const SimpleDatasetSpec& spec, const GroupSpec& g) {
+  if (g.na_values.size() != spec.public_attributes.size()) {
+    return Status::InvalidArgument("group NA arity mismatch");
+  }
+  if (g.sa_weights.size() != spec.sa_domain.size()) {
+    return Status::InvalidArgument("group SA weight arity mismatch");
+  }
+  double total = 0.0;
+  for (double w : g.sa_weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative SA weight");
+    total += w;
+  }
+  if (g.count > 0 && total <= 0.0) {
+    return Status::InvalidArgument("group needs a positive SA weight");
+  }
+  return Status::OK();
+}
+
+/// Emits `count` rows for group `g` with the given per-SA-value counts.
+void EmitGroup(Table& t, const SimpleDatasetSpec& spec, const GroupSpec& g,
+               const std::vector<uint64_t>& sa_counts) {
+  std::vector<uint32_t> row(t.num_columns());
+  for (size_t a = 0; a < g.na_values.size(); ++a) {
+    row[a] = t.schema()->attribute(a).domain.GetOrAdd(g.na_values[a]);
+  }
+  (void)spec;
+  for (size_t sa = 0; sa < sa_counts.size(); ++sa) {
+    row[t.num_columns() - 1] = static_cast<uint32_t>(sa);
+    for (uint64_t k = 0; k < sa_counts[sa]; ++k) t.AppendRowUnchecked(row);
+  }
+}
+
+}  // namespace
+
+Result<Table> GenerateSimple(const SimpleDatasetSpec& spec, Rng& rng) {
+  RECPRIV_ASSIGN_OR_RETURN(Table t, BuildSkeleton(spec));
+  for (const GroupSpec& g : spec.groups) {
+    RECPRIV_RETURN_NOT_OK(ValidateGroup(spec, g));
+    if (g.count == 0) continue;
+    std::vector<uint64_t> sa_counts(spec.sa_domain.size(), 0);
+    AliasSampler sampler(g.sa_weights);
+    for (size_t k = 0; k < g.count; ++k) ++sa_counts[sampler.Sample(rng)];
+    EmitGroup(t, spec, g, sa_counts);
+  }
+  return t;
+}
+
+Result<Table> GenerateSimpleExact(const SimpleDatasetSpec& spec) {
+  RECPRIV_ASSIGN_OR_RETURN(Table t, BuildSkeleton(spec));
+  for (const GroupSpec& g : spec.groups) {
+    RECPRIV_RETURN_NOT_OK(ValidateGroup(spec, g));
+    if (g.count == 0) continue;
+    // Largest-remainder apportionment of g.count over the SA weights.
+    double total = std::accumulate(g.sa_weights.begin(), g.sa_weights.end(),
+                                   0.0);
+    std::vector<uint64_t> sa_counts(spec.sa_domain.size(), 0);
+    std::vector<std::pair<double, size_t>> remainders;
+    uint64_t assigned = 0;
+    for (size_t sa = 0; sa < g.sa_weights.size(); ++sa) {
+      const double exact = static_cast<double>(g.count) *
+                           (g.sa_weights[sa] / total);
+      sa_counts[sa] = static_cast<uint64_t>(std::floor(exact));
+      assigned += sa_counts[sa];
+      remainders.emplace_back(exact - std::floor(exact), sa);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (size_t i = 0; assigned < g.count; ++i, ++assigned) {
+      ++sa_counts[remainders[i % remainders.size()].second];
+    }
+    EmitGroup(t, spec, g, sa_counts);
+  }
+  return t;
+}
+
+}  // namespace recpriv::datagen

@@ -1,0 +1,42 @@
+// Small hand-specified dataset builder — the Example-2 style tables
+// (Gender, Job, Disease) used by tests and the example applications.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace recpriv::datagen {
+
+/// One personal-group specification: fixed NA values, a record count, and
+/// an SA distribution to sample from (weights need not be normalized).
+struct GroupSpec {
+  std::vector<std::string> na_values;  ///< one per public attribute
+  size_t count = 0;
+  std::vector<double> sa_weights;      ///< one per SA domain value
+};
+
+/// A full dataset specification.
+struct SimpleDatasetSpec {
+  std::vector<std::string> public_attributes;  ///< names
+  std::string sensitive_attribute;             ///< name
+  std::vector<std::string> sa_domain;          ///< SA values (m >= 2)
+  std::vector<GroupSpec> groups;
+};
+
+/// Builds a table by sampling each group's SA values from its distribution.
+/// Public-attribute dictionaries are built from the values that occur.
+Result<recpriv::table::Table> GenerateSimple(const SimpleDatasetSpec& spec,
+                                             Rng& rng);
+
+/// Deterministic variant: SA counts are apportioned by largest remainder
+/// instead of sampled, so group frequencies match the weights exactly.
+Result<recpriv::table::Table> GenerateSimpleExact(
+    const SimpleDatasetSpec& spec);
+
+}  // namespace recpriv::datagen

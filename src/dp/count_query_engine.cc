@@ -1,0 +1,17 @@
+#include "dp/count_query_engine.h"
+
+namespace recpriv::dp {
+
+uint64_t CountQueryEngine::TrueCount(
+    const recpriv::table::Predicate& pred) const {
+  return pred.CountMatches(*data_);
+}
+
+double CountQueryEngine::NoisyCount(const recpriv::table::Predicate& pred,
+                                    Rng& rng) {
+  ++queries_answered_;
+  epsilon_spent_ += mechanism_.epsilon();
+  return mechanism_.NoisyAnswer(static_cast<double>(TrueCount(pred)), rng);
+}
+
+}  // namespace recpriv::dp

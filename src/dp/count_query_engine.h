@@ -1,0 +1,44 @@
+// Interactive noisy count-query engine over a raw table — the adversary's
+// interface in the paper's Section 2 construction.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/laplace_mechanism.h"
+#include "table/predicate.h"
+#include "table/table.h"
+
+namespace recpriv::dp {
+
+/// Answers conjunctive count queries over a table, exactly or with Laplace
+/// noise, tracking the cumulative epsilon spent.
+class CountQueryEngine {
+ public:
+  /// The engine does not own the table; it must outlive the engine.
+  CountQueryEngine(const recpriv::table::Table* data,
+                   LaplaceMechanism mechanism)
+      : data_(data), mechanism_(mechanism) {}
+
+  /// Exact count of rows matching `pred` (all attributes, SA included).
+  uint64_t TrueCount(const recpriv::table::Predicate& pred) const;
+
+  /// Noisy answer TrueCount + Lap(b). Each call spends the mechanism's
+  /// epsilon (sequential composition).
+  double NoisyCount(const recpriv::table::Predicate& pred, Rng& rng);
+
+  const LaplaceMechanism& mechanism() const { return mechanism_; }
+  /// Total epsilon consumed by NoisyCount calls so far.
+  double epsilon_spent() const { return epsilon_spent_; }
+  size_t queries_answered() const { return queries_answered_; }
+
+ private:
+  const recpriv::table::Table* data_;
+  LaplaceMechanism mechanism_;
+  double epsilon_spent_ = 0.0;
+  size_t queries_answered_ = 0;
+};
+
+}  // namespace recpriv::dp

@@ -1,0 +1,30 @@
+#include "dp/gaussian_mechanism.h"
+
+#include <cmath>
+
+namespace recpriv::dp {
+
+Result<GaussianMechanism> GaussianMechanism::Make(double epsilon, double delta,
+                                                  double sensitivity) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be > 0");
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0,1)");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  const double sigma =
+      sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+  return GaussianMechanism(epsilon, delta, sigma);
+}
+
+Result<GaussianMechanism> GaussianMechanism::FromSigma(double sigma) {
+  if (sigma <= 0.0) return Status::InvalidArgument("sigma must be > 0");
+  return GaussianMechanism(1.0, 1e-5, sigma);
+}
+
+double GaussianMechanism::NoisyAnswer(double true_answer, Rng& rng) const {
+  return true_answer + SampleNormal(rng, 0.0, sigma_);
+}
+
+}  // namespace recpriv::dp

@@ -1,0 +1,45 @@
+// The (epsilon, delta)-differential-privacy Gaussian mechanism [20], cited
+// by the paper in §2 as another fixed-variance noise distribution to which
+// Corollary 1 applies: for ANY zero-mean, fixed-variance noise, Y/X -> y/x
+// as the query answer grows, so the NIR ratio attack works unchanged.
+//
+// Standard calibration (Dwork et al.): for delta in (0, 1),
+//   sigma = sensitivity * sqrt(2 ln(1.25 / delta)) / epsilon.
+
+#pragma once
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace recpriv::dp {
+
+/// Gaussian output-perturbation mechanism.
+class GaussianMechanism {
+ public:
+  /// Calibrates sigma for (epsilon, delta)-DP with the given sensitivity.
+  /// Requires epsilon > 0, delta in (0, 1), sensitivity > 0.
+  static Result<GaussianMechanism> Make(double epsilon, double delta,
+                                        double sensitivity);
+
+  /// Builds directly from a noise standard deviation sigma > 0.
+  static Result<GaussianMechanism> FromSigma(double sigma);
+
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+  double sigma() const { return sigma_; }
+  /// Noise variance V = sigma^2 (the Corollary-1 "fixed variance").
+  double variance() const { return sigma_ * sigma_; }
+
+  /// Returns true_answer + N(0, sigma^2).
+  double NoisyAnswer(double true_answer, Rng& rng) const;
+
+ private:
+  GaussianMechanism(double epsilon, double delta, double sigma)
+      : epsilon_(epsilon), delta_(delta), sigma_(sigma) {}
+
+  double epsilon_;
+  double delta_;
+  double sigma_;
+};
+
+}  // namespace recpriv::dp

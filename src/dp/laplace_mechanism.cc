@@ -1,0 +1,24 @@
+#include "dp/laplace_mechanism.h"
+
+namespace recpriv::dp {
+
+Result<LaplaceMechanism> LaplaceMechanism::Make(double epsilon,
+                                                double sensitivity) {
+  if (epsilon <= 0.0) return Status::InvalidArgument("epsilon must be > 0");
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  return LaplaceMechanism(epsilon, sensitivity, sensitivity / epsilon);
+}
+
+Result<LaplaceMechanism> LaplaceMechanism::FromScale(double scale_b) {
+  if (scale_b <= 0.0) return Status::InvalidArgument("scale must be > 0");
+  // epsilon/sensitivity are presentational here; scale is what matters.
+  return LaplaceMechanism(1.0 / scale_b, 1.0, scale_b);
+}
+
+double LaplaceMechanism::NoisyAnswer(double true_answer, Rng& rng) const {
+  return true_answer + SampleLaplace(rng, scale_);
+}
+
+}  // namespace recpriv::dp

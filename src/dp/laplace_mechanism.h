@@ -1,0 +1,47 @@
+// The epsilon-differential-privacy Laplace mechanism (paper §1.1, §2).
+//
+// A count query answered as a + xi with xi ~ Lap(b), b = Delta/epsilon,
+// satisfies epsilon-differential privacy for query sensitivity Delta. The
+// paper's attack scenario answers two count queries in a row, so Delta = 2
+// throughout its experiments.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace recpriv::dp {
+
+/// Laplace output-perturbation mechanism.
+class LaplaceMechanism {
+ public:
+  /// Creates a mechanism with privacy parameter `epsilon` and query
+  /// sensitivity `sensitivity` (both > 0); noise scale b = sensitivity/eps.
+  static Result<LaplaceMechanism> Make(double epsilon, double sensitivity);
+
+  /// Creates a mechanism directly from a noise scale b > 0.
+  static Result<LaplaceMechanism> FromScale(double scale_b);
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+  /// Noise scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+  /// Noise variance V = 2 b^2.
+  double variance() const { return 2.0 * scale_ * scale_; }
+
+  /// Returns true_answer + Lap(b). Not clamped or rounded: the mechanism's
+  /// raw real-valued release, as the paper analyses it.
+  double NoisyAnswer(double true_answer, Rng& rng) const;
+
+ private:
+  LaplaceMechanism(double epsilon, double sensitivity, double scale)
+      : epsilon_(epsilon), sensitivity_(sensitivity), scale_(scale) {}
+
+  double epsilon_;
+  double sensitivity_;
+  double scale_;
+};
+
+}  // namespace recpriv::dp

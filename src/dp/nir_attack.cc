@@ -1,0 +1,46 @@
+#include "dp/nir_attack.h"
+
+#include <cmath>
+
+namespace recpriv::dp {
+
+Result<AttackReport> RunRatioAttack(CountQueryEngine& engine,
+                                    const recpriv::table::Predicate& q1,
+                                    const recpriv::table::Predicate& q2,
+                                    size_t trials, Rng& rng) {
+  AttackReport report;
+  report.true_ans1 = engine.TrueCount(q1);
+  report.true_ans2 = engine.TrueCount(q2);
+  if (report.true_ans1 == 0) {
+    return Status::InvalidArgument("Q1 has zero support; Conf undefined");
+  }
+  report.true_confidence = static_cast<double>(report.true_ans2) /
+                           static_cast<double>(report.true_ans1);
+  report.trials = trials;
+
+  std::vector<double> confs, errs1, errs2;
+  confs.reserve(trials);
+  errs1.reserve(trials);
+  errs2.reserve(trials);
+  const double x = static_cast<double>(report.true_ans1);
+  const double y = static_cast<double>(report.true_ans2);
+  for (size_t i = 0; i < trials; ++i) {
+    const double noisy1 = engine.NoisyCount(q1, rng);
+    const double noisy2 = engine.NoisyCount(q2, rng);
+    confs.push_back(noisy2 / noisy1);
+    errs1.push_back(std::abs(x - noisy1) / x);
+    if (y > 0.0) errs2.push_back(std::abs(y - noisy2) / y);
+  }
+  report.conf = stats::Summarize(confs);
+  report.rel_err_q1 = stats::Summarize(errs1);
+  report.rel_err_q2 = stats::Summarize(errs2);
+
+  const double b = engine.mechanism().scale();
+  report.predicted = stats::ApproximateRatioMoments(
+      {x, y, engine.mechanism().variance()});
+  report.bias_bound = stats::LaplaceRatioBiasBound(b, x);
+  report.variance_bound = stats::LaplaceRatioVarianceBound(b, x);
+  return report;
+}
+
+}  // namespace recpriv::dp

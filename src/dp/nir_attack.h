@@ -1,0 +1,46 @@
+// The non-independent-reasoning (NIR) ratio attack on differentially
+// private answers (paper §1.1 Example 1 and §2).
+//
+// The adversary knows the target's public attributes t.NA and issues
+//   Q1: NA = t.NA                     (noisy answer X = x + xi_1)
+//   Q2: NA = t.NA AND SA = sa        (noisy answer Y = y + xi_2)
+// and gauges Conf = y/x by Conf' = Y/X. With fixed-scale noise, Y/X -> y/x
+// as x grows (Corollary 1), so a high-confidence rule leaks.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/count_query_engine.h"
+#include "stats/descriptive.h"
+#include "stats/ratio_estimator.h"
+
+namespace recpriv::dp {
+
+/// Aggregates over repeated attack trials — the rows of the paper's Table 1.
+struct AttackReport {
+  double true_confidence = 0.0;  ///< Conf = ans2/ans1 on the raw data
+  uint64_t true_ans1 = 0;        ///< x
+  uint64_t true_ans2 = 0;        ///< y
+  size_t trials = 0;
+  recpriv::stats::Summary conf;        ///< Conf' = Y/X across trials
+  recpriv::stats::Summary rel_err_q1;  ///< |ans1 - ans1'| / ans1
+  recpriv::stats::Summary rel_err_q2;  ///< |ans2 - ans2'| / ans2
+  /// Lemma 1 / Corollary 2 predictions for this setting.
+  recpriv::stats::RatioMoments predicted;
+  double bias_bound = 0.0;      ///< 2 (b/x)^2
+  double variance_bound = 0.0;  ///< 4 (b/x)^2
+};
+
+/// Runs `trials` independent attack rounds: each draws fresh noisy answers
+/// for Q1 and Q2 through `engine` and records Conf' and the relative answer
+/// errors. Fails if Q1 has a zero true count.
+Result<AttackReport> RunRatioAttack(CountQueryEngine& engine,
+                                    const recpriv::table::Predicate& q1,
+                                    const recpriv::table::Predicate& q2,
+                                    size_t trials, Rng& rng);
+
+}  // namespace recpriv::dp

@@ -1,0 +1,81 @@
+#include "exp/reporting.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace recpriv::exp {
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  RECPRIV_CHECK(cells.size() == headers_.size())
+      << "row arity " << cells.size() << " != header arity "
+      << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(int(widths[c]))
+         << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  os << std::string(total + 2 * (headers_.size() - 1), '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status AsciiTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << Join(headers_, ",") << "\n";
+  for (const auto& row : rows_) out << Join(row, ",") << "\n";
+  return Status::OK();
+}
+
+void PrintBanner(std::ostream& os, const std::string& title,
+                 const std::string& paper_reference) {
+  os << "\n" << std::string(72, '=') << "\n";
+  os << title << "\n";
+  os << "reproduces: " << paper_reference << "\n";
+  os << std::string(72, '=') << "\n";
+}
+
+void PrintSeries(std::ostream& os, const std::string& x_name,
+                 const std::vector<std::string>& x_labels,
+                 const std::vector<Series>& series, int decimals) {
+  size_t name_width = x_name.size();
+  for (const auto& s : series) name_width = std::max(name_width, s.name.size());
+  size_t cell = 8;
+  for (const auto& l : x_labels) cell = std::max(cell, l.size() + 2);
+
+  os << std::left << std::setw(int(name_width)) << x_name;
+  for (const auto& l : x_labels) os << std::right << std::setw(int(cell)) << l;
+  os << "\n";
+  for (const auto& s : series) {
+    RECPRIV_CHECK(s.values.size() == x_labels.size())
+        << "series " << s.name << " length mismatch";
+    os << std::left << std::setw(int(name_width)) << s.name;
+    for (double v : s.values) {
+      os << std::right << std::setw(int(cell)) << std::fixed
+         << std::setprecision(decimals) << v;
+    }
+    os << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace recpriv::exp

@@ -1,0 +1,55 @@
+// Paper-style reporting: aligned ASCII tables (for the paper's Tables) and
+// x/series listings (for the paper's Figures), plus CSV export.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace recpriv::exp {
+
+/// Simple column-aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with padded columns and a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Writes headers + rows as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner: the experiment id and the paper artifact it
+/// regenerates.
+void PrintBanner(std::ostream& os, const std::string& title,
+                 const std::string& paper_reference);
+
+/// One named series over a shared x-axis (a paper "figure" as text).
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Prints x-axis labels and every series, aligned; e.g.
+///   p      0.1    0.3    0.5 ...
+///   vg     0.85   0.86   0.85 ...
+void PrintSeries(std::ostream& os, const std::string& x_name,
+                 const std::vector<std::string>& x_labels,
+                 const std::vector<Series>& series, int decimals = 4);
+
+}  // namespace recpriv::exp

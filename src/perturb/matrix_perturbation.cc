@@ -1,0 +1,117 @@
+#include "perturb/matrix_perturbation.h"
+
+#include <cmath>
+#include <limits>
+
+namespace recpriv::perturb {
+
+Result<MatrixPerturbation> MatrixPerturbation::Make(Matrix p) {
+  const size_t m = p.size();
+  if (m < 2) {
+    return Status::InvalidArgument("perturbation domain must have m >= 2");
+  }
+  for (size_t i = 0; i < m; ++i) {
+    double column_sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (p.at(j, i) < 0.0) {
+        return Status::InvalidArgument("matrix entries must be >= 0");
+      }
+      column_sum += p.at(j, i);
+    }
+    if (std::abs(column_sum - 1.0) > 1e-9) {
+      return Status::InvalidArgument(
+          "column " + std::to_string(i) + " sums to " +
+          std::to_string(column_sum) + ", expected 1");
+    }
+  }
+  RECPRIV_ASSIGN_OR_RETURN(Matrix inv, p.Inverse());
+  std::vector<AliasSampler> columns;
+  columns.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> column(m);
+    for (size_t j = 0; j < m; ++j) column[j] = p.at(j, i);
+    columns.emplace_back(column);
+  }
+  return MatrixPerturbation(std::move(p), std::move(inv), std::move(columns));
+}
+
+Result<MatrixPerturbation> MatrixPerturbation::Uniform(size_t m,
+                                                       double retention_p) {
+  RECPRIV_ASSIGN_OR_RETURN(Matrix p,
+                           MakeUniformPerturbationMatrix(m, retention_p));
+  return Make(std::move(p));
+}
+
+double MatrixPerturbation::AmplificationGamma() const {
+  const size_t m = matrix_.size();
+  double gamma = 1.0;
+  for (size_t w = 0; w < m; ++w) {
+    double row_min = std::numeric_limits<double>::infinity();
+    double row_max = 0.0;
+    for (size_t u = 0; u < m; ++u) {
+      row_min = std::min(row_min, matrix_.at(w, u));
+      row_max = std::max(row_max, matrix_.at(w, u));
+    }
+    if (row_min == 0.0 && row_max > 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (row_min > 0.0) gamma = std::max(gamma, row_max / row_min);
+  }
+  return gamma;
+}
+
+uint32_t MatrixPerturbation::PerturbValue(uint32_t sa_code, Rng& rng) const {
+  RECPRIV_DCHECK(sa_code < column_samplers_.size());
+  return static_cast<uint32_t>(column_samplers_[sa_code].Sample(rng));
+}
+
+Result<std::vector<uint64_t>> MatrixPerturbation::PerturbCounts(
+    const std::vector<uint64_t>& counts, Rng& rng) const {
+  if (counts.size() != matrix_.size()) {
+    return Status::InvalidArgument("counts length must equal domain size");
+  }
+  std::vector<uint64_t> observed(matrix_.size(), 0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    // Multinomial over column i by iterated binomial splitting on the
+    // column's probabilities (exact, O(m) per input value).
+    uint64_t remaining = counts[i];
+    double prob_left = 1.0;
+    for (size_t j = 0; j + 1 < matrix_.size() && remaining > 0; ++j) {
+      const double pj = matrix_.at(j, i);
+      if (pj <= 0.0) continue;
+      const double conditional = std::min(1.0, pj / prob_left);
+      uint64_t x = SampleBinomial(rng, remaining, conditional);
+      observed[j] += x;
+      remaining -= x;
+      prob_left -= pj;
+      if (prob_left <= 1e-15) break;
+    }
+    observed[matrix_.size() - 1] += remaining;
+  }
+  return observed;
+}
+
+Result<std::vector<double>> MatrixPerturbation::Reconstruct(
+    const std::vector<uint64_t>& observed, uint64_t subset_size) const {
+  if (observed.size() != matrix_.size()) {
+    return Status::InvalidArgument("observed length must equal domain size");
+  }
+  if (subset_size == 0) {
+    return std::vector<double>(observed.size(), 0.0);
+  }
+  std::vector<double> observed_freq(observed.size());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    observed_freq[i] = static_cast<double>(observed[i]) /
+                       static_cast<double>(subset_size);
+  }
+  return inverse_.Apply(observed_freq);
+}
+
+std::vector<double> MatrixPerturbation::ExpectedObserved(
+    const std::vector<double>& frequencies, uint64_t subset_size) const {
+  std::vector<double> expected = matrix_.Apply(frequencies);
+  for (double& v : expected) v *= static_cast<double>(subset_size);
+  return expected;
+}
+
+}  // namespace recpriv::perturb

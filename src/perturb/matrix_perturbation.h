@@ -1,0 +1,70 @@
+// General matrix perturbation operator: the paper's framework (§3.1, §4.1)
+// is stated for the uniform matrix of Eq. (3), but Theorem 1's MLE
+// construction P^{-1} (O*/|S|) works for ANY invertible column-stochastic
+// perturbation matrix. This module implements that general operator —
+// useful for non-uniform retention schemes (e.g. retain-with-bias, small
+// domain randomization [22]) — with the uniform operator as a special case
+// that is cross-checked in tests.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "perturb/perturbation_matrix.h"
+
+namespace recpriv::perturb {
+
+/// A randomization operator over an m-value domain defined by an
+/// invertible column-stochastic matrix P: P[j][i] = Pr[output j | input i].
+class MatrixPerturbation {
+ public:
+  /// Validates P (square, entries >= 0, columns sum to 1, invertible) and
+  /// precomputes P^{-1} and per-column samplers.
+  static Result<MatrixPerturbation> Make(Matrix p);
+
+  /// The Eq. (3) uniform operator as a MatrixPerturbation.
+  static Result<MatrixPerturbation> Uniform(size_t m, double retention_p);
+
+  size_t domain_size() const { return matrix_.size(); }
+  const Matrix& matrix() const { return matrix_; }
+  const Matrix& inverse() const { return inverse_; }
+
+  /// Gamma = max over outputs w and input pairs (u, v) of
+  /// P[w|u] / P[w|v] — the amplification factor of Evfimievski et al. [6],
+  /// used by the rho1-rho2 privacy check (core/rho_privacy.h).
+  /// Returns +infinity when some transition probability is zero while
+  /// another in the same row is positive.
+  double AmplificationGamma() const;
+
+  /// Perturbs one value: samples from column `sa_code` of P.
+  uint32_t PerturbValue(uint32_t sa_code, Rng& rng) const;
+
+  /// Count-level perturbation: for each input value i with counts[i]
+  /// records, distributes them over outputs according to column i.
+  Result<std::vector<uint64_t>> PerturbCounts(
+      const std::vector<uint64_t>& counts, Rng& rng) const;
+
+  /// MLE reconstruction F' = P^{-1} (O*/|S|) (Theorem 1). Unbiased for any
+  /// invertible P. Returns zeros when subset_size == 0.
+  Result<std::vector<double>> Reconstruct(const std::vector<uint64_t>& observed,
+                                          uint64_t subset_size) const;
+
+  /// E[O*] = |S| * P * f for a subset with frequency vector f.
+  std::vector<double> ExpectedObserved(const std::vector<double>& frequencies,
+                                       uint64_t subset_size) const;
+
+ private:
+  MatrixPerturbation(Matrix p, Matrix inv, std::vector<AliasSampler> columns)
+      : matrix_(std::move(p)),
+        inverse_(std::move(inv)),
+        column_samplers_(std::move(columns)) {}
+
+  Matrix matrix_;
+  Matrix inverse_;
+  std::vector<AliasSampler> column_samplers_;
+};
+
+}  // namespace recpriv::perturb

@@ -1,0 +1,57 @@
+#include "perturb/mle.h"
+
+#include "perturb/perturbation_matrix.h"
+
+namespace recpriv::perturb {
+
+double MleFrequency(const UniformPerturbation& up, uint64_t observed_count,
+                    uint64_t subset_size) {
+  if (subset_size == 0) return 0.0;
+  const double observed_freq = static_cast<double>(observed_count) /
+                               static_cast<double>(subset_size);
+  return (observed_freq -
+          (1.0 - up.retention_p) / static_cast<double>(up.domain_m)) /
+         up.retention_p;
+}
+
+Result<std::vector<double>> MleFrequencies(const UniformPerturbation& up,
+                                           const std::vector<uint64_t>& observed,
+                                           uint64_t subset_size) {
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  if (observed.size() != up.domain_m) {
+    return Status::InvalidArgument("observed vector length must equal m");
+  }
+  std::vector<double> est(observed.size());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    est[i] = MleFrequency(up, observed[i], subset_size);
+  }
+  return est;
+}
+
+Result<std::vector<double>> MleFrequenciesViaMatrix(
+    const UniformPerturbation& up, const std::vector<uint64_t>& observed,
+    uint64_t subset_size) {
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  if (observed.size() != up.domain_m) {
+    return Status::InvalidArgument("observed vector length must equal m");
+  }
+  if (subset_size == 0) {
+    return std::vector<double>(observed.size(), 0.0);
+  }
+  RECPRIV_ASSIGN_OR_RETURN(
+      Matrix inv, MakeUniformPerturbationInverse(up.domain_m, up.retention_p));
+  std::vector<double> observed_freq(observed.size());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    observed_freq[i] = static_cast<double>(observed[i]) /
+                       static_cast<double>(subset_size);
+  }
+  return inv.Apply(observed_freq);
+}
+
+double MleCount(const UniformPerturbation& up, uint64_t observed_count,
+                uint64_t subset_size) {
+  return static_cast<double>(subset_size) *
+         MleFrequency(up, observed_count, subset_size);
+}
+
+}  // namespace recpriv::perturb

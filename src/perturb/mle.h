@@ -1,0 +1,44 @@
+// Maximum-likelihood reconstruction of SA frequencies from perturbed data
+// (paper §4.1, Theorem 1 and Lemma 2).
+//
+// Given observed counts O* over a record subset S* of size |S|:
+//
+//   F'  =  ( O*/|S| - (1-p)/m ) / p                (Lemma 2(ii), per value)
+//
+// which equals P^{-1} (O*/|S|) for the uniform perturbation matrix; both
+// computations are provided and tested for equality. E[F'] = f: the
+// estimator is unbiased (Lemma 2(iii)).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "perturb/uniform_perturbation.h"
+
+namespace recpriv::perturb {
+
+/// MLE of all SA frequencies from the observed counts of a subset S*.
+/// `observed.size()` must equal up.domain_m and sum to |S*| = subset_size.
+/// Estimates are NOT clamped to [0,1]: small groups can reconstruct outside
+/// the simplex, exactly the inaccuracy the privacy criterion exploits.
+Result<std::vector<double>> MleFrequencies(const UniformPerturbation& up,
+                                           const std::vector<uint64_t>& observed,
+                                           uint64_t subset_size);
+
+/// MLE of one value's frequency: F' = (O*/|S| - (1-p)/m) / p.
+double MleFrequency(const UniformPerturbation& up, uint64_t observed_count,
+                    uint64_t subset_size);
+
+/// Matrix form of the same estimate: P^{-1} (O*/|S|) (Theorem 1). Slower;
+/// kept for cross-validation and for non-uniform perturbation operators.
+Result<std::vector<double>> MleFrequenciesViaMatrix(
+    const UniformPerturbation& up, const std::vector<uint64_t>& observed,
+    uint64_t subset_size);
+
+/// Estimated count of a value in the subset: est = |S| * F' (paper §6.1).
+double MleCount(const UniformPerturbation& up, uint64_t observed_count,
+                uint64_t subset_size);
+
+}  // namespace recpriv::perturb

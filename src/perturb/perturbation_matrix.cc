@@ -1,0 +1,91 @@
+#include "perturb/perturbation_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace recpriv::perturb {
+
+std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
+  RECPRIV_CHECK(v.size() == n_) << "matrix-vector size mismatch";
+  std::vector<double> out(n_, 0.0);
+  for (size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < n_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<Matrix> Matrix::Inverse() const {
+  if (n_ == 0) return Status::InvalidArgument("cannot invert empty matrix");
+  // Augmented Gauss-Jordan with partial pivoting.
+  Matrix a = *this;
+  Matrix inv(n_);
+  for (size_t i = 0; i < n_; ++i) inv.at(i, i) = 1.0;
+
+  for (size_t col = 0; col < n_; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n_; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-12) {
+      return Status::InvalidArgument("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n_; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    const double d = a.at(col, col);
+    for (size_t c = 0; c < n_; ++c) {
+      a.at(col, c) /= d;
+      inv.at(col, c) /= d;
+    }
+    for (size_t r = 0; r < n_; ++r) {
+      if (r == col) continue;
+      const double factor = a.at(r, col);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < n_; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+        inv.at(r, c) -= factor * inv.at(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  RECPRIV_CHECK(n_ == other.n_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < n_ * n_; ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+Result<Matrix> MakeUniformPerturbationMatrix(size_t m, double p) {
+  if (m < 2) return Status::InvalidArgument("SA domain size m must be >= 2");
+  if (p <= 0.0 || p >= 1.0) {
+    return Status::InvalidArgument("retention probability must be in (0,1)");
+  }
+  const double off = (1.0 - p) / static_cast<double>(m);
+  Matrix mat(m, off);
+  for (size_t i = 0; i < m; ++i) mat.at(i, i) = p + off;
+  return mat;
+}
+
+Result<Matrix> MakeUniformPerturbationInverse(size_t m, double p) {
+  if (m < 2) return Status::InvalidArgument("SA domain size m must be >= 2");
+  if (p <= 0.0 || p >= 1.0) {
+    return Status::InvalidArgument("retention probability must be in (0,1)");
+  }
+  const double off = -(1.0 - p) / (p * static_cast<double>(m));
+  Matrix mat(m, off);
+  for (size_t i = 0; i < m; ++i) mat.at(i, i) = 1.0 / p + off;
+  return mat;
+}
+
+}  // namespace recpriv::perturb

@@ -1,0 +1,51 @@
+// The uniform-perturbation matrix P of Eq. (3) and its inverse.
+//
+//   P[j][i] = p + (1-p)/m   if j == i   (retain sa_i)
+//   P[j][i] = (1-p)/m       if j != i   (perturb sa_i to sa_j)
+//
+// P = p I + c J with c = (1-p)/m and J the all-ones matrix, so the inverse
+// has the closed form P^{-1} = (1/p) I - ((1-p)/(p m)) J. A generic
+// Gauss-Jordan inverse is also provided (and cross-checked in tests) so the
+// module can serve arbitrary perturbation operators, not just uniform.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace recpriv::perturb {
+
+/// Dense row-major square matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t n, double fill = 0.0) : n_(n), data_(n * n, fill) {}
+
+  size_t size() const { return n_; }
+  double& at(size_t r, size_t c) { return data_[r * n_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * n_ + c]; }
+
+  /// Matrix-vector product; v.size() must equal size().
+  std::vector<double> Apply(const std::vector<double>& v) const;
+
+  /// Gauss-Jordan inverse with partial pivoting; errors when singular.
+  Result<Matrix> Inverse() const;
+
+  /// Max-abs elementwise difference against `other` (test helper).
+  double MaxAbsDiff(const Matrix& other) const;
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Builds the m x m uniform perturbation matrix of Eq. (3).
+/// Requires m >= 2 and p in (0, 1).
+Result<Matrix> MakeUniformPerturbationMatrix(size_t m, double p);
+
+/// Closed-form inverse (1/p) I - ((1-p)/(p m)) J of the Eq. (3) matrix.
+Result<Matrix> MakeUniformPerturbationInverse(size_t m, double p);
+
+}  // namespace recpriv::perturb

@@ -1,0 +1,79 @@
+#include "perturb/uniform_perturbation.h"
+
+namespace recpriv::perturb {
+
+using recpriv::table::Table;
+
+Status UniformPerturbation::Validate() const {
+  if (retention_p <= 0.0 || retention_p >= 1.0) {
+    return Status::InvalidArgument("retention probability must be in (0,1)");
+  }
+  if (domain_m < 2) {
+    return Status::InvalidArgument("SA domain size m must be >= 2");
+  }
+  return Status::OK();
+}
+
+uint32_t PerturbValue(const UniformPerturbation& up, uint32_t sa_code,
+                      Rng& rng) {
+  if (rng.NextBernoulli(up.retention_p)) return sa_code;
+  return static_cast<uint32_t>(rng.NextUint64(up.domain_m));
+}
+
+Result<Table> PerturbTable(const UniformPerturbation& up, const Table& t,
+                           Rng& rng) {
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  if (up.domain_m != t.schema()->sa_domain_size()) {
+    return Status::InvalidArgument(
+        "perturbation domain_m does not match table SA domain");
+  }
+  Table out = t.Clone();
+  RECPRIV_RETURN_NOT_OK(PerturbColumn(
+      up, out.mutable_column(t.schema()->sensitive_index()), rng));
+  return out;
+}
+
+Status PerturbColumn(const UniformPerturbation& up,
+                     std::vector<uint32_t>& sa_column, Rng& rng) {
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  for (uint32_t& code : sa_column) code = PerturbValue(up, code, rng);
+  return Status::OK();
+}
+
+std::vector<uint64_t> UniformMultinomial(uint64_t n, size_t m, Rng& rng) {
+  std::vector<uint64_t> out(m, 0);
+  uint64_t remaining = n;
+  for (size_t j = 0; j + 1 < m; ++j) {
+    if (remaining == 0) break;
+    // Conditional on what is left, cell j gets Binomial(remaining, 1/(m-j)).
+    uint64_t x = SampleBinomial(rng, remaining,
+                                1.0 / static_cast<double>(m - j));
+    out[j] = x;
+    remaining -= x;
+  }
+  out[m - 1] += remaining;
+  return out;
+}
+
+Result<std::vector<uint64_t>> PerturbCounts(const UniformPerturbation& up,
+                                            const std::vector<uint64_t>& counts,
+                                            Rng& rng) {
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  if (counts.size() != up.domain_m) {
+    return Status::InvalidArgument("counts vector length must equal m");
+  }
+  std::vector<uint64_t> observed(up.domain_m, 0);
+  uint64_t perturbed_total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    // Retained records keep value i; the rest are redistributed uniformly.
+    uint64_t retained = SampleBinomial(rng, counts[i], up.retention_p);
+    observed[i] += retained;
+    perturbed_total += counts[i] - retained;
+  }
+  std::vector<uint64_t> redistributed =
+      UniformMultinomial(perturbed_total, up.domain_m, rng);
+  for (size_t i = 0; i < observed.size(); ++i) observed[i] += redistributed[i];
+  return observed;
+}
+
+}  // namespace recpriv::perturb

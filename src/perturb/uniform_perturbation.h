@@ -1,0 +1,59 @@
+// Uniform perturbation (UP) of the sensitive attribute (paper §3.1).
+//
+// Per record: with probability p keep the SA value; otherwise replace it by
+// a value drawn uniformly from the m-value SA domain (the replacement may
+// equal the original, matching Eq. (3)).
+//
+// Two equivalent execution paths are provided:
+//  * record level — rewrites the SA column of a Table (what a publisher
+//    would actually release);
+//  * count level — transforms a group's SA count vector directly using
+//    binomial retention + uniform multinomial redistribution. This is the
+//    fast path used by the experiment sweeps; tests verify the two paths
+//    produce identically-distributed outputs.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace recpriv::perturb {
+
+/// Parameters of the uniform perturbation operator.
+struct UniformPerturbation {
+  double retention_p;  ///< p in (0,1)
+  size_t domain_m;     ///< m = |SA| (>= 2 per paper §3.1)
+
+  Status Validate() const;
+};
+
+/// Perturbs a single SA code.
+uint32_t PerturbValue(const UniformPerturbation& up, uint32_t sa_code,
+                      Rng& rng);
+
+/// Record-level UP: returns a copy of `t` with the SA column perturbed.
+/// The operator's domain_m must equal the table's SA domain size.
+Result<recpriv::table::Table> PerturbTable(const UniformPerturbation& up,
+                                           const recpriv::table::Table& t,
+                                           Rng& rng);
+
+/// In-place record-level UP over a raw SA code column.
+Status PerturbColumn(const UniformPerturbation& up,
+                     std::vector<uint32_t>& sa_column, Rng& rng);
+
+/// Count-level UP: given true per-SA-value counts of a record set, samples
+/// the observed (perturbed) counts O*. Equivalent in distribution to
+/// perturbing each record and recounting.
+Result<std::vector<uint64_t>> PerturbCounts(const UniformPerturbation& up,
+                                            const std::vector<uint64_t>& counts,
+                                            Rng& rng);
+
+/// Distributes `n` balls uniformly over `m` cells (multinomial with equal
+/// probabilities) by iterated binomial splitting; O(m) time.
+std::vector<uint64_t> UniformMultinomial(uint64_t n, size_t m, Rng& rng);
+
+}  // namespace recpriv::perturb

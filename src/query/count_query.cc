@@ -1,0 +1,21 @@
+#include "query/count_query.h"
+
+namespace recpriv::query {
+
+uint64_t TrueAnswer(const CountQuery& q,
+                    const recpriv::table::GroupIndex& index) {
+  uint64_t ans = 0;
+  for (size_t gi : index.MatchingGroups(q.na_predicate)) {
+    ans += index.groups()[gi].sa_counts[q.sa_code];
+  }
+  return ans;
+}
+
+double Selectivity(const CountQuery& q,
+                   const recpriv::table::GroupIndex& index) {
+  if (index.num_records() == 0) return 0.0;
+  return static_cast<double>(TrueAnswer(q, index)) /
+         static_cast<double>(index.num_records());
+}
+
+}  // namespace recpriv::query

@@ -1,0 +1,37 @@
+// Count queries of the paper's utility evaluation (Eq. 11):
+//
+//   SELECT COUNT(*) FROM D WHERE A1 = a1 AND ... AND Ad = ad AND SA = sa
+//
+// The NA conditions are a Predicate (SA left unbound); the SA condition is
+// held separately because reconstruction estimates SA frequencies from the
+// matched records' observed histogram rather than filtering rows.
+
+#pragma once
+
+#include <cstdint>
+
+#include "table/group_index.h"
+#include "table/predicate.h"
+
+namespace recpriv::query {
+
+/// One conjunctive count query with an SA condition.
+struct CountQuery {
+  recpriv::table::Predicate na_predicate;  ///< NA conditions only
+  uint32_t sa_code = 0;                    ///< the SA = sa_i condition
+  size_t dimensionality = 0;               ///< d = number of NA conditions
+
+  explicit CountQuery(size_t num_attributes)
+      : na_predicate(num_attributes) {}
+};
+
+/// Exact answer over the raw data, via the personal-group index:
+/// sum of sa_counts[sa] over the groups matching the NA conditions.
+uint64_t TrueAnswer(const CountQuery& q,
+                    const recpriv::table::GroupIndex& index);
+
+/// ans / |D|, the query's selectivity.
+double Selectivity(const CountQuery& q,
+                   const recpriv::table::GroupIndex& index);
+
+}  // namespace recpriv::query

@@ -1,0 +1,97 @@
+#include "query/evaluation.h"
+
+#include <cmath>
+
+#include "perturb/mle.h"
+#include "perturb/uniform_perturbation.h"
+
+namespace recpriv::query {
+
+using recpriv::core::PrivacyParams;
+using recpriv::core::SpsCountsResult;
+using recpriv::perturb::UniformPerturbation;
+using recpriv::table::GroupIndex;
+
+Result<PerturbedGroups> PerturbAllGroups(const GroupIndex& index,
+                                         double retention_p, Rng& rng) {
+  const UniformPerturbation up{retention_p,
+                               index.schema()->sa_domain_size()};
+  RECPRIV_RETURN_NOT_OK(up.Validate());
+  PerturbedGroups out;
+  out.observed.reserve(index.num_groups());
+  out.sizes.reserve(index.num_groups());
+  for (const auto& g : index.groups()) {
+    RECPRIV_ASSIGN_OR_RETURN(std::vector<uint64_t> obs,
+                             recpriv::perturb::PerturbCounts(up, g.sa_counts,
+                                                             rng));
+    uint64_t size = 0;
+    for (uint64_t c : obs) size += c;
+    out.observed.push_back(std::move(obs));
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+Result<PerturbedGroups> SpsAllGroups(const GroupIndex& index,
+                                     const PrivacyParams& params, Rng& rng) {
+  RECPRIV_RETURN_NOT_OK(params.Validate());
+  if (params.domain_m != index.schema()->sa_domain_size()) {
+    return Status::InvalidArgument(
+        "params.domain_m does not match the index's SA domain");
+  }
+  PerturbedGroups out;
+  out.observed.reserve(index.num_groups());
+  out.sizes.reserve(index.num_groups());
+  out.sps_stats.num_groups = index.num_groups();
+  for (const auto& g : index.groups()) {
+    RECPRIV_ASSIGN_OR_RETURN(
+        SpsCountsResult r,
+        recpriv::core::SpsPerturbGroupCounts(params, g.sa_counts, rng));
+    uint64_t size = 0;
+    for (uint64_t c : r.observed) size += c;
+    out.sps_stats.records_in += g.size();
+    out.sps_stats.records_out += size;
+    if (r.sampled) {
+      ++out.sps_stats.groups_sampled;
+      out.sps_stats.records_sampled += r.sample_size;
+    }
+    out.observed.push_back(std::move(r.observed));
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+EvaluationResult EvaluateRelativeError(const std::vector<CountQuery>& pool,
+                                       const GroupIndex& index,
+                                       const PerturbedGroups& perturbed,
+                                       double retention_p) {
+  const UniformPerturbation up{retention_p,
+                               index.schema()->sa_domain_size()};
+  EvaluationResult result;
+  double total_err = 0.0;
+  for (const CountQuery& q : pool) {
+    uint64_t ans = 0;
+    uint64_t observed_sa = 0;
+    uint64_t s_star = 0;
+    for (size_t gi : index.MatchingGroups(q.na_predicate)) {
+      ans += index.groups()[gi].sa_counts[q.sa_code];
+      observed_sa += perturbed.observed[gi][q.sa_code];
+      s_star += perturbed.sizes[gi];
+    }
+    if (ans == 0) {
+      ++result.skipped_zero_answer;
+      continue;
+    }
+    const double est = recpriv::perturb::MleCount(up, observed_sa, s_star);
+    total_err += std::abs(est - static_cast<double>(ans)) /
+                 static_cast<double>(ans);
+    ++result.queries_evaluated;
+  }
+  if (result.queries_evaluated > 0) {
+    result.mean_relative_error =
+        total_err / static_cast<double>(result.queries_evaluated);
+  }
+  return result;
+}
+
+}  // namespace recpriv::query

@@ -1,0 +1,49 @@
+// Random count-query pool generation (paper §6.1).
+//
+// "We generated a pool of 5,000 count queries with the query dimensionality
+//  d in {1,2,3} and with the selectivity ans/|D| >= 0.1%. For each query, we
+//  selected d from {1,2,3}, selected d attributes from NA without
+//  replacement, selected a value ai in dom(Ai) for each selected attribute,
+//  and finally selected a value sai in dom(SA). All selections are random
+//  with equal probability."
+//
+// Queries are drawn from the ORIGINAL attribute domains (real-life queries),
+// then rewritten onto the generalized schema via core::MapPredicate for
+// evaluation on aggregated personal groups, as the paper does.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/generalization.h"
+#include "query/count_query.h"
+#include "table/group_index.h"
+
+namespace recpriv::query {
+
+/// Knobs of the pool generator; defaults are the paper's settings.
+struct QueryPoolConfig {
+  size_t pool_size = 5000;
+  std::vector<size_t> dimensionalities = {1, 2, 3};
+  double min_selectivity = 0.001;  ///< 0.1%
+  /// Abort guard: stop after this many candidate draws even if the pool is
+  /// not full (degenerate domains could make 0.1% unreachable).
+  size_t max_attempts = 2'000'000;
+};
+
+/// Generates the pool against the raw data's group index (original values,
+/// original selectivity). May return fewer than pool_size queries when
+/// max_attempts is exhausted.
+Result<std::vector<CountQuery>> GenerateQueryPool(
+    const recpriv::table::GroupIndex& raw_index, const QueryPoolConfig& config,
+    Rng& rng);
+
+/// Rewrites every query's NA values onto the generalized schema.
+Result<std::vector<CountQuery>> MapQueryPool(
+    const recpriv::core::Generalization& plan,
+    const std::vector<CountQuery>& pool);
+
+}  // namespace recpriv::query

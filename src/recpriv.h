@@ -1,0 +1,80 @@
+// Umbrella header for the recpriv library — a from-scratch C++20
+// implementation of "Reconstruction Privacy: Enabling Statistical Learning"
+// (Wang, Han, Fu, Wong, Yu — EDBT 2015).
+//
+// Module map:
+//   common/   Status/Result, logging, deterministic PRNG and samplers
+//   stats/    special functions, chi-squared tests, Chernoff bounds,
+//             descriptive stats, ratio-estimator approximations
+//   table/    dictionary-encoded categorical tables, CSV I/O, predicates,
+//             personal-group indexing
+//   datagen/  calibrated synthetic ADULT / CENSUS generators
+//   perturb/  uniform perturbation (Eq. 3) and MLE reconstruction (Lemma 2)
+//   core/     reconstruction privacy (Def. 3 / Cor. 4), violation audits,
+//             the SPS enforcement algorithm (§5), chi-squared value
+//             generalization (§3.4)
+//   dp/       Laplace mechanism baseline and the Section-2 NIR ratio attack
+//   query/    count-query pools (Eq. 11) and relative-error evaluation
+//   exp/      experiment harness reproducing the paper's tables & figures
+
+#pragma once
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "common/union_find.h"
+
+#include "stats/chernoff.h"
+#include "stats/tail_bounds.h"
+#include "stats/chi_squared.h"
+#include "stats/descriptive.h"
+#include "stats/ratio_estimator.h"
+#include "stats/special_functions.h"
+
+#include "table/csv.h"
+#include "table/dictionary.h"
+#include "table/group_index.h"
+#include "table/predicate.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+#include "datagen/adult.h"
+#include "datagen/census.h"
+#include "datagen/effective_model.h"
+#include "datagen/simple.h"
+
+#include "perturb/matrix_perturbation.h"
+#include "perturb/mle.h"
+#include "perturb/perturbation_matrix.h"
+#include "perturb/uniform_perturbation.h"
+
+#include "core/generalization.h"
+#include "core/rho_privacy.h"
+#include "core/streaming.h"
+#include "core/reconstruction_privacy.h"
+#include "core/sps.h"
+#include "core/violation.h"
+
+#include "dp/count_query_engine.h"
+#include "dp/gaussian_mechanism.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/nir_attack.h"
+
+#include "query/count_query.h"
+#include "query/evaluation.h"
+#include "query/query_pool.h"
+
+#include "analysis/reconstructor.h"
+#include "analysis/release.h"
+
+#include "anon/ldiversity.h"
+#include "anon/tcloseness.h"
+
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "exp/sweeps.h"

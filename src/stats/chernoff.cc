@@ -1,0 +1,65 @@
+#include "stats/chernoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace recpriv::stats {
+
+double ChernoffUpperTail(double omega, double mu) {
+  RECPRIV_DCHECK(omega > 0.0) << "omega must be positive";
+  RECPRIV_DCHECK(mu >= 0.0);
+  return std::exp(-omega * omega * mu / (2.0 + omega));
+}
+
+double ChernoffLowerTail(double omega, double mu) {
+  RECPRIV_DCHECK(omega > 0.0 && omega <= 1.0)
+      << "lower-tail omega must be in (0,1], got " << omega;
+  RECPRIV_DCHECK(mu >= 0.0);
+  return std::exp(-omega * omega * mu / 2.0);
+}
+
+double ExpectedObservedCount(const GroupBoundParams& g) {
+  return g.group_size *
+         (g.frequency * g.retention + (1.0 - g.retention) / g.domain_size);
+}
+
+double OmegaForLambda(const GroupBoundParams& g, double lambda) {
+  RECPRIV_DCHECK(g.frequency > 0.0) << "omega conversion requires f > 0";
+  const double pf = g.retention * g.frequency;
+  return lambda * pf / (pf + (1.0 - g.retention) / g.domain_size);
+}
+
+double LambdaForOmega(const GroupBoundParams& g, double omega) {
+  RECPRIV_DCHECK(g.frequency > 0.0);
+  const double pf = g.retention * g.frequency;
+  return omega * (pf + (1.0 - g.retention) / g.domain_size) / pf;
+}
+
+double MaxLambdaForLowerTail(const GroupBoundParams& g) {
+  RECPRIV_DCHECK(g.frequency > 0.0);
+  return 1.0 +
+         ((1.0 - g.retention) / g.domain_size) / (g.retention * g.frequency);
+}
+
+double MleUpperTailBound(const GroupBoundParams& g, double lambda) {
+  return ChernoffUpperTail(OmegaForLambda(g, lambda),
+                           ExpectedObservedCount(g));
+}
+
+double MleLowerTailBound(const GroupBoundParams& g, double lambda) {
+  return ChernoffLowerTail(OmegaForLambda(g, lambda),
+                           ExpectedObservedCount(g));
+}
+
+double MleBestTailBound(const GroupBoundParams& g, double lambda) {
+  const double omega = OmegaForLambda(g, lambda);
+  const double mu = ExpectedObservedCount(g);
+  const double upper = ChernoffUpperTail(omega, mu);
+  if (omega > 1.0) return upper;  // lower-tail form out of range
+  // For omega in (0,1], L <= U always (exponent mu w^2/2 >= mu w^2/(2+w)).
+  return std::min(upper, ChernoffLowerTail(omega, mu));
+}
+
+}  // namespace recpriv::stats

@@ -1,0 +1,63 @@
+// Chernoff tail bounds for sums of independent Poisson trials (Theorem 3)
+// and the bound conversion between observed-count error and MLE error
+// (Theorem 2 / Corollary 3 of the paper).
+//
+// For X = X_1 + ... + X_n independent Poisson trials, mu = E[X]:
+//
+//   Pr[(X - mu)/mu >  omega] < U(omega, mu) = exp(-omega^2 mu / (2 + omega)),
+//       omega in (0, inf)                                         (Eq. 5)
+//   Pr[(X - mu)/mu < -omega] < L(omega, mu) = exp(-omega^2 mu / 2),
+//       omega in (0, 1]                                           (Eq. 6)
+//
+// Theorem 2 converts a bound at relative observed-count error omega into a
+// bound at relative MLE error lambda = omega * mu / (|S| p f); equivalently
+// omega(lambda) = lambda p f / (p f + (1 - p)/m), independent of |S|.
+
+#pragma once
+
+namespace recpriv::stats {
+
+/// Chernoff upper-tail bound U(omega, mu) = exp(-omega^2 mu / (2 + omega)).
+/// Requires omega > 0, mu >= 0.
+double ChernoffUpperTail(double omega, double mu);
+
+/// Chernoff lower-tail bound L(omega, mu) = exp(-omega^2 mu / 2).
+/// Requires omega in (0, 1], mu >= 0.
+double ChernoffLowerTail(double omega, double mu);
+
+/// Parameters tying a personal group's SA value to its tail bounds.
+struct GroupBoundParams {
+  double group_size;  ///< |S| = number of (perturbed) records
+  double frequency;   ///< f = actual frequency of the SA value in S
+  double retention;   ///< p = retention probability
+  double domain_size; ///< m = |SA|
+};
+
+/// E[O*] = |S| (f p + (1 - p)/m)  (Lemma 2(i)).
+double ExpectedObservedCount(const GroupBoundParams& g);
+
+/// omega(lambda) = lambda |S| p f / mu = lambda p f / (p f + (1-p)/m)
+/// (Theorem 2, with mu from Lemma 2(i)). Requires f > 0.
+double OmegaForLambda(const GroupBoundParams& g, double lambda);
+
+/// Inverse of OmegaForLambda: lambda(omega) = omega mu / (|S| p f).
+double LambdaForOmega(const GroupBoundParams& g, double omega);
+
+/// Largest lambda for which the lower-tail bound applies, i.e. the lambda
+/// mapping to omega = 1: lambda_max = 1 + ((1-p)/m) / (p f)  (Corollary 4).
+double MaxLambdaForLowerTail(const GroupBoundParams& g);
+
+/// Corollary 3 upper bound on Pr[(F' - f)/f > lambda]: U(omega(lambda), mu).
+double MleUpperTailBound(const GroupBoundParams& g, double lambda);
+
+/// Corollary 3 upper bound on Pr[(F' - f)/f < -lambda]: L(omega(lambda), mu).
+/// Valid when omega(lambda) <= 1 (guaranteed for lambda <= MaxLambda...).
+double MleLowerTailBound(const GroupBoundParams& g, double lambda);
+
+/// min{U, L} over the two tails — the "best upper bound" the adversary can
+/// place on a lambda-relative reconstruction error (Definition 3 uses the
+/// smaller of the two). When omega(lambda) > 1 the lower-tail bound does
+/// not apply and the upper-tail bound alone is returned.
+double MleBestTailBound(const GroupBoundParams& g, double lambda);
+
+}  // namespace recpriv::stats

@@ -1,0 +1,58 @@
+#include "stats/chi_squared.h"
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace recpriv::stats {
+
+Result<ChiSquaredTestResult> TwoSampleBinnedChiSquared(
+    const std::vector<uint64_t>& counts_a,
+    const std::vector<uint64_t>& counts_b, double significance) {
+  if (counts_a.size() != counts_b.size()) {
+    return Status::InvalidArgument("histograms must have equal bin counts");
+  }
+  if (counts_a.empty()) {
+    return Status::InvalidArgument("histograms must be non-empty");
+  }
+  if (significance <= 0.0 || significance >= 1.0) {
+    return Status::InvalidArgument("significance must be in (0,1)");
+  }
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (uint64_t c : counts_a) total_a += static_cast<double>(c);
+  for (uint64_t c : counts_b) total_b += static_cast<double>(c);
+  if (total_a == 0.0 || total_b == 0.0) {
+    return Status::InvalidArgument("each histogram needs a positive total");
+  }
+
+  const double ratio_ab = std::sqrt(total_b / total_a);
+  const double ratio_ba = std::sqrt(total_a / total_b);
+  double chi2 = 0.0;
+  for (size_t j = 0; j < counts_a.size(); ++j) {
+    const double oa = static_cast<double>(counts_a[j]);
+    const double ob = static_cast<double>(counts_b[j]);
+    if (oa == 0.0 && ob == 0.0) continue;  // empty bin: no information
+    const double diff = ratio_ab * oa - ratio_ba * ob;
+    chi2 += diff * diff / (oa + ob);
+  }
+
+  ChiSquaredTestResult r;
+  r.statistic = chi2;
+  r.df = static_cast<double>(counts_a.size());  // paper: df = m
+  r.critical_value = ChiSquaredQuantile(1.0 - significance, r.df);
+  r.p_value = 1.0 - ChiSquaredCdf(chi2, r.df);
+  r.reject_null = chi2 > r.critical_value;
+  return r;
+}
+
+Result<bool> SameImpactOnSA(const std::vector<uint64_t>& counts_a,
+                            const std::vector<uint64_t>& counts_b,
+                            double significance) {
+  RECPRIV_ASSIGN_OR_RETURN(
+      ChiSquaredTestResult r,
+      TwoSampleBinnedChiSquared(counts_a, counts_b, significance));
+  return !r.reject_null;
+}
+
+}  // namespace recpriv::stats

@@ -1,0 +1,48 @@
+// Two-sample binned chi-squared test for "same impact on SA" (paper §3.4).
+//
+// Given two binned SA histograms O = [o_1..o_m] and O' = [o'_1..o'_m]
+// (unequal totals allowed), the paper computes, per Numerical Recipes [26]:
+//
+//   chi^2 = sum_j ( sqrt(|O'|/|O|) o_j - sqrt(|O|/|O'|) o'_j )^2
+//                 / ( o_j + o'_j )                                  (Eq. 4)
+//
+// with degrees of freedom m and conventional significance 0.05. The null
+// hypothesis "both samples come from the same distribution" is rejected
+// when chi^2 exceeds the chi-squared quantile at 1 - significance.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace recpriv::stats {
+
+/// Outcome of one two-sample binned chi-squared test.
+struct ChiSquaredTestResult {
+  double statistic = 0.0;      ///< the Eq. (4) chi^2 value
+  double critical_value = 0.0; ///< quantile at (1 - significance), df = m
+  double p_value = 1.0;        ///< Pr[chi^2_df >= statistic]
+  double df = 0.0;             ///< degrees of freedom used (= m, per paper)
+  bool reject_null = false;    ///< true => distributions differ
+};
+
+/// Runs the Eq. (4) test on two histograms over the same m bins.
+///
+/// Bins where both counts are zero contribute nothing (the summand is 0/0;
+/// Numerical Recipes omits such bins). The paper fixes df = m for the
+/// unequal-total two-sample case; we follow that. Errors when the
+/// histograms differ in length or either total is zero.
+Result<ChiSquaredTestResult> TwoSampleBinnedChiSquared(
+    const std::vector<uint64_t>& counts_a,
+    const std::vector<uint64_t>& counts_b, double significance = 0.05);
+
+/// Convenience: true iff the test fails to reject, i.e. the two value
+/// distributions are consistent with one underlying distribution and the
+/// corresponding NA values should be merged (connected in the merge graph).
+Result<bool> SameImpactOnSA(const std::vector<uint64_t>& counts_a,
+                            const std::vector<uint64_t>& counts_b,
+                            double significance = 0.05);
+
+}  // namespace recpriv::stats

@@ -1,0 +1,55 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recpriv::stats {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::standard_error() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  Summary s;
+  s.count = rs.count();
+  if (s.count == 0) return s;
+  s.mean = rs.mean();
+  s.variance = rs.variance();
+  s.stddev = rs.stddev();
+  s.standard_error = rs.standard_error();
+  s.min = rs.min();
+  s.max = rs.max();
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace recpriv::stats

@@ -1,0 +1,53 @@
+// Descriptive statistics used throughout the experiment harness:
+// mean, (sample) variance, standard deviation, and the standard error of
+// the mean — the "Mean" and "SE" columns of the paper's Table 1.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace recpriv::stats {
+
+/// Streaming accumulator (Welford) for mean / variance / SE.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean: stddev / sqrt(n); 0 when n < 2.
+  double standard_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double standard_error = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `values` (empty input yields an all-zero Summary).
+Summary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+}  // namespace recpriv::stats

@@ -1,0 +1,37 @@
+#include "stats/ratio_estimator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace recpriv::stats {
+
+RatioMoments ApproximateRatioMoments(const RatioMomentInputs& in) {
+  RECPRIV_CHECK(in.x != 0.0) << "ratio moments undefined for x = 0";
+  const double r = in.y / in.x;
+  const double v_over_x2 = in.noise_variance / (in.x * in.x);
+  RatioMoments m;
+  m.mean = r * (1.0 + v_over_x2);
+  m.variance = v_over_x2 * (1.0 + r * r);
+  m.bias = m.mean - r;
+  return m;
+}
+
+double LaplaceRatioBiasBound(double scale_b, double x) {
+  RECPRIV_CHECK(x != 0.0);
+  const double ratio = scale_b / x;
+  return 2.0 * ratio * ratio;
+}
+
+double LaplaceRatioVarianceBound(double scale_b, double x) {
+  RECPRIV_CHECK(x != 0.0);
+  const double ratio = scale_b / x;
+  return 4.0 * ratio * ratio;
+}
+
+bool DisclosureLikely(double scale_b, double x, double threshold) {
+  if (x <= 0.0) return false;
+  return scale_b / x <= threshold;
+}
+
+}  // namespace recpriv::stats

@@ -1,0 +1,48 @@
+// Taylor-expansion moments of the ratio of two noisy counts (paper §2).
+//
+// For noisy answers X = x + xi_1, Y = y + xi_2 with zero-mean, variance-V,
+// uncorrelated noises (Lemma 1):
+//
+//   E[Y/X]   ~  (y/x) (1 + V/x^2)
+//   Var[Y/X] ~  (V/x^2) (1 + y^2/x^2)
+//
+// Specializing to Laplace(b) noise, V = 2 b^2 and y <= x (Corollary 2):
+//
+//   |E[Y/X] - y/x| <= 2 (b/x)^2      Var[Y/X] <= 4 (b/x)^2
+//
+// The quantity 2 (b/x)^2 (Table 2) is the paper's disclosure-condition
+// indicator: when it is small, the adversary's ratio estimate Y/X reliably
+// tracks the true confidence y/x.
+
+#pragma once
+
+namespace recpriv::stats {
+
+/// Inputs to the ratio-moment approximation.
+struct RatioMomentInputs {
+  double x;               ///< true answer of the denominator query Q1 (x != 0)
+  double y;               ///< true answer of the numerator query Q2
+  double noise_variance;  ///< V = Var[xi_i], common to both noises
+};
+
+/// Approximate moments of Y/X per Lemma 1.
+struct RatioMoments {
+  double mean;      ///< E[Y/X] approximation
+  double variance;  ///< Var[Y/X] approximation
+  double bias;      ///< mean - y/x
+};
+
+/// Lemma 1 Taylor approximation. Requires inputs.x != 0.
+RatioMoments ApproximateRatioMoments(const RatioMomentInputs& inputs);
+
+/// Corollary 2(i): bound 2 (b/x)^2 on |E[Y/X] - y/x| under Laplace(b).
+double LaplaceRatioBiasBound(double scale_b, double x);
+
+/// Corollary 2(ii): bound 4 (b/x)^2 on Var[Y/X] under Laplace(b).
+double LaplaceRatioVarianceBound(double scale_b, double x);
+
+/// Paper's rule of thumb: disclosure plausible when b/x <= threshold
+/// (default 1/20, giving 2 (b/x)^2 <= 1/200).
+bool DisclosureLikely(double scale_b, double x, double threshold = 0.05);
+
+}  // namespace recpriv::stats

@@ -1,0 +1,37 @@
+#include "stats/tail_bounds.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "stats/chernoff.h"
+
+namespace recpriv::stats {
+
+double MarkovUpperTail(double omega) {
+  RECPRIV_DCHECK(omega > 0.0);
+  return 1.0 / (1.0 + omega);
+}
+
+double ChebyshevTail(double omega, double mu) {
+  RECPRIV_DCHECK(omega > 0.0 && mu > 0.0);
+  return 1.0 / (omega * omega * mu);
+}
+
+double ChebyshevTailWithVariance(double omega, double mu, double variance) {
+  RECPRIV_DCHECK(omega > 0.0 && mu > 0.0 && variance >= 0.0);
+  return variance / ((omega * mu) * (omega * mu));
+}
+
+TailBoundComparison CompareTailBounds(double omega, double mu) {
+  TailBoundComparison c;
+  c.omega = omega;
+  c.mu = mu;
+  c.markov = std::min(1.0, MarkovUpperTail(omega));
+  c.chebyshev = std::min(1.0, ChebyshevTail(omega, mu));
+  c.chernoff_upper = std::min(1.0, ChernoffUpperTail(omega, mu));
+  c.chernoff_lower =
+      omega <= 1.0 ? std::min(1.0, ChernoffLowerTail(omega, mu)) : 1.0;
+  return c;
+}
+
+}  // namespace recpriv::stats

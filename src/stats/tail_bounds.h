@@ -1,0 +1,46 @@
+// Classical tail bounds for sums of independent Poisson trials, alongside
+// the Chernoff bound of chernoff.h. The paper (§4.2) names Markov's and
+// Chebyshev's inequalities as the early upper bounds that the Chernoff
+// bound supersedes; implementing them lets the bench suite quantify how
+// much tighter the Chernoff form is — the justification for Contribution 3.
+//
+// For X a sum of independent Poisson trials with mu = E[X] and
+// sigma^2 = Var[X] <= mu:
+//
+//   Markov:     Pr[(X-mu)/mu >  omega] <= 1 / (1 + omega)
+//   Chebyshev:  Pr[|X-mu|/mu >  omega] <= sigma^2 / (omega mu)^2
+//                                      <= 1 / (omega^2 mu)
+//
+// Both are distribution-free given the stated moments; Chernoff additionally
+// uses independence for its exponential decay.
+
+#pragma once
+
+namespace recpriv::stats {
+
+/// Markov bound on the upper relative tail: 1/(1+omega), for omega > 0.
+/// (Pr[X > (1+omega) mu] <= E[X] / ((1+omega) mu).)
+double MarkovUpperTail(double omega);
+
+/// Chebyshev bound on the two-sided relative tail using Var[X] <= mu for
+/// Poisson-trial sums: 1/(omega^2 mu). Requires omega > 0, mu > 0.
+double ChebyshevTail(double omega, double mu);
+
+/// Chebyshev bound with an explicit variance: variance/(omega mu)^2.
+double ChebyshevTailWithVariance(double omega, double mu, double variance);
+
+/// Bound comparison record for one (omega, mu) point.
+struct TailBoundComparison {
+  double omega = 0.0;
+  double mu = 0.0;
+  double markov = 1.0;
+  double chebyshev = 1.0;
+  double chernoff_upper = 1.0;
+  double chernoff_lower = 1.0;  ///< only meaningful for omega <= 1
+};
+
+/// Evaluates all bounds at one point (values above 1 are clamped to 1 —
+/// a probability bound above 1 is vacuous).
+TailBoundComparison CompareTailBounds(double omega, double mu);
+
+}  // namespace recpriv::stats

@@ -1,0 +1,160 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace recpriv::table {
+
+namespace {
+
+Result<Table> ParseCsv(std::istream& in, const CsvReadOptions& opt) {
+  std::string line;
+  std::vector<std::string> header;
+  if (opt.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::IOError("CSV input is empty (expected header)");
+    }
+    for (const auto& cell : Split(line, opt.delimiter)) {
+      header.emplace_back(opt.trim_whitespace ? std::string(Trim(cell))
+                                              : cell);
+    }
+  }
+
+  // Resolve which source columns to keep and in what order.
+  std::vector<size_t> src_cols;
+  std::vector<std::string> names;
+  if (!opt.keep_columns.empty()) {
+    if (!opt.has_header) {
+      return Status::InvalidArgument(
+          "keep_columns requires has_header = true");
+    }
+    for (const auto& want : opt.keep_columns) {
+      bool found = false;
+      for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == want) {
+          src_cols.push_back(i);
+          names.push_back(want);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Status::NotFound("CSV has no column: " + want);
+    }
+  } else if (opt.has_header) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      src_cols.push_back(i);
+      names.push_back(header[i]);
+    }
+  }
+
+  // First data row fixes the arity for header-less input.
+  std::vector<std::vector<std::string>> pending_rows;
+  if (!opt.has_header) {
+    if (!std::getline(in, line)) return Status::IOError("CSV input is empty");
+    auto cells = Split(line, opt.delimiter);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      src_cols.push_back(i);
+      names.push_back("col" + std::to_string(i));
+    }
+    pending_rows.push_back(std::move(cells));
+  }
+
+  if (opt.sensitive_attribute.empty()) {
+    return Status::InvalidArgument("sensitive_attribute must be set");
+  }
+  size_t sa_index = names.size();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == opt.sensitive_attribute) {
+      sa_index = i;
+      break;
+    }
+  }
+  if (sa_index == names.size()) {
+    return Status::NotFound("sensitive attribute not among kept columns: " +
+                            opt.sensitive_attribute);
+  }
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back(Attribute{n, Dictionary()});
+  RECPRIV_ASSIGN_OR_RETURN(Schema schema,
+                           Schema::Make(std::move(attrs), sa_index));
+  auto schema_ptr = std::make_shared<Schema>(std::move(schema));
+  Table t(schema_ptr);
+
+  size_t line_no = opt.has_header ? 1 : 0;
+  std::vector<uint32_t> codes(names.size());
+  auto ingest = [&](const std::vector<std::string>& cells) -> Status {
+    ++line_no;
+    bool skip = false;
+    std::vector<std::string> kept(names.size());
+    for (size_t k = 0; k < src_cols.size(); ++k) {
+      if (src_cols[k] >= cells.size()) {
+        return Status::IOError("ragged CSV row at line " +
+                               std::to_string(line_no));
+      }
+      std::string cell = opt.trim_whitespace
+                             ? std::string(Trim(cells[src_cols[k]]))
+                             : cells[src_cols[k]];
+      if (!opt.missing_token.empty() && cell == opt.missing_token) {
+        skip = true;
+        break;
+      }
+      kept[k] = std::move(cell);
+    }
+    if (skip) return Status::OK();
+    for (size_t k = 0; k < kept.size(); ++k) {
+      codes[k] = schema_ptr->attribute(k).domain.GetOrAdd(kept[k]);
+    }
+    t.AppendRowUnchecked(codes);
+    return Status::OK();
+  };
+
+  for (auto& row : pending_rows) RECPRIV_RETURN_NOT_OK(ingest(row));
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) {
+      ++line_no;
+      continue;
+    }
+    RECPRIV_RETURN_NOT_OK(ingest(Split(line, opt.delimiter)));
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open CSV file: " + path);
+  return ParseCsv(in, options);
+}
+
+Result<Table> ReadCsvFromString(const std::string& text,
+                                const CsvReadOptions& options) {
+  std::istringstream in(text);
+  return ParseCsv(in, options);
+}
+
+Status WriteCsv(const Table& t, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open CSV file for write: " + path);
+  const Schema& schema = *t.schema();
+  for (size_t c = 0; c < schema.num_attributes(); ++c) {
+    if (c > 0) out << delimiter;
+    out << schema.attribute(c).name;
+  }
+  out << "\n";
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) out << delimiter;
+      out << schema.attribute(c).domain.value(t.at(r, c));
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("short write to CSV file: " + path);
+  return Status::OK();
+}
+
+}  // namespace recpriv::table

@@ -1,0 +1,42 @@
+// CSV import/export so that real data files (e.g. the UCI ADULT extract)
+// can be dropped in place of the synthetic generators.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace recpriv::table {
+
+/// Options controlling CSV import.
+struct CsvReadOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Column names to keep, in the order they should appear in the schema;
+  /// empty means keep all columns. Requires has_header when non-empty.
+  std::vector<std::string> keep_columns;
+  /// Name of the sensitive attribute among the kept columns.
+  std::string sensitive_attribute;
+  /// Rows containing this token in any kept cell are skipped (UCI ADULT
+  /// marks missing values with "?"). Empty disables the filter.
+  std::string missing_token = "?";
+  /// Trim ASCII whitespace around each cell.
+  bool trim_whitespace = true;
+};
+
+/// Reads a CSV file into a Table, building attribute dictionaries from the
+/// data. Fails on ragged rows, unknown kept columns, or a missing/unkept
+/// sensitive attribute.
+Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options);
+
+/// Parses CSV text (same semantics as ReadCsv; used by tests).
+Result<Table> ReadCsvFromString(const std::string& text,
+                                const CsvReadOptions& options);
+
+/// Writes `t` as CSV with a header row of attribute names.
+Status WriteCsv(const Table& t, const std::string& path, char delimiter = ',');
+
+}  // namespace recpriv::table

@@ -1,0 +1,47 @@
+#include "table/dictionary.h"
+
+namespace recpriv::table {
+
+Result<Dictionary> Dictionary::FromValues(
+    const std::vector<std::string>& values) {
+  Dictionary d;
+  for (const auto& v : values) {
+    if (d.Contains(v)) {
+      return Status::AlreadyExists("duplicate dictionary value: " + v);
+    }
+    d.GetOrAdd(v);
+  }
+  return d;
+}
+
+uint32_t Dictionary::GetOrAdd(std::string_view value) {
+  auto it = codes_.find(std::string(value));
+  if (it != codes_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.emplace_back(value);
+  codes_.emplace(values_.back(), code);
+  return code;
+}
+
+Result<uint32_t> Dictionary::GetCode(std::string_view value) const {
+  auto it = codes_.find(std::string(value));
+  if (it == codes_.end()) {
+    return Status::NotFound("dictionary value not found: " +
+                            std::string(value));
+  }
+  return it->second;
+}
+
+bool Dictionary::Contains(std::string_view value) const {
+  return codes_.count(std::string(value)) > 0;
+}
+
+Result<std::string> Dictionary::GetValue(uint32_t code) const {
+  if (code >= values_.size()) {
+    return Status::OutOfRange("dictionary code out of range: " +
+                              std::to_string(code));
+  }
+  return values_[code];
+}
+
+}  // namespace recpriv::table

@@ -1,0 +1,51 @@
+// Dictionary encoding for categorical attribute domains.
+//
+// Every attribute in recpriv is categorical (the paper's model is a table of
+// discrete public attributes NA plus one discrete sensitive attribute SA).
+// A Dictionary maps domain strings <-> dense uint32 codes; tables store
+// codes only.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace recpriv::table {
+
+/// Bidirectional string <-> code mapping with insertion-order codes.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds a dictionary from `values` (must be distinct).
+  static Result<Dictionary> FromValues(const std::vector<std::string>& values);
+
+  /// Returns the code of `value`, inserting it if absent.
+  uint32_t GetOrAdd(std::string_view value);
+
+  /// Returns the code of `value` or NotFound.
+  Result<uint32_t> GetCode(std::string_view value) const;
+
+  /// True if `value` is present.
+  bool Contains(std::string_view value) const;
+
+  /// Returns the string for `code`; OutOfRange if code >= size().
+  Result<std::string> GetValue(uint32_t code) const;
+
+  /// Unchecked accessor for hot paths (code must be < size()).
+  const std::string& value(uint32_t code) const { return values_[code]; }
+
+  size_t size() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> codes_;
+};
+
+}  // namespace recpriv::table

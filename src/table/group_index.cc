@@ -1,0 +1,157 @@
+#include "table/group_index.h"
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace recpriv::table {
+
+double PersonalGroup::MaxFrequency() const {
+  if (rows.empty()) return 0.0;
+  uint64_t max_count = 0;
+  for (uint64_t c : sa_counts) max_count = std::max(max_count, c);
+  return static_cast<double>(max_count) / static_cast<double>(rows.size());
+}
+
+GroupIndex GroupIndex::Build(const Table& t) {
+  GroupIndex idx;
+  idx.schema_ = t.schema();
+  idx.public_idx_ = t.schema()->public_indices();
+  idx.num_records_ = t.num_rows();
+
+  // Sort row ids by the NA columns (paper: sort by NA then SA; the SA
+  // ordering is irrelevant for grouping, we histogram SA per run instead).
+  std::vector<size_t> order(t.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  const auto& pub = idx.public_idx_;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t attr : pub) {
+      uint32_t va = t.at(a, attr);
+      uint32_t vb = t.at(b, attr);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+
+  const size_t sa_col = t.schema()->sensitive_index();
+  const size_t m = t.schema()->sa_domain_size();
+  auto same_key = [&](size_t a, size_t b) {
+    for (size_t attr : pub) {
+      if (t.at(a, attr) != t.at(b, attr)) return false;
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i;
+    while (j < order.size() && same_key(order[i], order[j])) ++j;
+    PersonalGroup g;
+    g.na_codes.reserve(pub.size());
+    for (size_t attr : pub) g.na_codes.push_back(t.at(order[i], attr));
+    g.sa_counts.assign(m, 0);
+    g.rows.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      g.rows.push_back(order[k]);
+      uint32_t sa = t.at(order[k], sa_col);
+      RECPRIV_DCHECK(sa < m);
+      ++g.sa_counts[sa];
+    }
+    idx.groups_.push_back(std::move(g));
+    i = j;
+  }
+  return idx;
+}
+
+double GroupIndex::AverageGroupSize() const {
+  if (groups_.empty()) return 0.0;
+  return static_cast<double>(num_records_) /
+         static_cast<double>(groups_.size());
+}
+
+std::vector<size_t> GroupIndex::MatchingGroups(const Predicate& pred) const {
+  RECPRIV_CHECK(pred.num_attributes() == schema_->num_attributes())
+      << "predicate arity mismatch";
+  std::vector<size_t> out;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    bool match = true;
+    for (size_t k = 0; k < public_idx_.size(); ++k) {
+      size_t attr = public_idx_[k];
+      if (pred.is_bound(attr) &&
+          pred.code(attr) != groups_[gi].na_codes[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(gi);
+  }
+  return out;
+}
+
+GroupPostingIndex::GroupPostingIndex(const GroupIndex& index)
+    : index_(&index) {
+  const auto& pub = index.public_indices();
+  postings_.resize(pub.size());
+  for (size_t k = 0; k < pub.size(); ++k) {
+    postings_[k].resize(
+        index.schema()->attribute(pub[k]).domain.size());
+  }
+  for (size_t gi = 0; gi < index.groups().size(); ++gi) {
+    const auto& g = index.groups()[gi];
+    for (size_t k = 0; k < pub.size(); ++k) {
+      postings_[k][g.na_codes[k]].push_back(static_cast<uint32_t>(gi));
+    }
+  }
+}
+
+std::vector<uint32_t> GroupPostingIndex::MatchingGroups(
+    const Predicate& pred) const {
+  const auto& pub = index_->public_indices();
+  // Collect the posting lists of the bound conditions, smallest first.
+  std::vector<const std::vector<uint32_t>*> lists;
+  for (size_t k = 0; k < pub.size(); ++k) {
+    if (pred.is_bound(pub[k])) {
+      uint32_t code = pred.code(pub[k]);
+      if (code >= postings_[k].size()) return {};
+      lists.push_back(&postings_[k][code]);
+    }
+  }
+  if (lists.empty()) {
+    std::vector<uint32_t> all(index_->num_groups());
+    for (size_t gi = 0; gi < all.size(); ++gi) {
+      all[gi] = static_cast<uint32_t>(gi);
+    }
+    return all;
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint32_t> result = *lists[0];
+  for (size_t li = 1; li < lists.size() && !result.empty(); ++li) {
+    std::vector<uint32_t> next;
+    next.reserve(result.size());
+    std::set_intersection(result.begin(), result.end(), lists[li]->begin(),
+                          lists[li]->end(), std::back_inserter(next));
+    result = std::move(next);
+  }
+  return result;
+}
+
+uint64_t GroupPostingIndex::CountAnswer(const Predicate& pred,
+                                        uint32_t sa) const {
+  uint64_t ans = 0;
+  for (uint32_t gi : MatchingGroups(pred)) {
+    ans += index_->groups()[gi].sa_counts[sa];
+  }
+  return ans;
+}
+
+Result<size_t> GroupIndex::FindGroup(
+    const std::vector<uint32_t>& na_codes) const {
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    if (groups_[gi].na_codes == na_codes) return gi;
+  }
+  return Status::NotFound("no personal group with the given NA key");
+}
+
+}  // namespace recpriv::table

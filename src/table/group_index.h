@@ -1,0 +1,98 @@
+// Personal-group index (paper §3.2, §5 preprocessing).
+//
+// A *personal group* D(x1,...,xn) is the set of records agreeing on every
+// public attribute. The paper's SPS algorithm sorts D by NA then SA to form
+// all personal groups with per-SA-value frequencies; this index is exactly
+// that sorted pass, materialized. It also serves aggregate groups: a
+// predicate with wildcards matches a union of personal groups, and SA
+// histograms add up.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/predicate.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace recpriv::table {
+
+/// One personal group: its NA key, its rows, and its SA histogram.
+struct PersonalGroup {
+  /// Codes of the public attributes, in schema public-index order.
+  std::vector<uint32_t> na_codes;
+  /// Row indices of the group's records in the indexed table.
+  std::vector<size_t> rows;
+  /// Count of each SA value among the group's records (length m).
+  std::vector<uint64_t> sa_counts;
+
+  uint64_t size() const { return rows.size(); }
+
+  /// Frequency (fraction) of SA value `sa` in the group.
+  double Frequency(size_t sa) const {
+    return rows.empty() ? 0.0
+                        : static_cast<double>(sa_counts[sa]) /
+                              static_cast<double>(rows.size());
+  }
+
+  /// Max over SA values of Frequency — the `f` of Eq. (10).
+  double MaxFrequency() const;
+};
+
+/// Sort-based index of all personal groups of a table.
+class GroupIndex {
+ public:
+  /// Builds the index with one O(|D| log |D|) sort pass (paper §5).
+  static GroupIndex Build(const Table& t);
+
+  const std::vector<PersonalGroup>& groups() const { return groups_; }
+  size_t num_groups() const { return groups_.size(); }
+  size_t num_records() const { return num_records_; }
+  /// |D| / |G| as reported in Tables 4-5.
+  double AverageGroupSize() const;
+
+  /// Group ids whose NA key satisfies the NA conditions of `pred`
+  /// (SA condition, if any, is ignored here — it selects histogram bins).
+  std::vector<size_t> MatchingGroups(const Predicate& pred) const;
+
+  /// Group with exactly this NA key (public-index order), or NotFound.
+  Result<size_t> FindGroup(const std::vector<uint32_t>& na_codes) const;
+
+  const SchemaPtr& schema() const { return schema_; }
+  /// Attribute indices (schema order) of the public attributes.
+  const std::vector<size_t>& public_indices() const { return public_idx_; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<size_t> public_idx_;
+  std::vector<PersonalGroup> groups_;
+  size_t num_records_ = 0;
+};
+
+/// Inverted index over a GroupIndex: for each (public attribute, value),
+/// the sorted list of group ids carrying that value. Speeds up group
+/// matching for low-dimensionality predicates from O(|G|) to the size of
+/// the smallest posting list (used by query-pool generation, where millions
+/// of candidate selectivity checks are made).
+class GroupPostingIndex {
+ public:
+  explicit GroupPostingIndex(const GroupIndex& index);
+
+  /// Same contract as GroupIndex::MatchingGroups, computed by posting-list
+  /// intersection. An unbound predicate returns all group ids.
+  std::vector<uint32_t> MatchingGroups(const Predicate& pred) const;
+
+  /// Sum of sa_counts[sa] over matching groups (a count-query answer),
+  /// without materializing the match list.
+  uint64_t CountAnswer(const Predicate& pred, uint32_t sa) const;
+
+ private:
+  const GroupIndex* index_;
+  /// postings_[k][v] = group ids with value v on the k-th public attribute.
+  std::vector<std::vector<std::vector<uint32_t>>> postings_;
+};
+
+}  // namespace recpriv::table

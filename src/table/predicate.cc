@@ -1,0 +1,60 @@
+#include "table/predicate.h"
+
+namespace recpriv::table {
+
+Result<Predicate> Predicate::FromBindings(
+    const Schema& schema,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  Predicate p(schema.num_attributes());
+  for (const auto& [name, value] : bindings) {
+    RECPRIV_ASSIGN_OR_RETURN(size_t attr, schema.IndexOf(name));
+    RECPRIV_ASSIGN_OR_RETURN(uint32_t code,
+                             schema.attribute(attr).domain.GetCode(value));
+    p.Bind(attr, code);
+  }
+  return p;
+}
+
+size_t Predicate::num_bound() const {
+  size_t n = 0;
+  for (const auto& c : conditions_) n += c.has_value();
+  return n;
+}
+
+bool Predicate::Matches(const Table& t, size_t row) const {
+  for (size_t a = 0; a < conditions_.size(); ++a) {
+    if (conditions_[a] && t.at(row, a) != *conditions_[a]) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> Predicate::MatchingRows(const Table& t) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (Matches(t, r)) out.push_back(r);
+  }
+  return out;
+}
+
+uint64_t Predicate::CountMatches(const Table& t) const {
+  uint64_t n = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) n += Matches(t, r);
+  return n;
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t a = 0; a < conditions_.size(); ++a) {
+    if (!out.empty()) out += " AND ";
+    out += schema.attribute(a).name;
+    out += "=";
+    if (conditions_[a]) {
+      out += schema.attribute(a).domain.GetValue(*conditions_[a]).ValueOr("?");
+    } else {
+      out += "*";
+    }
+  }
+  return out;
+}
+
+}  // namespace recpriv::table

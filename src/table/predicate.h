@@ -1,0 +1,59 @@
+// Conjunctive equality predicates with wildcards over table attributes —
+// the D(x1, ..., xn) notation of paper §3.2 and the WHERE clause of the
+// count queries in §6.1 (Eq. 11).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace recpriv::table {
+
+/// A conjunction of per-attribute equality conditions; absent entries are
+/// wildcards (the paper's `*`). May constrain SA as well (used by queries);
+/// personal/aggregate groups constrain NA only.
+class Predicate {
+ public:
+  /// All-wildcard predicate for `num_attributes` attributes.
+  explicit Predicate(size_t num_attributes)
+      : conditions_(num_attributes) {}
+
+  /// Builds from (attribute name, value string) pairs against `schema`.
+  static Result<Predicate> FromBindings(
+      const Schema& schema,
+      const std::vector<std::pair<std::string, std::string>>& bindings);
+
+  /// Sets attribute `attr` to require code `code`.
+  void Bind(size_t attr, uint32_t code) { conditions_[attr] = code; }
+  void Unbind(size_t attr) { conditions_[attr].reset(); }
+
+  bool is_bound(size_t attr) const { return conditions_[attr].has_value(); }
+  uint32_t code(size_t attr) const { return *conditions_[attr]; }
+  size_t num_attributes() const { return conditions_.size(); }
+
+  /// Number of non-wildcard conditions.
+  size_t num_bound() const;
+
+  /// True if `row` of `t` satisfies every bound condition.
+  bool Matches(const Table& t, size_t row) const;
+
+  /// Indices of all matching rows.
+  std::vector<size_t> MatchingRows(const Table& t) const;
+
+  /// Count of matching rows (no materialization).
+  uint64_t CountMatches(const Table& t) const;
+
+  /// Human-readable form, e.g. "Gender=male AND Job=*".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<std::optional<uint32_t>> conditions_;
+};
+
+}  // namespace recpriv::table

@@ -1,0 +1,43 @@
+#include "table/schema.h"
+
+namespace recpriv::table {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes,
+                            size_t sensitive_index) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  if (sensitive_index >= attributes.size()) {
+    return Status::OutOfRange("sensitive_index out of range");
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (attributes[i].name == attributes[j].name) {
+        return Status::AlreadyExists("duplicate attribute name: " +
+                                     attributes[i].name);
+      }
+    }
+  }
+  Schema s;
+  s.attributes_ = std::move(attributes);
+  s.sensitive_index_ = sensitive_index;
+  return s;
+}
+
+std::vector<size_t> Schema::public_indices() const {
+  std::vector<size_t> out;
+  out.reserve(num_public());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i != sensitive_index_) out.push_back(i);
+  }
+  return out;
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named " + std::string(name));
+}
+
+}  // namespace recpriv::table

@@ -1,0 +1,60 @@
+// Schema: ordered list of categorical attributes, one of which is the
+// sensitive attribute SA; all others are the public attributes NA
+// (paper §3.1).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/dictionary.h"
+
+namespace recpriv::table {
+
+/// One categorical attribute: a name plus its (growable) value dictionary.
+struct Attribute {
+  std::string name;
+  Dictionary domain;
+};
+
+/// Table schema with a designated sensitive attribute.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; `sensitive_index` selects SA among the attributes.
+  static Result<Schema> Make(std::vector<Attribute> attributes,
+                             size_t sensitive_index);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  /// Number of public (NA) attributes.
+  size_t num_public() const { return attributes_.size() - 1; }
+  size_t sensitive_index() const { return sensitive_index_; }
+
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  Attribute& attribute(size_t i) { return attributes_[i]; }
+  const Attribute& sensitive() const { return attributes_[sensitive_index_]; }
+  Attribute& sensitive() { return attributes_[sensitive_index_]; }
+
+  /// Domain size m of SA.
+  size_t sa_domain_size() const { return sensitive().domain.size(); }
+
+  /// Indices of the public attributes, in schema order.
+  std::vector<size_t> public_indices() const;
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  bool is_sensitive(size_t i) const { return i == sensitive_index_; }
+
+ private:
+  std::vector<Attribute> attributes_;
+  size_t sensitive_index_ = 0;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace recpriv::table

@@ -1,0 +1,74 @@
+#include "table/table.h"
+
+#include "common/logging.h"
+
+namespace recpriv::table {
+
+Table::Table(SchemaPtr schema) : schema_(std::move(schema)) {
+  RECPRIV_CHECK(schema_ != nullptr) << "Table requires a schema";
+  columns_.resize(schema_->num_attributes());
+}
+
+Status Table::AppendRow(std::span<const uint32_t> codes) {
+  if (codes.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity mismatch: got " + std::to_string(codes.size()) +
+        ", schema has " + std::to_string(columns_.size()));
+  }
+  for (size_t c = 0; c < codes.size(); ++c) {
+    if (codes[c] >= schema_->attribute(c).domain.size()) {
+      return Status::OutOfRange("code " + std::to_string(codes[c]) +
+                                " out of domain for attribute " +
+                                schema_->attribute(c).name);
+    }
+  }
+  AppendRowUnchecked(codes);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(std::span<const uint32_t> codes) {
+  RECPRIV_DCHECK(codes.size() == columns_.size());
+  for (size_t c = 0; c < codes.size(); ++c) columns_[c].push_back(codes[c]);
+  ++num_rows_;
+}
+
+Result<std::string> Table::ValueAt(size_t row, size_t col) const {
+  if (col >= columns_.size()) return Status::OutOfRange("column out of range");
+  if (row >= num_rows_) return Status::OutOfRange("row out of range");
+  return schema_->attribute(col).domain.GetValue(columns_[col][row]);
+}
+
+std::vector<uint64_t> Table::SaHistogram() const {
+  std::vector<uint64_t> hist(schema_->sa_domain_size(), 0);
+  const auto& sa = columns_[schema_->sensitive_index()];
+  for (uint32_t code : sa) {
+    RECPRIV_DCHECK(code < hist.size());
+    ++hist[code];
+  }
+  return hist;
+}
+
+Table Table::Select(std::span<const size_t> row_indices) const {
+  Table out(schema_);
+  out.Reserve(row_indices.size());
+  std::vector<uint32_t> row(columns_.size());
+  for (size_t r : row_indices) {
+    RECPRIV_DCHECK(r < num_rows_);
+    for (size_t c = 0; c < columns_.size(); ++c) row[c] = columns_[c][r];
+    out.AppendRowUnchecked(row);
+  }
+  return out;
+}
+
+Table Table::Clone() const {
+  Table out(schema_);
+  out.columns_ = columns_;
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+void Table::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+}  // namespace recpriv::table

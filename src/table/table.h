@@ -1,0 +1,68 @@
+// Columnar table of dictionary codes — the data substrate for D and D*.
+//
+// Storage is one uint32 vector per attribute. Rows are appended; cells are
+// the dictionary codes of the schema's attributes. The sensitive column is
+// mutable in place (perturbation rewrites SA codes only, never NA — paper
+// §3.1 keeps NA unchanged).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+
+namespace recpriv::table {
+
+/// In-memory categorical table over a shared schema.
+class Table {
+ public:
+  explicit Table(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row of codes (one per attribute, schema order). Codes must
+  /// be valid for their attribute domains.
+  Status AppendRow(std::span<const uint32_t> codes);
+
+  /// Unchecked append for hot paths (datagen); caller guarantees validity.
+  void AppendRowUnchecked(std::span<const uint32_t> codes);
+
+  /// Cell accessors.
+  uint32_t at(size_t row, size_t col) const { return columns_[col][row]; }
+  void set(size_t row, size_t col, uint32_t code) {
+    columns_[col][row] = code;
+  }
+
+  /// Whole-column view.
+  const std::vector<uint32_t>& column(size_t col) const {
+    return columns_[col];
+  }
+  std::vector<uint32_t>& mutable_column(size_t col) { return columns_[col]; }
+
+  /// Decoded cell (string); errors on out-of-range row/col.
+  Result<std::string> ValueAt(size_t row, size_t col) const;
+
+  /// Per-value counts of the SA column ("global distribution" of SA).
+  std::vector<uint64_t> SaHistogram() const;
+
+  /// Copies rows with the given indices into a new table (same schema).
+  Table Select(std::span<const size_t> row_indices) const;
+
+  /// Deep copy.
+  Table Clone() const;
+
+  void Reserve(size_t rows);
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::vector<uint32_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace recpriv::table

@@ -1,0 +1,149 @@
+// Tests for the Chernoff bounds (Theorem 3) and the Theorem 2 bound
+// conversion between observed-count error and MLE error.
+
+#include "stats/chernoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace recpriv::stats {
+namespace {
+
+TEST(ChernoffTest, ClosedForms) {
+  EXPECT_DOUBLE_EQ(ChernoffUpperTail(1.0, 30.0), std::exp(-30.0 / 3.0));
+  EXPECT_DOUBLE_EQ(ChernoffLowerTail(1.0, 30.0), std::exp(-15.0));
+  EXPECT_DOUBLE_EQ(ChernoffUpperTail(0.5, 100.0),
+                   std::exp(-0.25 * 100.0 / 2.5));
+}
+
+TEST(ChernoffTest, LowerTailIsTighterForOmegaUpToOne) {
+  for (double omega : {0.1, 0.3, 0.5, 0.9, 1.0}) {
+    for (double mu : {1.0, 10.0, 500.0}) {
+      EXPECT_LE(ChernoffLowerTail(omega, mu), ChernoffUpperTail(omega, mu));
+    }
+  }
+}
+
+TEST(ChernoffTest, DecreasingInMuAndOmega) {
+  EXPECT_GT(ChernoffUpperTail(0.5, 10.0), ChernoffUpperTail(0.5, 100.0));
+  EXPECT_GT(ChernoffUpperTail(0.2, 50.0), ChernoffUpperTail(0.8, 50.0));
+  EXPECT_GT(ChernoffLowerTail(0.2, 50.0), ChernoffLowerTail(0.8, 50.0));
+}
+
+TEST(ChernoffTest, BoundsActuallyHoldForBinomial) {
+  // Empirical check that the bound is a true upper bound for a Binomial
+  // (a sum of i.i.d. Poisson trials).
+  Rng rng(42);
+  const uint64_t n = 400;
+  const double p = 0.25;
+  const double mu = n * p;
+  const double omega = 0.3;
+  const int reps = 20000;
+  int upper_exceed = 0, lower_exceed = 0;
+  for (int i = 0; i < reps; ++i) {
+    double x = double(SampleBinomial(rng, n, p));
+    upper_exceed += ((x - mu) / mu > omega);
+    lower_exceed += ((x - mu) / mu < -omega);
+  }
+  EXPECT_LT(upper_exceed / double(reps), ChernoffUpperTail(omega, mu));
+  EXPECT_LT(lower_exceed / double(reps), ChernoffLowerTail(omega, mu));
+}
+
+GroupBoundParams MakeParams(double size, double f, double p, double m) {
+  GroupBoundParams g;
+  g.group_size = size;
+  g.frequency = f;
+  g.retention = p;
+  g.domain_size = m;
+  return g;
+}
+
+TEST(BoundConversionTest, ExpectedObservedCountMatchesLemma2) {
+  // E[O*] = |S| (f p + (1-p)/m).
+  auto g = MakeParams(1000, 0.4, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(ExpectedObservedCount(g), 1000 * (0.4 * 0.5 + 0.05));
+}
+
+TEST(BoundConversionTest, OmegaLambdaRoundTrip) {
+  auto g = MakeParams(1000, 0.4, 0.5, 10.0);
+  for (double lambda : {0.05, 0.1, 0.3, 0.5, 1.0}) {
+    EXPECT_NEAR(LambdaForOmega(g, OmegaForLambda(g, lambda)), lambda, 1e-12);
+  }
+}
+
+TEST(BoundConversionTest, OmegaIndependentOfGroupSize) {
+  auto g1 = MakeParams(10, 0.4, 0.5, 10.0);
+  auto g2 = MakeParams(100000, 0.4, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(OmegaForLambda(g1, 0.3), OmegaForLambda(g2, 0.3));
+}
+
+TEST(BoundConversionTest, MaxLambdaMapsToOmegaOne) {
+  for (double f : {0.1, 0.5, 0.9}) {
+    for (double p : {0.3, 0.5, 0.7}) {
+      for (double m : {2.0, 10.0, 50.0}) {
+        auto g = MakeParams(500, f, p, m);
+        EXPECT_NEAR(OmegaForLambda(g, MaxLambdaForLowerTail(g)), 1.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(BoundConversionTest, MleBoundsAreChernoffAtConvertedOmega) {
+  auto g = MakeParams(2000, 0.25, 0.5, 5.0);
+  const double lambda = 0.3;
+  const double omega = OmegaForLambda(g, lambda);
+  const double mu = ExpectedObservedCount(g);
+  EXPECT_DOUBLE_EQ(MleUpperTailBound(g, lambda), ChernoffUpperTail(omega, mu));
+  EXPECT_DOUBLE_EQ(MleLowerTailBound(g, lambda), ChernoffLowerTail(omega, mu));
+}
+
+TEST(BoundConversionTest, BestBoundIsMin) {
+  auto g = MakeParams(2000, 0.25, 0.5, 5.0);
+  EXPECT_DOUBLE_EQ(MleBestTailBound(g, 0.3),
+                   std::min(MleUpperTailBound(g, 0.3),
+                            MleLowerTailBound(g, 0.3)));
+}
+
+TEST(BoundConversionTest, BestBoundFallsBackToUpperBeyondOmegaOne) {
+  // Large lambda pushes omega > 1; only the upper tail applies.
+  auto g = MakeParams(2000, 0.9, 0.9, 2.0);
+  const double big_lambda = 2.0 * MaxLambdaForLowerTail(g);
+  EXPECT_GT(OmegaForLambda(g, big_lambda), 1.0);
+  EXPECT_DOUBLE_EQ(MleBestTailBound(g, big_lambda),
+                   MleUpperTailBound(g, big_lambda));
+}
+
+TEST(BoundConversionTest, SmallerGroupsGiveLargerBounds) {
+  // Reducing |S| increases the bound exponentially — the lever the SPS
+  // algorithm uses (paper §4.2 discussion).
+  auto big = MakeParams(5000, 0.5, 0.5, 2.0);
+  auto small = MakeParams(50, 0.5, 0.5, 2.0);
+  EXPECT_LT(MleBestTailBound(big, 0.3), MleBestTailBound(small, 0.3));
+}
+
+/// Empirical: the converted bound really bounds the MLE tail probability.
+TEST(BoundConversionTest, MleTailBoundHoldsEmpirically) {
+  Rng rng(7);
+  const uint64_t size = 500;
+  const double f = 0.3, p = 0.5, m = 4.0;
+  auto g = MakeParams(double(size), f, p, m);
+  const double lambda = 0.4;
+  const uint64_t true_count = uint64_t(f * size);
+  const int reps = 20000;
+  int exceed = 0;
+  for (int i = 0; i < reps; ++i) {
+    // Simulate O*: retained + uniform noise from both sources.
+    uint64_t retained = SampleBinomial(rng, true_count, p + (1 - p) / m);
+    uint64_t noise = SampleBinomial(rng, size - true_count, (1 - p) / m);
+    double observed = double(retained + noise);
+    double f_prime = (observed / size - (1 - p) / m) / p;
+    exceed += ((f_prime - f) / f > lambda);
+  }
+  EXPECT_LT(exceed / double(reps), MleUpperTailBound(g, lambda));
+}
+
+}  // namespace
+}  // namespace recpriv::stats

@@ -1,0 +1,112 @@
+// Tests for the Eq. (4) two-sample binned chi-squared test.
+
+#include "stats/chi_squared.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace recpriv::stats {
+namespace {
+
+TEST(ChiSquaredTest, IdenticalHistogramsDoNotReject) {
+  std::vector<uint64_t> a{500, 300, 200};
+  auto r = TwoSampleBinnedChiSquared(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.0, 1e-9);
+  EXPECT_FALSE(r->reject_null);
+  EXPECT_EQ(r->df, 3.0);
+}
+
+TEST(ChiSquaredTest, ProportionalHistogramsDoNotReject) {
+  // Same distribution, different totals: statistic is exactly zero.
+  std::vector<uint64_t> a{500, 300, 200};
+  std::vector<uint64_t> b{50, 30, 20};
+  auto r = TwoSampleBinnedChiSquared(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.0, 1e-9);
+  EXPECT_FALSE(r->reject_null);
+}
+
+TEST(ChiSquaredTest, VeryDifferentHistogramsReject) {
+  std::vector<uint64_t> a{900, 100};
+  std::vector<uint64_t> b{100, 900};
+  auto r = TwoSampleBinnedChiSquared(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reject_null);
+  EXPECT_GT(r->statistic, r->critical_value);
+  EXPECT_LT(r->p_value, 0.001);
+}
+
+TEST(ChiSquaredTest, EmptyBinsAreSkipped) {
+  std::vector<uint64_t> a{500, 0, 500};
+  std::vector<uint64_t> b{480, 0, 520};
+  auto r = TwoSampleBinnedChiSquared(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reject_null);
+}
+
+TEST(ChiSquaredTest, SmallSamplesLackPower) {
+  // n = 12 vs 10 with a moderate difference: cannot reject at 0.05.
+  std::vector<uint64_t> a{8, 4};
+  std::vector<uint64_t> b{4, 6};
+  auto r = TwoSampleBinnedChiSquared(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reject_null);
+}
+
+TEST(ChiSquaredTest, SignificanceControlsThreshold) {
+  // A borderline pair: rejected at a loose significance, kept at a strict
+  // one.
+  std::vector<uint64_t> a{520, 480};
+  std::vector<uint64_t> b{455, 545};
+  auto strict = TwoSampleBinnedChiSquared(a, b, 0.001);
+  auto loose = TwoSampleBinnedChiSquared(a, b, 0.2);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(strict->critical_value, loose->critical_value);
+  EXPECT_TRUE(loose->reject_null);
+  EXPECT_FALSE(strict->reject_null);
+}
+
+TEST(ChiSquaredTest, InvalidInputs) {
+  std::vector<uint64_t> a{1, 2};
+  std::vector<uint64_t> b{1, 2, 3};
+  EXPECT_FALSE(TwoSampleBinnedChiSquared(a, b).ok());
+  EXPECT_FALSE(TwoSampleBinnedChiSquared({}, {}).ok());
+  EXPECT_FALSE(TwoSampleBinnedChiSquared({0, 0}, {1, 1}).ok());
+  EXPECT_FALSE(TwoSampleBinnedChiSquared(a, a, 0.0).ok());
+  EXPECT_FALSE(TwoSampleBinnedChiSquared(a, a, 1.0).ok());
+}
+
+TEST(ChiSquaredTest, FalsePositiveRateIsNearSignificance) {
+  // Draw many same-distribution pairs; the rejection rate should be below
+  // ~ the significance level (conservative because df is set to m while
+  // the two-bin statistic has fewer effective degrees of freedom).
+  Rng rng(123);
+  const double p = 0.3;
+  const int pairs = 400;
+  int rejections = 0;
+  for (int i = 0; i < pairs; ++i) {
+    std::vector<uint64_t> a(2, 0), b(2, 0);
+    uint64_t heads_a = SampleBinomial(rng, 1000, p);
+    uint64_t heads_b = SampleBinomial(rng, 800, p);
+    a = {heads_a, 1000 - heads_a};
+    b = {heads_b, 800 - heads_b};
+    auto r = TwoSampleBinnedChiSquared(a, b);
+    ASSERT_TRUE(r.ok());
+    rejections += r->reject_null;
+  }
+  EXPECT_LT(rejections / double(pairs), 0.08);
+}
+
+TEST(SameImpactTest, WrapsDecision) {
+  std::vector<uint64_t> a{900, 100};
+  std::vector<uint64_t> b{880, 120};
+  std::vector<uint64_t> c{100, 900};
+  EXPECT_TRUE(*SameImpactOnSA(a, b));
+  EXPECT_FALSE(*SameImpactOnSA(a, c));
+}
+
+}  // namespace
+}  // namespace recpriv::stats

@@ -1,0 +1,130 @@
+// Tests for CSV import/export.
+
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace recpriv::table {
+namespace {
+
+CsvReadOptions BasicOptions() {
+  CsvReadOptions opt;
+  opt.sensitive_attribute = "Disease";
+  return opt;
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  const std::string text =
+      "Gender,Job,Disease\n"
+      "male,eng,flu\n"
+      "female,law,hiv\n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->schema()->sensitive().name, "Disease");
+  EXPECT_EQ(*t->ValueAt(0, 0), "male");
+  EXPECT_EQ(*t->ValueAt(1, 2), "hiv");
+}
+
+TEST(CsvTest, TrimsWhitespace) {
+  const std::string text =
+      "Gender, Job ,Disease\n"
+      " male , eng , flu \n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t->ValueAt(0, 1), "eng");
+}
+
+TEST(CsvTest, SkipsRowsWithMissingToken) {
+  const std::string text =
+      "Gender,Job,Disease\n"
+      "male,?,flu\n"
+      "female,law,hiv\n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(*t->ValueAt(0, 0), "female");
+}
+
+TEST(CsvTest, KeepColumnsSelectsAndReorders) {
+  const std::string text =
+      "Age,Gender,Job,Disease\n"
+      "33,male,eng,flu\n";
+  CsvReadOptions opt = BasicOptions();
+  opt.keep_columns = {"Gender", "Disease"};
+  auto t = ReadCsvFromString(text, opt);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->schema()->attribute(0).name, "Gender");
+  EXPECT_EQ(t->schema()->sensitive_index(), 1u);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const std::string text =
+      "Gender,Job,Disease\n"
+      "\n"
+      "male,eng,flu\n"
+      "   \n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvTest, ErrorsOnRaggedRow) {
+  const std::string text =
+      "Gender,Job,Disease\n"
+      "male,eng\n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, ErrorsOnMissingSensitiveAttribute) {
+  const std::string text = "A,B\nx,y\n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, ErrorsOnUnknownKeepColumn) {
+  const std::string text = "A,Disease\nx,y\n";
+  CsvReadOptions opt = BasicOptions();
+  opt.keep_columns = {"Nope", "Disease"};
+  EXPECT_FALSE(ReadCsvFromString(text, opt).ok());
+}
+
+TEST(CsvTest, ErrorsOnEmptyInput) {
+  EXPECT_FALSE(ReadCsvFromString("", BasicOptions()).ok());
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string text =
+      "Gender,Job,Disease\n"
+      "male,eng,flu\n"
+      "female,law,hiv\n"
+      "female,eng,flu\n";
+  auto t = ReadCsvFromString(text, BasicOptions());
+  ASSERT_TRUE(t.ok());
+
+  const std::string path = ::testing::TempDir() + "/recpriv_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(*t, path).ok());
+  auto back = ReadCsv(path, BasicOptions());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), t->num_rows());
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      EXPECT_EQ(*back->ValueAt(r, c), *t->ValueAt(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv", BasicOptions()).ok());
+}
+
+}  // namespace
+}  // namespace recpriv::table

@@ -1,0 +1,64 @@
+// Tests for dictionary encoding.
+
+#include "table/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace recpriv::table {
+namespace {
+
+TEST(DictionaryTest, GetOrAddAssignsDenseCodes) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0u);
+  EXPECT_EQ(d.GetOrAdd("b"), 1u);
+  EXPECT_EQ(d.GetOrAdd("a"), 0u);  // idempotent
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, GetCodeAndValueRoundTrip) {
+  Dictionary d;
+  d.GetOrAdd("alpha");
+  d.GetOrAdd("beta");
+  EXPECT_EQ(*d.GetCode("beta"), 1u);
+  EXPECT_EQ(*d.GetValue(0), "alpha");
+  EXPECT_EQ(d.value(1), "beta");
+}
+
+TEST(DictionaryTest, MissingLookups) {
+  Dictionary d;
+  d.GetOrAdd("x");
+  EXPECT_FALSE(d.GetCode("y").ok());
+  EXPECT_EQ(d.GetCode("y").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(d.GetValue(5).ok());
+  EXPECT_EQ(d.GetValue(5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DictionaryTest, Contains) {
+  Dictionary d;
+  d.GetOrAdd("v");
+  EXPECT_TRUE(d.Contains("v"));
+  EXPECT_FALSE(d.Contains("w"));
+}
+
+TEST(DictionaryTest, FromValuesPreservesOrder) {
+  auto d = Dictionary::FromValues({"c", "a", "b"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d->GetCode("c"), 0u);
+  EXPECT_EQ(*d->GetCode("a"), 1u);
+  EXPECT_EQ(*d->GetCode("b"), 2u);
+}
+
+TEST(DictionaryTest, FromValuesRejectsDuplicates) {
+  auto d = Dictionary::FromValues({"x", "y", "x"});
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DictionaryTest, EmptyStringIsAValue) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd(""), 0u);
+  EXPECT_TRUE(d.Contains(""));
+}
+
+}  // namespace
+}  // namespace recpriv::table

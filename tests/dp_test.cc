@@ -1,0 +1,184 @@
+// Tests for the differential-privacy baseline: Laplace mechanism, noisy
+// count-query engine, and the Section-2 NIR ratio attack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dp/count_query_engine.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/nir_attack.h"
+#include "table/schema.h"
+
+namespace recpriv::dp {
+namespace {
+
+using recpriv::table::Attribute;
+using recpriv::table::Dictionary;
+using recpriv::table::Predicate;
+using recpriv::table::Schema;
+using recpriv::table::SchemaPtr;
+using recpriv::table::Table;
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  auto mech = LaplaceMechanism::Make(0.1, 2.0);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_DOUBLE_EQ(mech->scale(), 20.0);  // b = Delta/eps, the paper's b=20
+  EXPECT_DOUBLE_EQ(mech->variance(), 2.0 * 400.0);
+}
+
+TEST(LaplaceMechanismTest, FromScale) {
+  auto mech = LaplaceMechanism::FromScale(4.0);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_DOUBLE_EQ(mech->scale(), 4.0);
+}
+
+TEST(LaplaceMechanismTest, Validation) {
+  EXPECT_FALSE(LaplaceMechanism::Make(0.0, 2.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Make(0.1, 0.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::FromScale(-1.0).ok());
+}
+
+TEST(LaplaceMechanismTest, NoiseMomentsMatch) {
+  auto mech = *LaplaceMechanism::FromScale(5.0);
+  Rng rng(71);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double noise = mech.NoisyAnswer(0.0, rng);
+    sum += noise;
+    sum_sq += noise * noise;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.15);
+  EXPECT_NEAR(sum_sq / n, mech.variance(), 0.05 * mech.variance());
+}
+
+SchemaPtr AttackSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"NA", *Dictionary::FromValues({"t", "other"})});
+  attrs.push_back(Attribute{"SA", *Dictionary::FromValues({"sa", "not"})});
+  return std::make_shared<Schema>(*Schema::Make(std::move(attrs), 1));
+}
+
+/// x records match the target's NA, y of them have the sensitive value.
+Table AttackTable(uint64_t x, uint64_t y, uint64_t others) {
+  Table t(AttackSchema());
+  for (uint64_t i = 0; i < x; ++i) {
+    EXPECT_TRUE(t.AppendRow(std::vector<uint32_t>{0, i < y ? 0u : 1u}).ok());
+  }
+  for (uint64_t i = 0; i < others; ++i) {
+    EXPECT_TRUE(t.AppendRow(std::vector<uint32_t>{1, 1}).ok());
+  }
+  return t;
+}
+
+TEST(CountQueryEngineTest, TrueCountsAndBudget) {
+  Table t = AttackTable(501, 420, 1000);
+  auto mech = *LaplaceMechanism::Make(0.1, 2.0);
+  CountQueryEngine engine(&t, mech);
+
+  Predicate q1(2);
+  q1.Bind(0, 0);
+  Predicate q2 = q1;
+  q2.Bind(1, 0);
+  EXPECT_EQ(engine.TrueCount(q1), 501u);
+  EXPECT_EQ(engine.TrueCount(q2), 420u);
+
+  Rng rng(5);
+  engine.NoisyCount(q1, rng);
+  engine.NoisyCount(q2, rng);
+  EXPECT_EQ(engine.queries_answered(), 2u);
+  EXPECT_NEAR(engine.epsilon_spent(), 0.2, 1e-12);
+}
+
+TEST(CountQueryEngineTest, NoisyAnswerCentersOnTruth) {
+  Table t = AttackTable(500, 100, 0);
+  auto mech = *LaplaceMechanism::FromScale(4.0);
+  CountQueryEngine engine(&t, mech);
+  Predicate q(2);
+  q.Bind(0, 0);
+  Rng rng(9);
+  double sum = 0.0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) sum += engine.NoisyCount(q, rng);
+  EXPECT_NEAR(sum / reps, 500.0, 0.5);
+}
+
+TEST(RatioAttackTest, Example1Structure) {
+  // The paper's Example 1: ans1=501, ans2=420, Conf=0.8383. At eps=0.5
+  // (b=4) the attack recovers Conf accurately; at eps=0.01 (b=200) it is
+  // useless.
+  Table t = AttackTable(501, 420, 5000);
+  Predicate q1(2);
+  q1.Bind(0, 0);
+  Predicate q2 = q1;
+  q2.Bind(1, 0);
+
+  Rng rng(13);
+  auto strong = [&](double eps) {
+    auto mech = *LaplaceMechanism::Make(eps, 2.0);
+    CountQueryEngine engine(&t, mech);
+    return *RunRatioAttack(engine, q1, q2, 200, rng);
+  };
+  AttackReport low_privacy = strong(0.5);
+  AttackReport high_privacy = strong(0.01);
+
+  EXPECT_NEAR(low_privacy.true_confidence, 0.8383, 1e-3);
+  // Low privacy (small b): Conf' tracks Conf tightly.
+  EXPECT_NEAR(low_privacy.conf.mean, 0.8383, 0.02);
+  EXPECT_LT(low_privacy.rel_err_q1.mean, 0.03);
+  // High privacy (b=200): large spread.
+  EXPECT_GT(high_privacy.conf.standard_error,
+            10 * low_privacy.conf.standard_error);
+  EXPECT_GT(high_privacy.rel_err_q1.mean, 0.2);
+}
+
+TEST(RatioAttackTest, PredictionsFilledIn) {
+  Table t = AttackTable(400, 100, 0);
+  auto mech = *LaplaceMechanism::Make(0.1, 2.0);  // b = 20
+  CountQueryEngine engine(&t, mech);
+  Predicate q1(2);
+  q1.Bind(0, 0);
+  Predicate q2 = q1;
+  q2.Bind(1, 0);
+  Rng rng(17);
+  AttackReport r = *RunRatioAttack(engine, q1, q2, 10, rng);
+  EXPECT_DOUBLE_EQ(r.bias_bound, 2.0 * std::pow(20.0 / 400.0, 2));
+  EXPECT_DOUBLE_EQ(r.variance_bound, 4.0 * std::pow(20.0 / 400.0, 2));
+  EXPECT_NEAR(r.predicted.mean, 0.25 * (1 + 800.0 / 160000.0), 1e-9);
+  EXPECT_EQ(r.trials, 10u);
+}
+
+TEST(RatioAttackTest, ZeroSupportRejected) {
+  Table t = AttackTable(10, 5, 0);
+  auto mech = *LaplaceMechanism::Make(0.1, 2.0);
+  CountQueryEngine engine(&t, mech);
+  Predicate q1(2);
+  q1.Bind(0, 1);  // matches only "other" rows... none with SA=sa
+  Predicate empty(2);
+  empty.Bind(0, 1);
+  // Build a predicate with zero support: NA=other exists only if others>0.
+  Table t2 = AttackTable(10, 5, 0);
+  CountQueryEngine engine2(&t2, mech);
+  Rng rng(1);
+  EXPECT_FALSE(RunRatioAttack(engine2, q1, q1, 5, rng).ok());
+}
+
+TEST(RatioAttackTest, DisclosureConditionMatchesTrials) {
+  // b/x = 4/2000 << 1/20: the attack should recover Conf to within 1%.
+  Table t = AttackTable(2000, 1600, 0);
+  auto mech = *LaplaceMechanism::FromScale(4.0);
+  CountQueryEngine engine(&t, mech);
+  Predicate q1(2);
+  q1.Bind(0, 0);
+  Predicate q2 = q1;
+  q2.Bind(1, 0);
+  Rng rng(21);
+  AttackReport r = *RunRatioAttack(engine, q1, q2, 100, rng);
+  EXPECT_TRUE(recpriv::stats::DisclosureLikely(4.0, 2000.0));
+  EXPECT_NEAR(r.conf.mean, 0.8, 0.01);
+}
+
+}  // namespace
+}  // namespace recpriv::dp

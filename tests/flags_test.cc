@@ -1,0 +1,81 @@
+// Tests for the command-line flag parser.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace recpriv {
+namespace {
+
+FlagSet Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "tool");
+  return *FlagSet::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagSet fs = Parse({"--name=value", "--num=3.5"});
+  EXPECT_EQ(fs.GetString("name"), "value");
+  EXPECT_DOUBLE_EQ(*fs.GetDouble("num", 0.0), 3.5);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagSet fs = Parse({"--input", "file.csv", "--p", "0.5"});
+  EXPECT_EQ(fs.GetString("input"), "file.csv");
+  EXPECT_DOUBLE_EQ(*fs.GetDouble("p", 0.0), 0.5);
+}
+
+TEST(FlagsTest, BareBooleanAndNoPrefix) {
+  FlagSet fs = Parse({"--verbose", "--no-generalize"});
+  EXPECT_TRUE(*fs.GetBool("verbose", false));
+  EXPECT_FALSE(*fs.GetBool("generalize", true));
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  EXPECT_TRUE(*Parse({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(*Parse({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(*Parse({"--x=YES"}).GetBool("x", false));
+  EXPECT_FALSE(*Parse({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(*Parse({"--x=0"}).GetBool("x", true));
+  EXPECT_FALSE(Parse({"--x=maybe"}).GetBool("x", true).ok());
+}
+
+TEST(FlagsTest, Positional) {
+  FlagSet fs = Parse({"first", "--flag=v", "second"});
+  EXPECT_EQ(fs.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  FlagSet fs = Parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(fs.Has("a"));
+  EXPECT_EQ(fs.positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(FlagsTest, Fallbacks) {
+  FlagSet fs = Parse({});
+  EXPECT_EQ(fs.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(*fs.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(*fs.GetInt("missing", 7), 7);
+  EXPECT_TRUE(*fs.GetBool("missing", true));
+}
+
+TEST(FlagsTest, ParseErrors) {
+  FlagSet fs = Parse({"--num=abc", "--int=1.5"});
+  EXPECT_FALSE(fs.GetDouble("num", 0.0).ok());
+  EXPECT_FALSE(fs.GetInt("int", 0).ok());
+}
+
+TEST(FlagsTest, IntParsing) {
+  FlagSet fs = Parse({"--n=-42"});
+  EXPECT_EQ(*fs.GetInt("n", 0), -42);
+}
+
+TEST(FlagsTest, FlagNamesEnumerates) {
+  FlagSet fs = Parse({"--b=1", "--a=2"});
+  auto names = fs.FlagNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));  // map order
+}
+
+}  // namespace
+}  // namespace recpriv

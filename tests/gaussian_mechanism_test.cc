@@ -1,0 +1,74 @@
+// Tests for the Gaussian DP mechanism and the Corollary-1 claim that the
+// NIR ratio attack is noise-distribution agnostic.
+
+#include "dp/gaussian_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/ratio_estimator.h"
+
+namespace recpriv::dp {
+namespace {
+
+TEST(GaussianMechanismTest, SigmaCalibration) {
+  auto mech = GaussianMechanism::Make(1.0, 1e-5, 1.0);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_NEAR(mech->sigma(), std::sqrt(2.0 * std::log(1.25e5)), 1e-12);
+  // Halving epsilon doubles sigma.
+  auto half = GaussianMechanism::Make(0.5, 1e-5, 1.0);
+  EXPECT_NEAR(half->sigma(), 2.0 * mech->sigma(), 1e-12);
+}
+
+TEST(GaussianMechanismTest, Validation) {
+  EXPECT_FALSE(GaussianMechanism::Make(0.0, 1e-5, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Make(1.0, 0.0, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Make(1.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Make(1.0, 1e-5, 0.0).ok());
+  EXPECT_FALSE(GaussianMechanism::FromSigma(0.0).ok());
+}
+
+TEST(GaussianMechanismTest, NoiseMoments) {
+  auto mech = *GaussianMechanism::FromSigma(6.0);
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double noise = mech.NoisyAnswer(0.0, rng);
+    sum += noise;
+    sum_sq += noise * noise;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.12);
+  EXPECT_NEAR(sum_sq / n, 36.0, 1.0);
+}
+
+TEST(GaussianMechanismTest, Corollary1RatioAttackWorksForGaussianToo) {
+  // Lemma 1 / Corollary 1: any zero-mean fixed-variance noise lets Y/X
+  // approach y/x as x grows — the moments match the Taylor approximation.
+  auto mech = *GaussianMechanism::FromSigma(15.0);
+  Rng rng(23);
+  const double x = 1200.0, y = 900.0;
+  const int reps = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    sum += mech.NoisyAnswer(y, rng) / mech.NoisyAnswer(x, rng);
+  }
+  stats::RatioMoments predicted =
+      stats::ApproximateRatioMoments({x, y, mech.variance()});
+  EXPECT_NEAR(sum / reps, predicted.mean, 5e-4);
+}
+
+TEST(GaussianMechanismTest, DisclosureSharpensWithScale) {
+  // |E[Y/X] - y/x| ~ (y/x) V/x^2 shrinks as x grows at fixed sigma.
+  auto mech = *GaussianMechanism::FromSigma(20.0);
+  auto bias = [&](double x) {
+    return std::abs(
+        stats::ApproximateRatioMoments({x, 0.8 * x, mech.variance()}).bias);
+  };
+  EXPECT_GT(bias(100.0), bias(1000.0));
+  EXPECT_GT(bias(1000.0), bias(10000.0));
+}
+
+}  // namespace
+}  // namespace recpriv::dp

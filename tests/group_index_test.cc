@@ -1,0 +1,150 @@
+// Tests for the personal-group index and the posting-list index.
+
+#include "table/group_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace recpriv::table {
+namespace {
+
+SchemaPtr MakeTestSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(
+      Attribute{"Gender", *Dictionary::FromValues({"male", "female"})});
+  attrs.push_back(
+      Attribute{"Job", *Dictionary::FromValues({"eng", "law"})});
+  attrs.push_back(
+      Attribute{"Disease", *Dictionary::FromValues({"flu", "hiv", "bc"})});
+  return std::make_shared<Schema>(*Schema::Make(std::move(attrs), 2));
+}
+
+Table MakeTestTable() {
+  Table t(MakeTestSchema());
+  // (male, eng): flu, flu, hiv    (male, law): bc
+  // (female, eng): hiv, hiv       (female, law): flu, bc
+  const uint32_t rows[][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 1}, {0, 1, 2},
+                              {1, 0, 1}, {1, 0, 1}, {1, 1, 0}, {1, 1, 2}};
+  for (const auto& r : rows) {
+    EXPECT_TRUE(t.AppendRow(std::vector<uint32_t>{r[0], r[1], r[2]}).ok());
+  }
+  return t;
+}
+
+TEST(GroupIndexTest, BuildsAllPersonalGroups) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  EXPECT_EQ(idx.num_groups(), 4u);
+  EXPECT_EQ(idx.num_records(), 8u);
+  EXPECT_DOUBLE_EQ(idx.AverageGroupSize(), 2.0);
+
+  size_t gi = *idx.FindGroup({0, 0});  // male, eng
+  const PersonalGroup& g = idx.groups()[gi];
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.sa_counts, (std::vector<uint64_t>{2, 1, 0}));
+  EXPECT_NEAR(g.Frequency(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.MaxFrequency(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(GroupIndexTest, GroupRowsPointIntoTable) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  for (const auto& g : idx.groups()) {
+    for (size_t r : g.rows) {
+      EXPECT_EQ(t.at(r, 0), g.na_codes[0]);
+      EXPECT_EQ(t.at(r, 1), g.na_codes[1]);
+    }
+  }
+}
+
+TEST(GroupIndexTest, SaCountsSumToGroupSize) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  for (const auto& g : idx.groups()) {
+    uint64_t total = 0;
+    for (uint64_t c : g.sa_counts) total += c;
+    EXPECT_EQ(total, g.size());
+  }
+}
+
+TEST(GroupIndexTest, MatchingGroupsHonoursWildcards) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+
+  Predicate all(3);
+  EXPECT_EQ(idx.MatchingGroups(all).size(), 4u);
+
+  Predicate male(3);
+  male.Bind(0, 0);
+  EXPECT_EQ(idx.MatchingGroups(male).size(), 2u);
+
+  Predicate male_law(3);
+  male_law.Bind(0, 0);
+  male_law.Bind(1, 1);
+  auto matches = idx.MatchingGroups(male_law);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(idx.groups()[matches[0]].na_codes, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(GroupIndexTest, FindGroupMissing) {
+  Table t(MakeTestSchema());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 0, 0}).ok());
+  GroupIndex idx = GroupIndex::Build(t);
+  EXPECT_FALSE(idx.FindGroup({1, 1}).ok());
+}
+
+TEST(GroupIndexTest, EmptyTable) {
+  Table t(MakeTestSchema());
+  GroupIndex idx = GroupIndex::Build(t);
+  EXPECT_EQ(idx.num_groups(), 0u);
+  EXPECT_EQ(idx.AverageGroupSize(), 0.0);
+}
+
+TEST(GroupIndexTest, MaxFrequencyOfEmptyGroupIsZero) {
+  PersonalGroup g;
+  g.sa_counts = {0, 0};
+  EXPECT_EQ(g.MaxFrequency(), 0.0);
+  EXPECT_EQ(g.Frequency(0), 0.0);
+}
+
+TEST(GroupPostingIndexTest, AgreesWithLinearScan) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  GroupPostingIndex postings(idx);
+
+  for (int g = -1; g < 2; ++g) {
+    for (int j = -1; j < 2; ++j) {
+      Predicate p(3);
+      if (g >= 0) p.Bind(0, uint32_t(g));
+      if (j >= 0) p.Bind(1, uint32_t(j));
+      auto slow = idx.MatchingGroups(p);
+      auto fast = postings.MatchingGroups(p);
+      std::vector<size_t> fast_sz(fast.begin(), fast.end());
+      EXPECT_EQ(fast_sz, slow) << "g=" << g << " j=" << j;
+    }
+  }
+}
+
+TEST(GroupPostingIndexTest, CountAnswerSumsHistograms) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  GroupPostingIndex postings(idx);
+  Predicate eng(3);
+  eng.Bind(1, 0);  // Job = eng
+  // eng groups: (male,eng) flu=2, (female,eng) flu=0.
+  EXPECT_EQ(postings.CountAnswer(eng, 0), 2u);
+  EXPECT_EQ(postings.CountAnswer(eng, 1), 3u);  // hiv: 1 + 2
+}
+
+TEST(GroupPostingIndexTest, OutOfDomainCodeMatchesNothing) {
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  GroupPostingIndex postings(idx);
+  Predicate p(3);
+  p.Bind(0, 77);  // no such code
+  EXPECT_TRUE(postings.MatchingGroups(p).empty());
+}
+
+}  // namespace
+}  // namespace recpriv::table

@@ -1,0 +1,130 @@
+// Tests for the JSON model, writer, and parser.
+
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace recpriv {
+namespace {
+
+TEST(JsonTest, BuildAndAccess) {
+  JsonValue root = JsonValue::Object();
+  root.Set("name", JsonValue::String("recpriv"));
+  root.Set("p", JsonValue::Number(0.5));
+  root.Set("m", JsonValue::Int(50));
+  root.Set("ok", JsonValue::Bool(true));
+  root.Set("nothing", JsonValue::Null());
+  JsonValue& arr = root.Set("values", JsonValue::Array());
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Int(2));
+
+  EXPECT_EQ(*(*root.Get("name"))->AsString(), "recpriv");
+  EXPECT_DOUBLE_EQ(*(*root.Get("p"))->AsDouble(), 0.5);
+  EXPECT_EQ(*(*root.Get("m"))->AsInt(), 50);
+  EXPECT_TRUE(*(*root.Get("ok"))->AsBool());
+  EXPECT_TRUE((*root.Get("nothing"))->is_null());
+  EXPECT_EQ((*root.Get("values"))->size(), 2u);
+  EXPECT_EQ(*(*(*root.Get("values"))->At(1))->AsInt(), 2);
+  EXPECT_FALSE(root.Get("missing").ok());
+}
+
+TEST(JsonTest, TypeErrors) {
+  JsonValue s = JsonValue::String("x");
+  EXPECT_FALSE(s.AsBool().ok());
+  EXPECT_FALSE(s.AsDouble().ok());
+  JsonValue n = JsonValue::Number(1.5);
+  EXPECT_FALSE(n.AsInt().ok());  // non-integral
+  EXPECT_FALSE(n.AsString().ok());
+  EXPECT_FALSE(n.Get("k").ok());
+  EXPECT_FALSE(n.At(0).ok());
+}
+
+TEST(JsonTest, CompactSerialization) {
+  JsonValue root = JsonValue::Object();
+  root.Set("a", JsonValue::Int(1));
+  root.Set("b", JsonValue::String("x"));
+  EXPECT_EQ(root.ToString(), "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(JsonTest, StringEscaping) {
+  JsonValue v = JsonValue::String("quote\" slash\\ nl\n tab\t");
+  EXPECT_EQ(v.ToString(), "\"quote\\\" slash\\\\ nl\\n tab\\t\"");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE((*JsonValue::Parse("null")).is_null());
+  EXPECT_TRUE(*(*JsonValue::Parse("true")).AsBool());
+  EXPECT_FALSE(*(*JsonValue::Parse("false")).AsBool());
+  EXPECT_DOUBLE_EQ(*(*JsonValue::Parse("-3.25e2")).AsDouble(), -325.0);
+  EXPECT_EQ(*(*JsonValue::Parse("\"hi\"")).AsString(), "hi");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto v = JsonValue::Parse(
+      R"({"outer": {"list": [1, {"x": true}, "s"], "n": 7}})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  auto* outer = *v->Get("outer");
+  auto* list = *outer->Get("list");
+  EXPECT_EQ(list->size(), 3u);
+  EXPECT_TRUE(*(*(*list->At(1))->Get("x"))->AsBool());
+  EXPECT_EQ(*(*outer->Get("n"))->AsInt(), 7);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto v = JsonValue::Parse(R"("a\"b\\c\nA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->AsString(), "a\"b\\c\nA");
+}
+
+TEST(JsonTest, ParseUnicodeBmp) {
+  auto v = JsonValue::Parse(R"("é")");  // é
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->AsString(), "\xC3\xA9");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());          // trailing garbage
+  // Surrogate-pair \u escapes are unsupported (raw UTF-8 bytes are fine).
+  EXPECT_FALSE(JsonValue::Parse("\"\\uD834\\uDD1E\"").ok());
+  EXPECT_TRUE(JsonValue::Parse("\"\xF0\x9D\x84\x9E\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("1.2.3").ok());
+}
+
+TEST(JsonTest, RoundTripCompact) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"three",null,true],"obj":{"k":"v"}})";
+  auto v = JsonValue::Parse(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), doc);
+}
+
+TEST(JsonTest, RoundTripPretty) {
+  JsonValue root = JsonValue::Object();
+  root.Set("x", JsonValue::Int(1));
+  JsonValue& arr = root.Set("list", JsonValue::Array());
+  arr.Append(JsonValue::String("a"));
+  const std::string pretty = root.ToString(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto back = JsonValue::Parse(pretty);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToString(), root.ToString());
+}
+
+TEST(JsonTest, DeterministicKeyOrder) {
+  JsonValue a = JsonValue::Object();
+  a.Set("z", JsonValue::Int(1));
+  a.Set("a", JsonValue::Int(2));
+  JsonValue b = JsonValue::Object();
+  b.Set("a", JsonValue::Int(2));
+  b.Set("z", JsonValue::Int(1));
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace recpriv

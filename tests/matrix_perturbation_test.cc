@@ -1,0 +1,153 @@
+// Tests for the general matrix perturbation operator.
+
+#include "perturb/matrix_perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perturb/mle.h"
+#include "perturb/uniform_perturbation.h"
+
+namespace recpriv::perturb {
+namespace {
+
+Matrix BiasedMatrix() {
+  // A 3-value operator that retains asymmetrically (column-stochastic):
+  //   input 0 -> {0.7, 0.2, 0.1}, input 1 -> {0.1, 0.8, 0.1},
+  //   input 2 -> {0.25, 0.25, 0.5}.
+  Matrix p(3);
+  const double cols[3][3] = {
+      {0.7, 0.2, 0.1}, {0.1, 0.8, 0.1}, {0.25, 0.25, 0.5}};
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) p.at(j, i) = cols[i][j];
+  }
+  return p;
+}
+
+TEST(MatrixPerturbationTest, ValidationRejectsBadMatrices) {
+  Matrix not_stochastic(2, 0.3);  // columns sum to 0.6
+  EXPECT_FALSE(MatrixPerturbation::Make(not_stochastic).ok());
+
+  Matrix negative(2);
+  negative.at(0, 0) = 1.5;
+  negative.at(1, 0) = -0.5;
+  negative.at(0, 1) = 0.5;
+  negative.at(1, 1) = 0.5;
+  EXPECT_FALSE(MatrixPerturbation::Make(negative).ok());
+
+  Matrix singular(2, 0.5);  // both columns identical -> singular
+  EXPECT_FALSE(MatrixPerturbation::Make(singular).ok());
+
+  EXPECT_FALSE(MatrixPerturbation::Make(Matrix(1, 1.0)).ok());
+}
+
+TEST(MatrixPerturbationTest, UniformSpecialCaseMatchesEq3) {
+  auto mp = MatrixPerturbation::Uniform(4, 0.6);
+  ASSERT_TRUE(mp.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      const double expected = (i == j) ? 0.6 + 0.1 : 0.1;
+      EXPECT_NEAR(mp->matrix().at(j, i), expected, 1e-12);
+    }
+  }
+}
+
+TEST(MatrixPerturbationTest, PerturbValueFollowsColumn) {
+  auto mp = *MatrixPerturbation::Make(BiasedMatrix());
+  Rng rng(5);
+  std::vector<int> hist(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[mp.PerturbValue(1, rng)];
+  EXPECT_NEAR(hist[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(hist[1] / double(n), 0.8, 0.01);
+  EXPECT_NEAR(hist[2] / double(n), 0.1, 0.01);
+}
+
+TEST(MatrixPerturbationTest, PerturbCountsConservesTotal) {
+  auto mp = *MatrixPerturbation::Make(BiasedMatrix());
+  Rng rng(7);
+  std::vector<uint64_t> counts{500, 300, 200};
+  for (int i = 0; i < 100; ++i) {
+    auto observed = *mp.PerturbCounts(counts, rng);
+    uint64_t total = 0;
+    for (uint64_t c : observed) total += c;
+    EXPECT_EQ(total, 1000u);
+  }
+}
+
+TEST(MatrixPerturbationTest, PerturbCountsMeanMatchesExpectation) {
+  auto mp = *MatrixPerturbation::Make(BiasedMatrix());
+  Rng rng(9);
+  std::vector<uint64_t> counts{500, 300, 200};
+  std::vector<double> freq{0.5, 0.3, 0.2};
+  auto expected = mp.ExpectedObserved(freq, 1000);
+  const int reps = 4000;
+  std::vector<double> sums(3, 0.0);
+  for (int i = 0; i < reps; ++i) {
+    auto observed = *mp.PerturbCounts(counts, rng);
+    for (size_t j = 0; j < 3; ++j) sums[j] += double(observed[j]);
+  }
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(sums[j] / reps, expected[j], 0.02 * expected[j] + 1.0);
+  }
+}
+
+TEST(MatrixPerturbationTest, ReconstructionIsUnbiased) {
+  auto mp = *MatrixPerturbation::Make(BiasedMatrix());
+  Rng rng(11);
+  std::vector<uint64_t> counts{600, 250, 150};
+  const int reps = 4000;
+  std::vector<double> sums(3, 0.0);
+  for (int i = 0; i < reps; ++i) {
+    auto observed = *mp.PerturbCounts(counts, rng);
+    auto est = *mp.Reconstruct(observed, 1000);
+    for (size_t j = 0; j < 3; ++j) sums[j] += est[j];
+  }
+  EXPECT_NEAR(sums[0] / reps, 0.60, 0.01);
+  EXPECT_NEAR(sums[1] / reps, 0.25, 0.01);
+  EXPECT_NEAR(sums[2] / reps, 0.15, 0.01);
+}
+
+TEST(MatrixPerturbationTest, UniformReconstructionAgreesWithLemma2) {
+  auto mp = *MatrixPerturbation::Uniform(5, 0.4);
+  const UniformPerturbation up{0.4, 5};
+  std::vector<uint64_t> observed{30, 10, 25, 20, 15};
+  auto via_matrix = *mp.Reconstruct(observed, 100);
+  auto via_lemma = *MleFrequencies(up, observed, 100);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(via_matrix[i], via_lemma[i], 1e-10);
+  }
+}
+
+TEST(MatrixPerturbationTest, AmplificationGammaUniform) {
+  // gamma = (p + (1-p)/m) / ((1-p)/m) = 1 + pm/(1-p).
+  auto mp = *MatrixPerturbation::Uniform(10, 0.5);
+  EXPECT_NEAR(mp.AmplificationGamma(), 1.0 + 0.5 * 10 / 0.5, 1e-9);
+}
+
+TEST(MatrixPerturbationTest, AmplificationGammaInfiniteWithZeros) {
+  Matrix p(2);
+  p.at(0, 0) = 1.0;  // input 0 always maps to 0
+  p.at(1, 0) = 0.0;
+  p.at(0, 1) = 0.2;
+  p.at(1, 1) = 0.8;
+  auto mp = *MatrixPerturbation::Make(p);
+  EXPECT_TRUE(std::isinf(mp.AmplificationGamma()));
+}
+
+TEST(MatrixPerturbationTest, ZeroSubsetReconstruction) {
+  auto mp = *MatrixPerturbation::Uniform(3, 0.5);
+  auto est = *mp.Reconstruct({0, 0, 0}, 0);
+  EXPECT_EQ(est, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(MatrixPerturbationTest, ArityChecks) {
+  auto mp = *MatrixPerturbation::Uniform(3, 0.5);
+  Rng rng(1);
+  EXPECT_FALSE(mp.PerturbCounts({1, 2}, rng).ok());
+  EXPECT_FALSE(mp.Reconstruct({1, 2}, 3).ok());
+}
+
+}  // namespace
+}  // namespace recpriv::perturb

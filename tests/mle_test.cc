@@ -1,0 +1,123 @@
+// Tests for the MLE reconstruction (Theorem 1 / Lemma 2), including the
+// property-based unbiasedness sweep over the (p, m) grid.
+
+#include "perturb/mle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "perturb/uniform_perturbation.h"
+
+namespace recpriv::perturb {
+namespace {
+
+TEST(MleTest, ClosedFormLemma2) {
+  // F' = (O*/|S| - (1-p)/m) / p.
+  const UniformPerturbation up{0.5, 10};
+  EXPECT_DOUBLE_EQ(MleFrequency(up, 130, 1000),
+                   (0.13 - 0.05) / 0.5);
+  EXPECT_DOUBLE_EQ(MleCount(up, 130, 1000), 1000 * (0.13 - 0.05) / 0.5);
+}
+
+TEST(MleTest, PerfectRetentionLimit) {
+  // As p -> 1 the estimate approaches the observed frequency.
+  const UniformPerturbation up{0.999, 4};
+  EXPECT_NEAR(MleFrequency(up, 250, 1000), 0.25, 1e-3);
+}
+
+TEST(MleTest, EmptySubset) {
+  const UniformPerturbation up{0.5, 4};
+  EXPECT_EQ(MleFrequency(up, 0, 0), 0.0);
+  EXPECT_EQ(MleCount(up, 0, 0), 0.0);
+}
+
+TEST(MleTest, CanLeaveSimplex) {
+  // Small observed counts can reconstruct negative frequencies; the
+  // estimator is intentionally unclamped.
+  const UniformPerturbation up{0.5, 4};
+  EXPECT_LT(MleFrequency(up, 0, 100), 0.0);
+}
+
+TEST(MleTest, VectorAndMatrixFormsAgree) {
+  const UniformPerturbation up{0.35, 6};
+  std::vector<uint64_t> observed{10, 40, 25, 5, 15, 5};
+  auto direct = MleFrequencies(up, observed, 100);
+  auto viamat = MleFrequenciesViaMatrix(up, observed, 100);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(viamat.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR((*direct)[i], (*viamat)[i], 1e-10);
+  }
+}
+
+TEST(MleTest, FrequenciesSumToOne) {
+  // Because observed counts sum to |S|, the MLE frequencies sum to 1
+  // (Theorem 1's constraint is automatic under Lemma 2's form).
+  const UniformPerturbation up{0.45, 5};
+  std::vector<uint64_t> observed{13, 27, 31, 9, 20};
+  auto est = *MleFrequencies(up, observed, 100);
+  double total = 0.0;
+  for (double f : est) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MleTest, ArityValidation) {
+  const UniformPerturbation up{0.5, 3};
+  EXPECT_FALSE(MleFrequencies(up, {1, 2}, 3).ok());
+  EXPECT_FALSE(MleFrequenciesViaMatrix(up, {1, 2}, 3).ok());
+}
+
+struct UnbiasednessCase {
+  double p;
+  size_t m;
+  double f;  // true frequency of the probed value
+};
+
+class MleUnbiasednessTest : public ::testing::TestWithParam<UnbiasednessCase> {
+};
+
+/// Lemma 2(iii): E[F'] = f, checked by Monte-Carlo over the (p, m, f) grid.
+TEST_P(MleUnbiasednessTest, ExpectationIsTrueFrequency) {
+  const auto [p, m, f] = GetParam();
+  const UniformPerturbation up{p, m};
+  const uint64_t size = 1000;
+  const uint64_t target = uint64_t(f * size);
+  std::vector<uint64_t> counts(m, 0);
+  counts[0] = target;
+  // Spread the remainder over the other values.
+  uint64_t rest = size - target;
+  for (size_t i = 1; i < m && rest > 0; ++i) {
+    uint64_t take = rest / (m - i);
+    counts[i] = take;
+    rest -= take;
+  }
+  counts[m - 1] += rest;
+
+  Rng rng(uint64_t(p * 1000) + m * 7 + uint64_t(f * 100));
+  const int reps = 3000;
+  double sum = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    auto observed = *PerturbCounts(up, counts, rng);
+    sum += MleFrequency(up, observed[0], size);
+  }
+  const double mean = sum / reps;
+  // SE of the mean estimate: Var(F') ~ mu/(|S| p)^2 per run.
+  const double mu = size * (f * p + (1 - p) / m);
+  const double se = std::sqrt(mu) / (size * p) / std::sqrt(double(reps));
+  EXPECT_NEAR(mean, double(target) / size, 6 * se + 1e-3)
+      << "p=" << p << " m=" << m << " f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MleUnbiasednessTest,
+    ::testing::Values(
+        UnbiasednessCase{0.1, 2, 0.5}, UnbiasednessCase{0.1, 50, 0.02},
+        UnbiasednessCase{0.3, 2, 0.8}, UnbiasednessCase{0.3, 10, 0.3},
+        UnbiasednessCase{0.5, 2, 0.75}, UnbiasednessCase{0.5, 10, 0.1},
+        UnbiasednessCase{0.5, 50, 0.02}, UnbiasednessCase{0.7, 5, 0.4},
+        UnbiasednessCase{0.9, 2, 0.6}, UnbiasednessCase{0.9, 50, 0.1}));
+
+}  // namespace
+}  // namespace recpriv::perturb

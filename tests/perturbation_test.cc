@@ -1,0 +1,240 @@
+// Tests for the perturbation matrix (Eq. 3), the uniform perturbation
+// operator, and the record-level vs count-level path equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "perturb/perturbation_matrix.h"
+#include "perturb/uniform_perturbation.h"
+#include "table/schema.h"
+
+namespace recpriv::perturb {
+namespace {
+
+using recpriv::table::Attribute;
+using recpriv::table::Dictionary;
+using recpriv::table::Schema;
+using recpriv::table::SchemaPtr;
+using recpriv::table::Table;
+
+TEST(PerturbationMatrixTest, Eq3Entries) {
+  auto p = MakeUniformPerturbationMatrix(4, 0.6);
+  ASSERT_TRUE(p.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      const double expected = (i == j) ? 0.6 + 0.4 / 4.0 : 0.4 / 4.0;
+      EXPECT_DOUBLE_EQ(p->at(j, i), expected);
+    }
+  }
+}
+
+TEST(PerturbationMatrixTest, ColumnsSumToOne) {
+  auto p = MakeUniformPerturbationMatrix(7, 0.35);
+  ASSERT_TRUE(p.ok());
+  for (size_t i = 0; i < 7; ++i) {
+    double col = 0.0;
+    for (size_t j = 0; j < 7; ++j) col += p->at(j, i);
+    EXPECT_NEAR(col, 1.0, 1e-12);
+  }
+}
+
+TEST(PerturbationMatrixTest, ClosedFormInverseMatchesGaussJordan) {
+  for (size_t m : {2u, 5u, 10u, 50u}) {
+    for (double p : {0.1, 0.5, 0.9}) {
+      auto mat = MakeUniformPerturbationMatrix(m, p);
+      ASSERT_TRUE(mat.ok());
+      auto inv_numeric = mat->Inverse();
+      ASSERT_TRUE(inv_numeric.ok());
+      auto inv_closed = MakeUniformPerturbationInverse(m, p);
+      ASSERT_TRUE(inv_closed.ok());
+      EXPECT_LT(inv_numeric->MaxAbsDiff(*inv_closed), 1e-9)
+          << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(PerturbationMatrixTest, InverseTimesMatrixIsIdentity) {
+  auto mat = *MakeUniformPerturbationMatrix(5, 0.4);
+  auto inv = *MakeUniformPerturbationInverse(5, 0.4);
+  // Apply P then P^{-1} to a probe vector.
+  std::vector<double> probe{0.1, 0.2, 0.3, 0.15, 0.25};
+  auto round_trip = inv.Apply(mat.Apply(probe));
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_NEAR(round_trip[i], probe[i], 1e-12);
+  }
+}
+
+TEST(PerturbationMatrixTest, SingularMatrixRejected) {
+  Matrix singular(2, 1.0);  // all ones
+  EXPECT_FALSE(singular.Inverse().ok());
+}
+
+TEST(PerturbationMatrixTest, ParameterValidation) {
+  EXPECT_FALSE(MakeUniformPerturbationMatrix(1, 0.5).ok());
+  EXPECT_FALSE(MakeUniformPerturbationMatrix(3, 0.0).ok());
+  EXPECT_FALSE(MakeUniformPerturbationMatrix(3, 1.0).ok());
+  EXPECT_FALSE(MakeUniformPerturbationInverse(1, 0.5).ok());
+}
+
+TEST(UniformPerturbationTest, Validation) {
+  EXPECT_TRUE((UniformPerturbation{0.5, 10}).Validate().ok());
+  EXPECT_FALSE((UniformPerturbation{0.0, 10}).Validate().ok());
+  EXPECT_FALSE((UniformPerturbation{1.0, 10}).Validate().ok());
+  EXPECT_FALSE((UniformPerturbation{0.5, 1}).Validate().ok());
+}
+
+TEST(UniformPerturbationTest, RetentionRateMatchesEq3) {
+  // Pr[output == input] = p + (1-p)/m.
+  Rng rng(17);
+  const UniformPerturbation up{0.5, 4};
+  const int n = 200000;
+  int kept = 0;
+  for (int i = 0; i < n; ++i) kept += (PerturbValue(up, 2, rng) == 2);
+  const double expected = 0.5 + 0.5 / 4.0;
+  EXPECT_NEAR(kept / double(n), expected, 0.005);
+}
+
+TEST(UniformPerturbationTest, OffDiagonalRateMatchesEq3) {
+  Rng rng(18);
+  const UniformPerturbation up{0.3, 5};
+  const int n = 200000;
+  std::vector<int> hist(5, 0);
+  for (int i = 0; i < n; ++i) ++hist[PerturbValue(up, 0, rng)];
+  for (size_t j = 1; j < 5; ++j) {
+    EXPECT_NEAR(hist[j] / double(n), 0.7 / 5.0, 0.005);
+  }
+}
+
+TEST(UniformMultinomialTest, ConservesTotalAndIsUniform) {
+  Rng rng(23);
+  const uint64_t n = 60000;
+  auto cells = UniformMultinomial(n, 6, rng);
+  uint64_t total = 0;
+  for (uint64_t c : cells) total += c;
+  EXPECT_EQ(total, n);
+  for (uint64_t c : cells) {
+    EXPECT_NEAR(double(c), n / 6.0, 6 * std::sqrt(n / 6.0));
+  }
+}
+
+TEST(UniformMultinomialTest, DegenerateInputs) {
+  Rng rng(1);
+  auto zero = UniformMultinomial(0, 3, rng);
+  EXPECT_EQ(zero, (std::vector<uint64_t>{0, 0, 0}));
+  auto one_cell = UniformMultinomial(100, 1, rng);
+  EXPECT_EQ(one_cell, (std::vector<uint64_t>{100}));
+}
+
+TEST(PerturbCountsTest, ConservesTotal) {
+  Rng rng(29);
+  const UniformPerturbation up{0.5, 3};
+  std::vector<uint64_t> counts{100, 50, 850};
+  for (int i = 0; i < 50; ++i) {
+    auto observed = PerturbCounts(up, counts, rng);
+    ASSERT_TRUE(observed.ok());
+    uint64_t total = 0;
+    for (uint64_t c : *observed) total += c;
+    EXPECT_EQ(total, 1000u);
+  }
+}
+
+TEST(PerturbCountsTest, MeanMatchesLemma2) {
+  // E[O*_i] = |S| (f_i p + (1-p)/m).
+  Rng rng(31);
+  const UniformPerturbation up{0.4, 3};
+  std::vector<uint64_t> counts{600, 300, 100};
+  const int reps = 4000;
+  std::vector<double> sums(3, 0.0);
+  for (int i = 0; i < reps; ++i) {
+    auto observed = *PerturbCounts(up, counts, rng);
+    for (size_t j = 0; j < 3; ++j) sums[j] += double(observed[j]);
+  }
+  for (size_t j = 0; j < 3; ++j) {
+    const double f = counts[j] / 1000.0;
+    const double expected = 1000.0 * (f * 0.4 + 0.6 / 3.0);
+    EXPECT_NEAR(sums[j] / reps, expected, 0.02 * expected + 1.0);
+  }
+}
+
+TEST(PerturbCountsTest, RejectsWrongArity) {
+  Rng rng(1);
+  const UniformPerturbation up{0.5, 3};
+  EXPECT_FALSE(PerturbCounts(up, {1, 2}, rng).ok());
+}
+
+SchemaPtr SmallSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"G", *Dictionary::FromValues({"a", "b"})});
+  attrs.push_back(
+      Attribute{"SA", *Dictionary::FromValues({"s0", "s1", "s2"})});
+  return std::make_shared<Schema>(*Schema::Make(std::move(attrs), 1));
+}
+
+TEST(PerturbTableTest, OnlySensitiveColumnChanges) {
+  Rng rng(37);
+  auto schema = SmallSchema();
+  Table t(schema);
+  for (uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{i % 2, i % 3}).ok());
+  }
+  const UniformPerturbation up{0.5, 3};
+  auto perturbed = PerturbTable(up, t, rng);
+  ASSERT_TRUE(perturbed.ok());
+  EXPECT_EQ(perturbed->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(perturbed->at(r, 0), t.at(r, 0));  // NA untouched
+  }
+  // SA should change for roughly (1-p)(1 - 1/m) of rows.
+  size_t changed = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    changed += (perturbed->at(r, 1) != t.at(r, 1));
+  }
+  EXPECT_GT(changed, 100u);
+  EXPECT_LT(changed, 250u);
+}
+
+TEST(PerturbTableTest, DomainMismatchRejected) {
+  Rng rng(1);
+  Table t(SmallSchema());
+  const UniformPerturbation up{0.5, 7};
+  EXPECT_FALSE(PerturbTable(up, t, rng).ok());
+}
+
+TEST(PathEquivalenceTest, RecordAndCountPathsMatchInDistribution) {
+  // Perturb the same histogram both ways many times; the per-value means
+  // must agree within Monte-Carlo error.
+  const UniformPerturbation up{0.3, 4};
+  std::vector<uint64_t> counts{400, 300, 200, 100};
+  const int reps = 3000;
+
+  Rng rng_record(101), rng_count(202);
+  std::vector<double> record_means(4, 0.0), count_means(4, 0.0);
+  // Record path: a column with the given histogram.
+  std::vector<uint32_t> column;
+  for (uint32_t v = 0; v < 4; ++v) {
+    for (uint64_t k = 0; k < counts[v]; ++k) column.push_back(v);
+  }
+  for (int i = 0; i < reps; ++i) {
+    std::vector<uint32_t> copy = column;
+    ASSERT_TRUE(PerturbColumn(up, copy, rng_record).ok());
+    std::vector<uint64_t> hist(4, 0);
+    for (uint32_t v : copy) ++hist[v];
+    for (size_t j = 0; j < 4; ++j) record_means[j] += double(hist[j]);
+
+    auto observed = *PerturbCounts(up, counts, rng_count);
+    for (size_t j = 0; j < 4; ++j) count_means[j] += double(observed[j]);
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    record_means[j] /= reps;
+    count_means[j] /= reps;
+    EXPECT_NEAR(record_means[j], count_means[j],
+                0.02 * record_means[j] + 1.0)
+        << "value " << j;
+  }
+}
+
+}  // namespace
+}  // namespace recpriv::perturb

@@ -1,0 +1,239 @@
+// Unit and statistical tests for the PRNG and distribution samplers. All
+// statistical assertions use fixed seeds with tolerance bands several
+// standard errors wide, so they are deterministic.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace recpriv {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkDivergesFromParent) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent() == child());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  // SE = 1/sqrt(12 n) ~ 0.00065; allow 6 SEs.
+  EXPECT_NEAR(sum / n, 0.5, 0.004);
+}
+
+TEST(RngTest, NextUint64Unbiased) {
+  Rng rng(11);
+  const uint64_t n = 7;
+  std::vector<int> hist(n, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++hist[rng.NextUint64(n)];
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(hist[k], draws / double(n), 6 * std::sqrt(draws / double(n)));
+  }
+}
+
+TEST(RngTest, NextInt64CoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt64(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  const double p = 0.3;
+  const int n = 100000;
+  int heads = 0;
+  for (int i = 0; i < n; ++i) heads += rng.NextBernoulli(p);
+  EXPECT_NEAR(heads / double(n), p, 6 * std::sqrt(p * (1 - p) / n));
+}
+
+TEST(LaplaceTest, MeanZeroAndVariance) {
+  Rng rng(21);
+  const double b = 4.0;
+  const int n = 200000;
+  double sum = 0.0, sum_abs = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleLaplace(rng, b);
+    sum += x;
+    sum_abs += std::abs(x);
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);          // E[X] = 0
+  EXPECT_NEAR(sum_abs / n, b, 0.1);        // E|X| = b
+  EXPECT_NEAR(sum_sq / n, 2 * b * b, 1.2); // Var = 2 b^2
+}
+
+TEST(NormalTest, MomentsMatch) {
+  Rng rng(33);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleNormal(rng, 2.0, 3.0);
+    sum += x;
+    sum_sq += (x - 2.0) * (x - 2.0);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 9.0, 0.3);
+}
+
+struct BinomialCase {
+  uint64_t n;
+  double p;
+};
+
+class BinomialTest : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialTest, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(1000 + n);
+  const int draws = 40000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t x = SampleBinomial(rng, n, p);
+    EXPECT_LE(x, n);
+    sum += double(x);
+    sum_sq += double(x) * double(x);
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  const double expect_mean = n * p;
+  const double expect_var = n * p * (1 - p);
+  EXPECT_NEAR(mean, expect_mean,
+              0.05 + 6 * std::sqrt(expect_var / draws));
+  EXPECT_NEAR(var, expect_var, 0.05 + 0.1 * expect_var);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BinomialTest,
+    ::testing::Values(BinomialCase{1, 0.5}, BinomialCase{10, 0.2},
+                      BinomialCase{100, 0.5}, BinomialCase{100, 0.02},
+                      BinomialCase{1000, 0.9}, BinomialCase{1000, 0.001},
+                      BinomialCase{5000, 0.7}));
+
+TEST(BinomialTest, DegenerateCases) {
+  Rng rng(2);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 100, 1.0), 100u);
+}
+
+TEST(DiscreteTest, RespectsWeights) {
+  Rng rng(8);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> hist(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hist[SampleDiscrete(rng, w)];
+  EXPECT_EQ(hist[1], 0);
+  EXPECT_NEAR(hist[0] / double(n), 0.25, 0.015);
+  EXPECT_NEAR(hist[2] / double(n), 0.75, 0.015);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(13);
+  std::vector<double> w{5.0, 1.0, 0.0, 4.0};
+  AliasSampler sampler(w);
+  EXPECT_EQ(sampler.size(), 4u);
+  std::vector<int> hist(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[sampler.Sample(rng)];
+  EXPECT_EQ(hist[2], 0);
+  EXPECT_NEAR(hist[0] / double(n), 0.5, 0.01);
+  EXPECT_NEAR(hist[1] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(hist[3] / double(n), 0.4, 0.01);
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  Rng rng(1);
+  AliasSampler sampler(std::vector<double>{2.5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(55);
+  auto s = SampleWithoutReplacement(rng, 100, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (uint64_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithoutReplacementTest, FullDraw) {
+  Rng rng(56);
+  auto s = SampleWithoutReplacement(rng, 10, 10);
+  std::set<uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, UniformInclusion) {
+  Rng rng(77);
+  std::vector<int> hist(10, 0);
+  const int reps = 30000;
+  for (int i = 0; i < reps; ++i) {
+    for (uint64_t v : SampleWithoutReplacement(rng, 10, 3)) ++hist[v];
+  }
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_NEAR(hist[k] / double(reps), 0.3, 0.02);
+  }
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(91);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  Shuffle(rng, v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(SplitMixTest, KnownFirstOutputsDiffer) {
+  uint64_t s1 = 0, s2 = 1;
+  EXPECT_NE(SplitMix64Next(s1), SplitMix64Next(s2));
+}
+
+}  // namespace
+}  // namespace recpriv

@@ -1,0 +1,88 @@
+// Tests for the Lemma 1 ratio-moment approximation and the Corollary 2
+// Laplace disclosure-condition bounds — validated against Monte-Carlo.
+
+#include "stats/ratio_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace recpriv::stats {
+namespace {
+
+TEST(RatioMomentsTest, ClosedForm) {
+  // E[Y/X] ~ (y/x)(1 + V/x^2); Var[Y/X] ~ (V/x^2)(1 + y^2/x^2).
+  RatioMoments m = ApproximateRatioMoments({100.0, 80.0, 50.0});
+  EXPECT_NEAR(m.mean, 0.8 * (1.0 + 50.0 / 10000.0), 1e-12);
+  EXPECT_NEAR(m.variance, (50.0 / 10000.0) * (1.0 + 0.64), 1e-12);
+  EXPECT_NEAR(m.bias, m.mean - 0.8, 1e-12);
+}
+
+TEST(RatioMomentsTest, BiasVanishesForLargeX) {
+  RatioMoments small = ApproximateRatioMoments({100.0, 80.0, 800.0});
+  RatioMoments large = ApproximateRatioMoments({10000.0, 8000.0, 800.0});
+  EXPECT_GT(std::abs(small.bias), std::abs(large.bias));
+  EXPECT_GT(small.variance, large.variance);
+}
+
+TEST(CorollaryTwoTest, BoundFormulas) {
+  EXPECT_DOUBLE_EQ(LaplaceRatioBiasBound(20.0, 500.0),
+                   2.0 * (20.0 / 500.0) * (20.0 / 500.0));
+  EXPECT_DOUBLE_EQ(LaplaceRatioVarianceBound(20.0, 500.0),
+                   4.0 * (20.0 / 500.0) * (20.0 / 500.0));
+}
+
+TEST(CorollaryTwoTest, Table2Values) {
+  // Spot-check the paper's Table 2 grid of 2 (b/x)^2.
+  EXPECT_NEAR(LaplaceRatioBiasBound(10, 5000), 0.000008, 1e-9);
+  EXPECT_NEAR(LaplaceRatioBiasBound(20, 1000), 0.0008, 1e-9);
+  EXPECT_NEAR(LaplaceRatioBiasBound(40, 500), 0.0128, 1e-9);
+  EXPECT_NEAR(LaplaceRatioBiasBound(200, 100), 8.0, 1e-9);
+}
+
+TEST(CorollaryTwoTest, BoundsDominateLemmaOneForLaplace) {
+  // With V = 2 b^2 and y <= x, Corollary 2 must dominate Lemma 1 values.
+  const double b = 25.0;
+  for (double x : {100.0, 500.0, 2000.0}) {
+    for (double frac : {0.2, 0.8, 1.0}) {
+      RatioMoments m = ApproximateRatioMoments({x, frac * x, 2 * b * b});
+      EXPECT_LE(std::abs(m.bias), LaplaceRatioBiasBound(b, x) + 1e-12);
+      EXPECT_LE(m.variance, LaplaceRatioVarianceBound(b, x) + 1e-12);
+    }
+  }
+}
+
+TEST(RatioMomentsTest, MatchesMonteCarloForModerateNoise) {
+  // Corollary 1 regime: x large relative to b, the Taylor approximation
+  // should track the empirical mean and variance of Y/X.
+  Rng rng(2024);
+  const double x = 800.0, y = 600.0, b = 15.0;
+  const int reps = 400000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    double noisy_x = x + SampleLaplace(rng, b);
+    double noisy_y = y + SampleLaplace(rng, b);
+    double ratio = noisy_y / noisy_x;
+    sum += ratio;
+    sum_sq += ratio * ratio;
+  }
+  const double emp_mean = sum / reps;
+  const double emp_var = sum_sq / reps - emp_mean * emp_mean;
+  RatioMoments m = ApproximateRatioMoments({x, y, 2 * b * b});
+  EXPECT_NEAR(emp_mean, m.mean, 5e-4);
+  EXPECT_NEAR(emp_var, m.variance, 0.15 * m.variance);
+}
+
+TEST(DisclosureLikelyTest, RuleOfThumb) {
+  // Paper: b/x <= 1/20 => disclosure.
+  EXPECT_TRUE(DisclosureLikely(20.0, 500.0));   // ratio 0.04
+  EXPECT_TRUE(DisclosureLikely(10.0, 200.0));   // ratio 0.05 (boundary)
+  EXPECT_FALSE(DisclosureLikely(40.0, 500.0));  // ratio 0.08
+  EXPECT_FALSE(DisclosureLikely(200.0, 100.0));
+  EXPECT_FALSE(DisclosureLikely(10.0, 0.0));    // degenerate x
+}
+
+}  // namespace
+}  // namespace recpriv::stats

@@ -1,0 +1,144 @@
+// Tests for the consumer-side Reconstructor (estimates + confidence
+// intervals) and NormalQuantile.
+
+#include "analysis/reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "perturb/uniform_perturbation.h"
+#include "stats/special_functions.h"
+#include "table/schema.h"
+
+namespace recpriv::analysis {
+namespace {
+
+using recpriv::table::Attribute;
+using recpriv::table::Dictionary;
+using recpriv::table::Predicate;
+using recpriv::table::Schema;
+using recpriv::table::SchemaPtr;
+using recpriv::table::Table;
+
+TEST(NormalQuantileTest, StandardValues) {
+  EXPECT_NEAR(stats::NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(stats::NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(stats::NormalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(stats::NormalQuantile(0.995), 2.575829, 1e-5);
+}
+
+TEST(ReconstructorTest, MakeValidation) {
+  EXPECT_TRUE(Reconstructor::Make(0.5, 4).ok());
+  EXPECT_FALSE(Reconstructor::Make(0.0, 4).ok());
+  EXPECT_FALSE(Reconstructor::Make(0.5, 1).ok());
+}
+
+TEST(ReconstructorTest, FromObservedClosedForm) {
+  auto rec = *Reconstructor::Make(0.5, 10);
+  auto e = *rec.FromObserved(130, 1000);
+  EXPECT_DOUBLE_EQ(e.frequency, (0.13 - 0.05) / 0.5);
+  EXPECT_DOUBLE_EQ(e.count, 1000 * e.frequency);
+  const double expected_se =
+      std::sqrt(1000 * 0.13 * 0.87) / (1000 * 0.5);
+  EXPECT_NEAR(e.std_error, expected_se, 1e-12);
+  // 95% interval is symmetric around the estimate.
+  EXPECT_NEAR(e.ci_high - e.frequency, e.frequency - e.ci_low, 1e-12);
+  EXPECT_NEAR(e.ci_high - e.ci_low, 2 * 1.959964 * expected_se, 1e-5);
+}
+
+TEST(ReconstructorTest, FromObservedValidation) {
+  auto rec = *Reconstructor::Make(0.5, 10);
+  EXPECT_FALSE(rec.FromObserved(11, 10).ok());
+  EXPECT_FALSE(rec.FromObserved(1, 10, 0.0).ok());
+  EXPECT_FALSE(rec.FromObserved(1, 10, 1.0).ok());
+  auto empty = *rec.FromObserved(0, 0);
+  EXPECT_EQ(empty.frequency, 0.0);
+  EXPECT_EQ(empty.subset_size, 0u);
+}
+
+SchemaPtr MakeSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"Job", *Dictionary::FromValues({"eng", "law"})});
+  attrs.push_back(
+      Attribute{"SA", *Dictionary::FromValues({"a", "b", "c", "d"})});
+  return std::make_shared<Schema>(*Schema::Make(std::move(attrs), 1));
+}
+
+TEST(ReconstructorTest, EstimateFrequencyFromRelease) {
+  // Build a raw table, perturb it, and check the reconstruction covers the
+  // true frequency within the reported interval (statistically).
+  const double p = 0.4;
+  auto schema = MakeSchema();
+  Table raw(schema);
+  for (size_t i = 0; i < 20000; ++i) {
+    // Engineers: 55% a, 25% b, 15% c, 5% d. Lawyers uniform.
+    uint32_t sa;
+    size_t roll = i % 20;
+    if (i % 2 == 0) {
+      sa = roll < 11 ? 0u : (roll < 16 ? 1u : (roll < 19 ? 2u : 3u));
+      ASSERT_TRUE(raw.AppendRow(std::vector<uint32_t>{0, sa}).ok());
+    } else {
+      ASSERT_TRUE(
+          raw.AppendRow(std::vector<uint32_t>{1, uint32_t(roll % 4)}).ok());
+    }
+  }
+  Rng rng(5);
+  const recpriv::perturb::UniformPerturbation up{p, 4};
+  Table release = *recpriv::perturb::PerturbTable(up, raw, rng);
+
+  auto rec = *Reconstructor::Make(p, 4);
+  Predicate eng(2);
+  eng.Bind(0, 0);
+  auto e = *rec.EstimateFrequency(release, eng, 0);
+  EXPECT_EQ(e.subset_size, 10000u);
+  EXPECT_NEAR(e.frequency, 0.55, 4 * e.std_error);
+  EXPECT_GT(e.std_error, 0.0);
+
+  auto dist = *rec.EstimateDistribution(release, eng);
+  ASSERT_EQ(dist.size(), 4u);
+  double total = 0.0;
+  for (const auto& est : dist) total += est.frequency;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ReconstructorTest, RejectsSaFilteredPredicates) {
+  auto rec = *Reconstructor::Make(0.5, 4);
+  Table release(MakeSchema());
+  Predicate with_sa(2);
+  with_sa.Bind(1, 0);  // binds the sensitive column
+  EXPECT_FALSE(rec.EstimateFrequency(release, with_sa, 0).ok());
+  EXPECT_FALSE(rec.EstimateDistribution(release, with_sa).ok());
+}
+
+TEST(ReconstructorTest, CoverageOfConfidenceIntervals) {
+  // Empirical CI coverage over repeated perturbations should be near the
+  // nominal 95% (aggregate setting, plain UP).
+  const double p = 0.5;
+  const size_t m = 4;
+  auto rec = *Reconstructor::Make(p, m);
+  const recpriv::perturb::UniformPerturbation up{p, m};
+  std::vector<uint64_t> counts{4000, 3000, 2000, 1000};
+  const double true_f0 = 0.4;
+  Rng rng(77);
+  int covered = 0;
+  const int reps = 800;
+  for (int i = 0; i < reps; ++i) {
+    auto observed = *recpriv::perturb::PerturbCounts(up, counts, rng);
+    auto e = *rec.FromObserved(observed[0], 10000);
+    covered += (true_f0 >= e.ci_low && true_f0 <= e.ci_high);
+  }
+  EXPECT_NEAR(covered / double(reps), 0.95, 0.03);
+}
+
+TEST(ReconstructorTest, OutOfRangeSaCode) {
+  auto rec = *Reconstructor::Make(0.5, 4);
+  Table release(MakeSchema());
+  Predicate all(2);
+  EXPECT_FALSE(rec.EstimateFrequency(release, all, 9).ok());
+}
+
+}  // namespace
+}  // namespace recpriv::analysis

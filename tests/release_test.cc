@@ -1,0 +1,121 @@
+// Tests for the self-describing release bundle (CSV + JSON manifest).
+
+#include "analysis/release.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "core/sps.h"
+#include "datagen/simple.h"
+
+namespace recpriv::analysis {
+namespace {
+
+using recpriv::core::PrivacyParams;
+using recpriv::table::Table;
+
+PrivacyParams Params() {
+  PrivacyParams p;
+  p.lambda = 0.3;
+  p.delta = 0.3;
+  p.retention_p = 0.5;
+  p.domain_m = 3;
+  return p;
+}
+
+Table MakeRelease(Rng& rng) {
+  recpriv::datagen::SimpleDatasetSpec spec;
+  spec.public_attributes = {"Job"};
+  spec.sensitive_attribute = "Disease";
+  spec.sa_domain = {"flu", "hiv", "bc"};
+  spec.groups.push_back({{"eng"}, 3000, {60, 25, 15}});
+  spec.groups.push_back({{"law"}, 2000, {20, 50, 30}});
+  Table raw = *recpriv::datagen::GenerateSimple(spec, rng);
+  return recpriv::core::SpsPerturbTable(Params(), raw, rng)->table;
+}
+
+TEST(ReleaseTest, WriteLoadRoundTrip) {
+  Rng rng(9);
+  Table release = MakeRelease(rng);
+  const size_t rows = release.num_rows();
+  ReleaseBundle bundle{std::move(release), Params(), "Disease",
+                       {{"eng", "law"}, {"flu", "hiv", "bc"}}};
+
+  const std::string base = ::testing::TempDir() + "/recpriv_release_test";
+  ASSERT_TRUE(WriteRelease(bundle, base).ok());
+
+  auto loaded = LoadRelease(base);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->data.num_rows(), rows);
+  EXPECT_DOUBLE_EQ(loaded->params.retention_p, 0.5);
+  EXPECT_DOUBLE_EQ(loaded->params.lambda, 0.3);
+  EXPECT_DOUBLE_EQ(loaded->params.delta, 0.3);
+  EXPECT_EQ(loaded->params.domain_m, 3u);
+  EXPECT_EQ(loaded->sensitive_attribute, "Disease");
+  ASSERT_EQ(loaded->generalization.size(), 2u);
+  EXPECT_EQ(loaded->generalization[0],
+            (std::vector<std::string>{"eng", "law"}));
+
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".manifest.json").c_str());
+}
+
+TEST(ReleaseTest, ManifestContents) {
+  Rng rng(11);
+  Table release = MakeRelease(rng);
+  ReleaseBundle bundle{std::move(release), Params(), "Disease", {}};
+  JsonValue manifest = BuildManifest(bundle);
+  EXPECT_EQ(*(*manifest.Get("format"))->AsString(), "recpriv-release");
+  auto* mechanism = *manifest.Get("mechanism");
+  EXPECT_DOUBLE_EQ(*(*mechanism->Get("retention_p"))->AsDouble(), 0.5);
+  EXPECT_EQ(*(*mechanism->Get("domain_m"))->AsInt(), 3);
+  auto* attrs = *manifest.Get("attributes");
+  EXPECT_EQ(attrs->size(), 2u);
+  EXPECT_FALSE(manifest.Has("generalized_values"));  // empty -> omitted
+}
+
+TEST(ReleaseTest, LoadedBundleDrivesReconstruction) {
+  Rng rng(13);
+  Table release = MakeRelease(rng);
+  ReleaseBundle bundle{std::move(release), Params(), "Disease", {}};
+  const std::string base = ::testing::TempDir() + "/recpriv_release_recon";
+  ASSERT_TRUE(WriteRelease(bundle, base).ok());
+  auto loaded = *LoadRelease(base);
+  auto rec = *MakeReconstructor(loaded);
+  recpriv::table::Predicate all(loaded.data.schema()->num_attributes());
+  auto dist = *rec.EstimateDistribution(loaded.data, all);
+  // Global truth ~ (3000*.6 + 2000*.2)/5000 = 0.44 for flu; generous band
+  // (single SPS release of two heavily sampled groups).
+  EXPECT_NEAR(dist[0].frequency, 0.44, 0.25);
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".manifest.json").c_str());
+}
+
+TEST(ReleaseTest, WriteValidation) {
+  Rng rng(15);
+  Table release = MakeRelease(rng);
+  PrivacyParams wrong = Params();
+  wrong.domain_m = 7;
+  ReleaseBundle bad{std::move(release), wrong, "Disease", {}};
+  EXPECT_FALSE(WriteRelease(bad, ::testing::TempDir() + "/x").ok());
+}
+
+TEST(ReleaseTest, LoadRejectsForeignManifest) {
+  const std::string base = ::testing::TempDir() + "/recpriv_foreign";
+  {
+    std::ofstream manifest(base + ".manifest.json");
+    manifest << "{\"format\": \"something-else\"}\n";
+  }
+  EXPECT_FALSE(LoadRelease(base).ok());
+  std::remove((base + ".manifest.json").c_str());
+}
+
+TEST(ReleaseTest, LoadMissingFilesFails) {
+  EXPECT_FALSE(LoadRelease("/nonexistent/base").ok());
+}
+
+}  // namespace
+}  // namespace recpriv::analysis

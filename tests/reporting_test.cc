@@ -1,0 +1,62 @@
+// Tests for the experiment reporting helpers.
+
+#include "exp/reporting.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace recpriv::exp {
+namespace {
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(AsciiTableTest, WriteCsv) {
+  AsciiTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/recpriv_report.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesTest, PrintsAllSeries) {
+  std::ostringstream os;
+  PrintSeries(os, "p", {"0.1", "0.5"},
+              {Series{"vg", {0.1, 0.2}}, Series{"vr", {0.9, 0.95}}}, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("vg"), std::string::npos);
+  EXPECT_NE(out.find("vr"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+}
+
+TEST(BannerTest, ContainsTitleAndReference) {
+  std::ostringstream os;
+  PrintBanner(os, "Table 1", "EDBT'15 Table 1");
+  EXPECT_NE(os.str().find("Table 1"), std::string::npos);
+  EXPECT_NE(os.str().find("reproduces"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recpriv::exp

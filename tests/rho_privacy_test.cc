@@ -1,0 +1,95 @@
+// Tests for rho1-rho2 privacy (amplification) and its interplay with the
+// uniform perturbation matrix.
+
+#include "core/rho_privacy.h"
+
+#include <gtest/gtest.h>
+
+#include "perturb/matrix_perturbation.h"
+
+namespace recpriv::core {
+namespace {
+
+TEST(RhoPrivacyTest, Validation) {
+  EXPECT_TRUE((RhoPrivacy{0.1, 0.5}).Validate().ok());
+  EXPECT_FALSE((RhoPrivacy{0.5, 0.5}).Validate().ok());
+  EXPECT_FALSE((RhoPrivacy{0.6, 0.5}).Validate().ok());
+  EXPECT_FALSE((RhoPrivacy{0.0, 0.5}).Validate().ok());
+  EXPECT_FALSE((RhoPrivacy{0.1, 1.0}).Validate().ok());
+}
+
+TEST(RhoPrivacyTest, BreachBoundClosedForm) {
+  // B = rho2 (1 - rho1) / (rho1 (1 - rho2)).
+  RhoPrivacy target{0.1, 0.5};
+  EXPECT_NEAR(target.BreachBound(), 0.5 * 0.9 / (0.1 * 0.5), 1e-12);  // 9
+  RhoPrivacy even{0.25, 0.75};
+  EXPECT_NEAR(even.BreachBound(), 0.75 * 0.75 / (0.25 * 0.25), 1e-12);  // 9
+}
+
+TEST(RhoPrivacyTest, UniformGammaMatchesMatrixOperator) {
+  for (double p : {0.2, 0.5, 0.8}) {
+    for (size_t m : {2u, 10u, 50u}) {
+      auto mp = *recpriv::perturb::MatrixPerturbation::Uniform(m, p);
+      EXPECT_NEAR(UniformAmplificationGamma(p, m), mp.AmplificationGamma(),
+                  1e-9)
+          << "p=" << p << " m=" << m;
+    }
+  }
+}
+
+TEST(RhoPrivacyTest, MaxRetentionClosedForm) {
+  // With B = 9 and m = 10: p_max = 8 / 18.
+  RhoPrivacy target{0.1, 0.5};
+  auto p_max = MaxRetentionForRho(target, 10);
+  ASSERT_TRUE(p_max.ok());
+  EXPECT_NEAR(*p_max, 8.0 / 18.0, 1e-12);
+}
+
+TEST(RhoPrivacyTest, MaxRetentionIsBoundary) {
+  RhoPrivacy target{0.1, 0.5};
+  const size_t m = 10;
+  const double p_max = *MaxRetentionForRho(target, m);
+  EXPECT_TRUE(*UniformSatisfiesRho(target, p_max - 1e-9, m));
+  EXPECT_FALSE(*UniformSatisfiesRho(target, p_max + 1e-6, m));
+}
+
+TEST(RhoPrivacyTest, LargerDomainsNeedSmallerRetention) {
+  RhoPrivacy target{0.1, 0.5};
+  EXPECT_GT(*MaxRetentionForRho(target, 2), *MaxRetentionForRho(target, 50));
+}
+
+TEST(RhoPrivacyTest, LooserTargetsAllowMoreRetention) {
+  RhoPrivacy strict{0.1, 0.3};
+  RhoPrivacy loose{0.1, 0.8};
+  EXPECT_LT(*MaxRetentionForRho(strict, 10), *MaxRetentionForRho(loose, 10));
+}
+
+TEST(RhoPrivacyTest, SatisfiesRejectsBadArguments) {
+  RhoPrivacy target{0.1, 0.5};
+  EXPECT_FALSE(UniformSatisfiesRho(target, 0.0, 10).ok());
+  EXPECT_FALSE(UniformSatisfiesRho(target, 0.5, 1).ok());
+  EXPECT_FALSE(UniformSatisfiesRho(RhoPrivacy{0.7, 0.3}, 0.5, 10).ok());
+}
+
+/// Semantic check via Bayes: with a uniform prior concentrated to rho1 on
+/// one value, the worst posterior after observing any output must stay
+/// below rho2 when gamma <= B. We verify on the uniform operator at the
+/// derived p_max.
+TEST(RhoPrivacyTest, PosteriorStaysBelowRho2AtDerivedP) {
+  RhoPrivacy target{0.2, 0.6};
+  const size_t m = 4;
+  const double p = *MaxRetentionForRho(target, m);
+  auto mp = *recpriv::perturb::MatrixPerturbation::Uniform(m, p);
+  // Prior: Pr[SA = 0] = rho1, rest uniform.
+  std::vector<double> prior(m, (1.0 - target.rho1) / double(m - 1));
+  prior[0] = target.rho1;
+  for (size_t w = 0; w < m; ++w) {
+    double joint0 = mp.matrix().at(w, 0) * prior[0];
+    double total = 0.0;
+    for (size_t u = 0; u < m; ++u) total += mp.matrix().at(w, u) * prior[u];
+    EXPECT_LE(joint0 / total, target.rho2 + 1e-9) << "output " << w;
+  }
+}
+
+}  // namespace
+}  // namespace recpriv::core

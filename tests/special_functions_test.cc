@@ -1,0 +1,109 @@
+// Tests for the special functions against published reference values
+// (Abramowitz & Stegun / standard chi-squared tables).
+
+#include "stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace recpriv::stats {
+namespace {
+
+TEST(LogGammaTest, IntegerFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGammaTest, HalfInteger) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGammaTest, RecurrenceHolds) {
+  // Gamma(x+1) = x Gamma(x)  =>  lgamma(x+1) - lgamma(x) = ln x.
+  for (double x : {0.7, 1.3, 4.5, 20.0, 123.25}) {
+    EXPECT_NEAR(LogGamma(x + 1.0) - LogGamma(x), std::log(x), 1e-9);
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 30.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 3.7, 25.0}) {
+    for (double x : {0.1, 1.0, 3.0, 10.0, 40.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(ChiSquaredCdfTest, MedianOfDf2) {
+  // For df=2 the chi-squared is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 2.0, 5.99, 10.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquaredQuantileTest, StandardCriticalValues) {
+  // Classic 95th-percentile table values.
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 1), 3.841, 5e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 2), 5.991, 5e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 5), 11.070, 5e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 10), 18.307, 5e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 50), 67.505, 5e-3);
+  // 99th percentile.
+  EXPECT_NEAR(ChiSquaredQuantile(0.99, 2), 9.210, 5e-3);
+  EXPECT_NEAR(ChiSquaredQuantile(0.99, 10), 23.209, 5e-3);
+}
+
+TEST(ChiSquaredQuantileTest, InvertsCdf) {
+  for (double df : {1.0, 2.0, 7.0, 50.0}) {
+    for (double prob : {0.05, 0.5, 0.9, 0.95, 0.999}) {
+      const double q = ChiSquaredQuantile(prob, df);
+      EXPECT_NEAR(ChiSquaredCdf(q, df), prob, 1e-9)
+          << "df=" << df << " prob=" << prob;
+    }
+  }
+}
+
+TEST(ChiSquaredCdfTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 30.0; x += 0.5) {
+    double c = ChiSquaredCdf(x, 5.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ErfTest, ReferenceValues) {
+  EXPECT_DOUBLE_EQ(Erf(0.0), 0.0);
+  EXPECT_NEAR(Erf(1.0), 0.8427007929, 1e-9);
+  EXPECT_NEAR(Erf(-1.0), -0.8427007929, 1e-9);
+  EXPECT_NEAR(Erf(2.0), 0.9953222650, 1e-9);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249979, 1e-6);
+}
+
+}  // namespace
+}  // namespace recpriv::stats

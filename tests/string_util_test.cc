@@ -1,0 +1,69 @@
+// Unit tests for string helpers.
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace recpriv {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputIsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "zz"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingleton) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD-42"), "mixed-42");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.1234), "12.34%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, WithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(45222), "45,222");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1000), "-1,000");
+}
+
+TEST(FormatTest, DoubleSignificantDigits) {
+  EXPECT_EQ(FormatDouble(0.25, 2), "0.25");
+  EXPECT_EQ(FormatDouble(1234.5678, 6), "1234.57");
+}
+
+}  // namespace
+}  // namespace recpriv

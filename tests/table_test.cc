@@ -1,0 +1,150 @@
+// Tests for Schema, Table, and Predicate.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "table/predicate.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace recpriv::table {
+namespace {
+
+SchemaPtr MakeTestSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(
+      Attribute{"Gender", *Dictionary::FromValues({"male", "female"})});
+  attrs.push_back(
+      Attribute{"Job", *Dictionary::FromValues({"eng", "law", "doc"})});
+  attrs.push_back(
+      Attribute{"Disease", *Dictionary::FromValues({"flu", "hiv", "bc"})});
+  return std::make_shared<Schema>(*Schema::Make(std::move(attrs), 2));
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  auto schema = MakeTestSchema();
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  EXPECT_EQ(schema->num_public(), 2u);
+  EXPECT_EQ(schema->sensitive_index(), 2u);
+  EXPECT_EQ(schema->sensitive().name, "Disease");
+  EXPECT_EQ(schema->sa_domain_size(), 3u);
+  EXPECT_EQ(schema->public_indices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(*schema->IndexOf("Job"), 1u);
+  EXPECT_FALSE(schema->IndexOf("Nope").ok());
+  EXPECT_TRUE(schema->is_sensitive(2));
+  EXPECT_FALSE(schema->is_sensitive(0));
+}
+
+TEST(SchemaTest, MakeValidation) {
+  EXPECT_FALSE(Schema::Make({}, 0).ok());
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"A", Dictionary()});
+  EXPECT_FALSE(Schema::Make(std::move(attrs), 5).ok());
+
+  std::vector<Attribute> dup;
+  dup.push_back(Attribute{"A", Dictionary()});
+  dup.push_back(Attribute{"A", Dictionary()});
+  EXPECT_FALSE(Schema::Make(std::move(dup), 0).ok());
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(MakeTestSchema());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 1, 2}).ok());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{1, 0, 0}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 1), 1u);
+  EXPECT_EQ(*t.ValueAt(0, 2), "bc");
+  EXPECT_EQ(*t.ValueAt(1, 0), "female");
+}
+
+TEST(TableTest, AppendValidation) {
+  Table t(MakeTestSchema());
+  EXPECT_FALSE(t.AppendRow(std::vector<uint32_t>{0, 1}).ok());      // arity
+  EXPECT_FALSE(t.AppendRow(std::vector<uint32_t>{0, 9, 0}).ok());   // domain
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, ValueAtRangeChecks) {
+  Table t(MakeTestSchema());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 0, 0}).ok());
+  EXPECT_FALSE(t.ValueAt(1, 0).ok());
+  EXPECT_FALSE(t.ValueAt(0, 9).ok());
+}
+
+TEST(TableTest, SaHistogram) {
+  Table t(MakeTestSchema());
+  for (uint32_t sa : {0u, 0u, 1u, 2u, 2u, 2u}) {
+    ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 0, sa}).ok());
+  }
+  EXPECT_EQ(t.SaHistogram(), (std::vector<uint64_t>{2, 1, 3}));
+}
+
+TEST(TableTest, SelectCopiesRows) {
+  Table t(MakeTestSchema());
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{i % 2, i % 3, i % 3}).ok());
+  }
+  std::vector<size_t> rows{2, 0};
+  Table s = t.Select(rows);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.at(0, 1), t.at(2, 1));
+  EXPECT_EQ(s.at(1, 1), t.at(0, 1));
+}
+
+TEST(TableTest, CloneIsDeep) {
+  Table t(MakeTestSchema());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 0, 0}).ok());
+  Table c = t.Clone();
+  c.set(0, 2, 1);
+  EXPECT_EQ(t.at(0, 2), 0u);
+  EXPECT_EQ(c.at(0, 2), 1u);
+}
+
+TEST(PredicateTest, WildcardsMatchEverything) {
+  Table t(MakeTestSchema());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 1, 2}).ok());
+  Predicate p(3);
+  EXPECT_EQ(p.num_bound(), 0u);
+  EXPECT_TRUE(p.Matches(t, 0));
+  EXPECT_EQ(p.CountMatches(t), 1u);
+}
+
+TEST(PredicateTest, BoundConditionsFilter) {
+  Table t(MakeTestSchema());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 0, 0}).ok());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 1, 1}).ok());
+  ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{1, 1, 2}).ok());
+  Predicate p(3);
+  p.Bind(0, 0);
+  EXPECT_EQ(p.CountMatches(t), 2u);
+  p.Bind(1, 1);
+  EXPECT_EQ(p.MatchingRows(t), (std::vector<size_t>{1}));
+  p.Unbind(0);
+  EXPECT_EQ(p.CountMatches(t), 2u);
+}
+
+TEST(PredicateTest, FromBindings) {
+  auto schema = MakeTestSchema();
+  auto p = Predicate::FromBindings(
+      *schema, {{"Gender", "female"}, {"Disease", "hiv"}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->is_bound(0));
+  EXPECT_EQ(p->code(0), 1u);
+  EXPECT_FALSE(p->is_bound(1));
+  EXPECT_EQ(p->code(2), 1u);
+  EXPECT_FALSE(
+      Predicate::FromBindings(*schema, {{"Nope", "x"}}).ok());
+  EXPECT_FALSE(
+      Predicate::FromBindings(*schema, {{"Gender", "none"}}).ok());
+}
+
+TEST(PredicateTest, ToStringShowsWildcards) {
+  auto schema = MakeTestSchema();
+  Predicate p(3);
+  p.Bind(1, 2);
+  EXPECT_EQ(p.ToString(*schema), "Gender=* AND Job=doc AND Disease=*");
+}
+
+}  // namespace
+}  // namespace recpriv::table

@@ -1,0 +1,122 @@
+// Tests for the Markov / Chebyshev bounds and the bound comparison used to
+// justify the Chernoff choice (paper §4.2).
+
+#include "stats/tail_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/chernoff.h"
+
+namespace recpriv::stats {
+namespace {
+
+TEST(MarkovTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(MarkovUpperTail(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(MarkovUpperTail(0.25), 0.8);
+}
+
+TEST(ChebyshevTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(ChebyshevTail(0.5, 100.0), 1.0 / 25.0);
+  EXPECT_DOUBLE_EQ(ChebyshevTailWithVariance(0.5, 100.0, 25.0),
+                   25.0 / 2500.0);
+}
+
+TEST(TailBoundsTest, ChernoffDominatesForLargeMu) {
+  // The whole point: for realistic group sizes the Chernoff bound is far
+  // below Markov and Chebyshev.
+  for (double mu : {100.0, 500.0, 5000.0}) {
+    for (double omega : {0.2, 0.5, 1.0}) {
+      auto c = CompareTailBounds(omega, mu);
+      EXPECT_LT(c.chernoff_upper, c.markov) << "mu=" << mu << " w=" << omega;
+      EXPECT_LT(c.chernoff_upper, c.chebyshev)
+          << "mu=" << mu << " w=" << omega;
+    }
+  }
+}
+
+TEST(TailBoundsTest, ChebyshevCanBeatChernoffForTinyMu) {
+  // For very small mu the exponential bound is weak; Chebyshev's 1/(w^2 mu)
+  // can cross it — documenting why the comparison is interesting at all.
+  auto c = CompareTailBounds(3.0, 0.5);
+  EXPECT_LE(c.chebyshev, 1.0);
+  EXPECT_LE(c.chernoff_upper, 1.0);
+}
+
+TEST(TailBoundsTest, AllBoundsClampedToOne) {
+  auto c = CompareTailBounds(0.01, 0.1);
+  EXPECT_LE(c.markov, 1.0);
+  EXPECT_LE(c.chebyshev, 1.0);
+  EXPECT_LE(c.chernoff_upper, 1.0);
+  EXPECT_LE(c.chernoff_lower, 1.0);
+}
+
+TEST(TailBoundsTest, LowerTailOnlyWithinOmegaOne) {
+  auto within = CompareTailBounds(0.9, 50.0);
+  EXPECT_LT(within.chernoff_lower, 1.0);
+  auto beyond = CompareTailBounds(1.5, 50.0);
+  EXPECT_EQ(beyond.chernoff_lower, 1.0);
+}
+
+TEST(TailBoundsTest, BoundsHoldEmpiricallyForBinomial) {
+  Rng rng(9);
+  const uint64_t n = 300;
+  const double p = 0.3;
+  const double mu = n * p;
+  const double omega = 0.4;
+  const int reps = 20000;
+  int upper = 0;
+  for (int i = 0; i < reps; ++i) {
+    double x = double(SampleBinomial(rng, n, p));
+    upper += ((x - mu) / mu > omega);
+  }
+  const double empirical = upper / double(reps);
+  EXPECT_LT(empirical, MarkovUpperTail(omega));
+  EXPECT_LT(empirical, ChebyshevTail(omega, mu));
+  EXPECT_LT(empirical, ChernoffUpperTail(omega, mu));
+}
+
+TEST(HypergeometricTest, MeanMatches) {
+  Rng rng(11);
+  const uint64_t population = 1000, successes = 300, draws = 100;
+  const int reps = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    uint64_t x = SampleHypergeometric(rng, population, successes, draws);
+    EXPECT_LE(x, draws);
+    EXPECT_LE(x, successes);
+    sum += double(x);
+  }
+  // E[X] = draws * successes / population = 30.
+  EXPECT_NEAR(sum / reps, 30.0, 0.3);
+}
+
+TEST(HypergeometricTest, DegenerateCases) {
+  Rng rng(1);
+  EXPECT_EQ(SampleHypergeometric(rng, 10, 0, 5), 0u);
+  EXPECT_EQ(SampleHypergeometric(rng, 10, 10, 5), 5u);
+  EXPECT_EQ(SampleHypergeometric(rng, 10, 4, 0), 0u);
+  EXPECT_EQ(SampleHypergeometric(rng, 10, 4, 10), 4u);  // exhaustive draw
+}
+
+TEST(HypergeometricTest, VarianceBelowBinomial) {
+  // Without replacement shrinks variance by the finite-population factor.
+  Rng rng(13);
+  const uint64_t population = 200, successes = 100, draws = 100;
+  const int reps = 30000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    double x = double(SampleHypergeometric(rng, population, successes, draws));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / reps;
+  const double var = sum_sq / reps - mean * mean;
+  const double binom_var = draws * 0.5 * 0.5;  // 25
+  const double fpc = double(population - draws) / double(population - 1);
+  EXPECT_NEAR(var, binom_var * fpc, 1.5);
+  EXPECT_LT(var, binom_var);
+}
+
+}  // namespace
+}  // namespace recpriv::stats
