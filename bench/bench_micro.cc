@@ -125,6 +125,39 @@ void BM_SpsGroupCounts(benchmark::State& state) {
 }
 BENCHMARK(BM_SpsGroupCounts);
 
+// The two halves of the query/evaluation hot-path fix: building the match
+// list with a fresh vector per query (the old behavior) vs. reusing one
+// scratch buffer across the pool via the batched MatchingGroupsInto entry
+// point (what EvaluateRelativeError and the serving engine now do).
+void BM_MatchingGroupsAllocPerQuery(benchmark::State& state) {
+  const auto& ds = Prepared();
+  for (auto _ : state) {
+    size_t matched = 0;
+    for (const auto& q : ds.pool) {
+      std::vector<size_t> groups = ds.index.MatchingGroups(q.na_predicate);
+      matched += groups.size();
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.pool.size());
+}
+BENCHMARK(BM_MatchingGroupsAllocPerQuery);
+
+void BM_MatchingGroupsScratchReuse(benchmark::State& state) {
+  const auto& ds = Prepared();
+  std::vector<size_t> scratch;
+  for (auto _ : state) {
+    size_t matched = 0;
+    for (const auto& q : ds.pool) {
+      ds.index.MatchingGroupsInto(q.na_predicate, scratch);
+      matched += scratch.size();
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.pool.size());
+}
+BENCHMARK(BM_MatchingGroupsScratchReuse);
+
 void BM_QueryEvaluation1K(benchmark::State& state) {
   Rng rng(7);
   const auto& ds = Prepared();

@@ -156,4 +156,18 @@ Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle) {
                              bundle.params.domain_m);
 }
 
+Result<std::shared_ptr<const ReleaseSnapshot>> SnapshotRelease(
+    ReleaseBundle bundle, uint64_t epoch) {
+  RECPRIV_RETURN_NOT_OK(bundle.params.Validate());
+  if (bundle.params.domain_m != bundle.data.schema()->sa_domain_size()) {
+    return Status::InvalidArgument(
+        "params.domain_m does not match the release's SA domain");
+  }
+  auto snap = std::make_shared<ReleaseSnapshot>(std::move(bundle), epoch);
+  snap->index = recpriv::table::GroupIndex::Build(snap->bundle.data);
+  snap->postings =
+      std::make_unique<recpriv::table::GroupPostingIndex>(snap->index);
+  return std::shared_ptr<const ReleaseSnapshot>(std::move(snap));
+}
+
 }  // namespace recpriv::analysis

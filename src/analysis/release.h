@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "analysis/reconstructor.h"
@@ -15,6 +17,7 @@
 #include "common/result.h"
 #include "core/generalization.h"
 #include "core/reconstruction_privacy.h"
+#include "table/group_index.h"
 #include "table/table.h"
 
 namespace recpriv::analysis {
@@ -42,5 +45,32 @@ recpriv::JsonValue BuildManifest(const ReleaseBundle& bundle);
 
 /// Convenience: a Reconstructor configured from a loaded bundle.
 Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle);
+
+/// An immutable, query-ready view of one published release: the bundle plus
+/// its personal-group index and posting index, built once at publish time
+/// and shared (via shared_ptr<const>) by every concurrent reader. The group
+/// index is built over the *perturbed* release table, so its per-group SA
+/// histograms are exactly the observed counts O* a consumer reconstructs
+/// from (Lemma 2). `epoch` distinguishes republications of the same named
+/// release — the serving layer keys its answer cache on it.
+struct ReleaseSnapshot {
+  ReleaseSnapshot(ReleaseBundle bundle_in, uint64_t epoch_in)
+      : bundle(std::move(bundle_in)), epoch(epoch_in) {}
+  /// Non-copyable and non-movable: `postings` refers to `index` by address,
+  /// so a snapshot must stay at the address it was built at — it is only
+  /// ever handled through a stable shared_ptr.
+  ReleaseSnapshot(const ReleaseSnapshot&) = delete;
+  ReleaseSnapshot& operator=(const ReleaseSnapshot&) = delete;
+
+  ReleaseBundle bundle;
+  recpriv::table::GroupIndex index;
+  std::unique_ptr<const recpriv::table::GroupPostingIndex> postings;
+  uint64_t epoch = 0;
+};
+
+/// Builds a snapshot: validates the bundle's params against its schema,
+/// indexes the release table, and freezes everything behind a const pointer.
+Result<std::shared_ptr<const ReleaseSnapshot>> SnapshotRelease(
+    ReleaseBundle bundle, uint64_t epoch);
 
 }  // namespace recpriv::analysis

@@ -105,6 +105,14 @@ Result<const JsonValue*> JsonValue::Get(const std::string& key) const {
   return &it->second;
 }
 
+std::vector<std::string> JsonValue::Keys() const {
+  std::vector<std::string> keys;
+  if (!is_object()) return keys;
+  keys.reserve(object_.size());
+  for (const auto& [key, value] : object_) keys.push_back(key);
+  return keys;
+}
+
 namespace {
 
 void EscapeInto(const std::string& s, std::string& out) {

@@ -53,6 +53,8 @@ class JsonValue {
   JsonValue& Set(const std::string& key, JsonValue v);  ///< requires object
   bool Has(const std::string& key) const;
   Result<const JsonValue*> Get(const std::string& key) const;
+  /// Keys of an object in sorted order; empty for non-objects.
+  std::vector<std::string> Keys() const;
 
   /// Serializes; `indent` > 0 pretty-prints with that many spaces.
   std::string ToString(int indent = 0) const;

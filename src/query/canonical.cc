@@ -1,0 +1,47 @@
+#include "query/canonical.h"
+
+namespace recpriv::query {
+
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.push_back(char(v & 0xFF));
+  out.push_back(char((v >> 8) & 0xFF));
+  out.push_back(char((v >> 16) & 0xFF));
+  out.push_back(char((v >> 24) & 0xFF));
+}
+
+}  // namespace
+
+std::string CanonicalPredicateKey(const recpriv::table::Predicate& pred) {
+  std::string key;
+  key.reserve(pred.num_bound() * 8);
+  for (size_t attr = 0; attr < pred.num_attributes(); ++attr) {
+    if (!pred.is_bound(attr)) continue;
+    AppendU32(key, static_cast<uint32_t>(attr));
+    AppendU32(key, pred.code(attr));
+  }
+  return key;
+}
+
+std::string CanonicalKey(const CountQuery& q) {
+  std::string key = CanonicalPredicateKey(q.na_predicate);
+  key.push_back('\xFF');
+  AppendU32(key, q.sa_code);
+  return key;
+}
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t CanonicalHash(const CountQuery& q) {
+  return HashBytes(CanonicalKey(q));
+}
+
+}  // namespace recpriv::query

@@ -1,0 +1,36 @@
+// Canonical encoding and hashing of count queries, used by the serving
+// layer's answer cache (serve/answer_cache.h): two CountQuerys that denote
+// the same WHERE clause — regardless of the order their conditions were
+// bound or how the Predicate was built — produce byte-identical keys, so a
+// cache keyed by (release epoch, canonical key) is a true semantic cache.
+//
+// Encoding: for each bound NA condition in ascending attribute order, the
+// attribute index and code as 4-byte little-endian words; then a 0xFF
+// sentinel byte and the SA code (predicate-only keys stop at the sentinel).
+// Attribute order is already canonical because Predicate stores conditions
+// per attribute slot, not in bind order.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "query/count_query.h"
+#include "table/predicate.h"
+
+namespace recpriv::query {
+
+/// Canonical byte key of the NA conditions only (no SA condition).
+std::string CanonicalPredicateKey(const recpriv::table::Predicate& pred);
+
+/// Canonical byte key of the whole query (NA conditions + SA code).
+std::string CanonicalKey(const CountQuery& q);
+
+/// 64-bit FNV-1a over arbitrary bytes.
+uint64_t HashBytes(std::string_view bytes);
+
+/// HashBytes(CanonicalKey(q)) — a well-mixed 64-bit query fingerprint.
+uint64_t CanonicalHash(const CountQuery& q);
+
+}  // namespace recpriv::query

@@ -3,18 +3,26 @@
 // (Wang, Han, Fu, Wong, Yu — EDBT 2015).
 //
 // Module map:
-//   common/   Status/Result, logging, deterministic PRNG and samplers
+//   common/   Status/Result, logging, deterministic PRNG and samplers,
+//             JSON, flags, work-stealing thread pool
 //   stats/    special functions, chi-squared tests, Chernoff bounds,
 //             descriptive stats, ratio-estimator approximations
 //   table/    dictionary-encoded categorical tables, CSV I/O, predicates,
-//             personal-group indexing
+//             personal-group indexing (with batched evaluation entry points)
 //   datagen/  calibrated synthetic ADULT / CENSUS generators
 //   perturb/  uniform perturbation (Eq. 3) and MLE reconstruction (Lemma 2)
 //   core/     reconstruction privacy (Def. 3 / Cor. 4), violation audits,
 //             the SPS enforcement algorithm (§5), chi-squared value
-//             generalization (§3.4)
+//             generalization (§3.4), streaming publication
 //   dp/       Laplace mechanism baseline and the Section-2 NIR ratio attack
-//   query/    count-query pools (Eq. 11) and relative-error evaluation
+//   query/    count-query pools (Eq. 11), relative-error evaluation, and
+//             canonical query encoding/hashing
+//   analysis/ self-describing release bundles, immutable release snapshots,
+//             and the consumer-side reconstructor
+//   serve/    the release-serving subsystem: ReleaseStore (named, versioned
+//             copy-on-publish snapshots), QueryEngine (parallel batched
+//             count-query answering with an LRU answer cache), and the
+//             line-delimited JSON wire protocol behind tools/recpriv_serve
 //   exp/      experiment harness reproducing the paper's tables & figures
 
 #pragma once
@@ -26,6 +34,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/union_find.h"
 
@@ -65,12 +74,18 @@
 #include "dp/laplace_mechanism.h"
 #include "dp/nir_attack.h"
 
+#include "query/canonical.h"
 #include "query/count_query.h"
 #include "query/evaluation.h"
 #include "query/query_pool.h"
 
 #include "analysis/reconstructor.h"
 #include "analysis/release.h"
+
+#include "serve/answer_cache.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+#include "serve/wire.h"
 
 #include "anon/ldiversity.h"
 #include "anon/tcloseness.h"

@@ -1,0 +1,233 @@
+#include "serve/query_engine.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "perturb/mle.h"
+#include "perturb/uniform_perturbation.h"
+#include "query/canonical.h"
+
+namespace recpriv::serve {
+
+using recpriv::analysis::ReleaseSnapshot;
+using recpriv::perturb::UniformPerturbation;
+using recpriv::query::CountQuery;
+using recpriv::table::GroupIndex;
+using recpriv::table::PersonalGroup;
+using recpriv::table::Predicate;
+
+namespace {
+
+/// (release name, epoch, canonical query bytes) — see answer_cache.h.
+std::string CacheKey(const std::string& release, uint64_t epoch,
+                     const CountQuery& q) {
+  std::string key;
+  key.reserve(release.size() + 9 + q.na_predicate.num_bound() * 8 + 5);
+  key += release;
+  key.push_back('\0');
+  for (int shift = 0; shift < 64; shift += 8) {
+    key.push_back(char((epoch >> shift) & 0xFF));
+  }
+  key += recpriv::query::CanonicalKey(q);
+  return key;
+}
+
+Answer MakeAnswer(const ReleaseSnapshot& snap, uint64_t observed,
+                  uint64_t matched_size) {
+  const UniformPerturbation up{snap.bundle.params.retention_p,
+                               snap.bundle.params.domain_m};
+  Answer a;
+  a.observed = observed;
+  a.matched_size = matched_size;
+  a.estimate = recpriv::perturb::MleCount(up, observed, matched_size);
+  return a;
+}
+
+/// NA-key match of one indexed group, without touching rows.
+bool GroupMatches(const GroupIndex& index, const PersonalGroup& g,
+                  const Predicate& pred) {
+  const auto& pub = index.public_indices();
+  for (size_t k = 0; k < pub.size(); ++k) {
+    if (pred.is_bound(pub[k]) && pred.code(pub[k]) != g.na_codes[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ValidateBatch(const ReleaseSnapshot& snap,
+                     const std::vector<CountQuery>& batch) {
+  const auto& schema = *snap.bundle.data.schema();
+  const size_t m = schema.sa_domain_size();
+  const size_t sa_index = schema.sensitive_index();
+  for (const CountQuery& q : batch) {
+    if (q.na_predicate.num_attributes() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "query predicate arity does not match the release schema");
+    }
+    if (q.sa_code >= m) {
+      return Status::InvalidArgument(
+          "query SA code is outside the release's SA domain");
+    }
+    if (q.na_predicate.is_bound(sa_index)) {
+      return Status::InvalidArgument(
+          "query predicate must not bind the sensitive attribute (the SA "
+          "condition goes in sa_code)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Answer EvaluateUncached(const ReleaseSnapshot& snap, const CountQuery& q) {
+  uint64_t observed = 0;
+  uint64_t matched_size = 0;
+  for (size_t gi : snap.index.MatchingGroups(q.na_predicate)) {
+    const PersonalGroup& g = snap.index.groups()[gi];
+    observed += g.sa_counts[q.sa_code];
+    matched_size += g.size();
+  }
+  return MakeAnswer(snap, observed, matched_size);
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<ReleaseStore> store,
+                         QueryEngineOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {}
+
+Result<BatchResult> QueryEngine::AnswerBatch(
+    const std::string& release, const std::vector<CountQuery>& batch) {
+  RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap_ptr, store_->Get(release));
+  return AnswerBatch(release, std::move(snap_ptr), batch);
+}
+
+Result<BatchResult> QueryEngine::AnswerBatch(
+    const std::string& release, SnapshotPtr snap_ptr,
+    const std::vector<CountQuery>& batch) {
+  if (snap_ptr == nullptr) {
+    return Status::InvalidArgument("AnswerBatch: null snapshot");
+  }
+  const ReleaseSnapshot& snap = *snap_ptr;  // pinned for the whole batch
+  RECPRIV_RETURN_NOT_OK(ValidateBatch(snap, batch));
+
+  BatchResult result;
+  result.epoch = snap.epoch;
+  result.answers.resize(batch.size());
+
+  // Cache pass: serve hits, collect misses. Semantically duplicate queries
+  // within the batch (same canonical key) are evaluated once — `dups`
+  // records (duplicate index, first-occurrence index) pairs to copy after
+  // evaluation.
+  std::vector<size_t> miss;
+  std::vector<std::pair<size_t, size_t>> dups;
+  std::vector<std::string> keys(batch.size());
+  std::unordered_map<std::string_view, size_t> first_miss;
+  miss.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    keys[i] = CacheKey(release, snap.epoch, batch[i]);
+    CachedAnswer hit;
+    if (cache_.Lookup(keys[i], &hit)) {
+      result.answers[i] =
+          Answer{hit.observed, hit.matched_size, hit.estimate, true};
+      ++result.cache_hits;
+      continue;
+    }
+    auto [it, inserted] = first_miss.emplace(keys[i], i);
+    if (inserted) {
+      miss.push_back(i);
+    } else {
+      dups.emplace_back(i, it->second);
+    }
+  }
+  result.cache_misses = batch.size() - result.cache_hits;
+  if (miss.empty() && dups.empty()) return result;
+
+  EvalStrategy strategy = options_.strategy;
+  if (strategy == EvalStrategy::kAuto) {
+    // A posting pass costs ~(matched groups) per query; a group-shard pass
+    // costs one scan of all groups for the whole batch. Prefer the scan
+    // once the batch is a sizable fraction of the group count.
+    strategy = (miss.size() * 4 >= snap.index.num_groups())
+                   ? EvalStrategy::kGroupShard
+                   : EvalStrategy::kPostings;
+  }
+  result.strategy_used = strategy;
+
+  if (strategy == EvalStrategy::kPostings) {
+    pool_.ParallelFor(
+        0, miss.size(), pool_.GrainFor(miss.size()),
+        [&](size_t lo, size_t hi) {
+          // Scratch lives per chunk: reused across the chunk's queries,
+          // never shared between workers.
+          std::vector<uint32_t> scratch;
+          std::vector<uint32_t> matches;
+          for (size_t k = lo; k < hi; ++k) {
+            const CountQuery& q = batch[miss[k]];
+            snap.postings->MatchingGroupsInto(q.na_predicate, scratch,
+                                              matches);
+            uint64_t observed = 0;
+            uint64_t matched_size = 0;
+            for (uint32_t gi : matches) {
+              const PersonalGroup& g = snap.index.groups()[gi];
+              observed += g.sa_counts[q.sa_code];
+              matched_size += g.size();
+            }
+            result.answers[miss[k]] = MakeAnswer(snap, observed, matched_size);
+          }
+        });
+  } else {
+    // Shard-by-group: every worker scans a contiguous shard of groups once
+    // for all uncached queries, then the per-shard partial sums reduce.
+    const size_t num_groups = snap.index.num_groups();
+    const size_t grain = pool_.GrainFor(num_groups, /*min_grain=*/64);
+    const size_t num_shards = num_groups == 0 ? 0 : (num_groups + grain - 1) / grain;
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> partials(
+        num_shards);
+    pool_.ParallelFor(0, num_groups, grain, [&](size_t lo, size_t hi) {
+      auto& part = partials[lo / grain];  // chunks are grain-aligned
+      part.assign(miss.size(), {0, 0});
+      for (size_t gi = lo; gi < hi; ++gi) {
+        const PersonalGroup& g = snap.index.groups()[gi];
+        for (size_t k = 0; k < miss.size(); ++k) {
+          const CountQuery& q = batch[miss[k]];
+          if (GroupMatches(snap.index, g, q.na_predicate)) {
+            part[k].first += g.sa_counts[q.sa_code];
+            part[k].second += g.size();
+          }
+        }
+      }
+    });
+    for (size_t k = 0; k < miss.size(); ++k) {
+      uint64_t observed = 0;
+      uint64_t matched_size = 0;
+      for (const auto& part : partials) {
+        if (part.empty()) continue;  // shard never ran (empty range)
+        observed += part[k].first;
+        matched_size += part[k].second;
+      }
+      result.answers[miss[k]] = MakeAnswer(snap, observed, matched_size);
+    }
+  }
+
+  for (const auto& [dup, original] : dups) {
+    result.answers[dup] = result.answers[original];
+  }
+  for (size_t k : miss) {
+    const Answer& a = result.answers[k];
+    cache_.Insert(keys[k], CachedAnswer{a.observed, a.matched_size,
+                                        a.estimate});
+  }
+  return result;
+}
+
+Result<Answer> QueryEngine::AnswerOne(const std::string& release,
+                                      const CountQuery& q) {
+  RECPRIV_ASSIGN_OR_RETURN(BatchResult batch, AnswerBatch(release, {q}));
+  return batch.answers[0];
+}
+
+}  // namespace recpriv::serve

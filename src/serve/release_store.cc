@@ -1,0 +1,70 @@
+#include "serve/release_store.h"
+
+#include <utility>
+
+namespace recpriv::serve {
+
+using recpriv::analysis::ReleaseBundle;
+using recpriv::analysis::SnapshotRelease;
+
+Result<SnapshotPtr> ReleaseStore::Publish(const std::string& name,
+                                          ReleaseBundle bundle) {
+  if (name.empty()) {
+    return Status::InvalidArgument("release name must be non-empty");
+  }
+  // Reserve a unique, strictly increasing epoch up front, then build the
+  // snapshot outside the lock (indexing a large release is the expensive
+  // part). Concurrent publishers to the same name each get their own epoch;
+  // whichever holds the highest one wins the slot, so a slow stale publish
+  // can never overwrite a newer snapshot and cache keys never repeat.
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = ++next_epoch_[name];
+  }
+  RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap,
+                           SnapshotRelease(std::move(bundle), epoch));
+  std::lock_guard<std::mutex> lock(mu_);
+  SnapshotPtr& slot = releases_[name];
+  if (slot == nullptr || slot->epoch < snap->epoch) slot = std::move(snap);
+  return slot;
+}
+
+Result<SnapshotPtr> ReleaseStore::PublishFromStreaming(
+    const std::string& name,
+    const recpriv::core::StreamingPublisher& publisher, Rng& rng) {
+  RECPRIV_ASSIGN_OR_RETURN(recpriv::core::SpsTableResult sps,
+                           publisher.Publish(rng));
+  std::string sensitive = sps.table.schema()->sensitive().name;
+  ReleaseBundle bundle{std::move(sps.table), publisher.params(),
+                       std::move(sensitive),
+                       /*generalization=*/{}};
+  return Publish(name, std::move(bundle));
+}
+
+Result<SnapshotPtr> ReleaseStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::NotFound("no release named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<ReleaseInfo> ReleaseStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReleaseInfo> out;
+  out.reserve(releases_.size());
+  for (const auto& [name, snap] : releases_) {
+    out.push_back(ReleaseInfo{name, snap->epoch, snap->index.num_records(),
+                              snap->index.num_groups()});
+  }
+  return out;
+}
+
+size_t ReleaseStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return releases_.size();
+}
+
+}  // namespace recpriv::serve

@@ -1,0 +1,72 @@
+// ReleaseStore: the registry the serving layer reads from — named,
+// versioned, immutable snapshots of published releases.
+//
+// Copy-on-publish: Publish() builds a fresh analysis::ReleaseSnapshot (data
+// + group index + posting index) off to the side and then atomically swaps
+// the name's entry under a short critical section. Readers hold
+// shared_ptr<const ReleaseSnapshot>s, so a StreamingPublisher republishing
+// a release never blocks in-flight query batches and never mutates data a
+// reader is scanning — old epochs simply drain when their last reader drops
+// the pointer. This is the paper's consumption model taken seriously: the
+// user-facing artifact is an immutable perturbed table (§3.1), so serving
+// it is a pointer swap, not a lock hierarchy.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/release.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "core/streaming.h"
+
+namespace recpriv::serve {
+
+using SnapshotPtr = std::shared_ptr<const recpriv::analysis::ReleaseSnapshot>;
+
+/// One row of List(): the serving-visible metadata of a named release.
+struct ReleaseInfo {
+  std::string name;
+  uint64_t epoch = 0;
+  uint64_t num_records = 0;
+  uint64_t num_groups = 0;
+};
+
+/// Thread-safe registry of named release snapshots.
+class ReleaseStore {
+ public:
+  /// Publishes `bundle` under `name`. A first publication gets epoch 1;
+  /// republication bumps the previous epoch and swaps the snapshot in
+  /// atomically. Returns the snapshot that is now being served.
+  Result<SnapshotPtr> Publish(const std::string& name,
+                              recpriv::analysis::ReleaseBundle bundle);
+
+  /// Republishes from a streaming publisher: runs a full SPS snapshot of
+  /// its current buffer (core::StreamingPublisher::Publish) and publishes
+  /// the result under `name`. The SPS pass and indexing happen outside the
+  /// store lock; concurrent readers keep the previous epoch meanwhile.
+  Result<SnapshotPtr> PublishFromStreaming(
+      const std::string& name,
+      const recpriv::core::StreamingPublisher& publisher, Rng& rng);
+
+  /// The current snapshot of `name`, or NotFound.
+  Result<SnapshotPtr> Get(const std::string& name) const;
+
+  /// Metadata of every release, name-sorted.
+  std::vector<ReleaseInfo> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SnapshotPtr> releases_;
+  /// Highest epoch ever reserved per name (>= the served snapshot's epoch).
+  std::map<std::string, uint64_t> next_epoch_;
+};
+
+}  // namespace recpriv::serve

@@ -1,0 +1,180 @@
+#include "serve/wire.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "query/count_query.h"
+#include "table/predicate.h"
+
+namespace recpriv::serve {
+
+using recpriv::query::CountQuery;
+using recpriv::table::Predicate;
+using recpriv::table::Schema;
+
+namespace {
+
+JsonValue ErrorResponse(const Status& status) {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(false));
+  out.Set("error", JsonValue::String(status.ToString()));
+  return out;
+}
+
+/// Builds one CountQuery from {"where":{attr:value,...},"sa":value} against
+/// the release schema.
+Result<CountQuery> ParseQuery(const JsonValue& spec, const Schema& schema) {
+  CountQuery q(schema.num_attributes());
+  if (spec.Has("where")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* where, spec.Get("where"));
+    if (!where->is_object()) {
+      return Status::InvalidArgument("'where' must be an object");
+    }
+    std::vector<std::pair<std::string, std::string>> bindings;
+    for (const std::string& attr : where->Keys()) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* value, where->Get(attr));
+      RECPRIV_ASSIGN_OR_RETURN(std::string value_str, value->AsString());
+      bindings.emplace_back(attr, std::move(value_str));
+    }
+    RECPRIV_ASSIGN_OR_RETURN(q.na_predicate,
+                             Predicate::FromBindings(schema, bindings));
+    if (q.na_predicate.is_bound(schema.sensitive_index())) {
+      return Status::InvalidArgument(
+          "'where' must not constrain the sensitive attribute; use 'sa'");
+    }
+    q.dimensionality = q.na_predicate.num_bound();
+  }
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* sa, spec.Get("sa"));
+  RECPRIV_ASSIGN_OR_RETURN(std::string sa_value, sa->AsString());
+  RECPRIV_ASSIGN_OR_RETURN(q.sa_code,
+                           schema.sensitive().domain.GetCode(sa_value));
+  return q;
+}
+
+Result<JsonValue> HandleList(QueryEngine& engine) {
+  JsonValue releases = JsonValue::Array();
+  for (const ReleaseInfo& info : engine.store().List()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(info.name));
+    entry.Set("epoch", JsonValue::Int(int64_t(info.epoch)));
+    entry.Set("num_records", JsonValue::Int(int64_t(info.num_records)));
+    entry.Set("num_groups", JsonValue::Int(int64_t(info.num_groups)));
+    releases.Append(std::move(entry));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("releases", std::move(releases));
+  return out;
+}
+
+Result<JsonValue> HandleStats(QueryEngine& engine) {
+  JsonValue cache = JsonValue::Object();
+  cache.Set("size", JsonValue::Int(int64_t(engine.cache().size())));
+  cache.Set("capacity", JsonValue::Int(int64_t(engine.cache().capacity())));
+  cache.Set("hits", JsonValue::Int(int64_t(engine.cache().hits())));
+  cache.Set("misses", JsonValue::Int(int64_t(engine.cache().misses())));
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("threads", JsonValue::Int(int64_t(engine.pool().num_threads())));
+  out.Set("cache", std::move(cache));
+  return out;
+}
+
+Result<JsonValue> HandleQuery(const JsonValue& request, QueryEngine& engine) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* release_node,
+                           request.Get("release"));
+  RECPRIV_ASSIGN_OR_RETURN(std::string release, release_node->AsString());
+  RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap, engine.store().Get(release));
+  const Schema& schema = *snap->bundle.data.schema();
+
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* queries, request.Get("queries"));
+  if (!queries->is_array()) {
+    return Status::InvalidArgument("'queries' must be an array");
+  }
+  std::vector<CountQuery> batch;
+  batch.reserve(queries->size());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* spec, queries->At(i));
+    RECPRIV_ASSIGN_OR_RETURN(CountQuery q, ParseQuery(*spec, schema));
+    batch.push_back(std::move(q));
+  }
+
+  // Evaluate against the same snapshot the codes were resolved with: a
+  // republish between our Get and evaluation must not remap the codes.
+  RECPRIV_ASSIGN_OR_RETURN(BatchResult result,
+                           engine.AnswerBatch(release, snap, batch));
+  JsonValue answers = JsonValue::Array();
+  for (const Answer& a : result.answers) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("observed", JsonValue::Int(int64_t(a.observed)));
+    entry.Set("matched_size", JsonValue::Int(int64_t(a.matched_size)));
+    entry.Set("estimate", JsonValue::Number(a.estimate));
+    entry.Set("cached", JsonValue::Bool(a.cached));
+    answers.Append(std::move(entry));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("release", JsonValue::String(release));
+  out.Set("epoch", JsonValue::Int(int64_t(result.epoch)));
+  out.Set("cache_hits", JsonValue::Int(int64_t(result.cache_hits)));
+  out.Set("cache_misses", JsonValue::Int(int64_t(result.cache_misses)));
+  out.Set("answers", std::move(answers));
+  return out;
+}
+
+}  // namespace
+
+JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine) {
+  if (!request.is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"));
+  }
+  auto op_node = request.Get("op");
+  if (!op_node.ok()) return ErrorResponse(op_node.status());
+  auto op = (*op_node)->AsString();
+  if (!op.ok()) return ErrorResponse(op.status());
+
+  Result<JsonValue> response = Status::NotImplemented("unreachable");
+  if (*op == "query") {
+    response = HandleQuery(request, engine);
+  } else if (*op == "list") {
+    response = HandleList(engine);
+  } else if (*op == "stats") {
+    response = HandleStats(engine);
+  } else {
+    response = Status::InvalidArgument(
+        "unknown op '" + *op + "' (expected query, list, or stats)");
+  }
+  if (!response.ok()) return ErrorResponse(response.status());
+  return std::move(*response);
+}
+
+std::string HandleRequestLine(const std::string& line, QueryEngine& engine) {
+  auto request = JsonValue::Parse(line);
+  JsonValue response = request.ok()
+                           ? HandleRequest(*request, engine)
+                           : ErrorResponse(request.status());
+  return response.ToString();
+}
+
+size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
+  size_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    out << HandleRequestLine(line, engine) << "\n" << std::flush;
+    ++handled;
+  }
+  return handled;
+}
+
+}  // namespace recpriv::serve

@@ -1,0 +1,50 @@
+// Line-delimited JSON request/response front end for the serving layer —
+// the protocol behind tools/recpriv_serve. One JSON object per input line,
+// one JSON object per output line, always with an "ok" field:
+//
+//   {"op":"list"}
+//     -> {"ok":true,"releases":[{"name":...,"epoch":...,
+//         "num_records":...,"num_groups":...}]}
+//
+//   {"op":"query","release":"adult","queries":[
+//       {"where":{"Workclass":"private","Education":"hs"},"sa":">50k"}]}
+//     -> {"ok":true,"release":"adult","epoch":1,"cache_hits":0,
+//         "cache_misses":1,"answers":[{"observed":12,"matched_size":310,
+//         "estimate":18.7,"cached":false}]}
+//
+//   {"op":"stats"}
+//     -> {"ok":true,"threads":4,"cache":{"size":...,"capacity":...,
+//         "hits":...,"misses":...}}
+//
+// Errors never tear down the session: a malformed line or unknown release
+// yields {"ok":false,"error":"..."} and the loop continues. Values in
+// "where" and "sa" are domain strings of the release's own schema; unknown
+// attributes or values are reported as errors rather than silently matching
+// nothing, so analysts catch typos instead of reading zeros.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+
+namespace recpriv::serve {
+
+/// Dispatches one parsed request object; never returns an error — failures
+/// become {"ok":false,...} responses.
+JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine);
+
+/// Parses one request line and dispatches it; the returned string is the
+/// serialized one-line response (no trailing newline).
+std::string HandleRequestLine(const std::string& line, QueryEngine& engine);
+
+/// Reads request lines from `in` until EOF, writing one response line per
+/// request to `out` (blank lines are skipped). Returns the number of
+/// requests handled.
+size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine);
+
+}  // namespace recpriv::serve

@@ -71,9 +71,16 @@ double GroupIndex::AverageGroupSize() const {
 }
 
 std::vector<size_t> GroupIndex::MatchingGroups(const Predicate& pred) const {
+  std::vector<size_t> out;
+  MatchingGroupsInto(pred, out);
+  return out;
+}
+
+void GroupIndex::MatchingGroupsInto(const Predicate& pred,
+                                    std::vector<size_t>& out) const {
   RECPRIV_CHECK(pred.num_attributes() == schema_->num_attributes())
       << "predicate arity mismatch";
-  std::vector<size_t> out;
+  out.clear();
   for (size_t gi = 0; gi < groups_.size(); ++gi) {
     bool match = true;
     for (size_t k = 0; k < public_idx_.size(); ++k) {
@@ -86,7 +93,6 @@ std::vector<size_t> GroupIndex::MatchingGroups(const Predicate& pred) const {
     }
     if (match) out.push_back(gi);
   }
-  return out;
 }
 
 GroupPostingIndex::GroupPostingIndex(const GroupIndex& index)
@@ -107,34 +113,42 @@ GroupPostingIndex::GroupPostingIndex(const GroupIndex& index)
 
 std::vector<uint32_t> GroupPostingIndex::MatchingGroups(
     const Predicate& pred) const {
+  std::vector<uint32_t> scratch;
+  std::vector<uint32_t> out;
+  MatchingGroupsInto(pred, scratch, out);
+  return out;
+}
+
+void GroupPostingIndex::MatchingGroupsInto(const Predicate& pred,
+                                           std::vector<uint32_t>& scratch,
+                                           std::vector<uint32_t>& out) const {
+  out.clear();
   const auto& pub = index_->public_indices();
   // Collect the posting lists of the bound conditions, smallest first.
   std::vector<const std::vector<uint32_t>*> lists;
   for (size_t k = 0; k < pub.size(); ++k) {
     if (pred.is_bound(pub[k])) {
       uint32_t code = pred.code(pub[k]);
-      if (code >= postings_[k].size()) return {};
+      if (code >= postings_[k].size()) return;
       lists.push_back(&postings_[k][code]);
     }
   }
   if (lists.empty()) {
-    std::vector<uint32_t> all(index_->num_groups());
-    for (size_t gi = 0; gi < all.size(); ++gi) {
-      all[gi] = static_cast<uint32_t>(gi);
+    out.resize(index_->num_groups());
+    for (size_t gi = 0; gi < out.size(); ++gi) {
+      out[gi] = static_cast<uint32_t>(gi);
     }
-    return all;
+    return;
   }
   std::sort(lists.begin(), lists.end(),
             [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  std::vector<uint32_t> result = *lists[0];
-  for (size_t li = 1; li < lists.size() && !result.empty(); ++li) {
-    std::vector<uint32_t> next;
-    next.reserve(result.size());
-    std::set_intersection(result.begin(), result.end(), lists[li]->begin(),
-                          lists[li]->end(), std::back_inserter(next));
-    result = std::move(next);
+  out.assign(lists[0]->begin(), lists[0]->end());
+  for (size_t li = 1; li < lists.size() && !out.empty(); ++li) {
+    scratch.clear();
+    std::set_intersection(out.begin(), out.end(), lists[li]->begin(),
+                          lists[li]->end(), std::back_inserter(scratch));
+    std::swap(out, scratch);
   }
-  return result;
 }
 
 uint64_t GroupPostingIndex::CountAnswer(const Predicate& pred,

@@ -58,6 +58,13 @@ class GroupIndex {
   /// (SA condition, if any, is ignored here — it selects histogram bins).
   std::vector<size_t> MatchingGroups(const Predicate& pred) const;
 
+  /// Batched-evaluation entry point: fills `out` with the matching group
+  /// ids, clearing it first. Reusing `out` across the queries of a batch
+  /// amortizes the allocation that MatchingGroups pays per call — the
+  /// query-evaluation and serving hot paths go through this.
+  void MatchingGroupsInto(const Predicate& pred,
+                          std::vector<size_t>& out) const;
+
   /// Group with exactly this NA key (public-index order), or NotFound.
   Result<size_t> FindGroup(const std::vector<uint32_t>& na_codes) const;
 
@@ -84,6 +91,12 @@ class GroupPostingIndex {
   /// Same contract as GroupIndex::MatchingGroups, computed by posting-list
   /// intersection. An unbound predicate returns all group ids.
   std::vector<uint32_t> MatchingGroups(const Predicate& pred) const;
+
+  /// Allocation-free variant for batched evaluation: `out` receives the
+  /// matching group ids (cleared first) and `scratch` is ping-pong space
+  /// for the intersection; both retain capacity across calls.
+  void MatchingGroupsInto(const Predicate& pred, std::vector<uint32_t>& scratch,
+                          std::vector<uint32_t>& out) const;
 
   /// Sum of sa_counts[sa] over matching groups (a count-query answer),
   /// without materializing the match list.

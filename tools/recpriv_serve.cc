@@ -1,0 +1,164 @@
+// recpriv_serve — the release-serving front end: loads self-describing
+// release bundles (see analysis/release.h), registers them in a
+// ReleaseStore, and answers line-delimited JSON count-query requests from
+// stdin on stdout (protocol: src/serve/wire.h).
+//
+//   recpriv_publish --input patients.csv --sensitive Disease
+//                   --output release.csv --manifest release
+//   recpriv_serve --release release --name patients
+//   > {"op":"query","release":"patients","queries":[{"where":{"Job":"eng"},"sa":"flu"}]}
+//
+// Multiple releases: positional NAME=BASENAME arguments. --demo publishes a
+// small synthetic release named "demo" for protocol experiments without any
+// input files.
+
+#include <iostream>
+#include <set>
+
+#include "recpriv.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+constexpr const char* kUsage = R"(usage: recpriv_serve [options] [NAME=BASENAME ...]
+
+Serves count queries over published releases: line-delimited JSON requests
+on stdin, one JSON response per line on stdout. See src/serve/wire.h for
+the protocol.
+
+release sources (at least one, unless --demo):
+  --release BASE      load BASE.csv + BASE.manifest.json (written by
+                      recpriv_publish --manifest) and serve it
+  --name NAME         name for the --release bundle     [default "default"]
+  NAME=BASENAME       additional positional releases, each a manifest base
+                      (place before bare boolean flags or after "--", since
+                      "--demo NAME=BASENAME" parses as a flag value)
+
+options:
+  --threads N         worker threads for batch evaluation  [default: cores]
+  --cache N           answer-cache capacity (entries)      [default 65536]
+  --demo              publish a built-in synthetic release named "demo"
+  --help              print this help and exit
+)";
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+Status PublishDemo(serve::ReleaseStore& store) {
+  datagen::SimpleDatasetSpec spec;
+  spec.public_attributes = {"Job", "City"};
+  spec.sensitive_attribute = "Disease";
+  spec.sa_domain = {"flu", "hiv", "bc"};
+  spec.groups.push_back(
+      datagen::GroupSpec{{"eng", "north"}, 4000, {70, 20, 10}});
+  spec.groups.push_back(
+      datagen::GroupSpec{{"eng", "south"}, 3000, {70, 20, 10}});
+  spec.groups.push_back(
+      datagen::GroupSpec{{"law", "north"}, 2000, {20, 30, 50}});
+  spec.groups.push_back(
+      datagen::GroupSpec{{"law", "south"}, 1000, {20, 30, 50}});
+  auto raw = datagen::GenerateSimpleExact(spec);
+  RECPRIV_RETURN_NOT_OK(raw.status());
+
+  core::PrivacyParams params;
+  params.domain_m = raw->schema()->sa_domain_size();
+  Rng rng(2015);
+  auto sps = core::SpsPerturbTable(params, *raw, rng);
+  RECPRIV_RETURN_NOT_OK(sps.status());
+  analysis::ReleaseBundle bundle{std::move(sps->table), params,
+                                 spec.sensitive_attribute, {}};
+  auto snap = store.Publish("demo", std::move(bundle));
+  return snap.ok() ? Status::OK() : snap.status();
+}
+
+Status LoadAndPublish(serve::ReleaseStore& store, const std::string& name,
+                      const std::string& basename) {
+  auto bundle = analysis::LoadRelease(basename);
+  RECPRIV_RETURN_NOT_OK(bundle.status());
+  auto snap = store.Publish(name, std::move(*bundle));
+  RECPRIV_RETURN_NOT_OK(snap.status());
+  std::cerr << "serving '" << name << "' (epoch " << (*snap)->epoch << "): "
+            << FormatWithCommas(int64_t((*snap)->index.num_records()))
+            << " records, "
+            << FormatWithCommas(int64_t((*snap)->index.num_groups()))
+            << " groups\n";
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  auto flags_or = FlagSet::Parse(argc, argv);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const FlagSet& flags = *flags_or;
+
+  const std::set<std::string> known = {"release", "name", "threads", "cache",
+                                       "demo", "help"};
+  for (const auto& name : flags.FlagNames()) {
+    if (!known.count(name)) {
+      std::cerr << "unknown flag --" << name << "\n" << kUsage;
+      return 1;
+    }
+  }
+  if (flags.Has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  auto store = std::make_shared<serve::ReleaseStore>();
+  if (flags.Has("release")) {
+    if (auto st = LoadAndPublish(*store, flags.GetString("name", "default"),
+                                 flags.GetString("release"));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  for (const std::string& arg : flags.positional()) {
+    auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+      std::cerr << "positional argument must be NAME=BASENAME: " << arg
+                << "\n" << kUsage;
+      return 1;
+    }
+    if (auto st = LoadAndPublish(*store, arg.substr(0, eq),
+                                 arg.substr(eq + 1));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  auto demo = flags.GetBool("demo", false);
+  if (!demo.ok()) return Fail(demo.status());
+  if (*demo) {
+    if (auto st = PublishDemo(*store); !st.ok()) return Fail(st);
+    std::cerr << "serving synthetic release 'demo'\n";
+  }
+  if (store->size() == 0) {
+    std::cerr << "no releases to serve (use --release, NAME=BASENAME, or "
+                 "--demo)\n"
+              << kUsage;
+    return 1;
+  }
+
+  serve::QueryEngineOptions options;
+  auto threads = flags.GetInt("threads", 0);
+  auto cache = flags.GetInt("cache", int64_t(options.cache_capacity));
+  if (!threads.ok()) return Fail(threads.status());
+  if (!cache.ok()) return Fail(cache.status());
+  if (*threads < 0 || *cache < 0) {
+    return Fail(Status::InvalidArgument("--threads/--cache must be >= 0"));
+  }
+  options.num_threads = size_t(*threads);
+  options.cache_capacity = size_t(*cache);
+  serve::QueryEngine engine(store, options);
+
+  const size_t handled = serve::ServeLines(std::cin, std::cout, engine);
+  std::cerr << "served " << FormatWithCommas(int64_t(handled))
+            << " requests (cache: " << engine.cache().hits() << " hits, "
+            << engine.cache().misses() << " misses)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
