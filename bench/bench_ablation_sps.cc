@@ -148,7 +148,7 @@ int Run() {
     for (size_t i = 0; i < runs; ++i) {
       RECPRIV_ASSIGN_OR_RETURN(query::PerturbedGroups groups,
                                make_groups(rng));
-      total += query::EvaluateRelativeError(ds->pool, ds->index, groups,
+      total += query::EvaluateRelativeError(ds->pool, ds->flat_index, groups,
                                             params.retention_p)
                    .mean_relative_error;
     }
@@ -158,13 +158,13 @@ int Run() {
   exp::AsciiTable out({"variant", "mean relative error", "notes"});
 
   auto up_err = evaluate([&](Rng& rng) {
-    return query::PerturbAllGroups(ds->index, params.retention_p, rng);
+    return query::PerturbAllGroups(ds->flat_index, params.retention_p, rng);
   });
   out.AddRow({"UP (no enforcement)", FormatDouble(*up_err, 4),
               "violates reconstruction privacy"});
 
   auto sps_err = evaluate(
-      [&](Rng& rng) { return query::SpsAllGroups(ds->index, params, rng); });
+      [&](Rng& rng) { return query::SpsAllGroups(ds->flat_index, params, rng); });
   out.AddRow({"SPS (paper)", FormatDouble(*sps_err, 4),
               "frequency-preserving sample + scale"});
 
@@ -184,7 +184,7 @@ int Run() {
   core::PrivacyParams reduced = params;
   reduced.retention_p = std::max(p_prime, 0.001);
   auto reduced_err = evaluate([&](Rng& rng) {
-    return query::PerturbAllGroups(ds->index, reduced.retention_p, rng);
+    return query::PerturbAllGroups(ds->flat_index, reduced.retention_p, rng);
   });
   out.AddRow({"reduce-p alternative (p'=" + FormatDouble(p_prime, 3) + ")",
               FormatDouble(*reduced_err, 4),

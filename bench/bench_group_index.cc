@@ -1,0 +1,321 @@
+// Group-index layout bench: legacy row-oriented GroupIndex vs the columnar
+// FlatGroupIndex, head to head on the operations every scan-bound workload
+// in the repo reduces to (paper §3.2, §5):
+//
+//   build            index construction from a table (comparator sort vs
+//                    packed-key radix sort + run-length pass)
+//   scan_match       MatchingGroupsInto over a query-pool's NA predicates
+//                    (one linear pass of the NA keys per query)
+//   count_answer     a full count-query answer: observed O* + matched |S*|
+//                    (legacy: match list + per-group gather; flat: the
+//                    fused AnswerInto kernel, no match list)
+//   posting_*        the inverted GroupPostingIndex over the flat layout
+//                    (intersection-based matching; no legacy counterpart
+//                    since PR 2 — reported for the perf trajectory only)
+//
+// Datasets are the paper's two scales, synthesized: ADULT (45,222 records)
+// and CENSUS (300,000 records — the >=100k "serving-relevant" scale the
+// speedup gate runs on). Both are indexed on their raw (ungeneralized)
+// public attributes, the group-rich regime where layout matters.
+//
+// Results go to stdout as tables and to --out (default
+// BENCH_group_index.json) as machine-readable JSON:
+//
+//   {
+//     "schema": "bench_group_index/v1",
+//     "quick": false,
+//     "datasets": { "<name>": {"rows": R, "groups": G, "pool": Q} },
+//     "benchmarks": { "<dataset>/<op>/<layout>":
+//         {"ns_per_op": N, "throughput": T, "unit": "<ops>/s", "iters": I} },
+//     "speedups": { "<dataset>/<op>": legacy_ns / flat_ns }
+//   }
+//
+// Exits non-zero unless the flat layout wins >=2x on at least one of
+// {build, scan_match, count_answer} at the >=100k-row scale, so CI can gate
+// on the tentpole claim. --quick shrinks both datasets for smoke runs
+// (the gate is skipped below 100k rows, but the JSON is still emitted).
+
+#include <functional>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datagen/adult.h"
+#include "datagen/census.h"
+#include "exp/reporting.h"
+#include "query/count_query.h"
+#include "query/query_pool.h"
+#include "table/flat_group_index.h"
+#include "table/group_index.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+struct Measurement {
+  double ns_per_op = 0.0;
+  double per_sec = 0.0;  ///< ops per second
+  size_t iters = 0;      ///< timed repetitions of the workload
+};
+
+/// Times `fn` (a workload of `ops` logical operations): one warmup run,
+/// then repeats until `min_seconds` of wall time has accumulated.
+Measurement Measure(size_t ops, double min_seconds,
+                    const std::function<void()>& fn) {
+  fn();  // warmup: faults pages, fills allocator caches
+  Measurement m;
+  WallTimer timer;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++m.iters;
+    elapsed = timer.Seconds();
+  } while (elapsed < min_seconds);
+  const double total_ops = double(m.iters) * double(ops);
+  m.ns_per_op = elapsed * 1e9 / total_ops;
+  m.per_sec = total_ops / elapsed;
+  return m;
+}
+
+struct Dataset {
+  std::string name;
+  table::Table table;
+  std::vector<query::CountQuery> pool;
+};
+
+/// One dataset's results, keyed "<op>/<layout>".
+using Results = std::map<std::string, Measurement>;
+
+Results RunDataset(const Dataset& ds, double min_seconds) {
+  Results out;
+
+  // --- build ---------------------------------------------------------------
+  out["build/legacy"] = Measure(ds.table.num_rows(), min_seconds, [&] {
+    auto idx = table::GroupIndex::Build(ds.table);
+    if (idx.num_groups() == 0) std::abort();
+  });
+  out["build/flat"] = Measure(ds.table.num_rows(), min_seconds, [&] {
+    auto idx = table::FlatGroupIndex::Build(ds.table);
+    if (idx.num_groups() == 0) std::abort();
+  });
+
+  const table::GroupIndex legacy = table::GroupIndex::Build(ds.table);
+  const table::FlatGroupIndex flat = table::FlatGroupIndex::Build(ds.table);
+  const table::GroupPostingIndex postings(flat);
+
+  // --- scan_match: matching group ids per pool predicate -------------------
+  uint64_t sink = 0;
+  {
+    std::vector<size_t> matches;
+    out["scan_match/legacy"] = Measure(ds.pool.size(), min_seconds, [&] {
+      for (const auto& q : ds.pool) {
+        legacy.MatchingGroupsInto(q.na_predicate, matches);
+        sink += matches.size();
+      }
+    });
+  }
+  {
+    std::vector<uint32_t> matches;
+    out["scan_match/flat"] = Measure(ds.pool.size(), min_seconds, [&] {
+      for (const auto& q : ds.pool) {
+        flat.MatchingGroupsInto(q.na_predicate, matches);
+        sink += matches.size();
+      }
+    });
+  }
+  {
+    std::vector<uint32_t> scratch, matches;
+    out["posting_match/flat"] = Measure(ds.pool.size(), min_seconds, [&] {
+      for (const auto& q : ds.pool) {
+        postings.MatchingGroupsInto(q.na_predicate, scratch, matches);
+        sink += matches.size();
+      }
+    });
+  }
+
+  // --- count_answer: observed O* + matched |S*| per pool query -------------
+  {
+    // The pre-PR-2 serving hot path: materialize the match list, then
+    // gather from each group's separately-allocated vectors.
+    std::vector<size_t> matches;
+    out["count_answer/legacy"] = Measure(ds.pool.size(), min_seconds, [&] {
+      for (const auto& q : ds.pool) {
+        legacy.MatchingGroupsInto(q.na_predicate, matches);
+        uint64_t observed = 0, matched_size = 0;
+        for (size_t gi : matches) {
+          const auto& g = legacy.groups()[gi];
+          observed += g.sa_counts[q.sa_code];
+          matched_size += g.size();
+        }
+        sink += observed + matched_size;
+      }
+    });
+  }
+  out["count_answer/flat"] = Measure(ds.pool.size(), min_seconds, [&] {
+    for (const auto& q : ds.pool) {
+      uint64_t observed = 0, matched_size = 0;
+      flat.AnswerInto(q.na_predicate, q.sa_code, &observed, &matched_size);
+      sink += observed + matched_size;
+    }
+  });
+  out["posting_count/flat"] = Measure(ds.pool.size(), min_seconds, [&] {
+    for (const auto& q : ds.pool) {
+      sink += postings.CountAnswer(q.na_predicate, q.sa_code);
+    }
+  });
+  if (sink == uint64_t(-1)) std::abort();  // keep the loops observable
+
+  return out;
+}
+
+Result<Dataset> MakeDataset(std::string name, table::Table table,
+                            size_t pool_size, Rng& rng) {
+  const table::FlatGroupIndex index = table::FlatGroupIndex::Build(table);
+  query::QueryPoolConfig config;
+  config.pool_size = pool_size;
+  RECPRIV_ASSIGN_OR_RETURN(std::vector<query::CountQuery> pool,
+                           query::GenerateQueryPool(index, config, rng));
+  if (pool.empty()) return Status::Internal("empty query pool for " + name);
+  return Dataset{std::move(name), std::move(table), std::move(pool)};
+}
+
+int Run(int argc, char** argv) {
+  auto flags = FlagSet::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  const bool quick = *flags->GetBool("quick", false);
+  const std::string out_path =
+      flags->GetString("out", "BENCH_group_index.json");
+  // Long enough for stable numbers; --quick only needs the plumbing to run.
+  const double min_seconds = quick ? 0.01 : 0.25;
+  const size_t adult_rows = quick ? 4000 : 45222;
+  const size_t census_rows = quick ? 8000 : 300000;
+  const size_t pool_size = quick ? 200 : 1000;
+
+  exp::PrintBanner(std::cout,
+                   "Group-index layouts: row-oriented GroupIndex vs columnar "
+                   "FlatGroupIndex",
+                   quick ? "quick smoke sizes (gate skipped)"
+                         : "ADULT 45k / CENSUS 300k, 1,000-query pools");
+
+  Rng rng(20150315);
+  std::vector<Dataset> datasets;
+  {
+    auto adult = datagen::GenerateAdult({.num_records = adult_rows}, rng);
+    if (!adult.ok()) {
+      std::cerr << adult.status() << "\n";
+      return 1;
+    }
+    auto ds = MakeDataset("adult", *std::move(adult), pool_size, rng);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+    datasets.push_back(*std::move(ds));
+  }
+  {
+    auto census = datagen::GenerateCensus({.num_records = census_rows}, rng);
+    if (!census.ok()) {
+      std::cerr << census.status() << "\n";
+      return 1;
+    }
+    auto ds = MakeDataset("census", *std::move(census), pool_size, rng);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+    datasets.push_back(*std::move(ds));
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("bench_group_index/v1"));
+  doc.Set("quick", JsonValue::Bool(quick));
+  JsonValue json_datasets = JsonValue::Object();
+  JsonValue json_benchmarks = JsonValue::Object();
+  JsonValue json_speedups = JsonValue::Object();
+
+  // The tentpole gate: >=2x on one of these ops at >=100k rows.
+  const std::vector<std::string> gated_ops = {"build", "scan_match",
+                                              "count_answer"};
+  bool gate_applicable = false;
+  bool gate_passed = false;
+
+  for (const Dataset& ds : datasets) {
+    const table::FlatGroupIndex index = table::FlatGroupIndex::Build(ds.table);
+    std::cout << "\n" << ds.name << ": "
+              << FormatWithCommas(int64_t(ds.table.num_rows())) << " records, "
+              << FormatWithCommas(int64_t(index.num_groups())) << " groups, "
+              << ds.pool.size() << "-query pool ("
+              << (index.packed() ? "packed 64-bit keys" : "wide keys")
+              << ")\n";
+    JsonValue meta = JsonValue::Object();
+    meta.Set("rows", JsonValue::Int(int64_t(ds.table.num_rows())));
+    meta.Set("groups", JsonValue::Int(int64_t(index.num_groups())));
+    meta.Set("pool", JsonValue::Int(int64_t(ds.pool.size())));
+    json_datasets.Set(ds.name, std::move(meta));
+
+    const Results results = RunDataset(ds, min_seconds);
+    exp::AsciiTable table(
+        {"benchmark", "ns/op", "throughput", "unit", "iters"});
+    for (const auto& [key, m] : results) {
+      const bool is_build = key.rfind("build/", 0) == 0;
+      const std::string unit = is_build ? "rows/s" : "queries/s";
+      table.AddRow({key, FormatWithCommas(int64_t(m.ns_per_op)),
+                    FormatWithCommas(int64_t(m.per_sec)), unit,
+                    std::to_string(m.iters)});
+      JsonValue entry = JsonValue::Object();
+      entry.Set("ns_per_op", JsonValue::Number(m.ns_per_op));
+      entry.Set("throughput", JsonValue::Number(m.per_sec));
+      entry.Set("unit", JsonValue::String(unit));
+      entry.Set("iters", JsonValue::Int(int64_t(m.iters)));
+      json_benchmarks.Set(ds.name + "/" + key, std::move(entry));
+    }
+    table.Print(std::cout);
+
+    std::cout << "flat vs legacy:";
+    for (const std::string& op : gated_ops) {
+      const double speedup = results.at(op + "/legacy").ns_per_op /
+                             results.at(op + "/flat").ns_per_op;
+      json_speedups.Set(ds.name + "/" + op, JsonValue::Number(speedup));
+      std::cout << "  " << op << " " << FormatDouble(speedup, 2) << "x";
+      if (ds.table.num_rows() >= 100000) {
+        gate_applicable = true;
+        if (speedup >= 2.0) gate_passed = true;
+      }
+    }
+    std::cout << "\n";
+  }
+
+  doc.Set("datasets", std::move(json_datasets));
+  doc.Set("benchmarks", std::move(json_benchmarks));
+  doc.Set("speedups", std::move(json_speedups));
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << doc.ToString(2) << "\n";
+  }
+  std::cout << "\nresults written to " << out_path << "\n";
+
+  if (gate_applicable) {
+    std::cout << ">=2x on {build, scan_match, count_answer} at >=100k rows: "
+              << (gate_passed ? "PASS" : "FAIL") << "\n";
+    return gate_passed ? 0 : 1;
+  }
+  std::cout << "speedup gate skipped (no >=100k-row dataset at this size)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -13,6 +13,7 @@
 #include "perturb/mle.h"
 #include "perturb/uniform_perturbation.h"
 #include "query/evaluation.h"
+#include "table/flat_group_index.h"
 #include "table/group_index.h"
 
 namespace {
@@ -92,6 +93,18 @@ void BM_GroupIndexBuild45K(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupIndexBuild45K);
 
+// The columnar counterpart: packed-key radix build (see
+// table/flat_group_index.h and bench_group_index for the full old-vs-new
+// comparison).
+void BM_FlatGroupIndexBuild45K(benchmark::State& state) {
+  for (auto _ : state) {
+    auto idx = table::FlatGroupIndex::Build(AdultTable());
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetItemsProcessed(state.iterations() * AdultTable().num_rows());
+}
+BENCHMARK(BM_FlatGroupIndexBuild45K);
+
 void BM_Generalization45K(benchmark::State& state) {
   for (auto _ : state) {
     auto plan = core::ComputeGeneralization(AdultTable());
@@ -161,10 +174,10 @@ BENCHMARK(BM_MatchingGroupsScratchReuse);
 void BM_QueryEvaluation1K(benchmark::State& state) {
   Rng rng(7);
   const auto& ds = Prepared();
-  auto perturbed = *query::PerturbAllGroups(ds.index, 0.5, rng);
+  auto perturbed = *query::PerturbAllGroups(ds.flat_index, 0.5, rng);
   for (auto _ : state) {
     auto result =
-        query::EvaluateRelativeError(ds.pool, ds.index, perturbed, 0.5);
+        query::EvaluateRelativeError(ds.pool, ds.flat_index, perturbed, 0.5);
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * ds.pool.size());

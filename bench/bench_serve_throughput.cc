@@ -61,7 +61,7 @@ int Run() {
             << " records, pool " << kPoolSize << ")...\n";
   Rng rng(2015);
   auto raw = *datagen::GenerateCensus({.num_records = num_records}, rng);
-  auto raw_index = table::GroupIndex::Build(raw);
+  auto raw_index = table::FlatGroupIndex::Build(raw);
   query::QueryPoolConfig pool_config;
   pool_config.pool_size = kPoolSize;
   std::vector<query::CountQuery> pool =

@@ -70,6 +70,61 @@ Result<Estimate> Reconstructor::EstimateFrequency(const Table& release,
   return FromObserved(observed, size, confidence);
 }
 
+Result<Estimate> Reconstructor::EstimateFrequency(
+    const recpriv::table::FlatGroupIndex& index, const Predicate& predicate,
+    uint32_t sa_code, double confidence) const {
+  const size_t sa_col = index.schema()->sensitive_index();
+  if (predicate.num_attributes() != index.schema()->num_attributes()) {
+    return Status::InvalidArgument("predicate arity mismatch");
+  }
+  if (predicate.is_bound(sa_col)) {
+    return Status::InvalidArgument(
+        "predicate must not constrain the sensitive attribute; the released "
+        "SA is perturbed and filtering on it biases reconstruction");
+  }
+  if (sa_code >= up_.domain_m) {
+    return Status::OutOfRange("sa_code outside the SA domain");
+  }
+  uint64_t observed = 0, size = 0;
+  index.AnswerInto(predicate, sa_code, &observed, &size);
+  return FromObserved(observed, size, confidence);
+}
+
+Result<std::vector<Estimate>> Reconstructor::EstimateDistribution(
+    const recpriv::table::FlatGroupIndex& index, const Predicate& predicate,
+    double confidence) const {
+  const size_t sa_col = index.schema()->sensitive_index();
+  if (predicate.num_attributes() != index.schema()->num_attributes()) {
+    return Status::InvalidArgument("predicate arity mismatch");
+  }
+  if (predicate.is_bound(sa_col)) {
+    return Status::InvalidArgument(
+        "predicate must not constrain the sensitive attribute");
+  }
+  if (index.sa_domain() > up_.domain_m) {
+    return Status::InvalidArgument(
+        "release SA domain exceeds the reconstructor's domain_m");
+  }
+  // One matching pass, then |G_match| histogram-row adds.
+  std::vector<uint64_t> observed(up_.domain_m, 0);
+  uint64_t size = 0;
+  static thread_local std::vector<uint32_t> match_scratch;
+  index.MatchingGroupsInto(predicate, match_scratch);
+  for (uint32_t gi : match_scratch) {
+    const auto row = index.sa_counts(gi);
+    for (size_t sa = 0; sa < row.size(); ++sa) observed[sa] += row[sa];
+    size += index.group_size(gi);
+  }
+  std::vector<Estimate> out;
+  out.reserve(up_.domain_m);
+  for (size_t sa = 0; sa < up_.domain_m; ++sa) {
+    RECPRIV_ASSIGN_OR_RETURN(Estimate e,
+                             FromObserved(observed[sa], size, confidence));
+    out.push_back(e);
+  }
+  return out;
+}
+
 Result<std::vector<Estimate>> Reconstructor::EstimateDistribution(
     const Table& release, const Predicate& predicate,
     double confidence) const {

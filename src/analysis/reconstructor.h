@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "perturb/uniform_perturbation.h"
+#include "table/flat_group_index.h"
 #include "table/predicate.h"
 #include "table/table.h"
 
@@ -54,6 +55,21 @@ class Reconstructor {
   /// Whole SA distribution for the matched sub-population.
   Result<std::vector<Estimate>> EstimateDistribution(
       const recpriv::table::Table& release,
+      const recpriv::table::Predicate& predicate,
+      double confidence = 0.95) const;
+
+  /// Index-backed variants: identical estimates computed from a
+  /// FlatGroupIndex of the release instead of a row scan — the fused
+  /// histogram-sum kernel makes repeated reconstructions over the same
+  /// release O(|G|) (or O(log |G|) when fully bound) instead of O(|D|)
+  /// per call. The index must be built over the same released table.
+  Result<Estimate> EstimateFrequency(
+      const recpriv::table::FlatGroupIndex& index,
+      const recpriv::table::Predicate& predicate, uint32_t sa_code,
+      double confidence = 0.95) const;
+
+  Result<std::vector<Estimate>> EstimateDistribution(
+      const recpriv::table::FlatGroupIndex& index,
       const recpriv::table::Predicate& predicate,
       double confidence = 0.95) const;
 

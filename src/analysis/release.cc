@@ -164,9 +164,12 @@ Result<std::shared_ptr<const ReleaseSnapshot>> SnapshotRelease(
         "params.domain_m does not match the release's SA domain");
   }
   auto snap = std::make_shared<ReleaseSnapshot>(std::move(bundle), epoch);
-  snap->index = recpriv::table::GroupIndex::Build(snap->bundle.data);
+  snap->index = recpriv::table::FlatGroupIndex::Build(snap->bundle.data);
   snap->postings =
       std::make_unique<recpriv::table::GroupPostingIndex>(snap->index);
+  snap->up = recpriv::perturb::UniformPerturbation{
+      snap->bundle.params.retention_p, snap->bundle.params.domain_m};
+  RECPRIV_RETURN_NOT_OK(snap->up.Validate());
   return std::shared_ptr<const ReleaseSnapshot>(std::move(snap));
 }
 

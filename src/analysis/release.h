@@ -17,7 +17,8 @@
 #include "common/result.h"
 #include "core/generalization.h"
 #include "core/reconstruction_privacy.h"
-#include "table/group_index.h"
+#include "perturb/uniform_perturbation.h"
+#include "table/flat_group_index.h"
 #include "table/table.h"
 
 namespace recpriv::analysis {
@@ -47,12 +48,13 @@ recpriv::JsonValue BuildManifest(const ReleaseBundle& bundle);
 Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle);
 
 /// An immutable, query-ready view of one published release: the bundle plus
-/// its personal-group index and posting index, built once at publish time
-/// and shared (via shared_ptr<const>) by every concurrent reader. The group
-/// index is built over the *perturbed* release table, so its per-group SA
-/// histograms are exactly the observed counts O* a consumer reconstructs
-/// from (Lemma 2). `epoch` distinguishes republications of the same named
-/// release — the serving layer keys its answer cache on it.
+/// its columnar personal-group index and posting index, built once at
+/// publish time and shared (via shared_ptr<const>) by every concurrent
+/// reader. The group index is built over the *perturbed* release table, so
+/// its per-group SA histograms are exactly the observed counts O* a
+/// consumer reconstructs from (Lemma 2). `epoch` distinguishes
+/// republications of the same named release — the serving layer keys its
+/// answer cache on it.
 struct ReleaseSnapshot {
   ReleaseSnapshot(ReleaseBundle bundle_in, uint64_t epoch_in)
       : bundle(std::move(bundle_in)), epoch(epoch_in) {}
@@ -63,8 +65,11 @@ struct ReleaseSnapshot {
   ReleaseSnapshot& operator=(const ReleaseSnapshot&) = delete;
 
   ReleaseBundle bundle;
-  recpriv::table::GroupIndex index;
+  recpriv::table::FlatGroupIndex index;
   std::unique_ptr<const recpriv::table::GroupPostingIndex> postings;
+  /// The release's perturbation operator (p, m), validated once at
+  /// snapshot time so per-answer reconstruction never re-validates.
+  recpriv::perturb::UniformPerturbation up{0.5, 2};
   uint64_t epoch = 0;
 };
 

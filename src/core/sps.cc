@@ -14,7 +14,7 @@ using recpriv::table::PersonalGroup;
 using recpriv::table::Table;
 
 std::vector<uint64_t> FrequencyPreservingSample(
-    const std::vector<uint64_t>& counts, double tau, Rng& rng) {
+    std::span<const uint64_t> counts, double tau, Rng& rng) {
   std::vector<uint64_t> sample(counts.size(), 0);
   for (size_t i = 0; i < counts.size(); ++i) {
     const double target = static_cast<double>(counts[i]) * tau;
@@ -37,8 +37,7 @@ std::vector<uint64_t> ScaleCounts(const std::vector<uint64_t>& observed,
 }
 
 Result<SpsCountsResult> SpsPerturbGroupCounts(
-    const PrivacyParams& params, const std::vector<uint64_t>& counts,
-    Rng& rng) {
+    const PrivacyParams& params, std::span<const uint64_t> counts, Rng& rng) {
   RECPRIV_RETURN_NOT_OK(params.Validate());
   if (counts.size() != params.domain_m) {
     return Status::InvalidArgument("counts length must equal m");

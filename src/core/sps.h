@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -67,16 +68,17 @@ Result<SpsTableResult> SpsPerturbTable(const PrivacyParams& params,
                                        const recpriv::table::Table& input,
                                        Rng& rng);
 
-/// Runs SPS for one group given its per-SA-value counts (count-level path).
+/// Runs SPS for one group given its per-SA-value counts (count-level
+/// path). Takes a span so FlatGroupIndex histogram rows feed it without a
+/// copy (vectors convert implicitly).
 Result<SpsCountsResult> SpsPerturbGroupCounts(
-    const PrivacyParams& params, const std::vector<uint64_t>& counts,
-    Rng& rng);
+    const PrivacyParams& params, std::span<const uint64_t> counts, Rng& rng);
 
 /// Frequency-preserving sample sizes (Sampling step): per SA value,
 /// floor(c_i * tau) plus a Bernoulli(frac) extra. Exposed for testing and
 /// for the ablation bench.
 std::vector<uint64_t> FrequencyPreservingSample(
-    const std::vector<uint64_t>& counts, double tau, Rng& rng);
+    std::span<const uint64_t> counts, double tau, Rng& rng);
 
 /// Scaling step on observed counts: each of the o_i records duplicated
 /// floor(tau') times plus Binomial(o_i, frac(tau')) extras.

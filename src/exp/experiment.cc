@@ -11,6 +11,7 @@ namespace recpriv::exp {
 using recpriv::core::Generalization;
 using recpriv::core::PrivacyParams;
 using recpriv::query::CountQuery;
+using recpriv::table::FlatGroupIndex;
 using recpriv::table::GroupIndex;
 using recpriv::table::Table;
 
@@ -44,6 +45,7 @@ Result<PreparedDataset> Prepare(Table raw, size_t pool_size, uint64_t seed) {
                            recpriv::core::ApplyGeneralization(plan, raw));
   GroupIndex raw_index = GroupIndex::Build(raw);
   GroupIndex index = GroupIndex::Build(generalized);
+  FlatGroupIndex flat_index = FlatGroupIndex::Build(generalized);
 
   std::vector<CountQuery> pool;
   if (pool_size > 0) {
@@ -51,16 +53,20 @@ Result<PreparedDataset> Prepare(Table raw, size_t pool_size, uint64_t seed) {
     recpriv::query::QueryPoolConfig config;
     config.pool_size = pool_size;
     // The paper draws queries from the original NA values, then replaces
-    // them with aggregated values for evaluation (§6.1).
+    // them with aggregated values for evaluation (§6.1). Pool generation
+    // runs millions of selectivity probes, so it gets a columnar index of
+    // the raw table (transient: only the pool survives).
+    const FlatGroupIndex flat_raw = FlatGroupIndex::Build(raw);
     RECPRIV_ASSIGN_OR_RETURN(
         std::vector<CountQuery> raw_pool,
-        recpriv::query::GenerateQueryPool(raw_index, config, pool_rng));
+        recpriv::query::GenerateQueryPool(flat_raw, config, pool_rng));
     RECPRIV_ASSIGN_OR_RETURN(pool,
                              recpriv::query::MapQueryPool(plan, raw_pool));
   }
-  return PreparedDataset{std::move(raw),       std::move(plan),
+  return PreparedDataset{std::move(raw),        std::move(plan),
                          std::move(generalized), std::move(raw_index),
-                         std::move(index),     std::move(pool)};
+                         std::move(index),      std::move(flat_index),
+                         std::move(pool)};
 }
 
 }  // namespace
@@ -93,7 +99,7 @@ ViolationPoint MeasureViolation(const GroupIndex& index,
                         report.RecordViolationRate()};
 }
 
-Result<ErrorPoint> MeasureRelativeError(const GroupIndex& index,
+Result<ErrorPoint> MeasureRelativeError(const FlatGroupIndex& index,
                                         const std::vector<CountQuery>& pool,
                                         const PrivacyParams& params,
                                         size_t runs, Rng& rng) {

@@ -17,6 +17,7 @@
 #include "query/count_query.h"
 #include "query/evaluation.h"
 #include "stats/descriptive.h"
+#include "table/flat_group_index.h"
 #include "table/group_index.h"
 #include "table/table.h"
 
@@ -42,6 +43,9 @@ struct PreparedDataset {
   recpriv::table::Table generalized;     ///< D on generalized NA values
   recpriv::table::GroupIndex raw_index;  ///< personal groups of raw D
   recpriv::table::GroupIndex index;      ///< generalized personal groups
+  /// Columnar view of the generalized groups (same group ids as `index`):
+  /// the scan-bound evaluation pipeline runs on this layout.
+  recpriv::table::FlatGroupIndex flat_index;
   std::vector<recpriv::query::CountQuery> pool;  ///< mapped query pool
 };
 
@@ -70,7 +74,7 @@ struct ErrorPoint {
   double sps_sampled_group_fraction = 0.0;  ///< diagnostics, last run
 };
 Result<ErrorPoint> MeasureRelativeError(
-    const recpriv::table::GroupIndex& index,
+    const recpriv::table::FlatGroupIndex& index,
     const std::vector<recpriv::query::CountQuery>& pool,
     const recpriv::core::PrivacyParams& params, size_t runs, Rng& rng);
 

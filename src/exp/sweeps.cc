@@ -55,7 +55,7 @@ ViolationSweep SweepViolations(const GroupIndex& index, SweepAxis axis,
   return sweep;
 }
 
-Result<ErrorSweep> SweepErrors(const GroupIndex& index,
+Result<ErrorSweep> SweepErrors(const recpriv::table::FlatGroupIndex& index,
                                const std::vector<CountQuery>& pool,
                                SweepAxis axis,
                                const std::vector<double>& values, size_t runs,

@@ -44,7 +44,7 @@ struct ErrorSweep {
   std::vector<double> sps_se;
 };
 Result<ErrorSweep> SweepErrors(
-    const recpriv::table::GroupIndex& index,
+    const recpriv::table::FlatGroupIndex& index,
     const std::vector<recpriv::query::CountQuery>& pool, SweepAxis axis,
     const std::vector<double>& values, size_t runs, uint64_t seed);
 

@@ -56,7 +56,7 @@ std::vector<uint64_t> UniformMultinomial(uint64_t n, size_t m, Rng& rng) {
 }
 
 Result<std::vector<uint64_t>> PerturbCounts(const UniformPerturbation& up,
-                                            const std::vector<uint64_t>& counts,
+                                            std::span<const uint64_t> counts,
                                             Rng& rng) {
   RECPRIV_RETURN_NOT_OK(up.Validate());
   if (counts.size() != up.domain_m) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -47,9 +48,10 @@ Status PerturbColumn(const UniformPerturbation& up,
 
 /// Count-level UP: given true per-SA-value counts of a record set, samples
 /// the observed (perturbed) counts O*. Equivalent in distribution to
-/// perturbing each record and recounting.
+/// perturbing each record and recounting. Takes a span so FlatGroupIndex
+/// histogram rows feed it without a copy (vectors convert implicitly).
 Result<std::vector<uint64_t>> PerturbCounts(const UniformPerturbation& up,
-                                            const std::vector<uint64_t>& counts,
+                                            std::span<const uint64_t> counts,
                                             Rng& rng);
 
 /// Distributes `n` balls uniformly over `m` cells (multinomial with equal

@@ -3,16 +3,12 @@
 namespace recpriv::query {
 
 uint64_t TrueAnswer(const CountQuery& q,
-                    const recpriv::table::GroupIndex& index) {
-  uint64_t ans = 0;
-  for (size_t gi : index.MatchingGroups(q.na_predicate)) {
-    ans += index.groups()[gi].sa_counts[q.sa_code];
-  }
-  return ans;
+                    const recpriv::table::FlatGroupIndex& index) {
+  return index.CountAnswer(q.na_predicate, q.sa_code);
 }
 
 double Selectivity(const CountQuery& q,
-                   const recpriv::table::GroupIndex& index) {
+                   const recpriv::table::FlatGroupIndex& index) {
   if (index.num_records() == 0) return 0.0;
   return static_cast<double>(TrueAnswer(q, index)) /
          static_cast<double>(index.num_records());

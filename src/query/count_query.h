@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "table/group_index.h"
+#include "table/flat_group_index.h"
 #include "table/predicate.h"
 
 namespace recpriv::query {
@@ -28,10 +28,10 @@ struct CountQuery {
 /// Exact answer over the raw data, via the personal-group index:
 /// sum of sa_counts[sa] over the groups matching the NA conditions.
 uint64_t TrueAnswer(const CountQuery& q,
-                    const recpriv::table::GroupIndex& index);
+                    const recpriv::table::FlatGroupIndex& index);
 
 /// ans / |D|, the query's selectivity.
 double Selectivity(const CountQuery& q,
-                   const recpriv::table::GroupIndex& index);
+                   const recpriv::table::FlatGroupIndex& index);
 
 }  // namespace recpriv::query

@@ -10,9 +10,9 @@ namespace recpriv::query {
 using recpriv::core::PrivacyParams;
 using recpriv::core::SpsCountsResult;
 using recpriv::perturb::UniformPerturbation;
-using recpriv::table::GroupIndex;
+using recpriv::table::FlatGroupIndex;
 
-Result<PerturbedGroups> PerturbAllGroups(const GroupIndex& index,
+Result<PerturbedGroups> PerturbAllGroups(const FlatGroupIndex& index,
                                          double retention_p, Rng& rng) {
   const UniformPerturbation up{retention_p,
                                index.schema()->sa_domain_size()};
@@ -20,10 +20,10 @@ Result<PerturbedGroups> PerturbAllGroups(const GroupIndex& index,
   PerturbedGroups out;
   out.observed.reserve(index.num_groups());
   out.sizes.reserve(index.num_groups());
-  for (const auto& g : index.groups()) {
-    RECPRIV_ASSIGN_OR_RETURN(std::vector<uint64_t> obs,
-                             recpriv::perturb::PerturbCounts(up, g.sa_counts,
-                                                             rng));
+  for (size_t gi = 0; gi < index.num_groups(); ++gi) {
+    RECPRIV_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> obs,
+        recpriv::perturb::PerturbCounts(up, index.sa_counts(gi), rng));
     uint64_t size = 0;
     for (uint64_t c : obs) size += c;
     out.observed.push_back(std::move(obs));
@@ -32,7 +32,7 @@ Result<PerturbedGroups> PerturbAllGroups(const GroupIndex& index,
   return out;
 }
 
-Result<PerturbedGroups> SpsAllGroups(const GroupIndex& index,
+Result<PerturbedGroups> SpsAllGroups(const FlatGroupIndex& index,
                                      const PrivacyParams& params, Rng& rng) {
   RECPRIV_RETURN_NOT_OK(params.Validate());
   if (params.domain_m != index.schema()->sa_domain_size()) {
@@ -43,13 +43,14 @@ Result<PerturbedGroups> SpsAllGroups(const GroupIndex& index,
   out.observed.reserve(index.num_groups());
   out.sizes.reserve(index.num_groups());
   out.sps_stats.num_groups = index.num_groups();
-  for (const auto& g : index.groups()) {
+  for (size_t gi = 0; gi < index.num_groups(); ++gi) {
     RECPRIV_ASSIGN_OR_RETURN(
         SpsCountsResult r,
-        recpriv::core::SpsPerturbGroupCounts(params, g.sa_counts, rng));
+        recpriv::core::SpsPerturbGroupCounts(params, index.sa_counts(gi),
+                                             rng));
     uint64_t size = 0;
     for (uint64_t c : r.observed) size += c;
-    out.sps_stats.records_in += g.size();
+    out.sps_stats.records_in += index.group_size(gi);
     out.sps_stats.records_out += size;
     if (r.sampled) {
       ++out.sps_stats.groups_sampled;
@@ -62,9 +63,10 @@ Result<PerturbedGroups> SpsAllGroups(const GroupIndex& index,
 }
 
 EvaluationResult EvaluateRelativeError(const std::vector<CountQuery>& pool,
-                                       const GroupIndex& index,
+                                       const FlatGroupIndex& index,
                                        const PerturbedGroups& perturbed,
                                        double retention_p) {
+  // Hoisted out of the query loop: one operator for the whole pool.
   const UniformPerturbation up{retention_p,
                                index.schema()->sa_domain_size()};
   EvaluationResult result;
@@ -73,14 +75,14 @@ EvaluationResult EvaluateRelativeError(const std::vector<CountQuery>& pool,
   // pool, so reusing one buffer per thread turns a per-query allocation
   // into an amortized no-op (thread_local keeps concurrent evaluations,
   // e.g. from the serving thread pool, independent).
-  static thread_local std::vector<size_t> match_scratch;
+  static thread_local std::vector<uint32_t> match_scratch;
   for (const CountQuery& q : pool) {
     uint64_t ans = 0;
     uint64_t observed_sa = 0;
     uint64_t s_star = 0;
     index.MatchingGroupsInto(q.na_predicate, match_scratch);
-    for (size_t gi : match_scratch) {
-      ans += index.groups()[gi].sa_counts[q.sa_code];
+    for (uint32_t gi : match_scratch) {
+      ans += index.sa_count(gi, q.sa_code);
       observed_sa += perturbed.observed[gi][q.sa_code];
       s_star += perturbed.sizes[gi];
     }

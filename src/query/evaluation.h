@@ -12,13 +12,15 @@
 #include "core/reconstruction_privacy.h"
 #include "core/sps.h"
 #include "query/count_query.h"
-#include "table/group_index.h"
+#include "table/flat_group_index.h"
 
 namespace recpriv::query {
 
 /// Per-personal-group observed SA histograms of a perturbed release —
 /// the count-level representation of D* (UP) or D*_2 (SPS). Parallel to
-/// GroupIndex::groups().
+/// the group ids of the FlatGroupIndex it was produced from (which are
+/// also the group ids of the legacy GroupIndex: both sort groups in
+/// NA-lexicographic order).
 struct PerturbedGroups {
   std::vector<std::vector<uint64_t>> observed;
   /// |g*| per group (sum of the observed histogram).
@@ -29,12 +31,12 @@ struct PerturbedGroups {
 
 /// Plain uniform perturbation of every group (the paper's UP baseline).
 Result<PerturbedGroups> PerturbAllGroups(
-    const recpriv::table::GroupIndex& index, double retention_p, Rng& rng);
+    const recpriv::table::FlatGroupIndex& index, double retention_p, Rng& rng);
 
 /// SPS of every group (the paper's proposed method).
-Result<PerturbedGroups> SpsAllGroups(const recpriv::table::GroupIndex& index,
-                                     const recpriv::core::PrivacyParams& params,
-                                     Rng& rng);
+Result<PerturbedGroups> SpsAllGroups(
+    const recpriv::table::FlatGroupIndex& index,
+    const recpriv::core::PrivacyParams& params, Rng& rng);
 
 /// Outcome of evaluating one pool against one perturbed release.
 struct EvaluationResult {
@@ -50,7 +52,7 @@ struct EvaluationResult {
 /// groups (Lemma 2(ii) with the matched |S*|).
 EvaluationResult EvaluateRelativeError(
     const std::vector<CountQuery>& pool,
-    const recpriv::table::GroupIndex& index, const PerturbedGroups& perturbed,
-    double retention_p);
+    const recpriv::table::FlatGroupIndex& index,
+    const PerturbedGroups& perturbed, double retention_p);
 
 }  // namespace recpriv::query

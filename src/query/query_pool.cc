@@ -2,11 +2,11 @@
 
 namespace recpriv::query {
 
-using recpriv::table::GroupIndex;
+using recpriv::table::FlatGroupIndex;
 using recpriv::table::Schema;
 
 Result<std::vector<CountQuery>> GenerateQueryPool(
-    const GroupIndex& raw_index, const QueryPoolConfig& config, Rng& rng) {
+    const FlatGroupIndex& raw_index, const QueryPoolConfig& config, Rng& rng) {
   if (config.pool_size == 0) {
     return Status::InvalidArgument("pool_size must be positive");
   }

@@ -20,7 +20,7 @@
 #include "common/result.h"
 #include "core/generalization.h"
 #include "query/count_query.h"
-#include "table/group_index.h"
+#include "table/flat_group_index.h"
 
 namespace recpriv::query {
 
@@ -38,8 +38,8 @@ struct QueryPoolConfig {
 /// original selectivity). May return fewer than pool_size queries when
 /// max_attempts is exhausted.
 Result<std::vector<CountQuery>> GenerateQueryPool(
-    const recpriv::table::GroupIndex& raw_index, const QueryPoolConfig& config,
-    Rng& rng);
+    const recpriv::table::FlatGroupIndex& raw_index,
+    const QueryPoolConfig& config, Rng& rng);
 
 /// Rewrites every query's NA values onto the generalized schema.
 Result<std::vector<CountQuery>> MapQueryPool(

@@ -11,10 +11,8 @@
 namespace recpriv::serve {
 
 using recpriv::analysis::ReleaseSnapshot;
-using recpriv::perturb::UniformPerturbation;
 using recpriv::query::CountQuery;
-using recpriv::table::GroupIndex;
-using recpriv::table::PersonalGroup;
+using recpriv::table::FlatGroupIndex;
 using recpriv::table::Predicate;
 
 namespace {
@@ -35,21 +33,21 @@ std::string CacheKey(const std::string& release, uint64_t epoch,
 
 Answer MakeAnswer(const ReleaseSnapshot& snap, uint64_t observed,
                   uint64_t matched_size) {
-  const UniformPerturbation up{snap.bundle.params.retention_p,
-                               snap.bundle.params.domain_m};
+  // snap.up was constructed and validated once at snapshot time — no
+  // per-answer operator construction on the hot path.
   Answer a;
   a.observed = observed;
   a.matched_size = matched_size;
-  a.estimate = recpriv::perturb::MleCount(up, observed, matched_size);
+  a.estimate = recpriv::perturb::MleCount(snap.up, observed, matched_size);
   return a;
 }
 
-/// NA-key match of one indexed group, without touching rows.
-bool GroupMatches(const GroupIndex& index, const PersonalGroup& g,
+/// NA-key match of one flat-indexed group, without touching rows.
+bool GroupMatches(const FlatGroupIndex& index, size_t gi,
                   const Predicate& pred) {
   const auto& pub = index.public_indices();
   for (size_t k = 0; k < pub.size(); ++k) {
-    if (pred.is_bound(pub[k]) && pred.code(pub[k]) != g.na_codes[k]) {
+    if (pred.is_bound(pub[k]) && pred.code(pub[k]) != index.na_code(gi, k)) {
       return false;
     }
   }
@@ -82,13 +80,10 @@ Status ValidateBatch(const ReleaseSnapshot& snap,
 }  // namespace
 
 Answer EvaluateUncached(const ReleaseSnapshot& snap, const CountQuery& q) {
+  // Fused scan: no match list is materialized and nothing is allocated.
   uint64_t observed = 0;
   uint64_t matched_size = 0;
-  for (size_t gi : snap.index.MatchingGroups(q.na_predicate)) {
-    const PersonalGroup& g = snap.index.groups()[gi];
-    observed += g.sa_counts[q.sa_code];
-    matched_size += g.size();
-  }
+  snap.index.AnswerInto(q.na_predicate, q.sa_code, &observed, &matched_size);
   return MakeAnswer(snap, observed, matched_size);
 }
 
@@ -172,9 +167,8 @@ Result<BatchResult> QueryEngine::AnswerBatch(
             uint64_t observed = 0;
             uint64_t matched_size = 0;
             for (uint32_t gi : matches) {
-              const PersonalGroup& g = snap.index.groups()[gi];
-              observed += g.sa_counts[q.sa_code];
-              matched_size += g.size();
+              observed += snap.index.sa_count(gi, q.sa_code);
+              matched_size += snap.index.group_size(gi);
             }
             result.answers[miss[k]] = MakeAnswer(snap, observed, matched_size);
           }
@@ -191,12 +185,12 @@ Result<BatchResult> QueryEngine::AnswerBatch(
       auto& part = partials[lo / grain];  // chunks are grain-aligned
       part.assign(miss.size(), {0, 0});
       for (size_t gi = lo; gi < hi; ++gi) {
-        const PersonalGroup& g = snap.index.groups()[gi];
+        const uint64_t size = snap.index.group_size(gi);
         for (size_t k = 0; k < miss.size(); ++k) {
           const CountQuery& q = batch[miss[k]];
-          if (GroupMatches(snap.index, g, q.na_predicate)) {
-            part[k].first += g.sa_counts[q.sa_code];
-            part[k].second += g.size();
+          if (GroupMatches(snap.index, gi, q.na_predicate)) {
+            part[k].first += snap.index.sa_count(gi, q.sa_code);
+            part[k].second += size;
           }
         }
       }

@@ -1,0 +1,404 @@
+#include "table/flat_group_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace recpriv::table {
+
+namespace {
+
+/// One row's packed NA key paired with its row id.
+struct KeyRow {
+  uint64_t key;
+  uint32_t row;
+};
+
+/// LSD radix sort of `a` by key, one byte per pass, skipping passes whose
+/// byte is constant and everything above `total_bits`. Stable, so rows stay
+/// ascending within each group. Small inputs fall back to std::sort.
+void RadixSortKeys(std::vector<KeyRow>& a, uint32_t total_bits) {
+  const size_t n = a.size();
+  if (n < 2 || total_bits == 0) return;
+  if (n < 4096) {
+    std::sort(a.begin(), a.end(), [](const KeyRow& x, const KeyRow& y) {
+      return x.key != y.key ? x.key < y.key : x.row < y.row;
+    });
+    return;
+  }
+  std::vector<KeyRow> b(n);
+  const uint32_t passes = (total_bits + 7) / 8;
+  for (uint32_t p = 0; p < passes; ++p) {
+    const uint32_t shift = p * 8;
+    size_t count[256] = {0};
+    for (const KeyRow& kr : a) ++count[(kr.key >> shift) & 0xFF];
+    if (count[(a[0].key >> shift) & 0xFF] == n) continue;  // constant byte
+    size_t pos[256];
+    size_t acc = 0;
+    for (size_t i = 0; i < 256; ++i) {
+      pos[i] = acc;
+      acc += count[i];
+    }
+    for (const KeyRow& kr : a) b[pos[(kr.key >> shift) & 0xFF]++] = kr;
+    a.swap(b);
+  }
+}
+
+}  // namespace
+
+FlatGroupIndex FlatGroupIndex::Build(const Table& t, KeyMode mode) {
+  FlatGroupIndex idx;
+  idx.schema_ = t.schema();
+  idx.public_idx_ = t.schema()->public_indices();
+  idx.m_ = t.schema()->sa_domain_size();
+  idx.num_records_ = t.num_rows();
+
+  const size_t n = t.num_rows();
+  const size_t n_pub = idx.public_idx_.size();
+
+  // Bit widths of the public domains; their sum decides the key layout.
+  idx.key_bits_.assign(n_pub, 0);
+  uint32_t total_bits = 0;
+  for (size_t k = 0; k < n_pub; ++k) {
+    const size_t dom = t.schema()->attribute(idx.public_idx_[k]).domain.size();
+    idx.key_bits_[k] =
+        dom <= 1 ? 0u : uint32_t(std::bit_width(uint64_t(dom - 1)));
+    total_bits += idx.key_bits_[k];
+  }
+  idx.packed_ = mode == KeyMode::kAuto && total_bits <= 64;
+  if (idx.packed_) {
+    // Attribute 0 occupies the highest bits so that numeric key order is
+    // the NA-lexicographic order of GroupIndex::Build.
+    idx.key_shifts_.assign(n_pub, 0);
+    uint32_t below = total_bits;
+    for (size_t k = 0; k < n_pub; ++k) {
+      below -= idx.key_bits_[k];
+      idx.key_shifts_[k] = below;
+    }
+  }
+
+  // Raw column pointers: the build touches each public column once to pack
+  // keys, instead of gathering per comparison like the legacy sort.
+  std::vector<const uint32_t*> cols(n_pub);
+  for (size_t k = 0; k < n_pub; ++k) {
+    cols[k] = t.column(idx.public_idx_[k]).data();
+  }
+  const uint32_t* sa_col = t.column(t.schema()->sensitive_index()).data();
+
+  idx.row_values_.resize(n);
+  idx.row_offsets_.push_back(0);
+  idx.na_codes_.reserve(n_pub * 16);
+
+  auto open_group = [&](uint32_t first_row) {
+    for (size_t k = 0; k < n_pub; ++k) {
+      idx.na_codes_.push_back(cols[k][first_row]);
+    }
+    idx.sa_counts_.resize(idx.sa_counts_.size() + idx.m_, 0);
+  };
+  auto add_row = [&](size_t pos, uint32_t row) {
+    idx.row_values_[pos] = row;
+    const uint32_t sa = sa_col[row];
+    RECPRIV_DCHECK(sa < idx.m_);
+    ++idx.sa_counts_[idx.sa_counts_.size() - idx.m_ + sa];
+  };
+
+  if (idx.packed_) {
+    std::vector<KeyRow> kr(n);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t key = 0;
+      for (size_t k = 0; k < n_pub; ++k) {
+        if (idx.key_bits_[k] == 0) continue;
+        key |= uint64_t(cols[k][r]) << idx.key_shifts_[k];
+      }
+      kr[r] = KeyRow{key, uint32_t(r)};
+    }
+    RadixSortKeys(kr, total_bits);
+    for (size_t i = 0; i < n;) {
+      size_t j = i + 1;
+      while (j < n && kr[j].key == kr[i].key) ++j;
+      open_group(kr[i].row);
+      idx.packed_keys_.push_back(kr[i].key);
+      for (size_t r = i; r < j; ++r) add_row(r, kr[r].row);
+      idx.row_offsets_.push_back(j);
+      i = j;
+    }
+  } else {
+    // Wide path: contiguous row-major keys, lexicographic index sort. The
+    // stable sort keeps rows ascending within each group, matching the
+    // radix path.
+    std::vector<uint32_t> wide(n * n_pub);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t k = 0; k < n_pub; ++k) wide[r * n_pub + k] = cols[k][r];
+    }
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    auto key_less = [&](uint32_t x, uint32_t y) {
+      const uint32_t* kx = wide.data() + size_t(x) * n_pub;
+      const uint32_t* ky = wide.data() + size_t(y) * n_pub;
+      for (size_t k = 0; k < n_pub; ++k) {
+        if (kx[k] != ky[k]) return kx[k] < ky[k];
+      }
+      return false;
+    };
+    auto key_equal = [&](uint32_t x, uint32_t y) {
+      return std::equal(wide.data() + size_t(x) * n_pub,
+                        wide.data() + size_t(x + 1) * n_pub,
+                        wide.data() + size_t(y) * n_pub);
+    };
+    std::stable_sort(order.begin(), order.end(), key_less);
+    for (size_t i = 0; i < n;) {
+      size_t j = i + 1;
+      while (j < n && key_equal(order[i], order[j])) ++j;
+      open_group(order[i]);
+      for (size_t r = i; r < j; ++r) add_row(r, order[r]);
+      idx.row_offsets_.push_back(j);
+      i = j;
+    }
+  }
+  idx.num_groups_ = idx.row_offsets_.size() - 1;
+  return idx;
+}
+
+double FlatGroupIndex::AverageGroupSize() const {
+  if (num_groups_ == 0) return 0.0;
+  return static_cast<double>(num_records_) / static_cast<double>(num_groups_);
+}
+
+double FlatGroupIndex::Frequency(size_t g, size_t sa) const {
+  const uint64_t size = group_size(g);
+  return size == 0 ? 0.0
+                   : static_cast<double>(sa_count(g, sa)) /
+                         static_cast<double>(size);
+}
+
+double FlatGroupIndex::MaxFrequency(size_t g) const {
+  const uint64_t size = group_size(g);
+  if (size == 0) return 0.0;
+  uint64_t max_count = 0;
+  for (uint64_t c : sa_counts(g)) max_count = std::max(max_count, c);
+  return static_cast<double>(max_count) / static_cast<double>(size);
+}
+
+bool FlatGroupIndex::PackKey(std::span<const uint32_t> na,
+                             uint64_t* key) const {
+  uint64_t k = 0;
+  for (size_t i = 0; i < na.size(); ++i) {
+    if (key_bits_[i] == 0) {
+      if (na[i] != 0) return false;  // single-value domain: only code 0
+      continue;
+    }
+    if ((uint64_t(na[i]) >> key_bits_[i]) != 0) return false;  // overflow
+    k |= uint64_t(na[i]) << key_shifts_[i];
+  }
+  *key = k;
+  return true;
+}
+
+int FlatGroupIndex::CompareKeyAt(size_t g,
+                                 std::span<const uint32_t> na) const {
+  const uint32_t* gk = na_codes_.data() + g * public_idx_.size();
+  for (size_t k = 0; k < na.size(); ++k) {
+    if (gk[k] != na[k]) return gk[k] < na[k] ? -1 : 1;
+  }
+  return 0;
+}
+
+Result<size_t> FlatGroupIndex::FindGroup(
+    std::span<const uint32_t> na_codes) const {
+  if (na_codes.size() != public_idx_.size() || num_groups_ == 0) {
+    return Status::NotFound("no personal group with the given NA key");
+  }
+  if (packed_) {
+    uint64_t key = 0;
+    if (PackKey(na_codes, &key)) {
+      const auto it =
+          std::lower_bound(packed_keys_.begin(), packed_keys_.end(), key);
+      if (it != packed_keys_.end() && *it == key) {
+        return size_t(it - packed_keys_.begin());
+      }
+    }
+  } else {
+    size_t lo = 0, hi = num_groups_;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (CompareKeyAt(mid, na_codes) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < num_groups_ && CompareKeyAt(lo, na_codes) == 0) return lo;
+  }
+  return Status::NotFound("no personal group with the given NA key");
+}
+
+std::vector<uint32_t> FlatGroupIndex::MatchingGroups(
+    const Predicate& pred) const {
+  std::vector<uint32_t> out;
+  MatchingGroupsInto(pred, out);
+  return out;
+}
+
+void FlatGroupIndex::MatchingGroupsInto(const Predicate& pred,
+                                        std::vector<uint32_t>& out) const {
+  RECPRIV_CHECK(pred.num_attributes() == schema_->num_attributes())
+      << "predicate arity mismatch";
+  out.clear();
+  const size_t n_pub = public_idx_.size();
+  // Bound (key column, code) pairs, collected once per call so the scan
+  // does not re-probe the predicate per group. thread_local keeps the
+  // serving pool's concurrent calls independent with no allocation after
+  // warmup.
+  static thread_local std::vector<std::pair<uint32_t, uint32_t>> bound;
+  bound.clear();
+  for (size_t k = 0; k < n_pub; ++k) {
+    const size_t attr = public_idx_[k];
+    if (pred.is_bound(attr)) bound.emplace_back(uint32_t(k), pred.code(attr));
+  }
+  if (bound.size() == n_pub && n_pub > 0) {
+    // Fully bound: at most one group — binary search instead of a scan.
+    static thread_local std::vector<uint32_t> key;
+    key.resize(n_pub);
+    for (const auto& [k, code] : bound) key[k] = code;
+    const Result<size_t> found = FindGroup(key);
+    if (found.ok()) out.push_back(uint32_t(*found));
+    return;
+  }
+  const uint32_t* nk = na_codes_.data();
+  for (size_t g = 0; g < num_groups_; ++g) {
+    const uint32_t* gk = nk + g * n_pub;
+    bool match = true;
+    for (const auto& [k, code] : bound) {
+      if (gk[k] != code) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(uint32_t(g));
+  }
+}
+
+uint64_t FlatGroupIndex::CountAnswer(const Predicate& pred,
+                                     uint32_t sa) const {
+  uint64_t observed = 0, matched_size = 0;
+  AnswerInto(pred, sa, &observed, &matched_size);
+  return observed;
+}
+
+void FlatGroupIndex::AnswerInto(const Predicate& pred, uint32_t sa,
+                                uint64_t* observed,
+                                uint64_t* matched_size) const {
+  RECPRIV_CHECK(pred.num_attributes() == schema_->num_attributes())
+      << "predicate arity mismatch";
+  RECPRIV_DCHECK(sa < m_);
+  *observed = 0;
+  *matched_size = 0;
+  const size_t n_pub = public_idx_.size();
+  static thread_local std::vector<std::pair<uint32_t, uint32_t>> bound;
+  bound.clear();
+  for (size_t k = 0; k < n_pub; ++k) {
+    const size_t attr = public_idx_[k];
+    if (pred.is_bound(attr)) bound.emplace_back(uint32_t(k), pred.code(attr));
+  }
+  if (bound.size() == n_pub && n_pub > 0) {
+    static thread_local std::vector<uint32_t> key;
+    key.resize(n_pub);
+    for (const auto& [k, code] : bound) key[k] = code;
+    const Result<size_t> found = FindGroup(key);
+    if (found.ok()) {
+      *observed = sa_count(*found, sa);
+      *matched_size = group_size(*found);
+    }
+    return;
+  }
+  const uint32_t* nk = na_codes_.data();
+  uint64_t obs = 0, size = 0;
+  for (size_t g = 0; g < num_groups_; ++g) {
+    const uint32_t* gk = nk + g * n_pub;
+    bool match = true;
+    for (const auto& [k, code] : bound) {
+      if (gk[k] != code) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      obs += sa_counts_[g * m_ + sa];
+      size += row_offsets_[g + 1] - row_offsets_[g];
+    }
+  }
+  *observed = obs;
+  *matched_size = size;
+}
+
+GroupPostingIndex::GroupPostingIndex(const FlatGroupIndex& index)
+    : index_(&index) {
+  const auto& pub = index.public_indices();
+  postings_.resize(pub.size());
+  for (size_t k = 0; k < pub.size(); ++k) {
+    postings_[k].resize(index.schema()->attribute(pub[k]).domain.size());
+  }
+  for (size_t gi = 0; gi < index.num_groups(); ++gi) {
+    for (size_t k = 0; k < pub.size(); ++k) {
+      postings_[k][index.na_code(gi, k)].push_back(uint32_t(gi));
+    }
+  }
+}
+
+std::vector<uint32_t> GroupPostingIndex::MatchingGroups(
+    const Predicate& pred) const {
+  std::vector<uint32_t> scratch;
+  std::vector<uint32_t> out;
+  MatchingGroupsInto(pred, scratch, out);
+  return out;
+}
+
+void GroupPostingIndex::MatchingGroupsInto(const Predicate& pred,
+                                           std::vector<uint32_t>& scratch,
+                                           std::vector<uint32_t>& out) const {
+  out.clear();
+  const auto& pub = index_->public_indices();
+  // Collect the posting lists of the bound conditions, smallest first.
+  std::vector<const std::vector<uint32_t>*> lists;
+  for (size_t k = 0; k < pub.size(); ++k) {
+    if (pred.is_bound(pub[k])) {
+      const uint32_t code = pred.code(pub[k]);
+      if (code >= postings_[k].size()) return;
+      lists.push_back(&postings_[k][code]);
+    }
+  }
+  if (lists.empty()) {
+    out.resize(index_->num_groups());
+    for (size_t gi = 0; gi < out.size(); ++gi) {
+      out[gi] = static_cast<uint32_t>(gi);
+    }
+    return;
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  out.assign(lists[0]->begin(), lists[0]->end());
+  for (size_t li = 1; li < lists.size() && !out.empty(); ++li) {
+    scratch.clear();
+    std::set_intersection(out.begin(), out.end(), lists[li]->begin(),
+                          lists[li]->end(), std::back_inserter(scratch));
+    std::swap(out, scratch);
+  }
+}
+
+uint64_t GroupPostingIndex::CountAnswer(const Predicate& pred,
+                                        uint32_t sa) const {
+  // Per-thread scratch: pool generation makes millions of these calls, so
+  // a fresh match vector per call would dominate the intersection cost.
+  static thread_local std::vector<uint32_t> scratch;
+  static thread_local std::vector<uint32_t> matches;
+  MatchingGroupsInto(pred, scratch, matches);
+  uint64_t ans = 0;
+  for (const uint32_t gi : matches) ans += index_->sa_count(gi, sa);
+  return ans;
+}
+
+}  // namespace recpriv::table

@@ -1,0 +1,178 @@
+// Columnar personal-group index — the cache-friendly successor to
+// GroupIndex (paper §3.2, §5 preprocessing) for every scan-bound workload.
+//
+// GroupIndex stores one PersonalGroup struct per group, each carrying three
+// separately heap-allocated vectors; a group scan is a pointer-chasing walk.
+// FlatGroupIndex stores the same information in four contiguous columns:
+//
+//   na_codes_     num_groups x num_public   NA key of each group, row-major
+//   sa_counts_    num_groups x m            SA histogram matrix, row-major
+//   row_offsets_  num_groups + 1            CSR offsets into row_values_
+//   row_values_   num_records               group members, group-major
+//
+// Build() replaces the legacy comparator sort (one multi-attribute column
+// gather per comparison) with a pack-keys-then-sort pass: when the public
+// domains fit 64 bits, each row's NA key is bit-packed into a uint64_t
+// (attribute 0 in the highest bits, so numeric order == lexicographic
+// order), the (packed_key, row) pairs are radix-sorted, and groups fall out
+// of one run-length pass. Domains too wide for 64 bits take a fallback path
+// over contiguous row-major wide keys. Either way the group order is the
+// NA-lexicographic order of GroupIndex::Build, so group ids are
+// interchangeable between the two layouts.
+//
+// FindGroup is a binary search over the sorted keys; AnswerInto fuses
+// predicate matching with the histogram-column sum so a count query needs
+// no materialized match list at all.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/predicate.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace recpriv::table {
+
+/// Sort-based columnar index of all personal groups of a table.
+class FlatGroupIndex {
+ public:
+  /// Key layout chosen by Build: packed 64-bit keys when the public
+  /// domains fit, wide row-major uint32 keys otherwise. kForceWide exists
+  /// so tests can exercise the wide path on narrow schemas.
+  enum class KeyMode { kAuto, kForceWide };
+
+  /// Builds the index with one pack + sort + run-length pass.
+  static FlatGroupIndex Build(const Table& t, KeyMode mode = KeyMode::kAuto);
+
+  size_t num_groups() const { return num_groups_; }
+  size_t num_records() const { return num_records_; }
+  /// Number of public attributes (columns of the NA key).
+  size_t num_public() const { return public_idx_.size(); }
+  /// SA domain size m (columns of the histogram matrix).
+  size_t sa_domain() const { return m_; }
+  /// |D| / |G| as reported in Tables 4-5.
+  double AverageGroupSize() const;
+  /// True when the packed-key fast path was taken.
+  bool packed() const { return packed_; }
+
+  /// NA key of group `g`, in schema public-index order.
+  std::span<const uint32_t> na_codes(size_t g) const {
+    return {na_codes_.data() + g * public_idx_.size(), public_idx_.size()};
+  }
+  uint32_t na_code(size_t g, size_t k) const {
+    return na_codes_[g * public_idx_.size() + k];
+  }
+
+  /// SA histogram row of group `g` (length m).
+  std::span<const uint64_t> sa_counts(size_t g) const {
+    return {sa_counts_.data() + g * m_, m_};
+  }
+  uint64_t sa_count(size_t g, size_t sa) const {
+    return sa_counts_[g * m_ + sa];
+  }
+
+  /// Row indices of group `g`'s records in the indexed table.
+  std::span<const uint32_t> rows(size_t g) const {
+    return {row_values_.data() + row_offsets_[g],
+            row_offsets_[g + 1] - row_offsets_[g]};
+  }
+  uint64_t group_size(size_t g) const {
+    return row_offsets_[g + 1] - row_offsets_[g];
+  }
+
+  /// Frequency (fraction) of SA value `sa` in group `g`.
+  double Frequency(size_t g, size_t sa) const;
+  /// Max over SA values of Frequency — the `f` of Eq. (10).
+  double MaxFrequency(size_t g) const;
+
+  /// Group ids whose NA key satisfies the NA conditions of `pred`
+  /// (SA condition, if any, is ignored here — it selects histogram bins).
+  std::vector<uint32_t> MatchingGroups(const Predicate& pred) const;
+
+  /// Batched entry point: fills `out` with the matching group ids, clearing
+  /// it first. A fully-bound predicate short-circuits to a key binary
+  /// search; otherwise one cache-linear scan of the NA-key column.
+  void MatchingGroupsInto(const Predicate& pred,
+                          std::vector<uint32_t>& out) const;
+
+  /// Group with exactly this NA key (public-index order), or NotFound.
+  /// Binary search over the sorted keys: O(log |G|).
+  Result<size_t> FindGroup(std::span<const uint32_t> na_codes) const;
+
+  /// Sum of sa_counts[sa] over matching groups (a count-query answer),
+  /// without materializing the match list.
+  uint64_t CountAnswer(const Predicate& pred, uint32_t sa) const;
+
+  /// Fused count-query kernel: one scan accumulating both the observed
+  /// count O* = sum sa_counts[sa] and the matched size |S*| over the
+  /// groups matching `pred`. The serving engine's uncached path.
+  void AnswerInto(const Predicate& pred, uint32_t sa, uint64_t* observed,
+                  uint64_t* matched_size) const;
+
+  const SchemaPtr& schema() const { return schema_; }
+  /// Attribute indices (schema order) of the public attributes.
+  const std::vector<size_t>& public_indices() const { return public_idx_; }
+
+ private:
+  /// Packs `na` into a 64-bit key; false when a code overflows its
+  /// attribute's bit field (no group can carry it).
+  bool PackKey(std::span<const uint32_t> na, uint64_t* key) const;
+  /// Three-way lexicographic compare of group `g`'s NA key against `na`.
+  int CompareKeyAt(size_t g, std::span<const uint32_t> na) const;
+
+  SchemaPtr schema_;
+  std::vector<size_t> public_idx_;
+  size_t m_ = 0;
+  size_t num_records_ = 0;
+  size_t num_groups_ = 0;
+  bool packed_ = false;
+
+  /// Per-public-attribute bit widths and shifts of the packed layout
+  /// (valid only when packed_).
+  std::vector<uint32_t> key_bits_;
+  std::vector<uint32_t> key_shifts_;
+  /// Sorted packed NA keys, one per group (valid only when packed_).
+  std::vector<uint64_t> packed_keys_;
+
+  std::vector<uint32_t> na_codes_;     // num_groups x num_public, row-major
+  std::vector<uint64_t> sa_counts_;    // num_groups x m, row-major
+  std::vector<size_t> row_offsets_;    // num_groups + 1 (CSR)
+  std::vector<uint32_t> row_values_;   // num_records, group-major
+};
+
+/// Inverted index over a FlatGroupIndex: for each (public attribute, value),
+/// the sorted list of group ids carrying that value. Speeds up group
+/// matching for low-dimensionality predicates from O(|G|) to the size of
+/// the smallest posting list (used by query-pool generation, where millions
+/// of candidate selectivity checks are made, and by the serving engine's
+/// per-query strategy).
+class GroupPostingIndex {
+ public:
+  explicit GroupPostingIndex(const FlatGroupIndex& index);
+
+  /// Same contract as FlatGroupIndex::MatchingGroups, computed by
+  /// posting-list intersection. An unbound predicate returns all group ids.
+  std::vector<uint32_t> MatchingGroups(const Predicate& pred) const;
+
+  /// Allocation-free variant for batched evaluation: `out` receives the
+  /// matching group ids (cleared first) and `scratch` is ping-pong space
+  /// for the intersection; both retain capacity across calls.
+  void MatchingGroupsInto(const Predicate& pred, std::vector<uint32_t>& scratch,
+                          std::vector<uint32_t>& out) const;
+
+  /// Sum of sa_counts[sa] over matching groups (a count-query answer).
+  /// Reuses per-thread scratch — no allocation after warmup.
+  uint64_t CountAnswer(const Predicate& pred, uint32_t sa) const;
+
+ private:
+  const FlatGroupIndex* index_;
+  /// postings_[k][v] = group ids with value v on the k-th public attribute.
+  std::vector<std::vector<std::vector<uint32_t>>> postings_;
+};
+
+}  // namespace recpriv::table

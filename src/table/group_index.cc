@@ -95,75 +95,18 @@ void GroupIndex::MatchingGroupsInto(const Predicate& pred,
   }
 }
 
-GroupPostingIndex::GroupPostingIndex(const GroupIndex& index)
-    : index_(&index) {
-  const auto& pub = index.public_indices();
-  postings_.resize(pub.size());
-  for (size_t k = 0; k < pub.size(); ++k) {
-    postings_[k].resize(
-        index.schema()->attribute(pub[k]).domain.size());
-  }
-  for (size_t gi = 0; gi < index.groups().size(); ++gi) {
-    const auto& g = index.groups()[gi];
-    for (size_t k = 0; k < pub.size(); ++k) {
-      postings_[k][g.na_codes[k]].push_back(static_cast<uint32_t>(gi));
-    }
-  }
-}
-
-std::vector<uint32_t> GroupPostingIndex::MatchingGroups(
-    const Predicate& pred) const {
-  std::vector<uint32_t> scratch;
-  std::vector<uint32_t> out;
-  MatchingGroupsInto(pred, scratch, out);
-  return out;
-}
-
-void GroupPostingIndex::MatchingGroupsInto(const Predicate& pred,
-                                           std::vector<uint32_t>& scratch,
-                                           std::vector<uint32_t>& out) const {
-  out.clear();
-  const auto& pub = index_->public_indices();
-  // Collect the posting lists of the bound conditions, smallest first.
-  std::vector<const std::vector<uint32_t>*> lists;
-  for (size_t k = 0; k < pub.size(); ++k) {
-    if (pred.is_bound(pub[k])) {
-      uint32_t code = pred.code(pub[k]);
-      if (code >= postings_[k].size()) return;
-      lists.push_back(&postings_[k][code]);
-    }
-  }
-  if (lists.empty()) {
-    out.resize(index_->num_groups());
-    for (size_t gi = 0; gi < out.size(); ++gi) {
-      out[gi] = static_cast<uint32_t>(gi);
-    }
-    return;
-  }
-  std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
-  out.assign(lists[0]->begin(), lists[0]->end());
-  for (size_t li = 1; li < lists.size() && !out.empty(); ++li) {
-    scratch.clear();
-    std::set_intersection(out.begin(), out.end(), lists[li]->begin(),
-                          lists[li]->end(), std::back_inserter(scratch));
-    std::swap(out, scratch);
-  }
-}
-
-uint64_t GroupPostingIndex::CountAnswer(const Predicate& pred,
-                                        uint32_t sa) const {
-  uint64_t ans = 0;
-  for (uint32_t gi : MatchingGroups(pred)) {
-    ans += index_->groups()[gi].sa_counts[sa];
-  }
-  return ans;
-}
-
 Result<size_t> GroupIndex::FindGroup(
     const std::vector<uint32_t>& na_codes) const {
-  for (size_t gi = 0; gi < groups_.size(); ++gi) {
-    if (groups_[gi].na_codes == na_codes) return gi;
+  // Build emits groups in NA-lexicographic order: binary search.
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), na_codes,
+      [](const PersonalGroup& g, const std::vector<uint32_t>& key) {
+        return std::lexicographical_compare(g.na_codes.begin(),
+                                            g.na_codes.end(), key.begin(),
+                                            key.end());
+      });
+  if (it != groups_.end() && it->na_codes == na_codes) {
+    return size_t(it - groups_.begin());
   }
   return Status::NotFound("no personal group with the given NA key");
 }

@@ -1,4 +1,5 @@
-// Personal-group index (paper §3.2, §5 preprocessing).
+// Personal-group index (paper §3.2, §5 preprocessing) — row-oriented
+// legacy layout.
 //
 // A *personal group* D(x1,...,xn) is the set of records agreeing on every
 // public attribute. The paper's SPS algorithm sorts D by NA then SA to form
@@ -6,6 +7,13 @@
 // that sorted pass, materialized. It also serves aggregate groups: a
 // predicate with wildcards matches a union of personal groups, and SA
 // histograms add up.
+//
+// Scan-bound workloads (serving, query evaluation, pool generation) use the
+// columnar FlatGroupIndex in table/flat_group_index.h instead; this layout
+// remains for consumers that want per-group PersonalGroup objects (the
+// violation audit, the anonymity checkers, the experiment harness). Both
+// indexes sort groups in NA-lexicographic order, so group ids are
+// interchangeable between them.
 
 #pragma once
 
@@ -66,6 +74,8 @@ class GroupIndex {
                           std::vector<size_t>& out) const;
 
   /// Group with exactly this NA key (public-index order), or NotFound.
+  /// Groups come out of Build sorted by NA key, so this is a binary
+  /// search: O(log |G|) key comparisons.
   Result<size_t> FindGroup(const std::vector<uint32_t>& na_codes) const;
 
   const SchemaPtr& schema() const { return schema_; }
@@ -77,35 +87,6 @@ class GroupIndex {
   std::vector<size_t> public_idx_;
   std::vector<PersonalGroup> groups_;
   size_t num_records_ = 0;
-};
-
-/// Inverted index over a GroupIndex: for each (public attribute, value),
-/// the sorted list of group ids carrying that value. Speeds up group
-/// matching for low-dimensionality predicates from O(|G|) to the size of
-/// the smallest posting list (used by query-pool generation, where millions
-/// of candidate selectivity checks are made).
-class GroupPostingIndex {
- public:
-  explicit GroupPostingIndex(const GroupIndex& index);
-
-  /// Same contract as GroupIndex::MatchingGroups, computed by posting-list
-  /// intersection. An unbound predicate returns all group ids.
-  std::vector<uint32_t> MatchingGroups(const Predicate& pred) const;
-
-  /// Allocation-free variant for batched evaluation: `out` receives the
-  /// matching group ids (cleared first) and `scratch` is ping-pong space
-  /// for the intersection; both retain capacity across calls.
-  void MatchingGroupsInto(const Predicate& pred, std::vector<uint32_t>& scratch,
-                          std::vector<uint32_t>& out) const;
-
-  /// Sum of sa_counts[sa] over matching groups (a count-query answer),
-  /// without materializing the match list.
-  uint64_t CountAnswer(const Predicate& pred, uint32_t sa) const;
-
- private:
-  const GroupIndex* index_;
-  /// postings_[k][v] = group ids with value v on the k-th public attribute.
-  std::vector<std::vector<std::vector<uint32_t>>> postings_;
 };
 
 }  // namespace recpriv::table

@@ -1,0 +1,261 @@
+// FlatGroupIndex tests: layout invariants, the packed/wide key paths, and a
+// randomized property suite asserting the columnar index agrees with the
+// legacy GroupIndex on groups, SA histograms, MatchingGroups, FindGroup,
+// and CountAnswer across schemas — including domains too wide for the
+// packed-key fast path.
+
+#include "table/flat_group_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/group_index.h"
+
+namespace recpriv::table {
+namespace {
+
+using recpriv::Rng;
+
+SchemaPtr MakeSchema(const std::vector<size_t>& public_domains,
+                     size_t sa_domain) {
+  std::vector<Attribute> attrs;
+  for (size_t a = 0; a < public_domains.size(); ++a) {
+    Dictionary d;
+    for (size_t v = 0; v < public_domains[a]; ++v) {
+      d.GetOrAdd("a" + std::to_string(a) + "v" + std::to_string(v));
+    }
+    attrs.push_back(Attribute{"A" + std::to_string(a), std::move(d)});
+  }
+  Dictionary sa;
+  for (size_t v = 0; v < sa_domain; ++v) sa.GetOrAdd("s" + std::to_string(v));
+  attrs.push_back(Attribute{"SA", std::move(sa)});
+  const size_t sa_index = attrs.size() - 1;
+  return std::make_shared<Schema>(*Schema::Make(std::move(attrs), sa_index));
+}
+
+Table RandomTable(const SchemaPtr& schema, size_t rows, Rng& rng) {
+  Table t(schema);
+  std::vector<uint32_t> codes(schema->num_attributes());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < schema->num_attributes(); ++a) {
+      codes[a] = uint32_t(rng.NextUint64(schema->attribute(a).domain.size()));
+    }
+    t.AppendRowUnchecked(codes);
+  }
+  return t;
+}
+
+/// Full agreement check between the two layouts for one table.
+void ExpectAgreement(const Table& t, FlatGroupIndex::KeyMode mode,
+                     Rng& rng) {
+  const GroupIndex legacy = GroupIndex::Build(t);
+  const FlatGroupIndex flat = FlatGroupIndex::Build(t, mode);
+
+  ASSERT_EQ(flat.num_groups(), legacy.num_groups());
+  ASSERT_EQ(flat.num_records(), legacy.num_records());
+  EXPECT_DOUBLE_EQ(flat.AverageGroupSize(), legacy.AverageGroupSize());
+
+  for (size_t gi = 0; gi < legacy.num_groups(); ++gi) {
+    const PersonalGroup& g = legacy.groups()[gi];
+    // Same group order (NA-lexicographic), same keys, same histograms.
+    ASSERT_EQ(std::vector<uint32_t>(flat.na_codes(gi).begin(),
+                                    flat.na_codes(gi).end()),
+              g.na_codes)
+        << "group " << gi;
+    EXPECT_EQ(std::vector<uint64_t>(flat.sa_counts(gi).begin(),
+                                    flat.sa_counts(gi).end()),
+              g.sa_counts);
+    EXPECT_EQ(flat.group_size(gi), g.size());
+    EXPECT_DOUBLE_EQ(flat.MaxFrequency(gi), g.MaxFrequency());
+    // Same row sets (legacy row order within a group is unspecified).
+    std::vector<uint32_t> legacy_rows(g.rows.begin(), g.rows.end());
+    std::sort(legacy_rows.begin(), legacy_rows.end());
+    std::vector<uint32_t> flat_rows(flat.rows(gi).begin(),
+                                    flat.rows(gi).end());
+    std::sort(flat_rows.begin(), flat_rows.end());
+    EXPECT_EQ(flat_rows, legacy_rows);
+
+    // FindGroup locates every group by its own key.
+    auto found = flat.FindGroup(flat.na_codes(gi));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, gi);
+  }
+
+  // Random predicates (wildcards, bound values, out-of-domain codes):
+  // MatchingGroups, CountAnswer and AnswerInto must agree with the legacy
+  // linear scan.
+  const auto& pub = legacy.public_indices();
+  const size_t n_attr = t.schema()->num_attributes();
+  const size_t m = t.schema()->sa_domain_size();
+  for (int trial = 0; trial < 40; ++trial) {
+    Predicate pred(n_attr);
+    for (size_t attr : pub) {
+      const size_t dom = t.schema()->attribute(attr).domain.size();
+      switch (rng.NextUint64(4)) {
+        case 0:  // wildcard
+          break;
+        case 1:  // out-of-domain code: matches nothing on this attribute
+          pred.Bind(attr, uint32_t(dom + rng.NextUint64(1000)));
+          break;
+        default:
+          pred.Bind(attr, uint32_t(rng.NextUint64(dom)));
+      }
+    }
+    const std::vector<size_t> slow = legacy.MatchingGroups(pred);
+    const std::vector<uint32_t> fast = flat.MatchingGroups(pred);
+    ASSERT_EQ(std::vector<size_t>(fast.begin(), fast.end()), slow)
+        << pred.ToString(*t.schema());
+
+    const uint32_t sa = uint32_t(rng.NextUint64(m));
+    uint64_t slow_obs = 0, slow_size = 0;
+    for (size_t gi : slow) {
+      slow_obs += legacy.groups()[gi].sa_counts[sa];
+      slow_size += legacy.groups()[gi].size();
+    }
+    EXPECT_EQ(flat.CountAnswer(pred, sa), slow_obs);
+    uint64_t obs = 0, size = 0;
+    flat.AnswerInto(pred, sa, &obs, &size);
+    EXPECT_EQ(obs, slow_obs);
+    EXPECT_EQ(size, slow_size);
+  }
+
+  // Missing keys are NotFound on both.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> key;
+    for (size_t attr : pub) {
+      key.push_back(uint32_t(
+          rng.NextUint64(t.schema()->attribute(attr).domain.size() + 3)));
+    }
+    const bool legacy_found = legacy.FindGroup(key).ok();
+    const auto flat_found = flat.FindGroup(key);
+    EXPECT_EQ(flat_found.ok(), legacy_found);
+    if (legacy_found) {
+      EXPECT_EQ(*flat_found, *legacy.FindGroup(key));
+    }
+  }
+}
+
+TEST(FlatGroupIndexTest, AgreesWithLegacyAcrossRandomSchemas) {
+  Rng rng(20150407);
+  for (int round = 0; round < 12; ++round) {
+    const size_t n_pub = 1 + rng.NextUint64(4);
+    std::vector<size_t> domains;
+    for (size_t a = 0; a < n_pub; ++a) {
+      domains.push_back(1 + rng.NextUint64(6));
+    }
+    const size_t m = 2 + rng.NextUint64(5);
+    SchemaPtr schema = MakeSchema(domains, m);
+    Table t = RandomTable(schema, rng.NextUint64(400), rng);
+    {
+      SCOPED_TRACE("round " + std::to_string(round) + " auto");
+      const FlatGroupIndex flat = FlatGroupIndex::Build(t);
+      EXPECT_TRUE(flat.packed());  // narrow domains: fast path expected
+      ExpectAgreement(t, FlatGroupIndex::KeyMode::kAuto, rng);
+    }
+    {
+      // The wide fallback must agree on the same narrow data.
+      SCOPED_TRACE("round " + std::to_string(round) + " forced-wide");
+      const FlatGroupIndex wide =
+          FlatGroupIndex::Build(t, FlatGroupIndex::KeyMode::kForceWide);
+      EXPECT_FALSE(wide.packed());
+      ExpectAgreement(t, FlatGroupIndex::KeyMode::kForceWide, rng);
+    }
+  }
+}
+
+TEST(FlatGroupIndexTest, WideDomainsFallBackAndAgree) {
+  // 9 public attributes x 8 bits (129-value domains) = 72 key bits: the
+  // packed path cannot hold the key, Build must choose the wide layout and
+  // still agree with the legacy index.
+  Rng rng(77);
+  std::vector<size_t> domains(9, 129);
+  SchemaPtr schema = MakeSchema(domains, 3);
+  Table t = RandomTable(schema, 600, rng);
+  const FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  EXPECT_FALSE(flat.packed());
+  ExpectAgreement(t, FlatGroupIndex::KeyMode::kAuto, rng);
+}
+
+TEST(FlatGroupIndexTest, SixtyFourBitKeyStillPacks) {
+  // 4 x 65536-value domains = exactly 64 bits: boundary of the fast path.
+  Rng rng(99);
+  std::vector<size_t> domains(4, 65536);
+  SchemaPtr schema = MakeSchema(domains, 2);
+  Table t = RandomTable(schema, 300, rng);
+  const FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  EXPECT_TRUE(flat.packed());
+  ExpectAgreement(t, FlatGroupIndex::KeyMode::kAuto, rng);
+}
+
+TEST(FlatGroupIndexTest, EmptyTable) {
+  SchemaPtr schema = MakeSchema({2, 3}, 2);
+  Table t(schema);
+  const FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  EXPECT_EQ(flat.num_groups(), 0u);
+  EXPECT_EQ(flat.AverageGroupSize(), 0.0);
+  EXPECT_FALSE(flat.FindGroup(std::vector<uint32_t>{0, 0}).ok());
+  Predicate all(3);
+  EXPECT_TRUE(flat.MatchingGroups(all).empty());
+  EXPECT_EQ(flat.CountAnswer(all, 0), 0u);
+}
+
+TEST(FlatGroupIndexTest, NoPublicAttributes) {
+  // A schema that is all-SA has one personal group holding every record.
+  SchemaPtr schema = MakeSchema({}, 3);
+  Rng rng(5);
+  Table t = RandomTable(schema, 50, rng);
+  const FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  ASSERT_EQ(flat.num_groups(), 1u);
+  EXPECT_EQ(flat.group_size(0), 50u);
+  uint64_t total = 0;
+  for (uint64_t c : flat.sa_counts(0)) total += c;
+  EXPECT_EQ(total, 50u);
+  auto found = flat.FindGroup(std::span<const uint32_t>{});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0u);
+  Predicate all(1);
+  EXPECT_EQ(flat.MatchingGroups(all).size(), 1u);
+}
+
+TEST(FlatGroupIndexTest, RowsAreAscendingWithinGroups) {
+  // Both key paths are stable sorts, so CSR row slices come out ascending —
+  // a locality guarantee scan consumers may rely on.
+  Rng rng(123);
+  SchemaPtr schema = MakeSchema({3, 3}, 2);
+  Table t = RandomTable(schema, 500, rng);
+  for (auto mode : {FlatGroupIndex::KeyMode::kAuto,
+                    FlatGroupIndex::KeyMode::kForceWide}) {
+    const FlatGroupIndex flat = FlatGroupIndex::Build(t, mode);
+    for (size_t gi = 0; gi < flat.num_groups(); ++gi) {
+      const auto rows = flat.rows(gi);
+      EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+    }
+  }
+}
+
+TEST(GroupPostingIndexTest, CountAnswerMatchesFusedKernel) {
+  Rng rng(321);
+  SchemaPtr schema = MakeSchema({4, 3, 2}, 3);
+  Table t = RandomTable(schema, 800, rng);
+  const FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  const GroupPostingIndex postings(flat);
+  for (int trial = 0; trial < 60; ++trial) {
+    Predicate pred(4);
+    for (size_t attr = 0; attr < 3; ++attr) {
+      if (rng.NextUint64(2) == 0) {
+        pred.Bind(attr, uint32_t(rng.NextUint64(
+                            schema->attribute(attr).domain.size())));
+      }
+    }
+    const uint32_t sa = uint32_t(rng.NextUint64(3));
+    EXPECT_EQ(postings.CountAnswer(pred, sa), flat.CountAnswer(pred, sa));
+  }
+}
+
+}  // namespace
+}  // namespace recpriv::table

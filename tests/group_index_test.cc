@@ -1,10 +1,14 @@
-// Tests for the personal-group index and the posting-list index.
+// Tests for the legacy personal-group index and the posting-list index
+// (which is built over the columnar FlatGroupIndex; the two layouts share
+// group ids, so the posting tests cross-check against the legacy scan).
 
 #include "table/group_index.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+
+#include "table/flat_group_index.h"
 
 namespace recpriv::table {
 namespace {
@@ -87,6 +91,22 @@ TEST(GroupIndexTest, MatchingGroupsHonoursWildcards) {
   EXPECT_EQ(idx.groups()[matches[0]].na_codes, (std::vector<uint32_t>{0, 1}));
 }
 
+TEST(GroupIndexTest, FindGroupLocatesEveryGroup) {
+  // The legacy FindGroup is a binary search over the NA-sorted groups; it
+  // must locate every group id and reject near-miss keys.
+  Table t = MakeTestTable();
+  GroupIndex idx = GroupIndex::Build(t);
+  for (size_t gi = 0; gi < idx.num_groups(); ++gi) {
+    auto found = idx.FindGroup(idx.groups()[gi].na_codes);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, gi);
+  }
+  EXPECT_FALSE(idx.FindGroup({0, 7}).ok());
+  EXPECT_FALSE(idx.FindGroup({7, 0}).ok());
+  EXPECT_FALSE(idx.FindGroup({0}).ok());          // short key
+  EXPECT_FALSE(idx.FindGroup({0, 1, 0}).ok());    // long key
+}
+
 TEST(GroupIndexTest, FindGroupMissing) {
   Table t(MakeTestSchema());
   ASSERT_TRUE(t.AppendRow(std::vector<uint32_t>{0, 0, 0}).ok());
@@ -111,7 +131,8 @@ TEST(GroupIndexTest, MaxFrequencyOfEmptyGroupIsZero) {
 TEST(GroupPostingIndexTest, AgreesWithLinearScan) {
   Table t = MakeTestTable();
   GroupIndex idx = GroupIndex::Build(t);
-  GroupPostingIndex postings(idx);
+  FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  GroupPostingIndex postings(flat);
 
   for (int g = -1; g < 2; ++g) {
     for (int j = -1; j < 2; ++j) {
@@ -128,8 +149,8 @@ TEST(GroupPostingIndexTest, AgreesWithLinearScan) {
 
 TEST(GroupPostingIndexTest, CountAnswerSumsHistograms) {
   Table t = MakeTestTable();
-  GroupIndex idx = GroupIndex::Build(t);
-  GroupPostingIndex postings(idx);
+  FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  GroupPostingIndex postings(flat);
   Predicate eng(3);
   eng.Bind(1, 0);  // Job = eng
   // eng groups: (male,eng) flu=2, (female,eng) flu=0.
@@ -139,8 +160,8 @@ TEST(GroupPostingIndexTest, CountAnswerSumsHistograms) {
 
 TEST(GroupPostingIndexTest, OutOfDomainCodeMatchesNothing) {
   Table t = MakeTestTable();
-  GroupIndex idx = GroupIndex::Build(t);
-  GroupPostingIndex postings(idx);
+  FlatGroupIndex flat = FlatGroupIndex::Build(t);
+  GroupPostingIndex postings(flat);
   Predicate p(3);
   p.Bind(0, 77);  // no such code
   EXPECT_TRUE(postings.MatchingGroups(p).empty());

@@ -79,7 +79,7 @@ TEST(IntegrationTest, AggregateReconstructionStaysAccurate) {
   double sum = 0.0;
   const int runs = 30;
   for (int i = 0; i < runs; ++i) {
-    auto sps = *query::SpsAllGroups(ds->index, params, rng);
+    auto sps = *query::SpsAllGroups(ds->flat_index, params, rng);
     uint64_t o1 = 0, total = 0;
     for (size_t gi = 0; gi < sps.observed.size(); ++gi) {
       o1 += sps.observed[gi][1];
@@ -141,7 +141,7 @@ TEST(IntegrationTest, CensusPipelineSmall) {
 
   PrivacyParams params = exp::DefaultParams(50);
   Rng rng(5);
-  auto point = exp::MeasureRelativeError(ds->index, ds->pool, params, 3, rng);
+  auto point = exp::MeasureRelativeError(ds->flat_index, ds->pool, params, 3, rng);
   ASSERT_TRUE(point.ok());
   // UP is accurate; SPS stays close (the paper's CENSUS utility claim).
   EXPECT_LT(point->up.mean, 0.5);
@@ -174,15 +174,15 @@ TEST(IntegrationTest, RecordAndCountEvaluationsAgree) {
     }
   }
   auto rec_result =
-      query::EvaluateRelativeError(ds->pool, ds->index, from_records, p);
+      query::EvaluateRelativeError(ds->pool, ds->flat_index, from_records, p);
 
   // Count path, averaged over a few runs to smooth run-to-run noise.
   Rng rng_cnt(22);
   double count_err = 0.0;
   const int runs = 5;
   for (int i = 0; i < runs; ++i) {
-    auto sps_counts = *query::SpsAllGroups(ds->index, params, rng_cnt);
-    count_err += query::EvaluateRelativeError(ds->pool, ds->index,
+    auto sps_counts = *query::SpsAllGroups(ds->flat_index, params, rng_cnt);
+    count_err += query::EvaluateRelativeError(ds->pool, ds->flat_index,
                                               sps_counts, p)
                      .mean_relative_error;
   }

@@ -162,7 +162,8 @@ TEST(PerturbCountsTest, MeanMatchesLemma2) {
 TEST(PerturbCountsTest, RejectsWrongArity) {
   Rng rng(1);
   const UniformPerturbation up{0.5, 3};
-  EXPECT_FALSE(PerturbCounts(up, {1, 2}, rng).ok());
+  const std::vector<uint64_t> counts{1, 2};
+  EXPECT_FALSE(PerturbCounts(up, counts, rng).ok());
 }
 
 SchemaPtr SmallSchema() {

@@ -10,7 +10,7 @@
 #include "query/count_query.h"
 #include "query/evaluation.h"
 #include "query/query_pool.h"
-#include "table/group_index.h"
+#include "table/flat_group_index.h"
 
 namespace recpriv::query {
 namespace {
@@ -18,7 +18,7 @@ namespace {
 using recpriv::core::PrivacyParams;
 using recpriv::datagen::GroupSpec;
 using recpriv::datagen::SimpleDatasetSpec;
-using recpriv::table::GroupIndex;
+using recpriv::table::FlatGroupIndex;
 using recpriv::table::Table;
 
 SimpleDatasetSpec MakeSpec() {
@@ -35,7 +35,7 @@ SimpleDatasetSpec MakeSpec() {
 
 TEST(CountQueryTest, TrueAnswerSumsMatchingGroups) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
 
   CountQuery q(3);
   q.na_predicate.Bind(0, *t.schema()->attribute(0).domain.GetCode("eng"));
@@ -49,7 +49,7 @@ TEST(CountQueryTest, TrueAnswerSumsMatchingGroups) {
 
 TEST(QueryPoolTest, RespectsConfig) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(31);
   QueryPoolConfig config;
   config.pool_size = 200;
@@ -70,7 +70,7 @@ TEST(QueryPoolTest, RespectsConfig) {
 
 TEST(QueryPoolTest, SelectivityFloorFiltersRareQueries) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(37);
   QueryPoolConfig config;
   config.pool_size = 100;
@@ -86,7 +86,7 @@ TEST(QueryPoolTest, SelectivityFloorFiltersRareQueries) {
 
 TEST(QueryPoolTest, ImpossibleFloorErrors) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(41);
   QueryPoolConfig config;
   config.pool_size = 10;
@@ -100,7 +100,7 @@ TEST(QueryPoolTest, ImpossibleFloorErrors) {
 
 TEST(QueryPoolTest, ConfigValidation) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(1);
   QueryPoolConfig bad;
   bad.pool_size = 0;
@@ -112,7 +112,7 @@ TEST(QueryPoolTest, ConfigValidation) {
 
 TEST(QueryPoolTest, MapPoolFollowsGeneralization) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   auto plan = *recpriv::core::ComputeGeneralization(t);
   Rng rng(43);
   QueryPoolConfig config;
@@ -145,13 +145,13 @@ PrivacyParams Params(size_t m) {
 
 TEST(EvaluationTest, PerturbAllGroupsPreservesSizes) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(47);
   auto perturbed = PerturbAllGroups(idx, 0.5, rng);
   ASSERT_TRUE(perturbed.ok());
   ASSERT_EQ(perturbed->observed.size(), idx.num_groups());
   for (size_t gi = 0; gi < idx.num_groups(); ++gi) {
-    EXPECT_EQ(perturbed->sizes[gi], idx.groups()[gi].size());
+    EXPECT_EQ(perturbed->sizes[gi], idx.group_size(gi));
   }
 }
 
@@ -160,11 +160,12 @@ TEST(EvaluationTest, ZeroErrorWhenReconstructionIsExact) {
   // evaluating against unperturbed counts embedded as observations with
   // p ~ 1 yields near-zero error.
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   PerturbedGroups fake;
-  for (const auto& g : idx.groups()) {
-    fake.observed.push_back(g.sa_counts);
-    fake.sizes.push_back(g.size());
+  for (size_t gi = 0; gi < idx.num_groups(); ++gi) {
+    const auto row = idx.sa_counts(gi);
+    fake.observed.emplace_back(row.begin(), row.end());
+    fake.sizes.push_back(idx.group_size(gi));
   }
   CountQuery q(3);
   q.na_predicate.Bind(0, 0);
@@ -177,7 +178,7 @@ TEST(EvaluationTest, ZeroErrorWhenReconstructionIsExact) {
 TEST(EvaluationTest, ErrorShrinksWithRetention) {
   // Higher retention p -> less noise -> smaller relative error.
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(53);
   QueryPoolConfig config;
   config.pool_size = 300;
@@ -201,7 +202,7 @@ TEST(EvaluationTest, ErrorShrinksWithRetention) {
 
 TEST(EvaluationTest, SpsAllGroupsReportsSampling) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   Rng rng(59);
   auto sps = SpsAllGroups(idx, Params(3), rng);
   ASSERT_TRUE(sps.ok());
@@ -213,11 +214,12 @@ TEST(EvaluationTest, SpsAllGroupsReportsSampling) {
 
 TEST(EvaluationTest, SkipsZeroAnswerQueries) {
   Table t = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
-  GroupIndex idx = GroupIndex::Build(t);
+  FlatGroupIndex idx = FlatGroupIndex::Build(t);
   PerturbedGroups fake;
-  for (const auto& g : idx.groups()) {
-    fake.observed.push_back(g.sa_counts);
-    fake.sizes.push_back(g.size());
+  for (size_t gi = 0; gi < idx.num_groups(); ++gi) {
+    const auto row = idx.sa_counts(gi);
+    fake.observed.emplace_back(row.begin(), row.end());
+    fake.sizes.push_back(idx.group_size(gi));
   }
   CountQuery q(3);
   q.na_predicate.Bind(0, 0);

@@ -478,9 +478,9 @@ TEST(QueryEngineTest, AgreesWithOfflineEvaluationPipeline) {
     // Recompute est from the snapshot's group histograms by hand.
     uint64_t observed = 0;
     uint64_t matched = 0;
-    for (size_t gi : snap->index.MatchingGroups(batch[i].na_predicate)) {
-      observed += snap->index.groups()[gi].sa_counts[batch[i].sa_code];
-      matched += snap->index.groups()[gi].size();
+    for (uint32_t gi : snap->index.MatchingGroups(batch[i].na_predicate)) {
+      observed += snap->index.sa_count(gi, batch[i].sa_code);
+      matched += snap->index.group_size(gi);
     }
     EXPECT_EQ(result.answers[i].observed, observed);
     EXPECT_DOUBLE_EQ(result.answers[i].estimate,

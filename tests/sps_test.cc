@@ -128,7 +128,8 @@ TEST(SpsCountsTest, SampleSizeNeverExceedsThreshold) {
 TEST(SpsCountsTest, EmptyGroup) {
   auto params = Params(0.3, 0.3, 0.5, 3);
   Rng rng(19);
-  auto r = SpsPerturbGroupCounts(params, {0, 0, 0}, rng);
+  const std::vector<uint64_t> zero{0, 0, 0};
+  auto r = SpsPerturbGroupCounts(params, zero, rng);
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->sampled);
   EXPECT_EQ(r->observed, (std::vector<uint64_t>{0, 0, 0}));
@@ -137,7 +138,8 @@ TEST(SpsCountsTest, EmptyGroup) {
 TEST(SpsCountsTest, ArityValidation) {
   auto params = Params(0.3, 0.3, 0.5, 3);
   Rng rng(1);
-  EXPECT_FALSE(SpsPerturbGroupCounts(params, {1, 2}, rng).ok());
+  const std::vector<uint64_t> two{1, 2};
+  EXPECT_FALSE(SpsPerturbGroupCounts(params, two, rng).ok());
 }
 
 TEST(SpsCountsTest, UnbiasedReconstructionAfterSps) {
