@@ -1,0 +1,95 @@
+#include "client/api.h"
+
+namespace recpriv::client {
+
+namespace {
+
+struct CodeName {
+  ErrorCode code;
+  std::string_view name;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {ErrorCode::kOk, "OK"},
+    {ErrorCode::kInvalidRequest, "INVALID_REQUEST"},
+    {ErrorCode::kOutOfRange, "OUT_OF_RANGE"},
+    {ErrorCode::kNotFound, "NOT_FOUND"},
+    {ErrorCode::kAlreadyExists, "ALREADY_EXISTS"},
+    {ErrorCode::kIoError, "IO_ERROR"},
+    {ErrorCode::kStaleEpoch, "STALE_EPOCH"},
+    {ErrorCode::kInternal, "INTERNAL"},
+    {ErrorCode::kUnsupported, "UNSUPPORTED"},
+    {ErrorCode::kMalformed, "MALFORMED"},
+};
+
+}  // namespace
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return "INTERNAL";
+}
+
+std::optional<ErrorCode> ErrorCodeFromName(std::string_view name) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.name == name) return entry.code;
+  }
+  return std::nullopt;
+}
+
+ErrorCode ErrorCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ErrorCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return ErrorCode::kInvalidRequest;
+    case StatusCode::kOutOfRange:
+      return ErrorCode::kOutOfRange;
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return ErrorCode::kAlreadyExists;
+    case StatusCode::kIOError:
+      return ErrorCode::kIoError;
+    case StatusCode::kFailedPrecondition:
+      return ErrorCode::kStaleEpoch;
+    case StatusCode::kInternal:
+      return ErrorCode::kInternal;
+    case StatusCode::kNotImplemented:
+      return ErrorCode::kUnsupported;
+  }
+  return ErrorCode::kInternal;
+}
+
+Status ApiError::ToStatus() const {
+  switch (code) {
+    case ErrorCode::kOk:
+      return Status::OK();
+    case ErrorCode::kInvalidRequest:
+      return Status::InvalidArgument(message);
+    case ErrorCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case ErrorCode::kNotFound:
+      return Status::NotFound(message);
+    case ErrorCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case ErrorCode::kIoError:
+      return Status::IOError(message);
+    case ErrorCode::kStaleEpoch:
+      return Status::FailedPrecondition(message);
+    case ErrorCode::kInternal:
+      return Status::Internal(message);
+    case ErrorCode::kUnsupported:
+      return Status::NotImplemented(message);
+    case ErrorCode::kMalformed:
+      return Status::IOError(message);
+  }
+  return Status::Internal(message);
+}
+
+ApiError ApiError::FromStatus(const Status& status) {
+  return ApiError{ErrorCodeFromStatus(status), status.message()};
+}
+
+}  // namespace recpriv::client

@@ -1,0 +1,144 @@
+// Typed request/response contract of the serving layer — the structs a
+// consumer program works with instead of raw protocol JSON.
+//
+// These types are shared by every access path: the wire codec
+// (serve/wire.cc) encodes/decodes them, the typed service layer
+// (serve/service.h) produces them, and both client backends
+// (client/in_process_client.h, client/line_protocol_client.h) return them.
+// A program written against them runs unchanged embedded or remote.
+//
+// Errors cross the wire as a stable (code, message) pair — see ApiError —
+// so remote callers can branch on the same taxonomy an in-process caller
+// gets from Status, without parsing message strings.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace recpriv::client {
+
+/// Stable wire error taxonomy. Every value maps 1:1 to a StatusCode (the
+/// in-process error vocabulary), so the two client backends report the
+/// same error for the same failure. kMalformed is the one wire-layer
+/// refinement: a request line that is not valid JSON (an in-process caller
+/// can never produce one).
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidRequest,  ///< kInvalidArgument: value outside the documented domain
+  kOutOfRange,      ///< kOutOfRange: index / key outside a container
+  kNotFound,        ///< kNotFound: unknown release, attribute, value, file
+  kAlreadyExists,   ///< kAlreadyExists: duplicate insertion
+  kIoError,         ///< kIOError: filesystem / parse failure
+  kStaleEpoch,      ///< kFailedPrecondition: pinned epoch no longer retained
+  kInternal,        ///< kInternal: invariant violation inside the server
+  kUnsupported,     ///< kNotImplemented: protocol version / operation
+  kMalformed,       ///< request line was not parseable JSON (wire only)
+};
+
+/// Stable wire name of a code, e.g. "STALE_EPOCH".
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Inverse of ErrorCodeName; nullopt for unknown names.
+std::optional<ErrorCode> ErrorCodeFromName(std::string_view name);
+
+/// The taxonomy mapping (see the enum comments). OK maps to kOk.
+ErrorCode ErrorCodeFromStatus(const Status& status);
+
+/// A failed operation as it crosses the API boundary.
+struct ApiError {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  /// The Status an in-process caller would have seen (kMalformed becomes
+  /// kIOError: the line never reached the JSON layer intact).
+  Status ToStatus() const;
+  static ApiError FromStatus(const Status& status);
+};
+
+/// One count query at the string level of the release's own schema:
+/// WHERE attr = value AND ... AND SA = sa (Eq. 11). Attribute and value
+/// names resolve against the served snapshot's dictionaries server-side,
+/// so clients need no out-of-band knowledge of the generator — fetch the
+/// domains with Client::GetSchema.
+struct QuerySpec {
+  std::vector<std::pair<std::string, std::string>> where;
+  std::string sa;
+};
+
+/// A batch of count queries against one release. When `epoch` is set the
+/// batch is answered from that retained snapshot (see
+/// serve/release_store.h), so a multi-request analysis session reads a
+/// consistent release across concurrent republishes.
+struct QueryRequest {
+  std::string release;
+  std::optional<uint64_t> epoch;
+  std::vector<QuerySpec> queries;
+};
+
+/// One query's answer: the observed perturbed count O*, the matched
+/// release size |S*|, and the MLE reconstruction est = |S*| F' (Lemma 2).
+struct AnswerRow {
+  uint64_t observed = 0;
+  uint64_t matched_size = 0;
+  double estimate = 0.0;
+  bool cached = false;
+};
+
+/// One batch's answers plus serving diagnostics.
+struct BatchAnswer {
+  std::string release;
+  uint64_t epoch = 0;  ///< snapshot epoch the batch was served from
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::vector<AnswerRow> answers;  ///< parallel to QueryRequest::queries
+};
+
+/// Serving-visible metadata of one named release.
+struct ReleaseDescriptor {
+  std::string name;
+  uint64_t epoch = 0;
+  uint64_t num_records = 0;
+  uint64_t num_groups = 0;
+  uint64_t retained_epochs = 1;  ///< snapshots pinnable right now
+  uint64_t oldest_epoch = 0;     ///< smallest epoch still pinnable
+};
+
+/// One attribute of a release schema: its name, whether it is the
+/// sensitive attribute, and its full value domain in code order.
+struct AttributeInfo {
+  std::string name;
+  bool sensitive = false;
+  std::vector<std::string> values;
+};
+
+/// A release's public/sensitive attributes and domain values — everything
+/// needed to build QuerySpecs without out-of-band knowledge.
+struct ReleaseSchema {
+  std::string release;
+  uint64_t epoch = 0;
+  std::vector<AttributeInfo> attributes;
+};
+
+/// Answer-cache counters of the serving process.
+struct CacheStats {
+  uint64_t size = 0;
+  uint64_t capacity = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// Engine-wide counters plus per-release serving metadata.
+struct ServerStats {
+  uint64_t threads = 0;
+  CacheStats cache;
+  std::vector<ReleaseDescriptor> releases;
+};
+
+}  // namespace recpriv::client

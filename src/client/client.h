@@ -1,0 +1,67 @@
+// recpriv::client::Client — the one interface every consumer programs
+// against, embedded or remote.
+//
+// Two backends implement it:
+//
+//  * InProcessClient (client/in_process_client.h): wraps a ReleaseStore +
+//    QueryEngine directly; zero serialization, for tools and tests that
+//    host the store themselves.
+//  * LineProtocolClient (client/line_protocol_client.h): speaks wire
+//    protocol v2 (serve/wire.h) over a line transport — e.g. the
+//    stdin/stdout of a recpriv_serve process.
+//
+// Both return the same typed structs (client/api.h) and the same Status
+// taxonomy for the same failure, so a program can switch backends without
+// changing a line of analysis code. All methods are synchronous; a Client
+// is not required to be thread-safe (share one per thread, or the
+// in-process backend's engine underneath).
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/api.h"
+#include "common/result.h"
+
+namespace recpriv::client {
+
+/// Abstract serving-layer client; see the backend headers for semantics
+/// specific to each access path.
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Metadata of every published release, name-sorted.
+  virtual Result<std::vector<ReleaseDescriptor>> List() = 0;
+
+  /// Answers a count-query batch. With request.epoch set, answers from
+  /// that retained snapshot (kStaleEpoch / FailedPrecondition when the
+  /// epoch has aged out of the retention window).
+  virtual Result<BatchAnswer> Query(const QueryRequest& request) = 0;
+
+  /// A release's attribute names and domain values — enough to build
+  /// QuerySpecs with no out-of-band knowledge. Pin `epoch` to describe a
+  /// retained snapshot instead of the current one.
+  virtual Result<ReleaseSchema> GetSchema(
+      const std::string& release,
+      std::optional<uint64_t> epoch = std::nullopt) = 0;
+
+  /// Engine-wide cache/thread counters plus per-release serving metadata.
+  virtual Result<ServerStats> Stats() = 0;
+
+  /// Publishes the release bundle at `basename` (BASENAME.csv +
+  /// BASENAME.manifest.json, written by recpriv_publish --manifest) under
+  /// `name`. The path resolves on the serving side: in-process that is the
+  /// calling process, over the wire it is the server's filesystem.
+  virtual Result<ReleaseDescriptor> Publish(const std::string& name,
+                                            const std::string& basename) = 0;
+
+  /// Retires `name` entirely (all retained epochs). Epoch numbering
+  /// continues if the name is later republished, so pinned clients can
+  /// never silently read a different release under a reused epoch.
+  virtual Result<ReleaseDescriptor> Drop(const std::string& name) = 0;
+};
+
+}  // namespace recpriv::client

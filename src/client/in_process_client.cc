@@ -1,0 +1,48 @@
+#include "client/in_process_client.h"
+
+#include <utility>
+
+#include "serve/service.h"
+
+namespace recpriv::client {
+
+InProcessClient::InProcessClient(std::shared_ptr<serve::QueryEngine> engine)
+    : engine_(std::move(engine)) {}
+
+InProcessClient::InProcessClient(std::shared_ptr<serve::ReleaseStore> store,
+                                 serve::QueryEngineOptions options)
+    : engine_(std::make_shared<serve::QueryEngine>(std::move(store),
+                                                   options)) {}
+
+Result<std::vector<ReleaseDescriptor>> InProcessClient::List() {
+  return serve::ListReleases(*engine_);
+}
+
+Result<BatchAnswer> InProcessClient::Query(const QueryRequest& request) {
+  return serve::ExecuteQuery(*engine_, request);
+}
+
+Result<ReleaseSchema> InProcessClient::GetSchema(
+    const std::string& release, std::optional<uint64_t> epoch) {
+  return serve::DescribeRelease(*engine_, release, epoch);
+}
+
+Result<ServerStats> InProcessClient::Stats() {
+  return serve::CollectStats(*engine_);
+}
+
+Result<ReleaseDescriptor> InProcessClient::Publish(
+    const std::string& name, const std::string& basename) {
+  return serve::PublishFromFile(*engine_, name, basename);
+}
+
+Result<ReleaseDescriptor> InProcessClient::Drop(const std::string& name) {
+  return serve::DropRelease(*engine_, name);
+}
+
+Result<ReleaseDescriptor> InProcessClient::PublishBundle(
+    const std::string& name, recpriv::analysis::ReleaseBundle bundle) {
+  return serve::PublishBundle(*engine_, name, std::move(bundle));
+}
+
+}  // namespace recpriv::client

@@ -1,0 +1,58 @@
+// InProcessClient: the embedded backend of recpriv::client::Client.
+//
+// Wraps a ReleaseStore + QueryEngine directly and routes every call
+// through the same typed service layer (serve/service.h) the wire front
+// end dispatches into — so an embedded caller and a remote caller hit
+// byte-for-byte the same lookup, validation, and evaluation code, and a
+// program can be developed against this backend and deployed against
+// LineProtocolClient unchanged.
+//
+// Thread-safety follows the engine's: the store and engine are safe for
+// concurrent use, so one InProcessClient may be shared across threads.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/release.h"
+#include "client/client.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+
+namespace recpriv::client {
+
+class InProcessClient : public Client {
+ public:
+  /// Wraps an existing engine (shared with e.g. a wire front end serving
+  /// the same store).
+  explicit InProcessClient(std::shared_ptr<serve::QueryEngine> engine);
+
+  /// Hosts a fresh engine over `store` — the self-contained embedded setup.
+  explicit InProcessClient(std::shared_ptr<serve::ReleaseStore> store,
+                           serve::QueryEngineOptions options = {});
+
+  Result<std::vector<ReleaseDescriptor>> List() override;
+  Result<BatchAnswer> Query(const QueryRequest& request) override;
+  Result<ReleaseSchema> GetSchema(
+      const std::string& release,
+      std::optional<uint64_t> epoch = std::nullopt) override;
+  Result<ServerStats> Stats() override;
+  Result<ReleaseDescriptor> Publish(const std::string& name,
+                                    const std::string& basename) override;
+  Result<ReleaseDescriptor> Drop(const std::string& name) override;
+
+  /// In-process extra: publishes an in-memory bundle (bundles do not
+  /// cross the wire, so this is not part of the Client contract).
+  Result<ReleaseDescriptor> PublishBundle(
+      const std::string& name, recpriv::analysis::ReleaseBundle bundle);
+
+  serve::QueryEngine& engine() { return *engine_; }
+
+ private:
+  std::shared_ptr<serve::QueryEngine> engine_;
+};
+
+}  // namespace recpriv::client

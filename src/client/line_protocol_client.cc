@@ -1,0 +1,92 @@
+#include "client/line_protocol_client.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace recpriv::client {
+
+Result<std::string> IoStreamTransport::RoundTrip(
+    const std::string& request_line) {
+  out_ << request_line << "\n" << std::flush;
+  if (!out_.good()) {
+    return Status::IOError("line transport: write failed (peer gone?)");
+  }
+  std::string response;
+  if (!std::getline(in_, response)) {
+    return Status::IOError("line transport: no response (peer closed)");
+  }
+  return response;
+}
+
+Result<std::string> LoopbackTransport::RoundTrip(
+    const std::string& request_line) {
+  return serve::HandleRequestLine(request_line, engine_);
+}
+
+LineProtocolClient::LineProtocolClient(
+    std::unique_ptr<LineTransport> transport)
+    : transport_(std::move(transport)) {}
+
+LineProtocolClient::LineProtocolClient(std::istream& responses,
+                                       std::ostream& requests)
+    : transport_(std::make_unique<IoStreamTransport>(responses, requests)) {}
+
+Result<JsonValue> LineProtocolClient::RoundTrip(const JsonValue& request,
+                                                uint64_t id) {
+  RECPRIV_ASSIGN_OR_RETURN(std::string response_line,
+                           transport_->RoundTrip(request.ToString()));
+  return serve::wire::ParseResponse(response_line, id);
+}
+
+Result<std::vector<ReleaseDescriptor>> LineProtocolClient::List() {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(JsonValue response,
+                           RoundTrip(serve::wire::EncodeListRequest(id), id));
+  return serve::wire::DecodeListResponse(response);
+}
+
+Result<BatchAnswer> LineProtocolClient::Query(const QueryRequest& request) {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodeQueryRequest(request, id), id));
+  return serve::wire::DecodeQueryResponse(response);
+}
+
+Result<ReleaseSchema> LineProtocolClient::GetSchema(
+    const std::string& release, std::optional<uint64_t> epoch) {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodeSchemaRequest(release, epoch, id), id));
+  return serve::wire::DecodeSchemaResponse(response);
+}
+
+Result<ServerStats> LineProtocolClient::Stats() {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(JsonValue response,
+                           RoundTrip(serve::wire::EncodeStatsRequest(id), id));
+  return serve::wire::DecodeStatsResponse(response);
+}
+
+Result<ReleaseDescriptor> LineProtocolClient::Publish(
+    const std::string& name, const std::string& basename) {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodePublishRequest(name, basename, id), id));
+  return serve::wire::DecodePublishResponse(response);
+}
+
+Result<ReleaseDescriptor> LineProtocolClient::Drop(const std::string& name) {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodeDropRequest(name, id), id));
+  return serve::wire::DecodeDropResponse(response);
+}
+
+}  // namespace recpriv::client

@@ -1,0 +1,95 @@
+// LineProtocolClient: the remote backend of recpriv::client::Client —
+// speaks wire protocol v2 (serve/wire.h), one JSON request line out, one
+// JSON response line back, over a pluggable LineTransport.
+//
+// Every request carries a monotonically increasing correlation id; the
+// client verifies the server's id echo before trusting a success
+// response, and maps structured wire errors back onto the same Status
+// taxonomy InProcessClient reports — so the two backends are
+// interchangeable down to their error codes.
+//
+// Transports:
+//  * IoStreamTransport — an (istream, ostream) pair, e.g. pipes to the
+//    stdin/stdout of a recpriv_serve process.
+//  * LoopbackTransport — dispatches each line through a local engine's
+//    wire front end with no process boundary; full protocol round-trip
+//    (encode -> parse -> dispatch -> encode -> parse) in-process. The
+//    reference harness for protocol tests and examples.
+//
+// A LineProtocolClient serializes one request at a time and is not
+// thread-safe; give each session its own client (the paper's consumption
+// model — analysts each querying an immutable release — makes sessions
+// naturally independent).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/json.h"
+#include "serve/query_engine.h"
+
+namespace recpriv::client {
+
+/// One request line out, one response line back.
+class LineTransport {
+ public:
+  virtual ~LineTransport() = default;
+  /// Sends `request_line` (no trailing newline) and returns the
+  /// corresponding response line, or an error when the peer is gone.
+  virtual Result<std::string> RoundTrip(const std::string& request_line) = 0;
+};
+
+/// Writes request lines to `out`, reads response lines from `in`.
+class IoStreamTransport : public LineTransport {
+ public:
+  IoStreamTransport(std::istream& in, std::ostream& out)
+      : in_(in), out_(out) {}
+  Result<std::string> RoundTrip(const std::string& request_line) override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// Dispatches lines through a local engine's wire front end.
+class LoopbackTransport : public LineTransport {
+ public:
+  explicit LoopbackTransport(serve::QueryEngine& engine) : engine_(engine) {}
+  Result<std::string> RoundTrip(const std::string& request_line) override;
+
+ private:
+  serve::QueryEngine& engine_;
+};
+
+class LineProtocolClient : public Client {
+ public:
+  explicit LineProtocolClient(std::unique_ptr<LineTransport> transport);
+  /// Convenience: an owned IoStreamTransport over the given streams.
+  LineProtocolClient(std::istream& responses, std::ostream& requests);
+
+  Result<std::vector<ReleaseDescriptor>> List() override;
+  Result<BatchAnswer> Query(const QueryRequest& request) override;
+  Result<ReleaseSchema> GetSchema(
+      const std::string& release,
+      std::optional<uint64_t> epoch = std::nullopt) override;
+  Result<ServerStats> Stats() override;
+  Result<ReleaseDescriptor> Publish(const std::string& name,
+                                    const std::string& basename) override;
+  Result<ReleaseDescriptor> Drop(const std::string& name) override;
+
+ private:
+  /// Serializes `request`, round-trips it, and validates the envelope;
+  /// returns the response object for the per-op decoder.
+  Result<JsonValue> RoundTrip(const JsonValue& request, uint64_t id);
+
+  std::unique_ptr<LineTransport> transport_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace recpriv::client

@@ -20,9 +20,13 @@
 //   analysis/ self-describing release bundles, immutable release snapshots,
 //             and the consumer-side reconstructor
 //   serve/    the release-serving subsystem: ReleaseStore (named, versioned
-//             copy-on-publish snapshots), QueryEngine (parallel batched
-//             count-query answering with an LRU answer cache), and the
+//             copy-on-publish snapshots with a retained-epoch window),
+//             QueryEngine (parallel batched count-query answering with an
+//             LRU answer cache), the typed service layer, and the versioned
 //             line-delimited JSON wire protocol behind tools/recpriv_serve
+//   client/   the typed consumer surface: request/response structs with a
+//             stable error-code taxonomy, and the Client interface with
+//             in-process and line-protocol backends
 //   exp/      experiment harness reproducing the paper's tables & figures
 
 #pragma once
@@ -86,7 +90,13 @@
 #include "serve/answer_cache.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
+#include "serve/service.h"
 #include "serve/wire.h"
+
+#include "client/api.h"
+#include "client/client.h"
+#include "client/in_process_client.h"
+#include "client/line_protocol_client.h"
 
 #include "anon/ldiversity.h"
 #include "anon/tcloseness.h"

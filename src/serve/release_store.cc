@@ -1,5 +1,6 @@
 #include "serve/release_store.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace recpriv::serve {
@@ -7,16 +8,21 @@ namespace recpriv::serve {
 using recpriv::analysis::ReleaseBundle;
 using recpriv::analysis::SnapshotRelease;
 
+ReleaseStore::ReleaseStore(size_t retained_epochs)
+    : retained_(std::max<size_t>(retained_epochs, 1)) {}
+
 Result<SnapshotPtr> ReleaseStore::Publish(const std::string& name,
-                                          ReleaseBundle bundle) {
+                                          ReleaseBundle bundle,
+                                          ReleaseInfo* info) {
   if (name.empty()) {
     return Status::InvalidArgument("release name must be non-empty");
   }
   // Reserve a unique, strictly increasing epoch up front, then build the
   // snapshot outside the lock (indexing a large release is the expensive
   // part). Concurrent publishers to the same name each get their own epoch;
-  // whichever holds the highest one wins the slot, so a slow stale publish
-  // can never overwrite a newer snapshot and cache keys never repeat.
+  // the window is kept epoch-sorted, so a slow stale publish can never
+  // displace a newer snapshot from the served slot and cache keys never
+  // repeat.
   uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -25,9 +31,16 @@ Result<SnapshotPtr> ReleaseStore::Publish(const std::string& name,
   RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap,
                            SnapshotRelease(std::move(bundle), epoch));
   std::lock_guard<std::mutex> lock(mu_);
-  SnapshotPtr& slot = releases_[name];
-  if (slot == nullptr || slot->epoch < snap->epoch) slot = std::move(snap);
-  return slot;
+  std::vector<SnapshotPtr>& window = releases_[name];
+  auto pos = std::upper_bound(
+      window.begin(), window.end(), snap->epoch,
+      [](uint64_t e, const SnapshotPtr& s) { return e < s->epoch; });
+  window.insert(pos, std::move(snap));
+  if (window.size() > retained_) {
+    window.erase(window.begin(), window.end() - retained_);
+  }
+  if (info != nullptr) *info = InfoLocked(name, window);
+  return window.back();
 }
 
 Result<SnapshotPtr> ReleaseStore::PublishFromStreaming(
@@ -48,16 +61,52 @@ Result<SnapshotPtr> ReleaseStore::Get(const std::string& name) const {
   if (it == releases_.end()) {
     return Status::NotFound("no release named '" + name + "'");
   }
-  return it->second;
+  return it->second.back();
+}
+
+Result<SnapshotPtr> ReleaseStore::Get(const std::string& name,
+                                      uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::NotFound("no release named '" + name + "'");
+  }
+  for (const SnapshotPtr& snap : it->second) {
+    if (snap->epoch == epoch) return snap;
+  }
+  return Status::FailedPrecondition(
+      "epoch " + std::to_string(epoch) + " of release '" + name +
+      "' is not retained (retained epochs " +
+      std::to_string(it->second.front()->epoch) + ".." +
+      std::to_string(it->second.back()->epoch) + ")");
+}
+
+Result<ReleaseInfo> ReleaseStore::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::NotFound("no release named '" + name + "'");
+  }
+  ReleaseInfo info = InfoLocked(name, it->second);
+  releases_.erase(it);
+  return info;
+}
+
+Result<ReleaseInfo> ReleaseStore::Info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::NotFound("no release named '" + name + "'");
+  }
+  return InfoLocked(name, it->second);
 }
 
 std::vector<ReleaseInfo> ReleaseStore::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ReleaseInfo> out;
   out.reserve(releases_.size());
-  for (const auto& [name, snap] : releases_) {
-    out.push_back(ReleaseInfo{name, snap->epoch, snap->index.num_records(),
-                              snap->index.num_groups()});
+  for (const auto& [name, window] : releases_) {
+    out.push_back(InfoLocked(name, window));
   }
   return out;
 }
@@ -65,6 +114,17 @@ std::vector<ReleaseInfo> ReleaseStore::List() const {
 size_t ReleaseStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return releases_.size();
+}
+
+ReleaseInfo ReleaseStore::InfoLocked(
+    const std::string& name, const std::vector<SnapshotPtr>& window) const {
+  const SnapshotPtr& served = window.back();
+  return ReleaseInfo{name,
+                     served->epoch,
+                     served->index.num_records(),
+                     served->index.num_groups(),
+                     window.size(),
+                     window.front()->epoch};
 }
 
 }  // namespace recpriv::serve

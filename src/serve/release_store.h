@@ -10,6 +10,14 @@
 // the pointer. This is the paper's consumption model taken seriously: the
 // user-facing artifact is an immutable perturbed table (§3.1), so serving
 // it is a pointer swap, not a lock hierarchy.
+//
+// Epoch retention: each name keeps a bounded window of its most recent
+// epochs (default kDefaultRetainedEpochs, including the current one), so a
+// client that pinned an epoch mid-analysis keeps reading that exact
+// snapshot across republishes — Get(name, epoch) — until the epoch ages
+// out of the window. Epoch numbers are never reused for a name, even
+// across Drop + republish, so a stale pin can fail loudly but can never
+// silently read different data.
 
 #pragma once
 
@@ -32,19 +40,32 @@ using SnapshotPtr = std::shared_ptr<const recpriv::analysis::ReleaseSnapshot>;
 /// One row of List(): the serving-visible metadata of a named release.
 struct ReleaseInfo {
   std::string name;
-  uint64_t epoch = 0;
+  uint64_t epoch = 0;            ///< currently served epoch
   uint64_t num_records = 0;
   uint64_t num_groups = 0;
+  uint64_t retained_epochs = 1;  ///< snapshots pinnable right now
+  uint64_t oldest_epoch = 0;     ///< smallest epoch still pinnable
 };
 
 /// Thread-safe registry of named release snapshots.
 class ReleaseStore {
  public:
+  /// Epochs retained per name (including the currently served one).
+  static constexpr size_t kDefaultRetainedEpochs = 4;
+
+  /// `retained_epochs` < 1 is clamped to 1 (only the current epoch).
+  explicit ReleaseStore(size_t retained_epochs = kDefaultRetainedEpochs);
+
   /// Publishes `bundle` under `name`. A first publication gets epoch 1;
   /// republication bumps the previous epoch and swaps the snapshot in
-  /// atomically. Returns the snapshot that is now being served.
+  /// atomically, retiring the oldest retained epoch once the window is
+  /// full. Returns the snapshot that is now being served. When `info` is
+  /// non-null it is filled with the name's post-publish metadata under the
+  /// same critical section that installs the snapshot, so a concurrent
+  /// Drop/republish cannot slip between publish and observation.
   Result<SnapshotPtr> Publish(const std::string& name,
-                              recpriv::analysis::ReleaseBundle bundle);
+                              recpriv::analysis::ReleaseBundle bundle,
+                              ReleaseInfo* info = nullptr);
 
   /// Republishes from a streaming publisher: runs a full SPS snapshot of
   /// its current buffer (core::StreamingPublisher::Publish) and publishes
@@ -57,15 +78,36 @@ class ReleaseStore {
   /// The current snapshot of `name`, or NotFound.
   Result<SnapshotPtr> Get(const std::string& name) const;
 
+  /// The retained snapshot of `name` at exactly `epoch`. NotFound when the
+  /// name is unknown; FailedPrecondition when the epoch is not in the
+  /// retention window (aged out, never published, or not yet published) —
+  /// the wire layer reports that as STALE_EPOCH.
+  Result<SnapshotPtr> Get(const std::string& name, uint64_t epoch) const;
+
+  /// Retires `name` entirely: the served snapshot and every retained
+  /// epoch. Returns the dropped release's info, or NotFound. The name's
+  /// epoch counter survives, so republication continues the sequence.
+  Result<ReleaseInfo> Drop(const std::string& name);
+
+  /// Metadata of `name`, or NotFound.
+  Result<ReleaseInfo> Info(const std::string& name) const;
+
   /// Metadata of every release, name-sorted.
   std::vector<ReleaseInfo> List() const;
 
   size_t size() const;
+  size_t retained_epochs() const { return retained_; }
 
  private:
+  ReleaseInfo InfoLocked(const std::string& name,
+                         const std::vector<SnapshotPtr>& window) const;
+
+  const size_t retained_;
   mutable std::mutex mu_;
-  std::map<std::string, SnapshotPtr> releases_;
-  /// Highest epoch ever reserved per name (>= the served snapshot's epoch).
+  /// Retained snapshots per name, epoch-ascending; back() is served.
+  std::map<std::string, std::vector<SnapshotPtr>> releases_;
+  /// Highest epoch ever reserved per name (>= the served snapshot's
+  /// epoch); survives Drop so epochs are never reused.
   std::map<std::string, uint64_t> next_epoch_;
 };
 

@@ -1,0 +1,64 @@
+// The typed service layer of the serving subsystem: every operation of the
+// client contract (client/api.h), expressed over a QueryEngine, with no
+// JSON anywhere in sight.
+//
+// This is the single implementation both access paths share. The wire
+// front end (serve/wire.cc) decodes a request line into these structs,
+// calls the function, and encodes the result; InProcessClient calls the
+// same functions directly. Whatever path a request takes, the release
+// lookup, epoch pinning, string-to-code resolution, validation, and error
+// taxonomy are byte-for-byte the same code — which is what makes the two
+// client backends interchangeable.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/release.h"
+#include "client/api.h"
+#include "common/result.h"
+#include "serve/query_engine.h"
+
+namespace recpriv::serve {
+
+/// Metadata of every published release, name-sorted.
+Result<std::vector<client::ReleaseDescriptor>> ListReleases(
+    QueryEngine& engine);
+
+/// Answers a count-query batch: resolves the release (pinned to
+/// request.epoch when set), binds the string-level QuerySpecs against that
+/// snapshot's schema, and evaluates the whole batch against that same
+/// snapshot — a republish in between can never remap the codes.
+Result<client::BatchAnswer> ExecuteQuery(QueryEngine& engine,
+                                         const client::QueryRequest& request);
+
+/// A release's attribute names and domain values (pinned when `epoch` is
+/// set) — enough for a client to build queries with no out-of-band
+/// knowledge of the generator.
+Result<client::ReleaseSchema> DescribeRelease(QueryEngine& engine,
+                                              const std::string& release,
+                                              std::optional<uint64_t> epoch);
+
+/// Engine-wide thread/cache counters plus per-release serving metadata
+/// (epoch, records, groups, retained-epoch window).
+Result<client::ServerStats> CollectStats(QueryEngine& engine);
+
+/// Loads the release bundle at `basename` (analysis::LoadRelease) and
+/// publishes it under `name`.
+Result<client::ReleaseDescriptor> PublishFromFile(QueryEngine& engine,
+                                                  const std::string& name,
+                                                  const std::string& basename);
+
+/// Publishes an in-memory bundle under `name` (in-process callers only;
+/// bundles do not cross the wire).
+Result<client::ReleaseDescriptor> PublishBundle(
+    QueryEngine& engine, const std::string& name,
+    recpriv::analysis::ReleaseBundle bundle);
+
+/// Retires `name` entirely; returns the dropped release's descriptor.
+Result<client::ReleaseDescriptor> DropRelease(QueryEngine& engine,
+                                              const std::string& name);
+
+}  // namespace recpriv::serve

@@ -3,110 +3,102 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "query/count_query.h"
-#include "table/predicate.h"
+#include "serve/service.h"
 
 namespace recpriv::serve {
 
-using recpriv::query::CountQuery;
-using recpriv::table::Predicate;
-using recpriv::table::Schema;
+using recpriv::client::ApiError;
+using recpriv::client::ErrorCode;
 
 namespace {
 
-JsonValue ErrorResponse(const Status& status) {
+// --- field access with protocol-grade error messages -----------------------
+
+Result<const JsonValue*> RequireField(const JsonValue& obj,
+                                      const std::string& key) {
+  if (!obj.is_object() || !obj.Has(key)) {
+    return Status::InvalidArgument("missing required field '" + key + "'");
+  }
+  return obj.Get(key);
+}
+
+Result<std::string> RequireString(const JsonValue& obj,
+                                  const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
+  if (!node->is_string()) {
+    return Status::InvalidArgument("'" + key + "' must be a string");
+  }
+  return node->AsString();
+}
+
+Result<int64_t> RequireInt(const JsonValue& obj, const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
+  auto value = node->AsInt();
+  if (!value.ok()) {
+    return Status::InvalidArgument("'" + key + "' must be an integer");
+  }
+  return *value;
+}
+
+Result<std::optional<uint64_t>> OptionalEpoch(const JsonValue& obj) {
+  if (!obj.Has("epoch")) return std::optional<uint64_t>{};
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(obj, "epoch"));
+  // Negative epochs are unrepresentable in the typed API, so they are a
+  // wire-level shape error. Epoch 0 (or any never-published epoch) flows
+  // through to the store, which reports it stale — the same Status an
+  // in-process caller gets, keeping the two backends' taxonomies aligned.
+  if (epoch < 0) {
+    return Status::InvalidArgument("'epoch' must be a non-negative integer");
+  }
+  return std::optional<uint64_t>{uint64_t(epoch)};
+}
+
+// --- payload encoders (shared by server responses and client decoding) -----
+
+JsonValue EncodeDescriptor(const client::ReleaseDescriptor& d) {
   JsonValue out = JsonValue::Object();
-  out.Set("ok", JsonValue::Bool(false));
-  out.Set("error", JsonValue::String(status.ToString()));
+  out.Set("name", JsonValue::String(d.name));
+  out.Set("epoch", JsonValue::Int(int64_t(d.epoch)));
+  out.Set("num_records", JsonValue::Int(int64_t(d.num_records)));
+  out.Set("num_groups", JsonValue::Int(int64_t(d.num_groups)));
+  out.Set("retained_epochs", JsonValue::Int(int64_t(d.retained_epochs)));
+  out.Set("oldest_epoch", JsonValue::Int(int64_t(d.oldest_epoch)));
   return out;
 }
 
-/// Builds one CountQuery from {"where":{attr:value,...},"sa":value} against
-/// the release schema.
-Result<CountQuery> ParseQuery(const JsonValue& spec, const Schema& schema) {
-  CountQuery q(schema.num_attributes());
-  if (spec.Has("where")) {
-    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* where, spec.Get("where"));
-    if (!where->is_object()) {
-      return Status::InvalidArgument("'where' must be an object");
-    }
-    std::vector<std::pair<std::string, std::string>> bindings;
-    for (const std::string& attr : where->Keys()) {
-      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* value, where->Get(attr));
-      RECPRIV_ASSIGN_OR_RETURN(std::string value_str, value->AsString());
-      bindings.emplace_back(attr, std::move(value_str));
-    }
-    RECPRIV_ASSIGN_OR_RETURN(q.na_predicate,
-                             Predicate::FromBindings(schema, bindings));
-    if (q.na_predicate.is_bound(schema.sensitive_index())) {
-      return Status::InvalidArgument(
-          "'where' must not constrain the sensitive attribute; use 'sa'");
-    }
-    q.dimensionality = q.na_predicate.num_bound();
-  }
-  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* sa, spec.Get("sa"));
-  RECPRIV_ASSIGN_OR_RETURN(std::string sa_value, sa->AsString());
-  RECPRIV_ASSIGN_OR_RETURN(q.sa_code,
-                           schema.sensitive().domain.GetCode(sa_value));
-  return q;
+Result<client::ReleaseDescriptor> DecodeDescriptor(const JsonValue& obj) {
+  client::ReleaseDescriptor d;
+  RECPRIV_ASSIGN_OR_RETURN(d.name, RequireString(obj, "name"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(obj, "epoch"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t records, RequireInt(obj, "num_records"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t groups, RequireInt(obj, "num_groups"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t retained,
+                           RequireInt(obj, "retained_epochs"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t oldest, RequireInt(obj, "oldest_epoch"));
+  d.epoch = uint64_t(epoch);
+  d.num_records = uint64_t(records);
+  d.num_groups = uint64_t(groups);
+  d.retained_epochs = uint64_t(retained);
+  d.oldest_epoch = uint64_t(oldest);
+  return d;
 }
 
-Result<JsonValue> HandleList(QueryEngine& engine) {
+JsonValue EncodeListPayload(const std::vector<client::ReleaseDescriptor>& v) {
   JsonValue releases = JsonValue::Array();
-  for (const ReleaseInfo& info : engine.store().List()) {
-    JsonValue entry = JsonValue::Object();
-    entry.Set("name", JsonValue::String(info.name));
-    entry.Set("epoch", JsonValue::Int(int64_t(info.epoch)));
-    entry.Set("num_records", JsonValue::Int(int64_t(info.num_records)));
-    entry.Set("num_groups", JsonValue::Int(int64_t(info.num_groups)));
-    releases.Append(std::move(entry));
+  for (const client::ReleaseDescriptor& d : v) {
+    releases.Append(EncodeDescriptor(d));
   }
   JsonValue out = JsonValue::Object();
-  out.Set("ok", JsonValue::Bool(true));
   out.Set("releases", std::move(releases));
   return out;
 }
 
-Result<JsonValue> HandleStats(QueryEngine& engine) {
-  JsonValue cache = JsonValue::Object();
-  cache.Set("size", JsonValue::Int(int64_t(engine.cache().size())));
-  cache.Set("capacity", JsonValue::Int(int64_t(engine.cache().capacity())));
-  cache.Set("hits", JsonValue::Int(int64_t(engine.cache().hits())));
-  cache.Set("misses", JsonValue::Int(int64_t(engine.cache().misses())));
-  JsonValue out = JsonValue::Object();
-  out.Set("ok", JsonValue::Bool(true));
-  out.Set("threads", JsonValue::Int(int64_t(engine.pool().num_threads())));
-  out.Set("cache", std::move(cache));
-  return out;
-}
-
-Result<JsonValue> HandleQuery(const JsonValue& request, QueryEngine& engine) {
-  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* release_node,
-                           request.Get("release"));
-  RECPRIV_ASSIGN_OR_RETURN(std::string release, release_node->AsString());
-  RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap, engine.store().Get(release));
-  const Schema& schema = *snap->bundle.data.schema();
-
-  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* queries, request.Get("queries"));
-  if (!queries->is_array()) {
-    return Status::InvalidArgument("'queries' must be an array");
-  }
-  std::vector<CountQuery> batch;
-  batch.reserve(queries->size());
-  for (size_t i = 0; i < queries->size(); ++i) {
-    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* spec, queries->At(i));
-    RECPRIV_ASSIGN_OR_RETURN(CountQuery q, ParseQuery(*spec, schema));
-    batch.push_back(std::move(q));
-  }
-
-  // Evaluate against the same snapshot the codes were resolved with: a
-  // republish between our Get and evaluation must not remap the codes.
-  RECPRIV_ASSIGN_OR_RETURN(BatchResult result,
-                           engine.AnswerBatch(release, snap, batch));
+JsonValue EncodeBatchAnswerPayload(const client::BatchAnswer& batch) {
   JsonValue answers = JsonValue::Array();
-  for (const Answer& a : result.answers) {
+  for (const client::AnswerRow& a : batch.answers) {
     JsonValue entry = JsonValue::Object();
     entry.Set("observed", JsonValue::Int(int64_t(a.observed)));
     entry.Set("matched_size", JsonValue::Int(int64_t(a.matched_size)));
@@ -115,12 +107,174 @@ Result<JsonValue> HandleQuery(const JsonValue& request, QueryEngine& engine) {
     answers.Append(std::move(entry));
   }
   JsonValue out = JsonValue::Object();
-  out.Set("ok", JsonValue::Bool(true));
-  out.Set("release", JsonValue::String(release));
-  out.Set("epoch", JsonValue::Int(int64_t(result.epoch)));
-  out.Set("cache_hits", JsonValue::Int(int64_t(result.cache_hits)));
-  out.Set("cache_misses", JsonValue::Int(int64_t(result.cache_misses)));
+  out.Set("release", JsonValue::String(batch.release));
+  out.Set("epoch", JsonValue::Int(int64_t(batch.epoch)));
+  out.Set("cache_hits", JsonValue::Int(int64_t(batch.cache_hits)));
+  out.Set("cache_misses", JsonValue::Int(int64_t(batch.cache_misses)));
   out.Set("answers", std::move(answers));
+  return out;
+}
+
+JsonValue EncodeSchemaPayload(const client::ReleaseSchema& schema) {
+  JsonValue attributes = JsonValue::Array();
+  for (const client::AttributeInfo& attr : schema.attributes) {
+    JsonValue values = JsonValue::Array();
+    for (const std::string& value : attr.values) {
+      values.Append(JsonValue::String(value));
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::String(attr.name));
+    entry.Set("sensitive", JsonValue::Bool(attr.sensitive));
+    entry.Set("values", std::move(values));
+    attributes.Append(std::move(entry));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("release", JsonValue::String(schema.release));
+  out.Set("epoch", JsonValue::Int(int64_t(schema.epoch)));
+  out.Set("attributes", std::move(attributes));
+  return out;
+}
+
+JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
+  JsonValue cache = JsonValue::Object();
+  cache.Set("size", JsonValue::Int(int64_t(stats.cache.size)));
+  cache.Set("capacity", JsonValue::Int(int64_t(stats.cache.capacity)));
+  cache.Set("hits", JsonValue::Int(int64_t(stats.cache.hits)));
+  cache.Set("misses", JsonValue::Int(int64_t(stats.cache.misses)));
+  JsonValue releases = JsonValue::Array();
+  for (const client::ReleaseDescriptor& d : stats.releases) {
+    releases.Append(EncodeDescriptor(d));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("threads", JsonValue::Int(int64_t(stats.threads)));
+  out.Set("cache", std::move(cache));
+  out.Set("releases", std::move(releases));
+  return out;
+}
+
+// --- request decoding (server side) ----------------------------------------
+
+Result<client::QueryRequest> DecodeQueryRequestBody(const JsonValue& request) {
+  client::QueryRequest req;
+  RECPRIV_ASSIGN_OR_RETURN(req.release, RequireString(request, "release"));
+  RECPRIV_ASSIGN_OR_RETURN(req.epoch, OptionalEpoch(request));
+
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* queries,
+                           RequireField(request, "queries"));
+  if (!queries->is_array()) {
+    return Status::InvalidArgument("'queries' must be an array");
+  }
+  req.queries.reserve(queries->size());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* spec, queries->At(i));
+    if (!spec->is_object()) {
+      return Status::InvalidArgument("each query must be an object");
+    }
+    client::QuerySpec qs;
+    if (spec->Has("where")) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* where, spec->Get("where"));
+      if (!where->is_object()) {
+        return Status::InvalidArgument("'where' must be an object");
+      }
+      for (const std::string& attr : where->Keys()) {
+        RECPRIV_ASSIGN_OR_RETURN(const JsonValue* value, where->Get(attr));
+        if (!value->is_string()) {
+          return Status::InvalidArgument("'where' values must be strings");
+        }
+        RECPRIV_ASSIGN_OR_RETURN(std::string value_str, value->AsString());
+        qs.where.emplace_back(attr, std::move(value_str));
+      }
+    }
+    RECPRIV_ASSIGN_OR_RETURN(qs.sa, RequireString(*spec, "sa"));
+    req.queries.push_back(std::move(qs));
+  }
+  return req;
+}
+
+// --- dispatch --------------------------------------------------------------
+
+Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
+                           QueryEngine& engine) {
+  if (op == "query") {
+    RECPRIV_ASSIGN_OR_RETURN(client::QueryRequest req,
+                             DecodeQueryRequestBody(request));
+    RECPRIV_ASSIGN_OR_RETURN(client::BatchAnswer batch,
+                             ExecuteQuery(engine, req));
+    return EncodeBatchAnswerPayload(batch);
+  }
+  if (op == "list") {
+    RECPRIV_ASSIGN_OR_RETURN(std::vector<client::ReleaseDescriptor> releases,
+                             ListReleases(engine));
+    return EncodeListPayload(releases);
+  }
+  if (op == "stats") {
+    RECPRIV_ASSIGN_OR_RETURN(client::ServerStats stats, CollectStats(engine));
+    return EncodeStatsPayload(stats);
+  }
+  if (op == "schema") {
+    RECPRIV_ASSIGN_OR_RETURN(std::string release,
+                             RequireString(request, "release"));
+    RECPRIV_ASSIGN_OR_RETURN(std::optional<uint64_t> epoch,
+                             OptionalEpoch(request));
+    RECPRIV_ASSIGN_OR_RETURN(client::ReleaseSchema schema,
+                             DescribeRelease(engine, release, epoch));
+    return EncodeSchemaPayload(schema);
+  }
+  if (op == "publish") {
+    RECPRIV_ASSIGN_OR_RETURN(std::string name, RequireString(request, "name"));
+    RECPRIV_ASSIGN_OR_RETURN(std::string basename,
+                             RequireString(request, "release"));
+    RECPRIV_ASSIGN_OR_RETURN(client::ReleaseDescriptor desc,
+                             PublishFromFile(engine, name, basename));
+    JsonValue out = JsonValue::Object();
+    out.Set("release", EncodeDescriptor(desc));
+    return out;
+  }
+  if (op == "drop") {
+    RECPRIV_ASSIGN_OR_RETURN(std::string release,
+                             RequireString(request, "release"));
+    RECPRIV_ASSIGN_OR_RETURN(client::ReleaseDescriptor desc,
+                             DropRelease(engine, release));
+    JsonValue out = JsonValue::Object();
+    out.Set("dropped", EncodeDescriptor(desc));
+    return out;
+  }
+  return Status::InvalidArgument(
+      "unknown op '" + op +
+      "' (expected query, list, stats, schema, publish, or drop)");
+}
+
+// --- response envelopes ----------------------------------------------------
+
+JsonValue EncodeError(const ApiError& error) {
+  JsonValue out = JsonValue::Object();
+  out.Set("code", JsonValue::String(std::string(ErrorCodeName(error.code))));
+  out.Set("message", JsonValue::String(error.message));
+  return out;
+}
+
+/// The id is echoed verbatim on every response that has one, v1 or v2.
+JsonValue OkBody(int64_t version, const JsonValue* id, JsonValue payload) {
+  payload.Set("ok", JsonValue::Bool(true));
+  if (version >= kWireVersionCurrent) {
+    payload.Set("v", JsonValue::Int(kWireVersionCurrent));
+  }
+  if (id != nullptr) payload.Set("id", *id);
+  return payload;
+}
+
+JsonValue ErrorBody(int64_t version, const JsonValue* id,
+                    const ApiError& error) {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(false));
+  if (version >= kWireVersionCurrent) {
+    out.Set("v", JsonValue::Int(kWireVersionCurrent));
+    out.Set("error", EncodeError(error));
+  } else {
+    // v1 errors are the flat "<Code>: <message>" string of PR-1.
+    out.Set("error", JsonValue::String(error.ToStatus().ToString()));
+  }
+  if (id != nullptr) out.Set("id", *id);
   return out;
 }
 
@@ -128,35 +282,56 @@ Result<JsonValue> HandleQuery(const JsonValue& request, QueryEngine& engine) {
 
 JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine) {
   if (!request.is_object()) {
-    return ErrorResponse(
-        Status::InvalidArgument("request must be a JSON object"));
+    // Valid JSON of the wrong shape is a request error, not MALFORMED
+    // (which is reserved for lines that never parsed); the version field
+    // is unreadable on a non-object, so answer in the current shape.
+    return ErrorBody(
+        kWireVersionCurrent, nullptr,
+        ApiError{ErrorCode::kInvalidRequest, "request must be a JSON object"});
   }
-  auto op_node = request.Get("op");
-  if (!op_node.ok()) return ErrorResponse(op_node.status());
-  auto op = (*op_node)->AsString();
-  if (!op.ok()) return ErrorResponse(op.status());
+  const JsonValue* id = nullptr;
+  if (request.Has("id")) id = *request.Get("id");
 
-  Result<JsonValue> response = Status::NotImplemented("unreachable");
-  if (*op == "query") {
-    response = HandleQuery(request, engine);
-  } else if (*op == "list") {
-    response = HandleList(engine);
-  } else if (*op == "stats") {
-    response = HandleStats(engine);
-  } else {
-    response = Status::InvalidArgument(
-        "unknown op '" + *op + "' (expected query, list, or stats)");
+  int64_t version = kWireVersionLegacy;
+  if (request.Has("v")) {
+    auto v = (*request.Get("v"))->AsInt();
+    if (!v.ok()) {
+      return ErrorBody(kWireVersionCurrent, id,
+                       ApiError{ErrorCode::kInvalidRequest,
+                                "'v' must be an integer protocol version"});
+    }
+    version = *v;
+    if (version != kWireVersionLegacy && version != kWireVersionCurrent) {
+      return ErrorBody(kWireVersionCurrent, id,
+                       ApiError{ErrorCode::kUnsupported,
+                                "unsupported protocol version " +
+                                    std::to_string(version) +
+                                    " (supported: 1, 2)"});
+    }
   }
-  if (!response.ok()) return ErrorResponse(response.status());
-  return std::move(*response);
+
+  auto op = RequireString(request, "op");
+  if (!op.ok()) {
+    return ErrorBody(version, id, ApiError::FromStatus(op.status()));
+  }
+  Result<JsonValue> payload = Dispatch(*op, request, engine);
+  if (!payload.ok()) {
+    return ErrorBody(version, id, ApiError::FromStatus(payload.status()));
+  }
+  return OkBody(version, id, std::move(*payload));
 }
 
 std::string HandleRequestLine(const std::string& line, QueryEngine& engine) {
   auto request = JsonValue::Parse(line);
-  JsonValue response = request.ok()
-                           ? HandleRequest(*request, engine)
-                           : ErrorResponse(request.status());
-  return response.ToString();
+  if (!request.ok()) {
+    // The line never became JSON, so its protocol version is unknowable;
+    // report in the current (structured) shape with the MALFORMED code.
+    return ErrorBody(
+               kWireVersionCurrent, nullptr,
+               ApiError{ErrorCode::kMalformed, request.status().message()})
+        .ToString();
+  }
+  return HandleRequest(*request, engine).ToString();
 }
 
 size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
@@ -176,5 +351,254 @@ size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
   }
   return handled;
 }
+
+// --- v2 codec (client side) ------------------------------------------------
+
+namespace wire {
+
+namespace {
+
+JsonValue Envelope(const char* op, uint64_t id) {
+  JsonValue request = JsonValue::Object();
+  request.Set("v", JsonValue::Int(kWireVersionCurrent));
+  request.Set("id", JsonValue::Int(int64_t(id)));
+  request.Set("op", JsonValue::String(op));
+  return request;
+}
+
+Result<client::AnswerRow> DecodeAnswerRow(const JsonValue& obj) {
+  client::AnswerRow row;
+  RECPRIV_ASSIGN_OR_RETURN(int64_t observed, RequireInt(obj, "observed"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t matched, RequireInt(obj, "matched_size"));
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* estimate,
+                           RequireField(obj, "estimate"));
+  RECPRIV_ASSIGN_OR_RETURN(row.estimate, estimate->AsDouble());
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* cached,
+                           RequireField(obj, "cached"));
+  RECPRIV_ASSIGN_OR_RETURN(row.cached, cached->AsBool());
+  row.observed = uint64_t(observed);
+  row.matched_size = uint64_t(matched);
+  return row;
+}
+
+Result<std::vector<client::ReleaseDescriptor>> DecodeDescriptorArray(
+    const JsonValue& response, const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* array,
+                           RequireField(response, key));
+  if (!array->is_array()) {
+    return Status::InvalidArgument("'" + key + "' must be an array");
+  }
+  std::vector<client::ReleaseDescriptor> out;
+  out.reserve(array->size());
+  for (size_t i = 0; i < array->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* entry, array->At(i));
+    RECPRIV_ASSIGN_OR_RETURN(client::ReleaseDescriptor d,
+                             DecodeDescriptor(*entry));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue EncodeListRequest(uint64_t id) { return Envelope("list", id); }
+
+JsonValue EncodeQueryRequest(const client::QueryRequest& request,
+                             uint64_t id) {
+  JsonValue out = Envelope("query", id);
+  out.Set("release", JsonValue::String(request.release));
+  if (request.epoch.has_value()) {
+    out.Set("epoch", JsonValue::Int(int64_t(*request.epoch)));
+  }
+  JsonValue queries = JsonValue::Array();
+  for (const client::QuerySpec& spec : request.queries) {
+    JsonValue entry = JsonValue::Object();
+    if (!spec.where.empty()) {
+      JsonValue where = JsonValue::Object();
+      for (const auto& [attr, value] : spec.where) {
+        where.Set(attr, JsonValue::String(value));
+      }
+      entry.Set("where", std::move(where));
+    }
+    entry.Set("sa", JsonValue::String(spec.sa));
+    queries.Append(std::move(entry));
+  }
+  out.Set("queries", std::move(queries));
+  return out;
+}
+
+JsonValue EncodeSchemaRequest(const std::string& release,
+                              std::optional<uint64_t> epoch, uint64_t id) {
+  JsonValue out = Envelope("schema", id);
+  out.Set("release", JsonValue::String(release));
+  if (epoch.has_value()) out.Set("epoch", JsonValue::Int(int64_t(*epoch)));
+  return out;
+}
+
+JsonValue EncodeStatsRequest(uint64_t id) { return Envelope("stats", id); }
+
+JsonValue EncodePublishRequest(const std::string& name,
+                               const std::string& basename, uint64_t id) {
+  JsonValue out = Envelope("publish", id);
+  out.Set("name", JsonValue::String(name));
+  out.Set("release", JsonValue::String(basename));
+  return out;
+}
+
+JsonValue EncodeDropRequest(const std::string& release, uint64_t id) {
+  JsonValue out = Envelope("drop", id);
+  out.Set("release", JsonValue::String(release));
+  return out;
+}
+
+Result<JsonValue> ParseResponse(const std::string& line, uint64_t expect_id) {
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    return Status::Internal("unparseable response line: " +
+                            parsed.status().message());
+  }
+  JsonValue response = std::move(*parsed);
+  if (!response.is_object()) {
+    return Status::Internal("response is not a JSON object");
+  }
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* ok_node,
+                           RequireField(response, "ok"));
+  RECPRIV_ASSIGN_OR_RETURN(bool ok, ok_node->AsBool());
+
+  if (!ok) {
+    // Surface the server's error before any envelope complaint — it is
+    // the more useful diagnostic.
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* error,
+                             RequireField(response, "error"));
+    if (error->is_object()) {
+      RECPRIV_ASSIGN_OR_RETURN(std::string code_name,
+                               RequireString(*error, "code"));
+      RECPRIV_ASSIGN_OR_RETURN(std::string message,
+                               RequireString(*error, "message"));
+      auto code = client::ErrorCodeFromName(code_name);
+      if (!code.has_value()) {
+        return Status::Internal("unknown wire error code '" + code_name +
+                                "': " + message);
+      }
+      return client::ApiError{*code, std::move(message)}.ToStatus();
+    }
+    if (error->is_string()) {  // a v1-shaped error from a legacy server
+      return Status::Internal("server error: " + *error->AsString());
+    }
+    return Status::Internal("malformed error response");
+  }
+
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* v_node,
+                           RequireField(response, "v"));
+  auto v = v_node->AsInt();
+  if (!v.ok() || *v != kWireVersionCurrent) {
+    return Status::Internal("response is not protocol version " +
+                            std::to_string(kWireVersionCurrent));
+  }
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* id_node,
+                           RequireField(response, "id"));
+  auto id = id_node->AsInt();
+  if (!id.ok() || uint64_t(*id) != expect_id) {
+    return Status::Internal("response id mismatch (expected " +
+                            std::to_string(expect_id) + ")");
+  }
+  return response;
+}
+
+Result<std::vector<client::ReleaseDescriptor>> DecodeListResponse(
+    const JsonValue& response) {
+  return DecodeDescriptorArray(response, "releases");
+}
+
+Result<client::BatchAnswer> DecodeQueryResponse(const JsonValue& response) {
+  client::BatchAnswer batch;
+  RECPRIV_ASSIGN_OR_RETURN(batch.release, RequireString(response, "release"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(response, "epoch"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t hits, RequireInt(response, "cache_hits"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t misses,
+                           RequireInt(response, "cache_misses"));
+  batch.epoch = uint64_t(epoch);
+  batch.cache_hits = uint64_t(hits);
+  batch.cache_misses = uint64_t(misses);
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* answers,
+                           RequireField(response, "answers"));
+  if (!answers->is_array()) {
+    return Status::InvalidArgument("'answers' must be an array");
+  }
+  batch.answers.reserve(answers->size());
+  for (size_t i = 0; i < answers->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* entry, answers->At(i));
+    RECPRIV_ASSIGN_OR_RETURN(client::AnswerRow row, DecodeAnswerRow(*entry));
+    batch.answers.push_back(row);
+  }
+  return batch;
+}
+
+Result<client::ReleaseSchema> DecodeSchemaResponse(const JsonValue& response) {
+  client::ReleaseSchema schema;
+  RECPRIV_ASSIGN_OR_RETURN(schema.release, RequireString(response, "release"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(response, "epoch"));
+  schema.epoch = uint64_t(epoch);
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* attributes,
+                           RequireField(response, "attributes"));
+  if (!attributes->is_array()) {
+    return Status::InvalidArgument("'attributes' must be an array");
+  }
+  schema.attributes.reserve(attributes->size());
+  for (size_t i = 0; i < attributes->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* entry, attributes->At(i));
+    client::AttributeInfo attr;
+    RECPRIV_ASSIGN_OR_RETURN(attr.name, RequireString(*entry, "name"));
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* sensitive,
+                             RequireField(*entry, "sensitive"));
+    RECPRIV_ASSIGN_OR_RETURN(attr.sensitive, sensitive->AsBool());
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* values,
+                             RequireField(*entry, "values"));
+    if (!values->is_array()) {
+      return Status::InvalidArgument("'values' must be an array");
+    }
+    attr.values.reserve(values->size());
+    for (size_t k = 0; k < values->size(); ++k) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* value, values->At(k));
+      RECPRIV_ASSIGN_OR_RETURN(std::string value_str, value->AsString());
+      attr.values.push_back(std::move(value_str));
+    }
+    schema.attributes.push_back(std::move(attr));
+  }
+  return schema;
+}
+
+Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
+  client::ServerStats stats;
+  RECPRIV_ASSIGN_OR_RETURN(int64_t threads, RequireInt(response, "threads"));
+  stats.threads = uint64_t(threads);
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* cache,
+                           RequireField(response, "cache"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t size, RequireInt(*cache, "size"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t capacity, RequireInt(*cache, "capacity"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t hits, RequireInt(*cache, "hits"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t misses, RequireInt(*cache, "misses"));
+  stats.cache = client::CacheStats{uint64_t(size), uint64_t(capacity),
+                                   uint64_t(hits), uint64_t(misses)};
+  RECPRIV_ASSIGN_OR_RETURN(stats.releases,
+                           DecodeDescriptorArray(response, "releases"));
+  return stats;
+}
+
+Result<client::ReleaseDescriptor> DecodePublishResponse(
+    const JsonValue& response) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* release,
+                           RequireField(response, "release"));
+  return DecodeDescriptor(*release);
+}
+
+Result<client::ReleaseDescriptor> DecodeDropResponse(
+    const JsonValue& response) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* dropped,
+                           RequireField(response, "dropped"));
+  return DecodeDescriptor(*dropped);
+}
+
+}  // namespace wire
 
 }  // namespace recpriv::serve

@@ -1,32 +1,71 @@
-// Line-delimited JSON request/response front end for the serving layer —
-// the protocol behind tools/recpriv_serve. One JSON object per input line,
-// one JSON object per output line, always with an "ok" field:
+// Line-delimited JSON front end for the serving layer — the protocol
+// behind tools/recpriv_serve, and the ONLY place in the tree where
+// protocol JSON is built or parsed. Everything outside this file works
+// with the typed structs of client/api.h; the server dispatches through
+// serve/service.h and the remote client backend
+// (client/line_protocol_client.h) uses the codec declared below.
+//
+// One JSON object per input line, one JSON object per output line, always
+// with an "ok" field. Two protocol versions coexist:
+//
+// v1 (legacy, the PR-1 protocol; selected by omitting "v"):
 //
 //   {"op":"list"}
 //     -> {"ok":true,"releases":[{"name":...,"epoch":...,
-//         "num_records":...,"num_groups":...}]}
-//
+//         "num_records":...,"num_groups":...,...}]}
 //   {"op":"query","release":"adult","queries":[
 //       {"where":{"Workclass":"private","Education":"hs"},"sa":">50k"}]}
 //     -> {"ok":true,"release":"adult","epoch":1,"cache_hits":0,
 //         "cache_misses":1,"answers":[{"observed":12,"matched_size":310,
 //         "estimate":18.7,"cached":false}]}
-//
 //   {"op":"stats"}
-//     -> {"ok":true,"threads":4,"cache":{"size":...,"capacity":...,
-//         "hits":...,"misses":...}}
+//     -> {"ok":true,"threads":4,"cache":{...},"releases":[...]}
+//
+//   v1 errors are a flat string: {"ok":false,"error":"NotFound: ..."}.
+//
+// v2 (current; selected with "v":2):
+//
+//   * every request may carry a client-chosen "id", echoed verbatim on the
+//     response — success or error — so a pipelined client can correlate;
+//   * responses carry "v":2;
+//   * errors are structured, with a stable code taxonomy (client/api.h):
+//     {"v":2,"id":7,"ok":false,
+//      "error":{"code":"STALE_EPOCH","message":"..."}}
+//   * query and schema ops accept "epoch":N to pin a retained snapshot
+//     (serve/release_store.h), so a multi-batch analysis session reads a
+//     consistent release across republishes;
+//   * admin/introspection ops: "schema" (attribute names + domain values),
+//     "publish" (load a release bundle from the server's filesystem),
+//     "drop" (retire a release).
+//
+//   {"v":2,"id":1,"op":"schema","release":"adult"}
+//     -> {"v":2,"id":1,"ok":true,"release":"adult","epoch":1,
+//         "attributes":[{"name":"Workclass","sensitive":false,
+//                        "values":["private",...]},...]}
+//   {"v":2,"id":2,"op":"publish","name":"adult","release":"bundles/adult"}
+//     -> {"v":2,"id":2,"ok":true,"release":{"name":"adult","epoch":2,...}}
+//   {"v":2,"id":3,"op":"drop","release":"adult"}
+//     -> {"v":2,"id":3,"ok":true,"dropped":{"name":"adult",...}}
+//   {"v":2,"id":4,"op":"query","release":"adult","epoch":1,"queries":[...]}
+//     -> answered from the pinned epoch-1 snapshot
 //
 // Errors never tear down the session: a malformed line or unknown release
-// yields {"ok":false,"error":"..."} and the loop continues. Values in
-// "where" and "sa" are domain strings of the release's own schema; unknown
-// attributes or values are reported as errors rather than silently matching
-// nothing, so analysts catch typos instead of reading zeros.
+// yields an error response and the loop continues. A line that is not
+// parseable JSON at all gets the v2 error shape with code "MALFORMED"
+// (its version field is unreadable by definition). Values in "where" and
+// "sa" are domain strings of the release's own schema; unknown attributes
+// or values are reported as errors rather than silently matching nothing,
+// so analysts catch typos instead of reading zeros.
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "client/api.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "serve/query_engine.h"
@@ -34,8 +73,11 @@
 
 namespace recpriv::serve {
 
+inline constexpr int64_t kWireVersionLegacy = 1;
+inline constexpr int64_t kWireVersionCurrent = 2;
+
 /// Dispatches one parsed request object; never returns an error — failures
-/// become {"ok":false,...} responses.
+/// become {"ok":false,...} responses in the request's protocol version.
 JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine);
 
 /// Parses one request line and dispatches it; the returned string is the
@@ -46,5 +88,39 @@ std::string HandleRequestLine(const std::string& line, QueryEngine& engine);
 /// request to `out` (blank lines are skipped). Returns the number of
 /// requests handled.
 size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine);
+
+// --- v2 codec --------------------------------------------------------------
+// Request encoders and response decoders for the client side of the wire,
+// used by client::LineProtocolClient. Encoders stamp "v":2 and the given
+// correlation id; decoders verify the envelope (ok / version / id echo)
+// and map structured wire errors back onto the Status taxonomy via
+// client::ApiError, so a remote caller sees the same Status an in-process
+// caller would.
+namespace wire {
+
+JsonValue EncodeListRequest(uint64_t id);
+JsonValue EncodeQueryRequest(const client::QueryRequest& request, uint64_t id);
+JsonValue EncodeSchemaRequest(const std::string& release,
+                              std::optional<uint64_t> epoch, uint64_t id);
+JsonValue EncodeStatsRequest(uint64_t id);
+JsonValue EncodePublishRequest(const std::string& name,
+                               const std::string& basename, uint64_t id);
+JsonValue EncodeDropRequest(const std::string& release, uint64_t id);
+
+/// Parses one response line and validates the v2 envelope: the object
+/// must carry ok:true and echo `expect_id`; a server-reported error
+/// becomes its mapped Status.
+Result<JsonValue> ParseResponse(const std::string& line, uint64_t expect_id);
+
+Result<std::vector<client::ReleaseDescriptor>> DecodeListResponse(
+    const JsonValue& response);
+Result<client::BatchAnswer> DecodeQueryResponse(const JsonValue& response);
+Result<client::ReleaseSchema> DecodeSchemaResponse(const JsonValue& response);
+Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response);
+Result<client::ReleaseDescriptor> DecodePublishResponse(
+    const JsonValue& response);
+Result<client::ReleaseDescriptor> DecodeDropResponse(const JsonValue& response);
+
+}  // namespace wire
 
 }  // namespace recpriv::serve

@@ -1,0 +1,528 @@
+// Tests for the typed client API and wire protocol v2: the error-code
+// taxonomy, ReleaseStore epoch retention + Drop, both client backends
+// (in-process and line-protocol over a loopback transport), v1/v2
+// compatibility, wire error paths (malformed JSON, unknown op, wrong-type
+// fields, unknown attribute/value, stale pinned epoch, id echo), the
+// publish/drop/schema admin ops, per-release stats, and a property test
+// that the two backends return identical answers and identical errors for
+// the same requests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/api.h"
+#include "client/in_process_client.h"
+#include "client/line_protocol_client.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "core/sps.h"
+#include "datagen/simple.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+#include "serve/wire.h"
+
+namespace recpriv::client {
+namespace {
+
+using recpriv::analysis::ReleaseBundle;
+using recpriv::core::PrivacyParams;
+using recpriv::datagen::GroupSpec;
+using recpriv::datagen::SimpleDatasetSpec;
+using recpriv::serve::QueryEngine;
+using recpriv::serve::QueryEngineOptions;
+using recpriv::serve::ReleaseStore;
+using recpriv::table::Table;
+
+// --- fixtures --------------------------------------------------------------
+
+SimpleDatasetSpec MakeSpec() {
+  SimpleDatasetSpec spec;
+  spec.public_attributes = {"Job", "City"};
+  spec.sensitive_attribute = "Disease";
+  spec.sa_domain = {"flu", "hiv", "bc"};
+  spec.groups.push_back(GroupSpec{{"eng", "north"}, 4000, {70, 20, 10}});
+  spec.groups.push_back(GroupSpec{{"eng", "south"}, 3000, {70, 20, 10}});
+  spec.groups.push_back(GroupSpec{{"law", "north"}, 2000, {20, 30, 50}});
+  spec.groups.push_back(GroupSpec{{"law", "south"}, 1000, {20, 30, 50}});
+  return spec;
+}
+
+ReleaseBundle MakeBundle(uint64_t seed = 2015) {
+  Table raw = *recpriv::datagen::GenerateSimpleExact(MakeSpec());
+  PrivacyParams params;
+  params.domain_m = raw.schema()->sa_domain_size();
+  Rng rng(seed);
+  auto sps = *recpriv::core::SpsPerturbTable(params, raw, rng);
+  return ReleaseBundle{std::move(sps.table), params, "Disease", {}};
+}
+
+/// A store + engine + both client backends over the same engine, with
+/// MakeBundle() published under "simple".
+struct Backends {
+  std::shared_ptr<ReleaseStore> store;
+  std::shared_ptr<QueryEngine> engine;
+  std::unique_ptr<InProcessClient> embedded;
+  std::unique_ptr<LineProtocolClient> remote;
+};
+
+Backends MakeBackends(size_t retained_epochs = 2,
+                      QueryEngineOptions options = {}) {
+  Backends b;
+  b.store = std::make_shared<ReleaseStore>(retained_epochs);
+  b.engine = std::make_shared<QueryEngine>(b.store, options);
+  b.embedded = std::make_unique<InProcessClient>(b.engine);
+  b.remote = std::make_unique<LineProtocolClient>(
+      std::make_unique<LoopbackTransport>(*b.engine));
+  EXPECT_TRUE(b.embedded->PublishBundle("simple", MakeBundle()).ok());
+  return b;
+}
+
+/// Every (d<=2, sa) conjunctive query over the simple schema as QuerySpecs.
+std::vector<QuerySpec> AllSpecs() {
+  const char* jobs[] = {nullptr, "eng", "law"};
+  const char* cities[] = {nullptr, "north", "south"};
+  const char* sas[] = {"flu", "hiv", "bc"};
+  std::vector<QuerySpec> out;
+  for (const char* job : jobs) {
+    for (const char* city : cities) {
+      for (const char* sa : sas) {
+        QuerySpec spec;
+        if (job != nullptr) spec.where.emplace_back("Job", job);
+        if (city != nullptr) spec.where.emplace_back("City", city);
+        spec.sa = sa;
+        out.push_back(std::move(spec));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Respond(QueryEngine& engine, const std::string& line) {
+  return recpriv::serve::HandleRequestLine(line, engine);
+}
+
+// --- error-code taxonomy ---------------------------------------------------
+
+TEST(ApiErrorTest, CodeNamesRoundTrip) {
+  for (ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidRequest, ErrorCode::kOutOfRange,
+        ErrorCode::kNotFound, ErrorCode::kAlreadyExists, ErrorCode::kIoError,
+        ErrorCode::kStaleEpoch, ErrorCode::kInternal, ErrorCode::kUnsupported,
+        ErrorCode::kMalformed}) {
+    auto back = ErrorCodeFromName(ErrorCodeName(code));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(ErrorCodeFromName("NO_SUCH_CODE").has_value());
+}
+
+TEST(ApiErrorTest, StatusMappingIsStableBothWays) {
+  // Every StatusCode maps onto the taxonomy and back to the same category,
+  // so both backends report identical Status for the same failure.
+  const Status statuses[] = {
+      Status::InvalidArgument("m"), Status::OutOfRange("m"),
+      Status::NotFound("m"),        Status::AlreadyExists("m"),
+      Status::IOError("m"),         Status::FailedPrecondition("m"),
+      Status::Internal("m"),        Status::NotImplemented("m"),
+  };
+  for (const Status& status : statuses) {
+    ApiError error = ApiError::FromStatus(status);
+    EXPECT_EQ(error.ToStatus(), status) << status.ToString();
+  }
+  EXPECT_EQ(ErrorCodeFromStatus(Status::FailedPrecondition("x")),
+            ErrorCode::kStaleEpoch);
+  EXPECT_EQ(ApiError{}.code, ErrorCode::kInternal);
+}
+
+// --- ReleaseStore retention + Drop -----------------------------------------
+
+TEST(ReleaseStoreRetentionTest, WindowKeepsRecentEpochsPinnable) {
+  ReleaseStore store(/*retained_epochs=*/2);
+  ASSERT_TRUE(store.Publish("r", MakeBundle(1)).ok());
+  ASSERT_TRUE(store.Publish("r", MakeBundle(2)).ok());
+  // Both epochs pinnable while the window holds them.
+  EXPECT_EQ((*store.Get("r", 1))->epoch, 1u);
+  EXPECT_EQ((*store.Get("r", 2))->epoch, 2u);
+  EXPECT_EQ((*store.Get("r"))->epoch, 2u);
+
+  ASSERT_TRUE(store.Publish("r", MakeBundle(3)).ok());
+  auto stale = store.Get("r", 1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*store.Get("r", 2))->epoch, 2u);
+  EXPECT_EQ((*store.Get("r", 3))->epoch, 3u);
+  // A never-published (future) epoch is also a failed precondition, not a
+  // silent wrong answer.
+  EXPECT_EQ(store.Get("r", 9).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Unknown names stay NotFound on the pinned path too.
+  EXPECT_EQ(store.Get("nope", 1).status().code(), StatusCode::kNotFound);
+
+  auto info = store.Info("r");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->epoch, 3u);
+  EXPECT_EQ(info->retained_epochs, 2u);
+  EXPECT_EQ(info->oldest_epoch, 2u);
+}
+
+TEST(ReleaseStoreRetentionTest, DropRetiresAndEpochsNeverRewind) {
+  ReleaseStore store(2);
+  ASSERT_TRUE(store.Publish("r", MakeBundle(1)).ok());
+  ASSERT_TRUE(store.Publish("r", MakeBundle(2)).ok());
+
+  auto dropped = store.Drop("r");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->epoch, 2u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.Get("r").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Drop("r").status().code(), StatusCode::kNotFound);
+
+  // Republication continues the epoch sequence: a pinned epoch can fail
+  // stale but can never silently alias different data.
+  auto again = store.Publish("r", MakeBundle(3));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->epoch, 3u);
+}
+
+// --- both backends, one behavior -------------------------------------------
+
+TEST(ClientBackendsTest, ListSchemaStatsAgree) {
+  Backends b = MakeBackends();
+
+  auto list_a = *b.embedded->List();
+  auto list_b = *b.remote->List();
+  ASSERT_EQ(list_a.size(), 1u);
+  ASSERT_EQ(list_b.size(), 1u);
+  EXPECT_EQ(list_a[0].name, list_b[0].name);
+  EXPECT_EQ(list_a[0].epoch, list_b[0].epoch);
+  EXPECT_EQ(list_a[0].num_records, list_b[0].num_records);
+  EXPECT_EQ(list_a[0].num_groups, list_b[0].num_groups);
+  EXPECT_EQ(list_a[0].retained_epochs, list_b[0].retained_epochs);
+
+  auto schema_a = *b.embedded->GetSchema("simple");
+  auto schema_b = *b.remote->GetSchema("simple");
+  ASSERT_EQ(schema_a.attributes.size(), 3u);
+  ASSERT_EQ(schema_b.attributes.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(schema_a.attributes[i].name, schema_b.attributes[i].name);
+    EXPECT_EQ(schema_a.attributes[i].sensitive,
+              schema_b.attributes[i].sensitive);
+    EXPECT_EQ(schema_a.attributes[i].values, schema_b.attributes[i].values);
+  }
+  EXPECT_EQ(schema_a.attributes[0].name, "Job");
+  EXPECT_TRUE(schema_a.attributes[2].sensitive);
+  EXPECT_EQ(schema_a.attributes[2].values,
+            (std::vector<std::string>{"flu", "hiv", "bc"}));
+
+  auto stats = *b.remote->Stats();
+  ASSERT_EQ(stats.releases.size(), 1u);
+  EXPECT_EQ(stats.releases[0].name, "simple");
+  EXPECT_EQ(stats.releases[0].epoch, 1u);
+  EXPECT_GT(stats.releases[0].num_records, 0u);
+  EXPECT_EQ(stats.releases[0].num_groups, 4u);
+  EXPECT_EQ(stats.cache.capacity, b.engine->cache().capacity());
+  EXPECT_EQ(stats.threads, b.engine->pool().num_threads());
+}
+
+// Property: the two backends return identical answers for the same batch —
+// the acceptance bar for "one interface, embedded or remote".
+TEST(ClientBackendsTest, BackendsReturnIdenticalAnswersForSameBatch) {
+  Backends b = MakeBackends();
+  QueryRequest req;
+  req.release = "simple";
+  req.queries = AllSpecs();
+
+  auto embedded = *b.embedded->Query(req);
+  auto remote = *b.remote->Query(req);
+  ASSERT_EQ(embedded.answers.size(), req.queries.size());
+  ASSERT_EQ(remote.answers.size(), req.queries.size());
+  EXPECT_EQ(embedded.epoch, remote.epoch);
+  for (size_t i = 0; i < embedded.answers.size(); ++i) {
+    EXPECT_EQ(embedded.answers[i].observed, remote.answers[i].observed);
+    EXPECT_EQ(embedded.answers[i].matched_size,
+              remote.answers[i].matched_size);
+    EXPECT_DOUBLE_EQ(embedded.answers[i].estimate,
+                     remote.answers[i].estimate);
+  }
+}
+
+// Property: the two backends return identical Status for the same failure.
+TEST(ClientBackendsTest, BackendsReturnIdenticalErrors) {
+  Backends b = MakeBackends();
+  QueryRequest unknown_release;
+  unknown_release.release = "nope";
+  unknown_release.queries.push_back(QuerySpec{{}, "flu"});
+
+  QueryRequest unknown_value;
+  unknown_value.release = "simple";
+  unknown_value.queries.push_back(QuerySpec{{{"Job", "typo"}}, "flu"});
+
+  QueryRequest unknown_attr;
+  unknown_attr.release = "simple";
+  unknown_attr.queries.push_back(QuerySpec{{{"Nope", "x"}}, "flu"});
+
+  QueryRequest binds_sa;
+  binds_sa.release = "simple";
+  binds_sa.queries.push_back(QuerySpec{{{"Disease", "flu"}}, "flu"});
+
+  QueryRequest stale;
+  stale.release = "simple";
+  stale.epoch = 42;
+  stale.queries.push_back(QuerySpec{{}, "flu"});
+
+  QueryRequest epoch_zero;
+  epoch_zero.release = "simple";
+  epoch_zero.epoch = 0;
+  epoch_zero.queries.push_back(QuerySpec{{}, "flu"});
+
+  for (const QueryRequest& req : {unknown_release, unknown_value,
+                                  unknown_attr, binds_sa, stale, epoch_zero}) {
+    auto embedded = b.embedded->Query(req);
+    auto remote = b.remote->Query(req);
+    ASSERT_FALSE(embedded.ok());
+    ASSERT_FALSE(remote.ok());
+    EXPECT_EQ(embedded.status(), remote.status())
+        << "embedded: " << embedded.status()
+        << " remote: " << remote.status();
+  }
+}
+
+// Acceptance: a pinned-epoch batch returns identical answers before and
+// after a concurrent republish.
+TEST(ClientBackendsTest, PinnedBatchIdenticalAcrossRepublish) {
+  Backends b = MakeBackends(/*retained_epochs=*/2);
+  QueryRequest req;
+  req.release = "simple";
+  req.epoch = 1;
+  req.queries = AllSpecs();
+
+  auto before = *b.remote->Query(req);
+  ASSERT_TRUE(b.embedded->PublishBundle("simple", MakeBundle(99)).ok());
+  auto after = *b.remote->Query(req);
+
+  EXPECT_EQ(before.epoch, 1u);
+  EXPECT_EQ(after.epoch, 1u);
+  ASSERT_EQ(before.answers.size(), after.answers.size());
+  for (size_t i = 0; i < before.answers.size(); ++i) {
+    EXPECT_EQ(before.answers[i].observed, after.answers[i].observed);
+    EXPECT_EQ(before.answers[i].matched_size, after.answers[i].matched_size);
+    EXPECT_DOUBLE_EQ(before.answers[i].estimate, after.answers[i].estimate);
+  }
+  // The unpinned path serves the new epoch (a differently-seeded release).
+  QueryRequest unpinned = req;
+  unpinned.epoch.reset();
+  EXPECT_EQ((*b.remote->Query(unpinned)).epoch, 2u);
+
+  // One more republish retires epoch 1: the pin now fails loudly with the
+  // stale-epoch category on both backends.
+  ASSERT_TRUE(b.embedded->PublishBundle("simple", MakeBundle(100)).ok());
+  auto stale = b.remote->Query(req);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(b.embedded->Query(req).status(), stale.status());
+}
+
+// --- publish / drop through the full client surface ------------------------
+
+TEST(ClientBackendsTest, PublishFromFileAndDropOverTheWire) {
+  // Write a real bundle to disk, then manage it purely through the remote
+  // client: publish -> query -> drop -> NotFound.
+  const std::string base = "/tmp/recpriv_client_test_release";
+  ASSERT_TRUE(recpriv::analysis::WriteRelease(MakeBundle(), base).ok());
+
+  Backends b = MakeBackends();
+  auto desc = b.remote->Publish("fromfile", base);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->name, "fromfile");
+  EXPECT_EQ(desc->epoch, 1u);
+  EXPECT_GT(desc->num_records, 0u);
+
+  QueryRequest req;
+  req.release = "fromfile";
+  req.queries.push_back(QuerySpec{{{"Job", "eng"}}, "flu"});
+  EXPECT_TRUE(b.remote->Query(req).ok());
+
+  auto missing = b.remote->Publish("bad", "/tmp/recpriv_no_such_bundle");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  auto dropped = b.remote->Drop("fromfile");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->name, "fromfile");
+  auto gone = b.remote->Query(req);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.remote->Drop("fromfile").status().code(),
+            StatusCode::kNotFound);
+
+  std::remove((base + ".csv").c_str());
+  std::remove((base + ".manifest.json").c_str());
+}
+
+// --- wire protocol: v1 compatibility ---------------------------------------
+
+TEST(WireV1CompatTest, LegacyRequestsKeepLegacyShapes) {
+  Backends b = MakeBackends();
+
+  // The PR-1 README request line, verbatim.
+  JsonValue query = *JsonValue::Parse(Respond(
+      *b.engine,
+      R"({"op":"query","release":"simple","queries":[{"where":{"Job":"eng"},"sa":"flu"}]})"));
+  EXPECT_TRUE((*query.Get("ok"))->AsBool().ValueOrDie());
+  EXPECT_FALSE(query.Has("v"));  // v1 responses carry no version field
+  EXPECT_EQ((*query.Get("epoch"))->AsInt().ValueOrDie(), 1);
+  ASSERT_EQ((*query.Get("answers"))->size(), 1u);
+  const JsonValue& answer = **(*query.Get("answers"))->At(0);
+  EXPECT_TRUE(answer.Has("observed"));
+  EXPECT_TRUE(answer.Has("matched_size"));
+  EXPECT_TRUE(answer.Has("estimate"));
+
+  JsonValue list = *JsonValue::Parse(Respond(*b.engine, R"({"op":"list"})"));
+  EXPECT_TRUE((*list.Get("ok"))->AsBool().ValueOrDie());
+  EXPECT_FALSE(list.Has("v"));
+  ASSERT_EQ((*list.Get("releases"))->size(), 1u);
+
+  JsonValue stats = *JsonValue::Parse(Respond(*b.engine, R"({"op":"stats"})"));
+  EXPECT_TRUE((*stats.Get("ok"))->AsBool().ValueOrDie());
+  EXPECT_TRUE(stats.Has("cache"));
+  EXPECT_TRUE(stats.Has("threads"));
+
+  // v1 errors stay flat "<Code>: <message>" strings.
+  JsonValue error = *JsonValue::Parse(
+      Respond(*b.engine, R"({"op":"query","release":"nope","queries":[]})"));
+  EXPECT_FALSE((*error.Get("ok"))->AsBool().ValueOrDie());
+  ASSERT_TRUE((*error.Get("error"))->is_string());
+  EXPECT_EQ((*error.Get("error"))->AsString().ValueOrDie(),
+            "NotFound: no release named 'nope'");
+
+  // An explicit "v":1 behaves exactly like an absent version field.
+  JsonValue v1 = *JsonValue::Parse(
+      Respond(*b.engine, R"({"v":1,"op":"query","release":"nope","queries":[]})"));
+  EXPECT_TRUE((*v1.Get("error"))->is_string());
+  EXPECT_FALSE(v1.Has("v"));
+}
+
+// --- wire protocol: v2 envelopes and error paths ---------------------------
+
+TEST(WireV2Test, IdIsEchoedOnSuccessAndError) {
+  Backends b = MakeBackends();
+
+  JsonValue ok = *JsonValue::Parse(
+      Respond(*b.engine, R"({"v":2,"id":17,"op":"list"})"));
+  EXPECT_TRUE((*ok.Get("ok"))->AsBool().ValueOrDie());
+  EXPECT_EQ((*ok.Get("v"))->AsInt().ValueOrDie(), 2);
+  EXPECT_EQ((*ok.Get("id"))->AsInt().ValueOrDie(), 17);
+
+  JsonValue err = *JsonValue::Parse(
+      Respond(*b.engine, R"({"v":2,"id":18,"op":"frobnicate"})"));
+  EXPECT_FALSE((*err.Get("ok"))->AsBool().ValueOrDie());
+  EXPECT_EQ((*err.Get("id"))->AsInt().ValueOrDie(), 18);
+
+  // Ids are echoed verbatim, whatever their JSON type.
+  JsonValue str_id = *JsonValue::Parse(
+      Respond(*b.engine, R"({"v":2,"id":"batch-7","op":"list"})"));
+  EXPECT_EQ((*str_id.Get("id"))->AsString().ValueOrDie(), "batch-7");
+}
+
+struct ErrorCase {
+  const char* line;
+  ErrorCode code;
+};
+
+TEST(WireV2Test, ErrorPathsCarryTheStableTaxonomy) {
+  Backends b = MakeBackends();
+  const ErrorCase cases[] = {
+      {"this is not json", ErrorCode::kMalformed},
+      {"[1,2,3]", ErrorCode::kInvalidRequest},  // parseable but not an object
+      {R"({"v":2,"op":"frobnicate"})", ErrorCode::kInvalidRequest},
+      {R"({"v":2})", ErrorCode::kInvalidRequest},  // missing op
+      {R"({"v":2,"op":5})", ErrorCode::kInvalidRequest},  // wrong-type op
+      {R"({"v":"two","op":"list"})", ErrorCode::kInvalidRequest},
+      {R"({"v":3,"op":"list"})", ErrorCode::kUnsupported},
+      {R"({"v":2,"op":"query","release":5,"queries":[]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple"})",
+       ErrorCode::kInvalidRequest},  // missing queries
+      {R"({"v":2,"op":"query","release":"simple","queries":{}})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple","queries":[5]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"sa":1}]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"where":[],"sa":"flu"}]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"where":{"Job":1},"sa":"flu"}]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple","epoch":0,"queries":[{"sa":"flu"}]})",
+       ErrorCode::kStaleEpoch},  // epoch 0 never exists: stale, not shape
+      {R"({"v":2,"op":"query","release":"simple","epoch":-3,"queries":[{"sa":"flu"}]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"simple","epoch":1.5,"queries":[{"sa":"flu"}]})",
+       ErrorCode::kInvalidRequest},
+      {R"({"v":2,"op":"query","release":"nope","queries":[{"sa":"flu"}]})",
+       ErrorCode::kNotFound},
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"sa":"typo"}]})",
+       ErrorCode::kNotFound},  // unknown SA value
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"where":{"Nope":"x"},"sa":"flu"}]})",
+       ErrorCode::kNotFound},  // unknown attribute
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"where":{"Job":"typo"},"sa":"flu"}]})",
+       ErrorCode::kNotFound},  // unknown NA value
+      {R"({"v":2,"op":"query","release":"simple","queries":[{"where":{"Disease":"flu"},"sa":"flu"}]})",
+       ErrorCode::kInvalidRequest},  // SA constrained in where
+      {R"({"v":2,"op":"query","release":"simple","epoch":42,"queries":[{"sa":"flu"}]})",
+       ErrorCode::kStaleEpoch},
+      {R"({"v":2,"op":"schema","release":"nope"})", ErrorCode::kNotFound},
+      {R"({"v":2,"op":"publish","name":"x","release":"/tmp/recpriv_no_such_bundle"})",
+       ErrorCode::kIoError},
+      {R"({"v":2,"op":"publish","release":"x"})",
+       ErrorCode::kInvalidRequest},  // missing name
+      {R"({"v":2,"op":"drop","release":"nope"})", ErrorCode::kNotFound},
+  };
+  for (const ErrorCase& c : cases) {
+    JsonValue response = *JsonValue::Parse(Respond(*b.engine, c.line));
+    EXPECT_FALSE((*response.Get("ok"))->AsBool().ValueOrDie()) << c.line;
+    const JsonValue& error = **response.Get("error");
+    ASSERT_TRUE(error.is_object()) << c.line;
+    EXPECT_EQ((*error.Get("code"))->AsString().ValueOrDie(),
+              ErrorCodeName(c.code))
+        << c.line;
+    EXPECT_FALSE((*error.Get("message"))->AsString().ValueOrDie().empty())
+        << c.line;
+  }
+}
+
+TEST(WireV2Test, QueryAnswersMatchV1ForTheSameBatch) {
+  Backends b = MakeBackends();
+  const char* v1_line =
+      R"({"op":"query","release":"simple","queries":[{"where":{"Job":"eng"},"sa":"flu"}]})";
+  const char* v2_line =
+      R"({"v":2,"id":1,"op":"query","release":"simple","queries":[{"where":{"Job":"eng"},"sa":"flu"}]})";
+  JsonValue v1 = *JsonValue::Parse(Respond(*b.engine, v1_line));
+  JsonValue v2 = *JsonValue::Parse(Respond(*b.engine, v2_line));
+  const JsonValue& a1 = **(*v1.Get("answers"))->At(0);
+  const JsonValue& a2 = **(*v2.Get("answers"))->At(0);
+  EXPECT_EQ((*a1.Get("observed"))->AsInt().ValueOrDie(),
+            (*a2.Get("observed"))->AsInt().ValueOrDie());
+  EXPECT_EQ((*a1.Get("matched_size"))->AsInt().ValueOrDie(),
+            (*a2.Get("matched_size"))->AsInt().ValueOrDie());
+  EXPECT_DOUBLE_EQ((*a1.Get("estimate"))->AsDouble().ValueOrDie(),
+                   (*a2.Get("estimate"))->AsDouble().ValueOrDie());
+}
+
+TEST(WireV2Test, ResponseParserRejectsIdMismatch) {
+  auto mismatch = recpriv::serve::wire::ParseResponse(
+      R"({"v":2,"id":99,"ok":true,"releases":[]})", /*expect_id=*/1);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInternal);
+
+  auto match = recpriv::serve::wire::ParseResponse(
+      R"({"v":2,"id":1,"ok":true,"releases":[]})", 1);
+  EXPECT_TRUE(match.ok());
+}
+
+}  // namespace
+}  // namespace recpriv::client

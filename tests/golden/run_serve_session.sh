@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end golden-transcript check of the serving wire protocol: pipes a
+# scripted v1+v2 session (list / publish / query / pinned query / stale pin
+# / drop / schema / malformed lines / stats) through a real recpriv_serve
+# process and diffs the responses against serve_session.golden.
+#
+# Everything is pinned for determinism: the demo release's RNG seed, the
+# published bundle's input CSV and --seed, --threads, and --retain. A diff
+# means the protocol surface changed — regenerate the golden deliberately
+# (instructions below) only when that change is intentional:
+#
+#   tests/golden/run_serve_session.sh SERVE PUBLISH GOLDEN_DIR --regen
+#
+# usage: run_serve_session.sh path/to/recpriv_serve path/to/recpriv_publish \
+#        path/to/tests/golden [--regen]
+
+set -euo pipefail
+
+SERVE="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+PUBLISH="$(cd "$(dirname "$2")" && pwd)/$(basename "$2")"
+GOLDEN_DIR="$(cd "$3" && pwd)"
+MODE="${4:-check}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# A tiny deterministic input for the publish op exercised mid-session.
+{
+  echo "Job,City,Disease"
+  for _ in $(seq 1 30); do echo "eng,north,flu"; done
+  for _ in $(seq 1 10); do echo "eng,north,hiv"; done
+  for _ in $(seq 1 15); do echo "law,south,flu"; done
+  for _ in $(seq 1 15); do echo "law,south,hiv"; done
+} > "$WORK/tiny.csv"
+
+"$PUBLISH" --input "$WORK/tiny.csv" --sensitive Disease \
+    --output "$WORK/tiny.release.csv" --manifest "$WORK/golden_release" \
+    --seed 7 > /dev/null
+
+# The session publishes by the basename "golden_release", resolved against
+# the server's working directory.
+(cd "$WORK" && "$SERVE" --demo --threads 2 --retain 2 \
+    < "$GOLDEN_DIR/serve_session.in" > "$WORK/session.out" 2> /dev/null)
+
+if [ "$MODE" = "--regen" ]; then
+  cp "$WORK/session.out" "$GOLDEN_DIR/serve_session.golden"
+  echo "regenerated $GOLDEN_DIR/serve_session.golden"
+  exit 0
+fi
+
+diff -u "$GOLDEN_DIR/serve_session.golden" "$WORK/session.out"
+echo "serve golden session: OK ($(wc -l < "$WORK/session.out") responses)"

@@ -173,6 +173,25 @@ int Run(int argc, char** argv) {
     }
     std::cout << "wrote release bundle " << flags.GetString("manifest")
               << ".csv + .manifest.json" << std::endl;
+
+    // Serving self-check: reload the bundle through the typed client API —
+    // exactly what recpriv_serve will do — so a publish that produced an
+    // unservable bundle (manifest/CSV disagreement, unindexable schema)
+    // fails here, not at serving time.
+    serve::QueryEngineOptions check_options;
+    check_options.num_threads = 1;
+    check_options.cache_capacity = 0;
+    client::InProcessClient check(std::make_shared<serve::ReleaseStore>(),
+                                  check_options);
+    auto desc = check.Publish("check", flags.GetString("manifest"));
+    if (!desc.ok()) return Fail(desc.status());
+    auto served_schema = check.GetSchema("check");
+    if (!served_schema.ok()) return Fail(served_schema.status());
+    std::cout << "serving self-check: "
+              << FormatWithCommas(int64_t(desc->num_records)) << " records in "
+              << FormatWithCommas(int64_t(desc->num_groups)) << " groups, "
+              << served_schema->attributes.size() << " attributes — servable"
+              << std::endl;
   }
 
   // --- optional per-group report ---

@@ -1,16 +1,19 @@
 // recpriv_serve — the release-serving front end: loads self-describing
-// release bundles (see analysis/release.h), registers them in a
-// ReleaseStore, and answers line-delimited JSON count-query requests from
-// stdin on stdout (protocol: src/serve/wire.h).
+// release bundles (see analysis/release.h), registers them through the
+// typed client API (client/in_process_client.h), and answers
+// line-delimited JSON count-query requests from stdin on stdout
+// (protocol v1 + v2: src/serve/wire.h).
 //
 //   recpriv_publish --input patients.csv --sensitive Disease
 //                   --output release.csv --manifest release
 //   recpriv_serve --release release --name patients
-//   > {"op":"query","release":"patients","queries":[{"where":{"Job":"eng"},"sa":"flu"}]}
+//   > {"v":2,"id":1,"op":"query","release":"patients","queries":[{"where":{"Job":"eng"},"sa":"flu"}]}
 //
 // Multiple releases: positional NAME=BASENAME arguments. --demo publishes a
 // small synthetic release named "demo" for protocol experiments without any
-// input files.
+// input files. Republishing (wire op "publish") retains a bounded window of
+// recent epochs per release (--retain) so pinned-epoch sessions stay
+// consistent across republishes.
 
 #include <iostream>
 #include <set>
@@ -25,7 +28,8 @@ constexpr const char* kUsage = R"(usage: recpriv_serve [options] [NAME=BASENAME 
 
 Serves count queries over published releases: line-delimited JSON requests
 on stdin, one JSON response per line on stdout. See src/serve/wire.h for
-the protocol.
+the protocol (v1 legacy + v2 with ids, structured errors, epoch pinning,
+and publish/drop/schema admin ops).
 
 release sources (at least one, unless --demo):
   --release BASE      load BASE.csv + BASE.manifest.json (written by
@@ -38,6 +42,8 @@ release sources (at least one, unless --demo):
 options:
   --threads N         worker threads for batch evaluation  [default: cores]
   --cache N           answer-cache capacity (entries)      [default 65536]
+  --retain N          retained epochs per release for pinned queries
+                      [default 4]
   --demo              publish a built-in synthetic release named "demo"
   --help              print this help and exit
 )";
@@ -47,7 +53,7 @@ int Fail(const Status& status) {
   return 1;
 }
 
-Status PublishDemo(serve::ReleaseStore& store) {
+Result<analysis::ReleaseBundle> MakeDemoBundle() {
   datagen::SimpleDatasetSpec spec;
   spec.public_attributes = {"Job", "City"};
   spec.sensitive_attribute = "Disease";
@@ -60,32 +66,22 @@ Status PublishDemo(serve::ReleaseStore& store) {
       datagen::GroupSpec{{"law", "north"}, 2000, {20, 30, 50}});
   spec.groups.push_back(
       datagen::GroupSpec{{"law", "south"}, 1000, {20, 30, 50}});
-  auto raw = datagen::GenerateSimpleExact(spec);
-  RECPRIV_RETURN_NOT_OK(raw.status());
+  RECPRIV_ASSIGN_OR_RETURN(table::Table raw,
+                           datagen::GenerateSimpleExact(spec));
 
   core::PrivacyParams params;
-  params.domain_m = raw->schema()->sa_domain_size();
+  params.domain_m = raw.schema()->sa_domain_size();
   Rng rng(2015);
-  auto sps = core::SpsPerturbTable(params, *raw, rng);
-  RECPRIV_RETURN_NOT_OK(sps.status());
-  analysis::ReleaseBundle bundle{std::move(sps->table), params,
+  RECPRIV_ASSIGN_OR_RETURN(core::SpsTableResult sps,
+                           core::SpsPerturbTable(params, raw, rng));
+  return analysis::ReleaseBundle{std::move(sps.table), params,
                                  spec.sensitive_attribute, {}};
-  auto snap = store.Publish("demo", std::move(bundle));
-  return snap.ok() ? Status::OK() : snap.status();
 }
 
-Status LoadAndPublish(serve::ReleaseStore& store, const std::string& name,
-                      const std::string& basename) {
-  auto bundle = analysis::LoadRelease(basename);
-  RECPRIV_RETURN_NOT_OK(bundle.status());
-  auto snap = store.Publish(name, std::move(*bundle));
-  RECPRIV_RETURN_NOT_OK(snap.status());
-  std::cerr << "serving '" << name << "' (epoch " << (*snap)->epoch << "): "
-            << FormatWithCommas(int64_t((*snap)->index.num_records()))
-            << " records, "
-            << FormatWithCommas(int64_t((*snap)->index.num_groups()))
-            << " groups\n";
-  return Status::OK();
+void PrintServing(const client::ReleaseDescriptor& desc) {
+  std::cerr << "serving '" << desc.name << "' (epoch " << desc.epoch << "): "
+            << FormatWithCommas(int64_t(desc.num_records)) << " records, "
+            << FormatWithCommas(int64_t(desc.num_groups)) << " groups\n";
 }
 
 int Run(int argc, char** argv) {
@@ -93,8 +89,8 @@ int Run(int argc, char** argv) {
   if (!flags_or.ok()) return Fail(flags_or.status());
   const FlagSet& flags = *flags_or;
 
-  const std::set<std::string> known = {"release", "name", "threads", "cache",
-                                       "demo", "help"};
+  const std::set<std::string> known = {"release", "name",   "threads", "cache",
+                                       "retain",  "demo",   "help"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -106,13 +102,30 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  auto store = std::make_shared<serve::ReleaseStore>();
+  serve::QueryEngineOptions options;
+  auto threads = flags.GetInt("threads", 0);
+  auto cache = flags.GetInt("cache", int64_t(options.cache_capacity));
+  auto retain =
+      flags.GetInt("retain", int64_t(serve::ReleaseStore::kDefaultRetainedEpochs));
+  if (!threads.ok()) return Fail(threads.status());
+  if (!cache.ok()) return Fail(cache.status());
+  if (!retain.ok()) return Fail(retain.status());
+  if (*threads < 0 || *cache < 0 || *retain < 1) {
+    return Fail(Status::InvalidArgument(
+        "--threads/--cache must be >= 0 and --retain >= 1"));
+  }
+  options.num_threads = size_t(*threads);
+  options.cache_capacity = size_t(*cache);
+
+  auto store = std::make_shared<serve::ReleaseStore>(size_t(*retain));
+  auto engine = std::make_shared<serve::QueryEngine>(store, options);
+  client::InProcessClient admin(engine);
+
   if (flags.Has("release")) {
-    if (auto st = LoadAndPublish(*store, flags.GetString("name", "default"),
-                                 flags.GetString("release"));
-        !st.ok()) {
-      return Fail(st);
-    }
+    auto desc = admin.Publish(flags.GetString("name", "default"),
+                              flags.GetString("release"));
+    if (!desc.ok()) return Fail(desc.status());
+    PrintServing(*desc);
   }
   for (const std::string& arg : flags.positional()) {
     auto eq = arg.find('=');
@@ -121,16 +134,17 @@ int Run(int argc, char** argv) {
                 << "\n" << kUsage;
       return 1;
     }
-    if (auto st = LoadAndPublish(*store, arg.substr(0, eq),
-                                 arg.substr(eq + 1));
-        !st.ok()) {
-      return Fail(st);
-    }
+    auto desc = admin.Publish(arg.substr(0, eq), arg.substr(eq + 1));
+    if (!desc.ok()) return Fail(desc.status());
+    PrintServing(*desc);
   }
   auto demo = flags.GetBool("demo", false);
   if (!demo.ok()) return Fail(demo.status());
   if (*demo) {
-    if (auto st = PublishDemo(*store); !st.ok()) return Fail(st);
+    auto bundle = MakeDemoBundle();
+    if (!bundle.ok()) return Fail(bundle.status());
+    auto desc = admin.PublishBundle("demo", std::move(*bundle));
+    if (!desc.ok()) return Fail(desc.status());
     std::cerr << "serving synthetic release 'demo'\n";
   }
   if (store->size() == 0) {
@@ -140,22 +154,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  serve::QueryEngineOptions options;
-  auto threads = flags.GetInt("threads", 0);
-  auto cache = flags.GetInt("cache", int64_t(options.cache_capacity));
-  if (!threads.ok()) return Fail(threads.status());
-  if (!cache.ok()) return Fail(cache.status());
-  if (*threads < 0 || *cache < 0) {
-    return Fail(Status::InvalidArgument("--threads/--cache must be >= 0"));
-  }
-  options.num_threads = size_t(*threads);
-  options.cache_capacity = size_t(*cache);
-  serve::QueryEngine engine(store, options);
-
-  const size_t handled = serve::ServeLines(std::cin, std::cout, engine);
+  const size_t handled = serve::ServeLines(std::cin, std::cout, *engine);
   std::cerr << "served " << FormatWithCommas(int64_t(handled))
-            << " requests (cache: " << engine.cache().hits() << " hits, "
-            << engine.cache().misses() << " misses)\n";
+            << " requests (cache: " << engine->cache().hits() << " hits, "
+            << engine->cache().misses() << " misses)\n";
   return 0;
 }
 
