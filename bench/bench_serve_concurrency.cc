@@ -1,0 +1,217 @@
+// Serving concurrency: aggregate throughput of the TCP front end
+// (serve/server.h) vs. number of concurrent client connections, on the
+// demo-scale release. Each client is a LineProtocolClient over its own
+// TcpTransport issuing synchronous single-query round trips (the
+// latency-bound regime a real analyst session lives in), so one connection
+// leaves the server mostly idle and added connections should pipeline into
+// real throughput.
+//
+// Gate (CI): with >= 4 hardware threads, 16 concurrent connections must
+// deliver >= 4x the single-connection throughput. With 2-3 threads the
+// parallel headroom shrinks, so the gate relaxes to >= 1.5x; on a single
+// hardware thread every request is CPU-serialized whatever the connection
+// count, so the ratio is reported but not gated.
+//
+// A second table reports batched round trips (8 queries per request) to
+// show amortization of the per-line transport cost.
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "analysis/demo.h"
+#include "client/in_process_client.h"
+#include "client/tcp_transport.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+/// The request rotation every client cycles through (all cache-warm after
+/// the first pass, so the measurement isolates the serving stack, not the
+/// count kernel).
+std::vector<client::QueryRequest> RequestRotation(size_t queries_per_request) {
+  const std::vector<client::QuerySpec> specs = {
+      {{{"Job", "eng"}}, "flu"},
+      {{{"Job", "law"}}, "hiv"},
+      {{{"City", "north"}}, "bc"},
+      {{{"Job", "eng"}, {"City", "south"}}, "flu"},
+      {{}, "hiv"},
+      {{{"City", "south"}}, "flu"},
+      {{{"Job", "law"}, {"City", "north"}}, "bc"},
+      {{{"City", "north"}}, "flu"},
+  };
+  std::vector<client::QueryRequest> rotation;
+  for (size_t start = 0; start < specs.size(); ++start) {
+    client::QueryRequest request;
+    request.release = "demo";
+    for (size_t k = 0; k < queries_per_request; ++k) {
+      request.queries.push_back(specs[(start + k) % specs.size()]);
+    }
+    rotation.push_back(std::move(request));
+  }
+  return rotation;
+}
+
+struct Measurement {
+  double seconds = 0.0;
+  double qps = 0.0;      ///< queries per second, aggregate
+  size_t failures = 0;
+};
+
+/// `connections` client threads issue `requests_per_client` synchronous
+/// round trips each; returns aggregate queries/sec.
+Measurement RunLoad(uint16_t port, size_t connections,
+                    size_t requests_per_client, size_t queries_per_request) {
+  const std::vector<client::QueryRequest> rotation =
+      RequestRotation(queries_per_request);
+  std::vector<std::unique_ptr<client::LineProtocolClient>> clients;
+  clients.reserve(connections);
+  Measurement m;
+  for (size_t c = 0; c < connections; ++c) {
+    auto client = client::ConnectTcp("127.0.0.1", port);
+    if (!client.ok()) {
+      ++m.failures;
+      return m;
+    }
+    clients.push_back(std::move(*client));
+  }
+
+  std::vector<size_t> failures(connections, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  WallTimer timer;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      client::LineProtocolClient& client = *clients[c];
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        if (!client.Query(rotation[(c + i) % rotation.size()]).ok()) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  m.seconds = timer.Seconds();
+  for (size_t f : failures) m.failures += f;
+  const size_t total_queries =
+      connections * requests_per_client * queries_per_request;
+  m.qps = m.seconds > 0 ? double(total_queries) / m.seconds : 0.0;
+  return m;
+}
+
+int Run() {
+  exp::PrintBanner(std::cout,
+                   "Serving concurrency: aggregate throughput vs concurrent "
+                   "TCP connections",
+                   "demo release, synchronous wire-v2 round trips per client");
+
+  auto store = std::make_shared<serve::ReleaseStore>();
+  auto engine = std::make_shared<serve::QueryEngine>(store);
+  client::InProcessClient admin(engine);
+  auto bundle = analysis::MakeDemoReleaseBundle(2015);
+  if (!bundle.ok()) {
+    std::cerr << "bundle: " << bundle.status() << "\n";
+    return 1;
+  }
+  auto desc = admin.PublishBundle("demo", std::move(*bundle));
+  if (!desc.ok()) {
+    std::cerr << "publish: " << desc.status() << "\n";
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.max_connections = 64;
+  auto server = serve::Server::Start(engine, options);
+  if (!server.ok()) {
+    std::cerr << "server: " << server.status() << "\n";
+    return 1;
+  }
+  const uint16_t port = (*server)->port();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "release: "
+            << FormatWithCommas(int64_t(desc->num_records)) << " records, "
+            << desc->num_groups << " groups; engine threads "
+            << engine->pool().num_threads() << "; port " << port << "\n\n";
+
+  // Warm the answer cache so every timed round trip is cache-hit serving.
+  (void)RunLoad(port, 1, 16, 8);
+
+  const size_t kRequestsTotal = 6000;
+  exp::AsciiTable single({"connections", "req/s", "agg_q/s",
+                          "scaling_vs_1conn"});
+  double qps_1 = 0.0, qps_16 = 0.0;
+  size_t failures = 0;
+  for (size_t conns : {size_t(1), size_t(2), size_t(4), size_t(8),
+                       size_t(16)}) {
+    const Measurement m =
+        RunLoad(port, conns, kRequestsTotal / conns, /*queries_per_request=*/1);
+    failures += m.failures;
+    if (conns == 1) qps_1 = m.qps;
+    if (conns == 16) qps_16 = m.qps;
+    single.AddRow({std::to_string(conns), FormatWithCommas(int64_t(m.qps)),
+                   FormatWithCommas(int64_t(m.qps)),
+                   qps_1 > 0 ? FormatDouble(m.qps / qps_1, 3) + "x" : "-"});
+  }
+  std::cout << "single-query round trips (" << kRequestsTotal
+            << " requests total):\n";
+  single.Print(std::cout);
+
+  exp::AsciiTable batched({"connections", "agg_q/s"});
+  for (size_t conns : {size_t(1), size_t(16)}) {
+    const Measurement m = RunLoad(port, conns, (kRequestsTotal / 8) / conns,
+                                  /*queries_per_request=*/8);
+    failures += m.failures;
+    batched.AddRow(
+        {std::to_string(conns), FormatWithCommas(int64_t(m.qps))});
+  }
+  std::cout << "\nbatched round trips (8 queries per request):\n";
+  batched.Print(std::cout);
+
+  const client::TransportStats metrics = (*server)->Metrics();
+  std::cout << "\ntransport: "
+            << FormatWithCommas(int64_t(metrics.requests)) << " requests over "
+            << metrics.connections_accepted << " connections, "
+            << metrics.errors << " errors\n";
+  (*server)->Stop();
+
+  // --- verdicts --------------------------------------------------------
+  if (failures > 0) {
+    std::cout << "\n" << failures << " failed round trips  [FAIL]\n";
+    return 1;
+  }
+  const double scaling = qps_1 > 0 ? qps_16 / qps_1 : 0.0;
+  // 16 synchronous connections only turn into throughput if the hardware
+  // can run server slices beside the 16 client threads. With >= 4 threads
+  // the acceptance gate applies; with 2-3 a relaxed pipelining gate; a
+  // single hardware thread has zero parallel headroom (every request is
+  // CPU-serialized whatever the connection count), so the ratio is
+  // reported but not gated.
+  std::cout << "\n16-connection scaling vs single connection: "
+            << FormatDouble(scaling, 3) << "x at " << hw
+            << " hardware threads  ";
+  if (hw >= 4) {
+    std::cout << "(gate 4x)  [" << (scaling >= 4.0 ? "PASS" : "FAIL")
+              << "]\n";
+    return scaling >= 4.0 ? 0 : 1;
+  }
+  if (hw >= 2) {
+    std::cout << "(reduced gate 1.5x)  ["
+              << (scaling >= 1.5 ? "PASS" : "FAIL") << "]\n";
+    return scaling >= 1.5 ? 0 : 1;
+  }
+  std::cout << "(single hardware thread: gate SKIPPED)  [PASS]\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,37 @@
+#include "analysis/demo.h"
+
+#include <utility>
+
+#include "common/random.h"
+#include "core/sps.h"
+#include "datagen/simple.h"
+
+namespace recpriv::analysis {
+
+Result<ReleaseBundle> MakeDemoReleaseBundle(uint64_t seed,
+                                            size_t base_group_size) {
+  datagen::SimpleDatasetSpec spec;
+  spec.public_attributes = {"Job", "City"};
+  spec.sensitive_attribute = "Disease";
+  spec.sa_domain = {"flu", "hiv", "bc"};
+  spec.groups.push_back(
+      datagen::GroupSpec{{"eng", "north"}, 4 * base_group_size, {70, 20, 10}});
+  spec.groups.push_back(
+      datagen::GroupSpec{{"eng", "south"}, 3 * base_group_size, {70, 20, 10}});
+  spec.groups.push_back(
+      datagen::GroupSpec{{"law", "north"}, 2 * base_group_size, {20, 30, 50}});
+  spec.groups.push_back(
+      datagen::GroupSpec{{"law", "south"}, 1 * base_group_size, {20, 30, 50}});
+  RECPRIV_ASSIGN_OR_RETURN(table::Table raw,
+                           datagen::GenerateSimpleExact(spec));
+
+  core::PrivacyParams params;
+  params.domain_m = raw.schema()->sa_domain_size();
+  Rng rng(seed);
+  RECPRIV_ASSIGN_OR_RETURN(core::SpsTableResult sps,
+                           core::SpsPerturbTable(params, raw, rng));
+  return ReleaseBundle{std::move(sps.table), params,
+                       spec.sensitive_attribute, {}};
+}
+
+}  // namespace recpriv::analysis

@@ -1,0 +1,26 @@
+// The canonical synthetic demo release: the Job/City/Disease dataset every
+// serving-surface consumer shares — recpriv_serve --demo, the concurrency
+// bench, and the wire fuzz/stress suites all build the SAME release from
+// this one helper, so a change to its shape (domains, group mix, privacy
+// parameters) cannot silently diverge between the tool and the tests that
+// claim to exercise it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/release.h"
+#include "common/result.h"
+
+namespace recpriv::analysis {
+
+/// Builds an SPS-perturbed release over four Job x City groups with SA
+/// domain {flu, hiv, bc}. `base_group_size` scales the dataset: the groups
+/// hold 4x, 3x, 2x, and 1x that many records (the tool and bench use 1000
+/// -> ~10k records; the fuzz/stress tests use 100 -> ~1k). `seed` drives
+/// the SPS perturbation, so distinct seeds give releases with genuinely
+/// different observed counts — what a republish-under-test needs.
+Result<ReleaseBundle> MakeDemoReleaseBundle(uint64_t seed,
+                                            size_t base_group_size = 1000);
+
+}  // namespace recpriv::analysis

@@ -20,6 +20,7 @@ constexpr CodeName kCodeNames[] = {
     {ErrorCode::kInternal, "INTERNAL"},
     {ErrorCode::kUnsupported, "UNSUPPORTED"},
     {ErrorCode::kMalformed, "MALFORMED"},
+    {ErrorCode::kUnavailable, "UNAVAILABLE"},
 };
 
 }  // namespace
@@ -58,6 +59,8 @@ ErrorCode ErrorCodeFromStatus(const Status& status) {
       return ErrorCode::kInternal;
     case StatusCode::kNotImplemented:
       return ErrorCode::kUnsupported;
+    case StatusCode::kUnavailable:
+      return ErrorCode::kUnavailable;
   }
   return ErrorCode::kInternal;
 }
@@ -84,6 +87,8 @@ Status ApiError::ToStatus() const {
       return Status::NotImplemented(message);
     case ErrorCode::kMalformed:
       return Status::IOError(message);
+    case ErrorCode::kUnavailable:
+      return Status::Unavailable(message);
   }
   return Status::Internal(message);
 }

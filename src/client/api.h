@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -40,6 +41,7 @@ enum class ErrorCode {
   kInternal,        ///< kInternal: invariant violation inside the server
   kUnsupported,     ///< kNotImplemented: protocol version / operation
   kMalformed,       ///< request line was not parseable JSON (wire only)
+  kUnavailable,     ///< kUnavailable: server at max_connections; retry later
 };
 
 /// Stable wire name of a code, e.g. "STALE_EPOCH".
@@ -134,11 +136,30 @@ struct CacheStats {
   uint64_t misses = 0;
 };
 
+/// Counters of the network front end (serve/server.h): connection
+/// admission, per-op request counts, and protocol hygiene. Present in
+/// ServerStats only when the stats request was answered by a process with
+/// a TCP front end — an in-process or stdin-served engine has none.
+struct TransportStats {
+  uint64_t connections_active = 0;
+  uint64_t connections_accepted = 0;  ///< admitted sessions, lifetime
+  uint64_t connections_rejected = 0;  ///< refused at max_connections
+  uint64_t sessions_v2 = 0;           ///< sessions that sent a v2 request
+  uint64_t requests = 0;              ///< request lines answered, all ops
+  uint64_t errors = 0;                ///< responses with ok:false
+  uint64_t malformed_lines = 0;       ///< lines that were not valid JSON
+  uint64_t oversized_lines = 0;       ///< lines dropped by the read bound
+  uint64_t idle_disconnects = 0;      ///< sessions dropped by idle timeout
+  uint64_t epoch_pins = 0;            ///< requests that pinned an epoch
+  std::map<std::string, uint64_t> ops;  ///< per-op request counts
+};
+
 /// Engine-wide counters plus per-release serving metadata.
 struct ServerStats {
   uint64_t threads = 0;
   CacheStats cache;
   std::vector<ReleaseDescriptor> releases;
+  std::optional<TransportStats> transport;  ///< see TransportStats
 };
 
 }  // namespace recpriv::client

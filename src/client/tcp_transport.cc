@@ -1,0 +1,48 @@
+#include "client/tcp_transport.h"
+
+#include <utility>
+
+#include "net/socket.h"
+
+namespace recpriv::client {
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port, TcpTransportOptions options) {
+  RECPRIV_ASSIGN_OR_RETURN(
+      net::UniqueFd fd, net::ConnectTcp(host, port, options.connect_timeout_ms));
+  net::LineChannelOptions channel_options;
+  channel_options.max_line_bytes = options.max_line_bytes;
+  return std::unique_ptr<TcpTransport>(new TcpTransport(
+      net::LineChannel(std::move(fd), channel_options), options));
+}
+
+Result<std::string> TcpTransport::RoundTrip(const std::string& request_line) {
+  RECPRIV_RETURN_NOT_OK(
+      channel_.WriteLine(request_line, options_.write_timeout_ms));
+  RECPRIV_ASSIGN_OR_RETURN(net::ReadResult read,
+                           channel_.ReadLine(options_.response_timeout_ms));
+  switch (read.event) {
+    case net::ReadEvent::kLine:
+      return std::move(read.line);
+    case net::ReadEvent::kEof:
+      return Status::IOError("tcp transport: server closed the connection");
+    case net::ReadEvent::kTimeout:
+      return Status::IOError("tcp transport: no response within " +
+                             std::to_string(options_.response_timeout_ms) +
+                             " ms");
+    case net::ReadEvent::kOversized:
+      return Status::IOError("tcp transport: response line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes");
+  }
+  return Status::Internal("tcp transport: unreachable read event");
+}
+
+Result<std::unique_ptr<LineProtocolClient>> ConnectTcp(
+    const std::string& host, uint16_t port, TcpTransportOptions options) {
+  RECPRIV_ASSIGN_OR_RETURN(std::unique_ptr<TcpTransport> transport,
+                           TcpTransport::Connect(host, port, options));
+  return std::make_unique<LineProtocolClient>(std::move(transport));
+}
+
+}  // namespace recpriv::client

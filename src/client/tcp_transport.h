@@ -1,0 +1,50 @@
+// TcpTransport: the socket-backed LineTransport for LineProtocolClient —
+// the third way to run the same typed client, after in-process loopback and
+// stdio pipes. Connect() dials a serve/server.h front end (or anything that
+// speaks the wire protocol over line-framed TCP) and every RoundTrip is one
+// request line out, one response line back, with connect/read/write
+// timeouts so a dead server surfaces as a Status instead of a hang.
+//
+// Like every LineTransport, one TcpTransport carries one session and is not
+// thread-safe; concurrent clients each dial their own connection (that is
+// the unit of server-side admission and fairness too).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "client/line_protocol_client.h"
+#include "common/result.h"
+#include "net/line_channel.h"
+
+namespace recpriv::client {
+
+struct TcpTransportOptions {
+  int connect_timeout_ms = 5000;
+  int response_timeout_ms = 60000;  ///< wait for the server's reply line
+  int write_timeout_ms = 5000;
+  size_t max_line_bytes = 1 << 20;  ///< longest accepted response line
+};
+
+class TcpTransport : public LineTransport {
+ public:
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, uint16_t port, TcpTransportOptions options = {});
+
+  Result<std::string> RoundTrip(const std::string& request_line) override;
+
+ private:
+  TcpTransport(net::LineChannel channel, TcpTransportOptions options)
+      : channel_(std::move(channel)), options_(options) {}
+
+  net::LineChannel channel_;
+  TcpTransportOptions options_;
+};
+
+/// Convenience: a LineProtocolClient over a fresh TCP connection.
+Result<std::unique_ptr<LineProtocolClient>> ConnectTcp(
+    const std::string& host, uint16_t port, TcpTransportOptions options = {});
+
+}  // namespace recpriv::client

@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -7,6 +8,15 @@
 namespace recpriv {
 
 Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv) {
+  return Parse(argc, argv, {});
+}
+
+Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv,
+                               const std::vector<std::string>& boolean_flags) {
+  const auto is_boolean = [&boolean_flags](const std::string& name) {
+    return std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+           boolean_flags.end();
+  };
   FlagSet fs;
   bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
@@ -23,6 +33,16 @@ Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv) {
     auto eq = body.find('=');
     if (eq != std::string::npos) {
       fs.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (StartsWith(body, "no-") && is_boolean(body.substr(3))) {
+      fs.flags_[body.substr(3)] = "false";
+      continue;
+    }
+    if (is_boolean(body)) {
+      // A declared boolean never consumes the next token, so
+      // "--demo NAME=BASENAME" keeps NAME=BASENAME positional.
+      fs.flags_[body] = "";
       continue;
     }
     // "--name value" when the next token is not a flag; else bare boolean.

@@ -21,6 +21,15 @@ class FlagSet {
   /// Parses argv (skipping argv[0]). "--" ends flag parsing.
   static Result<FlagSet> Parse(int argc, const char* const* argv);
 
+  /// As above, but flags named in `boolean_flags` never consume the next
+  /// token as their value: "--demo NAME=BASENAME" parses as the bare
+  /// boolean --demo followed by the positional NAME=BASENAME, instead of
+  /// silently becoming demo="NAME=BASENAME". "--demo=false" and
+  /// "--no-demo" still work. Tools should declare every boolean flag they
+  /// accept here.
+  static Result<FlagSet> Parse(int argc, const char* const* argv,
+                               const std::vector<std::string>& boolean_flags);
+
   bool Has(const std::string& name) const { return flags_.count(name) > 0; }
 
   /// String flag, or `fallback` when absent.

@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,///< object not in the required state for the call
   kInternal,          ///< invariant violation inside the library
   kNotImplemented,    ///< declared but intentionally unimplemented path
+  kUnavailable,       ///< transiently out of capacity; retrying may succeed
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -62,6 +63,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

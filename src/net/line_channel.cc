@@ -1,0 +1,163 @@
+#include "net/line_channel.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace recpriv::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining budget in ms for poll(): -1 when the caller wants no timeout.
+int RemainingMs(bool bounded, Clock::time_point deadline) {
+  if (!bounded) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+void StripCr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+Result<ReadResult> LineChannel::ReadLine(int timeout_ms) {
+  if (!fd_.valid()) return Status::FailedPrecondition("channel is closed");
+  const bool bounded = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  std::string chunk(options_.read_chunk_bytes, '\0');
+
+  for (;;) {
+    if (!discarding_) {
+      const size_t pos = buffer_.find('\n', scan_from_);
+      if (pos != std::string::npos) {
+        if (pos > options_.max_line_bytes) {
+          // The whole line arrived before the incomplete-buffer bound could
+          // trip; it is still over the limit. Drop it, keep the session.
+          buffer_.erase(0, pos + 1);
+          scan_from_ = 0;
+          return ReadResult{ReadEvent::kOversized, {}};
+        }
+        ReadResult result;
+        result.event = ReadEvent::kLine;
+        result.line = buffer_.substr(0, pos);
+        StripCr(result.line);
+        buffer_.erase(0, pos + 1);
+        scan_from_ = 0;
+        return result;
+      }
+      scan_from_ = buffer_.size();
+      if (buffer_.size() > options_.max_line_bytes) {
+        // The line in flight is too long to ever accept: stop buffering it
+        // and drain to its newline so the session can resynchronize.
+        buffer_.clear();
+        scan_from_ = 0;
+        discarding_ = true;
+      }
+    }
+
+    if (saw_eof_) {
+      ReadResult result;
+      if (discarding_) {
+        discarding_ = false;
+        result.event = ReadEvent::kOversized;
+      } else if (!buffer_.empty()) {
+        // A final line the peer never terminated before closing.
+        result.event = ReadEvent::kLine;
+        result.line = std::move(buffer_);
+        StripCr(result.line);
+        buffer_.clear();
+        scan_from_ = 0;
+      } else {
+        result.event = ReadEvent::kEof;
+      }
+      return result;
+    }
+
+    // poll() even when the budget is already spent (remaining == 0): a
+    // ReadLine(0) is the non-blocking "drain whatever is ready" call of the
+    // server's event loop, and must recv data the kernel already has.
+    const int remaining = RemainingMs(bounded, deadline);
+    struct pollfd pfd;
+    pfd.fd = fd_.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int prc = ::poll(&pfd, 1, remaining);
+    if (prc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll", errno);
+    }
+    if (prc == 0) return ReadResult{ReadEvent::kTimeout, {}};
+
+    const ssize_t n = ::recv(fd_.get(), chunk.data(), chunk.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoStatus("recv", errno);
+    }
+    if (n == 0) {
+      saw_eof_ = true;
+      continue;
+    }
+    if (discarding_) {
+      const char* nl =
+          static_cast<const char*>(std::memchr(chunk.data(), '\n', size_t(n)));
+      if (nl != nullptr) {
+        // Keep whatever followed the newline: it is the next line's prefix.
+        buffer_.assign(nl + 1, size_t(chunk.data() + n - (nl + 1)));
+        discarding_ = false;
+        return ReadResult{ReadEvent::kOversized, {}};
+      }
+      // Else: the oversized line continues; drop the chunk.
+    } else {
+      buffer_.append(chunk.data(), size_t(n));
+    }
+  }
+}
+
+Status LineChannel::WriteLine(const std::string& line, int timeout_ms) {
+  if (!fd_.valid()) return Status::FailedPrecondition("channel is closed");
+  const bool bounded = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  const std::string data = line + "\n";
+  size_t off = 0;
+  while (off < data.size()) {
+    const int remaining = RemainingMs(bounded, deadline);
+    if (bounded && remaining == 0) {
+      return Status::IOError("write timed out (peer not reading)");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_.get();
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int prc = ::poll(&pfd, 1, remaining);
+    if (prc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll", errno);
+    }
+    if (prc == 0) {
+      return Status::IOError("write timed out (peer not reading)");
+    }
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoStatus("send", errno);
+    }
+    off += size_t(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace recpriv::net

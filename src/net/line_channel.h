@@ -1,0 +1,75 @@
+// Line framing over a connected socket: the transport unit of the wire
+// protocol (one JSON object per '\n'-terminated line, serve/wire.h).
+//
+// The reader keeps a bounded buffer: a peer that streams an endless line
+// can never grow server memory past `max_line_bytes` — the overlong line is
+// drained (discarded to the next newline, without buffering) and reported
+// as kOversized so the server can answer with a structured error and keep
+// the session. Every read and write polls first, so a stalled peer costs at
+// most the configured timeout, never a wedged thread.
+//
+// One channel is a single session's framing state; it is not thread-safe.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace recpriv::net {
+
+struct LineChannelOptions {
+  size_t max_line_bytes = 1 << 20;  ///< longest accepted line (sans '\n')
+  size_t read_chunk_bytes = 4096;   ///< recv() granularity
+};
+
+/// What one ReadLine() call produced.
+enum class ReadEvent {
+  kLine,       ///< a complete line (in `line`, '\n' and any '\r' stripped)
+  kEof,        ///< orderly close; no more lines will arrive
+  kTimeout,    ///< no complete line within the timeout; buffered prefix kept
+  kOversized,  ///< a line exceeded max_line_bytes and was discarded
+};
+
+struct ReadResult {
+  ReadEvent event = ReadEvent::kEof;
+  std::string line;  ///< valid iff event == kLine
+};
+
+/// Line-framed reader/writer over an owned connected socket.
+class LineChannel {
+ public:
+  explicit LineChannel(UniqueFd fd, LineChannelOptions options = {})
+      : fd_(std::move(fd)), options_(options) {}
+
+  LineChannel(LineChannel&&) = default;
+  LineChannel& operator=(LineChannel&&) = default;
+
+  /// Reads until a full line is buffered or `timeout_ms` elapses (< 0 waits
+  /// forever). Hard transport failures (reset, closed channel) are a
+  /// Status; everything recoverable is a ReadEvent.
+  Result<ReadResult> ReadLine(int timeout_ms);
+
+  /// Writes `line` plus '\n', looping until every byte is out or
+  /// `timeout_ms` elapses without progress (< 0 waits forever). A peer that
+  /// stopped reading (full socket buffer past the timeout) is an error.
+  Status WriteLine(const std::string& line, int timeout_ms);
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  /// Closes the socket; subsequent reads/writes error.
+  void Close() { fd_.Reset(); }
+
+ private:
+  UniqueFd fd_;
+  LineChannelOptions options_;
+  std::string buffer_;       ///< bytes received but not yet returned
+  size_t scan_from_ = 0;     ///< buffer_ offset already scanned for '\n'
+  bool discarding_ = false;  ///< inside an oversized line, dropping bytes
+  bool saw_eof_ = false;
+};
+
+}  // namespace recpriv::net

@@ -1,0 +1,250 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace recpriv::net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+/// Owning wrapper for a getaddrinfo result list.
+struct AddrList {
+  struct addrinfo* head = nullptr;
+  ~AddrList() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+/// Resolves host:port to a list of candidate addresses. Callers must try
+/// bind/connect on EVERY candidate, not just the first whose socket()
+/// opens: on a dual-stack host "localhost" may resolve to ::1 before
+/// 127.0.0.1, and only one of them may actually work.
+Status Resolve(const std::string& host, uint16_t port, bool for_bind,
+               AddrList* out) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_bind) hints.ai_flags = AI_PASSIVE;
+
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_str.c_str(), &hints, &out->head);
+  if (rc != 0) {
+    return Status::IOError("getaddrinfo('" + host + "', " + port_str +
+                           "): " + gai_strerror(rc));
+  }
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+/// poll() one fd for `events`, retrying on EINTR. Returns false on timeout.
+Result<bool> PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll", errno);
+  }
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                int backlog) {
+  AddrList addresses;
+  RECPRIV_RETURN_NOT_OK(Resolve(host, port, /*for_bind=*/true, &addresses));
+
+  UniqueFd fd;
+  Status last = Status::IOError("no usable address for '" + host + "'");
+  for (struct addrinfo* ai = addresses.head; ai != nullptr;
+       ai = ai->ai_next) {
+    UniqueFd candidate(
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last = ErrnoStatus("socket", errno);
+      continue;
+    }
+    const int one = 1;
+    if (::setsockopt(candidate.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) < 0) {
+      last = ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+      continue;
+    }
+    if (::bind(candidate.get(), ai->ai_addr, ai->ai_addrlen) < 0) {
+      last = ErrnoStatus(
+          "bind('" + host + "', " + std::to_string(port) + ")", errno);
+      continue;
+    }
+    if (::listen(candidate.get(), backlog) < 0) {
+      last = ErrnoStatus("listen", errno);
+      continue;
+    }
+    fd = std::move(candidate);
+    break;
+  }
+  if (!fd.valid()) return last;
+
+  // Accept() must be interruptible by Close() from another thread, which a
+  // blocking accept(2) is not on all platforms — poll + non-blocking accept.
+  RECPRIV_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+
+  // Read back the bound port (meaningful when the caller asked for port 0).
+  struct sockaddr_storage bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  Listener listener;
+  if (bound.ss_family == AF_INET) {
+    listener.port_ =
+        ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+  } else if (bound.ss_family == AF_INET6) {
+    listener.port_ =
+        ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+  }
+  listener.fd_ = std::move(fd);
+  return listener;
+}
+
+Result<AcceptResult> Listener::Accept(int timeout_ms) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("listener is closed");
+  }
+  RECPRIV_ASSIGN_OR_RETURN(bool ready, PollOne(fd_.get(), POLLIN, timeout_ms));
+  AcceptResult result;
+  if (!ready) {
+    result.timed_out = true;
+    return result;
+  }
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      result.fd = UniqueFd(fd);
+      // Accepted sockets do not inherit O_NONBLOCK; the line channel polls
+      // before every syscall, so keep the fd non-blocking to guarantee no
+      // recv/send can stall past its poll.
+      RECPRIV_RETURN_NOT_OK(SetNonBlocking(fd));
+      // Request/response lines are tiny; without TCP_NODELAY every
+      // round-trip would eat a Nagle delay.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return result;
+    }
+    if (errno == EINTR) continue;
+    // The queued connection was reset by the peer before we accepted it
+    // (port scanners do this constantly): try the next one.
+    if (errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // The connection went away between poll and accept.
+      result.timed_out = true;
+      return result;
+    }
+    // Resource exhaustion (fd limits, memory) is transient: report it as a
+    // quiet tick rather than an error, so a serving loop built on Accept
+    // survives the spike instead of shutting down. accept(2) also surfaces
+    // in-kernel network errors (ENETDOWN, EPROTO, ...) here on Linux; those
+    // too must not kill the listener.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM || errno == EPERM || errno == EPROTO ||
+        errno == ENETDOWN || errno == ENOPROTOOPT || errno == EHOSTDOWN ||
+        errno == ENONET || errno == EHOSTUNREACH || errno == EOPNOTSUPP ||
+        errno == ENETUNREACH) {
+      result.timed_out = true;
+      return result;
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+namespace {
+
+/// One non-blocking connect attempt against a single resolved address.
+Result<UniqueFd> ConnectOne(const struct addrinfo& ai, const std::string& host,
+                            uint16_t port, int timeout_ms) {
+  UniqueFd fd(::socket(ai.ai_family, ai.ai_socktype, ai.ai_protocol));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  RECPRIV_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  if (::connect(fd.get(), ai.ai_addr, ai.ai_addrlen) < 0) {
+    if (errno != EINPROGRESS) {
+      return ErrnoStatus(
+          "connect('" + host + "', " + std::to_string(port) + ")", errno);
+    }
+    RECPRIV_ASSIGN_OR_RETURN(bool ready,
+                             PollOne(fd.get(), POLLOUT, timeout_ms));
+    if (!ready) {
+      return Status::IOError("connect('" + host + "', " +
+                             std::to_string(port) + "): timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) {
+      return ErrnoStatus(
+          "connect('" + host + "', " + std::to_string(port) + ")", err);
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms) {
+  AddrList addresses;
+  RECPRIV_RETURN_NOT_OK(Resolve(host, port, /*for_bind=*/false, &addresses));
+
+  // Try every resolved address (dual-stack: a server bound to 127.0.0.1
+  // is unreachable via ::1 and vice versa). Each attempt gets the full
+  // timeout; a refused connect fails in microseconds, so the fallback adds
+  // latency only in the mixed up/down cases it exists for.
+  Status last = Status::IOError("no usable address for '" + host + "'");
+  for (struct addrinfo* ai = addresses.head; ai != nullptr;
+       ai = ai->ai_next) {
+    auto fd = ConnectOne(*ai, host, port, timeout_ms);
+    if (fd.ok()) {
+      const int one = 1;
+      ::setsockopt(fd->get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+}  // namespace recpriv::net

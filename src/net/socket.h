@@ -1,0 +1,105 @@
+// Minimal portable POSIX TCP socket layer for the serving front end.
+//
+// Three pieces, all blocking-with-timeout (poll(2) before every potentially
+// blocking syscall, so a slow or dead peer can never wedge a thread
+// indefinitely):
+//
+//  * UniqueFd       — RAII ownership of a file descriptor.
+//  * Listener       — bound + listening socket; Accept() with a timeout, and
+//                     a port() accessor so callers may bind port 0 and let
+//                     the kernel pick (tests, benches).
+//  * ConnectTcp()   — client-side connect with a timeout.
+//
+// IPv4 loopback/hostnames via getaddrinfo; every error is a Status (no
+// exceptions, no errno leaking past this layer). SIGPIPE is never raised:
+// all writes go through send(MSG_NOSIGNAL).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace recpriv::net {
+
+/// Owns a file descriptor; closes it on destruction. Moveable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor now (idempotent).
+  void Reset();
+
+  /// Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a timed Accept().
+struct AcceptResult {
+  bool timed_out = false;  ///< no connection arrived within the timeout
+  UniqueFd fd;             ///< valid iff !timed_out
+};
+
+/// A bound, listening TCP socket.
+class Listener {
+ public:
+  /// Binds `host:port` (port 0 = kernel-assigned; read it back via port())
+  /// and starts listening. SO_REUSEADDR is set so restarting a server does
+  /// not trip over TIME_WAIT.
+  static Result<Listener> Bind(const std::string& host, uint16_t port,
+                               int backlog = 128);
+
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  /// Waits up to `timeout_ms` for a connection (< 0 waits forever).
+  /// A closed/shut-down listener yields an error, a quiet one a timeout.
+  Result<AcceptResult> Accept(int timeout_ms);
+
+  /// The locally bound port (the kernel's pick when Bind was given 0).
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_.valid(); }
+  /// The listening descriptor, for callers that poll it alongside other
+  /// fds (the serving front end's event loop).
+  int fd() const { return fd_.get(); }
+
+  /// Closes the listening socket; a concurrent or later Accept() errors.
+  void Close() { fd_.Reset(); }
+
+ private:
+  UniqueFd fd_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to `host:port`, waiting up to `timeout_ms` (< 0 forever) for
+/// the handshake to complete.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port,
+                            int timeout_ms);
+
+}  // namespace recpriv::net

@@ -84,12 +84,17 @@
 #include "query/evaluation.h"
 #include "query/query_pool.h"
 
+#include "analysis/demo.h"
 #include "analysis/reconstructor.h"
 #include "analysis/release.h"
+
+#include "net/line_channel.h"
+#include "net/socket.h"
 
 #include "serve/answer_cache.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
+#include "serve/server.h"
 #include "serve/service.h"
 #include "serve/wire.h"
 
@@ -97,6 +102,7 @@
 #include "client/client.h"
 #include "client/in_process_client.h"
 #include "client/line_protocol_client.h"
+#include "client/tcp_transport.h"
 
 #include "anon/ldiversity.h"
 #include "anon/tcloseness.h"

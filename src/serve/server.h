@@ -1,0 +1,152 @@
+// Server: the multi-client TCP front end of the serving stack.
+//
+// Event-loop + pool architecture. One poller thread owns the listener and
+// every idle connection: it poll(2)s them all (plus a self-pipe for
+// wakeups), accepts new connections, and when a session's socket turns
+// readable hands that session to the engine's existing work-stealing
+// thread pool. A pool slice drains the session's buffered requests through
+// the same wire-v2 dispatcher the stdin front end uses (serve/wire.h) —
+// the transport changes, the protocol byte stream does not — and runs up
+// to max_requests_per_slice of them before requeueing itself, so hot
+// sessions share workers fairly. When the socket runs dry the session
+// returns to the poller. Idle connections therefore cost zero worker time:
+// a thousand quiet clients are one poll set, not a thousand parked tasks.
+//
+// Admission and backpressure: at most max_connections concurrent sessions;
+// a connection over the limit receives one structured UNAVAILABLE error
+// line and is closed. Per-line bounds (max_line_bytes), write timeouts,
+// and optional idle timeouts keep any single misbehaving peer from
+// wedging a worker or growing memory.
+//
+// Session state: each session tracks the protocol version it negotiated
+// (the first v2 request upgrades it), its request/error counts, and how
+// many of its requests pinned a release epoch. Aggregated counters are
+// served to clients through the wire "stats" op as the "transport" section
+// (client::TransportStats).
+//
+// Shutdown: Stop() stops accepting, closes idle connections, then lets
+// every running session finish the request it is executing — in-flight
+// batches drain, nothing is torn down mid-response. The destructor calls
+// Stop().
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/api.h"
+#include "common/result.h"
+#include "net/line_channel.h"
+#include "net/socket.h"
+#include "serve/query_engine.h"
+
+namespace recpriv::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;             ///< 0 = kernel-assigned; read via port()
+  size_t max_connections = 64;   ///< admission limit; beyond it: UNAVAILABLE
+  size_t max_line_bytes = 1 << 20;  ///< request-line bound (net/line_channel.h)
+  int idle_timeout_ms = 0;       ///< disconnect a silent session; 0 = never
+  int write_timeout_ms = 5000;   ///< give up on a peer that stopped reading
+  int poll_tick_ms = 50;         ///< poller wakeup cadence (stop latency,
+                                 ///< idle-timeout granularity)
+  size_t max_requests_per_slice = 64;  ///< fairness quantum per pool slice
+};
+
+/// Multi-client TCP wire server over a shared QueryEngine.
+class Server {
+ public:
+  /// Binds and starts serving immediately. The engine is shared: an
+  /// InProcessClient over the same engine sees (and can administer) the
+  /// same releases the TCP sessions query.
+  static Result<std::unique_ptr<Server>> Start(
+      std::shared_ptr<QueryEngine> engine, ServerOptions options = {});
+
+  /// Stops (drains) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the kernel's pick when options.port was 0).
+  uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Stops accepting, closes idle sessions, drains every running session's
+  /// in-flight request, and joins the poller thread. Idempotent.
+  void Stop();
+
+  /// Point-in-time snapshot of the transport counters.
+  client::TransportStats Metrics() const;
+
+ private:
+  /// One admitted connection's framing + session state. Owned by exactly
+  /// one party at a time — the poller (idle) or a pool slice (running) —
+  /// so its fields need no locking.
+  struct Session {
+    explicit Session(net::LineChannel ch) : channel(std::move(ch)) {}
+    net::LineChannel channel;
+    int64_t version = 1;          ///< highest protocol version negotiated
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    uint64_t epoch_pins = 0;
+    std::chrono::steady_clock::time_point last_activity =
+        std::chrono::steady_clock::now();
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  Server(std::shared_ptr<QueryEngine> engine, ServerOptions options);
+
+  /// The poller thread: accept + poll idle sessions + dispatch to the pool.
+  void PollLoop();
+  /// Runs one cooperative slice of a session's wire loop on the pool.
+  void PumpSession(const SessionPtr& session);
+  void SubmitSlice(SessionPtr session);
+  /// Hands a drained session back to the poller (or closes it when the
+  /// poller is gone).
+  void ReturnToPoller(const SessionPtr& session);
+  /// Closes the session and releases its admission slot.
+  void FinishSession(Session& session);
+  /// Handles one request line; false when the session must close.
+  bool HandleLine(Session& session, const std::string& line);
+  void WakePoller();
+
+  std::shared_ptr<QueryEngine> engine_;
+  ServerOptions options_;
+  net::Listener listener_;
+  uint16_t port_ = 0;
+  net::UniqueFd wake_read_, wake_write_;  ///< self-pipe: unblock poll()
+  std::thread poller_thread_;
+  std::atomic<bool> stopping_{false};
+
+  /// Handoff of drained sessions from pool slices back to the poller.
+  std::mutex handoff_mu_;
+  std::vector<SessionPtr> returned_;
+  bool poller_exited_ = false;
+
+  mutable std::mutex mu_;                ///< guards active_ and ops_
+  std::condition_variable drained_cv_;   ///< active_ reached zero
+  size_t active_ = 0;
+  std::map<std::string, uint64_t> ops_;  ///< per-op request counts
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> sessions_v2_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> oversized_{0};
+  std::atomic<uint64_t> epoch_pins_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
+};
+
+}  // namespace recpriv::serve

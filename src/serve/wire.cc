@@ -149,6 +149,32 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
   out.Set("threads", JsonValue::Int(int64_t(stats.threads)));
   out.Set("cache", std::move(cache));
   out.Set("releases", std::move(releases));
+  if (stats.transport.has_value()) {
+    const client::TransportStats& t = *stats.transport;
+    JsonValue ops = JsonValue::Object();
+    for (const auto& [op, count] : t.ops) {
+      ops.Set(op, JsonValue::Int(int64_t(count)));
+    }
+    JsonValue transport = JsonValue::Object();
+    transport.Set("connections_active",
+                  JsonValue::Int(int64_t(t.connections_active)));
+    transport.Set("connections_accepted",
+                  JsonValue::Int(int64_t(t.connections_accepted)));
+    transport.Set("connections_rejected",
+                  JsonValue::Int(int64_t(t.connections_rejected)));
+    transport.Set("sessions_v2", JsonValue::Int(int64_t(t.sessions_v2)));
+    transport.Set("requests", JsonValue::Int(int64_t(t.requests)));
+    transport.Set("errors", JsonValue::Int(int64_t(t.errors)));
+    transport.Set("malformed_lines",
+                  JsonValue::Int(int64_t(t.malformed_lines)));
+    transport.Set("oversized_lines",
+                  JsonValue::Int(int64_t(t.oversized_lines)));
+    transport.Set("idle_disconnects",
+                  JsonValue::Int(int64_t(t.idle_disconnects)));
+    transport.Set("epoch_pins", JsonValue::Int(int64_t(t.epoch_pins)));
+    transport.Set("ops", std::move(ops));
+    out.Set("transport", std::move(transport));
+  }
   return out;
 }
 
@@ -194,7 +220,8 @@ Result<client::QueryRequest> DecodeQueryRequestBody(const JsonValue& request) {
 // --- dispatch --------------------------------------------------------------
 
 Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
-                           QueryEngine& engine) {
+                           QueryEngine& engine,
+                           const RequestContext& context) {
   if (op == "query") {
     RECPRIV_ASSIGN_OR_RETURN(client::QueryRequest req,
                              DecodeQueryRequestBody(request));
@@ -209,6 +236,7 @@ Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
   }
   if (op == "stats") {
     RECPRIV_ASSIGN_OR_RETURN(client::ServerStats stats, CollectStats(engine));
+    if (context.transport_stats) stats.transport = context.transport_stats();
     return EncodeStatsPayload(stats);
   }
   if (op == "schema") {
@@ -280,7 +308,12 @@ JsonValue ErrorBody(int64_t version, const JsonValue* id,
 
 }  // namespace
 
-JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine) {
+JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine,
+                        const RequestContext& context, RequestInfo* info) {
+  RequestInfo scratch;
+  if (info == nullptr) info = &scratch;
+  info->parsed = true;
+
   if (!request.is_object()) {
     // Valid JSON of the wrong shape is a request error, not MALFORMED
     // (which is reserved for lines that never parsed); the version field
@@ -291,6 +324,7 @@ JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine) {
   }
   const JsonValue* id = nullptr;
   if (request.Has("id")) id = *request.Get("id");
+  info->pinned_epoch = request.Has("epoch");
 
   int64_t version = kWireVersionLegacy;
   if (request.Has("v")) {
@@ -309,29 +343,51 @@ JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine) {
                                     " (supported: 1, 2)"});
     }
   }
+  info->version = version;
 
   auto op = RequireString(request, "op");
   if (!op.ok()) {
     return ErrorBody(version, id, ApiError::FromStatus(op.status()));
   }
-  Result<JsonValue> payload = Dispatch(*op, request, engine);
+  info->op = *op;
+  Result<JsonValue> payload = Dispatch(*op, request, engine, context);
   if (!payload.ok()) {
     return ErrorBody(version, id, ApiError::FromStatus(payload.status()));
   }
+  info->ok = true;
   return OkBody(version, id, std::move(*payload));
 }
 
 std::string HandleRequestLine(const std::string& line, QueryEngine& engine) {
+  return HandleRequestLine(line, engine, RequestContext{}, nullptr);
+}
+
+std::string HandleRequestLine(const std::string& line, QueryEngine& engine,
+                              const RequestContext& context,
+                              RequestInfo* info) {
+  RequestInfo scratch;
+  if (info == nullptr) info = &scratch;
   auto request = JsonValue::Parse(line);
   if (!request.ok()) {
     // The line never became JSON, so its protocol version is unknowable;
     // report in the current (structured) shape with the MALFORMED code.
+    info->parsed = false;
     return ErrorBody(
                kWireVersionCurrent, nullptr,
                ApiError{ErrorCode::kMalformed, request.status().message()})
         .ToString();
   }
-  return HandleRequest(*request, engine).ToString();
+  return HandleRequest(*request, engine, context, info).ToString();
+}
+
+std::string ErrorResponseLine(ErrorCode code, const std::string& message) {
+  return ErrorBody(kWireVersionCurrent, nullptr, ApiError{code, message})
+      .ToString();
+}
+
+bool IsKnownOp(const std::string& op) {
+  return op == "query" || op == "list" || op == "stats" || op == "schema" ||
+         op == "publish" || op == "drop";
 }
 
 size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
@@ -582,6 +638,49 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
                                    uint64_t(hits), uint64_t(misses)};
   RECPRIV_ASSIGN_OR_RETURN(stats.releases,
                            DecodeDescriptorArray(response, "releases"));
+  if (response.Has("transport")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
+                             RequireField(response, "transport"));
+    if (!node->is_object()) {
+      return Status::InvalidArgument("'transport' must be an object");
+    }
+    client::TransportStats t;
+    RECPRIV_ASSIGN_OR_RETURN(int64_t active,
+                             RequireInt(*node, "connections_active"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t accepted,
+                             RequireInt(*node, "connections_accepted"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t rejected,
+                             RequireInt(*node, "connections_rejected"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t v2, RequireInt(*node, "sessions_v2"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t requests, RequireInt(*node, "requests"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t errors, RequireInt(*node, "errors"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t malformed,
+                             RequireInt(*node, "malformed_lines"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t oversized,
+                             RequireInt(*node, "oversized_lines"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t idle,
+                             RequireInt(*node, "idle_disconnects"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t pins, RequireInt(*node, "epoch_pins"));
+    t.connections_active = uint64_t(active);
+    t.connections_accepted = uint64_t(accepted);
+    t.connections_rejected = uint64_t(rejected);
+    t.sessions_v2 = uint64_t(v2);
+    t.requests = uint64_t(requests);
+    t.errors = uint64_t(errors);
+    t.malformed_lines = uint64_t(malformed);
+    t.oversized_lines = uint64_t(oversized);
+    t.idle_disconnects = uint64_t(idle);
+    t.epoch_pins = uint64_t(pins);
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* ops, RequireField(*node, "ops"));
+    if (!ops->is_object()) {
+      return Status::InvalidArgument("'ops' must be an object");
+    }
+    for (const std::string& op : ops->Keys()) {
+      RECPRIV_ASSIGN_OR_RETURN(int64_t count, RequireInt(*ops, op));
+      t.ops[op] = uint64_t(count);
+    }
+    stats.transport = std::move(t);
+  }
   return stats;
 }
 

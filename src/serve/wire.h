@@ -60,6 +60,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -76,13 +77,47 @@ namespace recpriv::serve {
 inline constexpr int64_t kWireVersionLegacy = 1;
 inline constexpr int64_t kWireVersionCurrent = 2;
 
+/// Transport-level context a front end may attach to request handling.
+/// `transport_stats`, when set, is invoked by the "stats" op so its
+/// response includes the front end's connection/op counters (the stdin and
+/// in-process paths leave it unset and the field stays absent).
+struct RequestContext {
+  std::function<client::TransportStats()> transport_stats;
+};
+
+/// What one handled request looked like — filled for the front end's
+/// metrics, without it re-parsing the line.
+struct RequestInfo {
+  bool parsed = false;      ///< the line was valid JSON
+  bool ok = false;          ///< the response carried ok:true
+  int64_t version = kWireVersionLegacy;  ///< protocol version requested
+  bool pinned_epoch = false;             ///< the request pinned an epoch
+  std::string op;           ///< "op" value when present and a string
+};
+
 /// Dispatches one parsed request object; never returns an error — failures
 /// become {"ok":false,...} responses in the request's protocol version.
-JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine);
+JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine,
+                        const RequestContext& context = {},
+                        RequestInfo* info = nullptr);
 
 /// Parses one request line and dispatches it; the returned string is the
 /// serialized one-line response (no trailing newline).
 std::string HandleRequestLine(const std::string& line, QueryEngine& engine);
+std::string HandleRequestLine(const std::string& line, QueryEngine& engine,
+                              const RequestContext& context,
+                              RequestInfo* info);
+
+/// A standalone v2-shaped error response line (no id echo) for conditions
+/// the dispatcher never sees: an oversized request line, a connection
+/// refused at max_connections.
+std::string ErrorResponseLine(client::ErrorCode code,
+                              const std::string& message);
+
+/// True for op names the dispatcher implements. Front ends keying metrics
+/// by op name MUST bucket unknown names through this, or a peer sending
+/// distinct made-up ops grows the metric map without bound.
+bool IsKnownOp(const std::string& op);
 
 /// Reads request lines from `in` until EOF, writing one response line per
 /// request to `out` (blank lines are skipped). Returns the number of

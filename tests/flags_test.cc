@@ -77,5 +77,48 @@ TEST(FlagsTest, FlagNamesEnumerates) {
   EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));  // map order
 }
 
+FlagSet ParseWithBooleans(std::vector<const char*> args,
+                          const std::vector<std::string>& boolean_flags) {
+  args.insert(args.begin(), "tool");
+  return *FlagSet::Parse(static_cast<int>(args.size()), args.data(),
+                         boolean_flags);
+}
+
+// The recpriv_serve footgun: without the declaration, "--demo NAME=BASE"
+// parses as demo="NAME=BASE" and the release silently vanishes from the
+// positional list.
+TEST(FlagsTest, DeclaredBooleanDoesNotSwallowPositional) {
+  FlagSet fs = ParseWithBooleans({"--demo", "extra=bundles/extra"}, {"demo"});
+  EXPECT_TRUE(*fs.GetBool("demo", false));
+  EXPECT_EQ(fs.positional(),
+            (std::vector<std::string>{"extra=bundles/extra"}));
+}
+
+TEST(FlagsTest, UndeclaredFlagStillConsumesValue) {
+  FlagSet fs = ParseWithBooleans({"--name", "patients", "--demo", "x=y"},
+                                 {"demo"});
+  EXPECT_EQ(fs.GetString("name"), "patients");
+  EXPECT_TRUE(*fs.GetBool("demo", false));
+  EXPECT_EQ(fs.positional(), (std::vector<std::string>{"x=y"}));
+}
+
+TEST(FlagsTest, DeclaredBooleanEqualsAndNoFormsStillWork) {
+  FlagSet fs = ParseWithBooleans({"--demo=false"}, {"demo"});
+  EXPECT_FALSE(*fs.GetBool("demo", true));
+
+  FlagSet no_form = ParseWithBooleans({"--no-demo", "a=b"}, {"demo"});
+  EXPECT_FALSE(*no_form.GetBool("demo", true));
+  EXPECT_EQ(no_form.positional(), (std::vector<std::string>{"a=b"}));
+}
+
+TEST(FlagsTest, BooleanDeclarationDoesNotAffectOtherFlags) {
+  // Identical to the legacy two-argument Parse for everything undeclared.
+  FlagSet fs = ParseWithBooleans(
+      {"--threads", "4", "--verbose", "--", "--literal"}, {"help"});
+  EXPECT_EQ(*fs.GetInt("threads", 0), 4);
+  EXPECT_TRUE(*fs.GetBool("verbose", false));
+  EXPECT_EQ(fs.positional(), (std::vector<std::string>{"--literal"}));
+}
+
 }  // namespace
 }  // namespace recpriv

@@ -11,8 +11,17 @@
 #
 #   tests/golden/run_serve_session.sh SERVE PUBLISH GOLDEN_DIR --regen
 #
+# --tcp WIRE_CAT runs the same session through a real TCP server
+# (recpriv_serve --port 0) via the recpriv_wire_cat client instead of
+# stdin/stdout, and diffs against the SAME golden: the wire protocol is
+# transport-agnostic, so the responses must be byte-identical. The one
+# deliberate, documented difference is the v2 "stats" response, which over
+# TCP carries a "transport":{...} counter section that a stdin session does
+# not have — the check asserts the section is present, strips it, and
+# requires everything else to match to the byte.
+#
 # usage: run_serve_session.sh path/to/recpriv_serve path/to/recpriv_publish \
-#        path/to/tests/golden [--regen]
+#        path/to/tests/golden [--regen | --tcp path/to/recpriv_wire_cat]
 
 set -euo pipefail
 
@@ -20,6 +29,7 @@ SERVE="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
 PUBLISH="$(cd "$(dirname "$2")" && pwd)/$(basename "$2")"
 GOLDEN_DIR="$(cd "$3" && pwd)"
 MODE="${4:-check}"
+WIRE_CAT="${5:-}"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -36,6 +46,47 @@ trap 'rm -rf "$WORK"' EXIT
 "$PUBLISH" --input "$WORK/tiny.csv" --sensitive Disease \
     --output "$WORK/tiny.release.csv" --manifest "$WORK/golden_release" \
     --seed 7 > /dev/null
+
+if [ "$MODE" = "--tcp" ]; then
+  if [ -z "$WIRE_CAT" ]; then
+    echo "--tcp needs the recpriv_wire_cat path" >&2
+    exit 1
+  fi
+  WIRE_CAT="$(cd "$(dirname "$WIRE_CAT")" && pwd)/$(basename "$WIRE_CAT")"
+  # The session publishes by the basename "golden_release", resolved
+  # against the server's working directory. exec: the backgrounded subshell
+  # must BE the server, so the TERM below reaches it (and a test harness
+  # waiting on our stdout pipe sees it close).
+  (cd "$WORK" && exec "$SERVE" --demo --threads 2 --retain 2 --port 0 \
+      > /dev/null 2> "$WORK/serve.err") &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(grep -oE 'listening on 127\.0\.0\.1:[0-9]+' "$WORK/serve.err" \
+        | grep -oE '[0-9]+$' || true)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "server never reported its port:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+  fi
+  "$WIRE_CAT" --port "$PORT" < "$GOLDEN_DIR/serve_session.in" \
+      > "$WORK/session.tcp.out" 2> /dev/null
+  kill -TERM "$SERVER_PID" 2> /dev/null || true
+  wait "$SERVER_PID" 2> /dev/null || true
+
+  # The stats response must prove the TCP front end is reporting itself...
+  grep -q '"transport":{' "$WORK/session.tcp.out"
+  # ...and with that section stripped, every response byte must match the
+  # stdin-transport golden.
+  sed -E 's/,"transport":\{[^{}]*\{[^{}]*\}[^{}]*\}//' \
+      "$WORK/session.tcp.out" > "$WORK/session.tcp.normalized"
+  diff -u "$GOLDEN_DIR/serve_session.golden" "$WORK/session.tcp.normalized"
+  echo "serve golden session over TCP: OK ($(wc -l < "$WORK/session.tcp.out") responses)"
+  exit 0
+fi
 
 # The session publishes by the basename "golden_release", resolved against
 # the server's working directory.

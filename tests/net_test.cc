@@ -1,0 +1,252 @@
+// Tests for the POSIX socket layer (net/socket.h) and the bounded
+// line-framed channel (net/line_channel.h): bind/connect/accept round
+// trips, framing across split and coalesced writes, CRLF tolerance, the
+// oversized-line discard-and-resync path, read timeouts, EOF (including a
+// final unterminated line), and write-after-close errors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "net/line_channel.h"
+#include "net/socket.h"
+
+namespace recpriv::net {
+namespace {
+
+/// A connected (server, client) channel pair over loopback.
+struct ChannelPair {
+  LineChannel server;
+  LineChannel client;
+};
+
+ChannelPair MakePair(LineChannelOptions options = {}) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  EXPECT_TRUE(listener.ok()) << listener.status();
+  auto client_fd = ConnectTcp("127.0.0.1", listener->port(), 2000);
+  EXPECT_TRUE(client_fd.ok()) << client_fd.status();
+  auto accepted = listener->Accept(2000);
+  EXPECT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_FALSE(accepted->timed_out);
+  return ChannelPair{LineChannel(std::move(accepted->fd), options),
+                     LineChannel(std::move(*client_fd), options)};
+}
+
+TEST(SocketTest, BindEphemeralPortAndConnect) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  EXPECT_GT(listener->port(), 0);
+
+  auto fd = ConnectTcp("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  auto accepted = listener->Accept(2000);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_FALSE(accepted->timed_out);
+  EXPECT_TRUE(accepted->fd.valid());
+}
+
+TEST(SocketTest, AcceptTimesOutQuietly) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  auto accepted = listener->Accept(10);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_TRUE(accepted->timed_out);
+}
+
+TEST(SocketTest, AcceptOnClosedListenerErrors) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  listener->Close();
+  auto accepted = listener->Accept(10);
+  EXPECT_FALSE(accepted.ok());
+}
+
+TEST(SocketTest, ConnectToDeadPortFails) {
+  // Bind-then-close guarantees a port nothing is listening on.
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const uint16_t port = listener->port();
+  listener->Close();
+  auto fd = ConnectTcp("127.0.0.1", port, 2000);
+  EXPECT_FALSE(fd.ok());
+}
+
+TEST(LineChannelTest, RoundTripsLines) {
+  ChannelPair pair = MakePair();
+  ASSERT_TRUE(pair.client.WriteLine("hello", 1000).ok());
+  ASSERT_TRUE(pair.client.WriteLine("world", 1000).ok());
+
+  auto first = pair.server.ReadLine(2000);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->event, ReadEvent::kLine);
+  EXPECT_EQ(first->line, "hello");
+
+  auto second = pair.server.ReadLine(2000);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(second->event, ReadEvent::kLine);
+  EXPECT_EQ(second->line, "world");
+}
+
+TEST(LineChannelTest, StripsCarriageReturn) {
+  ChannelPair pair = MakePair();
+  ASSERT_TRUE(pair.client.WriteLine("windows\r", 1000).ok());
+  auto read = pair.server.ReadLine(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->event, ReadEvent::kLine);
+  EXPECT_EQ(read->line, "windows");
+}
+
+TEST(LineChannelTest, ReadTimesOutOnPartialLine) {
+  ChannelPair pair = MakePair();
+  // Raw send: "rest" has no newline yet, so its frame is incomplete.
+  const std::string raw = "full-line\nrest";
+  ASSERT_EQ(::send(pair.client.fd(), raw.data(), raw.size(), MSG_NOSIGNAL),
+            ssize_t(raw.size()));
+  auto first = pair.server.ReadLine(2000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->event, ReadEvent::kLine);
+  EXPECT_EQ(first->line, "full-line");
+
+  auto partial = pair.server.ReadLine(50);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ(partial->event, ReadEvent::kTimeout);
+
+  // Completing the line later still yields the whole frame ("rest" was
+  // buffered across the timeout).
+  ASSERT_TRUE(pair.client.WriteLine("-completed", 1000).ok());
+  auto completed = pair.server.ReadLine(2000);
+  ASSERT_TRUE(completed.ok());
+  ASSERT_EQ(completed->event, ReadEvent::kLine);
+  EXPECT_EQ(completed->line, "rest-completed");
+}
+
+TEST(LineChannelTest, NonBlockingReadDrainsAvailableData) {
+  ChannelPair pair = MakePair();
+  ASSERT_TRUE(pair.client.WriteLine("ready", 1000).ok());
+  // Give the kernel a moment to deliver over loopback.
+  for (int i = 0; i < 100; ++i) {
+    auto read = pair.server.ReadLine(/*timeout_ms=*/0);
+    ASSERT_TRUE(read.ok()) << read.status();
+    if (read->event == ReadEvent::kLine) {
+      EXPECT_EQ(read->line, "ready");
+      return;
+    }
+    ASSERT_EQ(read->event, ReadEvent::kTimeout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "line never arrived via non-blocking reads";
+}
+
+TEST(LineChannelTest, OversizedLineIsDiscardedAndSessionResyncs) {
+  LineChannelOptions options;
+  options.max_line_bytes = 64;
+  ChannelPair pair = MakePair(options);
+
+  const std::string huge(1000, 'x');
+  ASSERT_TRUE(pair.client.WriteLine(huge, 1000).ok());
+  ASSERT_TRUE(pair.client.WriteLine("after", 1000).ok());
+
+  auto first = pair.server.ReadLine(2000);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->event, ReadEvent::kOversized);
+
+  auto second = pair.server.ReadLine(2000);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(second->event, ReadEvent::kLine);
+  EXPECT_EQ(second->line, "after");
+}
+
+TEST(LineChannelTest, ExactLimitLineIsAccepted) {
+  LineChannelOptions options;
+  options.max_line_bytes = 64;
+  ChannelPair pair = MakePair(options);
+  const std::string at_limit(64, 'y');
+  ASSERT_TRUE(pair.client.WriteLine(at_limit, 1000).ok());
+  auto read = pair.server.ReadLine(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->event, ReadEvent::kLine);
+  EXPECT_EQ(read->line, at_limit);
+}
+
+TEST(LineChannelTest, EofAfterCleanClose) {
+  ChannelPair pair = MakePair();
+  ASSERT_TRUE(pair.client.WriteLine("bye", 1000).ok());
+  pair.client.Close();
+
+  auto line = pair.server.ReadLine(2000);
+  ASSERT_TRUE(line.ok());
+  ASSERT_EQ(line->event, ReadEvent::kLine);
+  EXPECT_EQ(line->line, "bye");
+
+  auto eof = pair.server.ReadLine(2000);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(eof->event, ReadEvent::kEof);
+}
+
+TEST(LineChannelTest, FinalUnterminatedLineIsDelivered) {
+  ChannelPair pair = MakePair();
+  // Raw send (WriteLine would append '\n'): the second line is
+  // unterminated when the peer closes.
+  const std::string raw = "last-words\nno-newline";
+  ASSERT_EQ(::send(pair.client.fd(), raw.data(), raw.size(), MSG_NOSIGNAL),
+            ssize_t(raw.size()));
+  pair.client.Close();
+
+  auto first = pair.server.ReadLine(2000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->event, ReadEvent::kLine);
+  EXPECT_EQ(first->line, "last-words");
+
+  auto second = pair.server.ReadLine(2000);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->event, ReadEvent::kLine);
+  EXPECT_EQ(second->line, "no-newline");
+
+  auto eof = pair.server.ReadLine(2000);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(eof->event, ReadEvent::kEof);
+}
+
+TEST(LineChannelTest, WriteAfterPeerCloseEventuallyErrors) {
+  ChannelPair pair = MakePair();
+  pair.server.Close();
+  // The first write may land in the kernel buffer before the RST is
+  // observed; repeated writes must surface an error, not SIGPIPE.
+  bool errored = false;
+  for (int i = 0; i < 50 && !errored; ++i) {
+    errored = !pair.client.WriteLine("into the void", 200).ok();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(errored);
+}
+
+TEST(LineChannelTest, ClosedChannelRejectsIo) {
+  ChannelPair pair = MakePair();
+  pair.client.Close();
+  EXPECT_FALSE(pair.client.WriteLine("x", 100).ok());
+  EXPECT_FALSE(pair.client.ReadLine(100).ok());
+}
+
+TEST(LineChannelTest, ManyLinesInOneBurst) {
+  ChannelPair pair = MakePair();
+  constexpr int kLines = 200;
+  std::thread writer([&] {
+    for (int i = 0; i < kLines; ++i) {
+      ASSERT_TRUE(
+          pair.client.WriteLine("line-" + std::to_string(i), 2000).ok());
+    }
+  });
+  for (int i = 0; i < kLines; ++i) {
+    auto read = pair.server.ReadLine(5000);
+    ASSERT_TRUE(read.ok()) << read.status();
+    ASSERT_EQ(read->event, ReadEvent::kLine) << "at line " << i;
+    EXPECT_EQ(read->line, "line-" + std::to_string(i));
+  }
+  writer.join();
+}
+
+}  // namespace
+}  // namespace recpriv::net

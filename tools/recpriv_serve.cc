@@ -15,8 +15,11 @@
 // recent epochs per release (--retain) so pinned-epoch sessions stay
 // consistent across republishes.
 
+#include <csignal>
+#include <chrono>
 #include <iostream>
 #include <set>
+#include <thread>
 
 #include "recpriv.h"
 
@@ -26,56 +29,46 @@ using namespace recpriv;  // NOLINT
 
 constexpr const char* kUsage = R"(usage: recpriv_serve [options] [NAME=BASENAME ...]
 
-Serves count queries over published releases: line-delimited JSON requests
-on stdin, one JSON response per line on stdout. See src/serve/wire.h for
-the protocol (v1 legacy + v2 with ids, structured errors, epoch pinning,
-and publish/drop/schema admin ops).
+Serves count queries over published releases as line-delimited JSON (the
+wire protocol of src/serve/wire.h: v1 legacy + v2 with ids, structured
+errors, epoch pinning, and publish/drop/schema/stats admin ops).
+
+Two transports share the same protocol byte stream:
+  default             one session on stdin/stdout
+  --port N            concurrent sessions over TCP (src/serve/server.h);
+                      N=0 binds a kernel-assigned port, printed on stderr
+                      as "listening on HOST:PORT". SIGINT/SIGTERM drains
+                      in-flight requests and exits cleanly.
 
 release sources (at least one, unless --demo):
   --release BASE      load BASE.csv + BASE.manifest.json (written by
                       recpriv_publish --manifest) and serve it
   --name NAME         name for the --release bundle     [default "default"]
   NAME=BASENAME       additional positional releases, each a manifest base
-                      (place before bare boolean flags or after "--", since
-                      "--demo NAME=BASENAME" parses as a flag value)
 
 options:
   --threads N         worker threads for batch evaluation  [default: cores]
   --cache N           answer-cache capacity (entries)      [default 65536]
   --retain N          retained epochs per release for pinned queries
                       [default 4]
+  --host HOST         TCP bind address                [default 127.0.0.1]
+  --max-conns N       concurrent TCP sessions; further connections get one
+                      UNAVAILABLE error line            [default 64]
+  --idle-timeout-ms N drop a TCP session silent this long  [default: never]
   --demo              publish a built-in synthetic release named "demo"
   --help              print this help and exit
 )";
 
+/// Boolean flags, declared so "--demo NAME=BASENAME" keeps NAME=BASENAME
+/// positional instead of mis-parsing it as --demo's value.
+const std::vector<std::string> kBooleanFlags = {"demo", "help"};
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int sig) { g_signal = sig; }
+
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
   return 1;
-}
-
-Result<analysis::ReleaseBundle> MakeDemoBundle() {
-  datagen::SimpleDatasetSpec spec;
-  spec.public_attributes = {"Job", "City"};
-  spec.sensitive_attribute = "Disease";
-  spec.sa_domain = {"flu", "hiv", "bc"};
-  spec.groups.push_back(
-      datagen::GroupSpec{{"eng", "north"}, 4000, {70, 20, 10}});
-  spec.groups.push_back(
-      datagen::GroupSpec{{"eng", "south"}, 3000, {70, 20, 10}});
-  spec.groups.push_back(
-      datagen::GroupSpec{{"law", "north"}, 2000, {20, 30, 50}});
-  spec.groups.push_back(
-      datagen::GroupSpec{{"law", "south"}, 1000, {20, 30, 50}});
-  RECPRIV_ASSIGN_OR_RETURN(table::Table raw,
-                           datagen::GenerateSimpleExact(spec));
-
-  core::PrivacyParams params;
-  params.domain_m = raw.schema()->sa_domain_size();
-  Rng rng(2015);
-  RECPRIV_ASSIGN_OR_RETURN(core::SpsTableResult sps,
-                           core::SpsPerturbTable(params, raw, rng));
-  return analysis::ReleaseBundle{std::move(sps.table), params,
-                                 spec.sensitive_attribute, {}};
 }
 
 void PrintServing(const client::ReleaseDescriptor& desc) {
@@ -85,12 +78,13 @@ void PrintServing(const client::ReleaseDescriptor& desc) {
 }
 
 int Run(int argc, char** argv) {
-  auto flags_or = FlagSet::Parse(argc, argv);
+  auto flags_or = FlagSet::Parse(argc, argv, kBooleanFlags);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const FlagSet& flags = *flags_or;
 
-  const std::set<std::string> known = {"release", "name",   "threads", "cache",
-                                       "retain",  "demo",   "help"};
+  const std::set<std::string> known = {
+      "release", "name", "threads",   "cache",           "retain", "demo",
+      "help",    "host", "port",      "max-conns",       "idle-timeout-ms"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -141,7 +135,8 @@ int Run(int argc, char** argv) {
   auto demo = flags.GetBool("demo", false);
   if (!demo.ok()) return Fail(demo.status());
   if (*demo) {
-    auto bundle = MakeDemoBundle();
+    // Seed 2015, 10k records: the shape the golden transcripts pin.
+    auto bundle = analysis::MakeDemoReleaseBundle(2015);
     if (!bundle.ok()) return Fail(bundle.status());
     auto desc = admin.PublishBundle("demo", std::move(*bundle));
     if (!desc.ok()) return Fail(desc.status());
@@ -154,9 +149,52 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  const size_t handled = serve::ServeLines(std::cin, std::cout, *engine);
-  std::cerr << "served " << FormatWithCommas(int64_t(handled))
-            << " requests (cache: " << engine->cache().hits() << " hits, "
+  if (!flags.Has("port")) {
+    // stdin/stdout single-session mode (the PR-1 transport, and still the
+    // golden-test reference).
+    const size_t handled = serve::ServeLines(std::cin, std::cout, *engine);
+    std::cerr << "served " << FormatWithCommas(int64_t(handled))
+              << " requests (cache: " << engine->cache().hits() << " hits, "
+              << engine->cache().misses() << " misses)\n";
+    return 0;
+  }
+
+  auto port = flags.GetInt("port", 0);
+  auto max_conns = flags.GetInt("max-conns", 64);
+  auto idle_timeout = flags.GetInt("idle-timeout-ms", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (!max_conns.ok()) return Fail(max_conns.status());
+  if (!idle_timeout.ok()) return Fail(idle_timeout.status());
+  if (*port < 0 || *port > 65535 || *max_conns < 1 || *idle_timeout < 0) {
+    return Fail(Status::InvalidArgument(
+        "--port must be 0..65535, --max-conns >= 1, --idle-timeout-ms >= 0"));
+  }
+
+  serve::ServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = uint16_t(*port);
+  server_options.max_connections = size_t(*max_conns);
+  server_options.idle_timeout_ms = int(*idle_timeout);
+  auto server = serve::Server::Start(engine, server_options);
+  if (!server.ok()) return Fail(server.status());
+
+  std::cerr << "listening on " << server_options.host << ":"
+            << (*server)->port() << " (max " << *max_conns
+            << " connections)\n";
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "signal " << int(g_signal) << ": draining...\n";
+  (*server)->Stop();
+  const client::TransportStats metrics = (*server)->Metrics();
+  std::cerr << "served " << FormatWithCommas(int64_t(metrics.requests))
+            << " requests over "
+            << FormatWithCommas(int64_t(metrics.connections_accepted))
+            << " connections (" << metrics.errors << " errors, "
+            << metrics.connections_rejected << " rejected; cache: "
+            << engine->cache().hits() << " hits, "
             << engine->cache().misses() << " misses)\n";
   return 0;
 }

@@ -1,0 +1,81 @@
+// recpriv_wire_cat — netcat for the wire protocol: connects to a
+// recpriv_serve TCP front end, sends each stdin line as one request, and
+// prints the server's response line on stdout. One synchronous round trip
+// per line, so a scripted session produces responses in request order —
+// which is exactly what the golden-transcript test needs to prove the TCP
+// transport is byte-identical to the stdin transport.
+//
+//   recpriv_serve --demo --port 7411 &
+//   echo '{"v":2,"id":1,"op":"list"}' | recpriv_wire_cat --port 7411
+
+#include <iostream>
+
+#include "recpriv.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+constexpr const char* kUsage = R"(usage: recpriv_wire_cat [options]
+
+Pipes stdin request lines to a recpriv_serve TCP front end, one synchronous
+round trip per line, responses to stdout.
+
+options:
+  --host HOST        server address            [default 127.0.0.1]
+  --port N           server port               (required)
+  --timeout-ms N     per-response timeout      [default 30000]
+  --help             print this help and exit
+)";
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  auto flags_or = FlagSet::Parse(argc, argv, {"help"});
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const FlagSet& flags = *flags_or;
+  if (flags.Has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  auto port = flags.GetInt("port", -1);
+  auto timeout = flags.GetInt("timeout-ms", 30000);
+  if (!port.ok()) return Fail(port.status());
+  if (!timeout.ok()) return Fail(timeout.status());
+  if (*port < 1 || *port > 65535) {
+    std::cerr << "a --port in 1..65535 is required\n" << kUsage;
+    return 1;
+  }
+
+  client::TcpTransportOptions options;
+  options.response_timeout_ms = int(*timeout);
+  auto transport = client::TcpTransport::Connect(
+      flags.GetString("host", "127.0.0.1"), uint16_t(*port), options);
+  if (!transport.ok()) return Fail(transport.status());
+
+  std::string line;
+  size_t handled = 0;
+  while (std::getline(std::cin, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;  // the server answers only non-blank lines
+    auto response = (*transport)->RoundTrip(line);
+    if (!response.ok()) return Fail(response.status());
+    std::cout << *response << "\n" << std::flush;
+    ++handled;
+  }
+  std::cerr << "round-tripped " << handled << " requests\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
