@@ -52,6 +52,7 @@
 #include "query/count_query.h"
 #include "query/query_pool.h"
 #include "table/flat_group_index.h"
+#include "testing_util.h"
 #include "table/group_index.h"
 
 namespace {
@@ -206,7 +207,7 @@ int Run(int argc, char** argv) {
                    quick ? "quick smoke sizes (gate skipped)"
                          : "ADULT 45k / CENSUS 300k, 1,000-query pools");
 
-  Rng rng(20150315);
+  Rng rng(recpriv::testing::HarnessSeed(20150315));
   std::vector<Dataset> datasets;
   {
     auto adult = datagen::GenerateAdult({.num_records = adult_rows}, rng);

@@ -20,7 +20,6 @@
 #include <thread>
 #include <vector>
 
-#include "analysis/demo.h"
 #include "client/in_process_client.h"
 #include "client/tcp_transport.h"
 #include "common/string_util.h"
@@ -30,6 +29,7 @@
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 #include "serve/server.h"
+#include "testing_util.h"
 
 namespace {
 
@@ -117,12 +117,9 @@ int Run() {
   auto store = std::make_shared<serve::ReleaseStore>();
   auto engine = std::make_shared<serve::QueryEngine>(store);
   client::InProcessClient admin(engine);
-  auto bundle = analysis::MakeDemoReleaseBundle(2015);
-  if (!bundle.ok()) {
-    std::cerr << "bundle: " << bundle.status() << "\n";
-    return 1;
-  }
-  auto desc = admin.PublishBundle("demo", std::move(*bundle));
+  auto bundle = recpriv::testing::DemoBundle(
+      recpriv::testing::HarnessSeed(2015), /*base_group_size=*/1000);
+  auto desc = admin.PublishBundle("demo", std::move(bundle));
   if (!desc.ok()) {
     std::cerr << "publish: " << desc.status() << "\n";
     return 1;

@@ -29,6 +29,7 @@
 #include "query/query_pool.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
+#include "testing_util.h"
 
 namespace {
 
@@ -59,7 +60,7 @@ int Run() {
   const size_t num_records = exp::FullScale() ? 90444 : 45222;
   std::cout << "preparing CENSUS (" << FormatWithCommas(int64_t(num_records))
             << " records, pool " << kPoolSize << ")...\n";
-  Rng rng(2015);
+  Rng rng(recpriv::testing::HarnessSeed(2015));
   auto raw = *datagen::GenerateCensus({.num_records = num_records}, rng);
   auto raw_index = table::FlatGroupIndex::Build(raw);
   query::QueryPoolConfig pool_config;

@@ -436,4 +436,40 @@ Result<JsonValue> JsonValue::Parse(const std::string& text) {
   return Parser(text).ParseDocument();
 }
 
+
+Result<const JsonValue*> RequireField(const JsonValue& obj,
+                                      const std::string& key) {
+  if (!obj.is_object() || !obj.Has(key)) {
+    return Status::InvalidArgument("missing required field '" + key + "'");
+  }
+  return obj.Get(key);
+}
+
+Result<std::string> RequireString(const JsonValue& obj,
+                                  const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
+  if (!node->is_string()) {
+    return Status::InvalidArgument("'" + key + "' must be a string");
+  }
+  return node->AsString();
+}
+
+Result<int64_t> RequireInt(const JsonValue& obj, const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
+  auto value = node->AsInt();
+  if (!value.ok()) {
+    return Status::InvalidArgument("'" + key + "' must be an integer");
+  }
+  return *value;
+}
+
+Result<double> RequireDouble(const JsonValue& obj, const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
+  auto value = node->AsDouble();
+  if (!value.ok()) {
+    return Status::InvalidArgument("'" + key + "' must be a number");
+  }
+  return *value;
+}
+
 }  // namespace recpriv

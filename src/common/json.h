@@ -73,4 +73,15 @@ class JsonValue {
   void WriteTo(std::string& out, int indent, int depth) const;
 };
 
+/// Required-field accessors with uniform, user-facing error messages —
+/// shared by every JSON codec in the tree (the wire protocol, scenario
+/// files, manifests), so "missing field" and "wrong type" always read the
+/// same and never drift between decoders.
+Result<const JsonValue*> RequireField(const JsonValue& obj,
+                                      const std::string& key);
+Result<std::string> RequireString(const JsonValue& obj,
+                                  const std::string& key);
+Result<int64_t> RequireInt(const JsonValue& obj, const std::string& key);
+Result<double> RequireDouble(const JsonValue& obj, const std::string& key);
+
 }  // namespace recpriv

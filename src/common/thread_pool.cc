@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace recpriv {
 
@@ -96,25 +98,50 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     fn(begin, end);
     return;
   }
-  // Per-call latch: the pool may be running unrelated tasks, so Wait()
-  // (which waits for global idleness) is not usable here.
-  struct Latch {
+  // Shared chunk cursor, drained by helper tasks AND by the caller: the
+  // caller claims chunks like any worker instead of parking on a latch, so
+  // the loop completes even if every pool worker is busy or blocked (e.g.
+  // parked inside a MicroBatcher follower wait) — a non-pool caller can
+  // never deadlock here, it just ends up doing the work itself.
+  struct ForJob {
+    const std::function<void(size_t, size_t)>* fn;
+    size_t begin, end, grain;
+    size_t num_chunks;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
     std::mutex mu;
     std::condition_variable cv;
-    size_t remaining;
   };
-  auto latch = std::make_shared<Latch>();
-  latch->remaining = (end - begin + grain - 1) / grain;
-  for (size_t lo = begin; lo < end; lo += grain) {
-    const size_t hi = std::min(end, lo + grain);
-    Submit([&fn, lo, hi, latch] {
-      fn(lo, hi);
-      std::lock_guard<std::mutex> lock(latch->mu);
-      if (--latch->remaining == 0) latch->cv.notify_all();
-    });
-  }
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  auto job = std::make_shared<ForJob>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = (end - begin + grain - 1) / grain;
+  const auto run_chunks = [job] {
+    for (;;) {
+      const size_t c = job->next_chunk.fetch_add(1);
+      if (c >= job->num_chunks) return;
+      const size_t lo = job->begin + c * job->grain;
+      const size_t hi = std::min(job->end, lo + job->grain);
+      (*job->fn)(lo, hi);
+      if (job->done_chunks.fetch_add(1) + 1 == job->num_chunks) {
+        // Lock-then-notify so the wakeup cannot slip between the caller's
+        // predicate check and its wait.
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->cv.notify_all();
+      }
+    }
+  };
+  // The caller takes one share; helpers cover the rest. Late helpers that
+  // find the cursor exhausted return without touching `fn`.
+  const size_t helpers = std::min(num_threads(), job->num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(run_chunks);
+  run_chunks();
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&] {
+    return job->done_chunks.load() == job->num_chunks;
+  });
 }
 
 }  // namespace recpriv

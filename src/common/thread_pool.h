@@ -51,6 +51,9 @@ class ThreadPool {
   /// `fn` must be safe to call concurrently from pool threads. Runs inline
   /// when the pool has one worker, the range fits in a single grain, or
   /// the caller is itself a task of this pool (nested use would deadlock).
+  /// An external caller PARTICIPATES: it drains chunks alongside the
+  /// workers, so the call completes even when every worker is busy or
+  /// blocked — ParallelFor itself can never deadlock.
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 

@@ -92,11 +92,18 @@
 #include "net/socket.h"
 
 #include "serve/answer_cache.h"
+#include "serve/micro_batcher.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/wire.h"
+
+#include "workload/driver.h"
+#include "workload/generator.h"
+#include "workload/oracle.h"
+#include "workload/scenario.h"
+#include "workload/synthetic.h"
 
 #include "client/api.h"
 #include "client/client.h"

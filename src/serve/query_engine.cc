@@ -7,6 +7,7 @@
 #include "perturb/mle.h"
 #include "perturb/uniform_perturbation.h"
 #include "query/canonical.h"
+#include "serve/micro_batcher.h"
 
 namespace recpriv::serve {
 
@@ -54,8 +55,10 @@ bool GroupMatches(const FlatGroupIndex& index, size_t gi,
   return true;
 }
 
-Status ValidateBatch(const ReleaseSnapshot& snap,
-                     const std::vector<CountQuery>& batch) {
+}  // namespace
+
+Status ValidateBatchForSnapshot(const ReleaseSnapshot& snap,
+                                const std::vector<CountQuery>& batch) {
   const auto& schema = *snap.bundle.data.schema();
   const size_t m = schema.sa_domain_size();
   const size_t sa_index = schema.sensitive_index();
@@ -77,8 +80,6 @@ Status ValidateBatch(const ReleaseSnapshot& snap,
   return Status::OK();
 }
 
-}  // namespace
-
 Answer EvaluateUncached(const ReleaseSnapshot& snap, const CountQuery& q) {
   // Fused scan: no match list is materialized and nothing is allocated.
   uint64_t observed = 0;
@@ -92,7 +93,16 @@ QueryEngine::QueryEngine(std::shared_ptr<ReleaseStore> store,
     : store_(std::move(store)),
       options_(options),
       cache_(options.cache_capacity),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads) {
+  if (options_.micro_batch_window_us > 0) {
+    MicroBatcherOptions batcher_options;
+    batcher_options.window_us = options_.micro_batch_window_us;
+    batcher_options.max_batch_queries = options_.micro_batch_max_queries;
+    batcher_ = std::make_unique<MicroBatcher>(*this, batcher_options);
+  }
+}
+
+QueryEngine::~QueryEngine() = default;
 
 Result<BatchResult> QueryEngine::AnswerBatch(
     const std::string& release, const std::vector<CountQuery>& batch) {
@@ -106,8 +116,14 @@ Result<BatchResult> QueryEngine::AnswerBatch(
   if (snap_ptr == nullptr) {
     return Status::InvalidArgument("AnswerBatch: null snapshot");
   }
+  RECPRIV_RETURN_NOT_OK(ValidateBatchForSnapshot(*snap_ptr, batch));
+  return AnswerValidatedBatch(release, std::move(snap_ptr), batch);
+}
+
+Result<BatchResult> QueryEngine::AnswerValidatedBatch(
+    const std::string& release, SnapshotPtr snap_ptr,
+    const std::vector<CountQuery>& batch) {
   const ReleaseSnapshot& snap = *snap_ptr;  // pinned for the whole batch
-  RECPRIV_RETURN_NOT_OK(ValidateBatch(snap, batch));
 
   BatchResult result;
   result.epoch = snap.epoch;
@@ -116,16 +132,26 @@ Result<BatchResult> QueryEngine::AnswerBatch(
   // Cache pass: serve hits, collect misses. Semantically duplicate queries
   // within the batch (same canonical key) are evaluated once — `dups`
   // records (duplicate index, first-occurrence index) pairs to copy after
-  // evaluation.
+  // evaluation. With caching disabled (capacity 0) the LRU and its lock
+  // are skipped entirely, and for a single-query uncached batch (the
+  // per-request serving regime) no key is built at all — dedup cannot
+  // fire there, so the string and hash-map work would be pure overhead.
+  const bool use_cache = options_.cache_capacity > 0;
+  const bool dedup = use_cache || batch.size() > 1;
   std::vector<size_t> miss;
   std::vector<std::pair<size_t, size_t>> dups;
-  std::vector<std::string> keys(batch.size());
+  std::vector<std::string> keys(dedup ? batch.size() : 0);
   std::unordered_map<std::string_view, size_t> first_miss;
   miss.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    keys[i] = CacheKey(release, snap.epoch, batch[i]);
+    if (!dedup) {
+      miss.push_back(i);
+      continue;
+    }
+    keys[i] = use_cache ? CacheKey(release, snap.epoch, batch[i])
+                        : recpriv::query::CanonicalKey(batch[i]);
     CachedAnswer hit;
-    if (cache_.Lookup(keys[i], &hit)) {
+    if (use_cache && cache_.Lookup(keys[i], &hit)) {
       result.answers[i] =
           Answer{hit.observed, hit.matched_size, hit.estimate, true};
       ++result.cache_hits;
@@ -210,12 +236,28 @@ Result<BatchResult> QueryEngine::AnswerBatch(
   for (const auto& [dup, original] : dups) {
     result.answers[dup] = result.answers[original];
   }
-  for (size_t k : miss) {
-    const Answer& a = result.answers[k];
-    cache_.Insert(keys[k], CachedAnswer{a.observed, a.matched_size,
-                                        a.estimate});
+  if (use_cache) {
+    for (size_t k : miss) {
+      const Answer& a = result.answers[k];
+      cache_.Insert(keys[k], CachedAnswer{a.observed, a.matched_size,
+                                          a.estimate});
+    }
   }
   return result;
+}
+
+Result<BatchResult> QueryEngine::AnswerBatchScheduled(
+    const std::string& release, SnapshotPtr snap,
+    const std::vector<CountQuery>& batch) {
+  if (batcher_ == nullptr || batch.empty()) {
+    return AnswerBatch(release, std::move(snap), batch);
+  }
+  return batcher_->Submit(release, std::move(snap), batch);
+}
+
+std::optional<client::SchedulerStats> QueryEngine::scheduler_stats() const {
+  if (batcher_ == nullptr) return std::nullopt;
+  return batcher_->Stats();
 }
 
 Result<Answer> QueryEngine::AnswerOne(const std::string& release,

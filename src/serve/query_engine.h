@@ -32,9 +32,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "client/api.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/count_query.h"
@@ -42,6 +44,8 @@
 #include "serve/release_store.h"
 
 namespace recpriv::serve {
+
+class MicroBatcher;
 
 /// How a batch's uncached queries are evaluated.
 enum class EvalStrategy {
@@ -54,6 +58,13 @@ struct QueryEngineOptions {
   size_t num_threads = 0;       ///< 0 = hardware concurrency
   size_t cache_capacity = 1 << 16;  ///< LRU entries; 0 disables caching
   EvalStrategy strategy = EvalStrategy::kAuto;
+  /// Micro-batching scheduler (serve/micro_batcher.h): same-snapshot
+  /// submissions arriving within this window are fused into one batch
+  /// evaluation. 0 disables the scheduler (AnswerBatchScheduled degrades
+  /// to AnswerBatch).
+  int micro_batch_window_us = 0;
+  /// A fused batch this large is evaluated without waiting out the window.
+  size_t micro_batch_max_queries = 1024;
 };
 
 /// One query's answer.
@@ -78,6 +89,7 @@ class QueryEngine {
  public:
   explicit QueryEngine(std::shared_ptr<ReleaseStore> store,
                        QueryEngineOptions options = {});
+  ~QueryEngine();
 
   /// Answers `batch` against the current snapshot of `release`. The whole
   /// batch is served from one snapshot (one epoch), even if the release is
@@ -101,17 +113,47 @@ class QueryEngine {
   Result<Answer> AnswerOne(const std::string& release,
                            const recpriv::query::CountQuery& q);
 
+  /// As AnswerBatch(release, snap, batch), but routed through the
+  /// micro-batching scheduler when one is configured
+  /// (micro_batch_window_us > 0): concurrent same-snapshot submissions are
+  /// fused into one evaluation and the answers split back, bit-identical
+  /// to the unbatched path. The serving front ends call this.
+  Result<BatchResult> AnswerBatchScheduled(
+      const std::string& release, SnapshotPtr snap,
+      const std::vector<recpriv::query::CountQuery>& batch);
+
+  /// Scheduler counters, or nullopt when micro-batching is disabled.
+  std::optional<client::SchedulerStats> scheduler_stats() const;
+
   const QueryEngineOptions& options() const { return options_; }
   ReleaseStore& store() { return *store_; }
   AnswerCache& cache() { return cache_; }
   ThreadPool& pool() { return pool_; }
 
  private:
+  friend class MicroBatcher;  ///< fused batches enter pre-validated
+
+  /// AnswerBatch minus the validation pass — for the micro-batcher, whose
+  /// riders were each validated before coalescing (one bad rider fails
+  /// alone; re-validating the merged batch would be pure repeat work).
+  Result<BatchResult> AnswerValidatedBatch(
+      const std::string& release, SnapshotPtr snap,
+      const std::vector<recpriv::query::CountQuery>& batch);
+
   std::shared_ptr<ReleaseStore> store_;
   QueryEngineOptions options_;
   AnswerCache cache_;
   ThreadPool pool_;
+  std::unique_ptr<MicroBatcher> batcher_;  ///< set iff window_us > 0
 };
+
+/// The schema/arity validation AnswerBatch applies to every batch, exposed
+/// so the micro-batcher can validate each submission BEFORE coalescing it
+/// (a submission's bad query must fail that submission, never the fused
+/// batch it would have joined).
+Status ValidateBatchForSnapshot(
+    const recpriv::analysis::ReleaseSnapshot& snap,
+    const std::vector<recpriv::query::CountQuery>& batch);
 
 /// Reference single-query evaluation against a snapshot (no cache, no
 /// pool): the behavior AnswerBatch must reproduce, exposed for tests and

@@ -74,8 +74,11 @@ Result<client::BatchAnswer> ExecuteQuery(QueryEngine& engine,
 
   // Evaluate against the same snapshot the codes were resolved with: a
   // republish between our Get and evaluation must not remap the codes.
-  RECPRIV_ASSIGN_OR_RETURN(BatchResult result,
-                           engine.AnswerBatch(request.release, snap, batch));
+  // Routed through the micro-batching scheduler when one is configured, so
+  // concurrent same-snapshot requests fuse into one evaluation.
+  RECPRIV_ASSIGN_OR_RETURN(
+      BatchResult result,
+      engine.AnswerBatchScheduled(request.release, snap, batch));
   client::BatchAnswer out;
   out.release = request.release;
   out.epoch = result.epoch;
@@ -119,6 +122,7 @@ Result<client::ServerStats> CollectStats(QueryEngine& engine) {
   for (const ReleaseInfo& info : engine.store().List()) {
     stats.releases.push_back(ToDescriptor(info));
   }
+  stats.scheduler = engine.scheduler_stats();
   return stats;
 }
 

@@ -15,33 +15,8 @@ using recpriv::client::ErrorCode;
 
 namespace {
 
-// --- field access with protocol-grade error messages -----------------------
-
-Result<const JsonValue*> RequireField(const JsonValue& obj,
-                                      const std::string& key) {
-  if (!obj.is_object() || !obj.Has(key)) {
-    return Status::InvalidArgument("missing required field '" + key + "'");
-  }
-  return obj.Get(key);
-}
-
-Result<std::string> RequireString(const JsonValue& obj,
-                                  const std::string& key) {
-  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
-  if (!node->is_string()) {
-    return Status::InvalidArgument("'" + key + "' must be a string");
-  }
-  return node->AsString();
-}
-
-Result<int64_t> RequireInt(const JsonValue& obj, const std::string& key) {
-  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
-  auto value = node->AsInt();
-  if (!value.ok()) {
-    return Status::InvalidArgument("'" + key + "' must be an integer");
-  }
-  return *value;
-}
+// Field access (RequireField/RequireString/RequireInt) comes from
+// common/json.h — the same protocol-grade messages every codec shares.
 
 Result<std::optional<uint64_t>> OptionalEpoch(const JsonValue& obj) {
   if (!obj.Has("epoch")) return std::optional<uint64_t>{};
@@ -149,6 +124,9 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
   out.Set("threads", JsonValue::Int(int64_t(stats.threads)));
   out.Set("cache", std::move(cache));
   out.Set("releases", std::move(releases));
+  if (stats.scheduler.has_value()) {
+    out.Set("scheduler", wire::EncodeSchedulerStats(*stats.scheduler));
+  }
   if (stats.transport.has_value()) {
     const client::TransportStats& t = *stats.transport;
     JsonValue ops = JsonValue::Object();
@@ -457,6 +435,21 @@ Result<std::vector<client::ReleaseDescriptor>> DecodeDescriptorArray(
 
 }  // namespace
 
+JsonValue EncodeSchedulerStats(const client::SchedulerStats& stats) {
+  JsonValue out = JsonValue::Object();
+  out.Set("window_us", JsonValue::Int(int64_t(stats.window_us)));
+  out.Set("submissions", JsonValue::Int(int64_t(stats.submissions)));
+  out.Set("coalesced_submissions",
+          JsonValue::Int(int64_t(stats.coalesced_submissions)));
+  out.Set("batches", JsonValue::Int(int64_t(stats.batches)));
+  out.Set("batched_queries", JsonValue::Int(int64_t(stats.batched_queries)));
+  out.Set("max_batch_queries",
+          JsonValue::Int(int64_t(stats.max_batch_queries)));
+  out.Set("max_batch_submissions",
+          JsonValue::Int(int64_t(stats.max_batch_submissions)));
+  return out;
+}
+
 JsonValue EncodeListRequest(uint64_t id) { return Envelope("list", id); }
 
 JsonValue EncodeQueryRequest(const client::QueryRequest& request,
@@ -638,6 +631,34 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
                                    uint64_t(hits), uint64_t(misses)};
   RECPRIV_ASSIGN_OR_RETURN(stats.releases,
                            DecodeDescriptorArray(response, "releases"));
+  if (response.Has("scheduler")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
+                             RequireField(response, "scheduler"));
+    if (!node->is_object()) {
+      return Status::InvalidArgument("'scheduler' must be an object");
+    }
+    client::SchedulerStats s;
+    RECPRIV_ASSIGN_OR_RETURN(int64_t window, RequireInt(*node, "window_us"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t submissions,
+                             RequireInt(*node, "submissions"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t coalesced,
+                             RequireInt(*node, "coalesced_submissions"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t batches, RequireInt(*node, "batches"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t batched,
+                             RequireInt(*node, "batched_queries"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t max_queries,
+                             RequireInt(*node, "max_batch_queries"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t max_subs,
+                             RequireInt(*node, "max_batch_submissions"));
+    s.window_us = uint64_t(window);
+    s.submissions = uint64_t(submissions);
+    s.coalesced_submissions = uint64_t(coalesced);
+    s.batches = uint64_t(batches);
+    s.batched_queries = uint64_t(batched);
+    s.max_batch_queries = uint64_t(max_queries);
+    s.max_batch_submissions = uint64_t(max_subs);
+    stats.scheduler = s;
+  }
   if (response.Has("transport")) {
     RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
                              RequireField(response, "transport"));

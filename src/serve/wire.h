@@ -133,6 +133,11 @@ size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine);
 // caller would.
 namespace wire {
 
+/// The "scheduler" section of the stats payload. Exposed because tools
+/// that report the same struct outside the protocol (recpriv_workload's
+/// report JSON) must stay field-for-field identical to the wire shape.
+JsonValue EncodeSchedulerStats(const client::SchedulerStats& stats);
+
 JsonValue EncodeListRequest(uint64_t id);
 JsonValue EncodeQueryRequest(const client::QueryRequest& request, uint64_t id);
 JsonValue EncodeSchemaRequest(const std::string& release,

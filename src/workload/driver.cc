@@ -1,0 +1,259 @@
+#include "workload/driver.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "client/in_process_client.h"
+#include "client/tcp_transport.h"
+#include "common/timer.h"
+#include "serve/server.h"
+#include "workload/oracle.h"
+
+namespace recpriv::workload {
+
+using recpriv::client::BatchAnswer;
+using recpriv::client::QueryRequest;
+
+namespace {
+
+/// The initial perturbation seed of a release (epoch 1): derived from the
+/// data seed so a scenario file pins it without an extra field.
+uint64_t InitialPerturbSeed(const SyntheticReleaseSpec& spec) {
+  uint64_t state = spec.data_seed;
+  return SplitMix64Next(state);
+}
+
+/// Per-thread tallies, merged after join (no contention while running).
+struct ThreadTally {
+  uint64_t requests = 0;
+  uint64_t queries = 0;
+  uint64_t verified = 0;
+  uint64_t mismatches = 0;
+  uint64_t unknown_epochs = 0;
+  uint64_t hard_failures = 0;
+  std::map<std::string, uint64_t> errors;
+  std::vector<std::string> mismatch_details;
+};
+
+void CountError(ThreadTally& tally, const Status& status) {
+  const auto code = recpriv::client::ErrorCodeFromStatus(status);
+  ++tally.errors[std::string(recpriv::client::ErrorCodeName(code))];
+}
+
+}  // namespace
+
+Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
+                                 const DriverOptions& options) {
+  const ScenarioSpec& spec = workload.spec;
+  if (workload.client_ops.size() != spec.clients) {
+    return Status::InvalidArgument(
+        "workload stream count does not match the scenario's clients");
+  }
+  std::map<std::string, const SyntheticReleaseSpec*> release_specs;
+  for (const SyntheticReleaseSpec& r : spec.releases) {
+    if (!release_specs.emplace(r.name, &r).second) {
+      return Status::InvalidArgument("duplicate release name '" + r.name +
+                                     "'");
+    }
+  }
+
+  auto store = std::make_shared<serve::ReleaseStore>(options.retained_epochs);
+  auto engine = std::make_shared<serve::QueryEngine>(store, options.engine);
+  Oracle oracle;
+
+  DriverReport report;
+  for (const SyntheticReleaseSpec& r : spec.releases) {
+    RECPRIV_ASSIGN_OR_RETURN(recpriv::analysis::ReleaseBundle bundle,
+                             MakeBundle(r, InitialPerturbSeed(r)));
+    RECPRIV_ASSIGN_OR_RETURN(serve::SnapshotPtr snap,
+                             store->Publish(r.name, std::move(bundle)));
+    oracle.Register(r.name, std::move(snap));
+    ++report.publishes;
+  }
+
+  std::unique_ptr<serve::Server> server;
+  if (options.over_tcp) {
+    RECPRIV_ASSIGN_OR_RETURN(server, serve::Server::Start(engine, {}));
+  }
+  auto make_client =
+      [&]() -> Result<std::unique_ptr<recpriv::client::Client>> {
+    if (options.over_tcp) {
+      RECPRIV_ASSIGN_OR_RETURN(
+          auto tcp, recpriv::client::ConnectTcp("127.0.0.1", server->port()));
+      return std::unique_ptr<recpriv::client::Client>(std::move(tcp));
+    }
+    return std::unique_ptr<recpriv::client::Client>(
+        std::make_unique<recpriv::client::InProcessClient>(engine));
+  };
+
+  std::vector<ThreadTally> tallies(spec.clients);
+  ThreadTally writer_tally;
+  uint64_t writer_publishes = 0;
+  uint64_t writer_drops = 0;
+
+  WallTimer timer;
+  std::vector<std::thread> readers;
+  readers.reserve(spec.clients);
+  for (size_t c = 0; c < spec.clients; ++c) {
+    readers.emplace_back([&, c] {
+      ThreadTally& tally = tallies[c];
+      auto client = make_client();
+      if (!client.ok()) {
+        ++tally.hard_failures;
+        return;
+      }
+      // A pinned reader pins the epoch it FIRST observes per release and
+      // sticks to it; under churn that pin may age out (STALE_EPOCH) —
+      // exactly the client behavior the retention window exists for.
+      std::map<std::string, uint64_t> pins;
+      size_t in_burst = 0;
+      for (const WorkloadOp& op : workload.client_ops[c]) {
+        QueryRequest request;
+        request.release = op.release;
+        request.queries = op.queries;
+        if (op.pin) {
+          auto it = pins.find(op.release);
+          if (it == pins.end()) {
+            auto snap = store->Get(op.release);
+            if (snap.ok()) {
+              it = pins.emplace(op.release, (*snap)->epoch).first;
+            }
+          }
+          if (it != pins.end()) request.epoch = it->second;
+        }
+        ++tally.requests;
+        tally.queries += request.queries.size();
+        auto answer = (*client)->Query(request);
+        if (!answer.ok()) {
+          CountError(tally, answer.status());
+        } else if (options.verify) {
+          std::string detail;
+          auto verdict = oracle.Verify(op.release, op.queries, *answer,
+                                       &detail);
+          if (verdict == Oracle::Verdict::kUnknownEpoch) {
+            // A reader can be answered from a fresh epoch in the instants
+            // between the store's snapshot swap and the writer's
+            // oracle.Register. The store retains the answered epoch's
+            // immutable snapshot, so the reader registers it itself —
+            // (name, epoch) identifies one snapshot, whoever files it.
+            auto snap = store->Get(op.release, answer->epoch);
+            if (snap.ok()) {
+              oracle.Register(op.release, *std::move(snap));
+              verdict =
+                  oracle.Verify(op.release, op.queries, *answer, &detail);
+            }
+          }
+          // Residual corner: the epoch already aged out of retention AND
+          // the writer's Register has not landed yet — give it a bounded
+          // moment before calling the epoch truly unknown.
+          for (int retry = 0;
+               verdict == Oracle::Verdict::kUnknownEpoch && retry < 200;
+               ++retry) {
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            verdict = oracle.Verify(op.release, op.queries, *answer, &detail);
+          }
+          switch (verdict) {
+            case Oracle::Verdict::kVerified:
+              ++tally.verified;
+              break;
+            case Oracle::Verdict::kMismatch:
+              ++tally.mismatches;
+              if (tally.mismatch_details.size() < 3) {
+                tally.mismatch_details.push_back(std::move(detail));
+              }
+              break;
+            case Oracle::Verdict::kUnknownEpoch:
+              ++tally.unknown_epochs;
+              break;
+          }
+        }
+        if (spec.pacing_us > 0 && ++in_burst >= spec.burst_size) {
+          in_burst = 0;
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(spec.pacing_us));
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (const WorkloadOp& op : workload.writer_ops) {
+      auto it = release_specs.find(op.release);
+      if (it == release_specs.end()) {
+        ++writer_tally.hard_failures;
+        continue;
+      }
+      if (op.kind == OpKind::kPublish) {
+        auto bundle = MakeBundle(*it->second, op.publish_seed);
+        if (!bundle.ok()) {
+          ++writer_tally.hard_failures;
+          continue;
+        }
+        auto snap = store->Publish(op.release, *std::move(bundle));
+        if (!snap.ok()) {
+          ++writer_tally.hard_failures;
+          continue;
+        }
+        oracle.Register(op.release, *std::move(snap));
+        ++writer_publishes;
+      } else if (op.kind == OpKind::kDrop) {
+        // Dropping an already-dropped release is a legal no-op race.
+        auto dropped = store->Drop(op.release);
+        if (dropped.ok()) ++writer_drops;
+      } else {
+        ++writer_tally.hard_failures;  // query ops never belong to the writer
+      }
+      if (spec.churn.pacing_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(spec.churn.pacing_us));
+      }
+    }
+  });
+
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  report.elapsed_seconds = timer.Seconds();
+  if (server != nullptr) server->Stop();
+
+  report.publishes += writer_publishes;
+  report.drops = writer_drops;
+  tallies.push_back(std::move(writer_tally));
+  for (const ThreadTally& tally : tallies) {
+    report.requests += tally.requests;
+    report.queries += tally.queries;
+    report.verified += tally.verified;
+    report.mismatches += tally.mismatches;
+    report.unknown_epochs += tally.unknown_epochs;
+    report.hard_failures += tally.hard_failures;
+    for (const auto& [code, count] : tally.errors) {
+      report.errors[code] += count;
+    }
+    for (const std::string& detail : tally.mismatch_details) {
+      if (report.mismatch_details.size() < 5) {
+        report.mismatch_details.push_back(detail);
+      }
+    }
+  }
+  if (report.elapsed_seconds > 0) {
+    report.requests_per_second =
+        double(report.requests) / report.elapsed_seconds;
+    report.queries_per_second = double(report.queries) / report.elapsed_seconds;
+  }
+  report.scheduler = engine->scheduler_stats();
+  return report;
+}
+
+Result<DriverReport> RunScenario(const ScenarioSpec& spec,
+                                 const DriverOptions& options,
+                                 const std::string& record_path) {
+  RECPRIV_ASSIGN_OR_RETURN(GeneratedWorkload workload,
+                           GenerateWorkload(spec));
+  if (!record_path.empty()) {
+    RECPRIV_RETURN_NOT_OK(WriteWorkload(workload, record_path));
+  }
+  return RunWorkload(workload, options);
+}
+
+}  // namespace recpriv::workload

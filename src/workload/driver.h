@@ -1,0 +1,83 @@
+// Workload driver: executes a generated workload against a live serving
+// stack and verifies every successful answer against the Oracle.
+//
+// The driver hosts the stack itself — ReleaseStore + QueryEngine (with
+// whatever QueryEngineOptions the caller wants to exercise, including the
+// micro-batching scheduler), and optionally a real TCP Server — then runs
+// one thread per reader stream plus a writer thread for the churn stream.
+// Reader threads talk through the public client::Client interface
+// (InProcessClient, or LineProtocolClient over loopback TCP when
+// options.over_tcp), so a scenario exercises exactly the code path a real
+// consumer uses. Writer ops go through the store directly: publishing
+// hands back the exact snapshot now served, which the writer registers
+// with the oracle right after the swap; a reader that observes a fresh
+// epoch before that registration lands self-registers the snapshot from
+// the store's retention window — (name, epoch) identifies one immutable
+// snapshot, whoever files it — so every answered epoch is verifiable.
+//
+// Error taxonomy under churn is part of the contract: a dropped release
+// answers NOT_FOUND, an aged-out pin STALE_EPOCH; both are counted per
+// code in the report, while transport failures and oracle mismatches are
+// hard failures a test asserts to be zero.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/api.h"
+#include "common/result.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+#include "workload/generator.h"
+
+namespace recpriv::workload {
+
+struct DriverOptions {
+  /// Engine under test (threads, cache, micro_batch_window_us, ...).
+  serve::QueryEngineOptions engine;
+  size_t retained_epochs = serve::ReleaseStore::kDefaultRetainedEpochs;
+  /// Verify every successful answer against the oracle (bit-exact).
+  bool verify = true;
+  /// Drive readers through a real TCP server over loopback instead of
+  /// in-process clients.
+  bool over_tcp = false;
+};
+
+/// What one run did and found.
+struct DriverReport {
+  uint64_t requests = 0;   ///< query requests issued
+  uint64_t queries = 0;    ///< count queries across those requests
+  uint64_t publishes = 0;  ///< writer republishes (incl. the initial ones)
+  uint64_t drops = 0;
+  uint64_t verified = 0;       ///< answers that matched the oracle
+  uint64_t mismatches = 0;     ///< answers that diverged — MUST stay 0
+  uint64_t unknown_epochs = 0; ///< answered epoch never registered — MUST stay 0
+  uint64_t hard_failures = 0;  ///< transport/setup failures — MUST stay 0
+  /// Error responses by stable wire code name (e.g. "NOT_FOUND",
+  /// "STALE_EPOCH") — expected under churn, asserted by scenario tests.
+  std::map<std::string, uint64_t> errors;
+  std::vector<std::string> mismatch_details;  ///< first few, for diagnosis
+  double elapsed_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double queries_per_second = 0.0;
+  /// Scheduler counters when the engine ran with micro-batching.
+  std::optional<recpriv::client::SchedulerStats> scheduler;
+};
+
+/// Executes `workload` (see file comment). Errors only on setup failure —
+/// runtime trouble lands in the report.
+Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
+                                 const DriverOptions& options);
+
+/// GenerateWorkload + optional record + RunWorkload. When `record_path` is
+/// non-empty the generated workload is written there first (the artifact
+/// ReadWorkload + RunWorkload replays identically).
+Result<DriverReport> RunScenario(const ScenarioSpec& spec,
+                                 const DriverOptions& options,
+                                 const std::string& record_path = "");
+
+}  // namespace recpriv::workload

@@ -1,0 +1,262 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "common/random.h"
+
+namespace recpriv::workload {
+
+using recpriv::client::QuerySpec;
+
+namespace {
+
+/// Per-release sampling machinery shared by every client stream.
+struct ReleaseSamplers {
+  const SyntheticReleaseSpec* spec = nullptr;
+  std::vector<AliasSampler> value_samplers;  ///< one per public attribute
+  AliasSampler sa_sampler{std::vector<double>{1.0}};
+  AliasSampler dim_sampler{std::vector<double>{1.0}};
+};
+
+size_t SampleValue(const AliasSampler& sampler, Rng& rng) {
+  return sampler.Sample(rng);
+}
+
+QuerySpec MakeQuerySpec(const ReleaseSamplers& samplers, Rng& rng) {
+  const SyntheticReleaseSpec& release = *samplers.spec;
+  const size_t num_public = release.public_domains.size();
+  size_t d = samplers.dim_sampler.Sample(rng);
+  d = std::min(d, num_public);
+
+  QuerySpec spec;
+  if (d > 0) {
+    std::vector<uint64_t> attrs = SampleWithoutReplacement(rng, num_public, d);
+    std::sort(attrs.begin(), attrs.end());  // canonical order for replay diffs
+    for (uint64_t k : attrs) {
+      const size_t v = SampleValue(samplers.value_samplers[k], rng);
+      spec.where.emplace_back(AttributeName(k), AttributeValue(k, v));
+    }
+  }
+  spec.sa = SensitiveValue(SampleValue(samplers.sa_sampler, rng));
+  return spec;
+}
+
+}  // namespace
+
+Result<GeneratedWorkload> GenerateWorkload(const ScenarioSpec& spec) {
+  if (spec.releases.empty()) {
+    return Status::InvalidArgument("scenario has no releases");
+  }
+  if (spec.queries_per_request == 0) {
+    return Status::InvalidArgument("queries_per_request must be >= 1");
+  }
+
+  // One sampler set per release; skew policy comes from the mix.
+  std::vector<ReleaseSamplers> samplers(spec.releases.size());
+  for (size_t i = 0; i < spec.releases.size(); ++i) {
+    const SyntheticReleaseSpec& release = spec.releases[i];
+    samplers[i].spec = &release;
+    const double skew =
+        spec.mix.value_skew == ValueSkew::kZipf ? spec.mix.zipf_s : 0.0;
+    for (size_t domain : release.public_domains) {
+      samplers[i].value_samplers.emplace_back(ZipfWeights(domain, skew));
+    }
+    samplers[i].sa_sampler = AliasSampler(ZipfWeights(release.sa_domain, skew));
+    samplers[i].dim_sampler =
+        AliasSampler(spec.mix.dimensionality_weights);
+  }
+  const AliasSampler release_sampler(
+      ZipfWeights(spec.releases.size(), spec.hot_release_zipf));
+
+  GeneratedWorkload out;
+  out.spec = spec;
+  out.client_ops.resize(spec.clients);
+
+  // Fork order defines the determinism contract: clients first (stream c
+  // gets the c-th fork), writer last.
+  Rng master(spec.seed);
+  const size_t pinned_clients =
+      size_t(spec.pinned_fraction * double(spec.clients) + 0.5);
+  for (size_t c = 0; c < spec.clients; ++c) {
+    Rng rng = master.Fork();
+    const bool pin = c < pinned_clients;
+    auto& ops = out.client_ops[c];
+    ops.reserve(spec.ops_per_client);
+    for (size_t i = 0; i < spec.ops_per_client; ++i) {
+      WorkloadOp op;
+      op.kind = OpKind::kQuery;
+      const size_t r = release_sampler.Sample(rng);
+      op.release = spec.releases[r].name;
+      op.pin = pin;
+      op.queries.reserve(spec.queries_per_request);
+      for (size_t q = 0; q < spec.queries_per_request; ++q) {
+        op.queries.push_back(MakeQuerySpec(samplers[r], rng));
+      }
+      ops.push_back(std::move(op));
+    }
+  }
+
+  Rng writer_rng = master.Fork();
+  out.writer_ops.reserve(spec.churn.writer_ops);
+  for (size_t i = 0; i < spec.churn.writer_ops; ++i) {
+    WorkloadOp op;
+    op.release = spec.releases[i % spec.releases.size()].name;
+    if (spec.churn.drop_every > 0 && (i + 1) % spec.churn.drop_every == 0) {
+      op.kind = OpKind::kDrop;
+    } else {
+      op.kind = OpKind::kPublish;
+      // Masked to 53 bits: record files carry seeds as JSON numbers
+      // (IEEE double mantissa), and a seed that rounds in serialization
+      // would make a replay republish different data than the live run.
+      op.publish_seed = writer_rng() & ((uint64_t{1} << 53) - 1);
+    }
+    out.writer_ops.push_back(std::move(op));
+  }
+  return out;
+}
+
+// --- record / replay --------------------------------------------------------
+
+namespace {
+
+JsonValue OpToJson(const WorkloadOp& op) {
+  JsonValue out = JsonValue::Object();
+  switch (op.kind) {
+    case OpKind::kQuery: {
+      out.Set("op", JsonValue::String("query"));
+      out.Set("release", JsonValue::String(op.release));
+      if (op.pin) out.Set("pin", JsonValue::Bool(true));
+      JsonValue queries = JsonValue::Array();
+      for (const QuerySpec& q : op.queries) {
+        JsonValue spec = JsonValue::Object();
+        JsonValue where = JsonValue::Object();
+        for (const auto& [attr, value] : q.where) {
+          where.Set(attr, JsonValue::String(value));
+        }
+        spec.Set("where", std::move(where));
+        spec.Set("sa", JsonValue::String(q.sa));
+        queries.Append(std::move(spec));
+      }
+      out.Set("queries", std::move(queries));
+      break;
+    }
+    case OpKind::kPublish:
+      out.Set("op", JsonValue::String("publish"));
+      out.Set("release", JsonValue::String(op.release));
+      out.Set("seed", JsonValue::Int(int64_t(op.publish_seed)));
+      break;
+    case OpKind::kDrop:
+      out.Set("op", JsonValue::String("drop"));
+      out.Set("release", JsonValue::String(op.release));
+      break;
+  }
+  return out;
+}
+
+Result<WorkloadOp> OpFromJson(const JsonValue& json) {
+  WorkloadOp op;
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* kind, json.Get("op"));
+  RECPRIV_ASSIGN_OR_RETURN(std::string kind_str, kind->AsString());
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* release, json.Get("release"));
+  RECPRIV_ASSIGN_OR_RETURN(op.release, release->AsString());
+  if (kind_str == "publish") {
+    op.kind = OpKind::kPublish;
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* seed, json.Get("seed"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t seed_val, seed->AsInt());
+    op.publish_seed = uint64_t(seed_val);
+    return op;
+  }
+  if (kind_str == "drop") {
+    op.kind = OpKind::kDrop;
+    return op;
+  }
+  if (kind_str != "query") {
+    return Status::InvalidArgument("unknown workload op '" + kind_str + "'");
+  }
+  op.kind = OpKind::kQuery;
+  if (json.Has("pin")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* pin, json.Get("pin"));
+    RECPRIV_ASSIGN_OR_RETURN(op.pin, pin->AsBool());
+  }
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* queries, json.Get("queries"));
+  if (!queries->is_array()) {
+    return Status::InvalidArgument("'queries' must be an array");
+  }
+  for (size_t i = 0; i < queries->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* q, queries->At(i));
+    QuerySpec spec;
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* where, q->Get("where"));
+    if (!where->is_object()) {
+      return Status::InvalidArgument("'where' must be an object");
+    }
+    for (const std::string& attr : where->Keys()) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* value, where->Get(attr));
+      RECPRIV_ASSIGN_OR_RETURN(std::string value_str, value->AsString());
+      spec.where.emplace_back(attr, std::move(value_str));
+    }
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* sa, q->Get("sa"));
+    RECPRIV_ASSIGN_OR_RETURN(spec.sa, sa->AsString());
+    op.queries.push_back(std::move(spec));
+  }
+  return op;
+}
+
+}  // namespace
+
+Status WriteWorkload(const GeneratedWorkload& workload,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot write workload file " + path);
+  }
+  out << ScenarioToJson(workload.spec).ToString() << "\n";
+  for (size_t c = 0; c < workload.client_ops.size(); ++c) {
+    for (const WorkloadOp& op : workload.client_ops[c]) {
+      JsonValue line = OpToJson(op);
+      line.Set("client", JsonValue::Int(int64_t(c)));
+      out << line.ToString() << "\n";
+    }
+  }
+  for (const WorkloadOp& op : workload.writer_ops) {
+    JsonValue line = OpToJson(op);
+    line.Set("writer", JsonValue::Bool(true));
+    out << line.ToString() << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::IOError("write failed for " + path);
+}
+
+Result<GeneratedWorkload> ReadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot read workload file " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("workload file is empty: " + path);
+  }
+  RECPRIV_ASSIGN_OR_RETURN(JsonValue scenario_json, JsonValue::Parse(line));
+  GeneratedWorkload out;
+  RECPRIV_ASSIGN_OR_RETURN(out.spec, ScenarioFromJson(scenario_json));
+  out.client_ops.resize(out.spec.clients);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    RECPRIV_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(line));
+    RECPRIV_ASSIGN_OR_RETURN(WorkloadOp op, OpFromJson(json));
+    if (json.Has("writer")) {
+      out.writer_ops.push_back(std::move(op));
+      continue;
+    }
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* client, json.Get("client"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t c, client->AsInt());
+    if (c < 0 || size_t(c) >= out.client_ops.size()) {
+      return Status::InvalidArgument("op client id out of range");
+    }
+    out.client_ops[size_t(c)].push_back(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace recpriv::workload

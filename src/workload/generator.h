@@ -1,0 +1,60 @@
+// Workload generation: expands a ScenarioSpec into deterministic, typed op
+// streams — one per simulated client plus an optional writer (churn)
+// stream. Each stream gets its own forked Rng (common/random.h) in a fixed
+// order, so the generated ops are a pure function of the spec: the same
+// scenario file produces byte-identical streams on every machine, however
+// the driver later interleaves their execution.
+//
+// Streams serialize to line-delimited JSON (one op per line, preceded by
+// the scenario object), the record/replay artifact of workload/driver.h: a
+// recorded run replays exactly, and a checked-in workload file is a
+// regression scenario any future PR can re-run.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/api.h"
+#include "common/result.h"
+#include "workload/scenario.h"
+
+namespace recpriv::workload {
+
+enum class OpKind {
+  kQuery,    ///< count-query request (reader streams)
+  kPublish,  ///< (re)publish a release under a fresh perturbation seed
+  kDrop      ///< retire a release (it 404s until its next republish)
+};
+
+/// One generated operation of one stream.
+struct WorkloadOp {
+  OpKind kind = OpKind::kQuery;
+  std::string release;
+  /// kQuery: answer from the epoch this client first observed (pinned
+  /// readers); unpinned queries ride the current epoch.
+  bool pin = false;
+  std::vector<recpriv::client::QuerySpec> queries;  ///< kQuery only
+  uint64_t publish_seed = 0;                        ///< kPublish only
+};
+
+/// The expanded scenario: per-client reader streams plus the writer stream.
+struct GeneratedWorkload {
+  ScenarioSpec spec;
+  std::vector<std::vector<WorkloadOp>> client_ops;  ///< spec.clients streams
+  std::vector<WorkloadOp> writer_ops;               ///< churn stream
+};
+
+/// Deterministic expansion of `spec` (see file comment).
+Result<GeneratedWorkload> GenerateWorkload(const ScenarioSpec& spec);
+
+/// Serializes a workload as JSONL: line 1 the scenario object, then one op
+/// object per line ({"client":N,...} or {"writer":true,...}).
+Status WriteWorkload(const GeneratedWorkload& workload,
+                     const std::string& path);
+
+/// Inverse of WriteWorkload.
+Result<GeneratedWorkload> ReadWorkload(const std::string& path);
+
+}  // namespace recpriv::workload

@@ -1,0 +1,82 @@
+#include "workload/oracle.h"
+
+#include <utility>
+
+#include "query/count_query.h"
+#include "serve/query_engine.h"
+#include "table/predicate.h"
+
+namespace recpriv::workload {
+
+using recpriv::client::BatchAnswer;
+using recpriv::client::QuerySpec;
+using recpriv::query::CountQuery;
+using recpriv::table::Predicate;
+using recpriv::table::Schema;
+
+void Oracle::Register(const std::string& release, serve::SnapshotPtr snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_[{release, snap->epoch}] = std::move(snap);
+}
+
+size_t Oracle::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.size();
+}
+
+Oracle::Verdict Oracle::Verify(const std::string& release,
+                               const std::vector<QuerySpec>& specs,
+                               const BatchAnswer& answer,
+                               std::string* detail) const {
+  serve::SnapshotPtr snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = snapshots_.find({release, answer.epoch});
+    if (it == snapshots_.end()) return Verdict::kUnknownEpoch;
+    snap = it->second;
+  }
+  if (answer.answers.size() != specs.size()) {
+    if (detail != nullptr) {
+      *detail = "answer row count " + std::to_string(answer.answers.size()) +
+                " != request query count " + std::to_string(specs.size());
+    }
+    return Verdict::kMismatch;
+  }
+  const Schema& schema = *snap->bundle.data.schema();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    // Re-bind against the answered snapshot's own schema, exactly as the
+    // service layer did.
+    auto pred = Predicate::FromBindings(schema, specs[i].where);
+    auto sa = schema.sensitive().domain.GetCode(specs[i].sa);
+    if (!pred.ok() || !sa.ok()) {
+      if (detail != nullptr) {
+        *detail = "query " + std::to_string(i) +
+                  " does not bind against the answered snapshot's schema";
+      }
+      return Verdict::kMismatch;
+    }
+    CountQuery q(schema.num_attributes());
+    q.na_predicate = *std::move(pred);
+    q.sa_code = *sa;
+    const serve::Answer expected = serve::EvaluateUncached(*snap, q);
+    const recpriv::client::AnswerRow& got = answer.answers[i];
+    if (got.observed != expected.observed ||
+        got.matched_size != expected.matched_size ||
+        got.estimate != expected.estimate) {
+      if (detail != nullptr) {
+        *detail = "query " + std::to_string(i) + " @" + release + "/" +
+                  std::to_string(answer.epoch) + ": got (" +
+                  std::to_string(got.observed) + ", " +
+                  std::to_string(got.matched_size) + ", " +
+                  std::to_string(got.estimate) + ") expected (" +
+                  std::to_string(expected.observed) + ", " +
+                  std::to_string(expected.matched_size) + ", " +
+                  std::to_string(expected.estimate) + ")";
+      }
+      return Verdict::kMismatch;
+    }
+  }
+  return Verdict::kVerified;
+}
+
+}  // namespace recpriv::workload

@@ -1,0 +1,59 @@
+// Answer oracle: re-derives what every workload response MUST have been.
+//
+// The driver registers each published snapshot (the store hands back the
+// exact immutable ReleaseSnapshot it now serves), so for any response the
+// oracle can look up the snapshot of the answered (release, epoch), bind
+// the request's string-level QuerySpecs against that snapshot's schema,
+// and recompute each answer with the engine's reference evaluator
+// (serve::EvaluateUncached). The comparison is BIT-exact on (observed,
+// matched_size, estimate) — serving, transport, caching, and the
+// micro-batching scheduler must all be answer-preserving, and any
+// divergence under concurrency or churn is a mismatch, not noise.
+//
+// Epochs are never reused per name (serve/release_store.h), so a
+// registered (release, epoch) key can never be ambiguous.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/api.h"
+#include "serve/release_store.h"
+
+namespace recpriv::workload {
+
+/// Thread-safe registry + verifier of served snapshots.
+class Oracle {
+ public:
+  enum class Verdict {
+    kVerified,     ///< every row matched the recomputation bit-for-bit
+    kMismatch,     ///< at least one row diverged (details in *detail)
+    kUnknownEpoch  ///< the answered epoch was never registered
+  };
+
+  /// Records the snapshot now served for its release/epoch. Called by the
+  /// driver under the same ordering as the publishes themselves.
+  void Register(const std::string& release, serve::SnapshotPtr snap);
+
+  /// Verifies one answered batch against the snapshot it claims to have
+  /// been served from. `specs` are the request's queries, parallel to
+  /// `answer.answers`. On kMismatch, `detail` (when non-null) receives a
+  /// human-readable description of the first diverging row.
+  Verdict Verify(const std::string& release,
+                 const std::vector<recpriv::client::QuerySpec>& specs,
+                 const recpriv::client::BatchAnswer& answer,
+                 std::string* detail = nullptr) const;
+
+  /// Number of registered snapshots (across all releases and epochs).
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, uint64_t>, serve::SnapshotPtr> snapshots_;
+};
+
+}  // namespace recpriv::workload

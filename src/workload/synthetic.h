@@ -1,0 +1,68 @@
+// Deterministic synthetic releases for the workload subsystem.
+//
+// A SyntheticReleaseSpec fully determines a raw (pre-perturbation) table:
+// same spec, same bytes, on any machine — the determinism every scenario
+// artifact in src/workload/ is built on. The publishable bundle is the raw
+// table perturbed record-level with uniform perturbation (paper §3.1) under
+// an explicit perturbation seed, so "republish" regenerates the SAME ground
+// truth under FRESH noise — exactly what a consumer of a re-released table
+// sees, and what lets the statistical acceptance tests compare MLE
+// reconstructions against exact true counts with closed-form tolerances
+// (the raw table never leaves the test harness; only the bundle is served).
+//
+// Attribute and value names are generated ("A0", "a0_3", "S", "s1"), so a
+// workload generator can build string-level QuerySpecs from the spec alone,
+// without materializing any table.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/release.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace recpriv::workload {
+
+/// Shape of one synthetic release. Every field participates in generation
+/// determinism; see ScenarioToJson for the file form.
+struct SyntheticReleaseSpec {
+  std::string name = "r0";
+  uint64_t data_seed = 1;  ///< drives the raw table (NOT the perturbation)
+  size_t records = 4000;
+  /// Domain size of each public attribute A0..Ak; the NA cell space is
+  /// their product (groups materialize only for cells that occur).
+  std::vector<size_t> public_domains = {4, 8};
+  size_t sa_domain = 3;  ///< m
+  double retention_p = 0.5;
+  /// Zipf exponent skewing public-attribute values toward low codes;
+  /// 0 = uniform (hot-cell data under skew, scattered data without).
+  double na_skew = 0.0;
+  /// Zipf exponent of each group's SA distribution (rotated by the row's
+  /// NA codes so groups genuinely differ); 0 = uniform SA.
+  double sa_skew = 1.0;
+};
+
+/// Generated names: public attribute k is "A<k>", its value v "a<k>_<v>";
+/// the sensitive attribute is "S" with values "s<v>".
+std::string AttributeName(size_t k);
+std::string AttributeValue(size_t k, size_t v);
+inline constexpr const char* kSensitiveName = "S";
+std::string SensitiveValue(size_t v);
+
+/// Unnormalized Zipf weights 1/(i+1)^s over [0, n); all-ones when s == 0.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+/// The deterministic raw table of `spec` — the workload ground truth.
+/// Dictionaries carry the FULL declared domains (in code order), so the
+/// schema is identical across republishes regardless of which values occur.
+Result<recpriv::table::Table> MakeRawTable(const SyntheticReleaseSpec& spec);
+
+/// A publishable bundle: MakeRawTable(spec) perturbed record-level with
+/// UniformPerturbation(retention_p, sa_domain) seeded by `perturb_seed`.
+Result<recpriv::analysis::ReleaseBundle> MakeBundle(
+    const SyntheticReleaseSpec& spec, uint64_t perturb_seed);
+
+}  // namespace recpriv::workload

@@ -15,7 +15,6 @@
 #include <thread>
 #include <vector>
 
-#include "analysis/demo.h"
 #include "client/in_process_client.h"
 #include "client/tcp_transport.h"
 #include "net/line_channel.h"
@@ -23,6 +22,7 @@
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 #include "serve/server.h"
+#include "testing_util.h"
 
 namespace recpriv::serve {
 namespace {
@@ -31,13 +31,13 @@ using recpriv::analysis::ReleaseBundle;
 using recpriv::client::BatchAnswer;
 using recpriv::client::QueryRequest;
 using recpriv::client::QuerySpec;
+using recpriv::testing::AnswerFingerprint;
+using recpriv::testing::DemoBundle;
 
 /// The shared demo release at test scale; different seeds give different
 /// SPS noise, so republishing with a new seed genuinely changes the
 /// served counts.
-ReleaseBundle MakeBundle(uint64_t seed) {
-  return *analysis::MakeDemoReleaseBundle(seed, /*base_group_size=*/100);
-}
+ReleaseBundle MakeBundle(uint64_t seed) { return DemoBundle(seed); }
 
 QueryRequest PinnedRequest() {
   QueryRequest request;
@@ -48,18 +48,6 @@ QueryRequest PinnedRequest() {
                                       "hiv"});
   request.queries.push_back(QuerySpec{{}, "bc"});
   return request;
-}
-
-/// The identity of an answer batch, excluding the cache flag (whether a row
-/// came from the LRU is timing-dependent; the counts must not be).
-std::string AnswerFingerprint(const BatchAnswer& batch) {
-  std::string out = batch.release + "@" + std::to_string(batch.epoch);
-  for (const auto& row : batch.answers) {
-    out += "|" + std::to_string(row.observed) + "," +
-           std::to_string(row.matched_size) + "," +
-           std::to_string(row.estimate);
-  }
-  return out;
 }
 
 struct Harness {

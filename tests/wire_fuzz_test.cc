@@ -20,25 +20,19 @@
 #include <string>
 #include <vector>
 
-#include "analysis/demo.h"
 #include "client/api.h"
 #include "common/json.h"
 #include "common/random.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 #include "serve/wire.h"
+#include "testing_util.h"
 
 namespace recpriv::serve {
 namespace {
 
-using recpriv::analysis::ReleaseBundle;
-
-// --- engine fixture --------------------------------------------------------
-
-/// The shared demo release at test scale (~1k records).
-ReleaseBundle MakeBundle(uint64_t seed) {
-  return *analysis::MakeDemoReleaseBundle(seed, /*base_group_size=*/100);
-}
+using recpriv::testing::DemoBundle;
+using recpriv::testing::HarnessSeed;
 
 // --- valid request corpus --------------------------------------------------
 
@@ -234,7 +228,7 @@ class WireFuzzTest : public ::testing::Test {
     QueryEngineOptions options;
     options.num_threads = 2;
     engine_ = std::make_unique<QueryEngine>(store_, options);
-    ASSERT_TRUE(store_->Publish("demo", MakeBundle(2015)).ok());
+    ASSERT_TRUE(store_->Publish("demo", DemoBundle(2015)).ok());
   }
 
   /// Feeds one line and checks the contract. Republishes "demo" when a
@@ -243,7 +237,7 @@ class WireFuzzTest : public ::testing::Test {
   void Feed(const std::string& line) {
     CheckResponseContract(line, HandleRequestLine(line, *engine_));
     if (!store_->Get("demo").ok()) {
-      ASSERT_TRUE(store_->Publish("demo", MakeBundle(2015)).ok());
+      ASSERT_TRUE(store_->Publish("demo", DemoBundle(2015)).ok());
     }
   }
 
@@ -257,7 +251,7 @@ TEST_F(WireFuzzTest, ValidCorpusSatisfiesContract) {
 
 TEST_F(WireFuzzTest, MutatedCorpusNeverBreaksTheContract) {
   constexpr size_t kRounds = 300;
-  Rng rng(0xF022EDB7u);
+  Rng rng(HarnessSeed(0xF022EDB7u));
   const std::vector<std::string> corpus = ValidCorpus();
   for (size_t round = 0; round < kRounds; ++round) {
     for (const std::string& base : corpus) {
@@ -269,7 +263,7 @@ TEST_F(WireFuzzTest, MutatedCorpusNeverBreaksTheContract) {
 
 TEST_F(WireFuzzTest, DoublyMutatedLinesNeverBreakTheContract) {
   constexpr size_t kRounds = 150;
-  Rng rng(0xD06F00Du);
+  Rng rng(HarnessSeed(0xD06F00Du));
   const std::vector<std::string> corpus = ValidCorpus();
   for (size_t round = 0; round < kRounds; ++round) {
     const std::string& base = corpus[rng.NextUint64(corpus.size())];

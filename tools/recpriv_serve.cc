@@ -51,6 +51,10 @@ options:
   --cache N           answer-cache capacity (entries)      [default 65536]
   --retain N          retained epochs per release for pinned queries
                       [default 4]
+  --batch-window-us N micro-batch scheduler: fuse same-snapshot queries
+                      arriving within N microseconds into one evaluation
+                      (stats op reports a "scheduler" section) [default 0:
+                      disabled]
   --host HOST         TCP bind address                [default 127.0.0.1]
   --max-conns N       concurrent TCP sessions; further connections get one
                       UNAVAILABLE error line            [default 64]
@@ -84,7 +88,8 @@ int Run(int argc, char** argv) {
 
   const std::set<std::string> known = {
       "release", "name", "threads",   "cache",           "retain", "demo",
-      "help",    "host", "port",      "max-conns",       "idle-timeout-ms"};
+      "help",    "host", "port",      "max-conns",       "idle-timeout-ms",
+      "batch-window-us"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -101,15 +106,23 @@ int Run(int argc, char** argv) {
   auto cache = flags.GetInt("cache", int64_t(options.cache_capacity));
   auto retain =
       flags.GetInt("retain", int64_t(serve::ReleaseStore::kDefaultRetainedEpochs));
+  auto batch_window = flags.GetInt("batch-window-us", 0);
   if (!threads.ok()) return Fail(threads.status());
   if (!cache.ok()) return Fail(cache.status());
   if (!retain.ok()) return Fail(retain.status());
-  if (*threads < 0 || *cache < 0 || *retain < 1) {
+  if (!batch_window.ok()) return Fail(batch_window.status());
+  // The window caps at 10s: far beyond any sane coalescing window, and
+  // safely inside int range (a silent int narrowing could wrap a huge
+  // value to 0 and turn batching OFF while the operator believes it's on).
+  if (*threads < 0 || *cache < 0 || *retain < 1 || *batch_window < 0 ||
+      *batch_window > 10000000) {
     return Fail(Status::InvalidArgument(
-        "--threads/--cache must be >= 0 and --retain >= 1"));
+        "--threads/--cache must be >= 0, --retain >= 1, and "
+        "--batch-window-us in [0, 10000000]"));
   }
   options.num_threads = size_t(*threads);
   options.cache_capacity = size_t(*cache);
+  options.micro_batch_window_us = int(*batch_window);
 
   auto store = std::make_shared<serve::ReleaseStore>(size_t(*retain));
   auto engine = std::make_shared<serve::QueryEngine>(store, options);

@@ -1,0 +1,239 @@
+// recpriv_workload — the deterministic workload runner: expands a scenario
+// (builtin profile or JSON file) into seeded per-client op streams, drives
+// them against a live serving stack (in-process clients or a real loopback
+// TCP server), verifies every answer against the oracle, and reports
+// throughput, the error-code histogram, and the micro-batching scheduler's
+// counters.
+//
+//   recpriv_workload --profile burst_same_release --batch-window-us 200
+//   recpriv_workload --profile republish_churn --tcp --record run.jsonl
+//   recpriv_workload --replay run.jsonl
+//   recpriv_workload --print-profile steady_uniform > my_scenario.json
+//   recpriv_workload --scenario my_scenario.json
+//
+// Exit status is 0 only when the run had no oracle mismatches, no unknown
+// epochs, and no transport failures — so a workload run is a CI check, not
+// just a load generator.
+
+#include <fstream>
+#include <iostream>
+#include <set>
+
+#include "recpriv.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+constexpr const char* kUsage = R"(usage: recpriv_workload [options]
+
+scenario source (exactly one):
+  --profile NAME        run a builtin profile (see --list-profiles)
+  --scenario FILE       run a scenario JSON file (recpriv_scenario/v1)
+  --replay FILE         re-run a workload recorded with --record
+  --print-profile NAME  write a builtin profile's scenario JSON to stdout
+  --list-profiles       list builtin profile names
+
+options:
+  --seed N              reseed the profile/scenario          [default 2015]
+  --tcp                 drive readers through a loopback TCP server
+  --no-verify           skip oracle verification of answers
+  --record FILE         write the generated op streams (JSONL) before running
+  --threads N           engine worker threads                [default: cores]
+  --cache N             answer-cache capacity                [default 65536]
+  --retain N            retained epochs per release          [default 4]
+  --batch-window-us N   micro-batch scheduler window; 0 = off [default 0]
+  --json FILE           write the run report as JSON
+  --help                print this help and exit
+)";
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 2;
+}
+
+JsonValue ReportToJson(const workload::DriverReport& report) {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", JsonValue::String("recpriv_workload_report/v1"));
+  out.Set("requests", JsonValue::Int(int64_t(report.requests)));
+  out.Set("queries", JsonValue::Int(int64_t(report.queries)));
+  out.Set("publishes", JsonValue::Int(int64_t(report.publishes)));
+  out.Set("drops", JsonValue::Int(int64_t(report.drops)));
+  out.Set("verified", JsonValue::Int(int64_t(report.verified)));
+  out.Set("mismatches", JsonValue::Int(int64_t(report.mismatches)));
+  out.Set("unknown_epochs", JsonValue::Int(int64_t(report.unknown_epochs)));
+  out.Set("hard_failures", JsonValue::Int(int64_t(report.hard_failures)));
+  JsonValue errors = JsonValue::Object();
+  for (const auto& [code, count] : report.errors) {
+    errors.Set(code, JsonValue::Int(int64_t(count)));
+  }
+  out.Set("errors", std::move(errors));
+  out.Set("elapsed_seconds", JsonValue::Number(report.elapsed_seconds));
+  out.Set("requests_per_second",
+          JsonValue::Number(report.requests_per_second));
+  out.Set("queries_per_second", JsonValue::Number(report.queries_per_second));
+  if (report.scheduler.has_value()) {
+    // The wire codec's encoder, so the report section and the protocol's
+    // stats section can never drift apart.
+    out.Set("scheduler", serve::wire::EncodeSchedulerStats(*report.scheduler));
+  }
+  return out;
+}
+
+void PrintReport(const workload::DriverReport& report) {
+  std::cout << "requests: " << FormatWithCommas(int64_t(report.requests))
+            << " (" << FormatWithCommas(int64_t(report.queries))
+            << " queries) in " << FormatDouble(report.elapsed_seconds, 3)
+            << "s = " << FormatWithCommas(int64_t(report.requests_per_second))
+            << " req/s, "
+            << FormatWithCommas(int64_t(report.queries_per_second))
+            << " q/s\n";
+  std::cout << "publishes: " << report.publishes
+            << ", drops: " << report.drops << "\n";
+  std::cout << "verified: " << FormatWithCommas(int64_t(report.verified))
+            << ", mismatches: " << report.mismatches
+            << ", unknown epochs: " << report.unknown_epochs
+            << ", hard failures: " << report.hard_failures << "\n";
+  if (!report.errors.empty()) {
+    std::cout << "error responses:";
+    for (const auto& [code, count] : report.errors) {
+      std::cout << "  " << code << "=" << count;
+    }
+    std::cout << "\n";
+  }
+  for (const std::string& detail : report.mismatch_details) {
+    std::cout << "mismatch: " << detail << "\n";
+  }
+  if (report.scheduler.has_value()) {
+    const client::SchedulerStats& s = *report.scheduler;
+    const double avg =
+        s.batches > 0 ? double(s.batched_queries) / double(s.batches) : 0.0;
+    std::cout << "scheduler (window " << s.window_us << "us): " << s.batches
+              << " fused batches, " << s.batched_queries << " queries ("
+              << FormatDouble(avg, 2) << " avg/batch, max "
+              << s.max_batch_queries << "), coalesced submissions: "
+              << s.coalesced_submissions << "/" << s.submissions << "\n";
+  }
+}
+
+int Run(int argc, char** argv) {
+  const std::vector<std::string> boolean_flags = {"tcp", "verify",
+                                                  "list-profiles", "help"};
+  auto flags_or = FlagSet::Parse(argc, argv, boolean_flags);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const FlagSet& flags = *flags_or;
+
+  const std::set<std::string> known = {
+      "profile", "scenario", "replay",  "print-profile", "list-profiles",
+      "seed",    "tcp",      "verify",  "record",        "threads",
+      "cache",   "retain",   "batch-window-us",          "json",
+      "help"};
+  for (const auto& name : flags.FlagNames()) {
+    if (!known.count(name)) {
+      std::cerr << "unknown flag --" << name << "\n" << kUsage;
+      return 2;
+    }
+  }
+  if (flags.Has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (flags.Has("list-profiles")) {
+    for (const std::string& name : workload::BuiltinScenarioNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+
+  auto seed = flags.GetInt("seed", 2015);
+  if (!seed.ok()) return Fail(seed.status());
+
+  if (flags.Has("print-profile")) {
+    auto spec = workload::BuiltinScenario(flags.GetString("print-profile"),
+                                          uint64_t(*seed));
+    if (!spec.ok()) return Fail(spec.status());
+    std::cout << workload::ScenarioToJson(*spec).ToString(2) << "\n";
+    return 0;
+  }
+
+  const int sources = int(flags.Has("profile")) + int(flags.Has("scenario")) +
+                      int(flags.Has("replay"));
+  if (sources != 1) {
+    std::cerr << "exactly one of --profile / --scenario / --replay is "
+                 "required\n"
+              << kUsage;
+    return 2;
+  }
+
+  workload::DriverOptions options;
+  auto threads = flags.GetInt("threads", 0);
+  auto cache = flags.GetInt("cache", int64_t(options.engine.cache_capacity));
+  auto retain = flags.GetInt("retain", int64_t(options.retained_epochs));
+  auto window = flags.GetInt("batch-window-us", 0);
+  auto verify = flags.GetBool("verify", true);
+  auto tcp = flags.GetBool("tcp", false);
+  if (!threads.ok()) return Fail(threads.status());
+  if (!cache.ok()) return Fail(cache.status());
+  if (!retain.ok()) return Fail(retain.status());
+  if (!window.ok()) return Fail(window.status());
+  if (!verify.ok()) return Fail(verify.status());
+  if (!tcp.ok()) return Fail(tcp.status());
+  // 10s window cap: matches recpriv_serve, and keeps the int narrowing
+  // below from wrapping a huge value into "batching silently off".
+  if (*threads < 0 || *cache < 0 || *retain < 1 || *window < 0 ||
+      *window > 10000000) {
+    return Fail(Status::InvalidArgument(
+        "--threads/--cache must be >= 0, --retain >= 1, and "
+        "--batch-window-us in [0, 10000000]"));
+  }
+  options.engine.num_threads = size_t(*threads);
+  options.engine.cache_capacity = size_t(*cache);
+  options.engine.micro_batch_window_us = int(*window);
+  options.retained_epochs = size_t(*retain);
+  options.verify = *verify;
+  options.over_tcp = *tcp;
+
+  Result<workload::DriverReport> report = Status::Internal("unreachable");
+  if (flags.Has("replay")) {
+    auto workload_or = workload::ReadWorkload(flags.GetString("replay"));
+    if (!workload_or.ok()) return Fail(workload_or.status());
+    std::cout << "replaying '" << workload_or->spec.name << "' ("
+              << workload_or->spec.clients << " clients)\n";
+    report = workload::RunWorkload(*workload_or, options);
+  } else {
+    Result<workload::ScenarioSpec> spec = Status::Internal("unreachable");
+    if (flags.Has("profile")) {
+      spec = workload::BuiltinScenario(flags.GetString("profile"),
+                                       uint64_t(*seed));
+    } else {
+      spec = workload::LoadScenario(flags.GetString("scenario"));
+      if (spec.ok() && flags.Has("seed")) spec->seed = uint64_t(*seed);
+    }
+    if (!spec.ok()) return Fail(spec.status());
+    std::cout << "running '" << spec->name << "': " << spec->clients
+              << " clients x " << spec->ops_per_client << " ops, "
+              << spec->releases.size() << " release(s)"
+              << (options.over_tcp ? ", over TCP" : ", in-process")
+              << (options.engine.micro_batch_window_us > 0
+                      ? ", micro-batching on"
+                      : "")
+              << "\n";
+    report = workload::RunScenario(*spec, options, flags.GetString("record"));
+  }
+  if (!report.ok()) return Fail(report.status());
+
+  PrintReport(*report);
+  if (flags.Has("json")) {
+    std::ofstream out(flags.GetString("json"));
+    if (!out) return Fail(Status::IOError("cannot write report JSON"));
+    out << ReportToJson(*report).ToString(2) << "\n";
+  }
+  const bool clean = report->mismatches == 0 && report->unknown_epochs == 0 &&
+                     report->hard_failures == 0;
+  if (!clean) std::cerr << "FAIL: run was not answer-clean\n";
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
