@@ -32,7 +32,7 @@ const table::Table& AdultTable() {
 const exp::PreparedDataset& Prepared() {
   static const exp::PreparedDataset* ds = [] {
     return new exp::PreparedDataset(
-        *exp::PrepareAdult(45222, 1000, 2015));
+        exp::PrepareAdult(45222, 1000, 2015).ValueOrDie());
   }();
   return *ds;
 }

@@ -1,0 +1,287 @@
+// Snapshot-store bench: cold-start cost of serving a release from the
+// persisted binary snapshot (mmap + verify + zero-parse open) vs from its
+// CSV release bundle (parse + dictionary decode + index rebuild) — the
+// restart path `recpriv_serve --snapshot-dir` replaces.
+//
+// Dataset: synthesized CENSUS at 300,000 records (the >=100k
+// serving-relevant scale), SPS-perturbed once, written both ways, then
+// each open path timed end to end to a query-ready ReleaseSnapshot.
+// Content equality of the two paths is asserted array by array — a faster
+// open that changed one answer would be a correctness bug, not a win.
+//
+// Results go to stdout and to --out (default BENCH_snapshot.json):
+//
+//   {
+//     "schema": "bench_snapshot/v1",
+//     "quick": false,
+//     "dataset": {"rows": R, "groups": G, "snapshot_bytes": B,
+//                 "csv_bytes": C},
+//     "benchmarks": {
+//       "open/csv":      {"ms_per_open": M, "iters": I},
+//       "open/snapshot": {"ms_per_open": M, "iters": I},
+//       "write/snapshot":{"ms_per_open": M, "iters": I}
+//     },
+//     "speedup": csv_ms / snapshot_ms,
+//     "identical": true
+//   }
+//
+// Exits non-zero unless the snapshot open is >=10x faster than the CSV
+// open at the >=100k-row scale (the gate CI pins); --quick shrinks the
+// dataset for smoke runs (gate skipped, JSON still emitted).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/release.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/sps.h"
+#include "datagen/census.h"
+#include "exp/reporting.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+#include "table/flat_group_index.h"
+#include "testing_util.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+namespace fs = std::filesystem;
+
+using recpriv::analysis::ReleaseBundle;
+using recpriv::analysis::ReleaseSnapshot;
+
+template <typename A, typename B>
+bool SpanEqual(A a, B b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Array-by-array content equality of two query-ready snapshots.
+bool Identical(const ReleaseSnapshot& a, const ReleaseSnapshot& b) {
+  const auto sa = a.index.storage();
+  const auto sb = b.index.storage();
+  if (sa.packed != sb.packed || sa.num_groups != sb.num_groups ||
+      sa.num_records != sb.num_records) {
+    return false;
+  }
+  if (!SpanEqual(sa.packed_keys, sb.packed_keys) ||
+      !SpanEqual(sa.na_codes, sb.na_codes) ||
+      !SpanEqual(sa.sa_counts, sb.sa_counts) ||
+      !SpanEqual(sa.row_offsets, sb.row_offsets) ||
+      !SpanEqual(sa.row_values, sb.row_values)) {
+    return false;
+  }
+  if (a.bundle.data.num_columns() != b.bundle.data.num_columns()) return false;
+  for (size_t c = 0; c < a.bundle.data.num_columns(); ++c) {
+    if (!SpanEqual(a.bundle.data.column(c), b.bundle.data.column(c))) {
+      return false;
+    }
+  }
+  const auto& schema_a = *a.bundle.data.schema();
+  const auto& schema_b = *b.bundle.data.schema();
+  if (schema_a.num_attributes() != schema_b.num_attributes()) return false;
+  for (size_t at = 0; at < schema_a.num_attributes(); ++at) {
+    if (schema_a.attribute(at).name != schema_b.attribute(at).name ||
+        schema_a.attribute(at).domain.values() !=
+            schema_b.attribute(at).domain.values()) {
+      return false;
+    }
+  }
+  return a.bundle.params.retention_p == b.bundle.params.retention_p &&
+         a.bundle.params.domain_m == b.bundle.params.domain_m &&
+         a.epoch == b.epoch;
+}
+
+struct OpenTiming {
+  double ms_per_open = 0.0;
+  size_t iters = 0;
+};
+
+int Run(int argc, char** argv) {
+  auto flags = FlagSet::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  const bool quick = *flags->GetBool("quick", false);
+  const std::string out_path = flags->GetString("out", "BENCH_snapshot.json");
+  const size_t rows = quick ? 8000 : 300000;
+  const size_t iters = quick ? 1 : 3;
+
+  exp::PrintBanner(std::cout,
+                   "Snapshot store: mmap'd zero-parse open vs CSV parse + "
+                   "index rebuild",
+                   quick ? "quick smoke size (gate skipped)"
+                         : "CENSUS 300k, cold-start to query-ready");
+
+  const fs::path dir = fs::temp_directory_path() / "recpriv_bench_snapshot";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string base = (dir / "census_release").string();
+  const std::string rps = (dir / "census.rps").string();
+
+  // --- publish once: CENSUS -> SPS release -> CSV bundle on disk -----------
+  Rng rng(recpriv::testing::HarnessSeed(20150315));
+  auto raw = datagen::GenerateCensus({.num_records = rows}, rng);
+  if (!raw.ok()) {
+    std::cerr << raw.status() << "\n";
+    return 1;
+  }
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = raw->schema()->sa_domain_size();
+  auto sps = core::SpsPerturbTable(params, *raw, rng);
+  if (!sps.ok()) {
+    std::cerr << sps.status() << "\n";
+    return 1;
+  }
+  const std::string sensitive = sps->table.schema()->sensitive().name;
+  ReleaseBundle bundle{std::move(sps->table), params, sensitive, {}};
+  if (Status s = analysis::WriteRelease(bundle, base); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // --- the CSV cold-start path: parse + rebuild to query-ready -------------
+  auto open_csv = [&]() -> Result<std::shared_ptr<const ReleaseSnapshot>> {
+    RECPRIV_ASSIGN_OR_RETURN(ReleaseBundle loaded,
+                             analysis::LoadRelease(base));
+    return analysis::SnapshotRelease(std::move(loaded), /*epoch=*/1);
+  };
+
+  // Reference content: one CSV open, persisted once so both timed paths
+  // open byte-for-byte the same release.
+  auto reference = open_csv();
+  if (!reference.ok()) {
+    std::cerr << reference.status() << "\n";
+    return 1;
+  }
+  double write_ms = 0.0;
+  {
+    WallTimer timer;
+    if (Status s = store::WriteSnapshot(**reference, "census", rps);
+        !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    write_ms = timer.Millis();
+  }
+
+  auto time_path = [&](auto open_fn) -> Result<OpenTiming> {
+    RECPRIV_RETURN_NOT_OK(open_fn().status());  // warmup: page cache, dicts
+    OpenTiming t;
+    WallTimer timer;
+    for (size_t i = 0; i < iters; ++i) {
+      RECPRIV_RETURN_NOT_OK(open_fn().status());
+      ++t.iters;
+    }
+    t.ms_per_open = timer.Millis() / double(t.iters);
+    return t;
+  };
+
+  auto csv_timing = time_path(open_csv);
+  if (!csv_timing.ok()) {
+    std::cerr << csv_timing.status() << "\n";
+    return 1;
+  }
+  auto open_snapshot = [&]() -> Result<std::shared_ptr<const ReleaseSnapshot>> {
+    RECPRIV_ASSIGN_OR_RETURN(store::OpenedSnapshot opened,
+                             store::OpenSnapshot(rps));
+    return opened.snapshot;
+  };
+  auto snap_timing = time_path(open_snapshot);
+  if (!snap_timing.ok()) {
+    std::cerr << snap_timing.status() << "\n";
+    return 1;
+  }
+
+  // --- bit-identical across the round trip ---------------------------------
+  auto reopened = open_snapshot();
+  if (!reopened.ok()) {
+    std::cerr << reopened.status() << "\n";
+    return 1;
+  }
+  const bool identical = Identical(**reference, **reopened);
+
+  const uint64_t snapshot_bytes = fs::file_size(rps);
+  const uint64_t csv_bytes =
+      fs::file_size(base + ".csv") + fs::file_size(base + ".manifest.json");
+  const double speedup =
+      csv_timing->ms_per_open / std::max(snap_timing->ms_per_open, 1e-9);
+  const auto index = table::FlatGroupIndex::Build((*reference)->bundle.data);
+
+  std::cout << "\ncensus: " << FormatWithCommas(int64_t(rows)) << " records, "
+            << FormatWithCommas(int64_t(index.num_groups())) << " groups\n"
+            << "  release csv:    " << FormatWithCommas(int64_t(csv_bytes))
+            << " bytes\n"
+            << "  snapshot (.rps): "
+            << FormatWithCommas(int64_t(snapshot_bytes)) << " bytes, written"
+            << " in " << FormatDouble(write_ms, 4) << " ms\n\n";
+  exp::AsciiTable table({"path", "ms/open", "iters"});
+  table.AddRow({"csv parse + rebuild",
+                FormatDouble(csv_timing->ms_per_open, 4),
+                std::to_string(csv_timing->iters)});
+  table.AddRow({"snapshot mmap open",
+                FormatDouble(snap_timing->ms_per_open, 4),
+                std::to_string(snap_timing->iters)});
+  table.Print(std::cout);
+  std::cout << "speedup: " << FormatDouble(speedup, 3)
+            << "x, content identical: " << (identical ? "yes" : "NO")
+            << "\n";
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("bench_snapshot/v1"));
+  doc.Set("quick", JsonValue::Bool(quick));
+  JsonValue dataset = JsonValue::Object();
+  dataset.Set("rows", JsonValue::Int(int64_t(rows)));
+  dataset.Set("groups", JsonValue::Int(int64_t(index.num_groups())));
+  dataset.Set("snapshot_bytes", JsonValue::Int(int64_t(snapshot_bytes)));
+  dataset.Set("csv_bytes", JsonValue::Int(int64_t(csv_bytes)));
+  doc.Set("dataset", std::move(dataset));
+  JsonValue benchmarks = JsonValue::Object();
+  auto entry = [](const OpenTiming& t) {
+    JsonValue e = JsonValue::Object();
+    e.Set("ms_per_open", JsonValue::Number(t.ms_per_open));
+    e.Set("iters", JsonValue::Int(int64_t(t.iters)));
+    return e;
+  };
+  benchmarks.Set("open/csv", entry(*csv_timing));
+  benchmarks.Set("open/snapshot", entry(*snap_timing));
+  benchmarks.Set("write/snapshot", entry(OpenTiming{write_ms, 1}));
+  doc.Set("benchmarks", std::move(benchmarks));
+  doc.Set("speedup", JsonValue::Number(speedup));
+  doc.Set("identical", JsonValue::Bool(identical));
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << doc.ToString(2) << "\n";
+  }
+  std::cout << "results written to " << out_path << "\n";
+  fs::remove_all(dir);
+
+  if (!identical) {
+    std::cout << "content equality: FAIL\n";
+    return 1;
+  }
+  if (rows >= 100000) {
+    const bool pass = speedup >= 10.0;
+    std::cout << ">=10x snapshot open vs csv open at >=100k rows: "
+              << (pass ? "PASS" : "FAIL") << "\n";
+    return pass ? 0 : 1;
+  }
+  std::cout << "speedup gate skipped (below 100k rows at this size)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

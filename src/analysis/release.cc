@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/json.h"
+#include "common/timer.h"
 #include "table/csv.h"
 
 namespace recpriv::analysis {
@@ -157,16 +158,36 @@ Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle) {
 }
 
 Result<std::shared_ptr<const ReleaseSnapshot>> SnapshotRelease(
-    ReleaseBundle bundle, uint64_t epoch) {
+    ReleaseBundle bundle, uint64_t epoch, SnapshotSource source) {
+  RECPRIV_RETURN_NOT_OK(bundle.params.Validate());
+  if (bundle.params.domain_m != bundle.data.schema()->sa_domain_size()) {
+    return Status::InvalidArgument(
+        "params.domain_m does not match the release's SA domain");
+  }
+  WallTimer timer;
+  recpriv::table::FlatGroupIndex index =
+      recpriv::table::FlatGroupIndex::Build(bundle.data);
+  source.build_ms += timer.Millis();
+  return AssembleSnapshot(std::move(bundle), epoch, std::move(index),
+                          std::move(source));
+}
+
+Result<std::shared_ptr<const ReleaseSnapshot>> AssembleSnapshot(
+    ReleaseBundle bundle, uint64_t epoch, recpriv::table::FlatGroupIndex index,
+    SnapshotSource source, std::shared_ptr<const void> backing) {
   RECPRIV_RETURN_NOT_OK(bundle.params.Validate());
   if (bundle.params.domain_m != bundle.data.schema()->sa_domain_size()) {
     return Status::InvalidArgument(
         "params.domain_m does not match the release's SA domain");
   }
   auto snap = std::make_shared<ReleaseSnapshot>(std::move(bundle), epoch);
-  snap->index = recpriv::table::FlatGroupIndex::Build(snap->bundle.data);
+  snap->index = std::move(index);
+  WallTimer timer;
   snap->postings =
       std::make_unique<recpriv::table::GroupPostingIndex>(snap->index);
+  source.build_ms += timer.Millis();
+  snap->source = std::move(source);
+  snap->backing = std::move(backing);
   snap->up = recpriv::perturb::UniformPerturbation{
       snap->bundle.params.retention_p, snap->bundle.params.domain_m};
   RECPRIV_RETURN_NOT_OK(snap->up.Validate());

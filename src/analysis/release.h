@@ -47,6 +47,20 @@ recpriv::JsonValue BuildManifest(const ReleaseBundle& bundle);
 /// Convenience: a Reconstructor configured from a loaded bundle.
 Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle);
 
+/// Provenance of a served snapshot: where its data came from and how long
+/// each stage of making it queryable took. Surfaced through the serving
+/// layer's `stats` op so an operator can see, per release, whether it was
+/// built from memory, parsed from CSV, or mapped from a binary snapshot.
+struct SnapshotSource {
+  /// "memory" (published in-process), "csv" (LoadRelease), or "snapshot"
+  /// (mmap'd from a persisted .rps file — see src/store/).
+  std::string kind = "memory";
+  double open_ms = 0.0;   ///< map + validate + decode manifest ("snapshot")
+  double parse_ms = 0.0;  ///< CSV + manifest parse ("csv")
+  double build_ms = 0.0;  ///< group-index and/or posting-index build
+  uint64_t bytes_mapped = 0;  ///< mmap'd bytes kept alive ("snapshot")
+};
+
 /// An immutable, query-ready view of one published release: the bundle plus
 /// its columnar personal-group index and posting index, built once at
 /// publish time and shared (via shared_ptr<const>) by every concurrent
@@ -71,11 +85,27 @@ struct ReleaseSnapshot {
   /// snapshot time so per-answer reconstruction never re-validates.
   recpriv::perturb::UniformPerturbation up{0.5, 2};
   uint64_t epoch = 0;
+  SnapshotSource source;
+  /// Keepalive for storage `index` borrows instead of owning — an mmap'd
+  /// snapshot file, type-erased so this layer needs no dependency on the
+  /// store. Null when the index owns its arrays.
+  std::shared_ptr<const void> backing;
 };
 
 /// Builds a snapshot: validates the bundle's params against its schema,
-/// indexes the release table, and freezes everything behind a const pointer.
+/// indexes the release table, and freezes everything behind a const
+/// pointer. `source` carries provenance already accrued by the caller
+/// (e.g. CSV parse time); index build time is added to its build_ms.
 Result<std::shared_ptr<const ReleaseSnapshot>> SnapshotRelease(
-    ReleaseBundle bundle, uint64_t epoch);
+    ReleaseBundle bundle, uint64_t epoch, SnapshotSource source = {});
+
+/// Assembles a snapshot around an already-built index (the store's open
+/// path hands in one reconstructed over mmap'd storage): validates the
+/// bundle's params, builds the posting index (adding its cost to
+/// source.build_ms), and freezes everything behind a const pointer.
+/// `backing` must keep any memory `index` borrows alive.
+Result<std::shared_ptr<const ReleaseSnapshot>> AssembleSnapshot(
+    ReleaseBundle bundle, uint64_t epoch, recpriv::table::FlatGroupIndex index,
+    SnapshotSource source, std::shared_ptr<const void> backing = nullptr);
 
 }  // namespace recpriv::analysis

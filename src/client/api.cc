@@ -21,6 +21,7 @@ constexpr CodeName kCodeNames[] = {
     {ErrorCode::kUnsupported, "UNSUPPORTED"},
     {ErrorCode::kMalformed, "MALFORMED"},
     {ErrorCode::kUnavailable, "UNAVAILABLE"},
+    {ErrorCode::kDataLoss, "DATA_LOSS"},
 };
 
 }  // namespace
@@ -61,6 +62,8 @@ ErrorCode ErrorCodeFromStatus(const Status& status) {
       return ErrorCode::kUnsupported;
     case StatusCode::kUnavailable:
       return ErrorCode::kUnavailable;
+    case StatusCode::kDataLoss:
+      return ErrorCode::kDataLoss;
   }
   return ErrorCode::kInternal;
 }
@@ -89,6 +92,8 @@ Status ApiError::ToStatus() const {
       return Status::IOError(message);
     case ErrorCode::kUnavailable:
       return Status::Unavailable(message);
+    case ErrorCode::kDataLoss:
+      return Status::DataLoss(message);
   }
   return Status::Internal(message);
 }

@@ -42,6 +42,7 @@ enum class ErrorCode {
   kUnsupported,     ///< kNotImplemented: protocol version / operation
   kMalformed,       ///< request line was not parseable JSON (wire only)
   kUnavailable,     ///< kUnavailable: server at max_connections; retry later
+  kDataLoss,        ///< kDataLoss: a persisted snapshot is corrupt/unreadable
 };
 
 /// Stable wire name of a code, e.g. "STALE_EPOCH".
@@ -167,6 +168,20 @@ struct SchedulerStats {
   uint64_t max_batch_submissions = 0;  ///< largest fused batch (submissions)
 };
 
+/// Provenance of one served release: which path produced its snapshot
+/// ("memory" published in-process, "csv" parsed from a release file,
+/// "snapshot" mapped from a persisted binary snapshot) and what each stage
+/// of making it queryable cost.
+struct StoreReleaseStats {
+  std::string release;
+  uint64_t epoch = 0;
+  std::string source;           ///< "memory" | "csv" | "snapshot"
+  double open_ms = 0.0;         ///< map + verify + decode ("snapshot")
+  double parse_ms = 0.0;        ///< CSV + manifest parse ("csv")
+  double build_ms = 0.0;        ///< index / posting build
+  uint64_t bytes_mapped = 0;    ///< mmap'd bytes held alive ("snapshot")
+};
+
 /// Engine-wide counters plus per-release serving metadata.
 struct ServerStats {
   uint64_t threads = 0;
@@ -174,6 +189,7 @@ struct ServerStats {
   std::vector<ReleaseDescriptor> releases;
   std::optional<SchedulerStats> scheduler;  ///< see SchedulerStats
   std::optional<TransportStats> transport;  ///< see TransportStats
+  std::vector<StoreReleaseStats> store;     ///< see StoreReleaseStats
 };
 
 }  // namespace recpriv::client

@@ -1,0 +1,20 @@
+// Content checksums for the on-disk snapshot format (src/store/).
+//
+// XxHash64 is the 64-bit xxHash (XXH64) algorithm: non-cryptographic,
+// byte-order independent output for the same input bytes, and fast enough
+// (~GB/s, 32-byte stripes) that checksumming every section of a
+// multi-hundred-megabyte snapshot at open time stays far below the CSV
+// parse + index rebuild it replaces. All multi-byte reads go through
+// memcpy, so the routine is alignment-safe on any host.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace recpriv {
+
+/// XXH64 of `data[0..len)` with the given seed.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace recpriv

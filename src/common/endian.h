@@ -1,0 +1,50 @@
+// Explicit little-endian encode/decode helpers — the byte-order seam of
+// the on-disk snapshot format (src/store/). Every multi-byte scalar that
+// crosses a file boundary goes through these functions, never through a
+// pointer cast, so readers perform no unaligned wide loads and the format
+// stays well-defined on any host.
+//
+// The bulk array sections of a snapshot are NOT funneled through these
+// helpers — they are mmap'd and used in place, which is only valid when
+// the host's native order matches the format's (little-endian). Callers
+// gate that with HostIsLittleEndian() and fail fast otherwise; see
+// store/snapshot_format.h for the on-disk endianness tag.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace recpriv {
+
+/// True when native byte order matches the snapshot format's (LE).
+constexpr bool HostIsLittleEndian() {
+  return std::endian::native == std::endian::little;
+}
+
+/// Appends `v` to `out` in little-endian order.
+inline void StoreLE32(uint32_t v, uint8_t* out) {
+  out[0] = uint8_t(v);
+  out[1] = uint8_t(v >> 8);
+  out[2] = uint8_t(v >> 16);
+  out[3] = uint8_t(v >> 24);
+}
+
+inline void StoreLE64(uint64_t v, uint8_t* out) {
+  StoreLE32(uint32_t(v), out);
+  StoreLE32(uint32_t(v >> 32), out + 4);
+}
+
+/// Reads a little-endian scalar from `in` byte by byte — safe at any
+/// alignment on any host.
+inline uint32_t LoadLE32(const uint8_t* in) {
+  return uint32_t(in[0]) | uint32_t(in[1]) << 8 | uint32_t(in[2]) << 16 |
+         uint32_t(in[3]) << 24;
+}
+
+inline uint64_t LoadLE64(const uint8_t* in) {
+  return uint64_t(LoadLE32(in)) | uint64_t(LoadLE32(in + 4)) << 32;
+}
+
+}  // namespace recpriv

@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,          ///< invariant violation inside the library
   kNotImplemented,    ///< declared but intentionally unimplemented path
   kUnavailable,       ///< transiently out of capacity; retrying may succeed
+  kDataLoss,          ///< persisted data is corrupt or unreadable
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -19,6 +19,9 @@
 //             canonical query encoding/hashing
 //   analysis/ self-describing release bundles, immutable release snapshots,
 //             and the consumer-side reconstructor
+//   store/    persistent binary snapshot store: the paged .rps on-disk
+//             release format (checksummed sections, 64-byte aligned) and
+//             its mmap'd zero-parse reader
 //   serve/    the release-serving subsystem: ReleaseStore (named, versioned
 //             copy-on-publish snapshots with a retained-epoch window),
 //             QueryEngine (parallel batched count-query answering with an
@@ -90,6 +93,10 @@
 
 #include "net/line_channel.h"
 #include "net/socket.h"
+
+#include "store/snapshot_format.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
 
 #include "serve/answer_cache.h"
 #include "serve/micro_batcher.h"

@@ -1,19 +1,85 @@
 #include "serve/release_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <utility>
+
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
 
 namespace recpriv::serve {
 
 using recpriv::analysis::ReleaseBundle;
 using recpriv::analysis::SnapshotRelease;
 
+namespace {
+
+/// Filesystem-safe spelling of a release name: alnum, '-' and '_' pass
+/// through, everything else (including '%') becomes %XX. The manifest, not
+/// the filename, remains the authority on identity at recovery time.
+std::string SanitizeName(const std::string& name) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if ((u >= 'a' && u <= 'z') || (u >= 'A' && u <= 'Z') ||
+        (u >= '0' && u <= '9') || u == '-' || u == '_') {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 ReleaseStore::ReleaseStore(size_t retained_epochs)
-    : retained_(std::max<size_t>(retained_epochs, 1)) {}
+    : ReleaseStore(Options{retained_epochs, /*snapshot_dir=*/""}) {}
+
+ReleaseStore::ReleaseStore(Options options)
+    : retained_(std::max<size_t>(options.retained_epochs, 1)),
+      snapshot_dir_(std::move(options.snapshot_dir)) {}
+
+std::string ReleaseStore::ManagedPath(const std::string& name,
+                                      uint64_t epoch) const {
+  return snapshot_dir_ + "/" + SanitizeName(name) + "-e" +
+         std::to_string(epoch) + ".rps";
+}
+
+std::vector<uint64_t> ReleaseStore::InstallLocked(const std::string& name,
+                                                  SnapshotPtr snap) {
+  std::vector<SnapshotPtr>& window = releases_[name];
+  auto pos = std::upper_bound(
+      window.begin(), window.end(), snap->epoch,
+      [](uint64_t e, const SnapshotPtr& s) { return e < s->epoch; });
+  window.insert(pos, std::move(snap));
+  std::vector<uint64_t> evicted;
+  if (window.size() > retained_) {
+    if (!snapshot_dir_.empty()) {
+      for (auto it = window.begin(); it != window.end() - retained_; ++it) {
+        evicted.push_back((*it)->epoch);
+      }
+    }
+    window.erase(window.begin(), window.end() - retained_);
+  }
+  return evicted;
+}
 
 Result<SnapshotPtr> ReleaseStore::Publish(const std::string& name,
                                           ReleaseBundle bundle,
                                           ReleaseInfo* info) {
+  return PublishWithSource(name, std::move(bundle),
+                           recpriv::analysis::SnapshotSource{}, info);
+}
+
+Result<SnapshotPtr> ReleaseStore::PublishWithSource(
+    const std::string& name, ReleaseBundle bundle,
+    recpriv::analysis::SnapshotSource source, ReleaseInfo* info) {
   if (name.empty()) {
     return Status::InvalidArgument("release name must be non-empty");
   }
@@ -28,19 +94,28 @@ Result<SnapshotPtr> ReleaseStore::Publish(const std::string& name,
     std::lock_guard<std::mutex> lock(mu_);
     epoch = ++next_epoch_[name];
   }
-  RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap,
-                           SnapshotRelease(std::move(bundle), epoch));
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<SnapshotPtr>& window = releases_[name];
-  auto pos = std::upper_bound(
-      window.begin(), window.end(), snap->epoch,
-      [](uint64_t e, const SnapshotPtr& s) { return e < s->epoch; });
-  window.insert(pos, std::move(snap));
-  if (window.size() > retained_) {
-    window.erase(window.begin(), window.end() - retained_);
+  RECPRIV_ASSIGN_OR_RETURN(
+      SnapshotPtr snap,
+      SnapshotRelease(std::move(bundle), epoch, std::move(source)));
+  // A durable store persists before it installs: a publish that is visible
+  // to queries but missing from disk would silently vanish on restart.
+  if (!snapshot_dir_.empty()) {
+    RECPRIV_RETURN_NOT_OK(
+        recpriv::store::WriteSnapshot(*snap, name, ManagedPath(name, epoch)));
   }
-  if (info != nullptr) *info = InfoLocked(name, window);
-  return window.back();
+  SnapshotPtr served;
+  std::vector<uint64_t> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evicted = InstallLocked(name, std::move(snap));
+    const std::vector<SnapshotPtr>& window = releases_[name];
+    if (info != nullptr) *info = InfoLocked(name, window);
+    served = window.back();
+  }
+  for (const uint64_t e : evicted) {
+    std::remove(ManagedPath(name, e).c_str());
+  }
+  return served;
 }
 
 Result<SnapshotPtr> ReleaseStore::PublishFromStreaming(
@@ -82,14 +157,103 @@ Result<SnapshotPtr> ReleaseStore::Get(const std::string& name,
 }
 
 Result<ReleaseInfo> ReleaseStore::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = releases_.find(name);
-  if (it == releases_.end()) {
-    return Status::NotFound("no release named '" + name + "'");
+  ReleaseInfo info;
+  std::vector<uint64_t> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = releases_.find(name);
+    if (it == releases_.end()) {
+      return Status::NotFound("no release named '" + name + "'");
+    }
+    info = InfoLocked(name, it->second);
+    if (!snapshot_dir_.empty()) {
+      for (const SnapshotPtr& snap : it->second) {
+        dropped.push_back(snap->epoch);
+      }
+    }
+    releases_.erase(it);
   }
-  ReleaseInfo info = InfoLocked(name, it->second);
-  releases_.erase(it);
+  // A dropped release's files go too — otherwise recovery would resurrect
+  // a release the operator explicitly retired.
+  for (const uint64_t e : dropped) {
+    std::remove(ManagedPath(name, e).c_str());
+  }
   return info;
+}
+
+Status ReleaseStore::SaveSnapshot(const std::string& name,
+                                  const std::string& path) const {
+  RECPRIV_ASSIGN_OR_RETURN(SnapshotPtr snap, Get(name));
+  return recpriv::store::WriteSnapshot(*snap, name, path);
+}
+
+Result<ReleaseInfo> ReleaseStore::OpenSnapshot(const std::string& path) {
+  RECPRIV_ASSIGN_OR_RETURN(recpriv::store::OpenedSnapshot opened,
+                           recpriv::store::OpenSnapshot(path));
+  const std::string name = opened.release;
+  if (name.empty()) {
+    return Status::DataLoss(path + ": snapshot has an empty release name");
+  }
+  const uint64_t epoch = opened.snapshot->epoch;
+  ReleaseInfo info;
+  std::vector<uint64_t> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = releases_.find(name);
+    if (it != releases_.end()) {
+      for (const SnapshotPtr& snap : it->second) {
+        if (snap->epoch == epoch) {
+          return Status::AlreadyExists("epoch " + std::to_string(epoch) +
+                                       " of release '" + name +
+                                       "' is already installed");
+        }
+      }
+    }
+    evicted = InstallLocked(name, std::move(opened.snapshot));
+    uint64_t& next = next_epoch_[name];
+    next = std::max(next, epoch);
+    info = InfoLocked(name, releases_[name]);
+  }
+  for (const uint64_t e : evicted) {
+    std::remove(ManagedPath(name, e).c_str());
+  }
+  return info;
+}
+
+Status ReleaseStore::RecoverFromDir() {
+  if (snapshot_dir_.empty()) {
+    return Status::FailedPrecondition(
+        "RecoverFromDir on a store without a snapshot directory");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(snapshot_dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot directory " +
+                           snapshot_dir_ + ": " + ec.message());
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(snapshot_dir_, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".rps") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot scan snapshot directory " + snapshot_dir_ +
+                           ": " + ec.message());
+  }
+  // Deterministic order; the window trim keeps the newest epochs whatever
+  // the order, but error messages and eviction order stay reproducible.
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    const auto installed = OpenSnapshot(path);
+    if (!installed.ok()) {
+      return Status(installed.status().code(),
+                    "snapshot recovery failed: " +
+                        installed.status().message());
+    }
+  }
+  return Status::OK();
 }
 
 Result<ReleaseInfo> ReleaseStore::Info(const std::string& name) const {
@@ -119,12 +283,19 @@ size_t ReleaseStore::size() const {
 ReleaseInfo ReleaseStore::InfoLocked(
     const std::string& name, const std::vector<SnapshotPtr>& window) const {
   const SnapshotPtr& served = window.back();
-  return ReleaseInfo{name,
-                     served->epoch,
-                     served->index.num_records(),
-                     served->index.num_groups(),
-                     window.size(),
-                     window.front()->epoch};
+  ReleaseInfo info;
+  info.name = name;
+  info.epoch = served->epoch;
+  info.num_records = served->index.num_records();
+  info.num_groups = served->index.num_groups();
+  info.retained_epochs = window.size();
+  info.oldest_epoch = window.front()->epoch;
+  info.source_kind = served->source.kind;
+  info.source_open_ms = served->source.open_ms;
+  info.source_parse_ms = served->source.parse_ms;
+  info.source_build_ms = served->source.build_ms;
+  info.source_bytes_mapped = served->source.bytes_mapped;
+  return info;
 }
 
 }  // namespace recpriv::serve

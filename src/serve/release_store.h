@@ -45,6 +45,13 @@ struct ReleaseInfo {
   uint64_t num_groups = 0;
   uint64_t retained_epochs = 1;  ///< snapshots pinnable right now
   uint64_t oldest_epoch = 0;     ///< smallest epoch still pinnable
+  /// Provenance of the served snapshot (see analysis::SnapshotSource):
+  /// where its data came from and what making it queryable cost.
+  std::string source_kind = "memory";
+  double source_open_ms = 0.0;
+  double source_parse_ms = 0.0;
+  double source_build_ms = 0.0;
+  uint64_t source_bytes_mapped = 0;
 };
 
 /// Thread-safe registry of named release snapshots.
@@ -53,8 +60,18 @@ class ReleaseStore {
   /// Epochs retained per name (including the currently served one).
   static constexpr size_t kDefaultRetainedEpochs = 4;
 
+  struct Options {
+    size_t retained_epochs = kDefaultRetainedEpochs;
+    /// When non-empty the store is durable: every publish also writes a
+    /// binary snapshot (store/snapshot_writer.h) under this directory,
+    /// epochs evicted from the retention window have their files deleted,
+    /// and RecoverFromDir() restores the whole retained window on restart.
+    std::string snapshot_dir;
+  };
+
   /// `retained_epochs` < 1 is clamped to 1 (only the current epoch).
   explicit ReleaseStore(size_t retained_epochs = kDefaultRetainedEpochs);
+  explicit ReleaseStore(Options options);
 
   /// Publishes `bundle` under `name`. A first publication gets epoch 1;
   /// republication bumps the previous epoch and swaps the snapshot in
@@ -66,6 +83,13 @@ class ReleaseStore {
   Result<SnapshotPtr> Publish(const std::string& name,
                               recpriv::analysis::ReleaseBundle bundle,
                               ReleaseInfo* info = nullptr);
+
+  /// Publish with explicit provenance — the path a caller takes when it
+  /// already spent time acquiring the bundle (e.g. CSV parse) and wants
+  /// that cost surfaced in the release's stats.
+  Result<SnapshotPtr> PublishWithSource(
+      const std::string& name, recpriv::analysis::ReleaseBundle bundle,
+      recpriv::analysis::SnapshotSource source, ReleaseInfo* info = nullptr);
 
   /// Republishes from a streaming publisher: runs a full SPS snapshot of
   /// its current buffer (core::StreamingPublisher::Publish) and publishes
@@ -97,12 +121,38 @@ class ReleaseStore {
 
   size_t size() const;
   size_t retained_epochs() const { return retained_; }
+  const std::string& snapshot_dir() const { return snapshot_dir_; }
+
+  /// Writes the currently served snapshot of `name` to `path` in the
+  /// binary snapshot format; NotFound when the name is unknown.
+  Status SaveSnapshot(const std::string& name, const std::string& path) const;
+
+  /// Opens one snapshot file and installs it under the release name and
+  /// epoch recorded in its manifest (not its filename). AlreadyExists when
+  /// that epoch is already installed; the name's epoch counter is advanced
+  /// past the recovered epoch so future publishes never collide.
+  Result<ReleaseInfo> OpenSnapshot(const std::string& path);
+
+  /// Recovers every `*.rps` file under snapshot_dir (creating the
+  /// directory if absent). Fails fast with the offending path on the first
+  /// unreadable or corrupt file — a durable store that silently skipped a
+  /// corrupt epoch would serve different data than it persisted.
+  /// FailedPrecondition when the store has no snapshot directory.
+  Status RecoverFromDir();
 
  private:
   ReleaseInfo InfoLocked(const std::string& name,
                          const std::vector<SnapshotPtr>& window) const;
+  /// The managed file path of (name, epoch) under snapshot_dir.
+  std::string ManagedPath(const std::string& name, uint64_t epoch) const;
+  /// Inserts `snap` into `name`'s window (epoch-sorted), trims the window,
+  /// and returns the epochs whose managed files should now be deleted.
+  /// Caller holds mu_.
+  std::vector<uint64_t> InstallLocked(const std::string& name,
+                                      SnapshotPtr snap);
 
   const size_t retained_;
+  const std::string snapshot_dir_;
   mutable std::mutex mu_;
   /// Retained snapshots per name, epoch-ascending; back() is served.
   std::map<std::string, std::vector<SnapshotPtr>> releases_;

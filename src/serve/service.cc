@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/timer.h"
 #include "query/count_query.h"
 #include "table/predicate.h"
 
@@ -121,6 +122,15 @@ Result<client::ServerStats> CollectStats(QueryEngine& engine) {
                                    engine.cache().misses()};
   for (const ReleaseInfo& info : engine.store().List()) {
     stats.releases.push_back(ToDescriptor(info));
+    client::StoreReleaseStats source;
+    source.release = info.name;
+    source.epoch = info.epoch;
+    source.source = info.source_kind;
+    source.open_ms = info.source_open_ms;
+    source.parse_ms = info.source_parse_ms;
+    source.build_ms = info.source_build_ms;
+    source.bytes_mapped = info.source_bytes_mapped;
+    stats.store.push_back(std::move(source));
   }
   stats.scheduler = engine.scheduler_stats();
   return stats;
@@ -129,9 +139,18 @@ Result<client::ServerStats> CollectStats(QueryEngine& engine) {
 Result<client::ReleaseDescriptor> PublishFromFile(
     QueryEngine& engine, const std::string& name,
     const std::string& basename) {
+  WallTimer timer;
   RECPRIV_ASSIGN_OR_RETURN(ReleaseBundle bundle,
                            recpriv::analysis::LoadRelease(basename));
-  return PublishBundle(engine, name, std::move(bundle));
+  recpriv::analysis::SnapshotSource source;
+  source.kind = "csv";
+  source.parse_ms = timer.Millis();
+  ReleaseInfo info;
+  RECPRIV_ASSIGN_OR_RETURN(
+      SnapshotPtr snap, engine.store().PublishWithSource(
+                            name, std::move(bundle), std::move(source), &info));
+  (void)snap;
+  return ToDescriptor(info);
 }
 
 Result<client::ReleaseDescriptor> PublishBundle(QueryEngine& engine,

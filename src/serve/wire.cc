@@ -153,6 +153,24 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
     transport.Set("ops", std::move(ops));
     out.Set("transport", std::move(transport));
   }
+  if (!stats.store.empty()) {
+    // Flat objects only: the golden-session harness strips this array with
+    // a regex (timings are nondeterministic), which relies on no nested
+    // brackets inside it.
+    JsonValue store = JsonValue::Array();
+    for (const client::StoreReleaseStats& s : stats.store) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("release", JsonValue::String(s.release));
+      entry.Set("epoch", JsonValue::Int(int64_t(s.epoch)));
+      entry.Set("source", JsonValue::String(s.source));
+      entry.Set("open_ms", JsonValue::Number(s.open_ms));
+      entry.Set("parse_ms", JsonValue::Number(s.parse_ms));
+      entry.Set("build_ms", JsonValue::Number(s.build_ms));
+      entry.Set("bytes_mapped", JsonValue::Int(int64_t(s.bytes_mapped)));
+      store.Append(std::move(entry));
+    }
+    out.Set("store", std::move(store));
+  }
   return out;
 }
 
@@ -701,6 +719,31 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
       t.ops[op] = uint64_t(count);
     }
     stats.transport = std::move(t);
+  }
+  if (response.Has("store")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
+                             RequireField(response, "store"));
+    if (!node->is_array()) {
+      return Status::InvalidArgument("'store' must be an array");
+    }
+    for (size_t i = 0; i < node->size(); ++i) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* entry, node->At(i));
+      if (!entry->is_object()) {
+        return Status::InvalidArgument("each store entry must be an object");
+      }
+      client::StoreReleaseStats s;
+      RECPRIV_ASSIGN_OR_RETURN(s.release, RequireString(*entry, "release"));
+      RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(*entry, "epoch"));
+      s.epoch = uint64_t(epoch);
+      RECPRIV_ASSIGN_OR_RETURN(s.source, RequireString(*entry, "source"));
+      RECPRIV_ASSIGN_OR_RETURN(s.open_ms, RequireDouble(*entry, "open_ms"));
+      RECPRIV_ASSIGN_OR_RETURN(s.parse_ms, RequireDouble(*entry, "parse_ms"));
+      RECPRIV_ASSIGN_OR_RETURN(s.build_ms, RequireDouble(*entry, "build_ms"));
+      RECPRIV_ASSIGN_OR_RETURN(int64_t mapped,
+                               RequireInt(*entry, "bytes_mapped"));
+      s.bytes_mapped = uint64_t(mapped);
+      stats.store.push_back(std::move(s));
+    }
   }
   return stats;
 }

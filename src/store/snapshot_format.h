@@ -1,0 +1,139 @@
+// On-disk layout of a release snapshot (.rps) — the paged binary format
+// behind SaveSnapshot/OpenSnapshot (see snapshot_writer.h /
+// snapshot_reader.h).
+//
+// A snapshot file is:
+//
+//   [superblock: 64 bytes]
+//   [section table: kSectionEntryBytes per section]
+//   [padding to a kSectionAlignment boundary]
+//   [section 0][padding][section 1][padding]...
+//
+// All fixed-width fields are little-endian, encoded/decoded byte-by-byte
+// through common/endian.h (no unaligned wide stores). Every section starts
+// on a kSectionAlignment (64-byte) boundary so a reader can mmap the file
+// and hand the array sections to FlatGroupIndex::FromStorage as naturally
+// aligned spans, with zero parsing and zero copying.
+//
+// Integrity: the superblock carries an XXH64 over the header region (the
+// superblock with its own checksum field zeroed, plus the section table),
+// and each section entry carries an XXH64 over that section's payload
+// bytes. A reader verifies all of them before trusting any offset, so a
+// flipped bit anywhere surfaces as kDataLoss instead of a crash or a
+// wrong answer.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/endian.h"
+
+namespace recpriv::store {
+
+/// "recpsnap" read as a little-endian uint64 — first 8 bytes of the file.
+inline constexpr uint64_t kSnapshotMagic = 0x70616E7370636572ULL;
+/// Format version this build reads and writes. A reader must fail fast on
+/// any other value — the layout below is only defined for version 1.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Written as a little-endian u32; a reader that decodes anything else is
+/// looking at foreign-endian (or corrupt) data.
+inline constexpr uint32_t kEndianTag = 0x01020304;
+/// Section payload alignment: enough for any scalar array and one cache
+/// line, so mmap'd spans are naturally aligned.
+inline constexpr uint64_t kSectionAlignment = 64;
+inline constexpr uint64_t kSuperblockBytes = 64;
+inline constexpr uint64_t kSectionEntryBytes = 40;
+/// Sanity bound on section_count — a version-1 file has at most 7 kinds.
+inline constexpr uint32_t kMaxSections = 64;
+
+/// Payload of each section, keyed by SectionEntry::kind.
+enum class SectionKind : uint32_t {
+  kManifestJson = 1,  ///< UTF-8 JSON: identity, params, dictionaries, meta
+  kTableColumns = 2,  ///< u32 x (num_attrs * num_records), column-major
+  kNaCodes = 3,       ///< u32 x (num_groups * num_public), row-major
+  kSaCounts = 4,      ///< u64 x (num_groups * m), row-major
+  kRowOffsets = 5,    ///< u64 x (num_groups + 1), CSR offsets
+  kRowValues = 6,     ///< u32 x num_records, group-major row ids
+  kPackedKeys = 7,    ///< u64 x num_groups (present iff packed layout)
+};
+
+/// Byte 0..63 of the file.
+struct Superblock {
+  uint64_t magic = kSnapshotMagic;
+  uint32_t version = kSnapshotFormatVersion;
+  uint32_t endian_tag = kEndianTag;
+  uint32_t alignment = uint32_t(kSectionAlignment);
+  uint32_t section_count = 0;
+  uint64_t file_bytes = 0;      ///< total file size, for truncation checks
+  uint64_t table_offset = 0;    ///< where the section table starts (64)
+  uint64_t table_bytes = 0;     ///< section_count * kSectionEntryBytes
+  uint64_t reserved = 0;
+  uint64_t header_crc = 0;      ///< XXH64(header region, this field zeroed)
+};
+
+/// One row of the section table.
+struct SectionEntry {
+  uint32_t kind = 0;
+  uint32_t elem_bytes = 0;  ///< scalar width: 1, 4 or 8
+  uint64_t count = 0;       ///< number of scalars
+  uint64_t offset = 0;      ///< absolute file offset, kSectionAlignment-ed
+  uint64_t bytes = 0;       ///< count * elem_bytes (redundant, verified)
+  uint64_t crc = 0;         ///< XXH64 of the payload bytes
+};
+
+inline void EncodeSuperblock(const Superblock& sb, uint8_t out[64]) {
+  StoreLE64(sb.magic, out + 0);
+  StoreLE32(sb.version, out + 8);
+  StoreLE32(sb.endian_tag, out + 12);
+  StoreLE32(sb.alignment, out + 16);
+  StoreLE32(sb.section_count, out + 20);
+  StoreLE64(sb.file_bytes, out + 24);
+  StoreLE64(sb.table_offset, out + 32);
+  StoreLE64(sb.table_bytes, out + 40);
+  StoreLE64(sb.reserved, out + 48);
+  StoreLE64(sb.header_crc, out + 56);
+}
+
+inline Superblock DecodeSuperblock(const uint8_t in[64]) {
+  Superblock sb;
+  sb.magic = LoadLE64(in + 0);
+  sb.version = LoadLE32(in + 8);
+  sb.endian_tag = LoadLE32(in + 12);
+  sb.alignment = LoadLE32(in + 16);
+  sb.section_count = LoadLE32(in + 20);
+  sb.file_bytes = LoadLE64(in + 24);
+  sb.table_offset = LoadLE64(in + 32);
+  sb.table_bytes = LoadLE64(in + 40);
+  sb.reserved = LoadLE64(in + 48);
+  sb.header_crc = LoadLE64(in + 56);
+  return sb;
+}
+
+inline void EncodeSectionEntry(const SectionEntry& e, uint8_t out[40]) {
+  StoreLE32(e.kind, out + 0);
+  StoreLE32(e.elem_bytes, out + 4);
+  StoreLE64(e.count, out + 8);
+  StoreLE64(e.offset, out + 16);
+  StoreLE64(e.bytes, out + 24);
+  StoreLE64(e.crc, out + 32);
+}
+
+inline SectionEntry DecodeSectionEntry(const uint8_t in[40]) {
+  SectionEntry e;
+  e.kind = LoadLE32(in + 0);
+  e.elem_bytes = LoadLE32(in + 4);
+  e.count = LoadLE64(in + 8);
+  e.offset = LoadLE64(in + 16);
+  e.bytes = LoadLE64(in + 24);
+  e.crc = LoadLE64(in + 32);
+  return e;
+}
+
+/// Smallest multiple of kSectionAlignment that is >= n.
+inline uint64_t AlignUp(uint64_t n) {
+  return (n + kSectionAlignment - 1) / kSectionAlignment * kSectionAlignment;
+}
+
+}  // namespace recpriv::store

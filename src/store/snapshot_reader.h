@@ -1,0 +1,76 @@
+// Zero-parse opening of persisted release snapshots (.rps files written by
+// snapshot_writer.h).
+//
+// OpenSnapshot maps the file, verifies every checksum, re-validates every
+// structural invariant of the index arrays (FlatGroupIndex::FromStorage),
+// and assembles a query-ready ReleaseSnapshot whose index reads the mmap'd
+// sections in place — the only bytes copied are the manifest JSON and the
+// table's code columns. The mapping is kept alive by the snapshot's
+// type-erased `backing` pointer and unmapped when the last reference to
+// the snapshot drops.
+//
+// Corruption never escapes as a crash or a wrong answer: any mismatch —
+// bad magic, foreign format version, checksum failure, inconsistent
+// sections — comes back as a structured error (kDataLoss, or
+// kNotImplemented for a version this build does not read).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/release.h"
+#include "common/result.h"
+#include "store/snapshot_format.h"
+
+namespace recpriv::store {
+
+/// Read-only mmap of a whole file, unmapped on destruction.
+class MappedFile {
+ public:
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Header-level view of a snapshot file: the decoded superblock, section
+/// table, and identity fields of the manifest. InspectSnapshot verifies
+/// the header and all section checksums but does not rebuild the index —
+/// it is the cheap integrity pass behind `recpriv_snapshot inspect`.
+struct SnapshotInfo {
+  Superblock superblock;
+  std::vector<SectionEntry> sections;
+  std::string release;
+  uint64_t epoch = 0;
+  bool packed = false;
+  uint64_t num_groups = 0;
+  uint64_t num_records = 0;
+};
+
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// A fully opened snapshot: the release name it was saved under plus the
+/// query-ready state (epoch, params and provenance ride inside `snapshot`
+/// — see analysis::SnapshotSource).
+struct OpenedSnapshot {
+  std::string release;
+  std::shared_ptr<const analysis::ReleaseSnapshot> snapshot;
+};
+
+Result<OpenedSnapshot> OpenSnapshot(const std::string& path);
+
+}  // namespace recpriv::store

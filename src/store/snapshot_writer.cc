@@ -1,0 +1,203 @@
+#include "store/snapshot_writer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "common/checksum.h"
+#include "store/snapshot_format.h"
+
+namespace recpriv::store {
+
+namespace {
+
+/// The little-endian payload bytes of a scalar array. On an LE host the
+/// in-memory representation already is the payload (no copy); a BE host
+/// re-encodes element by element into `scratch`.
+template <typename T>
+std::span<const uint8_t> PayloadBytes(std::span<const T> data,
+                                      std::vector<uint8_t>& scratch) {
+  if constexpr (HostIsLittleEndian()) {
+    return {reinterpret_cast<const uint8_t*>(data.data()), data.size_bytes()};
+  } else {
+    scratch.resize(data.size_bytes());
+    for (size_t i = 0; i < data.size(); ++i) {
+      if constexpr (sizeof(T) == 4) {
+        StoreLE32(uint32_t(data[i]), scratch.data() + i * 4);
+      } else {
+        StoreLE64(uint64_t(data[i]), scratch.data() + i * 8);
+      }
+    }
+    return scratch;
+  }
+}
+
+}  // namespace
+
+JsonValue BuildSnapshotManifest(const analysis::ReleaseSnapshot& snap,
+                                std::string_view release_name) {
+  const auto& bundle = snap.bundle;
+  JsonValue root = JsonValue::Object();
+  root.Set("format", JsonValue::String("recpriv-snapshot"));
+  root.Set("version", JsonValue::Int(int64_t(kSnapshotFormatVersion)));
+  root.Set("release", JsonValue::String(std::string(release_name)));
+  root.Set("epoch", JsonValue::Int(int64_t(snap.epoch)));
+
+  JsonValue mechanism = JsonValue::Object();
+  mechanism.Set("type", JsonValue::String("uniform-perturbation-sps"));
+  mechanism.Set("retention_p", JsonValue::Number(bundle.params.retention_p));
+  mechanism.Set("domain_m", JsonValue::Int(int64_t(bundle.params.domain_m)));
+  root.Set("mechanism", std::move(mechanism));
+
+  JsonValue privacy = JsonValue::Object();
+  privacy.Set("lambda", JsonValue::Number(bundle.params.lambda));
+  privacy.Set("delta", JsonValue::Number(bundle.params.delta));
+  root.Set("privacy", std::move(privacy));
+
+  root.Set("sensitive_attribute",
+           JsonValue::String(bundle.sensitive_attribute));
+
+  // Full dictionaries, not just domain sizes: the reader reconstructs the
+  // schema from this section alone, with codes identical to the writer's.
+  JsonValue attrs = JsonValue::Array();
+  const auto& schema = *bundle.data.schema();
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    JsonValue attr = JsonValue::Object();
+    attr.Set("name", JsonValue::String(schema.attribute(a).name));
+    attr.Set("sensitive", JsonValue::Bool(schema.is_sensitive(a)));
+    JsonValue values = JsonValue::Array();
+    for (const auto& v : schema.attribute(a).domain.values()) {
+      values.Append(JsonValue::String(v));
+    }
+    attr.Set("values", std::move(values));
+    attrs.Append(std::move(attr));
+  }
+  root.Set("attributes", std::move(attrs));
+
+  if (!bundle.generalization.empty()) {
+    JsonValue gen = JsonValue::Array();
+    for (const auto& merged : bundle.generalization) {
+      JsonValue per_attr = JsonValue::Array();
+      for (const auto& name : merged) {
+        per_attr.Append(JsonValue::String(name));
+      }
+      gen.Append(std::move(per_attr));
+    }
+    root.Set("generalized_values", std::move(gen));
+  }
+
+  const auto storage = snap.index.storage();
+  JsonValue index = JsonValue::Object();
+  index.Set("packed", JsonValue::Bool(storage.packed));
+  index.Set("num_groups", JsonValue::Int(int64_t(storage.num_groups)));
+  index.Set("num_records", JsonValue::Int(int64_t(storage.num_records)));
+  root.Set("index", std::move(index));
+  return root;
+}
+
+Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
+                     std::string_view release_name, const std::string& path) {
+  const auto storage = snap.index.storage();
+  const table::Table& data = snap.bundle.data;
+
+  const std::string manifest =
+      BuildSnapshotManifest(snap, release_name).ToString(/*indent=*/2);
+
+  // The table's code columns, concatenated column-major into one section.
+  std::vector<uint32_t> table_cells;
+  table_cells.reserve(data.num_columns() * data.num_rows());
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    const auto& col = data.column(c);
+    table_cells.insert(table_cells.end(), col.begin(), col.end());
+  }
+
+  struct Payload {
+    SectionKind kind;
+    uint32_t elem_bytes;
+    uint64_t count;
+    std::span<const uint8_t> bytes;
+    std::vector<uint8_t> scratch;  // BE-host re-encode buffer
+  };
+  std::vector<Payload> payloads;
+  payloads.push_back({SectionKind::kManifestJson, 1, manifest.size(), {}, {}});
+  payloads.back().bytes = {
+      reinterpret_cast<const uint8_t*>(manifest.data()), manifest.size()};
+  auto add_array = [&payloads](SectionKind kind, auto span) {
+    using Elem = typename decltype(span)::element_type;
+    // `bytes` is set only after the Payload reaches its final address —
+    // on a BE host it views the payload's own `scratch` buffer.
+    payloads.push_back({kind, uint32_t(sizeof(Elem)), span.size(), {}, {}});
+    payloads.back().bytes = PayloadBytes(span, payloads.back().scratch);
+  };
+  add_array(SectionKind::kTableColumns,
+            std::span<const uint32_t>(table_cells));
+  add_array(SectionKind::kNaCodes, storage.na_codes);
+  add_array(SectionKind::kSaCounts, storage.sa_counts);
+  add_array(SectionKind::kRowOffsets, storage.row_offsets);
+  add_array(SectionKind::kRowValues, storage.row_values);
+  if (storage.packed) {
+    add_array(SectionKind::kPackedKeys, storage.packed_keys);
+  }
+
+  // Lay out sections on alignment boundaries and checksum each payload.
+  Superblock sb;
+  sb.section_count = uint32_t(payloads.size());
+  sb.table_offset = kSuperblockBytes;
+  sb.table_bytes = payloads.size() * kSectionEntryBytes;
+  std::vector<SectionEntry> entries(payloads.size());
+  uint64_t offset = AlignUp(kSuperblockBytes + sb.table_bytes);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    SectionEntry& e = entries[i];
+    e.kind = uint32_t(payloads[i].kind);
+    e.elem_bytes = payloads[i].elem_bytes;
+    e.count = payloads[i].count;
+    e.offset = offset;
+    e.bytes = payloads[i].bytes.size();
+    e.crc = XxHash64(payloads[i].bytes.data(), payloads[i].bytes.size());
+    offset = AlignUp(offset + e.bytes);
+  }
+  sb.file_bytes =
+      entries.empty() ? offset : entries.back().offset + entries.back().bytes;
+
+  // Header region (superblock + section table) with the checksum field
+  // zeroed while hashing, then patched in.
+  std::vector<uint8_t> header(kSuperblockBytes + sb.table_bytes, 0);
+  EncodeSuperblock(sb, header.data());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EncodeSectionEntry(entries[i],
+                       header.data() + kSuperblockBytes +
+                           i * kSectionEntryBytes);
+  }
+  sb.header_crc = XxHash64(header.data(), header.size());
+  StoreLE64(sb.header_crc, header.data() + 56);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write snapshot: " + tmp);
+    out.write(reinterpret_cast<const char*>(header.data()),
+              std::streamsize(header.size()));
+    uint64_t written = header.size();
+    static constexpr char kZeros[kSectionAlignment] = {};
+    for (size_t i = 0; i < entries.size(); ++i) {
+      out.write(kZeros, std::streamsize(entries[i].offset - written));
+      out.write(reinterpret_cast<const char*>(payloads[i].bytes.data()),
+                std::streamsize(entries[i].bytes));
+      written = entries[i].offset + entries[i].bytes;
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to snapshot: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename snapshot into place: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace recpriv::store

@@ -1,0 +1,33 @@
+// Serializes a query-ready release snapshot to the paged binary format of
+// snapshot_format.h — the persist half of the store subsystem (the open
+// half is snapshot_reader.h).
+//
+// A written file contains everything OpenSnapshot needs to reconstruct the
+// exact same queryable state with no CSV parse and no index rebuild: the
+// release identity (name, epoch), privacy parameters, full attribute
+// dictionaries, the perturbed table's code columns, and the
+// FlatGroupIndex's columnar arrays verbatim.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/release.h"
+#include "common/json.h"
+#include "common/status.h"
+
+namespace recpriv::store {
+
+/// The snapshot's embedded manifest (exposed for tests and the inspect
+/// CLI): identity, parameters, dictionaries, and index dimensions.
+JsonValue BuildSnapshotManifest(const analysis::ReleaseSnapshot& snap,
+                                std::string_view release_name);
+
+/// Writes `snap` to `path` (conventionally `<name>-e<epoch>.rps`).
+/// The file is written to `path + ".tmp"` and renamed into place, so a
+/// crash mid-write never leaves a half-written snapshot under `path`.
+Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
+                     std::string_view release_name, const std::string& path);
+
+}  // namespace recpriv::store

@@ -50,36 +50,51 @@ void RadixSortKeys(std::vector<KeyRow>& a, uint32_t total_bits) {
 
 }  // namespace
 
+bool FlatGroupIndex::DeriveKeyLayout(bool want_packed) {
+  public_idx_ = schema_->public_indices();
+  m_ = schema_->sa_domain_size();
+  const size_t n_pub = public_idx_.size();
+
+  // Bit widths of the public domains; their sum decides the key layout.
+  key_bits_.assign(n_pub, 0);
+  uint32_t total_bits = 0;
+  for (size_t k = 0; k < n_pub; ++k) {
+    const size_t dom = schema_->attribute(public_idx_[k]).domain.size();
+    key_bits_[k] = dom <= 1 ? 0u : uint32_t(std::bit_width(uint64_t(dom - 1)));
+    total_bits += key_bits_[k];
+  }
+  packed_ = want_packed && total_bits <= 64;
+  if (packed_) {
+    // Attribute 0 occupies the highest bits so that numeric key order is
+    // the NA-lexicographic order of GroupIndex::Build.
+    key_shifts_.assign(n_pub, 0);
+    uint32_t below = total_bits;
+    for (size_t k = 0; k < n_pub; ++k) {
+      below -= key_bits_[k];
+      key_shifts_[k] = below;
+    }
+  }
+  return packed_ == want_packed;
+}
+
+void FlatGroupIndex::BindOwnedStorage() {
+  packed_keys_ = packed_keys_own_;
+  na_codes_ = na_codes_own_;
+  sa_counts_ = sa_counts_own_;
+  row_offsets_ = row_offsets_own_;
+  row_values_ = row_values_own_;
+}
+
 FlatGroupIndex FlatGroupIndex::Build(const Table& t, KeyMode mode) {
   FlatGroupIndex idx;
   idx.schema_ = t.schema();
-  idx.public_idx_ = t.schema()->public_indices();
-  idx.m_ = t.schema()->sa_domain_size();
+  idx.DeriveKeyLayout(mode == KeyMode::kAuto);
   idx.num_records_ = t.num_rows();
 
   const size_t n = t.num_rows();
   const size_t n_pub = idx.public_idx_.size();
-
-  // Bit widths of the public domains; their sum decides the key layout.
-  idx.key_bits_.assign(n_pub, 0);
   uint32_t total_bits = 0;
-  for (size_t k = 0; k < n_pub; ++k) {
-    const size_t dom = t.schema()->attribute(idx.public_idx_[k]).domain.size();
-    idx.key_bits_[k] =
-        dom <= 1 ? 0u : uint32_t(std::bit_width(uint64_t(dom - 1)));
-    total_bits += idx.key_bits_[k];
-  }
-  idx.packed_ = mode == KeyMode::kAuto && total_bits <= 64;
-  if (idx.packed_) {
-    // Attribute 0 occupies the highest bits so that numeric key order is
-    // the NA-lexicographic order of GroupIndex::Build.
-    idx.key_shifts_.assign(n_pub, 0);
-    uint32_t below = total_bits;
-    for (size_t k = 0; k < n_pub; ++k) {
-      below -= idx.key_bits_[k];
-      idx.key_shifts_[k] = below;
-    }
-  }
+  for (const uint32_t b : idx.key_bits_) total_bits += b;
 
   // Raw column pointers: the build touches each public column once to pack
   // keys, instead of gathering per comparison like the legacy sort.
@@ -89,21 +104,21 @@ FlatGroupIndex FlatGroupIndex::Build(const Table& t, KeyMode mode) {
   }
   const uint32_t* sa_col = t.column(t.schema()->sensitive_index()).data();
 
-  idx.row_values_.resize(n);
-  idx.row_offsets_.push_back(0);
-  idx.na_codes_.reserve(n_pub * 16);
+  idx.row_values_own_.resize(n);
+  idx.row_offsets_own_.push_back(0);
+  idx.na_codes_own_.reserve(n_pub * 16);
 
   auto open_group = [&](uint32_t first_row) {
     for (size_t k = 0; k < n_pub; ++k) {
-      idx.na_codes_.push_back(cols[k][first_row]);
+      idx.na_codes_own_.push_back(cols[k][first_row]);
     }
-    idx.sa_counts_.resize(idx.sa_counts_.size() + idx.m_, 0);
+    idx.sa_counts_own_.resize(idx.sa_counts_own_.size() + idx.m_, 0);
   };
   auto add_row = [&](size_t pos, uint32_t row) {
-    idx.row_values_[pos] = row;
+    idx.row_values_own_[pos] = row;
     const uint32_t sa = sa_col[row];
     RECPRIV_DCHECK(sa < idx.m_);
-    ++idx.sa_counts_[idx.sa_counts_.size() - idx.m_ + sa];
+    ++idx.sa_counts_own_[idx.sa_counts_own_.size() - idx.m_ + sa];
   };
 
   if (idx.packed_) {
@@ -121,9 +136,9 @@ FlatGroupIndex FlatGroupIndex::Build(const Table& t, KeyMode mode) {
       size_t j = i + 1;
       while (j < n && kr[j].key == kr[i].key) ++j;
       open_group(kr[i].row);
-      idx.packed_keys_.push_back(kr[i].key);
+      idx.packed_keys_own_.push_back(kr[i].key);
       for (size_t r = i; r < j; ++r) add_row(r, kr[r].row);
-      idx.row_offsets_.push_back(j);
+      idx.row_offsets_own_.push_back(j);
       i = j;
     }
   } else {
@@ -155,11 +170,119 @@ FlatGroupIndex FlatGroupIndex::Build(const Table& t, KeyMode mode) {
       while (j < n && key_equal(order[i], order[j])) ++j;
       open_group(order[i]);
       for (size_t r = i; r < j; ++r) add_row(r, order[r]);
-      idx.row_offsets_.push_back(j);
+      idx.row_offsets_own_.push_back(j);
       i = j;
     }
   }
-  idx.num_groups_ = idx.row_offsets_.size() - 1;
+  idx.num_groups_ = idx.row_offsets_own_.size() - 1;
+  idx.BindOwnedStorage();
+  return idx;
+}
+
+Result<FlatGroupIndex> FlatGroupIndex::FromStorage(SchemaPtr schema,
+                                                   const Storage& s) {
+  if (schema == nullptr) {
+    return Status::DataLoss("snapshot index: null schema");
+  }
+  FlatGroupIndex idx;
+  idx.schema_ = std::move(schema);
+  if (!idx.DeriveKeyLayout(s.packed)) {
+    return Status::DataLoss(
+        "snapshot index: packed key layout does not fit the schema's "
+        "public domains");
+  }
+  const size_t n_pub = idx.public_idx_.size();
+  const size_t m = idx.m_;
+  const uint64_t g = s.num_groups;
+  const uint64_t n = s.num_records;
+  idx.num_groups_ = size_t(g);
+  idx.num_records_ = size_t(n);
+
+  // Section sizes must agree with the manifest's dimensions exactly.
+  if (s.na_codes.size() != g * n_pub) {
+    return Status::DataLoss("snapshot index: na_codes size mismatch");
+  }
+  if (s.sa_counts.size() != g * m) {
+    return Status::DataLoss("snapshot index: sa_counts size mismatch");
+  }
+  if (s.row_offsets.size() != g + 1) {
+    return Status::DataLoss("snapshot index: row_offsets size mismatch");
+  }
+  if (s.row_values.size() != n) {
+    return Status::DataLoss("snapshot index: row_values size mismatch");
+  }
+  if (s.packed_keys.size() != (s.packed ? g : 0)) {
+    return Status::DataLoss("snapshot index: packed_keys size mismatch");
+  }
+
+  // NA codes must lie inside their attribute domains (the posting index
+  // and FindGroup index by code) and group keys must be strictly
+  // ascending in NA-lexicographic order (binary search depends on it).
+  for (size_t k = 0; k < n_pub; ++k) {
+    const uint32_t dom =
+        uint32_t(idx.schema_->attribute(idx.public_idx_[k]).domain.size());
+    for (uint64_t gi = 0; gi < g; ++gi) {
+      if (s.na_codes[gi * n_pub + k] >= dom) {
+        return Status::DataLoss("snapshot index: NA code outside its domain");
+      }
+    }
+  }
+  for (uint64_t gi = 0; gi + 1 < g; ++gi) {
+    const uint32_t* a = s.na_codes.data() + gi * n_pub;
+    const uint32_t* b = a + n_pub;
+    if (!std::lexicographical_compare(a, a + n_pub, b, b + n_pub)) {
+      return Status::DataLoss("snapshot index: group keys not ascending");
+    }
+  }
+  if (s.packed) {
+    // Packed keys must be exactly the packs of the NA-code rows; the
+    // ascending check above then makes them strictly sorted too.
+    for (uint64_t gi = 0; gi < g; ++gi) {
+      uint64_t key = 0;
+      if (!idx.PackKey({s.na_codes.data() + gi * n_pub, n_pub}, &key) ||
+          key != s.packed_keys[gi]) {
+        return Status::DataLoss(
+            "snapshot index: packed key disagrees with NA codes");
+      }
+    }
+  }
+
+  // CSR offsets: zero-based, monotone, covering all records.
+  if (g == 0 ? (s.row_offsets[0] != 0 || n != 0)
+             : (s.row_offsets[0] != 0 || s.row_offsets[g] != n)) {
+    return Status::DataLoss("snapshot index: CSR offsets do not cover rows");
+  }
+  for (uint64_t gi = 0; gi < g; ++gi) {
+    if (s.row_offsets[gi] >= s.row_offsets[gi + 1]) {
+      return Status::DataLoss("snapshot index: empty or descending group");
+    }
+  }
+
+  // Row values must be a permutation of [0, n) — a duplicated or
+  // out-of-range row would silently distort every count answer.
+  std::vector<bool> seen(size_t(n), false);
+  for (const uint32_t r : s.row_values) {
+    if (r >= n || seen[r]) {
+      return Status::DataLoss("snapshot index: rows are not a permutation");
+    }
+    seen[r] = true;
+  }
+
+  // Each histogram row must sum to its group's size.
+  for (uint64_t gi = 0; gi < g; ++gi) {
+    uint64_t sum = 0;
+    for (size_t sa = 0; sa < m; ++sa) sum += s.sa_counts[gi * m + sa];
+    if (sum != s.row_offsets[gi + 1] - s.row_offsets[gi]) {
+      return Status::DataLoss(
+          "snapshot index: SA histogram disagrees with group size");
+    }
+  }
+
+  idx.packed_keys_ = s.packed_keys;
+  idx.na_codes_ = s.na_codes;
+  idx.sa_counts_ = s.sa_counts;
+  idx.row_offsets_ = s.row_offsets;
+  idx.row_values_ = s.row_values;
   return idx;
 }
 

@@ -39,6 +39,13 @@
 namespace recpriv::table {
 
 /// Sort-based columnar index of all personal groups of a table.
+///
+/// Storage ownership: the query kernels read the columns through
+/// std::span views. After Build the views alias vectors owned by the
+/// index itself; after FromStorage they alias caller-provided memory
+/// (typically an mmap'd snapshot section — see store/snapshot_reader.h),
+/// which the caller must keep alive for the index's lifetime. The hot
+/// path is identical either way.
 class FlatGroupIndex {
  public:
   /// Key layout chosen by Build: packed 64-bit keys when the public
@@ -46,8 +53,45 @@ class FlatGroupIndex {
   /// so tests can exercise the wide path on narrow schemas.
   enum class KeyMode { kAuto, kForceWide };
 
+  /// The columnar arrays of a built index, viewed as borrowable storage —
+  /// exactly the sections a persisted snapshot stores. `packed_keys` is
+  /// empty unless `packed`.
+  struct Storage {
+    bool packed = false;
+    uint64_t num_groups = 0;
+    uint64_t num_records = 0;
+    std::span<const uint64_t> packed_keys;  ///< num_groups (packed only)
+    std::span<const uint32_t> na_codes;     ///< num_groups x num_public
+    std::span<const uint64_t> sa_counts;    ///< num_groups x m
+    std::span<const uint64_t> row_offsets;  ///< num_groups + 1 (CSR)
+    std::span<const uint32_t> row_values;   ///< num_records, group-major
+  };
+
   /// Builds the index with one pack + sort + run-length pass.
   static FlatGroupIndex Build(const Table& t, KeyMode mode = KeyMode::kAuto);
+
+  /// Reconstructs an index over borrowed columns without copying them.
+  /// Every structural invariant Build guarantees is re-validated here —
+  /// the spans typically come from a file — and any violation returns
+  /// kDataLoss rather than an index that could crash or answer wrongly.
+  /// The caller keeps the spanned memory alive for the index's lifetime.
+  static Result<FlatGroupIndex> FromStorage(SchemaPtr schema,
+                                            const Storage& storage);
+
+  /// This index's columns as borrowable storage (aliases live memory).
+  Storage storage() const {
+    return Storage{packed_,    num_groups_, num_records_, packed_keys_,
+                   na_codes_,  sa_counts_,  row_offsets_, row_values_};
+  }
+
+  /// An empty index (no schema); overwrite via move before use.
+  FlatGroupIndex() = default;
+  FlatGroupIndex(FlatGroupIndex&&) = default;
+  FlatGroupIndex& operator=(FlatGroupIndex&&) = default;
+  // The views would alias the source's buffers after a member-wise copy,
+  // so copying is forbidden rather than silently wrong.
+  FlatGroupIndex(const FlatGroupIndex&) = delete;
+  FlatGroupIndex& operator=(const FlatGroupIndex&) = delete;
 
   size_t num_groups() const { return num_groups_; }
   size_t num_records() const { return num_records_; }
@@ -124,6 +168,11 @@ class FlatGroupIndex {
   bool PackKey(std::span<const uint32_t> na, uint64_t* key) const;
   /// Three-way lexicographic compare of group `g`'s NA key against `na`.
   int CompareKeyAt(size_t g, std::span<const uint32_t> na) const;
+  /// Derives public_idx_ / m_ / key_bits_ / key_shifts_ from schema_.
+  /// False when the packed layout is requested but does not fit 64 bits.
+  bool DeriveKeyLayout(bool want_packed);
+  /// Points the view members at the owned vectors (the Build path).
+  void BindOwnedStorage();
 
   SchemaPtr schema_;
   std::vector<size_t> public_idx_;
@@ -136,13 +185,22 @@ class FlatGroupIndex {
   /// (valid only when packed_).
   std::vector<uint32_t> key_bits_;
   std::vector<uint32_t> key_shifts_;
-  /// Sorted packed NA keys, one per group (valid only when packed_).
-  std::vector<uint64_t> packed_keys_;
 
-  std::vector<uint32_t> na_codes_;     // num_groups x num_public, row-major
-  std::vector<uint64_t> sa_counts_;    // num_groups x m, row-major
-  std::vector<size_t> row_offsets_;    // num_groups + 1 (CSR)
-  std::vector<uint32_t> row_values_;   // num_records, group-major
+  /// Owned storage — empty when the index reads borrowed storage.
+  std::vector<uint64_t> packed_keys_own_;
+  std::vector<uint32_t> na_codes_own_;
+  std::vector<uint64_t> sa_counts_own_;
+  std::vector<uint64_t> row_offsets_own_;
+  std::vector<uint32_t> row_values_own_;
+
+  /// The views every accessor and kernel reads, aliasing either the owned
+  /// vectors above or borrowed memory. Moving a vector keeps its heap
+  /// buffer's address, so the defaulted move leaves the views valid.
+  std::span<const uint64_t> packed_keys_;  // sorted keys (packed_ only)
+  std::span<const uint32_t> na_codes_;     // num_groups x num_public
+  std::span<const uint64_t> sa_counts_;    // num_groups x m
+  std::span<const uint64_t> row_offsets_;  // num_groups + 1 (CSR)
+  std::span<const uint32_t> row_values_;   // num_records, group-major
 };
 
 /// Inverted index over a FlatGroupIndex: for each (public attribute, value),

@@ -9,6 +9,35 @@ Table::Table(SchemaPtr schema) : schema_(std::move(schema)) {
   columns_.resize(schema_->num_attributes());
 }
 
+Result<Table> Table::FromColumns(SchemaPtr schema,
+                                 std::vector<std::vector<uint32_t>> columns) {
+  if (schema == nullptr) return Status::InvalidArgument("null schema");
+  if (columns.size() != schema->num_attributes()) {
+    return Status::InvalidArgument(
+        "column count mismatch: got " + std::to_string(columns.size()) +
+        ", schema has " + std::to_string(schema->num_attributes()));
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].size() != rows) {
+      return Status::InvalidArgument("ragged columns: attribute " +
+                                     schema->attribute(c).name);
+    }
+    const uint32_t dom = uint32_t(schema->attribute(c).domain.size());
+    for (const uint32_t code : columns[c]) {
+      if (code >= dom) {
+        return Status::OutOfRange("code " + std::to_string(code) +
+                                  " out of domain for attribute " +
+                                  schema->attribute(c).name);
+      }
+    }
+  }
+  Table out(std::move(schema));
+  out.columns_ = std::move(columns);
+  out.num_rows_ = rows;
+  return out;
+}
+
 Status Table::AppendRow(std::span<const uint32_t> codes) {
   if (codes.size() != columns_.size()) {
     return Status::InvalidArgument(

@@ -22,6 +22,13 @@ class Table {
  public:
   explicit Table(SchemaPtr schema);
 
+  /// Builds a table by adopting whole columns (one per attribute, schema
+  /// order) instead of appending row by row — the bulk-load path of the
+  /// snapshot reader. Errors when the column count, column lengths, or any
+  /// code disagrees with the schema.
+  static Result<Table> FromColumns(SchemaPtr schema,
+                                   std::vector<std::vector<uint32_t>> columns);
+
   const SchemaPtr& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }

@@ -59,9 +59,23 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
     }
   }
 
-  auto store = std::make_shared<serve::ReleaseStore>(options.retained_epochs);
-  auto engine = std::make_shared<serve::QueryEngine>(store, options.engine);
+  serve::ReleaseStore::Options store_options;
+  store_options.retained_epochs = options.retained_epochs;
+  store_options.snapshot_dir = options.snapshot_dir;
+  auto store = std::make_shared<serve::ReleaseStore>(store_options);
   Oracle oracle;
+  if (!options.snapshot_dir.empty()) {
+    RECPRIV_RETURN_NOT_OK(store->RecoverFromDir());
+    // Recovered snapshots are answerable immediately; register them so a
+    // reader that pins a recovered epoch is still verified bit-exactly.
+    for (const serve::ReleaseInfo& info : store->List()) {
+      for (uint64_t e = info.oldest_epoch; e <= info.epoch; ++e) {
+        auto snap = store->Get(info.name, e);
+        if (snap.ok()) oracle.Register(info.name, std::move(*snap));
+      }
+    }
+  }
+  auto engine = std::make_shared<serve::QueryEngine>(store, options.engine);
 
   DriverReport report;
   for (const SyntheticReleaseSpec& r : spec.releases) {

@@ -45,6 +45,11 @@ struct DriverOptions {
   /// Drive readers through a real TCP server over loopback instead of
   /// in-process clients.
   bool over_tcp = false;
+  /// When non-empty, the store persists every publish as a binary snapshot
+  /// under this directory and recovers any snapshots already there before
+  /// the scenario's own publishes — the restart path of
+  /// `recpriv_serve --snapshot-dir`, driven under workload.
+  std::string snapshot_dir;
 };
 
 /// What one run did and found.

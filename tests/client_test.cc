@@ -112,7 +112,7 @@ TEST(ApiErrorTest, CodeNamesRoundTrip) {
        {ErrorCode::kOk, ErrorCode::kInvalidRequest, ErrorCode::kOutOfRange,
         ErrorCode::kNotFound, ErrorCode::kAlreadyExists, ErrorCode::kIoError,
         ErrorCode::kStaleEpoch, ErrorCode::kInternal, ErrorCode::kUnsupported,
-        ErrorCode::kMalformed}) {
+        ErrorCode::kMalformed, ErrorCode::kUnavailable, ErrorCode::kDataLoss}) {
     auto back = ErrorCodeFromName(ErrorCodeName(code));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, code);
@@ -128,6 +128,7 @@ TEST(ApiErrorTest, StatusMappingIsStableBothWays) {
       Status::NotFound("m"),        Status::AlreadyExists("m"),
       Status::IOError("m"),         Status::FailedPrecondition("m"),
       Status::Internal("m"),        Status::NotImplemented("m"),
+      Status::Unavailable("m"),     Status::DataLoss("m"),
   };
   for (const Status& status : statuses) {
     ApiError error = ApiError::FromStatus(status);

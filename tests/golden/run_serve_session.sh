@@ -20,8 +20,21 @@
 # not have — the check asserts the section is present, strips it, and
 # requires everything else to match to the byte.
 #
+# --snapshot runs the cold-start path: a first server run persists the demo
+# release as a binary snapshot (--demo --snapshot-dir), then a RESTARTED
+# server recovers it from disk alone (--snapshot-dir, no --demo) and
+# replays the same transcript — every response must match the same golden
+# byte for byte, proving a snapshot-recovered release is indistinguishable
+# from a freshly published one on the wire.
+#
+# The v2 "stats" response carries a "store":[...] provenance section whose
+# timing fields are inherently nondeterministic; every mode strips it (the
+# array holds flat objects only, by wire-layer contract, so the regex is
+# safe) and the "store" content is covered by client/serve unit tests.
+#
 # usage: run_serve_session.sh path/to/recpriv_serve path/to/recpriv_publish \
-#        path/to/tests/golden [--regen | --tcp path/to/recpriv_wire_cat]
+#        path/to/tests/golden \
+#        [--regen | --snapshot | --tcp path/to/recpriv_wire_cat]
 
 set -euo pipefail
 
@@ -79,19 +92,46 @@ if [ "$MODE" = "--tcp" ]; then
 
   # The stats response must prove the TCP front end is reporting itself...
   grep -q '"transport":{' "$WORK/session.tcp.out"
-  # ...and with that section stripped, every response byte must match the
-  # stdin-transport golden.
-  sed -E 's/,"transport":\{[^{}]*\{[^{}]*\}[^{}]*\}//' \
+  # ...and with that section (and the timing-bearing store section)
+  # stripped, every response byte must match the stdin-transport golden.
+  sed -E -e 's/,"transport":\{[^{}]*\{[^{}]*\}[^{}]*\}//' \
+      -e 's/,"store":\[[^]]*\]//' \
       "$WORK/session.tcp.out" > "$WORK/session.tcp.normalized"
   diff -u "$GOLDEN_DIR/serve_session.golden" "$WORK/session.tcp.normalized"
   echo "serve golden session over TCP: OK ($(wc -l < "$WORK/session.tcp.out") responses)"
   exit 0
 fi
 
+if [ "$MODE" = "--snapshot" ]; then
+  # Cold start: run 1 persists the demo release, run 2 recovers it from
+  # the snapshot directory alone and must replay the transcript
+  # byte-identically.
+  (cd "$WORK" && "$SERVE" --demo --threads 2 --retain 2 \
+      --snapshot-dir "$WORK/snapshots" < /dev/null > /dev/null 2> /dev/null)
+  if ! ls "$WORK/snapshots/"*.rps > /dev/null 2>&1; then
+    echo "first run persisted no snapshot files" >&2
+    exit 1
+  fi
+  (cd "$WORK" && "$SERVE" --threads 2 --retain 2 \
+      --snapshot-dir "$WORK/snapshots" \
+      < "$GOLDEN_DIR/serve_session.in" > "$WORK/session.snap.out" \
+      2> "$WORK/serve.snap.err")
+  grep -q "recovered 'demo' from snapshots" "$WORK/serve.snap.err"
+  # The recovered release must report snapshot provenance before the strip.
+  grep -q '"source":"snapshot"' "$WORK/session.snap.out"
+  sed -E 's/,"store":\[[^]]*\]//' \
+      "$WORK/session.snap.out" > "$WORK/session.snap.normalized"
+  diff -u "$GOLDEN_DIR/serve_session.golden" "$WORK/session.snap.normalized"
+  echo "serve golden session after snapshot restart: OK ($(wc -l < "$WORK/session.snap.out") responses)"
+  exit 0
+fi
+
 # The session publishes by the basename "golden_release", resolved against
 # the server's working directory.
 (cd "$WORK" && "$SERVE" --demo --threads 2 --retain 2 \
-    < "$GOLDEN_DIR/serve_session.in" > "$WORK/session.out" 2> /dev/null)
+    < "$GOLDEN_DIR/serve_session.in" > "$WORK/session.raw.out" 2> /dev/null)
+sed -E 's/,"store":\[[^]]*\]//' \
+    "$WORK/session.raw.out" > "$WORK/session.out"
 
 if [ "$MODE" = "--regen" ]; then
   cp "$WORK/session.out" "$GOLDEN_DIR/serve_session.golden"

@@ -1,0 +1,514 @@
+// Tests for the persistent snapshot store (src/store/): checksum and
+// endian primitives, write/open round-trips at the file and ReleaseStore
+// level, FromStorage structural validation, fail-fast on foreign format
+// versions, header/section corruption detection, and restart recovery of
+// the retained-epoch window.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/release.h"
+#include "client/in_process_client.h"
+#include "common/checksum.h"
+#include "common/endian.h"
+#include "serve/release_store.h"
+#include "store/snapshot_format.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+#include "table/flat_group_index.h"
+#include "testing_util.h"
+
+namespace recpriv::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+using recpriv::analysis::ReleaseBundle;
+using recpriv::analysis::ReleaseSnapshot;
+using recpriv::analysis::SnapshotRelease;
+using recpriv::table::FlatGroupIndex;
+
+/// A fresh per-test scratch directory under the system temp dir.
+std::string TempDir(const std::string& name) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("recpriv_snapshot_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Recomputes and patches the header checksum after a deliberate header
+/// edit, so the edit itself (not the checksum) is what the reader sees.
+void ResealHeader(std::vector<uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), kSuperblockBytes);
+  const Superblock sb = DecodeSuperblock(bytes.data());
+  const uint64_t header_bytes = kSuperblockBytes + sb.table_bytes;
+  ASSERT_GE(bytes.size(), header_bytes);
+  std::vector<uint8_t> region(bytes.begin(),
+                              bytes.begin() + ptrdiff_t(header_bytes));
+  std::memset(region.data() + 56, 0, 8);
+  StoreLE64(XxHash64(region.data(), region.size()), bytes.data() + 56);
+}
+
+/// A written demo snapshot plus its in-memory original, shared per test.
+struct WrittenSnapshot {
+  std::string dir;
+  std::string path;
+  std::shared_ptr<const ReleaseSnapshot> original;
+};
+
+WrittenSnapshot WriteDemo(const std::string& test_name,
+                          uint64_t seed = 2015, uint64_t epoch = 7) {
+  WrittenSnapshot w;
+  w.dir = TempDir(test_name);
+  w.path = w.dir + "/demo.rps";
+  ReleaseBundle bundle = recpriv::testing::DemoBundle(seed);
+  auto snap = SnapshotRelease(std::move(bundle), epoch);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  w.original = *snap;
+  const Status written = WriteSnapshot(*w.original, "demo", w.path);
+  EXPECT_TRUE(written.ok()) << written.ToString();
+  return w;
+}
+
+// --- primitives ------------------------------------------------------------
+
+TEST(Checksum, Xxh64OfficialVectors) {
+  // Reference values from the xxHash specification's test vectors.
+  EXPECT_EQ(XxHash64("", 0), 0xef46db3751d8e999ULL);
+  EXPECT_EQ(XxHash64("abc", 3), 0x44bc2cf5ad770999ULL);
+  EXPECT_NE(XxHash64("abc", 3, /*seed=*/1), XxHash64("abc", 3));
+}
+
+TEST(Checksum, SensitiveToEveryByte) {
+  std::vector<uint8_t> data(257, 0xAB);
+  const uint64_t base = XxHash64(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 17) {
+    data[i] ^= 0x01;
+    EXPECT_NE(XxHash64(data.data(), data.size()), base) << "byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(Endian, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreLE64(0x0102030405060708ULL, buf);
+  EXPECT_EQ(buf[0], 0x08);  // least significant byte first
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(LoadLE64(buf), 0x0102030405060708ULL);
+  StoreLE32(0xdeadbeefU, buf);
+  EXPECT_EQ(buf[0], 0xef);
+  EXPECT_EQ(LoadLE32(buf), 0xdeadbeefU);
+}
+
+TEST(Format, SuperblockEncodeDecode) {
+  Superblock sb;
+  sb.section_count = 7;
+  sb.file_bytes = 12345;
+  sb.table_offset = kSuperblockBytes;
+  sb.table_bytes = 7 * kSectionEntryBytes;
+  sb.header_crc = 0x1122334455667788ULL;
+  uint8_t buf[kSuperblockBytes];
+  EncodeSuperblock(sb, buf);
+  const Superblock back = DecodeSuperblock(buf);
+  EXPECT_EQ(back.magic, kSnapshotMagic);
+  EXPECT_EQ(back.version, kSnapshotFormatVersion);
+  EXPECT_EQ(back.endian_tag, kEndianTag);
+  EXPECT_EQ(back.section_count, 7u);
+  EXPECT_EQ(back.file_bytes, 12345u);
+  EXPECT_EQ(back.header_crc, sb.header_crc);
+}
+
+// --- round trip ------------------------------------------------------------
+
+TEST(Snapshot, RoundTripIsBitIdentical) {
+  const WrittenSnapshot w = WriteDemo("round_trip");
+  auto opened = OpenSnapshot(w.path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->release, "demo");
+
+  const ReleaseSnapshot& a = *w.original;
+  const ReleaseSnapshot& b = *opened->snapshot;
+  EXPECT_EQ(b.epoch, a.epoch);
+  EXPECT_EQ(b.source.kind, "snapshot");
+  EXPECT_GT(b.source.bytes_mapped, 0u);
+
+  // Parameters and schema survive exactly.
+  EXPECT_EQ(b.bundle.params.retention_p, a.bundle.params.retention_p);
+  EXPECT_EQ(b.bundle.params.lambda, a.bundle.params.lambda);
+  EXPECT_EQ(b.bundle.params.delta, a.bundle.params.delta);
+  EXPECT_EQ(b.bundle.params.domain_m, a.bundle.params.domain_m);
+  EXPECT_EQ(b.bundle.sensitive_attribute, a.bundle.sensitive_attribute);
+  const auto& sa = *a.bundle.data.schema();
+  const auto& sb = *b.bundle.data.schema();
+  ASSERT_EQ(sb.num_attributes(), sa.num_attributes());
+  for (size_t at = 0; at < sa.num_attributes(); ++at) {
+    EXPECT_EQ(sb.attribute(at).name, sa.attribute(at).name);
+    EXPECT_EQ(sb.attribute(at).domain.values(),
+              sa.attribute(at).domain.values());
+    EXPECT_EQ(sb.is_sensitive(at), sa.is_sensitive(at));
+  }
+
+  // Every index array is bit-identical (the mmap'd spans vs the built
+  // vectors), and so is the table itself.
+  const FlatGroupIndex::Storage sa_st = a.index.storage();
+  const FlatGroupIndex::Storage sb_st = b.index.storage();
+  EXPECT_EQ(sb_st.packed, sa_st.packed);
+  EXPECT_EQ(sb_st.num_groups, sa_st.num_groups);
+  EXPECT_EQ(sb_st.num_records, sa_st.num_records);
+  auto equal = [](auto lhs, auto rhs) {
+    return std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end());
+  };
+  EXPECT_TRUE(equal(sb_st.packed_keys, sa_st.packed_keys));
+  EXPECT_TRUE(equal(sb_st.na_codes, sa_st.na_codes));
+  EXPECT_TRUE(equal(sb_st.sa_counts, sa_st.sa_counts));
+  EXPECT_TRUE(equal(sb_st.row_offsets, sa_st.row_offsets));
+  EXPECT_TRUE(equal(sb_st.row_values, sa_st.row_values));
+  ASSERT_EQ(b.bundle.data.num_rows(), a.bundle.data.num_rows());
+  for (size_t c = 0; c < sa.num_attributes(); ++c) {
+    EXPECT_TRUE(equal(b.bundle.data.column(c), a.bundle.data.column(c)))
+        << "column " << c;
+  }
+}
+
+TEST(Snapshot, MmapAlignment) {
+  const WrittenSnapshot w = WriteDemo("alignment");
+  auto opened = OpenSnapshot(w.path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const FlatGroupIndex::Storage st = opened->snapshot->index.storage();
+  auto aligned = [](const void* p) {
+    return reinterpret_cast<uintptr_t>(p) % kSectionAlignment == 0;
+  };
+  EXPECT_TRUE(aligned(st.na_codes.data()));
+  EXPECT_TRUE(aligned(st.sa_counts.data()));
+  EXPECT_TRUE(aligned(st.row_offsets.data()));
+  EXPECT_TRUE(aligned(st.row_values.data()));
+  if (st.packed) EXPECT_TRUE(aligned(st.packed_keys.data()));
+}
+
+TEST(Snapshot, InspectReportsIdentityAndSections) {
+  const WrittenSnapshot w = WriteDemo("inspect");
+  auto info = InspectSnapshot(w.path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->release, "demo");
+  EXPECT_EQ(info->epoch, 7u);
+  EXPECT_EQ(info->num_records, w.original->index.num_records());
+  EXPECT_EQ(info->num_groups, w.original->index.num_groups());
+  EXPECT_EQ(info->superblock.version, kSnapshotFormatVersion);
+  EXPECT_EQ(size_t(info->superblock.section_count), info->sections.size());
+  EXPECT_EQ(info->superblock.file_bytes, fs::file_size(w.path));
+  bool saw_manifest = false;
+  for (const SectionEntry& e : info->sections) {
+    EXPECT_EQ(e.offset % kSectionAlignment, 0u);
+    if (SectionKind(e.kind) == SectionKind::kManifestJson) saw_manifest = true;
+  }
+  EXPECT_TRUE(saw_manifest);
+}
+
+TEST(Snapshot, AnswersMatchAcrossSaveAndOpen) {
+  const WrittenSnapshot w = WriteDemo("answers");
+
+  // Serve the original and the reopened snapshot side by side and compare
+  // a full query sweep (every public value and every SA value).
+  auto direct_store = std::make_shared<serve::ReleaseStore>();
+  ASSERT_TRUE(direct_store
+                  ->Publish("demo", recpriv::testing::DemoBundle(2015))
+                  .ok());
+  auto mapped_store = std::make_shared<serve::ReleaseStore>();
+  ASSERT_TRUE(mapped_store->OpenSnapshot(w.path).ok());
+
+  client::InProcessClient direct(direct_store);
+  client::InProcessClient mapped(mapped_store);
+  auto schema = direct.GetSchema("demo");
+  ASSERT_TRUE(schema.ok());
+
+  client::QueryRequest request;
+  request.release = "demo";
+  for (const client::AttributeInfo& attr : schema->attributes) {
+    if (attr.sensitive) continue;
+    for (const std::string& value : attr.values) {
+      for (const client::AttributeInfo& sa : schema->attributes) {
+        if (!sa.sensitive) continue;
+        for (const std::string& sa_value : sa.values) {
+          client::QuerySpec spec;
+          spec.where = {{attr.name, value}};
+          spec.sa = sa_value;
+          request.queries.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(request.queries.empty());
+
+  auto direct_answer = direct.Query(request);
+  auto mapped_answer = mapped.Query(request);
+  ASSERT_TRUE(direct_answer.ok()) << direct_answer.status().ToString();
+  ASSERT_TRUE(mapped_answer.ok()) << mapped_answer.status().ToString();
+  ASSERT_EQ(direct_answer->answers.size(), mapped_answer->answers.size());
+  for (size_t i = 0; i < direct_answer->answers.size(); ++i) {
+    EXPECT_EQ(mapped_answer->answers[i].observed,
+              direct_answer->answers[i].observed) << "query " << i;
+    EXPECT_EQ(mapped_answer->answers[i].matched_size,
+              direct_answer->answers[i].matched_size) << "query " << i;
+    EXPECT_EQ(mapped_answer->answers[i].estimate,
+              direct_answer->answers[i].estimate) << "query " << i;
+  }
+}
+
+// --- corruption and versioning ---------------------------------------------
+
+TEST(Snapshot, RejectsBadMagic) {
+  const WrittenSnapshot w = WriteDemo("bad_magic");
+  std::vector<uint8_t> bytes = ReadFileBytes(w.path);
+  bytes[0] ^= 0xFF;
+  ResealHeader(bytes);
+  WriteFileBytes(w.path, bytes);
+  auto opened = OpenSnapshot(w.path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Snapshot, FailsFastOnForeignFormatVersion) {
+  const WrittenSnapshot w = WriteDemo("foreign_version");
+  std::vector<uint8_t> bytes = ReadFileBytes(w.path);
+  // A well-formed file from a future format: version bumped, header crc
+  // valid. The reader must refuse by version, not by checksum accident.
+  StoreLE32(kSnapshotFormatVersion + 41, bytes.data() + 8);
+  ResealHeader(bytes);
+  WriteFileBytes(w.path, bytes);
+  auto opened = OpenSnapshot(w.path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotImplemented);
+  EXPECT_NE(opened.status().message().find("version"), std::string::npos);
+}
+
+TEST(Snapshot, DetectsHeaderCorruption) {
+  const WrittenSnapshot w = WriteDemo("header_corruption");
+  std::vector<uint8_t> bytes = ReadFileBytes(w.path);
+  bytes[kSuperblockBytes + 16] ^= 0x01;  // a section entry's offset field
+  WriteFileBytes(w.path, bytes);
+  auto opened = OpenSnapshot(w.path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Snapshot, DetectsTruncation) {
+  const WrittenSnapshot w = WriteDemo("truncation");
+  std::vector<uint8_t> bytes = ReadFileBytes(w.path);
+  bytes.resize(bytes.size() - 1);
+  WriteFileBytes(w.path, bytes);
+  auto opened = OpenSnapshot(w.path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+
+  bytes.resize(kSuperblockBytes / 2);  // not even a whole superblock
+  WriteFileBytes(w.path, bytes);
+  opened = OpenSnapshot(w.path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Snapshot, DetectsPayloadCorruptionInEverySection) {
+  const WrittenSnapshot w = WriteDemo("payload_corruption");
+  auto info = InspectSnapshot(w.path);
+  ASSERT_TRUE(info.ok());
+  const std::vector<uint8_t> pristine = ReadFileBytes(w.path);
+  for (const SectionEntry& e : info->sections) {
+    std::vector<uint8_t> bytes = pristine;
+    bytes[e.offset + e.bytes / 2] ^= 0x10;
+    WriteFileBytes(w.path, bytes);
+    auto opened = OpenSnapshot(w.path);
+    ASSERT_FALSE(opened.ok()) << "section kind " << e.kind;
+    EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss)
+        << "section kind " << e.kind;
+  }
+}
+
+TEST(FromStorage, RejectsStructurallyInvalidArrays) {
+  ReleaseBundle bundle = recpriv::testing::DemoBundle(2015);
+  const FlatGroupIndex built = FlatGroupIndex::Build(bundle.data);
+  const FlatGroupIndex::Storage good = built.storage();
+  const auto schema = bundle.data.schema();
+
+  {
+    auto ok = FlatGroupIndex::FromStorage(schema, good);
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  }
+  {
+    FlatGroupIndex::Storage bad = good;
+    bad.num_records += 1;  // CSR no longer covers every record
+    EXPECT_EQ(FlatGroupIndex::FromStorage(schema, bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    FlatGroupIndex::Storage bad = good;
+    std::vector<uint64_t> offsets(good.row_offsets.begin(),
+                                  good.row_offsets.end());
+    offsets[0] = 1;  // CSR must start at 0
+    bad.row_offsets = offsets;
+    EXPECT_EQ(FlatGroupIndex::FromStorage(schema, bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    FlatGroupIndex::Storage bad = good;
+    std::vector<uint32_t> rows(good.row_values.begin(),
+                               good.row_values.end());
+    rows[0] = rows[1];  // no longer a permutation
+    bad.row_values = rows;
+    EXPECT_EQ(FlatGroupIndex::FromStorage(schema, bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    FlatGroupIndex::Storage bad = good;
+    std::vector<uint64_t> counts(good.sa_counts.begin(),
+                                 good.sa_counts.end());
+    counts[0] += 1;  // histogram row no longer sums to the group size
+    bad.sa_counts = counts;
+    EXPECT_EQ(FlatGroupIndex::FromStorage(schema, bad).status().code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+// --- ReleaseStore persistence ----------------------------------------------
+
+TEST(ReleaseStorePersistence, PublishPersistsAndRecoverySeesIt) {
+  const std::string dir = TempDir("persist_recover");
+  serve::ReleaseStore::Options options;
+  options.retained_epochs = 4;
+  options.snapshot_dir = dir;
+  uint64_t first_epoch = 0;
+  {
+    serve::ReleaseStore store(options);
+    ASSERT_TRUE(store.RecoverFromDir().ok());
+    auto snap = store.Publish("demo", recpriv::testing::DemoBundle(2015));
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    first_epoch = (*snap)->epoch;
+    ASSERT_TRUE(
+        store.Publish("demo", recpriv::testing::DemoBundle(2016)).ok());
+    // Two epochs, two managed files.
+    size_t files = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().extension() == ".rps") ++files;
+    }
+    EXPECT_EQ(files, 2u);
+  }
+  // A fresh store over the same directory recovers the full window and
+  // continues the epoch sequence instead of reusing numbers.
+  serve::ReleaseStore restarted(options);
+  ASSERT_TRUE(restarted.RecoverFromDir().ok());
+  auto info = restarted.Info("demo");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->oldest_epoch, first_epoch);
+  EXPECT_EQ(info->epoch, first_epoch + 1);
+  EXPECT_EQ(info->retained_epochs, 2u);
+  EXPECT_EQ(info->source_kind, "snapshot");
+  auto republished =
+      restarted.Publish("demo", recpriv::testing::DemoBundle(2017));
+  ASSERT_TRUE(republished.ok());
+  EXPECT_EQ((*republished)->epoch, first_epoch + 2);
+}
+
+TEST(ReleaseStorePersistence, EvictionAndDropDeleteManagedFiles) {
+  const std::string dir = TempDir("evict_drop");
+  serve::ReleaseStore::Options options;
+  options.retained_epochs = 2;
+  options.snapshot_dir = dir;
+  serve::ReleaseStore store(options);
+  ASSERT_TRUE(store.RecoverFromDir().ok());
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ASSERT_TRUE(
+        store.Publish("demo", recpriv::testing::DemoBundle(seed)).ok());
+  }
+  size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".rps") ++files;
+  }
+  EXPECT_EQ(files, 2u);  // epochs 1 and 2 were evicted with their files
+
+  ASSERT_TRUE(store.Drop("demo").ok());
+  files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".rps") ++files;
+  }
+  EXPECT_EQ(files, 0u);  // dropped releases cannot be resurrected
+}
+
+TEST(ReleaseStorePersistence, RecoveryFailsFastOnCorruptFile) {
+  const std::string dir = TempDir("recover_corrupt");
+  serve::ReleaseStore::Options options;
+  options.snapshot_dir = dir;
+  {
+    serve::ReleaseStore store(options);
+    ASSERT_TRUE(store.RecoverFromDir().ok());
+    ASSERT_TRUE(
+        store.Publish("demo", recpriv::testing::DemoBundle(2015)).ok());
+  }
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() != ".rps") continue;
+    std::vector<uint8_t> bytes = ReadFileBytes(e.path().string());
+    bytes[bytes.size() / 2] ^= 0x01;
+    WriteFileBytes(e.path().string(), bytes);
+  }
+  serve::ReleaseStore restarted(options);
+  const Status recovered = restarted.RecoverFromDir();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.code(), StatusCode::kDataLoss);
+  EXPECT_NE(recovered.message().find("recovery failed"), std::string::npos);
+}
+
+TEST(ReleaseStorePersistence, DuplicateEpochInstallIsAlreadyExists) {
+  const WrittenSnapshot w = WriteDemo("dup_epoch");
+  serve::ReleaseStore store;
+  ASSERT_TRUE(store.OpenSnapshot(w.path).ok());
+  const auto again = store.OpenSnapshot(w.path);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ReleaseStorePersistence, SanitizedFilenamesForHostileNames) {
+  const std::string dir = TempDir("hostile_names");
+  serve::ReleaseStore::Options options;
+  options.snapshot_dir = dir;
+  serve::ReleaseStore store(options);
+  ASSERT_TRUE(store.RecoverFromDir().ok());
+  ASSERT_TRUE(store
+                  .Publish("../etc/passwd x%41",
+                           recpriv::testing::DemoBundle(2015))
+                  .ok());
+  // Everything the publish wrote stays inside the managed directory, and
+  // recovery restores the hostile name from the manifest, not the path.
+  size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_TRUE(e.is_regular_file());
+    EXPECT_EQ(e.path().extension(), ".rps");
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  serve::ReleaseStore restarted(options);
+  ASSERT_TRUE(restarted.RecoverFromDir().ok());
+  EXPECT_TRUE(restarted.Get("../etc/passwd x%41").ok());
+}
+
+}  // namespace
+}  // namespace recpriv::store

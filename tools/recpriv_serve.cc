@@ -51,6 +51,11 @@ options:
   --cache N           answer-cache capacity (entries)      [default 65536]
   --retain N          retained epochs per release for pinned queries
                       [default 4]
+  --snapshot-dir DIR  persist every publish as a binary snapshot under DIR
+                      (src/store format, one .rps file per epoch) and, at
+                      startup, recover the retained-epoch window from DIR;
+                      a server restarted with the same DIR serves the same
+                      releases without re-parsing any CSV
   --batch-window-us N micro-batch scheduler: fuse same-snapshot queries
                       arriving within N microseconds into one evaluation
                       (stats op reports a "scheduler" section) [default 0:
@@ -89,7 +94,7 @@ int Run(int argc, char** argv) {
   const std::set<std::string> known = {
       "release", "name", "threads",   "cache",           "retain", "demo",
       "help",    "host", "port",      "max-conns",       "idle-timeout-ms",
-      "batch-window-us"};
+      "batch-window-us",  "snapshot-dir"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -124,7 +129,20 @@ int Run(int argc, char** argv) {
   options.cache_capacity = size_t(*cache);
   options.micro_batch_window_us = int(*batch_window);
 
-  auto store = std::make_shared<serve::ReleaseStore>(size_t(*retain));
+  serve::ReleaseStore::Options store_options;
+  store_options.retained_epochs = size_t(*retain);
+  store_options.snapshot_dir = flags.GetString("snapshot-dir", "");
+  auto store = std::make_shared<serve::ReleaseStore>(store_options);
+  if (!store->snapshot_dir().empty()) {
+    // Recover before any --release/--demo publish: recovered epochs must
+    // precede this run's epochs in every release window.
+    auto recovered = store->RecoverFromDir();
+    if (!recovered.ok()) return Fail(recovered);
+    for (const serve::ReleaseInfo& info : store->List()) {
+      std::cerr << "recovered '" << info.name << "' from snapshots (epochs "
+                << info.oldest_epoch << ".." << info.epoch << ")\n";
+    }
+  }
   auto engine = std::make_shared<serve::QueryEngine>(store, options);
   client::InProcessClient admin(engine);
 

@@ -43,6 +43,9 @@ options:
   --cache N             answer-cache capacity                [default 65536]
   --retain N            retained epochs per release          [default 4]
   --batch-window-us N   micro-batch scheduler window; 0 = off [default 0]
+  --snapshot-dir DIR    run against a persistent snapshot store: recover
+                        any .rps snapshots in DIR first, persist every
+                        publish there (the recpriv_serve restart path)
   --json FILE           write the run report as JSON
   --help                print this help and exit
 )";
@@ -127,7 +130,7 @@ int Run(int argc, char** argv) {
       "profile", "scenario", "replay",  "print-profile", "list-profiles",
       "seed",    "tcp",      "verify",  "record",        "threads",
       "cache",   "retain",   "batch-window-us",          "json",
-      "help"};
+      "snapshot-dir",        "help"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -192,6 +195,7 @@ int Run(int argc, char** argv) {
   options.retained_epochs = size_t(*retain);
   options.verify = *verify;
   options.over_tcp = *tcp;
+  options.snapshot_dir = flags.GetString("snapshot-dir", "");
 
   Result<workload::DriverReport> report = Status::Internal("unreachable");
   if (flags.Has("replay")) {
