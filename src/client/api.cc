@@ -22,6 +22,8 @@ constexpr CodeName kCodeNames[] = {
     {ErrorCode::kMalformed, "MALFORMED"},
     {ErrorCode::kUnavailable, "UNAVAILABLE"},
     {ErrorCode::kDataLoss, "DATA_LOSS"},
+    {ErrorCode::kResourceExhausted, "RESOURCE_EXHAUSTED"},
+    {ErrorCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
 };
 
 }  // namespace
@@ -64,6 +66,10 @@ ErrorCode ErrorCodeFromStatus(const Status& status) {
       return ErrorCode::kUnavailable;
     case StatusCode::kDataLoss:
       return ErrorCode::kDataLoss;
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::kResourceExhausted;
+    case StatusCode::kDeadlineExceeded:
+      return ErrorCode::kDeadlineExceeded;
   }
   return ErrorCode::kInternal;
 }
@@ -94,6 +100,10 @@ Status ApiError::ToStatus() const {
       return Status::Unavailable(message);
     case ErrorCode::kDataLoss:
       return Status::DataLoss(message);
+    case ErrorCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case ErrorCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
   }
   return Status::Internal(message);
 }

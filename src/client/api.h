@@ -43,6 +43,8 @@ enum class ErrorCode {
   kMalformed,       ///< request line was not parseable JSON (wire only)
   kUnavailable,     ///< kUnavailable: server at max_connections; retry later
   kDataLoss,        ///< kDataLoss: a persisted snapshot is corrupt/unreadable
+  kResourceExhausted,  ///< kResourceExhausted: tenant over quota; retry later
+  kDeadlineExceeded,   ///< kDeadlineExceeded: deadline passed; shed unserved
 };
 
 /// Stable wire name of a code, e.g. "STALE_EPOCH".
@@ -83,6 +85,14 @@ struct QueryRequest {
   std::string release;
   std::optional<uint64_t> epoch;
   std::vector<QuerySpec> queries;
+  /// Tenant the request is accounted against for quota admission. Empty
+  /// means the default tenant — the bucket every legacy/undeclared session
+  /// shares (see serve/admission.h).
+  std::string tenant;
+  /// Relative deadline budget in milliseconds. When set, the serving side
+  /// fast-fails the batch with DEADLINE_EXCEEDED once the budget has
+  /// elapsed instead of occupying the engine pool past its usefulness.
+  std::optional<int64_t> deadline_ms;
 };
 
 /// One query's answer: the observed perturbed count O*, the matched
@@ -182,6 +192,22 @@ struct StoreReleaseStats {
   uint64_t bytes_mapped = 0;    ///< mmap'd bytes held alive ("snapshot")
 };
 
+/// Admission counters of one tenant's token bucket (serve/admission.h).
+struct TenantCounters {
+  uint64_t admitted = 0;  ///< query batches admitted past the bucket
+  uint64_t rejected = 0;  ///< batches refused with RESOURCE_EXHAUSTED
+  uint64_t shed = 0;      ///< batches fast-failed with DEADLINE_EXCEEDED
+};
+
+/// Per-tenant quota admission counters. Present in ServerStats only when
+/// the serving engine was started with a tenant quota
+/// (recpriv_serve --quota-qps).
+struct TenantStats {
+  double quota_qps = 0.0;    ///< configured refill rate (queries/second)
+  double quota_burst = 0.0;  ///< configured bucket depth (queries)
+  std::map<std::string, TenantCounters> tenants;
+};
+
 /// Engine-wide counters plus per-release serving metadata.
 struct ServerStats {
   uint64_t threads = 0;
@@ -190,6 +216,7 @@ struct ServerStats {
   std::optional<SchedulerStats> scheduler;  ///< see SchedulerStats
   std::optional<TransportStats> transport;  ///< see TransportStats
   std::vector<StoreReleaseStats> store;     ///< see StoreReleaseStats
+  std::optional<TenantStats> tenants;       ///< see TenantStats
 };
 
 }  // namespace recpriv::client

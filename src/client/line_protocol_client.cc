@@ -1,7 +1,9 @@
 #include "client/line_protocol_client.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 #include "serve/wire.h"
@@ -24,6 +26,35 @@ Result<std::string> IoStreamTransport::RoundTrip(
 Result<std::string> LoopbackTransport::RoundTrip(
     const std::string& request_line) {
   return serve::HandleRequestLine(request_line, engine_);
+}
+
+Result<std::string> FaultInjectingTransport::RoundTrip(
+    const std::string& request_line) {
+  if (dead_) {
+    return Status::Unavailable(
+        "fault injection: transport was disconnected; reconnect");
+  }
+  switch (injector_->SampleWrite()) {
+    case net::FaultKind::kNone:
+    case net::FaultKind::kShortWrite:  // no byte-level split without a socket
+      break;
+    case net::FaultKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(injector_->options().delay_ms));
+      break;
+    case net::FaultKind::kDrop:
+      dead_ = true;
+      return Status::Unavailable("fault injection: request dropped");
+    case net::FaultKind::kDisconnect:
+      dead_ = true;
+      return Status::Unavailable(
+          "fault injection: connection closed before the request");
+    case net::FaultKind::kTruncate:
+      dead_ = true;
+      return Status::Unavailable(
+          "fault injection: request truncated mid-line");
+  }
+  return inner_->RoundTrip(request_line);
 }
 
 LineProtocolClient::LineProtocolClient(

@@ -32,6 +32,7 @@
 
 #include "client/client.h"
 #include "common/json.h"
+#include "net/fault_injector.h"
 #include "serve/query_engine.h"
 
 namespace recpriv::client {
@@ -65,6 +66,34 @@ class LoopbackTransport : public LineTransport {
 
  private:
   serve::QueryEngine& engine_;
+};
+
+/// Decorates any LineTransport with a seeded fault schedule
+/// (net/fault_injector.h) — the transport-agnostic half of fault
+/// injection, so `recpriv_workload --faults` exercises the retry path even
+/// in-process. Drop/disconnect/truncate surface as UNAVAILABLE with a
+/// "fault injection:" message (the request never reaches the peer and the
+/// transport is considered dead); a delay sleeps then proceeds; a short
+/// write has no distinct meaning without a real socket and passes through.
+/// The TCP path applies the same schedule at the byte level instead
+/// (client/tcp_transport.h).
+class FaultInjectingTransport : public LineTransport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<LineTransport> inner,
+                          std::shared_ptr<net::FaultInjector> injector)
+      : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+  Result<std::string> RoundTrip(const std::string& request_line) override;
+
+  /// True once a drop/disconnect/truncate fault killed this transport;
+  /// every later RoundTrip fails UNAVAILABLE (a real dead socket does not
+  /// resurrect either — the retry layer must reconnect).
+  bool dead() const { return dead_; }
+
+ private:
+  std::unique_ptr<LineTransport> inner_;
+  std::shared_ptr<net::FaultInjector> injector_;
+  bool dead_ = false;
 };
 
 class LineProtocolClient : public Client {

@@ -1,0 +1,133 @@
+#include "client/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace recpriv::client {
+
+bool IsRetryableCode(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kIoError:  // TcpTransport maps EOF/timeouts here
+      return true;
+    case ErrorCode::kOk:
+    case ErrorCode::kInvalidRequest:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kAlreadyExists:
+    case ErrorCode::kStaleEpoch:
+    case ErrorCode::kInternal:
+    case ErrorCode::kUnsupported:
+    case ErrorCode::kMalformed:
+    case ErrorCode::kDataLoss:
+    case ErrorCode::kDeadlineExceeded:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// A dead transport needs a fresh connection; a quota rejection does not.
+bool NeedsReconnect(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kIoError;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RetryingClient>> RetryingClient::Create(
+    Factory factory, RetryPolicy policy) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("retrying client needs a factory");
+  }
+  if (policy.max_retries < 0 || policy.initial_backoff_ms < 0 ||
+      policy.multiplier < 1.0 || policy.max_backoff_ms < 0) {
+    return Status::InvalidArgument(
+        "retry policy: retries/backoffs must be non-negative and the "
+        "multiplier >= 1");
+  }
+  RECPRIV_ASSIGN_OR_RETURN(std::unique_ptr<Client> inner, factory());
+  return std::unique_ptr<RetryingClient>(
+      new RetryingClient(std::move(factory), policy, std::move(inner)));
+}
+
+void RetryingClient::Backoff(int attempt) {
+  double base = policy_.initial_backoff_ms;
+  for (int i = 0; i < attempt; ++i) base *= policy_.multiplier;
+  base = std::min(base, double(policy_.max_backoff_ms));
+  // Multiplicative jitter in [0.5, 1.0): desynchronizes a fleet of clients
+  // without ever waiting longer than the deterministic schedule.
+  const double jittered = base * (0.5 + 0.5 * jitter_.NextDouble());
+  if (jittered <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(jittered));
+}
+
+template <typename T>
+Result<T> RetryingClient::RunWithRetry(
+    const std::function<Result<T>(Client&)>& op) {
+  Result<T> result = Status::Internal("retry loop never ran");
+  for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 0) ++stats_.retries;
+    if (inner_ == nullptr) {
+      auto rebuilt = factory_();
+      if (!rebuilt.ok()) {
+        // Connecting itself failed; treat like any retryable failure.
+        result = rebuilt.status();
+        if (attempt < policy_.max_retries) Backoff(attempt);
+        continue;
+      }
+      inner_ = std::move(*rebuilt);
+      ++stats_.reconnects;
+    }
+    result = op(*inner_);
+    if (result.ok()) {
+      if (attempt > 0) ++stats_.retried_ok;
+      return result;
+    }
+    const ErrorCode code = ErrorCodeFromStatus(result.status());
+    if (!IsRetryableCode(code)) return result;
+    if (NeedsReconnect(code)) inner_.reset();
+    if (attempt < policy_.max_retries) Backoff(attempt);
+  }
+  ++stats_.exhausted;
+  return result;
+}
+
+Result<std::vector<ReleaseDescriptor>> RetryingClient::List() {
+  return RunWithRetry<std::vector<ReleaseDescriptor>>(
+      [](Client& c) { return c.List(); });
+}
+
+Result<BatchAnswer> RetryingClient::Query(const QueryRequest& request) {
+  return RunWithRetry<BatchAnswer>(
+      [&request](Client& c) { return c.Query(request); });
+}
+
+Result<ReleaseSchema> RetryingClient::GetSchema(
+    const std::string& release, std::optional<uint64_t> epoch) {
+  return RunWithRetry<ReleaseSchema>(
+      [&release, &epoch](Client& c) { return c.GetSchema(release, epoch); });
+}
+
+Result<ServerStats> RetryingClient::Stats() {
+  return RunWithRetry<ServerStats>([](Client& c) { return c.Stats(); });
+}
+
+Result<ReleaseDescriptor> RetryingClient::Publish(const std::string& name,
+                                                  const std::string& basename) {
+  return RunWithRetry<ReleaseDescriptor>(
+      [&name, &basename](Client& c) { return c.Publish(name, basename); });
+}
+
+Result<ReleaseDescriptor> RetryingClient::Drop(const std::string& name) {
+  return RunWithRetry<ReleaseDescriptor>(
+      [&name](Client& c) { return c.Drop(name); });
+}
+
+}  // namespace recpriv::client

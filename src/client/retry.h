@@ -1,0 +1,110 @@
+// RetryingClient: bounded, seeded retry/backoff around any Client factory.
+//
+// The serving stack's error taxonomy (client/api.h) splits cleanly into
+// answer-bearing codes — the server looked at the request and ruled on it
+// (NOT_FOUND, INVALID_ARGUMENT, FAILED_PRECONDITION, ...) — and transient
+// codes where retrying later may legitimately succeed:
+//
+//  * UNAVAILABLE          — admission rejection, server draining, or an
+//                           injected transport fault; the connection is
+//                           often dead, so the client must be rebuilt.
+//  * RESOURCE_EXHAUSTED   — a per-tenant quota rejection (serve/admission.h);
+//                           the connection is fine, the bucket just needs
+//                           time to refill. Backoff, same client.
+//  * IO errors            — TcpTransport maps EOF / response timeouts /
+//                           oversized lines to kIOError; the transport is
+//                           unusable and must be rebuilt.
+//
+// DEADLINE_EXCEEDED is deliberately NOT retryable: the caller's budget is
+// already spent, and retrying a dead deadline can never succeed.
+//
+// Backoff is exponential with seeded multiplicative jitter
+// (common/random.h), so a workload run with --faults retries on a
+// reproducible schedule. A RetryingClient owns one inner Client at a time
+// and, like every session object in this codebase, is not thread-safe —
+// one per session/thread.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/api.h"
+#include "client/client.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace recpriv::client {
+
+struct RetryPolicy {
+  int max_retries = 3;          ///< retries after the first attempt
+  int initial_backoff_ms = 10;  ///< first retry's base delay
+  double multiplier = 2.0;      ///< backoff growth per attempt
+  int max_backoff_ms = 1000;    ///< cap on the base delay
+  uint64_t jitter_seed = 2015;  ///< seeds the jitter stream (paper year)
+};
+
+/// True for the codes worth retrying (see the header comment for why).
+bool IsRetryableCode(ErrorCode code);
+
+/// Counters a RetryingClient accumulates across its lifetime.
+struct RetryStats {
+  uint64_t attempts = 0;     ///< total attempts, including first tries
+  uint64_t retries = 0;      ///< attempts beyond the first for some request
+  uint64_t retried_ok = 0;   ///< requests that failed then succeeded
+  uint64_t reconnects = 0;   ///< inner clients rebuilt after a dead transport
+  uint64_t exhausted = 0;    ///< requests that failed even after max_retries
+};
+
+/// Wraps a Client factory with the retry policy. The factory is invoked
+/// once up front and again whenever a retryable failure indicates a dead
+/// transport (UNAVAILABLE / IO error); a quota rejection keeps the
+/// existing connection and only backs off.
+class RetryingClient : public Client {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<Client>>()>;
+
+  /// Builds the first inner client eagerly so connection errors surface at
+  /// construction, not on the first request.
+  static Result<std::unique_ptr<RetryingClient>> Create(
+      Factory factory, RetryPolicy policy = {});
+
+  Result<std::vector<ReleaseDescriptor>> List() override;
+  Result<BatchAnswer> Query(const QueryRequest& request) override;
+  Result<ReleaseSchema> GetSchema(
+      const std::string& release,
+      std::optional<uint64_t> epoch = std::nullopt) override;
+  Result<ServerStats> Stats() override;
+  Result<ReleaseDescriptor> Publish(const std::string& name,
+                                    const std::string& basename) override;
+  Result<ReleaseDescriptor> Drop(const std::string& name) override;
+
+  const RetryStats& retry_stats() const { return stats_; }
+
+ private:
+  RetryingClient(Factory factory, RetryPolicy policy,
+                 std::unique_ptr<Client> inner)
+      : factory_(std::move(factory)),
+        policy_(policy),
+        jitter_(policy.jitter_seed),
+        inner_(std::move(inner)) {}
+
+  /// Runs `op` against the inner client under the retry policy.
+  template <typename T>
+  Result<T> RunWithRetry(const std::function<Result<T>(Client&)>& op);
+
+  /// Sleeps the jittered backoff for `attempt` (0-based retry index).
+  void Backoff(int attempt);
+
+  Factory factory_;
+  RetryPolicy policy_;
+  Rng jitter_;
+  std::unique_ptr<Client> inner_;
+  RetryStats stats_;
+};
+
+}  // namespace recpriv::client

@@ -1,5 +1,7 @@
 #include "client/tcp_transport.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "net/socket.h"
@@ -17,8 +19,53 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
 }
 
 Result<std::string> TcpTransport::RoundTrip(const std::string& request_line) {
+  if (options_.fault_injector != nullptr) {
+    switch (options_.fault_injector->SampleWrite()) {
+      case net::FaultKind::kNone:
+        break;
+      case net::FaultKind::kDrop:
+        // The bytes never leave; the socket dies. The server just sees a
+        // clean close of an idle connection.
+        channel_.Close();
+        return Status::Unavailable("fault injection: request dropped");
+      case net::FaultKind::kDisconnect:
+        channel_.Close();
+        return Status::Unavailable(
+            "fault injection: connection closed before the request");
+      case net::FaultKind::kTruncate: {
+        // Half a line, no newline, then close: the server's mid-line-EOF
+        // path. Best-effort write — the point is the dangling prefix.
+        const std::string data = request_line + "\n";
+        (void)channel_.WriteRaw(data.data(), data.size() / 2,
+                                options_.write_timeout_ms);
+        channel_.Close();
+        return Status::Unavailable(
+            "fault injection: request truncated mid-line");
+      }
+      case net::FaultKind::kShortWrite: {
+        // The full line still arrives, but split into two raw sends with a
+        // pause in between — the server's framing must reassemble it.
+        const std::string data = request_line + "\n";
+        const size_t head = data.size() / 2;
+        RECPRIV_RETURN_NOT_OK(
+            channel_.WriteRaw(data.data(), head, options_.write_timeout_ms));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        RECPRIV_RETURN_NOT_OK(channel_.WriteRaw(
+            data.data() + head, data.size() - head, options_.write_timeout_ms));
+        return ReadResponse();
+      }
+      case net::FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            options_.fault_injector->options().delay_ms));
+        break;
+    }
+  }
   RECPRIV_RETURN_NOT_OK(
       channel_.WriteLine(request_line, options_.write_timeout_ms));
+  return ReadResponse();
+}
+
+Result<std::string> TcpTransport::ReadResponse() {
   RECPRIV_ASSIGN_OR_RETURN(net::ReadResult read,
                            channel_.ReadLine(options_.response_timeout_ms));
   switch (read.event) {

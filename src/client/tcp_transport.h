@@ -17,6 +17,7 @@
 
 #include "client/line_protocol_client.h"
 #include "common/result.h"
+#include "net/fault_injector.h"
 #include "net/line_channel.h"
 
 namespace recpriv::client {
@@ -26,6 +27,14 @@ struct TcpTransportOptions {
   int response_timeout_ms = 60000;  ///< wait for the server's reply line
   int write_timeout_ms = 5000;
   size_t max_line_bytes = 1 << 20;  ///< longest accepted response line
+  /// When set, each request write draws from the seeded fault schedule and
+  /// the fault is applied at the byte level: drops and disconnects really
+  /// close the socket, truncation sends half a line then closes (the
+  /// server's mid-line-EOF path), short writes split the line into two raw
+  /// sends. Faulted requests surface as UNAVAILABLE; the retry layer
+  /// (client/retry.h) reconnects. Tests and `recpriv_workload --faults`
+  /// set this; production leaves it null.
+  std::shared_ptr<net::FaultInjector> fault_injector;
 };
 
 class TcpTransport : public LineTransport {
@@ -38,6 +47,10 @@ class TcpTransport : public LineTransport {
  private:
   TcpTransport(net::LineChannel channel, TcpTransportOptions options)
       : channel_(std::move(channel)), options_(options) {}
+
+  /// The read half of a round trip (shared by the normal and the
+  /// short-write paths).
+  Result<std::string> ReadResponse();
 
   net::LineChannel channel_;
   TcpTransportOptions options_;

@@ -26,6 +26,8 @@ enum class StatusCode {
   kNotImplemented,    ///< declared but intentionally unimplemented path
   kUnavailable,       ///< transiently out of capacity; retrying may succeed
   kDataLoss,          ///< persisted data is corrupt or unreadable
+  kResourceExhausted, ///< per-tenant quota exceeded; retrying later may succeed
+  kDeadlineExceeded,  ///< the request's deadline passed before it was served
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -70,6 +72,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,36 @@
+#include "net/fault_injector.h"
+
+namespace recpriv::net {
+
+FaultKind FaultInjector::SampleWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.writes;
+  if (rng_.NextBernoulli(options_.drop_rate)) {
+    ++stats_.drops;
+    return FaultKind::kDrop;
+  }
+  if (rng_.NextBernoulli(options_.disconnect_rate)) {
+    ++stats_.disconnects;
+    return FaultKind::kDisconnect;
+  }
+  if (rng_.NextBernoulli(options_.truncate_rate)) {
+    ++stats_.truncates;
+    return FaultKind::kTruncate;
+  }
+  if (rng_.NextBernoulli(options_.short_write_rate)) {
+    ++stats_.short_writes;
+    return FaultKind::kShortWrite;
+  }
+  if (rng_.NextBernoulli(options_.delay_rate)) {
+    ++stats_.delays;
+    return FaultKind::kDelay;
+  }
+  return FaultKind::kNone;
+}
+
+FaultStats FaultInjector::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace recpriv::net

@@ -1,0 +1,79 @@
+// Deterministic, seeded fault injection for the line transports.
+//
+// A FaultInjector is a thread-safe decision engine: each SampleWrite() draws
+// from a seeded stream and returns the fault (if any) to apply to the next
+// request write. The transports (client/tcp_transport.h for real sockets,
+// client::FaultInjectingTransport for the in-process loopback) own the
+// mechanics — dropping the line, closing the socket mid-line, splitting the
+// write, delaying — so the injector itself stays transport-agnostic and the
+// same seed reproduces the same fault schedule everywhere.
+//
+// Rates are independent probabilities evaluated in a fixed order (drop,
+// disconnect, truncate, short-write, delay); at most one fault fires per
+// write. Everything is counted, so tests and `recpriv_workload --faults`
+// can assert that the schedule actually fired.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace recpriv::net {
+
+struct FaultOptions {
+  uint64_t seed = 2015;        ///< fault schedule seed (reproducible)
+  double drop_rate = 0.0;      ///< request never sent; connection dropped
+  double disconnect_rate = 0.0;///< connection closed before the write
+  double truncate_rate = 0.0;  ///< half the line sent, then disconnect
+  double short_write_rate = 0.0;///< line sent in two raw chunks with a pause
+  double delay_rate = 0.0;     ///< write delayed by delay_ms, then normal
+  int delay_ms = 20;           ///< added latency when a delay fault fires
+};
+
+/// What to do to the next write. kNone means send normally.
+enum class FaultKind {
+  kNone = 0,
+  kDrop,        ///< do not send; surface UNAVAILABLE to the caller
+  kDisconnect,  ///< close the connection without sending
+  kTruncate,    ///< send a prefix of the line, then close (mid-line EOF)
+  kShortWrite,  ///< send the line in two raw chunks separated by a pause
+  kDelay,       ///< sleep delay_ms, then send normally
+};
+
+/// Counters of faults actually applied, by kind.
+struct FaultStats {
+  uint64_t writes = 0;  ///< SampleWrite calls (faulted or not)
+  uint64_t drops = 0;
+  uint64_t disconnects = 0;
+  uint64_t truncates = 0;
+  uint64_t short_writes = 0;
+  uint64_t delays = 0;
+
+  uint64_t total() const {
+    return drops + disconnects + truncates + short_writes + delays;
+  }
+};
+
+/// Seeded fault scheduler shared by every connection of one run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Draws the fault for the next request write. Thread-safe; the draw
+  /// order (and so the schedule) is the serialization order of calls.
+  FaultKind SampleWrite();
+
+  const FaultOptions& options() const { return options_; }
+  FaultStats Stats() const;
+
+ private:
+  FaultOptions options_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace recpriv::net

@@ -126,13 +126,18 @@ Result<ReadResult> LineChannel::ReadLine(int timeout_ms) {
 }
 
 Status LineChannel::WriteLine(const std::string& line, int timeout_ms) {
+  const std::string data = line + "\n";
+  return WriteRaw(data.data(), data.size(), timeout_ms);
+}
+
+Status LineChannel::WriteRaw(const char* data, size_t n_bytes,
+                             int timeout_ms) {
   if (!fd_.valid()) return Status::FailedPrecondition("channel is closed");
   const bool bounded = timeout_ms >= 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
-  const std::string data = line + "\n";
   size_t off = 0;
-  while (off < data.size()) {
+  while (off < n_bytes) {
     const int remaining = RemainingMs(bounded, deadline);
     if (bounded && remaining == 0) {
       return Status::IOError("write timed out (peer not reading)");
@@ -150,7 +155,7 @@ Status LineChannel::WriteLine(const std::string& line, int timeout_ms) {
       return Status::IOError("write timed out (peer not reading)");
     }
     const ssize_t n =
-        ::send(fd_.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        ::send(fd_.get(), data + off, n_bytes - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return ErrnoStatus("send", errno);

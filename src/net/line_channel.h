@@ -57,6 +57,11 @@ class LineChannel {
   /// stopped reading (full socket buffer past the timeout) is an error.
   Status WriteLine(const std::string& line, int timeout_ms);
 
+  /// Writes exactly `n` bytes of `data` with no framing added. Fault
+  /// injection (net/fault_injector.h) uses this to emit deliberately
+  /// unterminated or split lines; normal traffic goes through WriteLine.
+  Status WriteRaw(const char* data, size_t n, int timeout_ms);
+
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
 

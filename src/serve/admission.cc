@@ -1,0 +1,65 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace recpriv::serve {
+
+using Clock = std::chrono::steady_clock;
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options),
+      burst_(options.quota_burst > 0.0
+                 ? options.quota_burst
+                 : std::max(options.quota_qps, 1.0)) {}
+
+AdmissionController::Bucket& AdmissionController::BucketFor(
+    const std::string& tenant) {
+  const std::string& name = tenant.empty() ? kDefaultTenant : tenant;
+  auto it = buckets_.find(name);
+  if (it != buckets_.end()) return it->second;
+  if (buckets_.size() >= options_.max_tenants &&
+      name != kOverflowTenant) {
+    return BucketFor(kOverflowTenant);
+  }
+  Bucket bucket;
+  bucket.tokens = burst_;  // a new tenant starts with a full bucket
+  bucket.last_refill = Clock::now();
+  return buckets_.emplace(name, std::move(bucket)).first->second;
+}
+
+bool AdmissionController::Admit(const std::string& tenant, size_t queries) {
+  const double cost = double(std::max<size_t>(queries, 1));
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketFor(tenant);
+  const Clock::time_point now = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - bucket.last_refill).count();
+  bucket.last_refill = now;
+  bucket.tokens =
+      std::min(burst_, bucket.tokens + elapsed * options_.quota_qps);
+  if (bucket.tokens < cost) {
+    ++bucket.counters.rejected;
+    return false;
+  }
+  bucket.tokens -= cost;
+  ++bucket.counters.admitted;
+  return true;
+}
+
+void AdmissionController::CountShed(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++BucketFor(tenant).counters.shed;
+}
+
+client::TenantStats AdmissionController::Stats() const {
+  client::TenantStats out;
+  out.quota_qps = options_.quota_qps;
+  out.quota_burst = burst_;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, bucket] : buckets_) {
+    out.tenants[name] = bucket.counters;
+  }
+  return out;
+}
+
+}  // namespace recpriv::serve

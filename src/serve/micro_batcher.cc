@@ -48,9 +48,16 @@ Result<BatchResult> MicroBatcher::Slice(const Pending& batch, size_t offset,
 
 Result<BatchResult> MicroBatcher::Submit(const std::string& release,
                                          SnapshotPtr snap,
-                                         std::vector<CountQuery> queries) {
+                                         std::vector<CountQuery> queries,
+                                         const Deadline& deadline) {
   if (snap == nullptr) {
     return Status::InvalidArgument("MicroBatcher::Submit: null snapshot");
+  }
+  // Shed BEFORE coalescing: a past-deadline submission must never become
+  // a rider whose answers nobody will read.
+  if (DeadlineExpired(deadline)) {
+    return Status::DeadlineExceeded(
+        "deadline passed before the submission could join a batch");
   }
   // Validate BEFORE coalescing: a bad query fails its own submission only.
   RECPRIV_RETURN_NOT_OK(ValidateBatchForSnapshot(*snap, queries));
@@ -95,8 +102,17 @@ Result<BatchResult> MicroBatcher::Submit(const std::string& release,
   batch->full = batch->queries.size() >= options_.max_batch_queries;
   open_.insert_or_assign(key, batch);
 
-  batch->cv.wait_for(lock, std::chrono::microseconds(options_.window_us),
-                     [&] { return batch->full; });
+  // A leader with a deadline collects for at most its remaining budget:
+  // the window must trade latency for fusion only when there is latency
+  // to trade.
+  auto window = std::chrono::microseconds(options_.window_us);
+  if (deadline.has_value()) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            *deadline - std::chrono::steady_clock::now());
+    window = std::min(window, std::max(remaining, window.zero()));
+  }
+  batch->cv.wait_for(lock, window, [&] { return batch->full; });
   // Close: a submission arriving from here on opens a fresh batch, so
   // collection of the next batch overlaps this one's evaluation. Erase
   // only OUR entry — a full batch may already have been displaced by a

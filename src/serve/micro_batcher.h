@@ -75,8 +75,15 @@ class MicroBatcher {
   /// fused with concurrent submissions that resolved against the same
   /// snapshot. Blocks until the answers are ready. The returned BatchResult
   /// covers exactly this submission's queries, in submission order.
+  ///
+  /// A submission whose `deadline` has already passed is fast-failed with
+  /// DeadlineExceeded and never joins (or opens) a batch — a fused batch
+  /// carries no dead riders. A leader with a deadline also caps its
+  /// collection wait at its remaining budget, so a tight deadline cannot
+  /// be spent parked in the window.
   Result<BatchResult> Submit(const std::string& release, SnapshotPtr snap,
-                             std::vector<recpriv::query::CountQuery> queries);
+                             std::vector<recpriv::query::CountQuery> queries,
+                             const Deadline& deadline = std::nullopt);
 
   /// Point-in-time scheduler counters (window_us included).
   client::SchedulerStats Stats() const;

@@ -7,6 +7,7 @@
 #include "perturb/mle.h"
 #include "perturb/uniform_perturbation.h"
 #include "query/canonical.h"
+#include "serve/admission.h"
 #include "serve/micro_batcher.h"
 
 namespace recpriv::serve {
@@ -99,6 +100,12 @@ QueryEngine::QueryEngine(std::shared_ptr<ReleaseStore> store,
     batcher_options.window_us = options_.micro_batch_window_us;
     batcher_options.max_batch_queries = options_.micro_batch_max_queries;
     batcher_ = std::make_unique<MicroBatcher>(*this, batcher_options);
+  }
+  if (options_.tenant_quota_qps > 0.0) {
+    AdmissionOptions admission_options;
+    admission_options.quota_qps = options_.tenant_quota_qps;
+    admission_options.quota_burst = options_.tenant_quota_burst;
+    admission_ = std::make_unique<AdmissionController>(admission_options);
   }
 }
 
@@ -248,16 +255,28 @@ Result<BatchResult> QueryEngine::AnswerValidatedBatch(
 
 Result<BatchResult> QueryEngine::AnswerBatchScheduled(
     const std::string& release, SnapshotPtr snap,
-    const std::vector<CountQuery>& batch) {
+    const std::vector<CountQuery>& batch, const Deadline& deadline) {
+  // Shed before the pool: evaluating a batch nobody is waiting for would
+  // spend workers on dead work under exactly the overload that set the
+  // deadline off.
+  if (DeadlineExpired(deadline)) {
+    return Status::DeadlineExceeded(
+        "deadline passed before the batch reached the engine");
+  }
   if (batcher_ == nullptr || batch.empty()) {
     return AnswerBatch(release, std::move(snap), batch);
   }
-  return batcher_->Submit(release, std::move(snap), batch);
+  return batcher_->Submit(release, std::move(snap), batch, deadline);
 }
 
 std::optional<client::SchedulerStats> QueryEngine::scheduler_stats() const {
   if (batcher_ == nullptr) return std::nullopt;
   return batcher_->Stats();
+}
+
+std::optional<client::TenantStats> QueryEngine::tenant_stats() const {
+  if (admission_ == nullptr) return std::nullopt;
+  return admission_->Stats();
 }
 
 Result<Answer> QueryEngine::AnswerOne(const std::string& release,

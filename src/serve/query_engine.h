@@ -30,6 +30,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -45,7 +46,18 @@
 
 namespace recpriv::serve {
 
+class AdmissionController;
 class MicroBatcher;
+
+/// Absolute point past which a batch should be shed instead of evaluated.
+/// nullopt = no deadline (the default everywhere).
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+/// True when `deadline` is set and already in the past.
+inline bool DeadlineExpired(const Deadline& deadline) {
+  return deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *deadline;
+}
 
 /// How a batch's uncached queries are evaluated.
 enum class EvalStrategy {
@@ -65,6 +77,12 @@ struct QueryEngineOptions {
   int micro_batch_window_us = 0;
   /// A fused batch this large is evaluated without waiting out the window.
   size_t micro_batch_max_queries = 1024;
+  /// Per-tenant token-bucket admission (serve/admission.h): each tenant's
+  /// bucket refills at this many queries per second. 0 disables admission
+  /// (every batch is admitted and no "tenants" stats section exists).
+  double tenant_quota_qps = 0.0;
+  /// Bucket depth in queries; <= 0 means max(tenant_quota_qps, 1).
+  double tenant_quota_burst = 0.0;
 };
 
 /// One query's answer.
@@ -117,13 +135,22 @@ class QueryEngine {
   /// micro-batching scheduler when one is configured
   /// (micro_batch_window_us > 0): concurrent same-snapshot submissions are
   /// fused into one evaluation and the answers split back, bit-identical
-  /// to the unbatched path. The serving front ends call this.
+  /// to the unbatched path. The serving front ends call this. A batch whose
+  /// `deadline` has already passed is fast-failed with DeadlineExceeded
+  /// before it can occupy the pool or join a fused batch.
   Result<BatchResult> AnswerBatchScheduled(
       const std::string& release, SnapshotPtr snap,
-      const std::vector<recpriv::query::CountQuery>& batch);
+      const std::vector<recpriv::query::CountQuery>& batch,
+      const Deadline& deadline = std::nullopt);
 
   /// Scheduler counters, or nullopt when micro-batching is disabled.
   std::optional<client::SchedulerStats> scheduler_stats() const;
+
+  /// Per-tenant admission counters, or nullopt when no quota is configured.
+  std::optional<client::TenantStats> tenant_stats() const;
+
+  /// The admission controller, or nullptr when no quota is configured.
+  AdmissionController* admission() { return admission_.get(); }
 
   const QueryEngineOptions& options() const { return options_; }
   ReleaseStore& store() { return *store_; }
@@ -145,6 +172,7 @@ class QueryEngine {
   AnswerCache cache_;
   ThreadPool pool_;
   std::unique_ptr<MicroBatcher> batcher_;  ///< set iff window_us > 0
+  std::unique_ptr<AdmissionController> admission_;  ///< set iff quota > 0
 };
 
 /// The schema/arity validation AnswerBatch applies to every batch, exposed

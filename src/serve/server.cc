@@ -100,6 +100,11 @@ client::TransportStats Server::Metrics() const {
   return t;
 }
 
+std::map<std::string, uint64_t> Server::ErrorCodeCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_codes_;
+}
+
 void Server::PollLoop() {
   std::vector<SessionPtr> idle;
   std::vector<struct pollfd> pollfds;
@@ -186,6 +191,11 @@ void Server::PollLoop() {
       }
       if (!admitted) {
         rejected_.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++error_codes_[std::string(
+              client::ErrorCodeName(client::ErrorCode::kUnavailable))];
+        }
         // Best effort: tell the peer why before closing. Bounded write, so
         // a deaf peer costs at most the timeout.
         (void)channel.WriteLine(
@@ -265,9 +275,12 @@ bool Server::HandleLine(Session& session, const std::string& line) {
   {
     // Client-chosen op strings must not become map keys (a peer cycling
     // made-up ops would grow this without bound): unknown ops share one
-    // bucket.
+    // bucket. Error-code keys are already bounded by the enum.
     std::lock_guard<std::mutex> lock(mu_);
     ++ops_[IsKnownOp(info.op) ? info.op : std::string("(other)")];
+    if (!info.ok) {
+      ++error_codes_[std::string(client::ErrorCodeName(info.error_code))];
+    }
   }
   return session.channel.WriteLine(response, options_.write_timeout_ms).ok();
 }
@@ -301,6 +314,11 @@ void Server::PumpSession(const SessionPtr& session) {
         errors_.fetch_add(1);
         ++session->requests;
         ++session->errors;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++error_codes_[std::string(
+              client::ErrorCodeName(client::ErrorCode::kMalformed))];
+        }
         session->last_activity = Clock::now();
         const bool alive =
             session->channel

@@ -88,6 +88,13 @@ class Server {
   /// Point-in-time snapshot of the transport counters.
   client::TransportStats Metrics() const;
 
+  /// Error responses by wire code name ("RESOURCE_EXHAUSTED", ...), for
+  /// the shutdown summary. Keys are bounded by the ErrorCode enum (plus
+  /// UNAVAILABLE from max_connections rejections), so the map cannot be
+  /// grown by a hostile peer. Deliberately not part of the wire
+  /// TransportStats shape.
+  std::map<std::string, uint64_t> ErrorCodeCounts() const;
+
  private:
   /// One admitted connection's framing + session state. Owned by exactly
   /// one party at a time — the poller (idle) or a pool slice (running) —
@@ -133,10 +140,11 @@ class Server {
   std::vector<SessionPtr> returned_;
   bool poller_exited_ = false;
 
-  mutable std::mutex mu_;                ///< guards active_ and ops_
+  mutable std::mutex mu_;  ///< guards active_, ops_, and error_codes_
   std::condition_variable drained_cv_;   ///< active_ reached zero
   size_t active_ = 0;
   std::map<std::string, uint64_t> ops_;  ///< per-op request counts
+  std::map<std::string, uint64_t> error_codes_;  ///< errors by wire code
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -1,9 +1,11 @@
 #include "serve/service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/timer.h"
 #include "query/count_query.h"
+#include "serve/admission.h"
 #include "table/predicate.h"
 
 namespace recpriv::serve {
@@ -62,6 +64,22 @@ Result<std::vector<client::ReleaseDescriptor>> ListReleases(
 
 Result<client::BatchAnswer> ExecuteQuery(QueryEngine& engine,
                                          const client::QueryRequest& request) {
+  const std::string& tenant =
+      request.tenant.empty() ? kDefaultTenant : request.tenant;
+  // Admission first: an over-quota tenant must be rejected before its
+  // request costs a snapshot pin, query resolution, or a pool slot.
+  AdmissionController* admission = engine.admission();
+  if (admission != nullptr &&
+      !admission->Admit(tenant, request.queries.size())) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' is over its query quota; retry later");
+  }
+  Deadline deadline;
+  if (request.deadline_ms.has_value()) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(*request.deadline_ms);
+  }
+
   RECPRIV_ASSIGN_OR_RETURN(
       SnapshotPtr snap, ResolveSnapshot(engine, request.release, request.epoch));
   const Schema& schema = *snap->bundle.data.schema();
@@ -76,10 +94,19 @@ Result<client::BatchAnswer> ExecuteQuery(QueryEngine& engine,
   // Evaluate against the same snapshot the codes were resolved with: a
   // republish between our Get and evaluation must not remap the codes.
   // Routed through the micro-batching scheduler when one is configured, so
-  // concurrent same-snapshot requests fuse into one evaluation.
-  RECPRIV_ASSIGN_OR_RETURN(
-      BatchResult result,
-      engine.AnswerBatchScheduled(request.release, snap, batch));
+  // concurrent same-snapshot requests fuse into one evaluation. The engine
+  // fast-fails the batch if the deadline passes before it reaches the
+  // pool; that shed is counted against the tenant.
+  Result<BatchResult> scheduled =
+      engine.AnswerBatchScheduled(request.release, snap, batch, deadline);
+  if (!scheduled.ok()) {
+    if (admission != nullptr &&
+        scheduled.status().code() == StatusCode::kDeadlineExceeded) {
+      admission->CountShed(tenant);
+    }
+    return scheduled.status();
+  }
+  BatchResult result = std::move(*scheduled);
   client::BatchAnswer out;
   out.release = request.release;
   out.epoch = result.epoch;
@@ -133,6 +160,7 @@ Result<client::ServerStats> CollectStats(QueryEngine& engine) {
     stats.store.push_back(std::move(source));
   }
   stats.scheduler = engine.scheduler_stats();
+  stats.tenants = engine.tenant_stats();
   return stats;
 }
 

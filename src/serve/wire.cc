@@ -153,6 +153,11 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
     transport.Set("ops", std::move(ops));
     out.Set("transport", std::move(transport));
   }
+  if (stats.tenants.has_value()) {
+    // Absent when quotas are disabled, like "scheduler"/"transport", so
+    // golden transcripts of quota-less servers are unchanged.
+    out.Set("tenants", wire::EncodeTenantStats(*stats.tenants));
+  }
   if (!stats.store.empty()) {
     // Flat objects only: the golden-session harness strips this array with
     // a regex (timings are nondeterministic), which relies on no nested
@@ -209,6 +214,20 @@ Result<client::QueryRequest> DecodeQueryRequestBody(const JsonValue& request) {
     }
     RECPRIV_ASSIGN_OR_RETURN(qs.sa, RequireString(*spec, "sa"));
     req.queries.push_back(std::move(qs));
+  }
+  if (request.Has("tenant")) {
+    RECPRIV_ASSIGN_OR_RETURN(req.tenant, RequireString(request, "tenant"));
+  }
+  if (request.Has("deadline_ms")) {
+    RECPRIV_ASSIGN_OR_RETURN(int64_t deadline,
+                             RequireInt(request, "deadline_ms"));
+    // A negative budget is a shape error; 0 is legal and sheds immediately
+    // (the request reports what work *would* have been admitted).
+    if (deadline < 0) {
+      return Status::InvalidArgument(
+          "'deadline_ms' must be a non-negative integer");
+    }
+    req.deadline_ms = deadline;
   }
   return req;
 }
@@ -309,12 +328,19 @@ JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine,
   RequestInfo scratch;
   if (info == nullptr) info = &scratch;
   info->parsed = true;
+  // Every error path funnels through here so the front end's per-code
+  // counters (the shutdown summary) see the same taxonomy the wire does.
+  const auto fail = [info](int64_t v, const JsonValue* id,
+                           const ApiError& error) {
+    info->error_code = error.code;
+    return ErrorBody(v, id, error);
+  };
 
   if (!request.is_object()) {
     // Valid JSON of the wrong shape is a request error, not MALFORMED
     // (which is reserved for lines that never parsed); the version field
     // is unreadable on a non-object, so answer in the current shape.
-    return ErrorBody(
+    return fail(
         kWireVersionCurrent, nullptr,
         ApiError{ErrorCode::kInvalidRequest, "request must be a JSON object"});
   }
@@ -326,29 +352,29 @@ JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine,
   if (request.Has("v")) {
     auto v = (*request.Get("v"))->AsInt();
     if (!v.ok()) {
-      return ErrorBody(kWireVersionCurrent, id,
-                       ApiError{ErrorCode::kInvalidRequest,
-                                "'v' must be an integer protocol version"});
+      return fail(kWireVersionCurrent, id,
+                  ApiError{ErrorCode::kInvalidRequest,
+                           "'v' must be an integer protocol version"});
     }
     version = *v;
     if (version != kWireVersionLegacy && version != kWireVersionCurrent) {
-      return ErrorBody(kWireVersionCurrent, id,
-                       ApiError{ErrorCode::kUnsupported,
-                                "unsupported protocol version " +
-                                    std::to_string(version) +
-                                    " (supported: 1, 2)"});
+      return fail(kWireVersionCurrent, id,
+                  ApiError{ErrorCode::kUnsupported,
+                           "unsupported protocol version " +
+                               std::to_string(version) +
+                               " (supported: 1, 2)"});
     }
   }
   info->version = version;
 
   auto op = RequireString(request, "op");
   if (!op.ok()) {
-    return ErrorBody(version, id, ApiError::FromStatus(op.status()));
+    return fail(version, id, ApiError::FromStatus(op.status()));
   }
   info->op = *op;
   Result<JsonValue> payload = Dispatch(*op, request, engine, context);
   if (!payload.ok()) {
-    return ErrorBody(version, id, ApiError::FromStatus(payload.status()));
+    return fail(version, id, ApiError::FromStatus(payload.status()));
   }
   info->ok = true;
   return OkBody(version, id, std::move(*payload));
@@ -368,6 +394,7 @@ std::string HandleRequestLine(const std::string& line, QueryEngine& engine,
     // The line never became JSON, so its protocol version is unknowable;
     // report in the current (structured) shape with the MALFORMED code.
     info->parsed = false;
+    info->error_code = ErrorCode::kMalformed;
     return ErrorBody(
                kWireVersionCurrent, nullptr,
                ApiError{ErrorCode::kMalformed, request.status().message()})
@@ -468,6 +495,22 @@ JsonValue EncodeSchedulerStats(const client::SchedulerStats& stats) {
   return out;
 }
 
+JsonValue EncodeTenantStats(const client::TenantStats& stats) {
+  JsonValue by_tenant = JsonValue::Object();
+  for (const auto& [name, c] : stats.tenants) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("admitted", JsonValue::Int(int64_t(c.admitted)));
+    entry.Set("rejected", JsonValue::Int(int64_t(c.rejected)));
+    entry.Set("shed", JsonValue::Int(int64_t(c.shed)));
+    by_tenant.Set(name, std::move(entry));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("quota_qps", JsonValue::Number(stats.quota_qps));
+  out.Set("quota_burst", JsonValue::Number(stats.quota_burst));
+  out.Set("by_tenant", std::move(by_tenant));
+  return out;
+}
+
 JsonValue EncodeListRequest(uint64_t id) { return Envelope("list", id); }
 
 JsonValue EncodeQueryRequest(const client::QueryRequest& request,
@@ -491,6 +534,12 @@ JsonValue EncodeQueryRequest(const client::QueryRequest& request,
     queries.Append(std::move(entry));
   }
   out.Set("queries", std::move(queries));
+  if (!request.tenant.empty()) {
+    out.Set("tenant", JsonValue::String(request.tenant));
+  }
+  if (request.deadline_ms.has_value()) {
+    out.Set("deadline_ms", JsonValue::Int(*request.deadline_ms));
+  }
   return out;
 }
 
@@ -719,6 +768,39 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
       t.ops[op] = uint64_t(count);
     }
     stats.transport = std::move(t);
+  }
+  if (response.Has("tenants")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
+                             RequireField(response, "tenants"));
+    if (!node->is_object()) {
+      return Status::InvalidArgument("'tenants' must be an object");
+    }
+    client::TenantStats q;
+    RECPRIV_ASSIGN_OR_RETURN(q.quota_qps, RequireDouble(*node, "quota_qps"));
+    RECPRIV_ASSIGN_OR_RETURN(q.quota_burst,
+                             RequireDouble(*node, "quota_burst"));
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* by_tenant,
+                             RequireField(*node, "by_tenant"));
+    if (!by_tenant->is_object()) {
+      return Status::InvalidArgument("'by_tenant' must be an object");
+    }
+    for (const std::string& name : by_tenant->Keys()) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* entry, by_tenant->Get(name));
+      if (!entry->is_object()) {
+        return Status::InvalidArgument("each tenant entry must be an object");
+      }
+      client::TenantCounters c;
+      RECPRIV_ASSIGN_OR_RETURN(int64_t admitted,
+                               RequireInt(*entry, "admitted"));
+      RECPRIV_ASSIGN_OR_RETURN(int64_t rejected,
+                               RequireInt(*entry, "rejected"));
+      RECPRIV_ASSIGN_OR_RETURN(int64_t shed, RequireInt(*entry, "shed"));
+      c.admitted = uint64_t(admitted);
+      c.rejected = uint64_t(rejected);
+      c.shed = uint64_t(shed);
+      q.tenants[name] = c;
+    }
+    stats.tenants = std::move(q);
   }
   if (response.Has("store")) {
     RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,

@@ -93,6 +93,7 @@ struct RequestInfo {
   int64_t version = kWireVersionLegacy;  ///< protocol version requested
   bool pinned_epoch = false;             ///< the request pinned an epoch
   std::string op;           ///< "op" value when present and a string
+  client::ErrorCode error_code = client::ErrorCode::kOk;  ///< set iff !ok
 };
 
 /// Dispatches one parsed request object; never returns an error — failures
@@ -137,6 +138,10 @@ namespace wire {
 /// that report the same struct outside the protocol (recpriv_workload's
 /// report JSON) must stay field-for-field identical to the wire shape.
 JsonValue EncodeSchedulerStats(const client::SchedulerStats& stats);
+
+/// The "tenants" section of the stats payload (same contract as
+/// EncodeSchedulerStats: the report JSON and the wire share one shape).
+JsonValue EncodeTenantStats(const client::TenantStats& stats);
 
 JsonValue EncodeListRequest(uint64_t id);
 JsonValue EncodeQueryRequest(const client::QueryRequest& request, uint64_t id);

@@ -1,11 +1,13 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
 #include <utility>
 
 #include "client/in_process_client.h"
+#include "client/line_protocol_client.h"
 #include "client/tcp_transport.h"
 #include "common/timer.h"
 #include "serve/server.h"
@@ -35,11 +37,21 @@ struct ThreadTally {
   uint64_t hard_failures = 0;
   std::map<std::string, uint64_t> errors;
   std::vector<std::string> mismatch_details;
+  std::vector<double> latencies_ms;  ///< one entry per query request
+  uint64_t latency_errors = 0;       ///< requests whose outcome was an error
+  recpriv::client::RetryStats retry;
 };
 
 void CountError(ThreadTally& tally, const Status& status) {
   const auto code = recpriv::client::ErrorCodeFromStatus(status);
   ++tally.errors[std::string(recpriv::client::ErrorCodeName(code))];
+}
+
+/// Percentile over a SORTED sample (nearest-rank on the closed index).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = size_t(p * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 }  // namespace
@@ -94,9 +106,23 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
   auto make_client =
       [&]() -> Result<std::unique_ptr<recpriv::client::Client>> {
     if (options.over_tcp) {
+      recpriv::client::TcpTransportOptions tcp_options;
+      tcp_options.fault_injector = options.fault_injector;
       RECPRIV_ASSIGN_OR_RETURN(
-          auto tcp, recpriv::client::ConnectTcp("127.0.0.1", server->port()));
+          auto tcp, recpriv::client::ConnectTcp("127.0.0.1", server->port(),
+                                                tcp_options));
       return std::unique_ptr<recpriv::client::Client>(std::move(tcp));
+    }
+    if (options.fault_injector != nullptr) {
+      // In-process fault injection: the full wire round-trip over a
+      // loopback transport, with the fault decorator in between — so
+      // --faults exercises the retry path without a socket.
+      auto faulty = std::make_unique<recpriv::client::FaultInjectingTransport>(
+          std::make_unique<recpriv::client::LoopbackTransport>(*engine),
+          options.fault_injector);
+      return std::unique_ptr<recpriv::client::Client>(
+          std::make_unique<recpriv::client::LineProtocolClient>(
+              std::move(faulty)));
     }
     return std::unique_ptr<recpriv::client::Client>(
         std::make_unique<recpriv::client::InProcessClient>(engine));
@@ -113,10 +139,30 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
   for (size_t c = 0; c < spec.clients; ++c) {
     readers.emplace_back([&, c] {
       ThreadTally& tally = tallies[c];
-      auto client = make_client();
-      if (!client.ok()) {
-        ++tally.hard_failures;
-        return;
+      // QoS identity: the leading abusive clients declare the abusive
+      // tenant, flood at full speed (no pacing below), and are exactly the
+      // traffic per-tenant quotas exist to contain.
+      const bool abuser = c < spec.qos.abusive_clients;
+      const std::string tenant =
+          abuser ? spec.qos.abusive_tenant : spec.qos.tenant;
+      std::unique_ptr<recpriv::client::Client> client;
+      recpriv::client::RetryingClient* retrier = nullptr;
+      if (options.retry) {
+        auto created = recpriv::client::RetryingClient::Create(
+            make_client, options.retry_policy);
+        if (!created.ok()) {
+          ++tally.hard_failures;
+          return;
+        }
+        retrier = created->get();
+        client = std::move(*created);
+      } else {
+        auto created = make_client();
+        if (!created.ok()) {
+          ++tally.hard_failures;
+          return;
+        }
+        client = std::move(*created);
       }
       // A pinned reader pins the epoch it FIRST observes per release and
       // sticks to it; under churn that pin may age out (STALE_EPOCH) —
@@ -127,6 +173,10 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
         QueryRequest request;
         request.release = op.release;
         request.queries = op.queries;
+        request.tenant = tenant;
+        if (spec.qos.deadline_ms > 0) {
+          request.deadline_ms = spec.qos.deadline_ms;
+        }
         if (op.pin) {
           auto it = pins.find(op.release);
           if (it == pins.end()) {
@@ -139,8 +189,14 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
         }
         ++tally.requests;
         tally.queries += request.queries.size();
-        auto answer = (*client)->Query(request);
+        const auto issued = std::chrono::steady_clock::now();
+        auto answer = client->Query(request);
+        tally.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - issued)
+                .count());
         if (!answer.ok()) {
+          ++tally.latency_errors;
           CountError(tally, answer.status());
         } else if (options.verify) {
           std::string detail;
@@ -183,12 +239,13 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
               break;
           }
         }
-        if (spec.pacing_us > 0 && ++in_burst >= spec.burst_size) {
+        if (!abuser && spec.pacing_us > 0 && ++in_burst >= spec.burst_size) {
           in_burst = 0;
           std::this_thread::sleep_for(
               std::chrono::microseconds(spec.pacing_us));
         }
       }
+      if (retrier != nullptr) tally.retry = retrier->retry_stats();
     });
   }
 
@@ -233,6 +290,44 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
 
   report.publishes += writer_publishes;
   report.drops = writer_drops;
+
+  // Per-tenant latency: pool each tenant's samples across its clients,
+  // then take percentiles over the pooled (sorted) sample.
+  std::map<std::string, std::vector<double>> samples_by_tenant;
+  for (size_t c = 0; c < spec.clients; ++c) {
+    const std::string tenant =
+        c < spec.qos.abusive_clients ? spec.qos.abusive_tenant
+                                     : spec.qos.tenant;
+    TenantLatency& lat = report.tenant_latency[tenant];
+    lat.requests += tallies[c].requests;
+    lat.errors += tallies[c].latency_errors;
+    auto& pooled = samples_by_tenant[tenant];
+    pooled.insert(pooled.end(), tallies[c].latencies_ms.begin(),
+                  tallies[c].latencies_ms.end());
+  }
+  for (auto& [tenant, samples] : samples_by_tenant) {
+    std::sort(samples.begin(), samples.end());
+    TenantLatency& lat = report.tenant_latency[tenant];
+    lat.p50_ms = Percentile(samples, 0.5);
+    lat.p99_ms = Percentile(samples, 0.99);
+    lat.max_ms = samples.empty() ? 0.0 : samples.back();
+  }
+
+  if (options.retry) {
+    recpriv::client::RetryStats retry;
+    for (size_t c = 0; c < spec.clients; ++c) {
+      retry.attempts += tallies[c].retry.attempts;
+      retry.retries += tallies[c].retry.retries;
+      retry.retried_ok += tallies[c].retry.retried_ok;
+      retry.reconnects += tallies[c].retry.reconnects;
+      retry.exhausted += tallies[c].retry.exhausted;
+    }
+    report.retry = retry;
+  }
+  if (options.fault_injector != nullptr) {
+    report.faults = options.fault_injector->Stats();
+  }
+
   tallies.push_back(std::move(writer_tally));
   for (const ThreadTally& tally : tallies) {
     report.requests += tally.requests;
@@ -256,6 +351,7 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
     report.queries_per_second = double(report.queries) / report.elapsed_seconds;
   }
   report.scheduler = engine->scheduler_stats();
+  report.tenants = engine->tenant_stats();
   return report;
 }
 

@@ -28,8 +28,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "client/api.h"
+#include "client/retry.h"
 #include "common/result.h"
+#include "net/fault_injector.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 #include "workload/generator.h"
@@ -37,7 +41,8 @@
 namespace recpriv::workload {
 
 struct DriverOptions {
-  /// Engine under test (threads, cache, micro_batch_window_us, ...).
+  /// Engine under test (threads, cache, micro_batch_window_us, ...;
+  /// tenant_quota_qps > 0 turns on per-tenant admission).
   serve::QueryEngineOptions engine;
   size_t retained_epochs = serve::ReleaseStore::kDefaultRetainedEpochs;
   /// Verify every successful answer against the oracle (bit-exact).
@@ -50,6 +55,26 @@ struct DriverOptions {
   /// the scenario's own publishes — the restart path of
   /// `recpriv_serve --snapshot-dir`, driven under workload.
   std::string snapshot_dir;
+  /// When set, every reader's transport draws from this seeded fault
+  /// schedule (net/fault_injector.h): byte-level faults over TCP, dead
+  /// transports in-process. Pair it with `retry` or expect UNAVAILABLE in
+  /// the report.
+  std::shared_ptr<net::FaultInjector> fault_injector;
+  /// Wrap every reader in a RetryingClient (client/retry.h): transient
+  /// failures are retried with seeded backoff and a dead transport is
+  /// rebuilt, so a faulted run still completes answer-clean.
+  bool retry = false;
+  recpriv::client::RetryPolicy retry_policy;
+};
+
+/// Latency profile of one tenant's requests (successful or not), as
+/// observed by the clients themselves.
+struct TenantLatency {
+  uint64_t requests = 0;
+  uint64_t errors = 0;  ///< requests whose final outcome was an error
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
 };
 
 /// What one run did and found.
@@ -71,6 +96,15 @@ struct DriverReport {
   double queries_per_second = 0.0;
   /// Scheduler counters when the engine ran with micro-batching.
   std::optional<recpriv::client::SchedulerStats> scheduler;
+  /// Server-side admission counters when the engine ran with quotas.
+  std::optional<recpriv::client::TenantStats> tenants;
+  /// Client-observed latency per tenant id ("" = the default tenant),
+  /// keyed the way requests declared themselves.
+  std::map<std::string, TenantLatency> tenant_latency;
+  /// Aggregated retry counters when options.retry was on.
+  std::optional<recpriv::client::RetryStats> retry;
+  /// The fault schedule's tally when options.fault_injector was set.
+  std::optional<net::FaultStats> faults;
 };
 
 /// Executes `workload` (see file comment). Errors only on setup failure —

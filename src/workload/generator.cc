@@ -82,9 +82,16 @@ Result<GeneratedWorkload> GenerateWorkload(const ScenarioSpec& spec) {
   for (size_t c = 0; c < spec.clients; ++c) {
     Rng rng = master.Fork();
     const bool pin = c < pinned_clients;
+    // An abusive client draws extra ops from its OWN fork, so the other
+    // streams (and the writer) stay byte-identical to the same scenario
+    // without the qos block.
+    const size_t ops_for_client =
+        c < spec.qos.abusive_clients
+            ? spec.ops_per_client * spec.qos.abusive_ops_multiplier
+            : spec.ops_per_client;
     auto& ops = out.client_ops[c];
-    ops.reserve(spec.ops_per_client);
-    for (size_t i = 0; i < spec.ops_per_client; ++i) {
+    ops.reserve(ops_for_client);
+    for (size_t i = 0; i < ops_for_client; ++i) {
       WorkloadOp op;
       op.kind = OpKind::kQuery;
       const size_t r = release_sampler.Sample(rng);

@@ -104,6 +104,21 @@ JsonValue ScenarioToJson(const ScenarioSpec& spec) {
   churn.Set("drop_every", JsonValue::Int(int64_t(spec.churn.drop_every)));
   churn.Set("pacing_us", JsonValue::Int(spec.churn.pacing_us));
   out.Set("churn", std::move(churn));
+
+  // Emitted only when the scenario actually uses QoS features, so files
+  // written before this block and files written after are byte-identical
+  // for QoS-free scenarios.
+  if (spec.qos.abusive_clients > 0 || !spec.qos.tenant.empty() ||
+      spec.qos.deadline_ms > 0) {
+    JsonValue qos = JsonValue::Object();
+    qos.Set("abusive_clients", JsonValue::Int(int64_t(spec.qos.abusive_clients)));
+    qos.Set("abusive_ops_multiplier",
+            JsonValue::Int(int64_t(spec.qos.abusive_ops_multiplier)));
+    qos.Set("abusive_tenant", JsonValue::String(spec.qos.abusive_tenant));
+    qos.Set("tenant", JsonValue::String(spec.qos.tenant));
+    qos.Set("deadline_ms", JsonValue::Int(spec.qos.deadline_ms));
+    out.Set("qos", std::move(qos));
+  }
   return out;
 }
 
@@ -181,6 +196,28 @@ Result<ScenarioSpec> ScenarioFromJson(const JsonValue& json) {
   RECPRIV_ASSIGN_OR_RETURN(int64_t churn_pacing,
                            RequireInt(*churn, "pacing_us"));
   spec.churn.pacing_us = int(churn_pacing);
+
+  if (json.Has("qos")) {  // optional: pre-QoS scenario files lack it
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* qos, json.Get("qos"));
+    if (!qos->is_object()) {
+      return Status::InvalidArgument("'qos' must be an object");
+    }
+    RECPRIV_ASSIGN_OR_RETURN(spec.qos.abusive_clients,
+                             RequireSize(*qos, "abusive_clients"));
+    RECPRIV_ASSIGN_OR_RETURN(spec.qos.abusive_ops_multiplier,
+                             RequireSize(*qos, "abusive_ops_multiplier"));
+    if (spec.qos.abusive_ops_multiplier == 0) {
+      return Status::InvalidArgument("'abusive_ops_multiplier' must be >= 1");
+    }
+    RECPRIV_ASSIGN_OR_RETURN(spec.qos.abusive_tenant,
+                             RequireString(*qos, "abusive_tenant"));
+    RECPRIV_ASSIGN_OR_RETURN(spec.qos.tenant, RequireString(*qos, "tenant"));
+    RECPRIV_ASSIGN_OR_RETURN(spec.qos.deadline_ms,
+                             RequireInt(*qos, "deadline_ms"));
+    if (spec.qos.deadline_ms < 0) {
+      return Status::InvalidArgument("'deadline_ms' must be >= 0");
+    }
+  }
   return spec;
 }
 
@@ -207,7 +244,7 @@ Result<ScenarioSpec> LoadScenario(const std::string& path) {
 
 std::vector<std::string> BuiltinScenarioNames() {
   return {"steady_uniform", "hot_release_zipf", "burst_same_release",
-          "republish_churn", "pin_heavy"};
+          "republish_churn", "pin_heavy", "abusive_tenant"};
 }
 
 Result<ScenarioSpec> BuiltinScenario(const std::string& name, uint64_t seed) {
@@ -274,6 +311,28 @@ Result<ScenarioSpec> BuiltinScenario(const std::string& name, uint64_t seed) {
     spec.churn.writer_ops = 30;
     spec.churn.drop_every = 5;
     spec.churn.pacing_us = 300;
+    return spec;
+  }
+  if (name == "abusive_tenant") {
+    // One shared release everyone hammers: two "abuser" clients at 6x
+    // volume with no pacing, four paced "victim" clients. Without quotas
+    // the abusers monopolize the pool; with tenant_quota_qps set their
+    // excess is rejected RESOURCE_EXHAUSTED and victim latency recovers
+    // (bench/bench_serve_qos.cc gates exactly that).
+    SyntheticReleaseSpec r = base;
+    r.name = "shared";
+    r.data_seed = seed;
+    r.records = 10000;
+    r.public_domains = {8, 16};
+    spec.releases.push_back(std::move(r));
+    spec.clients = 6;
+    spec.ops_per_client = 30;
+    spec.pacing_us = 200;
+    spec.mix.dimensionality_weights = {2.0, 2.0, 1.0};
+    spec.qos.abusive_clients = 2;
+    spec.qos.abusive_ops_multiplier = 6;
+    spec.qos.abusive_tenant = "abuser";
+    spec.qos.tenant = "victim";
     return spec;
   }
   if (name == "pin_heavy") {

@@ -48,6 +48,21 @@ struct ChurnSpec {
   int pacing_us = 500;    ///< pause between writer ops at run time
 };
 
+/// Multi-tenant QoS shape: which clients misbehave and under what tenant
+/// id. The leading `abusive_clients` clients issue `abusive_ops_multiplier`
+/// times the normal op count and ignore pacing at run time — a noisy
+/// neighbor the server's per-tenant quotas (serve/admission.h) must
+/// contain. Serialized as an optional "qos" object, so scenario files from
+/// before this block parse unchanged.
+struct QosSpec {
+  size_t abusive_clients = 0;         ///< leading clients that misbehave
+  size_t abusive_ops_multiplier = 4;  ///< op-count multiplier for abusers
+  std::string abusive_tenant = "abuser";  ///< tenant id abusers declare
+  std::string tenant;        ///< tenant id of well-behaved clients
+                             ///< ("" = the server's default tenant)
+  int64_t deadline_ms = 0;   ///< per-request deadline; 0 = none attached
+};
+
 /// One complete workload scenario.
 struct ScenarioSpec {
   std::string name = "scenario";
@@ -68,6 +83,7 @@ struct ScenarioSpec {
   int pacing_us = 0;  ///< pause between bursts at run time
   QueryMix mix;
   ChurnSpec churn;
+  QosSpec qos;
 };
 
 JsonValue ScenarioToJson(const ScenarioSpec& spec);
@@ -90,6 +106,10 @@ std::vector<std::string> BuiltinScenarioNames();
 ///                       republishes and drops releases
 ///   pin_heavy           every reader pins its first-seen epoch under
 ///                       republish churn (no drops)
+///   abusive_tenant      two "abuser" clients flooding a shared release at
+///                       6x volume with no pacing while four "victim"
+///                       clients query politely — the per-tenant quota
+///                       showcase (run it with tenant_quota_qps set)
 Result<ScenarioSpec> BuiltinScenario(const std::string& name,
                                      uint64_t seed = 2015);
 

@@ -112,7 +112,8 @@ TEST(ApiErrorTest, CodeNamesRoundTrip) {
        {ErrorCode::kOk, ErrorCode::kInvalidRequest, ErrorCode::kOutOfRange,
         ErrorCode::kNotFound, ErrorCode::kAlreadyExists, ErrorCode::kIoError,
         ErrorCode::kStaleEpoch, ErrorCode::kInternal, ErrorCode::kUnsupported,
-        ErrorCode::kMalformed, ErrorCode::kUnavailable, ErrorCode::kDataLoss}) {
+        ErrorCode::kMalformed, ErrorCode::kUnavailable, ErrorCode::kDataLoss,
+        ErrorCode::kResourceExhausted, ErrorCode::kDeadlineExceeded}) {
     auto back = ErrorCodeFromName(ErrorCodeName(code));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, code);

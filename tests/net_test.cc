@@ -2,15 +2,20 @@
 // line-framed channel (net/line_channel.h): bind/connect/accept round
 // trips, framing across split and coalesced writes, CRLF tolerance, the
 // oversized-line discard-and-resync path, read timeouts, EOF (including a
-// final unterminated line), and write-after-close errors.
+// final unterminated line), and write-after-close errors. Also the fault
+// injector's schedule determinism and the channel's behavior under each
+// injected fault mechanic: split raw writes, mid-line disconnects, and
+// delayed writes.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <sys/socket.h>
 #include <thread>
 #include <vector>
 
+#include "net/fault_injector.h"
 #include "net/line_channel.h"
 #include "net/socket.h"
 
@@ -228,6 +233,123 @@ TEST(LineChannelTest, ClosedChannelRejectsIo) {
   pair.client.Close();
   EXPECT_FALSE(pair.client.WriteLine("x", 100).ok());
   EXPECT_FALSE(pair.client.ReadLine(100).ok());
+}
+
+// --- fault injection against the channel ------------------------------------
+// The FaultInjector (net/fault_injector.h) decides WHAT happens to a
+// write; these tests drive the channel through each fault mechanic the
+// transports implement — split raw writes, mid-line disconnects, delayed
+// writes — and assert the reader's contract: reassembly, clean EOF, and
+// timeout-without-wedging.
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultOptions options;
+  options.seed = 42;
+  options.drop_rate = 0.2;
+  options.truncate_rate = 0.2;
+  options.delay_rate = 0.2;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.SampleWrite(), b.SampleWrite()) << "write " << i;
+  }
+  EXPECT_EQ(a.Stats().total(), b.Stats().total());
+  EXPECT_EQ(a.Stats().writes, 300u);
+}
+
+TEST(FaultInjectorTest, RatesZeroAndOneAreExact) {
+  FaultInjector quiet(FaultOptions{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(quiet.SampleWrite(), FaultKind::kNone);
+  }
+  EXPECT_EQ(quiet.Stats().total(), 0u);
+
+  // Rates are evaluated in fixed order; drop at 1.0 shadows later kinds.
+  FaultOptions always;
+  always.drop_rate = 1.0;
+  always.delay_rate = 1.0;
+  FaultInjector noisy(always);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(noisy.SampleWrite(), FaultKind::kDrop);
+  }
+  EXPECT_EQ(noisy.Stats().drops, 50u);
+  EXPECT_EQ(noisy.Stats().delays, 0u);
+}
+
+TEST(LineChannelFaultTest, ShortWriteChunksReassembleIntoOneLine) {
+  // The short-write fault sends one frame as two raw chunks with a pause
+  // (client/tcp_transport.cc does exactly this); the reader must see one
+  // intact line, never a torn one.
+  FaultOptions options;
+  options.short_write_rate = 1.0;
+  FaultInjector injector(options);
+  ASSERT_EQ(injector.SampleWrite(), FaultKind::kShortWrite);
+
+  ChannelPair pair = MakePair();
+  const std::string line = "torn-in-transit\n";
+  const size_t half = line.size() / 2;
+  ASSERT_TRUE(pair.client.WriteRaw(line.data(), half, 1000).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(
+      pair.client.WriteRaw(line.data() + half, line.size() - half, 1000).ok());
+
+  auto read = pair.server.ReadLine(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->event, ReadEvent::kLine);
+  EXPECT_EQ(read->line, "torn-in-transit");
+}
+
+TEST(LineChannelFaultTest, MidLineDisconnectDeliversPartialThenEof) {
+  // The truncate fault sends a prefix of the frame and closes — the
+  // server-side contract is the unterminated-final-line rule: the partial
+  // arrives as a line (the wire layer will reject it as malformed), then a
+  // clean EOF, never a hang or a torn later frame.
+  FaultOptions options;
+  options.truncate_rate = 1.0;
+  FaultInjector injector(options);
+  ASSERT_EQ(injector.SampleWrite(), FaultKind::kTruncate);
+
+  ChannelPair pair = MakePair();
+  const std::string line = "{\"op\":\"query\",...}\n";
+  ASSERT_TRUE(pair.client.WriteRaw(line.data(), line.size() / 2, 1000).ok());
+  pair.client.Close();
+
+  auto partial = pair.server.ReadLine(2000);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  ASSERT_EQ(partial->event, ReadEvent::kLine);
+  EXPECT_EQ(partial->line, line.substr(0, line.size() / 2));
+
+  auto eof = pair.server.ReadLine(2000);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(eof->event, ReadEvent::kEof);
+}
+
+TEST(LineChannelFaultTest, DelayedWriteTimesOutThenArrivesIntact) {
+  // The delay fault postpones the write past the reader's first timeout;
+  // the reader must report kTimeout (not an error, not a wedge) and then
+  // deliver the line on the next call.
+  FaultOptions options;
+  options.delay_rate = 1.0;
+  options.delay_ms = 40;
+  FaultInjector injector(options);
+  ASSERT_EQ(injector.SampleWrite(), FaultKind::kDelay);
+
+  ChannelPair pair = MakePair();
+  std::thread writer([&] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(injector.options().delay_ms));
+    ASSERT_TRUE(pair.client.WriteLine("late but whole", 1000).ok());
+  });
+
+  auto early = pair.server.ReadLine(5);
+  ASSERT_TRUE(early.ok()) << early.status();
+  EXPECT_EQ(early->event, ReadEvent::kTimeout);
+
+  auto read = pair.server.ReadLine(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->event, ReadEvent::kLine);
+  EXPECT_EQ(read->line, "late but whole");
+  writer.join();
 }
 
 TEST(LineChannelTest, ManyLinesInOneBurst) {

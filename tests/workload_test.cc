@@ -151,8 +151,15 @@ TEST(WorkloadGeneratorTest, BuiltinProfilesAllGenerate) {
     auto generated = GenerateWorkload(*spec);
     ASSERT_TRUE(generated.ok()) << name;
     EXPECT_EQ(generated->client_ops.size(), spec->clients) << name;
-    for (const auto& stream : generated->client_ops) {
-      EXPECT_EQ(stream.size(), spec->ops_per_client) << name;
+    for (size_t c = 0; c < generated->client_ops.size(); ++c) {
+      // Abusive clients (qos.abusive_clients leading streams) run at the
+      // declared multiplier; everyone else at ops_per_client exactly.
+      const size_t expected = c < spec->qos.abusive_clients
+                                  ? spec->ops_per_client *
+                                        spec->qos.abusive_ops_multiplier
+                                  : spec->ops_per_client;
+      EXPECT_EQ(generated->client_ops[c].size(), expected)
+          << name << " client " << c;
     }
   }
 }

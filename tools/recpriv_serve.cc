@@ -60,6 +60,11 @@ options:
                       arriving within N microseconds into one evaluation
                       (stats op reports a "scheduler" section) [default 0:
                       disabled]
+  --quota-qps X       per-tenant admission quota in queries/second (token
+                      bucket, keyed by the request's "tenant" field; the
+                      stats op reports a "tenants" section). Over-quota
+                      requests get RESOURCE_EXHAUSTED.  [default 0: off]
+  --quota-burst X     token-bucket burst capacity     [default: max(qps,1)]
   --host HOST         TCP bind address                [default 127.0.0.1]
   --max-conns N       concurrent TCP sessions; further connections get one
                       UNAVAILABLE error line            [default 64]
@@ -94,7 +99,7 @@ int Run(int argc, char** argv) {
   const std::set<std::string> known = {
       "release", "name", "threads",   "cache",           "retain", "demo",
       "help",    "host", "port",      "max-conns",       "idle-timeout-ms",
-      "batch-window-us",  "snapshot-dir"};
+      "batch-window-us",  "snapshot-dir",  "quota-qps",  "quota-burst"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -128,6 +133,17 @@ int Run(int argc, char** argv) {
   options.num_threads = size_t(*threads);
   options.cache_capacity = size_t(*cache);
   options.micro_batch_window_us = int(*batch_window);
+
+  auto quota_qps = flags.GetDouble("quota-qps", 0.0);
+  auto quota_burst = flags.GetDouble("quota-burst", 0.0);
+  if (!quota_qps.ok()) return Fail(quota_qps.status());
+  if (!quota_burst.ok()) return Fail(quota_burst.status());
+  if (*quota_qps < 0 || *quota_burst < 0) {
+    return Fail(Status::InvalidArgument(
+        "--quota-qps and --quota-burst must be >= 0"));
+  }
+  options.tenant_quota_qps = *quota_qps;
+  options.tenant_quota_burst = *quota_burst;
 
   serve::ReleaseStore::Options store_options;
   store_options.retained_epochs = size_t(*retain);
@@ -219,14 +235,38 @@ int Run(int argc, char** argv) {
   }
   std::cerr << "signal " << int(g_signal) << ": draining...\n";
   (*server)->Stop();
+
+  // One structured line, machine-greppable from the service log: what was
+  // drained, what was shed, and every error code's count. Keys are stable;
+  // supervisors can parse this instead of scraping the prose above.
   const client::TransportStats metrics = (*server)->Metrics();
-  std::cerr << "served " << FormatWithCommas(int64_t(metrics.requests))
-            << " requests over "
-            << FormatWithCommas(int64_t(metrics.connections_accepted))
-            << " connections (" << metrics.errors << " errors, "
-            << metrics.connections_rejected << " rejected; cache: "
-            << engine->cache().hits() << " hits, "
-            << engine->cache().misses() << " misses)\n";
+  JsonValue summary = JsonValue::Object();
+  summary.Set("event", JsonValue::String("recpriv_serve_shutdown"));
+  summary.Set("signal", JsonValue::Int(int64_t(g_signal)));
+  summary.Set("sessions_drained",
+              JsonValue::Int(int64_t(metrics.connections_accepted)));
+  summary.Set("connections_rejected",
+              JsonValue::Int(int64_t(metrics.connections_rejected)));
+  summary.Set("requests", JsonValue::Int(int64_t(metrics.requests)));
+  summary.Set("errors", JsonValue::Int(int64_t(metrics.errors)));
+  JsonValue by_code = JsonValue::Object();
+  for (const auto& [code, count] : (*server)->ErrorCodeCounts()) {
+    by_code.Set(code, JsonValue::Int(int64_t(count)));
+  }
+  summary.Set("errors_by_code", std::move(by_code));
+  if (auto tenants = engine->tenant_stats(); tenants.has_value()) {
+    uint64_t rejected = 0, shed = 0;
+    for (const auto& [name, c] : tenants->tenants) {
+      rejected += c.rejected;
+      shed += c.shed;
+    }
+    summary.Set("quota_rejections", JsonValue::Int(int64_t(rejected)));
+    summary.Set("requests_shed", JsonValue::Int(int64_t(shed)));
+  }
+  summary.Set("cache_hits", JsonValue::Int(int64_t(engine->cache().hits())));
+  summary.Set("cache_misses",
+              JsonValue::Int(int64_t(engine->cache().misses())));
+  std::cerr << summary.ToString() << "\n";
   return 0;
 }
 

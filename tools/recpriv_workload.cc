@@ -46,6 +46,19 @@ options:
   --snapshot-dir DIR    run against a persistent snapshot store: recover
                         any .rps snapshots in DIR first, persist every
                         publish there (the recpriv_serve restart path)
+  --quota-qps X         per-tenant admission quota (queries/s); 0 = off
+                        (over quota: RESOURCE_EXHAUSTED)      [default 0]
+  --quota-burst X       token-bucket burst; 0 = max(qps, 1)   [default 0]
+  --deadline-ms N       attach an N ms deadline to every request; work
+                        past it is shed DEADLINE_EXCEEDED     [default 0]
+  --faults RATE         inject seeded transport faults: each fault kind
+                        (drop, disconnect, truncate, short write, delay)
+                        fires independently with probability RATE per
+                        request; pair with --retry to stay answer-clean
+  --fault-seed N        seed of the fault schedule            [default 2015]
+  --retry               wrap every reader in bounded retry with seeded
+                        exponential backoff (reconnects dead transports)
+  --max-retries N       retry budget per request              [default 3]
   --json FILE           write the run report as JSON
   --help                print this help and exit
 )";
@@ -79,6 +92,44 @@ JsonValue ReportToJson(const workload::DriverReport& report) {
     // The wire codec's encoder, so the report section and the protocol's
     // stats section can never drift apart.
     out.Set("scheduler", serve::wire::EncodeSchedulerStats(*report.scheduler));
+  }
+  if (report.tenants.has_value()) {
+    out.Set("tenants", serve::wire::EncodeTenantStats(*report.tenants));
+  }
+  if (!report.tenant_latency.empty()) {
+    JsonValue latency = JsonValue::Object();
+    for (const auto& [tenant, lat] : report.tenant_latency) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("requests", JsonValue::Int(int64_t(lat.requests)));
+      entry.Set("errors", JsonValue::Int(int64_t(lat.errors)));
+      entry.Set("p50_ms", JsonValue::Number(lat.p50_ms));
+      entry.Set("p99_ms", JsonValue::Number(lat.p99_ms));
+      entry.Set("max_ms", JsonValue::Number(lat.max_ms));
+      // "" is the wire's implicit default tenant; name it for readability.
+      latency.Set(tenant.empty() ? "(default)" : tenant, std::move(entry));
+    }
+    out.Set("tenant_latency", std::move(latency));
+  }
+  if (report.retry.has_value()) {
+    JsonValue retry = JsonValue::Object();
+    retry.Set("attempts", JsonValue::Int(int64_t(report.retry->attempts)));
+    retry.Set("retries", JsonValue::Int(int64_t(report.retry->retries)));
+    retry.Set("retried_ok", JsonValue::Int(int64_t(report.retry->retried_ok)));
+    retry.Set("reconnects", JsonValue::Int(int64_t(report.retry->reconnects)));
+    retry.Set("exhausted", JsonValue::Int(int64_t(report.retry->exhausted)));
+    out.Set("retry", std::move(retry));
+  }
+  if (report.faults.has_value()) {
+    JsonValue faults = JsonValue::Object();
+    faults.Set("writes", JsonValue::Int(int64_t(report.faults->writes)));
+    faults.Set("drops", JsonValue::Int(int64_t(report.faults->drops)));
+    faults.Set("disconnects",
+               JsonValue::Int(int64_t(report.faults->disconnects)));
+    faults.Set("truncates", JsonValue::Int(int64_t(report.faults->truncates)));
+    faults.Set("short_writes",
+               JsonValue::Int(int64_t(report.faults->short_writes)));
+    faults.Set("delays", JsonValue::Int(int64_t(report.faults->delays)));
+    out.Set("faults", std::move(faults));
   }
   return out;
 }
@@ -117,11 +168,44 @@ void PrintReport(const workload::DriverReport& report) {
               << s.max_batch_queries << "), coalesced submissions: "
               << s.coalesced_submissions << "/" << s.submissions << "\n";
   }
+  for (const auto& [tenant, lat] : report.tenant_latency) {
+    std::cout << "tenant '" << (tenant.empty() ? "(default)" : tenant)
+              << "': " << lat.requests << " requests (" << lat.errors
+              << " errors), latency p50 " << FormatDouble(lat.p50_ms, 2)
+              << "ms p99 " << FormatDouble(lat.p99_ms, 2) << "ms max "
+              << FormatDouble(lat.max_ms, 2) << "ms\n";
+  }
+  if (report.tenants.has_value()) {
+    std::cout << "admission (quota "
+              << FormatDouble(report.tenants->quota_qps, 6) << " q/s, burst "
+              << FormatDouble(report.tenants->quota_burst, 6) << "):";
+    for (const auto& [name, c] : report.tenants->tenants) {
+      std::cout << "  " << name << "=" << c.admitted << "/"
+                << (c.admitted + c.rejected) << " admitted";
+      if (c.shed > 0) std::cout << " (" << c.shed << " shed)";
+    }
+    std::cout << "\n";
+  }
+  if (report.retry.has_value()) {
+    std::cout << "retry: " << report.retry->attempts << " attempts, "
+              << report.retry->retries << " retries, "
+              << report.retry->retried_ok << " recovered, "
+              << report.retry->reconnects << " reconnects, "
+              << report.retry->exhausted << " exhausted\n";
+  }
+  if (report.faults.has_value()) {
+    const net::FaultStats& f = *report.faults;
+    std::cout << "faults injected: " << f.total() << "/" << f.writes
+              << " writes (drop " << f.drops << ", disconnect "
+              << f.disconnects << ", truncate " << f.truncates
+              << ", short-write " << f.short_writes << ", delay " << f.delays
+              << ")\n";
+  }
 }
 
 int Run(int argc, char** argv) {
-  const std::vector<std::string> boolean_flags = {"tcp", "verify",
-                                                  "list-profiles", "help"};
+  const std::vector<std::string> boolean_flags = {
+      "tcp", "verify", "list-profiles", "retry", "help"};
   auto flags_or = FlagSet::Parse(argc, argv, boolean_flags);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const FlagSet& flags = *flags_or;
@@ -130,7 +214,9 @@ int Run(int argc, char** argv) {
       "profile", "scenario", "replay",  "print-profile", "list-profiles",
       "seed",    "tcp",      "verify",  "record",        "threads",
       "cache",   "retain",   "batch-window-us",          "json",
-      "snapshot-dir",        "help"};
+      "snapshot-dir",        "quota-qps",   "quota-burst",
+      "deadline-ms",         "faults",      "fault-seed",
+      "retry",   "max-retries",             "help"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -197,10 +283,48 @@ int Run(int argc, char** argv) {
   options.over_tcp = *tcp;
   options.snapshot_dir = flags.GetString("snapshot-dir", "");
 
+  auto quota_qps = flags.GetDouble("quota-qps", 0.0);
+  auto quota_burst = flags.GetDouble("quota-burst", 0.0);
+  auto deadline_ms = flags.GetInt("deadline-ms", 0);
+  auto fault_rate = flags.GetDouble("faults", 0.0);
+  auto fault_seed = flags.GetInt("fault-seed", 2015);
+  auto retry = flags.GetBool("retry", false);
+  auto max_retries = flags.GetInt("max-retries", 3);
+  if (!quota_qps.ok()) return Fail(quota_qps.status());
+  if (!quota_burst.ok()) return Fail(quota_burst.status());
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  if (!fault_rate.ok()) return Fail(fault_rate.status());
+  if (!fault_seed.ok()) return Fail(fault_seed.status());
+  if (!retry.ok()) return Fail(retry.status());
+  if (!max_retries.ok()) return Fail(max_retries.status());
+  if (*quota_qps < 0 || *quota_burst < 0 || *deadline_ms < 0 ||
+      *fault_rate < 0 || *fault_rate > 1 || *max_retries < 0) {
+    return Fail(Status::InvalidArgument(
+        "--quota-qps/--quota-burst/--deadline-ms/--max-retries must be >= 0 "
+        "and --faults in [0, 1]"));
+  }
+  options.engine.tenant_quota_qps = *quota_qps;
+  options.engine.tenant_quota_burst = *quota_burst;
+  if (*fault_rate > 0) {
+    net::FaultOptions fault_options;
+    fault_options.seed = uint64_t(*fault_seed);
+    fault_options.drop_rate = *fault_rate;
+    fault_options.disconnect_rate = *fault_rate;
+    fault_options.truncate_rate = *fault_rate;
+    fault_options.short_write_rate = *fault_rate;
+    fault_options.delay_rate = *fault_rate;
+    fault_options.delay_ms = 5;
+    options.fault_injector =
+        std::make_shared<net::FaultInjector>(fault_options);
+  }
+  options.retry = *retry;
+  options.retry_policy.max_retries = int(*max_retries);
+
   Result<workload::DriverReport> report = Status::Internal("unreachable");
   if (flags.Has("replay")) {
     auto workload_or = workload::ReadWorkload(flags.GetString("replay"));
     if (!workload_or.ok()) return Fail(workload_or.status());
+    if (*deadline_ms > 0) workload_or->spec.qos.deadline_ms = *deadline_ms;
     std::cout << "replaying '" << workload_or->spec.name << "' ("
               << workload_or->spec.clients << " clients)\n";
     report = workload::RunWorkload(*workload_or, options);
@@ -214,6 +338,7 @@ int Run(int argc, char** argv) {
       if (spec.ok() && flags.Has("seed")) spec->seed = uint64_t(*seed);
     }
     if (!spec.ok()) return Fail(spec.status());
+    if (*deadline_ms > 0) spec->qos.deadline_ms = *deadline_ms;
     std::cout << "running '" << spec->name << "': " << spec->clients
               << " clients x " << spec->ops_per_client << " ops, "
               << spec->releases.size() << " release(s)"
