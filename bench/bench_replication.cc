@@ -1,0 +1,366 @@
+// Replication fleet bench: one publisher, two followers (src/repl), on the
+// CENSUS release the paper's experiments run at.
+//
+//   publisher        a ReleaseStore + QueryEngine + TCP server with the
+//                    replication ops enabled, publishing CENSUS epochs;
+//   follower-clean   a Replicator over a loopback TCP link;
+//   follower-faulty  the same, but every byte crosses a fault injector
+//                    (drops, disconnects, mid-line truncation) — the
+//                    regime replication exists to survive.
+//
+// Gates (CI):
+//   bit-identical    every follower answer is verified by the workload
+//                    oracle against the PRIMARY's registered snapshots,
+//                    and fingerprints match the primary's own answers;
+//   convergence      after a publish, the clean follower serves the new
+//                    epoch within 500 ms at CENSUS 300k (the fault-injected
+//                    follower must also converge, with no time bound — its
+//                    schedule is probabilistic — but answer-clean and with
+//                    zero digest mismatches).
+//
+// --quick shrinks CENSUS to 8k rows and skips the latency gate (the
+// correctness gates always apply). Results go to BENCH_replication.json.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/in_process_client.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/sps.h"
+#include "datagen/census.h"
+#include "exp/reporting.h"
+#include "net/fault_injector.h"
+#include "repl/replicator.h"
+#include "repl/snapshot_provider.h"
+#include "serve/query_engine.h"
+#include "serve/release_store.h"
+#include "serve/server.h"
+#include "testing_util.h"
+#include "workload/oracle.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace recpriv;  // NOLINT
+using recpriv::client::QueryRequest;
+using recpriv::client::QuerySpec;
+
+constexpr const char* kRelease = "census";
+
+/// A follower: durable store + engine over it + the Replicator.
+struct Follower {
+  std::shared_ptr<serve::ReleaseStore> store;
+  std::shared_ptr<serve::QueryEngine> engine;
+  std::unique_ptr<repl::Replicator> replicator;
+  std::string dir;
+};
+
+Result<Follower> StartFollower(const std::string& name, uint16_t primary_port,
+                               repl::ReplicatorOptions repl_options) {
+  Follower f;
+  // tmpfs when the host has it: the gate measures replication, and sharing
+  // a disk writeback queue with whatever else the machine is doing would
+  // put hundreds of ms of noise on the persist-before-install step.
+  const fs::path base = fs::is_directory("/dev/shm")
+                            ? fs::path("/dev/shm")
+                            : fs::temp_directory_path();
+  f.dir = (base / ("recpriv_bench_repl_" + name)).string();
+  fs::remove_all(f.dir);
+  fs::create_directories(f.dir);
+  serve::ReleaseStore::Options store_options;
+  store_options.snapshot_dir = f.dir;
+  f.store = std::make_shared<serve::ReleaseStore>(store_options);
+  RECPRIV_RETURN_NOT_OK(f.store->RecoverFromDir());
+  serve::QueryEngineOptions engine_options;
+  engine_options.num_threads = 2;
+  f.engine = std::make_shared<serve::QueryEngine>(f.store, engine_options);
+  repl_options.primary_port = primary_port;
+  RECPRIV_ASSIGN_OR_RETURN(f.replicator,
+                           repl::Replicator::Start(*f.store, repl_options));
+  return f;
+}
+
+/// Deterministic census query mix: a full-table count, one single-predicate
+/// query per public attribute, and a couple of multi-predicate queries —
+/// every value string read straight out of the snapshot's own schema.
+std::vector<QuerySpec> CensusQueries(const table::Schema& schema) {
+  std::vector<QuerySpec> specs;
+  const std::string sa0 = schema.sensitive().domain.value(0);
+  const std::string sa1 =
+      schema.sensitive().domain.value(schema.sa_domain_size() / 2);
+  specs.push_back(QuerySpec{{}, sa0});
+  for (size_t a : schema.public_indices()) {
+    const table::Attribute& attr = schema.attribute(a);
+    specs.push_back(QuerySpec{
+        {{attr.name, attr.domain.value(uint32_t(attr.domain.size() / 2))}},
+        sa1});
+  }
+  const auto pub = schema.public_indices();
+  if (pub.size() >= 2) {
+    const table::Attribute& a0 = schema.attribute(pub[0]);
+    const table::Attribute& a1 = schema.attribute(pub[1]);
+    specs.push_back(QuerySpec{{{a0.name, a0.domain.value(0)},
+                               {a1.name, a1.domain.value(0)}},
+                              sa0});
+  }
+  return specs;
+}
+
+int Run(int argc, char** argv) {
+  auto flags = FlagSet::Parse(argc, argv, {"quick"});
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  const bool quick = *flags->GetBool("quick", false);
+  const std::string out_path =
+      flags->GetString("out", "BENCH_replication.json");
+  const size_t rows = size_t(
+      *flags->GetInt("rows", quick ? 8000 : 300000));
+  const int sync_timeout_ms = quick ? 30000 : 120000;
+
+  exp::PrintBanner(std::cout,
+                   "Replication: publisher + 2 followers, bit-identical "
+                   "answers and bounded convergence",
+                   quick ? "quick smoke size (latency gate skipped)"
+                         : "CENSUS 300k over loopback TCP");
+
+  // --- the release under replication ---------------------------------------
+  Rng rng(recpriv::testing::HarnessSeed(20150315));
+  auto raw = datagen::GenerateCensus({.num_records = rows}, rng);
+  if (!raw.ok()) {
+    std::cerr << raw.status() << "\n";
+    return 1;
+  }
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = raw->schema()->sa_domain_size();
+  auto sps = core::SpsPerturbTable(params, *raw, rng);
+  if (!sps.ok()) {
+    std::cerr << sps.status() << "\n";
+    return 1;
+  }
+  const std::string sensitive = sps->table.schema()->sensitive().name;
+  analysis::ReleaseBundle bundle{std::move(sps->table), params, sensitive,
+                                 {}};
+
+  // --- publisher ------------------------------------------------------------
+  auto store = std::make_shared<serve::ReleaseStore>();
+  serve::QueryEngineOptions engine_options;
+  engine_options.num_threads = 2;
+  auto engine = std::make_shared<serve::QueryEngine>(store, engine_options);
+  repl::SnapshotProvider provider(*store);
+  serve::ServerOptions server_options;
+  server_options.snapshot_provider = &provider;
+  auto server = serve::Server::Start(engine, server_options);
+  if (!server.ok()) {
+    std::cerr << server.status() << "\n";
+    return 1;
+  }
+  client::InProcessClient admin(engine);
+  if (auto d = admin.PublishBundle(kRelease, bundle); !d.ok()) {
+    std::cerr << d.status() << "\n";
+    return 1;
+  }
+
+  // --- the fleet ------------------------------------------------------------
+  repl::ReplicatorOptions clean_options;
+  clean_options.retry.initial_backoff_ms = 1;
+  clean_options.retry.max_backoff_ms = 50;
+  clean_options.idle_poll_ms = 10;  // event-to-fetch latency under test
+  auto clean = StartFollower("clean", (*server)->port(), clean_options);
+  if (!clean.ok()) {
+    std::cerr << clean.status() << "\n";
+    return 1;
+  }
+
+  net::FaultOptions fault_options;
+  fault_options.seed = recpriv::testing::HarnessSeed(2015);
+  fault_options.drop_rate = 0.02;
+  fault_options.disconnect_rate = 0.02;
+  fault_options.truncate_rate = 0.02;
+  repl::ReplicatorOptions faulty_options = clean_options;
+  faulty_options.chunk_bytes = 64 * 1024;  // more lines, more fault exposure
+  faulty_options.fault_injector =
+      std::make_shared<net::FaultInjector>(fault_options);
+  auto faulty = StartFollower("faulty", (*server)->port(), faulty_options);
+  if (!faulty.ok()) {
+    std::cerr << faulty.status() << "\n";
+    return 1;
+  }
+
+  // --- initial sync, then the timed publish --------------------------------
+  if (!clean->replicator->WaitForEpoch(kRelease, 1, sync_timeout_ms) ||
+      !faulty->replicator->WaitForEpoch(kRelease, 1, sync_timeout_ms)) {
+    std::cerr << "followers failed to sync epoch 1 within "
+              << sync_timeout_ms << " ms\n";
+    return 1;
+  }
+
+  // Convergence is measured from the moment the new epoch is visible on
+  // the primary (PublishBundle returned): replication lag is the window in
+  // which a follower serves older data than the primary, and the
+  // publisher's own index build is not part of that window.
+  if (auto d = admin.PublishBundle(kRelease, bundle); !d.ok()) {
+    std::cerr << d.status() << "\n";
+    return 1;
+  }
+  WallTimer publish_timer;
+  if (!clean->replicator->WaitForEpoch(kRelease, 2, sync_timeout_ms)) {
+    std::cerr << "clean follower failed to converge on epoch 2\n";
+    return 1;
+  }
+  const double clean_convergence_ms = publish_timer.Millis();
+  if (!faulty->replicator->WaitForEpoch(kRelease, 2, sync_timeout_ms)) {
+    std::cerr << "fault-injected follower failed to converge on epoch 2\n";
+    return 1;
+  }
+  const double faulty_convergence_ms = publish_timer.Millis();
+
+  // --- oracle verification: followers must answer bit-identically ----------
+  workload::Oracle oracle;
+  for (uint64_t epoch = 1; epoch <= 2; ++epoch) {
+    auto snap = store->Get(kRelease, epoch);
+    if (!snap.ok()) {
+      std::cerr << snap.status() << "\n";
+      return 1;
+    }
+    oracle.Register(kRelease, *snap);
+  }
+  auto primary_snap = store->Get(kRelease);
+  if (!primary_snap.ok()) {
+    std::cerr << primary_snap.status() << "\n";
+    return 1;
+  }
+  const std::vector<QuerySpec> specs =
+      CensusQueries(*(*primary_snap)->bundle.data.schema());
+
+  client::InProcessClient clean_reader(clean->engine);
+  client::InProcessClient faulty_reader(faulty->engine);
+  size_t verified = 0, mismatches = 0;
+  bool answers_identical = true;
+  for (uint64_t epoch = 1; epoch <= 2; ++epoch) {
+    QueryRequest request;
+    request.release = kRelease;
+    request.epoch = epoch;
+    request.queries = specs;
+    auto want = admin.Query(request);
+    auto got_clean = clean_reader.Query(request);
+    auto got_faulty = faulty_reader.Query(request);
+    if (!want.ok() || !got_clean.ok() || !got_faulty.ok()) {
+      std::cerr << "query failed at epoch " << epoch << "\n";
+      return 1;
+    }
+    for (const auto* answer : {&*got_clean, &*got_faulty}) {
+      std::string detail;
+      if (oracle.Verify(kRelease, specs, *answer, &detail) ==
+          workload::Oracle::Verdict::kVerified) {
+        ++verified;
+      } else {
+        ++mismatches;
+        std::cerr << "oracle mismatch at epoch " << epoch << ": " << detail
+                  << "\n";
+      }
+    }
+    const std::string want_fp = recpriv::testing::AnswerFingerprint(*want);
+    if (recpriv::testing::AnswerFingerprint(*got_clean) != want_fp ||
+        recpriv::testing::AnswerFingerprint(*got_faulty) != want_fp) {
+      answers_identical = false;
+    }
+  }
+
+  const client::ReplicationStats clean_stats = clean->replicator->Stats();
+  const client::ReplicationStats faulty_stats = faulty->replicator->Stats();
+
+  exp::AsciiTable table({"follower", "installs", "bytes fetched",
+                         "reconnects", "digest mismatches",
+                         "convergence ms"});
+  table.AddRow({"clean", std::to_string(clean_stats.installs),
+                FormatWithCommas(int64_t(clean_stats.bytes_fetched)),
+                std::to_string(clean_stats.reconnects),
+                std::to_string(clean_stats.digest_mismatches),
+                FormatDouble(clean_convergence_ms, 4)});
+  table.AddRow({"fault-injected", std::to_string(faulty_stats.installs),
+                FormatWithCommas(int64_t(faulty_stats.bytes_fetched)),
+                std::to_string(faulty_stats.reconnects),
+                std::to_string(faulty_stats.digest_mismatches),
+                FormatDouble(faulty_convergence_ms, 4)});
+  table.Print(std::cout);
+
+  const bool identical_ok = mismatches == 0 && answers_identical &&
+                            verified == 4;
+  const bool faulty_clean_ok = faulty_stats.digest_mismatches == 0;
+  const bool gate_latency = !quick;
+  const bool latency_ok = !gate_latency || clean_convergence_ms <= 500.0;
+
+  std::cout << "\nbit-identical follower answers (oracle-verified): "
+            << (identical_ok ? "PASS" : "FAIL") << "\n";
+  std::cout << "fault-injected follower answer-clean (0 digest mismatches, "
+            << faulty_stats.reconnects << " reconnects): "
+            << (faulty_clean_ok ? "PASS" : "FAIL") << "\n";
+  std::cout << "clean-follower convergence "
+            << FormatDouble(clean_convergence_ms, 4) << " ms ";
+  if (gate_latency) {
+    std::cout << "(gate 500 ms)  [" << (latency_ok ? "PASS" : "FAIL")
+              << "]\n";
+  } else {
+    std::cout << "(gate skipped: --quick)  [PASS]\n";
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("bench_replication/v1"));
+  doc.Set("quick", JsonValue::Bool(quick));
+  doc.Set("rows", JsonValue::Int(int64_t(rows)));
+  doc.Set("queries_per_epoch", JsonValue::Int(int64_t(specs.size())));
+  auto follower_json = [](const client::ReplicationStats& s,
+                          double convergence_ms) {
+    JsonValue out = JsonValue::Object();
+    out.Set("installs", JsonValue::Int(int64_t(s.installs)));
+    out.Set("snapshots_fetched",
+            JsonValue::Int(int64_t(s.snapshots_fetched)));
+    out.Set("bytes_fetched", JsonValue::Int(int64_t(s.bytes_fetched)));
+    out.Set("reconnects", JsonValue::Int(int64_t(s.reconnects)));
+    out.Set("digest_mismatches",
+            JsonValue::Int(int64_t(s.digest_mismatches)));
+    out.Set("convergence_ms", JsonValue::Number(convergence_ms));
+    return out;
+  };
+  doc.Set("clean", follower_json(clean_stats, clean_convergence_ms));
+  doc.Set("faulty", follower_json(faulty_stats, faulty_convergence_ms));
+  doc.Set("answers_bit_identical", JsonValue::Bool(identical_ok));
+  doc.Set("faulty_answer_clean", JsonValue::Bool(faulty_clean_ok));
+  doc.Set("latency_gated", JsonValue::Bool(gate_latency));
+  doc.Set("convergence_gate_ms", JsonValue::Number(500.0));
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << doc.ToString(2) << "\n";
+  }
+  std::cout << "results written to " << out_path << "\n";
+
+  clean->replicator->Stop();
+  faulty->replicator->Stop();
+  fs::remove_all(clean->dir);
+  fs::remove_all(faulty->dir);
+
+  if (!identical_ok || !faulty_clean_ok) return 1;
+  if (gate_latency && !latency_ok) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -208,6 +208,75 @@ struct TenantStats {
   std::map<std::string, TenantCounters> tenants;
 };
 
+/// One retained epoch as advertised by the replication subscribe stream:
+/// its number and the content digest ("xxh64:<hex>", repl/digest.h) of its
+/// serialized snapshot image.
+struct EpochDigest {
+  uint64_t epoch = 0;
+  std::string digest;
+};
+
+/// One release's retained-epoch window in a subscribe listing,
+/// epoch-ascending; back() is the served epoch.
+struct SubscribedRelease {
+  std::string name;
+  std::vector<EpochDigest> epochs;
+};
+
+/// The response of the "subscribe" wire op: the full epoch listing at
+/// subscription time. Every later change arrives as an EpochEvent pushed
+/// on the same session.
+struct Subscription {
+  std::vector<SubscribedRelease> releases;
+};
+
+/// One pushed replication event (wire shape: {"v":2,"event":"epoch",...}).
+/// kPublish announces a newly served epoch (digest set); kRetire an epoch
+/// aged out of the retention window; kDrop a retired release (epoch = the
+/// last served epoch).
+struct EpochEvent {
+  enum class Kind { kPublish, kRetire, kDrop };
+  Kind kind = Kind::kPublish;
+  std::string release;
+  uint64_t epoch = 0;
+  std::string digest;  ///< set for kPublish; empty otherwise
+};
+
+/// One chunk of a snapshot transfer (the "fetch_snapshot" wire op). The
+/// chunk bytes are base64 inside the JSON frame; `digest` is the whole
+/// file's content digest so the fetcher can verify the reassembled image.
+struct SnapshotChunk {
+  std::string release;
+  uint64_t epoch = 0;
+  uint64_t offset = 0;       ///< first byte of `data` within the file
+  uint64_t total_bytes = 0;  ///< full serialized image size
+  std::string digest;        ///< whole-image digest ("xxh64:<hex>")
+  std::vector<uint8_t> data;
+  bool eof = false;  ///< offset + data.size() == total_bytes
+};
+
+/// Counters and staleness bounds of a follower's replication link
+/// (repl/replicator.h). Present in ServerStats only when the serving
+/// process is following a primary (recpriv_serve --follow), so golden
+/// transcripts of non-replicating servers are unchanged.
+struct ReplicationStats {
+  std::string primary;        ///< "host:port" being followed
+  bool connected = false;     ///< the subscribe stream is live right now
+  uint64_t events_seen = 0;   ///< pushed epoch events processed
+  uint64_t snapshots_fetched = 0;  ///< completed fetch_snapshot transfers
+  uint64_t bytes_fetched = 0;      ///< snapshot payload bytes received
+  uint64_t installs = 0;           ///< epochs installed into the local store
+  uint64_t drops = 0;              ///< releases dropped to mirror the primary
+  uint64_t digest_mismatches = 0;  ///< transfers rejected as DATA_LOSS
+  uint64_t reconnects = 0;         ///< connection lifetimes after the first
+  uint64_t resyncs = 0;            ///< full listings reconciled
+  /// Bounded staleness, observable per the tentpole contract: how many
+  /// published-but-not-yet-installed epochs the follower knows about, and
+  /// the age in ms of the oldest such epoch (0 when fully caught up).
+  uint64_t lag_epochs = 0;
+  double lag_ms = 0.0;
+};
+
 /// Engine-wide counters plus per-release serving metadata.
 struct ServerStats {
   uint64_t threads = 0;
@@ -217,6 +286,7 @@ struct ServerStats {
   std::optional<TransportStats> transport;  ///< see TransportStats
   std::vector<StoreReleaseStats> store;     ///< see StoreReleaseStats
   std::optional<TenantStats> tenants;       ///< see TenantStats
+  std::optional<ReplicationStats> replication;  ///< see ReplicationStats
 };
 
 }  // namespace recpriv::client

@@ -1,5 +1,6 @@
 #include "client/line_protocol_client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <istream>
 #include <ostream>
@@ -9,6 +10,21 @@
 #include "serve/wire.h"
 
 namespace recpriv::client {
+
+namespace {
+
+/// How long a RoundTrip keeps reading for its response after absorbing a
+/// pushed event line; matches TcpTransportOptions::response_timeout_ms.
+constexpr int kResponseBehindEventsTimeoutMs = 60000;
+
+}  // namespace
+
+Result<std::optional<std::string>> LineTransport::ReadPushedLine(
+    int /*timeout_ms*/) {
+  return Status::NotImplemented(
+      "this transport does not carry pushed lines (subscribe needs a live "
+      "TCP connection)");
+}
 
 Result<std::string> IoStreamTransport::RoundTrip(
     const std::string& request_line) {
@@ -25,7 +41,7 @@ Result<std::string> IoStreamTransport::RoundTrip(
 
 Result<std::string> LoopbackTransport::RoundTrip(
     const std::string& request_line) {
-  return serve::HandleRequestLine(request_line, engine_);
+  return serve::HandleRequestLine(request_line, engine_, context_, nullptr);
 }
 
 Result<std::string> FaultInjectingTransport::RoundTrip(
@@ -69,7 +85,54 @@ Result<JsonValue> LineProtocolClient::RoundTrip(const JsonValue& request,
                                                 uint64_t id) {
   RECPRIV_ASSIGN_OR_RETURN(std::string response_line,
                            transport_->RoundTrip(request.ToString()));
-  return serve::wire::ParseResponse(response_line, id);
+  // A subscribed session may receive pushed event lines in place of the
+  // response; absorb each one and keep reading until the real response
+  // (or anything malformed — ParseResponse rules on that) shows up.
+  for (;;) {
+    Result<JsonValue> parsed = JsonValue::Parse(response_line);
+    if (!parsed.ok() || !serve::wire::IsEventLine(*parsed)) {
+      return serve::wire::ParseResponse(response_line, id);
+    }
+    RECPRIV_RETURN_NOT_OK(AbsorbEvent(*parsed));
+    RECPRIV_ASSIGN_OR_RETURN(
+        std::optional<std::string> next,
+        transport_->ReadPushedLine(kResponseBehindEventsTimeoutMs));
+    if (!next.has_value()) {
+      return Status::IOError(
+          "line protocol: response never arrived behind pushed events");
+    }
+    response_line = std::move(*next);
+  }
+}
+
+Status LineProtocolClient::AbsorbEvent(const JsonValue& line) {
+  RECPRIV_ASSIGN_OR_RETURN(EpochEvent event,
+                           serve::wire::DecodeEpochEvent(line));
+  switch (event.kind) {
+    case EpochEvent::Kind::kPublish: {
+      uint64_t& latest = latest_epoch_[event.release];
+      latest = std::max(latest, event.epoch);
+      break;
+    }
+    case EpochEvent::Kind::kRetire: {
+      // Satellite: push-based stale-epoch invalidation. The server just
+      // told us this epoch left the retention window — clear a matching
+      // pin now instead of learning it from the next query's STALE_EPOCH.
+      auto it = pins_.find(event.release);
+      if (it != pins_.end() && it->second == event.epoch) {
+        pins_.erase(it);
+        ++pin_invalidations_;
+      }
+      break;
+    }
+    case EpochEvent::Kind::kDrop: {
+      if (pins_.erase(event.release) > 0) ++pin_invalidations_;
+      latest_epoch_.erase(event.release);
+      break;
+    }
+  }
+  pending_events_.push_back(std::move(event));
+  return Status::OK();
 }
 
 Result<std::vector<ReleaseDescriptor>> LineProtocolClient::List() {
@@ -81,9 +144,17 @@ Result<std::vector<ReleaseDescriptor>> LineProtocolClient::List() {
 
 Result<BatchAnswer> LineProtocolClient::Query(const QueryRequest& request) {
   const uint64_t id = next_id_++;
+  // An explicit epoch in the request wins; otherwise a live pin fills it
+  // in, so a pinned session reads a consistent release without each call
+  // site threading the epoch through.
+  QueryRequest effective = request;
+  if (!effective.epoch.has_value()) {
+    auto it = pins_.find(effective.release);
+    if (it != pins_.end()) effective.epoch = it->second;
+  }
   RECPRIV_ASSIGN_OR_RETURN(
       JsonValue response,
-      RoundTrip(serve::wire::EncodeQueryRequest(request, id), id));
+      RoundTrip(serve::wire::EncodeQueryRequest(effective, id), id));
   return serve::wire::DecodeQueryResponse(response);
 }
 
@@ -118,6 +189,71 @@ Result<ReleaseDescriptor> LineProtocolClient::Drop(const std::string& name) {
       JsonValue response,
       RoundTrip(serve::wire::EncodeDropRequest(name, id), id));
   return serve::wire::DecodeDropResponse(response);
+}
+
+Result<Subscription> LineProtocolClient::Subscribe() {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodeSubscribeRequest(id), id));
+  return serve::wire::DecodeSubscribeResponse(response);
+}
+
+Result<std::vector<EpochEvent>> LineProtocolClient::PollEvents(
+    int timeout_ms) {
+  // Block only for the first line and only when nothing is buffered;
+  // after that, drain whatever has already arrived without waiting.
+  int wait_ms = pending_events_.empty() ? timeout_ms : 0;
+  for (;;) {
+    RECPRIV_ASSIGN_OR_RETURN(std::optional<std::string> line,
+                             transport_->ReadPushedLine(wait_ms));
+    if (!line.has_value()) break;
+    RECPRIV_ASSIGN_OR_RETURN(JsonValue parsed, JsonValue::Parse(*line));
+    if (!serve::wire::IsEventLine(parsed)) {
+      return Status::Internal(
+          "line protocol: unsolicited non-event line on an idle session: " +
+          *line);
+    }
+    RECPRIV_RETURN_NOT_OK(AbsorbEvent(parsed));
+    wait_ms = 0;
+  }
+  std::vector<EpochEvent> drained;
+  drained.swap(pending_events_);
+  return drained;
+}
+
+Result<SnapshotChunk> LineProtocolClient::FetchSnapshotChunk(
+    const std::string& release, uint64_t epoch, uint64_t offset,
+    uint64_t max_bytes) {
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodeFetchSnapshotRequest(release, epoch, offset,
+                                                        max_bytes, id),
+                id));
+  return serve::wire::DecodeFetchSnapshotResponse(response);
+}
+
+void LineProtocolClient::Pin(const std::string& release, uint64_t epoch) {
+  pins_[release] = epoch;
+}
+
+std::optional<uint64_t> LineProtocolClient::PinnedEpoch(
+    const std::string& release) const {
+  auto it = pins_.find(release);
+  if (it == pins_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LineProtocolClient::ClearPin(const std::string& release) {
+  pins_.erase(release);
+}
+
+std::optional<uint64_t> LineProtocolClient::LatestKnownEpoch(
+    const std::string& release) const {
+  auto it = latest_epoch_.find(release);
+  if (it == latest_epoch_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace recpriv::client

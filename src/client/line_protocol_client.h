@@ -20,11 +20,20 @@
 // thread-safe; give each session its own client (the paper's consumption
 // model — analysts each querying an immutable release — makes sessions
 // naturally independent).
+//
+// Push streams: after Subscribe(), the server interleaves epoch-event
+// lines (no "id"/"ok" — see wire::IsEventLine) into the session. The
+// client routes them transparently: a RoundTrip that reads an event line
+// buffers it and keeps reading until the real response arrives, and
+// PollEvents() drains buffered plus newly arrived events. Pushed retire/
+// drop events proactively clear a matching epoch pin, so a subscribed
+// session never sends a query it already knows will answer STALE_EPOCH.
 
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,6 +43,7 @@
 #include "common/json.h"
 #include "net/fault_injector.h"
 #include "serve/query_engine.h"
+#include "serve/wire.h"
 
 namespace recpriv::client {
 
@@ -44,6 +54,11 @@ class LineTransport {
   /// Sends `request_line` (no trailing newline) and returns the
   /// corresponding response line, or an error when the peer is gone.
   virtual Result<std::string> RoundTrip(const std::string& request_line) = 0;
+  /// Waits up to `timeout_ms` for a line the server sent without being
+  /// asked (a pushed event, or a late response after events displaced
+  /// it); nullopt on timeout. Only transports with a live full-duplex
+  /// connection can carry pushes; the default says so with UNSUPPORTED.
+  virtual Result<std::optional<std::string>> ReadPushedLine(int timeout_ms);
 };
 
 /// Writes request lines to `out`, reads response lines from `in`.
@@ -58,14 +73,20 @@ class IoStreamTransport : public LineTransport {
   std::ostream& out_;
 };
 
-/// Dispatches lines through a local engine's wire front end.
+/// Dispatches lines through a local engine's wire front end. The context
+/// overload forwards a RequestContext, so protocol tests can exercise
+/// e.g. "fetch_snapshot" or replication stats without a socket (loopback
+/// has no push stream — "subscribe" needs the TCP server).
 class LoopbackTransport : public LineTransport {
  public:
   explicit LoopbackTransport(serve::QueryEngine& engine) : engine_(engine) {}
+  LoopbackTransport(serve::QueryEngine& engine, serve::RequestContext context)
+      : engine_(engine), context_(std::move(context)) {}
   Result<std::string> RoundTrip(const std::string& request_line) override;
 
  private:
   serve::QueryEngine& engine_;
+  serve::RequestContext context_;
 };
 
 /// Decorates any LineTransport with a seeded fault schedule
@@ -112,13 +133,55 @@ class LineProtocolClient : public Client {
                                     const std::string& basename) override;
   Result<ReleaseDescriptor> Drop(const std::string& name) override;
 
+  // --- replication / push stream -------------------------------------------
+
+  /// Upgrades this session into a push stream of epoch events; returns the
+  /// full retained-epoch listing at subscription time.
+  Result<Subscription> Subscribe();
+
+  /// Drains pushed epoch events: waits up to `timeout_ms` for the first
+  /// line when nothing is buffered, then returns everything that has
+  /// arrived (possibly empty). Pin invalidation and the latest-epoch map
+  /// are updated as each event is seen — including events absorbed during
+  /// a RoundTrip — not just here.
+  Result<std::vector<EpochEvent>> PollEvents(int timeout_ms);
+
+  /// One chunk of a snapshot transfer; chunk integrity is verified in the
+  /// decoder (DataLoss on mismatch).
+  Result<SnapshotChunk> FetchSnapshotChunk(const std::string& release,
+                                           uint64_t epoch, uint64_t offset,
+                                           uint64_t max_bytes);
+
+  // --- epoch pinning (satellite: push-based stale-epoch invalidation) ------
+
+  /// Pins queries of `release` (those not already carrying an epoch) to
+  /// `epoch`. A pushed retire/drop of that epoch clears the pin before the
+  /// next query, so a subscribed session steps forward instead of sending
+  /// a request it already knows will answer STALE_EPOCH.
+  void Pin(const std::string& release, uint64_t epoch);
+  std::optional<uint64_t> PinnedEpoch(const std::string& release) const;
+  void ClearPin(const std::string& release);
+  /// Pins cleared by pushed retire/drop events (not by ClearPin).
+  uint64_t pin_invalidations() const { return pin_invalidations_; }
+  /// Highest epoch a pushed publish event has announced for `release`.
+  std::optional<uint64_t> LatestKnownEpoch(const std::string& release) const;
+
  private:
   /// Serializes `request`, round-trips it, and validates the envelope;
-  /// returns the response object for the per-op decoder.
+  /// returns the response object for the per-op decoder. Pushed event
+  /// lines that arrive in place of the response are absorbed (buffered +
+  /// side effects applied) and the read continues.
   Result<JsonValue> RoundTrip(const JsonValue& request, uint64_t id);
+  /// Applies one decoded event's side effects and buffers it for
+  /// PollEvents.
+  Status AbsorbEvent(const JsonValue& line);
 
   std::unique_ptr<LineTransport> transport_;
   uint64_t next_id_ = 1;
+  std::vector<EpochEvent> pending_events_;
+  std::map<std::string, uint64_t> pins_;
+  std::map<std::string, uint64_t> latest_epoch_;
+  uint64_t pin_invalidations_ = 0;
 };
 
 }  // namespace recpriv::client

@@ -55,13 +55,17 @@ Result<std::unique_ptr<RetryingClient>> RetryingClient::Create(
       new RetryingClient(std::move(factory), policy, std::move(inner)));
 }
 
-void RetryingClient::Backoff(int attempt) {
-  double base = policy_.initial_backoff_ms;
-  for (int i = 0; i < attempt; ++i) base *= policy_.multiplier;
-  base = std::min(base, double(policy_.max_backoff_ms));
+double BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng& jitter) {
+  double base = policy.initial_backoff_ms;
+  for (int i = 0; i < attempt; ++i) base *= policy.multiplier;
+  base = std::min(base, double(policy.max_backoff_ms));
   // Multiplicative jitter in [0.5, 1.0): desynchronizes a fleet of clients
   // without ever waiting longer than the deterministic schedule.
-  const double jittered = base * (0.5 + 0.5 * jitter_.NextDouble());
+  return base * (0.5 + 0.5 * jitter.NextDouble());
+}
+
+void RetryingClient::Backoff(int attempt) {
+  const double jittered = BackoffDelayMs(policy_, attempt, jitter_);
   if (jittered <= 0.0) return;
   std::this_thread::sleep_for(
       std::chrono::duration<double, std::milli>(jittered));

@@ -51,6 +51,13 @@ struct RetryPolicy {
 /// True for the codes worth retrying (see the header comment for why).
 bool IsRetryableCode(ErrorCode code);
 
+/// The jittered backoff delay (ms) before 0-based retry `attempt`: base =
+/// initial_backoff_ms * multiplier^attempt capped at max_backoff_ms, then
+/// multiplicative jitter in [0.5, 1.0) drawn from `jitter`. Exposed so the
+/// replication follower's reconnect loop (repl/replicator.h) paces
+/// failures on exactly the RetryingClient schedule.
+double BackoffDelayMs(const RetryPolicy& policy, int attempt, Rng& jitter);
+
 /// Counters a RetryingClient accumulates across its lifetime.
 struct RetryStats {
   uint64_t attempts = 0;     ///< total attempts, including first tries

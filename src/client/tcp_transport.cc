@@ -14,6 +14,7 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
       net::UniqueFd fd, net::ConnectTcp(host, port, options.connect_timeout_ms));
   net::LineChannelOptions channel_options;
   channel_options.max_line_bytes = options.max_line_bytes;
+  channel_options.read_chunk_bytes = options.read_chunk_bytes;
   return std::unique_ptr<TcpTransport>(new TcpTransport(
       net::LineChannel(std::move(fd), channel_options), options));
 }
@@ -79,6 +80,24 @@ Result<std::string> TcpTransport::ReadResponse() {
                              " ms");
     case net::ReadEvent::kOversized:
       return Status::IOError("tcp transport: response line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes");
+  }
+  return Status::Internal("tcp transport: unreachable read event");
+}
+
+Result<std::optional<std::string>> TcpTransport::ReadPushedLine(
+    int timeout_ms) {
+  RECPRIV_ASSIGN_OR_RETURN(net::ReadResult read, channel_.ReadLine(timeout_ms));
+  switch (read.event) {
+    case net::ReadEvent::kLine:
+      return std::optional<std::string>(std::move(read.line));
+    case net::ReadEvent::kTimeout:
+      return std::optional<std::string>();
+    case net::ReadEvent::kEof:
+      return Status::IOError("tcp transport: server closed the connection");
+    case net::ReadEvent::kOversized:
+      return Status::IOError("tcp transport: pushed line exceeds " +
                              std::to_string(options_.max_line_bytes) +
                              " bytes");
   }

@@ -27,6 +27,10 @@ struct TcpTransportOptions {
   int response_timeout_ms = 60000;  ///< wait for the server's reply line
   int write_timeout_ms = 5000;
   size_t max_line_bytes = 1 << 20;  ///< longest accepted response line
+  /// recv() granularity. The default suits request/response chatter; bulk
+  /// consumers (snapshot replication) raise it so a multi-megabyte response
+  /// line is not assembled from thousands of page-sized reads.
+  size_t read_chunk_bytes = 4096;
   /// When set, each request write draws from the seeded fault schedule and
   /// the fault is applied at the byte level: drops and disconnects really
   /// close the socket, truncation sends half a line then closes (the
@@ -43,6 +47,10 @@ class TcpTransport : public LineTransport {
       const std::string& host, uint16_t port, TcpTransportOptions options = {});
 
   Result<std::string> RoundTrip(const std::string& request_line) override;
+  /// Pushed epoch events ride the same connection; a timeout is a normal
+  /// "nothing arrived" (nullopt), EOF/oversized are IO errors like any
+  /// other dead-transport condition.
+  Result<std::optional<std::string>> ReadPushedLine(int timeout_ms) override;
 
  private:
   TcpTransport(net::LineChannel channel, TcpTransportOptions options)

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -43,6 +44,10 @@ class JsonValue {
   Result<double> AsDouble() const;
   Result<int64_t> AsInt() const;
   Result<std::string> AsString() const;
+  /// Zero-copy view of a string node — for payload-sized strings (wire
+  /// chunk data) where AsString's copy would be a measurable pass. The
+  /// view is valid only while this node is alive and unmodified.
+  Result<std::string_view> AsStringView() const;
 
   /// Array operations.
   JsonValue& Append(JsonValue v);        ///< requires is_array()

@@ -2,9 +2,12 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace recpriv {
 
@@ -31,5 +34,15 @@ std::string FormatPercent(double v, int decimals = 2);
 
 /// Thousands-separated integer, e.g. 45222 -> "45,222".
 std::string FormatWithCommas(int64_t v);
+
+/// Standard base64 (RFC 4648, with '=' padding). Used to carry binary
+/// snapshot chunks inside JSON wire frames (serve/wire.h "fetch_snapshot")
+/// without leaving the line-delimited text protocol.
+std::string Base64Encode(const uint8_t* data, size_t n);
+
+/// Inverse of Base64Encode. Rejects characters outside the alphabet,
+/// misplaced padding, and truncated groups — a corrupted chunk must fail
+/// loudly, not decode to different bytes.
+Result<std::vector<uint8_t>> Base64Decode(std::string_view encoded);
 
 }  // namespace recpriv

@@ -30,6 +30,10 @@
 //   client/   the typed consumer surface: request/response structs with a
 //             stable error-code taxonomy, and the Client interface with
 //             in-process and line-protocol backends
+//   repl/     read-scaling replication: content digests, the primary's
+//             serialized-snapshot provider behind subscribe/fetch_snapshot,
+//             and the follower Replicator that mirrors a primary's
+//             releases bit for bit (tools/recpriv_serve --follow)
 //   exp/      experiment harness reproducing the paper's tables & figures
 
 #pragma once
@@ -116,7 +120,12 @@
 #include "client/client.h"
 #include "client/in_process_client.h"
 #include "client/line_protocol_client.h"
+#include "client/retry.h"
 #include "client/tcp_transport.h"
+
+#include "repl/digest.h"
+#include "repl/replicator.h"
+#include "repl/snapshot_provider.h"
 
 #include "anon/ldiversity.h"
 #include "anon/tcloseness.h"

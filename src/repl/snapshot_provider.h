@@ -1,0 +1,71 @@
+// SnapshotProvider: serialized snapshot images for the replication wire.
+//
+// The primary's subscribe/fetch_snapshot ops need the *byte image* of a
+// (release, epoch) — exactly what store::SerializeSnapshot produces — plus
+// its content digest. Serializing a large release is not free, and one
+// publish typically triggers several consumers (the pushed event's digest,
+// then one fetch per follower), so the provider keeps a small LRU of
+// recently packed images keyed by (release, epoch). Epochs are immutable
+// and never reused (serve/release_store.h), which makes that cache safe:
+// a (release, epoch) key can only ever map to one byte image.
+//
+// Thread-safe; shared by the server's store listener (which warms the
+// cache via Pack at publish time) and the per-session fetch handlers.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/release_store.h"
+
+namespace recpriv::repl {
+
+class SnapshotProvider {
+ public:
+  /// Images cached at once; the default covers the common fleet pattern of
+  /// several followers fetching the same just-published epoch.
+  static constexpr size_t kDefaultCacheEntries = 4;
+
+  /// A serialized snapshot and its content digest (see repl/digest.h).
+  struct Packed {
+    std::shared_ptr<const std::vector<uint8_t>> bytes;
+    uint64_t digest = 0;
+  };
+
+  explicit SnapshotProvider(const serve::ReleaseStore& store,
+                            size_t cache_entries = kDefaultCacheEntries);
+
+  /// The byte image of (release, epoch), from cache or by looking the
+  /// epoch up in the store and serializing it. NotFound / FailedPrecondition
+  /// propagate from the store when the release or epoch is gone.
+  Result<Packed> Get(const std::string& release, uint64_t epoch);
+
+  /// Packs a snapshot the caller already holds (the publish listener's
+  /// path) — no store lookup, so it cannot race the retention window —
+  /// and warms the cache for the fetches that follow.
+  Result<Packed> Pack(const std::string& release, serve::SnapshotPtr snap);
+
+ private:
+  using Key = std::pair<std::string, uint64_t>;
+
+  /// Cache lookup; promotes a hit to most-recently-used. Caller holds mu_.
+  const Packed* FindLocked(const Key& key);
+  /// Inserts (evicting LRU) unless the key is already present. Caller
+  /// holds mu_.
+  void InsertLocked(Key key, Packed packed);
+
+  const serve::ReleaseStore& store_;
+  const size_t cache_entries_;
+  std::mutex mu_;
+  /// MRU-first; small enough that linear scans beat a map.
+  std::list<std::pair<Key, Packed>> cache_;
+};
+
+}  // namespace recpriv::repl

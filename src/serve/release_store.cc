@@ -60,14 +60,35 @@ std::vector<uint64_t> ReleaseStore::InstallLocked(const std::string& name,
   window.insert(pos, std::move(snap));
   std::vector<uint64_t> evicted;
   if (window.size() > retained_) {
-    if (!snapshot_dir_.empty()) {
-      for (auto it = window.begin(); it != window.end() - retained_; ++it) {
-        evicted.push_back((*it)->epoch);
-      }
+    for (auto it = window.begin(); it != window.end() - retained_; ++it) {
+      evicted.push_back((*it)->epoch);
     }
     window.erase(window.begin(), window.end() - retained_);
   }
   return evicted;
+}
+
+void ReleaseStore::Notify(const std::vector<StoreEvent>& events) const {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  for (const StoreEvent& event : events) {
+    for (const auto& [token, listener] : listeners_) {
+      listener(event);
+    }
+  }
+}
+
+uint64_t ReleaseStore::AddListener(
+    std::function<void(const StoreEvent&)> listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  const uint64_t token = ++next_listener_token_;
+  listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void ReleaseStore::RemoveListener(uint64_t token) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.erase(token);
 }
 
 Result<SnapshotPtr> ReleaseStore::Publish(const std::string& name,
@@ -105,6 +126,8 @@ Result<SnapshotPtr> ReleaseStore::PublishWithSource(
   }
   SnapshotPtr served;
   std::vector<uint64_t> evicted;
+  std::vector<StoreEvent> events;
+  events.push_back({StoreEvent::Kind::kInstall, name, epoch, snap});
   {
     std::lock_guard<std::mutex> lock(mu_);
     evicted = InstallLocked(name, std::move(snap));
@@ -113,8 +136,10 @@ Result<SnapshotPtr> ReleaseStore::PublishWithSource(
     served = window.back();
   }
   for (const uint64_t e : evicted) {
-    std::remove(ManagedPath(name, e).c_str());
+    if (!snapshot_dir_.empty()) std::remove(ManagedPath(name, e).c_str());
+    events.push_back({StoreEvent::Kind::kRetire, name, e, nullptr});
   }
+  Notify(events);
   return served;
 }
 
@@ -166,18 +191,19 @@ Result<ReleaseInfo> ReleaseStore::Drop(const std::string& name) {
       return Status::NotFound("no release named '" + name + "'");
     }
     info = InfoLocked(name, it->second);
-    if (!snapshot_dir_.empty()) {
-      for (const SnapshotPtr& snap : it->second) {
-        dropped.push_back(snap->epoch);
-      }
+    for (const SnapshotPtr& snap : it->second) {
+      dropped.push_back(snap->epoch);
     }
     releases_.erase(it);
   }
   // A dropped release's files go too — otherwise recovery would resurrect
   // a release the operator explicitly retired.
-  for (const uint64_t e : dropped) {
-    std::remove(ManagedPath(name, e).c_str());
+  if (!snapshot_dir_.empty()) {
+    for (const uint64_t e : dropped) {
+      std::remove(ManagedPath(name, e).c_str());
+    }
   }
+  Notify({{StoreEvent::Kind::kDrop, name, info.epoch, nullptr}});
   return info;
 }
 
@@ -197,6 +223,8 @@ Result<ReleaseInfo> ReleaseStore::OpenSnapshot(const std::string& path) {
   const uint64_t epoch = opened.snapshot->epoch;
   ReleaseInfo info;
   std::vector<uint64_t> evicted;
+  std::vector<StoreEvent> events;
+  events.push_back({StoreEvent::Kind::kInstall, name, epoch, opened.snapshot});
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = releases_.find(name);
@@ -215,8 +243,10 @@ Result<ReleaseInfo> ReleaseStore::OpenSnapshot(const std::string& path) {
     info = InfoLocked(name, releases_[name]);
   }
   for (const uint64_t e : evicted) {
-    std::remove(ManagedPath(name, e).c_str());
+    if (!snapshot_dir_.empty()) std::remove(ManagedPath(name, e).c_str());
+    events.push_back({StoreEvent::Kind::kRetire, name, e, nullptr});
   }
+  Notify(events);
   return info;
 }
 
@@ -263,6 +293,25 @@ Result<ReleaseInfo> ReleaseStore::Info(const std::string& name) const {
     return Status::NotFound("no release named '" + name + "'");
   }
   return InfoLocked(name, it->second);
+}
+
+Result<std::vector<SnapshotPtr>> ReleaseStore::Window(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::NotFound("no release named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<std::string> ReleaseStore::ManagedSnapshotPath(const std::string& name,
+                                                      uint64_t epoch) const {
+  if (snapshot_dir_.empty()) {
+    return Status::FailedPrecondition(
+        "ManagedSnapshotPath on a store without a snapshot directory");
+  }
+  return ManagedPath(name, epoch);
 }
 
 std::vector<ReleaseInfo> ReleaseStore::List() const {

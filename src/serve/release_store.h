@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +53,21 @@ struct ReleaseInfo {
   double source_parse_ms = 0.0;
   double source_build_ms = 0.0;
   uint64_t source_bytes_mapped = 0;
+};
+
+/// A store mutation a listener observes (see ReleaseStore::AddListener).
+struct StoreEvent {
+  enum class Kind {
+    kInstall,  ///< an epoch became pinnable (publish or snapshot recovery)
+    kRetire,   ///< an epoch aged out of the retention window
+    kDrop,     ///< the whole release was dropped (epoch = last served)
+  };
+  Kind kind = Kind::kInstall;
+  std::string release;
+  uint64_t epoch = 0;
+  /// The installed snapshot (kInstall only) — handed to listeners directly
+  /// so they never race the retention window to re-look it up.
+  SnapshotPtr snapshot;
 };
 
 /// Thread-safe registry of named release snapshots.
@@ -119,9 +135,34 @@ class ReleaseStore {
   /// Metadata of every release, name-sorted.
   std::vector<ReleaseInfo> List() const;
 
+  /// Every retained snapshot of `name`, epoch-ascending (back() is the
+  /// served one), or NotFound. The replication listing is built from this.
+  Result<std::vector<SnapshotPtr>> Window(const std::string& name) const;
+
+  /// Registers a listener for install/retire/drop events; returns a token
+  /// for RemoveListener. Listeners run after the store lock is released,
+  /// serialized with each other (one event's fan-out completes before the
+  /// next begins). Under concurrent publishers, events of different
+  /// mutations may fan out in either order — consumers needing exact state
+  /// resync from Window()/List(). A listener may read the store but MUST
+  /// NOT mutate the same store synchronously (it would self-deadlock on
+  /// the listener lock).
+  uint64_t AddListener(std::function<void(const StoreEvent&)> listener);
+
+  /// Unregisters; blocks until any in-flight fan-out to this listener
+  /// finishes, so after return the callback will never run again.
+  void RemoveListener(uint64_t token);
+
   size_t size() const;
   size_t retained_epochs() const { return retained_; }
   const std::string& snapshot_dir() const { return snapshot_dir_; }
+
+  /// The managed `.rps` path of (name, epoch) under snapshot_dir — where a
+  /// durable store persists that epoch and where a replication follower
+  /// writes a fetched image before OpenSnapshot installs it.
+  /// FailedPrecondition when the store has no snapshot directory.
+  Result<std::string> ManagedSnapshotPath(const std::string& name,
+                                          uint64_t epoch) const;
 
   /// Writes the currently served snapshot of `name` to `path` in the
   /// binary snapshot format; NotFound when the name is unknown.
@@ -146,10 +187,13 @@ class ReleaseStore {
   /// The managed file path of (name, epoch) under snapshot_dir.
   std::string ManagedPath(const std::string& name, uint64_t epoch) const;
   /// Inserts `snap` into `name`'s window (epoch-sorted), trims the window,
-  /// and returns the epochs whose managed files should now be deleted.
-  /// Caller holds mu_.
+  /// and returns the epochs retired by the trim (whose managed files, when
+  /// the store is durable, should now be deleted). Caller holds mu_.
   std::vector<uint64_t> InstallLocked(const std::string& name,
                                       SnapshotPtr snap);
+  /// Fans `events` out to every listener, in order. Caller must NOT hold
+  /// mu_ (listeners may read the store).
+  void Notify(const std::vector<StoreEvent>& events) const;
 
   const size_t retained_;
   const std::string snapshot_dir_;
@@ -159,6 +203,13 @@ class ReleaseStore {
   /// Highest epoch ever reserved per name (>= the served snapshot's
   /// epoch); survives Drop so epochs are never reused.
   std::map<std::string, uint64_t> next_epoch_;
+
+  /// Listener registry, under its own lock: Notify holds listeners_mu_
+  /// (never mu_) while invoking callbacks, which both serializes fan-out
+  /// and lets RemoveListener guarantee quiescence by acquiring it.
+  mutable std::mutex listeners_mu_;
+  std::map<uint64_t, std::function<void(const StoreEvent&)>> listeners_;
+  uint64_t next_listener_token_ = 0;
 };
 
 }  // namespace recpriv::serve

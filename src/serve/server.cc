@@ -6,6 +6,8 @@
 #include <unistd.h>
 #include <utility>
 
+#include "repl/digest.h"
+#include "repl/snapshot_provider.h"
 #include "serve/wire.h"
 
 namespace recpriv::serve {
@@ -55,6 +57,14 @@ Result<std::unique_ptr<Server>> Server::Start(
   ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
   ::fcntl(pipe_fds[1], F_SETFL, O_NONBLOCK);
 
+  if (server->options_.snapshot_provider != nullptr) {
+    // Registered before the poller starts, so no session can subscribe
+    // before events flow. Fan-out only touches the locked push queues, so
+    // it is safe from any publishing thread.
+    server->store_listener_token_ = server->engine_->store().AddListener(
+        [s = server.get()](const StoreEvent& event) { s->OnStoreEvent(event); });
+  }
+
   server->poller_thread_ = std::thread([s = server.get()] { s->PollLoop(); });
   return server;
 }
@@ -64,6 +74,12 @@ Server::~Server() { Stop(); }
 void Server::Stop() {
   bool expected = false;
   if (stopping_.compare_exchange_strong(expected, true)) {
+    // Detach from the store first: RemoveListener blocks until in-flight
+    // fan-out finishes, so no event touches a session once teardown starts.
+    if (store_listener_token_ != 0) {
+      engine_->store().RemoveListener(store_listener_token_);
+      store_listener_token_ = 0;
+    }
     WakePoller();
     if (poller_thread_.joinable()) poller_thread_.join();
     // Closed only after the join: no thread may poll a recycled fd.
@@ -117,12 +133,37 @@ void Server::PollLoop() {
       returned_.clear();
     }
 
-    // Enforce the idle timeout (granularity: poll_tick_ms).
+    // A session with queued push lines must not sit waiting for peer
+    // traffic — hand it to the pool, whose slice flushes the queue first.
+    for (size_t i = 0; i < idle.size();) {
+      bool pending;
+      {
+        std::lock_guard<std::mutex> lock(idle[i]->push_mu);
+        pending = !idle[i]->pending_push.empty();
+      }
+      if (pending) {
+        SubmitSlice(std::move(idle[i]));
+        idle[i] = std::move(idle.back());
+        idle.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Enforce the idle timeout (granularity: poll_tick_ms). Subscribed
+    // sessions are exempt — a caught-up follower is legitimately silent
+    // for as long as no publish happens; a dead one fails the push write.
     if (options_.idle_timeout_ms > 0) {
       const auto now = Clock::now();
       for (size_t i = 0; i < idle.size();) {
-        if (now - idle[i]->last_activity >
-            std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        bool subscribed;
+        {
+          std::lock_guard<std::mutex> lock(idle[i]->push_mu);
+          subscribed = idle[i]->subscribed;
+        }
+        if (!subscribed &&
+            now - idle[i]->last_activity >
+                std::chrono::milliseconds(options_.idle_timeout_ms)) {
           idle_disconnects_.fetch_add(1);
           FinishSession(*idle[i]);
           idle[i] = std::move(idle.back());
@@ -248,28 +289,42 @@ void Server::FinishSession(Session& session) {
   drained_cv_.notify_all();
 }
 
-bool Server::HandleLine(Session& session, const std::string& line) {
+bool Server::HandleLine(const SessionPtr& session, const std::string& line) {
   RequestContext context;
   context.transport_stats = [this] { return Metrics(); };
+  context.snapshots = options_.snapshot_provider;
+  context.replication_stats = options_.replication_stats;
+  if (options_.snapshot_provider != nullptr) {
+    context.on_subscribe = [this, &session] {
+      {
+        std::lock_guard<std::mutex> lock(session->push_mu);
+        if (session->subscribed) return true;  // re-subscribe is idempotent
+        session->subscribed = true;
+      }
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      subscribers_.push_back(session);
+      return true;
+    };
+  }
   RequestInfo info;
   const std::string response =
       HandleRequestLine(line, *engine_, context, &info);
 
   requests_.fetch_add(1);
-  ++session.requests;
+  ++session->requests;
   if (!info.parsed) {
     malformed_.fetch_add(1);
   }
   if (!info.ok) {
     errors_.fetch_add(1);
-    ++session.errors;
+    ++session->errors;
   }
   if (info.pinned_epoch) {
     epoch_pins_.fetch_add(1);
-    ++session.epoch_pins;
+    ++session->epoch_pins;
   }
-  if (info.version > session.version) {
-    session.version = info.version;
+  if (info.version > session->version) {
+    session->version = info.version;
     if (info.version >= kWireVersionCurrent) sessions_v2_.fetch_add(1);
   }
   {
@@ -282,13 +337,80 @@ bool Server::HandleLine(Session& session, const std::string& line) {
       ++error_codes_[std::string(client::ErrorCodeName(info.error_code))];
     }
   }
-  return session.channel.WriteLine(response, options_.write_timeout_ms).ok();
+  return session->channel.WriteLine(response, options_.write_timeout_ms).ok();
+}
+
+bool Server::FlushPushes(Session& session) {
+  std::vector<std::string> lines;
+  {
+    std::lock_guard<std::mutex> lock(session.push_mu);
+    lines.swap(session.pending_push);
+  }
+  for (const std::string& line : lines) {
+    if (!session.channel.WriteLine(line, options_.write_timeout_ms).ok()) {
+      return false;
+    }
+    events_pushed_.fetch_add(1);
+  }
+  return true;
+}
+
+void Server::OnStoreEvent(const StoreEvent& event) {
+  client::EpochEvent out;
+  out.release = event.release;
+  out.epoch = event.epoch;
+  switch (event.kind) {
+    case StoreEvent::Kind::kInstall: {
+      out.kind = client::EpochEvent::Kind::kPublish;
+      // Pack from the event's own snapshot (no store re-lookup race) —
+      // this also warms the provider cache for the fetches that follow.
+      auto packed =
+          options_.snapshot_provider->Pack(event.release, event.snapshot);
+      if (!packed.ok()) return;  // unserializable: followers resync later
+      out.digest = repl::FormatDigest(packed->digest);
+      break;
+    }
+    case StoreEvent::Kind::kRetire:
+      out.kind = client::EpochEvent::Kind::kRetire;
+      break;
+    case StoreEvent::Kind::kDrop:
+      out.kind = client::EpochEvent::Kind::kDrop;
+      break;
+  }
+  const std::string line = wire::EncodeEpochEvent(out).ToString();
+
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (size_t i = 0; i < subscribers_.size();) {
+      SessionPtr session = subscribers_[i].lock();
+      if (session == nullptr) {  // closed; let the slot expire out
+        subscribers_[i] = std::move(subscribers_.back());
+        subscribers_.pop_back();
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> push_lock(session->push_mu);
+        session->pending_push.push_back(line);
+      }
+      queued = true;
+      ++i;
+    }
+  }
+  if (queued) WakePoller();
 }
 
 void Server::PumpSession(const SessionPtr& session) {
   for (size_t handled = 0; handled < options_.max_requests_per_slice;
        ++handled) {
     if (stopping_.load()) {
+      FinishSession(*session);
+      return;
+    }
+    // Queued push lines go out before the next request is read: a
+    // subscribed follower idling between requests still sees epoch events
+    // promptly, and events never interleave into the middle of a response.
+    if (!FlushPushes(*session)) {
       FinishSession(*session);
       return;
     }
@@ -339,7 +461,7 @@ void Server::PumpSession(const SessionPtr& session) {
       case net::ReadEvent::kLine: {
         if (IsBlank(read->line)) continue;
         session->last_activity = Clock::now();
-        if (!HandleLine(*session, read->line)) {
+        if (!HandleLine(session, read->line)) {
           FinishSession(*session);
           return;
         }

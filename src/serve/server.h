@@ -24,6 +24,15 @@
 // served to clients through the wire "stats" op as the "transport" section
 // (client::TransportStats).
 //
+// Replication push: when ServerOptions carries a SnapshotProvider, the
+// server registers a ReleaseStore listener and fans every install/retire/
+// drop out to subscribed sessions as pushed event lines. The listener
+// thread never writes a socket directly — a session is owned by exactly
+// one party at a time (poller or slice), so the fan-out only appends the
+// pre-encoded line to the session's own locked push queue and wakes the
+// poller; whichever party owns the session next flushes the queue. Push
+// latency is therefore bounded by poll_tick_ms, not by peer traffic.
+//
 // Shutdown: Stop() stops accepting, closes idle connections, then lets
 // every running session finish the request it is executing — in-flight
 // batches drain, nothing is torn down mid-response. The destructor calls
@@ -35,6 +44,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +58,10 @@
 #include "net/socket.h"
 #include "serve/query_engine.h"
 
+namespace recpriv::repl {
+class SnapshotProvider;
+}  // namespace recpriv::repl
+
 namespace recpriv::serve {
 
 struct ServerOptions {
@@ -60,6 +74,13 @@ struct ServerOptions {
   int poll_tick_ms = 50;         ///< poller wakeup cadence (stop latency,
                                  ///< idle-timeout granularity)
   size_t max_requests_per_slice = 64;  ///< fairness quantum per pool slice
+  /// Enables the replication ops ("subscribe"/"fetch_snapshot") and epoch
+  /// event push. Not owned; must outlive the server. Null = both ops
+  /// answer UNSUPPORTED and no store listener is registered.
+  repl::SnapshotProvider* snapshot_provider = nullptr;
+  /// When set, the "stats" op reports a "replication" section — a
+  /// follower exposes its own link counters and staleness bounds here.
+  std::function<client::ReplicationStats()> replication_stats;
 };
 
 /// Multi-client TCP wire server over a shared QueryEngine.
@@ -108,6 +129,12 @@ class Server {
     uint64_t epoch_pins = 0;
     std::chrono::steady_clock::time_point last_activity =
         std::chrono::steady_clock::now();
+    /// Push state is the one exception to single-party ownership: the
+    /// store-listener thread appends under push_mu while the owner reads,
+    /// so both sides take this lock (and nothing else under it).
+    std::mutex push_mu;
+    bool subscribed = false;               ///< guarded by push_mu
+    std::vector<std::string> pending_push;  ///< encoded event lines
   };
   using SessionPtr = std::shared_ptr<Session>;
 
@@ -124,7 +151,12 @@ class Server {
   /// Closes the session and releases its admission slot.
   void FinishSession(Session& session);
   /// Handles one request line; false when the session must close.
-  bool HandleLine(Session& session, const std::string& line);
+  bool HandleLine(const SessionPtr& session, const std::string& line);
+  /// Writes the session's queued push lines; false when the peer is gone.
+  bool FlushPushes(Session& session);
+  /// The ReleaseStore listener: encodes the event once and enqueues it on
+  /// every subscribed session (runs on the publishing thread).
+  void OnStoreEvent(const StoreEvent& event);
   void WakePoller();
 
   std::shared_ptr<QueryEngine> engine_;
@@ -139,6 +171,13 @@ class Server {
   std::mutex handoff_mu_;
   std::vector<SessionPtr> returned_;
   bool poller_exited_ = false;
+
+  /// Subscribed sessions, as weak refs: a closed session just expires out
+  /// of the fan-out, no unsubscribe bookkeeping on the close paths.
+  std::mutex subs_mu_;
+  std::vector<std::weak_ptr<Session>> subscribers_;
+  uint64_t store_listener_token_ = 0;  ///< 0 = no listener registered
+  std::atomic<uint64_t> events_pushed_{0};
 
   mutable std::mutex mu_;  ///< guards active_, ops_, and error_codes_
   std::condition_variable drained_cv_;   ///< active_ reached zero

@@ -1,11 +1,15 @@
 #include "serve/wire.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/string_util.h"
+#include "repl/digest.h"
+#include "repl/snapshot_provider.h"
 #include "serve/service.h"
 
 namespace recpriv::serve {
@@ -158,6 +162,10 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
     // golden transcripts of quota-less servers are unchanged.
     out.Set("tenants", wire::EncodeTenantStats(*stats.tenants));
   }
+  if (stats.replication.has_value()) {
+    // Absent on non-replicating servers (same golden-transcript contract).
+    out.Set("replication", wire::EncodeReplicationStats(*stats.replication));
+  }
   if (!stats.store.empty()) {
     // Flat objects only: the golden-session harness strips this array with
     // a regex (timings are nondeterministic), which relies on no nested
@@ -232,11 +240,104 @@ Result<client::QueryRequest> DecodeQueryRequestBody(const JsonValue& request) {
   return req;
 }
 
+// --- replication op handlers -----------------------------------------------
+
+Result<JsonValue> HandleSubscribe(QueryEngine& engine,
+                                  const RequestContext& context) {
+  if (context.snapshots == nullptr || !context.on_subscribe) {
+    return Status::NotImplemented(
+        "this front end does not serve replication subscriptions");
+  }
+  // Mark the session subscribed BEFORE reading the listing: a publish
+  // landing in between then shows up both here and as a pushed event
+  // (duplicate installs are benign — the follower's store answers
+  // AlreadyExists), whereas the reverse order could lose it forever.
+  if (!context.on_subscribe()) {
+    return Status::NotImplemented("this session cannot carry a push stream");
+  }
+  JsonValue releases = JsonValue::Array();
+  for (const ReleaseInfo& rel : engine.store().List()) {
+    auto window = engine.store().Window(rel.name);
+    if (!window.ok()) continue;  // dropped between List() and Window()
+    JsonValue epochs = JsonValue::Array();
+    for (const SnapshotPtr& snap : *window) {
+      RECPRIV_ASSIGN_OR_RETURN(repl::SnapshotProvider::Packed packed,
+                               context.snapshots->Pack(rel.name, snap));
+      JsonValue entry = JsonValue::Object();
+      entry.Set("epoch", JsonValue::Int(int64_t(snap->epoch)));
+      entry.Set("digest",
+                JsonValue::String(repl::FormatDigest(packed.digest)));
+      epochs.Append(std::move(entry));
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("release", JsonValue::String(rel.name));
+    entry.Set("epochs", std::move(epochs));
+    releases.Append(std::move(entry));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("subscribed", JsonValue::Bool(true));
+  out.Set("releases", std::move(releases));
+  return out;
+}
+
+Result<JsonValue> HandleFetchSnapshot(const JsonValue& request,
+                                      const RequestContext& context) {
+  if (context.snapshots == nullptr) {
+    return Status::NotImplemented(
+        "this front end does not serve snapshot transfers");
+  }
+  RECPRIV_ASSIGN_OR_RETURN(std::string release,
+                           RequireString(request, "release"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(request, "epoch"));
+  if (epoch < 0) {
+    return Status::InvalidArgument("'epoch' must be a non-negative integer");
+  }
+  uint64_t offset = 0;
+  if (request.Has("offset")) {
+    RECPRIV_ASSIGN_OR_RETURN(int64_t raw, RequireInt(request, "offset"));
+    if (raw < 0) {
+      return Status::InvalidArgument(
+          "'offset' must be a non-negative integer");
+    }
+    offset = uint64_t(raw);
+  }
+  uint64_t max_bytes = kDefaultFetchChunkBytes;
+  if (request.Has("max_bytes")) {
+    RECPRIV_ASSIGN_OR_RETURN(int64_t raw, RequireInt(request, "max_bytes"));
+    if (raw <= 0) {
+      return Status::InvalidArgument("'max_bytes' must be a positive integer");
+    }
+    max_bytes = std::min(uint64_t(raw), kMaxFetchChunkBytes);
+  }
+  RECPRIV_ASSIGN_OR_RETURN(repl::SnapshotProvider::Packed packed,
+                           context.snapshots->Get(release, uint64_t(epoch)));
+  const std::vector<uint8_t>& bytes = *packed.bytes;
+  if (offset > bytes.size()) {
+    return Status::InvalidArgument(
+        "'offset' " + std::to_string(offset) + " is beyond the image (" +
+        std::to_string(bytes.size()) + " bytes)");
+  }
+  const uint64_t len = std::min<uint64_t>(max_bytes, bytes.size() - offset);
+  JsonValue out = JsonValue::Object();
+  out.Set("release", JsonValue::String(release));
+  out.Set("epoch", JsonValue::Int(epoch));
+  out.Set("offset", JsonValue::Int(int64_t(offset)));
+  out.Set("total_bytes", JsonValue::Int(int64_t(bytes.size())));
+  out.Set("digest", JsonValue::String(repl::FormatDigest(packed.digest)));
+  out.Set("chunk_digest",
+          JsonValue::String(repl::FormatDigest(
+              repl::BytesDigest(bytes.data() + offset, len))));
+  out.Set("data_b64", JsonValue::String(Base64Encode(bytes.data() + offset,
+                                                     size_t(len))));
+  out.Set("eof", JsonValue::Bool(offset + len == bytes.size()));
+  return out;
+}
+
 // --- dispatch --------------------------------------------------------------
 
 Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
-                           QueryEngine& engine,
-                           const RequestContext& context) {
+                           QueryEngine& engine, const RequestContext& context,
+                           int64_t version) {
   if (op == "query") {
     RECPRIV_ASSIGN_OR_RETURN(client::QueryRequest req,
                              DecodeQueryRequestBody(request));
@@ -252,6 +353,9 @@ Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
   if (op == "stats") {
     RECPRIV_ASSIGN_OR_RETURN(client::ServerStats stats, CollectStats(engine));
     if (context.transport_stats) stats.transport = context.transport_stats();
+    if (context.replication_stats) {
+      stats.replication = context.replication_stats();
+    }
     return EncodeStatsPayload(stats);
   }
   if (op == "schema") {
@@ -282,9 +386,19 @@ Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
     out.Set("dropped", EncodeDescriptor(desc));
     return out;
   }
+  if (op == "subscribe" || op == "fetch_snapshot") {
+    // The replication ops postdate v1; a legacy-framed request would have
+    // no way to read structured DATA_LOSS errors or pushed event lines.
+    if (version < kWireVersionCurrent) {
+      return Status::NotImplemented("'" + op + "' requires protocol version 2");
+    }
+    if (op == "subscribe") return HandleSubscribe(engine, context);
+    return HandleFetchSnapshot(request, context);
+  }
   return Status::InvalidArgument(
       "unknown op '" + op +
-      "' (expected query, list, stats, schema, publish, or drop)");
+      "' (expected query, list, stats, schema, publish, drop, subscribe, "
+      "or fetch_snapshot)");
 }
 
 // --- response envelopes ----------------------------------------------------
@@ -372,11 +486,12 @@ JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine,
     return fail(version, id, ApiError::FromStatus(op.status()));
   }
   info->op = *op;
-  Result<JsonValue> payload = Dispatch(*op, request, engine, context);
+  Result<JsonValue> payload = Dispatch(*op, request, engine, context, version);
   if (!payload.ok()) {
     return fail(version, id, ApiError::FromStatus(payload.status()));
   }
   info->ok = true;
+  info->subscribed = (*op == "subscribe");
   return OkBody(version, id, std::move(*payload));
 }
 
@@ -410,10 +525,16 @@ std::string ErrorResponseLine(ErrorCode code, const std::string& message) {
 
 bool IsKnownOp(const std::string& op) {
   return op == "query" || op == "list" || op == "stats" || op == "schema" ||
-         op == "publish" || op == "drop";
+         op == "publish" || op == "drop" || op == "subscribe" ||
+         op == "fetch_snapshot";
 }
 
 size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
+  return ServeLines(in, out, engine, RequestContext{});
+}
+
+size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine,
+                  const RequestContext& context) {
   size_t handled = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -425,7 +546,8 @@ size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
       }
     }
     if (blank) continue;
-    out << HandleRequestLine(line, engine) << "\n" << std::flush;
+    out << HandleRequestLine(line, engine, context, nullptr) << "\n"
+        << std::flush;
     ++handled;
   }
   return handled;
@@ -508,6 +630,25 @@ JsonValue EncodeTenantStats(const client::TenantStats& stats) {
   out.Set("quota_qps", JsonValue::Number(stats.quota_qps));
   out.Set("quota_burst", JsonValue::Number(stats.quota_burst));
   out.Set("by_tenant", std::move(by_tenant));
+  return out;
+}
+
+JsonValue EncodeReplicationStats(const client::ReplicationStats& stats) {
+  JsonValue out = JsonValue::Object();
+  out.Set("primary", JsonValue::String(stats.primary));
+  out.Set("connected", JsonValue::Bool(stats.connected));
+  out.Set("events_seen", JsonValue::Int(int64_t(stats.events_seen)));
+  out.Set("snapshots_fetched",
+          JsonValue::Int(int64_t(stats.snapshots_fetched)));
+  out.Set("bytes_fetched", JsonValue::Int(int64_t(stats.bytes_fetched)));
+  out.Set("installs", JsonValue::Int(int64_t(stats.installs)));
+  out.Set("drops", JsonValue::Int(int64_t(stats.drops)));
+  out.Set("digest_mismatches",
+          JsonValue::Int(int64_t(stats.digest_mismatches)));
+  out.Set("reconnects", JsonValue::Int(int64_t(stats.reconnects)));
+  out.Set("resyncs", JsonValue::Int(int64_t(stats.resyncs)));
+  out.Set("lag_epochs", JsonValue::Int(int64_t(stats.lag_epochs)));
+  out.Set("lag_ms", JsonValue::Number(stats.lag_ms));
   return out;
 }
 
@@ -802,6 +943,44 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
     }
     stats.tenants = std::move(q);
   }
+  if (response.Has("replication")) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
+                             RequireField(response, "replication"));
+    if (!node->is_object()) {
+      return Status::InvalidArgument("'replication' must be an object");
+    }
+    client::ReplicationStats r;
+    RECPRIV_ASSIGN_OR_RETURN(r.primary, RequireString(*node, "primary"));
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* connected,
+                             RequireField(*node, "connected"));
+    RECPRIV_ASSIGN_OR_RETURN(r.connected, connected->AsBool());
+    RECPRIV_ASSIGN_OR_RETURN(int64_t events,
+                             RequireInt(*node, "events_seen"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t fetched,
+                             RequireInt(*node, "snapshots_fetched"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t bytes,
+                             RequireInt(*node, "bytes_fetched"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t installs, RequireInt(*node, "installs"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t drops, RequireInt(*node, "drops"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t mismatches,
+                             RequireInt(*node, "digest_mismatches"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t reconnects,
+                             RequireInt(*node, "reconnects"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t resyncs, RequireInt(*node, "resyncs"));
+    RECPRIV_ASSIGN_OR_RETURN(int64_t lag_epochs,
+                             RequireInt(*node, "lag_epochs"));
+    RECPRIV_ASSIGN_OR_RETURN(r.lag_ms, RequireDouble(*node, "lag_ms"));
+    r.events_seen = uint64_t(events);
+    r.snapshots_fetched = uint64_t(fetched);
+    r.bytes_fetched = uint64_t(bytes);
+    r.installs = uint64_t(installs);
+    r.drops = uint64_t(drops);
+    r.digest_mismatches = uint64_t(mismatches);
+    r.reconnects = uint64_t(reconnects);
+    r.resyncs = uint64_t(resyncs);
+    r.lag_epochs = uint64_t(lag_epochs);
+    stats.replication = std::move(r);
+  }
   if (response.Has("store")) {
     RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node,
                              RequireField(response, "store"));
@@ -842,6 +1021,167 @@ Result<client::ReleaseDescriptor> DecodeDropResponse(
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* dropped,
                            RequireField(response, "dropped"));
   return DecodeDescriptor(*dropped);
+}
+
+// --- replication codec -----------------------------------------------------
+
+JsonValue EncodeSubscribeRequest(uint64_t id) {
+  return Envelope("subscribe", id);
+}
+
+Result<client::Subscription> DecodeSubscribeResponse(
+    const JsonValue& response) {
+  client::Subscription sub;
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* releases,
+                           RequireField(response, "releases"));
+  if (!releases->is_array()) {
+    return Status::InvalidArgument("'releases' must be an array");
+  }
+  sub.releases.reserve(releases->size());
+  for (size_t i = 0; i < releases->size(); ++i) {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* entry, releases->At(i));
+    if (!entry->is_object()) {
+      return Status::InvalidArgument("each release entry must be an object");
+    }
+    client::SubscribedRelease rel;
+    RECPRIV_ASSIGN_OR_RETURN(rel.name, RequireString(*entry, "release"));
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* epochs,
+                             RequireField(*entry, "epochs"));
+    if (!epochs->is_array()) {
+      return Status::InvalidArgument("'epochs' must be an array");
+    }
+    rel.epochs.reserve(epochs->size());
+    for (size_t k = 0; k < epochs->size(); ++k) {
+      RECPRIV_ASSIGN_OR_RETURN(const JsonValue* e, epochs->At(k));
+      if (!e->is_object()) {
+        return Status::InvalidArgument("each epoch entry must be an object");
+      }
+      client::EpochDigest ed;
+      RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(*e, "epoch"));
+      if (epoch < 0) {
+        return Status::InvalidArgument("'epoch' must be non-negative");
+      }
+      ed.epoch = uint64_t(epoch);
+      RECPRIV_ASSIGN_OR_RETURN(ed.digest, RequireString(*e, "digest"));
+      RECPRIV_RETURN_NOT_OK(repl::ParseDigest(ed.digest).status());
+      rel.epochs.push_back(std::move(ed));
+    }
+    sub.releases.push_back(std::move(rel));
+  }
+  return sub;
+}
+
+JsonValue EncodeFetchSnapshotRequest(const std::string& release,
+                                     uint64_t epoch, uint64_t offset,
+                                     uint64_t max_bytes, uint64_t id) {
+  JsonValue out = Envelope("fetch_snapshot", id);
+  out.Set("release", JsonValue::String(release));
+  out.Set("epoch", JsonValue::Int(int64_t(epoch)));
+  out.Set("offset", JsonValue::Int(int64_t(offset)));
+  out.Set("max_bytes", JsonValue::Int(int64_t(max_bytes)));
+  return out;
+}
+
+Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
+    const JsonValue& response) {
+  client::SnapshotChunk chunk;
+  RECPRIV_ASSIGN_OR_RETURN(chunk.release, RequireString(response, "release"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(response, "epoch"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t offset, RequireInt(response, "offset"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t total,
+                           RequireInt(response, "total_bytes"));
+  if (epoch < 0 || offset < 0 || total < 0) {
+    return Status::InvalidArgument(
+        "'epoch'/'offset'/'total_bytes' must be non-negative");
+  }
+  chunk.epoch = uint64_t(epoch);
+  chunk.offset = uint64_t(offset);
+  chunk.total_bytes = uint64_t(total);
+  RECPRIV_ASSIGN_OR_RETURN(chunk.digest, RequireString(response, "digest"));
+  RECPRIV_RETURN_NOT_OK(repl::ParseDigest(chunk.digest).status());
+  RECPRIV_ASSIGN_OR_RETURN(std::string chunk_digest,
+                           RequireString(response, "chunk_digest"));
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t expect, repl::ParseDigest(chunk_digest));
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* data_node,
+                           RequireField(response, "data_b64"));
+  if (!data_node->is_string()) {
+    return Status::InvalidArgument("'data_b64' must be a string");
+  }
+  // View, not copy: the chunk payload is the one field big enough that an
+  // extra pass shows up in follower convergence time.
+  RECPRIV_ASSIGN_OR_RETURN(std::string_view data_b64,
+                           data_node->AsStringView());
+  RECPRIV_ASSIGN_OR_RETURN(chunk.data, Base64Decode(data_b64));
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* eof,
+                           RequireField(response, "eof"));
+  RECPRIV_ASSIGN_OR_RETURN(chunk.eof, eof->AsBool());
+  if (repl::BytesDigest(chunk.data.data(), chunk.data.size()) != expect) {
+    return Status::DataLoss("snapshot chunk digest mismatch (release '" +
+                            chunk.release + "' epoch " +
+                            std::to_string(chunk.epoch) + " offset " +
+                            std::to_string(chunk.offset) + ")");
+  }
+  const uint64_t end = chunk.offset + chunk.data.size();
+  if (end > chunk.total_bytes || (chunk.eof != (end == chunk.total_bytes))) {
+    return Status::DataLoss(
+        "inconsistent snapshot chunk framing (offset " +
+        std::to_string(chunk.offset) + " + " +
+        std::to_string(chunk.data.size()) + " bytes vs total " +
+        std::to_string(chunk.total_bytes) + ", eof=" +
+        (chunk.eof ? "true" : "false") + ")");
+  }
+  return chunk;
+}
+
+JsonValue EncodeEpochEvent(const client::EpochEvent& event) {
+  JsonValue out = JsonValue::Object();
+  out.Set("v", JsonValue::Int(kWireVersionCurrent));
+  out.Set("event", JsonValue::String("epoch"));
+  const char* kind = event.kind == client::EpochEvent::Kind::kPublish
+                         ? "publish"
+                         : event.kind == client::EpochEvent::Kind::kRetire
+                               ? "retire"
+                               : "drop";
+  out.Set("kind", JsonValue::String(kind));
+  out.Set("release", JsonValue::String(event.release));
+  out.Set("epoch", JsonValue::Int(int64_t(event.epoch)));
+  if (event.kind == client::EpochEvent::Kind::kPublish) {
+    out.Set("digest", JsonValue::String(event.digest));
+  }
+  return out;
+}
+
+bool IsEventLine(const JsonValue& line) {
+  return line.is_object() && line.Has("event");
+}
+
+Result<client::EpochEvent> DecodeEpochEvent(const JsonValue& line) {
+  RECPRIV_ASSIGN_OR_RETURN(std::string event, RequireString(line, "event"));
+  if (event != "epoch") {
+    return Status::InvalidArgument("unknown event type '" + event + "'");
+  }
+  client::EpochEvent out;
+  RECPRIV_ASSIGN_OR_RETURN(std::string kind, RequireString(line, "kind"));
+  if (kind == "publish") {
+    out.kind = client::EpochEvent::Kind::kPublish;
+  } else if (kind == "retire") {
+    out.kind = client::EpochEvent::Kind::kRetire;
+  } else if (kind == "drop") {
+    out.kind = client::EpochEvent::Kind::kDrop;
+  } else {
+    return Status::InvalidArgument("unknown epoch event kind '" + kind + "'");
+  }
+  RECPRIV_ASSIGN_OR_RETURN(out.release, RequireString(line, "release"));
+  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(line, "epoch"));
+  if (epoch < 0) {
+    return Status::InvalidArgument("'epoch' must be non-negative");
+  }
+  out.epoch = uint64_t(epoch);
+  if (out.kind == client::EpochEvent::Kind::kPublish) {
+    RECPRIV_ASSIGN_OR_RETURN(out.digest, RequireString(line, "digest"));
+    RECPRIV_RETURN_NOT_OK(repl::ParseDigest(out.digest).status());
+  }
+  return out;
 }
 
 }  // namespace wire

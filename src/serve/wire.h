@@ -36,7 +36,27 @@
 //     consistent release across republishes;
 //   * admin/introspection ops: "schema" (attribute names + domain values),
 //     "publish" (load a release bundle from the server's filesystem),
-//     "drop" (retire a release).
+//     "drop" (retire a release);
+//   * replication ops (TCP front end only): "subscribe" upgrades the
+//     session into a push stream of epoch events and returns the full
+//     retained-epoch listing with content digests; "fetch_snapshot"
+//     streams a serialized `.rps` image in checksummed base64 chunks.
+//
+//   {"v":2,"id":5,"op":"subscribe"}
+//     -> {"v":2,"id":5,"ok":true,"subscribed":true,"releases":[
+//         {"release":"adult","epochs":[
+//           {"epoch":1,"digest":"xxh64:00ff12ab34cd56ef"},...]}]}
+//     ...then, interleaved with this session's responses, pushed lines
+//     with no "id"/"ok" (distinguish by the "event" key — wire::IsEventLine):
+//     {"v":2,"event":"epoch","kind":"publish","release":"adult","epoch":2,
+//      "digest":"xxh64:..."}
+//     {"v":2,"event":"epoch","kind":"retire","release":"adult","epoch":1}
+//     {"v":2,"event":"epoch","kind":"drop","release":"adult","epoch":2}
+//   {"v":2,"id":6,"op":"fetch_snapshot","release":"adult","epoch":2,
+//    "offset":0,"max_bytes":262144}
+//     -> {"v":2,"id":6,"ok":true,"release":"adult","epoch":2,"offset":0,
+//         "total_bytes":1048576,"digest":"xxh64:...",
+//         "chunk_digest":"xxh64:...","data_b64":"...","eof":false}
 //
 //   {"v":2,"id":1,"op":"schema","release":"adult"}
 //     -> {"v":2,"id":1,"ok":true,"release":"adult","epoch":1,
@@ -72,10 +92,20 @@
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 
+namespace recpriv::repl {
+class SnapshotProvider;
+}  // namespace recpriv::repl
+
 namespace recpriv::serve {
 
 inline constexpr int64_t kWireVersionLegacy = 1;
 inline constexpr int64_t kWireVersionCurrent = 2;
+
+/// Default / maximum payload bytes per "fetch_snapshot" chunk. The cap
+/// keeps one response line well under the server's max line length even
+/// after base64 expansion (4/3) plus framing.
+inline constexpr uint64_t kDefaultFetchChunkBytes = 256 * 1024;
+inline constexpr uint64_t kMaxFetchChunkBytes = 1024 * 1024;
 
 /// Transport-level context a front end may attach to request handling.
 /// `transport_stats`, when set, is invoked by the "stats" op so its
@@ -83,6 +113,17 @@ inline constexpr int64_t kWireVersionCurrent = 2;
 /// in-process paths leave it unset and the field stays absent).
 struct RequestContext {
   std::function<client::TransportStats()> transport_stats;
+  /// Serialized snapshot images for the replication ops; "subscribe" and
+  /// "fetch_snapshot" answer UNSUPPORTED while this is null.
+  repl::SnapshotProvider* snapshots = nullptr;
+  /// Invoked by a successful "subscribe" to upgrade the session into a
+  /// push stream; returns false when this front end cannot push (stdin).
+  /// Unset (like null `snapshots`) means subscribe is UNSUPPORTED.
+  std::function<bool()> on_subscribe;
+  /// When set, the "stats" op adds a "replication" section — a follower's
+  /// link counters and staleness bounds. Absent on non-replicating
+  /// servers, so their golden transcripts are unchanged.
+  std::function<client::ReplicationStats()> replication_stats;
 };
 
 /// What one handled request looked like — filled for the front end's
@@ -92,6 +133,7 @@ struct RequestInfo {
   bool ok = false;          ///< the response carried ok:true
   int64_t version = kWireVersionLegacy;  ///< protocol version requested
   bool pinned_epoch = false;             ///< the request pinned an epoch
+  bool subscribed = false;  ///< a "subscribe" op succeeded on this request
   std::string op;           ///< "op" value when present and a string
   client::ErrorCode error_code = client::ErrorCode::kOk;  ///< set iff !ok
 };
@@ -122,8 +164,11 @@ bool IsKnownOp(const std::string& op);
 
 /// Reads request lines from `in` until EOF, writing one response line per
 /// request to `out` (blank lines are skipped). Returns the number of
-/// requests handled.
+/// requests handled. The context overload lets the stdin front end expose
+/// e.g. replication stats; it cannot push, so leave `on_subscribe` unset.
 size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine);
+size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine,
+                  const RequestContext& context);
 
 // --- v2 codec --------------------------------------------------------------
 // Request encoders and response decoders for the client side of the wire,
@@ -142,6 +187,10 @@ JsonValue EncodeSchedulerStats(const client::SchedulerStats& stats);
 /// The "tenants" section of the stats payload (same contract as
 /// EncodeSchedulerStats: the report JSON and the wire share one shape).
 JsonValue EncodeTenantStats(const client::TenantStats& stats);
+
+/// The "replication" section of the stats payload (same shape contract;
+/// recpriv_serve's shutdown summary reuses it).
+JsonValue EncodeReplicationStats(const client::ReplicationStats& stats);
 
 JsonValue EncodeListRequest(uint64_t id);
 JsonValue EncodeQueryRequest(const client::QueryRequest& request, uint64_t id);
@@ -165,6 +214,28 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response);
 Result<client::ReleaseDescriptor> DecodePublishResponse(
     const JsonValue& response);
 Result<client::ReleaseDescriptor> DecodeDropResponse(const JsonValue& response);
+
+// --- replication codec -----------------------------------------------------
+
+JsonValue EncodeSubscribeRequest(uint64_t id);
+Result<client::Subscription> DecodeSubscribeResponse(const JsonValue& response);
+
+JsonValue EncodeFetchSnapshotRequest(const std::string& release,
+                                     uint64_t epoch, uint64_t offset,
+                                     uint64_t max_bytes, uint64_t id);
+/// Decodes one chunk, base64-expands its payload, and verifies the chunk
+/// digest — a corrupted transfer surfaces here as DataLoss, before any
+/// byte reaches a follower's reassembly buffer.
+Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
+    const JsonValue& response);
+
+/// A pushed epoch-event line (server side). Events are not responses:
+/// they carry no "id"/"ok", and a subscribed client must route any line
+/// where IsEventLine() holds to its event handler instead of the
+/// request/response correlator.
+JsonValue EncodeEpochEvent(const client::EpochEvent& event);
+bool IsEventLine(const JsonValue& line);
+Result<client::EpochEvent> DecodeEpochEvent(const JsonValue& line);
 
 }  // namespace wire
 

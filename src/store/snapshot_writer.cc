@@ -97,8 +97,8 @@ JsonValue BuildSnapshotManifest(const analysis::ReleaseSnapshot& snap,
   return root;
 }
 
-Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
-                     std::string_view release_name, const std::string& path) {
+Result<std::vector<uint8_t>> SerializeSnapshot(
+    const analysis::ReleaseSnapshot& snap, std::string_view release_name) {
   const auto storage = snap.index.storage();
   const table::Table& data = snap.bundle.data;
 
@@ -173,20 +173,24 @@ Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
   sb.header_crc = XxHash64(header.data(), header.size());
   StoreLE64(sb.header_crc, header.data() + 56);
 
+  std::vector<uint8_t> image(sb.file_bytes, 0);
+  std::memcpy(image.data(), header.data(), header.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (payloads[i].bytes.empty()) continue;
+    std::memcpy(image.data() + entries[i].offset, payloads[i].bytes.data(),
+                payloads[i].bytes.size());
+  }
+  return image;
+}
+
+Status WriteBytesAtomic(const std::vector<uint8_t>& bytes,
+                        const std::string& path) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IOError("cannot write snapshot: " + tmp);
-    out.write(reinterpret_cast<const char*>(header.data()),
-              std::streamsize(header.size()));
-    uint64_t written = header.size();
-    static constexpr char kZeros[kSectionAlignment] = {};
-    for (size_t i = 0; i < entries.size(); ++i) {
-      out.write(kZeros, std::streamsize(entries[i].offset - written));
-      out.write(reinterpret_cast<const char*>(payloads[i].bytes.data()),
-                std::streamsize(entries[i].bytes));
-      written = entries[i].offset + entries[i].bytes;
-    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());
@@ -198,6 +202,13 @@ Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
     return Status::IOError("cannot rename snapshot into place: " + path);
   }
   return Status::OK();
+}
+
+Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
+                     std::string_view release_name, const std::string& path) {
+  RECPRIV_ASSIGN_OR_RETURN(std::vector<uint8_t> image,
+                           SerializeSnapshot(snap, release_name));
+  return WriteBytesAtomic(image, path);
 }
 
 }  // namespace recpriv::store

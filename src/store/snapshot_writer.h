@@ -10,11 +10,14 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/release.h"
 #include "common/json.h"
+#include "common/result.h"
 #include "common/status.h"
 
 namespace recpriv::store {
@@ -24,9 +27,22 @@ namespace recpriv::store {
 JsonValue BuildSnapshotManifest(const analysis::ReleaseSnapshot& snap,
                                 std::string_view release_name);
 
-/// Writes `snap` to `path` (conventionally `<name>-e<epoch>.rps`).
-/// The file is written to `path + ".tmp"` and renamed into place, so a
-/// crash mid-write never leaves a half-written snapshot under `path`.
+/// The complete `.rps` file image of `snap`, byte for byte what
+/// WriteSnapshot persists. Deterministic: the same snapshot serializes to
+/// the same bytes on any host, which is what lets replication advertise
+/// one content digest per (release, epoch) and followers verify it
+/// (src/repl/). The image is the unit the `fetch_snapshot` wire op streams.
+Result<std::vector<uint8_t>> SerializeSnapshot(
+    const analysis::ReleaseSnapshot& snap, std::string_view release_name);
+
+/// Writes `bytes` to `path` via `path + ".tmp"` + rename, so a crash (or a
+/// replication transfer dying) mid-write never leaves a half-written file
+/// under `path`.
+Status WriteBytesAtomic(const std::vector<uint8_t>& bytes,
+                        const std::string& path);
+
+/// Writes `snap` to `path` (conventionally `<name>-e<epoch>.rps`):
+/// SerializeSnapshot + WriteBytesAtomic.
 Status WriteSnapshot(const analysis::ReleaseSnapshot& snap,
                      std::string_view release_name, const std::string& path);
 

@@ -14,9 +14,17 @@
 // input files. Republishing (wire op "publish") retains a bounded window of
 // recent epochs per release (--retain) so pinned-epoch sessions stay
 // consistent across republishes.
+//
+// Replication: every --port server is a potential primary (it answers the
+// subscribe/fetch_snapshot ops of src/repl), and --follow HOST:PORT turns
+// this process into a follower that mirrors that primary's releases and
+// serves reads from the local copies — the read-scaling fleet topology.
+
+#include <unistd.h>
 
 #include <csignal>
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <set>
 #include <thread>
@@ -71,6 +79,23 @@ options:
   --idle-timeout-ms N drop a TCP session silent this long  [default: never]
   --demo              publish a built-in synthetic release named "demo"
   --help              print this help and exit
+
+replication (read-scaling fleet, src/repl):
+  Every --port server answers the replication ops ("subscribe",
+  "fetch_snapshot"), so any recpriv_serve can be a primary.
+
+  --follow HOST:PORT  follow that primary instead of publishing: mirror its
+                      releases into the local store (every fetched snapshot
+                      is digest-verified and persisted before install, under
+                      --snapshot-dir or a temp directory) and serve reads
+                      from the local copies. Staleness is bounded and
+                      observable: the stats op reports a "replication"
+                      section with lag_epochs / lag_ms. Mutually exclusive
+                      with --release, --demo, and NAME=BASENAME.
+  --follow-faults R   inject seeded byte-level faults on the replication
+                      link, rate R per fault kind (testing: proves a
+                      follower that dies mid-transfer converges clean)
+  --follow-fault-seed N  fault schedule seed               [default 2015]
 )";
 
 /// Boolean flags, declared so "--demo NAME=BASENAME" keeps NAME=BASENAME
@@ -99,7 +124,8 @@ int Run(int argc, char** argv) {
   const std::set<std::string> known = {
       "release", "name", "threads",   "cache",           "retain", "demo",
       "help",    "host", "port",      "max-conns",       "idle-timeout-ms",
-      "batch-window-us",  "snapshot-dir",  "quota-qps",  "quota-burst"};
+      "batch-window-us",  "snapshot-dir",  "quota-qps",  "quota-burst",
+      "follow",  "follow-faults",  "follow-fault-seed"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -145,9 +171,63 @@ int Run(int argc, char** argv) {
   options.tenant_quota_qps = *quota_qps;
   options.tenant_quota_burst = *quota_burst;
 
+  // --follow HOST:PORT — follower mode (replication, src/repl).
+  const std::string follow = flags.GetString("follow", "");
+  std::string follow_host;
+  uint16_t follow_port = 0;
+  if (!follow.empty()) {
+    const auto colon = follow.rfind(':');
+    int64_t parsed_port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == follow.size()) {
+      return Fail(Status::InvalidArgument("--follow must be HOST:PORT"));
+    }
+    try {
+      parsed_port = std::stoll(follow.substr(colon + 1));
+    } catch (...) {
+      parsed_port = -1;
+    }
+    if (parsed_port < 1 || parsed_port > 65535) {
+      return Fail(Status::InvalidArgument("--follow port must be 1..65535"));
+    }
+    follow_host = follow.substr(0, colon);
+    follow_port = uint16_t(parsed_port);
+    if (flags.Has("release") || flags.Has("demo") ||
+        !flags.positional().empty()) {
+      return Fail(Status::InvalidArgument(
+          "--follow is mutually exclusive with --release/--demo/"
+          "NAME=BASENAME: a follower serves only what its primary "
+          "publishes"));
+    }
+  }
+  auto follow_faults = flags.GetDouble("follow-faults", 0.0);
+  auto follow_fault_seed = flags.GetInt("follow-fault-seed", 2015);
+  if (!follow_faults.ok()) return Fail(follow_faults.status());
+  if (!follow_fault_seed.ok()) return Fail(follow_fault_seed.status());
+  if (*follow_faults < 0.0 || *follow_faults > 1.0) {
+    return Fail(
+        Status::InvalidArgument("--follow-faults must be in [0, 1]"));
+  }
+
   serve::ReleaseStore::Options store_options;
   store_options.retained_epochs = size_t(*retain);
   store_options.snapshot_dir = flags.GetString("snapshot-dir", "");
+  if (!follow.empty() && store_options.snapshot_dir.empty()) {
+    // Persist-before-install needs a durable store; a follower without an
+    // explicit --snapshot-dir gets a per-process scratch directory.
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("recpriv_follow_" + std::to_string(getpid()));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Fail(Status::IOError("cannot create follower snapshot dir " +
+                                  dir.string() + ": " + ec.message()));
+    }
+    store_options.snapshot_dir = dir.string();
+    std::cerr << "follower snapshots under " << store_options.snapshot_dir
+              << " (use --snapshot-dir to keep them across restarts)\n";
+  }
   auto store = std::make_shared<serve::ReleaseStore>(store_options);
   if (!store->snapshot_dir().empty()) {
     // Recover before any --release/--demo publish: recovered epochs must
@@ -161,6 +241,35 @@ int Run(int argc, char** argv) {
   }
   auto engine = std::make_shared<serve::QueryEngine>(store, options);
   client::InProcessClient admin(engine);
+
+  // Always available: any serving process can hand its snapshots to
+  // followers (the TCP server enables subscribe/fetch_snapshot with it,
+  // and the stdin front end at least answers fetch_snapshot).
+  repl::SnapshotProvider snapshot_provider(*store);
+
+  std::unique_ptr<repl::Replicator> replicator;
+  std::function<client::ReplicationStats()> replication_stats;
+  if (!follow.empty()) {
+    repl::ReplicatorOptions repl_options;
+    repl_options.primary_host = follow_host;
+    repl_options.primary_port = follow_port;
+    if (*follow_faults > 0.0) {
+      net::FaultOptions fault_options;
+      fault_options.seed = uint64_t(*follow_fault_seed);
+      fault_options.drop_rate = *follow_faults;
+      fault_options.disconnect_rate = *follow_faults;
+      fault_options.truncate_rate = *follow_faults;
+      fault_options.short_write_rate = *follow_faults;
+      fault_options.delay_rate = *follow_faults;
+      repl_options.fault_injector =
+          std::make_shared<net::FaultInjector>(fault_options);
+    }
+    auto started = repl::Replicator::Start(*store, repl_options);
+    if (!started.ok()) return Fail(started.status());
+    replicator = std::move(*started);
+    replication_stats = [r = replicator.get()] { return r->Stats(); };
+    std::cerr << "following " << follow_host << ":" << follow_port << "\n";
+  }
 
   if (flags.Has("release")) {
     auto desc = admin.Publish(flags.GetString("name", "default"),
@@ -189,17 +298,22 @@ int Run(int argc, char** argv) {
     if (!desc.ok()) return Fail(desc.status());
     std::cerr << "serving synthetic release 'demo'\n";
   }
-  if (store->size() == 0) {
-    std::cerr << "no releases to serve (use --release, NAME=BASENAME, or "
-                 "--demo)\n"
+  if (store->size() == 0 && follow.empty()) {
+    std::cerr << "no releases to serve (use --release, NAME=BASENAME, "
+                 "--demo, or --follow)\n"
               << kUsage;
     return 1;
   }
 
   if (!flags.Has("port")) {
     // stdin/stdout single-session mode (the PR-1 transport, and still the
-    // golden-test reference).
-    const size_t handled = serve::ServeLines(std::cin, std::cout, *engine);
+    // golden-test reference). No push stream here, but fetch_snapshot and
+    // follower stats work.
+    serve::RequestContext context;
+    context.snapshots = &snapshot_provider;
+    context.replication_stats = replication_stats;
+    const size_t handled =
+        serve::ServeLines(std::cin, std::cout, *engine, context);
     std::cerr << "served " << FormatWithCommas(int64_t(handled))
               << " requests (cache: " << engine->cache().hits() << " hits, "
               << engine->cache().misses() << " misses)\n";
@@ -222,6 +336,8 @@ int Run(int argc, char** argv) {
   server_options.port = uint16_t(*port);
   server_options.max_connections = size_t(*max_conns);
   server_options.idle_timeout_ms = int(*idle_timeout);
+  server_options.snapshot_provider = &snapshot_provider;
+  server_options.replication_stats = replication_stats;
   auto server = serve::Server::Start(engine, server_options);
   if (!server.ok()) return Fail(server.status());
 
@@ -234,6 +350,7 @@ int Run(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cerr << "signal " << int(g_signal) << ": draining...\n";
+  if (replicator != nullptr) replicator->Stop();
   (*server)->Stop();
 
   // One structured line, machine-greppable from the service log: what was
@@ -266,6 +383,10 @@ int Run(int argc, char** argv) {
   summary.Set("cache_hits", JsonValue::Int(int64_t(engine->cache().hits())));
   summary.Set("cache_misses",
               JsonValue::Int(int64_t(engine->cache().misses())));
+  if (replicator != nullptr) {
+    summary.Set("replication",
+                serve::wire::EncodeReplicationStats(replicator->Stats()));
+  }
   std::cerr << summary.ToString() << "\n";
   return 0;
 }

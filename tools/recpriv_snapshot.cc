@@ -10,6 +10,10 @@
 //   recpriv_snapshot verify FILE.rps [FILE.rps ...]
 //       fully open each snapshot (checksums + every structural invariant
 //       of the index arrays) and report OK / the structured error
+//   recpriv_snapshot digest FILE.rps [FILE.rps ...]
+//       print each file's replication content digest ("xxh64:<hex>",
+//       src/repl/digest.h) with its release identity — compare a
+//       follower's on-disk epoch against the primary's advertisement
 //
 // A snapshot packs the complete release: schema and dictionaries, the
 // perturbed table, the FlatGroupIndex arrays, and the privacy parameters.
@@ -36,6 +40,10 @@ commands:
                       all checksums)
   verify FILE.rps...  fully open each file; exit non-zero on the first
                       corrupt or unreadable snapshot
+  digest FILE.rps...  print each file's replication content digest
+                      ("xxh64:<16 hex>", the XXH64 of the file bytes —
+                      exactly what the subscribe stream advertises), plus
+                      release name and epoch from its manifest
 )";
 
 int Fail(const Status& status) {
@@ -126,6 +134,20 @@ int Verify(const std::vector<std::string>& paths) {
   return 0;
 }
 
+int Digest(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    auto digest = repl::FileDigest(path);
+    if (!digest.ok()) return Fail(digest.status());
+    // Checksum-verified identity, so a digest is never printed for a file
+    // that is not actually a readable snapshot.
+    auto info = store::InspectSnapshot(path);
+    if (!info.ok()) return Fail(info.status());
+    std::cout << path << ": " << repl::FormatDigest(*digest) << " (release '"
+              << info->release << "' epoch " << info->epoch << ")\n";
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   auto flags_or = FlagSet::Parse(argc, argv);
   if (!flags_or.ok()) return Fail(flags_or.status());
@@ -167,6 +189,13 @@ int Run(int argc, char** argv) {
       return 1;
     }
     return Verify(rest);
+  }
+  if (command == "digest") {
+    if (rest.empty()) {
+      std::cerr << "digest takes one or more FILE.rps\n" << kUsage;
+      return 1;
+    }
+    return Digest(rest);
   }
   std::cerr << "unknown command '" << command << "'\n" << kUsage;
   return 1;
