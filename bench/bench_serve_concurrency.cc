@@ -14,6 +14,15 @@
 //
 // A second table reports batched round trips (8 queries per request) to
 // show amortization of the per-line transport cost.
+//
+// A third table measures wire throughput on the byte-heavy path — full
+// snapshot transfers via chunked fetch_snapshot — once over JSON lines
+// (base64 payloads) and once over negotiated binary frames (raw
+// attachments, no base64, no JSON string escaping). Every reassembled
+// image is compared byte-for-byte against the serialized reference, so
+// the two framings are proven bit-identical before any ratio is reported.
+// --frame-gate additionally requires binary >= 2x JSON at 16 connections
+// (the PR 9 tentpole claim; CI applies it on main only).
 
 #include <algorithm>
 #include <iostream>
@@ -22,13 +31,17 @@
 
 #include "client/in_process_client.h"
 #include "client/tcp_transport.h"
+#include "common/flags.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exp/experiment.h"
 #include "exp/reporting.h"
+#include "repl/snapshot_provider.h"
 #include "serve/query_engine.h"
 #include "serve/release_store.h"
 #include "serve/server.h"
+#include "serve/wire.h"
+#include "store/snapshot_writer.h"
 #include "testing_util.h"
 
 namespace {
@@ -108,7 +121,81 @@ Measurement RunLoad(uint16_t port, size_t connections,
   return m;
 }
 
-int Run() {
+struct WireMeasurement {
+  double seconds = 0.0;
+  double bytes_per_sec = 0.0;  ///< aggregate payload bytes per second
+  size_t failures = 0;
+  bool identical = true;  ///< every reassembled image matched the reference
+};
+
+/// `connections` client threads each fetch the full snapshot image
+/// `fetches_per_client` times via chunked fetch_snapshot; `binary` selects
+/// negotiated binary frames vs default JSON lines. Aggregate image bytes
+/// per second, with every reassembly checked against `reference`.
+WireMeasurement RunSnapshotLoad(uint16_t port, size_t connections,
+                                size_t fetches_per_client, bool binary,
+                                const std::vector<uint8_t>& reference) {
+  WireMeasurement m;
+  std::vector<std::unique_ptr<client::LineProtocolClient>> clients;
+  clients.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    auto client = client::ConnectTcp("127.0.0.1", port);
+    if (!client.ok()) {
+      ++m.failures;
+      return m;
+    }
+    if (binary) {
+      auto negotiated = (*client)->NegotiateBinaryFrame();
+      if (!negotiated.ok() || !*negotiated) {
+        ++m.failures;
+        return m;
+      }
+    }
+    clients.push_back(std::move(*client));
+  }
+
+  std::vector<size_t> failures(connections, 0);
+  std::vector<uint8_t> mismatched(connections, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  WallTimer timer;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      client::LineProtocolClient& client = *clients[c];
+      std::vector<uint8_t> image;
+      for (size_t i = 0; i < fetches_per_client; ++i) {
+        image.clear();
+        image.reserve(reference.size());
+        uint64_t offset = 0;
+        for (;;) {
+          auto chunk = client.FetchSnapshotChunk(
+              "demo", 1, offset, serve::kDefaultFetchChunkBytes);
+          if (!chunk.ok()) {
+            ++failures[c];
+            return;
+          }
+          image.insert(image.end(), chunk->data.begin(), chunk->data.end());
+          offset += chunk->data.size();
+          if (chunk->eof) break;
+        }
+        if (image != reference) mismatched[c] = 1;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  m.seconds = timer.Seconds();
+  for (size_t f : failures) m.failures += f;
+  for (uint8_t bad : mismatched) {
+    if (bad != 0) m.identical = false;
+  }
+  const double total_bytes = double(connections) *
+                             double(fetches_per_client) *
+                             double(reference.size());
+  m.bytes_per_sec = m.seconds > 0 ? total_bytes / m.seconds : 0.0;
+  return m;
+}
+
+int Run(bool frame_gate) {
   exp::PrintBanner(std::cout,
                    "Serving concurrency: aggregate throughput vs concurrent "
                    "TCP connections",
@@ -125,8 +212,10 @@ int Run() {
     return 1;
   }
 
+  repl::SnapshotProvider provider(*store);
   serve::ServerOptions options;
   options.max_connections = 64;
+  options.snapshot_provider = &provider;
   auto server = serve::Server::Start(engine, options);
   if (!server.ok()) {
     std::cerr << "server: " << server.status() << "\n";
@@ -173,6 +262,47 @@ int Run() {
   std::cout << "\nbatched round trips (8 queries per request):\n";
   batched.Print(std::cout);
 
+  // --- wire framing: snapshot transfer over JSON lines vs binary frames ---
+  auto snap = store->Get("demo");
+  if (!snap.ok()) {
+    std::cerr << "snapshot: " << snap.status() << "\n";
+    return 1;
+  }
+  auto reference = store::SerializeSnapshot(**snap, "demo");
+  if (!reference.ok()) {
+    std::cerr << "serialize: " << reference.status() << "\n";
+    return 1;
+  }
+  // Enough traffic per arm for a stable ratio: ~48 MB of image bytes
+  // across the fleet, however large the demo image came out.
+  const size_t total_target = size_t(48) << 20;
+  bool frames_identical = true;
+  double json_bps_16 = 0.0, binary_bps_16 = 0.0;
+  exp::AsciiTable frames({"framing", "connections", "MB/s", "vs_json"});
+  for (size_t conns : {size_t(1), size_t(16)}) {
+    const size_t fetches =
+        std::max(size_t(1), total_target / (reference->size() * conns));
+    double json_bps = 0.0;
+    for (const bool binary : {false, true}) {
+      const WireMeasurement m =
+          RunSnapshotLoad(port, conns, fetches, binary, *reference);
+      failures += m.failures;
+      frames_identical = frames_identical && m.identical;
+      if (!binary) json_bps = m.bytes_per_sec;
+      if (conns == 16 && !binary) json_bps_16 = m.bytes_per_sec;
+      if (conns == 16 && binary) binary_bps_16 = m.bytes_per_sec;
+      frames.AddRow({binary ? "binary" : "json", std::to_string(conns),
+                     FormatWithCommas(int64_t(m.bytes_per_sec / (1 << 20))),
+                     binary && json_bps > 0
+                         ? FormatDouble(m.bytes_per_sec / json_bps, 2) + "x"
+                         : "-"});
+    }
+  }
+  std::cout << "\nsnapshot wire throughput ("
+            << FormatWithCommas(int64_t(reference->size()))
+            << "-byte image, chunked fetch_snapshot):\n";
+  frames.Print(std::cout);
+
   const client::TransportStats metrics = (*server)->Metrics();
   std::cout << "\ntransport: "
             << FormatWithCommas(int64_t(metrics.requests)) << " requests over "
@@ -184,6 +314,22 @@ int Run() {
   if (failures > 0) {
     std::cout << "\n" << failures << " failed round trips  [FAIL]\n";
     return 1;
+  }
+  if (!frames_identical) {
+    std::cout << "\nbinary-framed snapshot bytes differ from the JSON "
+                 "session's  [FAIL]\n";
+    return 1;
+  }
+  const double frame_ratio =
+      json_bps_16 > 0 ? binary_bps_16 / json_bps_16 : 0.0;
+  std::cout << "\nbinary vs json wire throughput at 16 connections: "
+            << FormatDouble(frame_ratio, 2) << "x (images bit-identical)  ";
+  if (frame_gate) {
+    std::cout << "(gate 2x)  [" << (frame_ratio >= 2.0 ? "PASS" : "FAIL")
+              << "]\n";
+    if (frame_ratio < 2.0) return 1;
+  } else {
+    std::cout << "(gate off; --frame-gate enables the 2x check)\n";
   }
   const double scaling = qps_1 > 0 ? qps_16 / qps_1 : 0.0;
   // 16 synchronous connections only turn into throughput if the hardware
@@ -211,4 +357,11 @@ int Run() {
 
 }  // namespace
 
-int main() { return Run(); }
+int main(int argc, char** argv) {
+  auto flags = recpriv::FlagSet::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  return Run(*flags->GetBool("frame-gate", false));
+}

@@ -108,7 +108,7 @@ Result<std::vector<Estimate>> Reconstructor::EstimateDistribution(
   // One matching pass, then |G_match| histogram-row adds.
   std::vector<uint64_t> observed(up_.domain_m, 0);
   uint64_t size = 0;
-  static thread_local std::vector<uint32_t> match_scratch;
+  std::vector<uint32_t> match_scratch;
   index.MatchingGroupsInto(predicate, match_scratch);
   for (uint32_t gi : match_scratch) {
     const auto row = index.sa_counts(gi);

@@ -26,6 +26,11 @@ Result<std::optional<std::string>> LineTransport::ReadPushedLine(
       "TCP connection)");
 }
 
+Status LineTransport::SetBinaryFrame(bool /*binary*/) {
+  return Status::NotImplemented(
+      "this transport cannot switch its session framing");
+}
+
 Result<std::string> IoStreamTransport::RoundTrip(
     const std::string& request_line) {
   out_ << request_line << "\n" << std::flush;
@@ -191,6 +196,19 @@ Result<ReleaseDescriptor> LineProtocolClient::Drop(const std::string& name) {
   return serve::wire::DecodeDropResponse(response);
 }
 
+Result<bool> LineProtocolClient::NegotiateBinaryFrame() {
+  if (!transport_->SupportsBinaryFrame()) return false;
+  const uint64_t id = next_id_++;
+  RECPRIV_ASSIGN_OR_RETURN(
+      JsonValue response,
+      RoundTrip(serve::wire::EncodeHelloRequest("binary", id), id));
+  RECPRIV_ASSIGN_OR_RETURN(std::string frame,
+                           serve::wire::DecodeHelloResponse(response));
+  if (frame != "binary") return false;
+  RECPRIV_RETURN_NOT_OK(transport_->SetBinaryFrame(true));
+  return true;
+}
+
 Result<Subscription> LineProtocolClient::Subscribe() {
   const uint64_t id = next_id_++;
   RECPRIV_ASSIGN_OR_RETURN(
@@ -231,7 +249,10 @@ Result<SnapshotChunk> LineProtocolClient::FetchSnapshotChunk(
       RoundTrip(serve::wire::EncodeFetchSnapshotRequest(release, epoch, offset,
                                                         max_bytes, id),
                 id));
-  return serve::wire::DecodeFetchSnapshotResponse(response);
+  // On a binary-framed session the chunk rides as the response frame's raw
+  // attachment; the decoder falls back to "data_b64" when there is none.
+  return serve::wire::DecodeFetchSnapshotResponse(response,
+                                                  transport_->LastAttachment());
 }
 
 void LineProtocolClient::Pin(const std::string& release, uint64_t epoch) {

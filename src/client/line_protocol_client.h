@@ -59,6 +59,19 @@ class LineTransport {
   /// it); nullopt on timeout. Only transports with a live full-duplex
   /// connection can carry pushes; the default says so with UNSUPPORTED.
   virtual Result<std::optional<std::string>> ReadPushedLine(int timeout_ms);
+
+  // --- binary framing (wire "hello" negotiation) ---------------------------
+
+  /// True when this transport can switch its session to binary frames
+  /// (net/line_channel.h). Stream/loopback transports cannot.
+  virtual bool SupportsBinaryFrame() const { return false; }
+  /// Switches the framing after a successful negotiation; the NEXT
+  /// round trip uses the new framing. Unsupported transports error.
+  virtual Status SetBinaryFrame(bool binary);
+  /// Raw attachment bytes of the most recently read response frame
+  /// (kFrameJsonWithBytes), or nullptr when it carried none. Valid until
+  /// the next read on this transport.
+  virtual const std::string* LastAttachment() const { return nullptr; }
 };
 
 /// Writes request lines to `out`, reads response lines from `in`.
@@ -132,6 +145,15 @@ class LineProtocolClient : public Client {
   Result<ReleaseDescriptor> Publish(const std::string& name,
                                     const std::string& basename) override;
   Result<ReleaseDescriptor> Drop(const std::string& name) override;
+
+  // --- session framing -----------------------------------------------------
+
+  /// Negotiates binary frames for this session (the wire "hello" op) when
+  /// the transport supports them; returns whether the session ended up
+  /// binary-framed. A server that cannot frame answers "json" and this
+  /// returns false — same protocol, line framing, no error. Call before
+  /// bulk transfers (snapshot replication) to skip base64 entirely.
+  Result<bool> NegotiateBinaryFrame();
 
   // --- replication / push stream -------------------------------------------
 

@@ -19,6 +19,13 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
       net::LineChannel(std::move(fd), channel_options), options));
 }
 
+std::string TcpTransport::WireBytes(const std::string& request_line) const {
+  if (binary_) {
+    return net::LineChannel::EncodeFrame(request_line, std::string_view());
+  }
+  return request_line + "\n";
+}
+
 Result<std::string> TcpTransport::RoundTrip(const std::string& request_line) {
   if (options_.fault_injector != nullptr) {
     switch (options_.fault_injector->SampleWrite()) {
@@ -34,9 +41,10 @@ Result<std::string> TcpTransport::RoundTrip(const std::string& request_line) {
         return Status::Unavailable(
             "fault injection: connection closed before the request");
       case net::FaultKind::kTruncate: {
-        // Half a line, no newline, then close: the server's mid-line-EOF
-        // path. Best-effort write — the point is the dangling prefix.
-        const std::string data = request_line + "\n";
+        // Half the wire bytes, then close: the server's mid-line (or
+        // mid-frame) EOF path. Best-effort write — the point is the
+        // dangling prefix.
+        const std::string data = WireBytes(request_line);
         (void)channel_.WriteRaw(data.data(), data.size() / 2,
                                 options_.write_timeout_ms);
         channel_.Close();
@@ -44,9 +52,9 @@ Result<std::string> TcpTransport::RoundTrip(const std::string& request_line) {
             "fault injection: request truncated mid-line");
       }
       case net::FaultKind::kShortWrite: {
-        // The full line still arrives, but split into two raw sends with a
+        // The full unit still arrives, but split into two raw sends with a
         // pause in between — the server's framing must reassemble it.
-        const std::string data = request_line + "\n";
+        const std::string data = WireBytes(request_line);
         const size_t head = data.size() / 2;
         RECPRIV_RETURN_NOT_OK(
             channel_.WriteRaw(data.data(), head, options_.write_timeout_ms));
@@ -61,14 +69,28 @@ Result<std::string> TcpTransport::RoundTrip(const std::string& request_line) {
         break;
     }
   }
-  RECPRIV_RETURN_NOT_OK(
-      channel_.WriteLine(request_line, options_.write_timeout_ms));
+  if (binary_) {
+    RECPRIV_RETURN_NOT_OK(channel_.WriteFrame(
+        request_line, std::string_view(), options_.write_timeout_ms));
+  } else {
+    RECPRIV_RETURN_NOT_OK(
+        channel_.WriteLine(request_line, options_.write_timeout_ms));
+  }
   return ReadResponse();
+}
+
+Result<net::ReadResult> TcpTransport::ReadUnit(int timeout_ms) {
+  attachment_.clear();
+  if (!binary_) return channel_.ReadLine(timeout_ms);
+  RECPRIV_ASSIGN_OR_RETURN(net::FrameResult frame,
+                           channel_.ReadFrame(timeout_ms));
+  attachment_ = std::move(frame.attachment);
+  return net::ReadResult{frame.event, std::move(frame.payload)};
 }
 
 Result<std::string> TcpTransport::ReadResponse() {
   RECPRIV_ASSIGN_OR_RETURN(net::ReadResult read,
-                           channel_.ReadLine(options_.response_timeout_ms));
+                           ReadUnit(options_.response_timeout_ms));
   switch (read.event) {
     case net::ReadEvent::kLine:
       return std::move(read.line);
@@ -88,7 +110,7 @@ Result<std::string> TcpTransport::ReadResponse() {
 
 Result<std::optional<std::string>> TcpTransport::ReadPushedLine(
     int timeout_ms) {
-  RECPRIV_ASSIGN_OR_RETURN(net::ReadResult read, channel_.ReadLine(timeout_ms));
+  RECPRIV_ASSIGN_OR_RETURN(net::ReadResult read, ReadUnit(timeout_ms));
   switch (read.event) {
     case net::ReadEvent::kLine:
       return std::optional<std::string>(std::move(read.line));

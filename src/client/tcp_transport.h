@@ -52,16 +52,38 @@ class TcpTransport : public LineTransport {
   /// other dead-transport condition.
   Result<std::optional<std::string>> ReadPushedLine(int timeout_ms) override;
 
+  /// Binary framing (net/line_channel.h frames; negotiated by the wire
+  /// "hello" op — LineProtocolClient::NegotiateBinaryFrame drives this).
+  /// In binary mode every request/response/push is one frame; fault
+  /// injection applies to the framed byte stream the same way it applies
+  /// to lines.
+  bool SupportsBinaryFrame() const override { return true; }
+  Status SetBinaryFrame(bool binary) override {
+    binary_ = binary;
+    return Status::OK();
+  }
+  const std::string* LastAttachment() const override {
+    return attachment_.empty() ? nullptr : &attachment_;
+  }
+
  private:
   TcpTransport(net::LineChannel channel, TcpTransportOptions options)
       : channel_(std::move(channel)), options_(options) {}
 
+  /// The request line in its on-the-wire encoding: "line\n", or one
+  /// kFrameJson frame in binary mode.
+  std::string WireBytes(const std::string& request_line) const;
   /// The read half of a round trip (shared by the normal and the
   /// short-write paths).
   Result<std::string> ReadResponse();
+  /// One inbound unit (line or frame) in the current framing; stores a
+  /// type-2 frame's attachment in attachment_.
+  Result<net::ReadResult> ReadUnit(int timeout_ms);
 
   net::LineChannel channel_;
   TcpTransportOptions options_;
+  bool binary_ = false;
+  std::string attachment_;  ///< raw bytes of the last type-2 frame read
 };
 
 /// Convenience: a LineProtocolClient over a fresh TCP connection.

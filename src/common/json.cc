@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,26 @@ JsonValue JsonValue::Number(double d) {
   JsonValue v;
   v.type_ = Type::kNumber;
   v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = static_cast<double>(i);
+  v.exact_int_ = true;
+  v.negative_ = i < 0;
+  v.magnitude_ = i < 0 ? uint64_t(-(i + 1)) + 1 : uint64_t(i);
+  return v;
+}
+
+JsonValue JsonValue::Uint(uint64_t u) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = static_cast<double>(u);
+  v.exact_int_ = true;
+  v.negative_ = false;
+  v.magnitude_ = u;
   return v;
 }
 
@@ -58,10 +79,53 @@ Result<int64_t> JsonValue::AsInt() const {
   if (!is_number()) {
     return Status::InvalidArgument("JSON value is not a number");
   }
+  if (exact_int_) {
+    if (negative_) {
+      // INT64_MIN's magnitude (2^63) is representable; anything larger
+      // is not.
+      if (magnitude_ > uint64_t(INT64_MAX) + 1) {
+        return Status::InvalidArgument("JSON integer out of int64 range");
+      }
+      return magnitude_ == uint64_t(INT64_MAX) + 1
+                 ? INT64_MIN
+                 : -int64_t(magnitude_);
+    }
+    if (magnitude_ > uint64_t(INT64_MAX)) {
+      return Status::InvalidArgument("JSON integer out of int64 range");
+    }
+    return int64_t(magnitude_);
+  }
   if (number_ != std::floor(number_)) {
     return Status::InvalidArgument("JSON number is not an integer");
   }
   return static_cast<int64_t>(number_);
+}
+
+Result<uint64_t> JsonValue::AsUint64() const {
+  if (!is_number()) {
+    return Status::InvalidArgument("JSON value is not a number");
+  }
+  if (exact_int_) {
+    if (negative_ && magnitude_ > 0) {
+      return Status::InvalidArgument("JSON integer is negative");
+    }
+    return magnitude_;
+  }
+  // A non-exact node came from a double (programmatic Number(), or float
+  // syntax like 1e3 on the wire). Integral values up to 2^53 are exactly
+  // representable and safe; past that the double has already rounded, so
+  // trusting it would silently corrupt 64-bit epochs/offsets/counters.
+  if (number_ != std::floor(number_)) {
+    return Status::InvalidArgument("JSON number is not an integer");
+  }
+  if (number_ < 0) {
+    return Status::InvalidArgument("JSON integer is negative");
+  }
+  if (number_ > 9007199254740992.0) {  // 2^53
+    return Status::InvalidArgument(
+        "JSON number exceeds the integer-exact range of a double");
+  }
+  return static_cast<uint64_t>(number_);
 }
 
 Result<std::string> JsonValue::AsString() const {
@@ -219,7 +283,12 @@ void JsonValue::WriteTo(std::string& out, int indent, int depth) const {
       out += bool_ ? "true" : "false";
       break;
     case Type::kNumber:
-      NumberInto(number_, out);
+      if (exact_int_) {
+        if (negative_ && magnitude_ > 0) out += '-';
+        out += std::to_string(magnitude_);
+      } else {
+        NumberInto(number_, out);
+      }
       break;
     case Type::kString:
       EscapeInto(string_, out);
@@ -474,6 +543,32 @@ class Parser {
     }
     if (pos_ == start) return Error("expected a value");
     const std::string token = text_.substr(start, pos_ - start);
+    // Pure integer syntax (optional sign, digits only) is kept exact when
+    // it fits 64 bits, so epochs/offsets/counters above 2^53 survive the
+    // wire bit-for-bit instead of rounding through a double.
+    const bool neg = token[0] == '-';
+    const std::string_view digits =
+        std::string_view(token).substr(neg ? 1 : 0);
+    const bool integer_syntax =
+        !digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string_view::npos;
+    if (integer_syntax) {
+      errno = 0;
+      char* iend = nullptr;
+      const unsigned long long mag =
+          std::strtoull(digits.data(), &iend, 10);
+      if (errno == 0 && iend == digits.data() + digits.size() &&
+          (!neg || mag <= 9223372036854775808ULL)) {
+        JsonValue v = JsonValue::Uint(uint64_t(mag));
+        if (neg && mag > 0) {
+          v = JsonValue::Int(mag == 9223372036854775808ULL
+                                 ? INT64_MIN
+                                 : -int64_t(mag));
+        }
+        return v;
+      }
+      // Out of 64-bit range: fall through to the double path below.
+    }
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) {
@@ -515,6 +610,17 @@ Result<int64_t> RequireInt(const JsonValue& obj, const std::string& key) {
   auto value = node->AsInt();
   if (!value.ok()) {
     return Status::InvalidArgument("'" + key + "' must be an integer");
+  }
+  return *value;
+}
+
+Result<uint64_t> RequireUint64(const JsonValue& obj, const std::string& key) {
+  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* node, RequireField(obj, key));
+  auto value = node->AsUint64();
+  if (!value.ok()) {
+    return Status::InvalidArgument("'" + key + "' must be a non-negative " +
+                                   "64-bit integer (" +
+                                   value.status().message() + ")");
   }
   return *value;
 }

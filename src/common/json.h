@@ -26,7 +26,12 @@ class JsonValue {
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool b);
   static JsonValue Number(double v);
-  static JsonValue Int(int64_t v) { return Number(static_cast<double>(v)); }
+  /// Integer-exact number nodes: the full int64/uint64 value survives
+  /// serialize -> parse -> accessor round trips bit-exactly, even above
+  /// 2^53 where a double would silently round. `AsDouble` still works
+  /// (nearest double) for consumers that do arithmetic.
+  static JsonValue Int(int64_t v);
+  static JsonValue Uint(uint64_t v);
   static JsonValue String(std::string s);
   static JsonValue Array();
   static JsonValue Object();
@@ -43,6 +48,11 @@ class JsonValue {
   Result<bool> AsBool() const;
   Result<double> AsDouble() const;
   Result<int64_t> AsInt() const;
+  /// Integer-exact accessor for unsigned wire fields (epochs, offsets,
+  /// byte counts, counters): INVALID_ARGUMENT on non-integral, negative,
+  /// or out-of-range values — including integral doubles above 2^53,
+  /// which are not exact and must not be silently trusted.
+  Result<uint64_t> AsUint64() const;
   Result<std::string> AsString() const;
   /// Zero-copy view of a string node — for payload-sized strings (wire
   /// chunk data) where AsString's copy would be a measurable pass. The
@@ -71,6 +81,12 @@ class JsonValue {
   Type type_;
   bool bool_ = false;
   double number_ = 0.0;
+  /// Exact-integer sidecar for number nodes built by Int/Uint or parsed
+  /// from pure integer syntax: magnitude + sign hold the value losslessly
+  /// while number_ keeps the nearest double for AsDouble.
+  bool exact_int_ = false;
+  bool negative_ = false;
+  uint64_t magnitude_ = 0;
   std::string string_;
   std::vector<JsonValue> array_;
   std::map<std::string, JsonValue> object_;
@@ -87,6 +103,9 @@ Result<const JsonValue*> RequireField(const JsonValue& obj,
 Result<std::string> RequireString(const JsonValue& obj,
                                   const std::string& key);
 Result<int64_t> RequireInt(const JsonValue& obj, const std::string& key);
+/// Integer-exact required accessor for unsigned wire fields; rejects
+/// non-integral, negative, and beyond-exact-range values.
+Result<uint64_t> RequireUint64(const JsonValue& obj, const std::string& key);
 Result<double> RequireDouble(const JsonValue& obj, const std::string& key);
 
 }  // namespace recpriv

@@ -163,7 +163,11 @@ Result<std::vector<uint8_t>> Base64Decode(std::string_view encoded) {
               std::to_string(i + k));
         }
         if (v == 64) {
-          return Status::InvalidArgument("base64: misplaced padding");
+          // '=' (decode value 64) in a non-final group: padding may only
+          // appear in the last group, so this byte is an error, with the
+          // same exact-offset contract as an invalid character.
+          return Status::InvalidArgument(
+              "base64: misplaced padding at offset " + std::to_string(i + k));
         }
       }
     }
@@ -181,11 +185,13 @@ Result<std::vector<uint8_t>> Base64Decode(std::string_view encoded) {
         // Padding is legal only in the last group's final one or two slots.
         const bool last_group = i + 4 == encoded.size();
         if (!last_group || k < 2) {
-          return Status::InvalidArgument("base64: misplaced padding");
+          return Status::InvalidArgument(
+              "base64: misplaced padding at offset " + std::to_string(i + k));
         }
         ++pad;
       } else if (pad > 0) {
-        return Status::InvalidArgument("base64: data after padding");
+        return Status::InvalidArgument(
+            "base64: data after padding at offset " + std::to_string(i + k));
       }
     }
     const uint32_t bits = uint32_t(v[0] & 0x3F) << 18 |

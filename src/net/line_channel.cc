@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <poll.h>
 #include <sys/socket.h>
 
@@ -27,6 +28,19 @@ Status ErrnoStatus(const std::string& what, int err) {
 
 void StripCr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+uint32_t DecodeU32Le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return uint32_t(b[0]) | (uint32_t(b[1]) << 8) | (uint32_t(b[2]) << 16) |
+         (uint32_t(b[3]) << 24);
+}
+
+void AppendU32Le(std::string& out, uint32_t v) {
+  out.push_back(char(v & 0xff));
+  out.push_back(char((v >> 8) & 0xff));
+  out.push_back(char((v >> 16) & 0xff));
+  out.push_back(char((v >> 24) & 0xff));
 }
 
 }  // namespace
@@ -123,6 +137,120 @@ Result<ReadResult> LineChannel::ReadLine(int timeout_ms) {
       buffer_.append(chunk.data(), size_t(n));
     }
   }
+}
+
+Result<FrameResult> LineChannel::ReadFrame(int timeout_ms) {
+  if (!fd_.valid()) return Status::FailedPrecondition("channel is closed");
+  const bool bounded = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  std::string chunk(options_.read_chunk_bytes, '\0');
+
+  for (;;) {
+    if (frame_discard_ > 0) {
+      // Inside an oversized frame: its declared length tells us exactly
+      // how many bytes to drop before the stream is back in sync.
+      const size_t drop = std::min(frame_discard_, buffer_.size());
+      buffer_.erase(0, drop);
+      scan_from_ = 0;
+      frame_discard_ -= drop;
+      if (frame_discard_ == 0) return FrameResult{ReadEvent::kOversized};
+    } else if (buffer_.size() >= kFrameHeaderBytes) {
+      const size_t len = DecodeU32Le(buffer_.data());
+      const uint8_t type = uint8_t(buffer_[4]);
+      if (len > options_.max_line_bytes) {
+        buffer_.erase(0, kFrameHeaderBytes);
+        scan_from_ = 0;
+        frame_discard_ = len;
+        continue;
+      }
+      if (buffer_.size() >= kFrameHeaderBytes + len) {
+        FrameResult result;
+        result.event = ReadEvent::kLine;
+        result.type = type;
+        const char* payload = buffer_.data() + kFrameHeaderBytes;
+        if (type == kFrameJsonWithBytes) {
+          if (len < 4) {
+            return Status::IOError(
+                "frame: type-2 payload shorter than its json length prefix");
+          }
+          const size_t json_len = DecodeU32Le(payload);
+          if (4 + json_len > len) {
+            return Status::IOError(
+                "frame: interior json length " + std::to_string(json_len) +
+                " exceeds payload of " + std::to_string(len) + " bytes");
+          }
+          result.payload.assign(payload + 4, json_len);
+          result.attachment.assign(payload + 4 + json_len,
+                                   len - 4 - json_len);
+        } else {
+          result.payload.assign(payload, len);
+        }
+        buffer_.erase(0, kFrameHeaderBytes + len);
+        scan_from_ = 0;
+        return result;
+      }
+    }
+
+    if (saw_eof_) {
+      // A partial frame at EOF is dropped: unlike an unterminated final
+      // line, a length-prefixed frame is all-or-nothing by construction.
+      return FrameResult{ReadEvent::kEof};
+    }
+
+    const int remaining = RemainingMs(bounded, deadline);
+    struct pollfd pfd;
+    pfd.fd = fd_.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int prc = ::poll(&pfd, 1, remaining);
+    if (prc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll", errno);
+    }
+    if (prc == 0) return FrameResult{ReadEvent::kTimeout};
+
+    const ssize_t n = ::recv(fd_.get(), chunk.data(), chunk.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoStatus("recv", errno);
+    }
+    if (n == 0) {
+      saw_eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk.data(), size_t(n));
+  }
+}
+
+std::string LineChannel::EncodeFrame(std::string_view json,
+                                     std::string_view attachment) {
+  std::string out;
+  if (attachment.empty()) {
+    out.reserve(kFrameHeaderBytes + json.size());
+    AppendU32Le(out, uint32_t(json.size()));
+    out.push_back(char(kFrameJson));
+    out.append(json);
+  } else {
+    out.reserve(kFrameHeaderBytes + 4 + json.size() + attachment.size());
+    AppendU32Le(out, uint32_t(4 + json.size() + attachment.size()));
+    out.push_back(char(kFrameJsonWithBytes));
+    AppendU32Le(out, uint32_t(json.size()));
+    out.append(json);
+    out.append(attachment);
+  }
+  return out;
+}
+
+Status LineChannel::WriteFrame(std::string_view json,
+                               std::string_view attachment, int timeout_ms) {
+  const uint64_t payload =
+      attachment.empty() ? json.size() : 4 + json.size() + attachment.size();
+  if (payload > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("frame payload exceeds the u32 length");
+  }
+  const std::string data = EncodeFrame(json, attachment);
+  return WriteRaw(data.data(), data.size(), timeout_ms);
 }
 
 Status LineChannel::WriteLine(const std::string& line, int timeout_ms) {

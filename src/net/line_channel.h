@@ -8,17 +8,39 @@
 // the session. Every read and write polls first, so a stalled peer costs at
 // most the configured timeout, never a wedged thread.
 //
+// Binary framing: a session that negotiated protocol-level binary frames
+// (the wire "hello" op, serve/wire.h) switches from ReadLine/WriteLine to
+// ReadFrame/WriteFrame on the SAME channel — buffered bytes carry over, so
+// the switch is seamless mid-stream. One frame is
+//
+//   [u32 LE payload_len][u8 type][payload_len bytes of payload]
+//
+// where type kFrameJson (1) carries one JSON text (exactly what the line
+// framing would have carried, minus the '\n'), and kFrameJsonWithBytes (2)
+// carries [u32 LE json_len][json][raw attachment bytes] so bulk payloads
+// (snapshot chunks) skip base64 and JSON string escaping entirely. Frames
+// respect the same `max_line_bytes` bound as lines: an oversized frame is
+// drained by its declared length and reported as kOversized.
+//
 // One channel is a single session's framing state; it is not thread-safe.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "net/socket.h"
 
 namespace recpriv::net {
+
+/// Binary frame type tags (the u8 after the length prefix).
+inline constexpr uint8_t kFrameJson = 1;           ///< payload is JSON text
+inline constexpr uint8_t kFrameJsonWithBytes = 2;  ///< JSON + raw attachment
+/// Bytes before the payload: u32 length + u8 type.
+inline constexpr size_t kFrameHeaderBytes = 5;
 
 struct LineChannelOptions {
   size_t max_line_bytes = 1 << 20;  ///< longest accepted line (sans '\n')
@@ -36,6 +58,15 @@ enum class ReadEvent {
 struct ReadResult {
   ReadEvent event = ReadEvent::kEof;
   std::string line;  ///< valid iff event == kLine
+};
+
+/// What one ReadFrame() call produced. Reuses ReadEvent: kLine means "one
+/// complete frame" here.
+struct FrameResult {
+  ReadEvent event = ReadEvent::kEof;
+  uint8_t type = 0;        ///< kFrameJson / kFrameJsonWithBytes
+  std::string payload;     ///< the JSON text (both frame types)
+  std::string attachment;  ///< raw bytes; non-empty only for type 2
 };
 
 /// Line-framed reader/writer over an owned connected socket.
@@ -62,6 +93,26 @@ class LineChannel {
   /// unterminated or split lines; normal traffic goes through WriteLine.
   Status WriteRaw(const char* data, size_t n, int timeout_ms);
 
+  // --- binary frames (negotiated sessions only) ----------------------------
+
+  /// Reads one binary frame. Same timeout/ReadEvent contract as ReadLine;
+  /// a frame whose declared payload exceeds max_line_bytes is drained by
+  /// its length and reported kOversized. A peer that closes mid-frame is
+  /// kEof (the partial frame is dropped — frames are all-or-nothing). A
+  /// frame whose interior lengths are inconsistent is a hard Status: the
+  /// stream can no longer be trusted to resynchronize.
+  Result<FrameResult> ReadFrame(int timeout_ms);
+
+  /// Writes one frame: type kFrameJson when `attachment` is empty, else
+  /// kFrameJsonWithBytes carrying the raw attachment after the JSON.
+  Status WriteFrame(std::string_view json, std::string_view attachment,
+                    int timeout_ms);
+
+  /// The exact bytes WriteFrame would send, for callers that need to apply
+  /// byte-level transforms (fault injection) before writing.
+  static std::string EncodeFrame(std::string_view json,
+                                 std::string_view attachment);
+
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
 
@@ -74,6 +125,7 @@ class LineChannel {
   std::string buffer_;       ///< bytes received but not yet returned
   size_t scan_from_ = 0;     ///< buffer_ offset already scanned for '\n'
   bool discarding_ = false;  ///< inside an oversized line, dropping bytes
+  size_t frame_discard_ = 0;  ///< oversized-frame bytes left to drain
   bool saw_eof_ = false;
 };
 

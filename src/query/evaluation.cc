@@ -71,17 +71,17 @@ EvaluationResult EvaluateRelativeError(const std::vector<CountQuery>& pool,
                                index.schema()->sa_domain_size()};
   EvaluationResult result;
   double total_err = 0.0;
-  // Per-thread scratch: the match list is rebuilt for every query of the
-  // pool, so reusing one buffer per thread turns a per-query allocation
-  // into an amortized no-op (thread_local keeps concurrent evaluations,
-  // e.g. from the serving thread pool, independent).
-  static thread_local std::vector<uint32_t> match_scratch;
+  // Scratch hoisted out of the query loop: the match list is rebuilt for
+  // every query of the pool, so reusing these buffers turns a per-query
+  // allocation into an amortized no-op; the memory dies with the call.
+  recpriv::table::AnswerScratch scratch;
+  std::vector<uint32_t> matches;
   for (const CountQuery& q : pool) {
     uint64_t ans = 0;
     uint64_t observed_sa = 0;
     uint64_t s_star = 0;
-    index.MatchingGroupsInto(q.na_predicate, match_scratch);
-    for (uint32_t gi : match_scratch) {
+    index.MatchingGroupsInto(q.na_predicate, scratch, matches);
+    for (uint32_t gi : matches) {
       ans += index.sa_count(gi, q.sa_code);
       observed_sa += perturbed.observed[gi][q.sa_code];
       s_star += perturbed.sizes[gi];

@@ -92,6 +92,12 @@ void Replicator::Run() {
 
 Status Replicator::RunSession(client::LineProtocolClient& client,
                               int* attempt) {
+  if (options_.binary_frame) {
+    // Best effort: a primary that predates "hello" answers unknown-op and
+    // the session stays line-framed — if the link itself is dead, the
+    // Subscribe below fails the session the normal way.
+    (void)client.NegotiateBinaryFrame();
+  }
   RECPRIV_ASSIGN_OR_RETURN(client::Subscription listing, client.Subscribe());
   *attempt = 0;
   RECPRIV_RETURN_NOT_OK(Resync(client, listing));

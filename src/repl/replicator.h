@@ -87,6 +87,11 @@ struct ReplicatorOptions {
   /// Longest accepted line: a base64-expanded max-size chunk
   /// (wire::kMaxFetchChunkBytes) plus framing fits with room to spare.
   size_t max_line_bytes = 8 << 20;
+  /// Opt-in: negotiate binary frames (wire "hello") at session start, so
+  /// snapshot chunks skip base64 and JSON string escaping. Best effort —
+  /// a primary that answers "json" (or predates the op) leaves the
+  /// session line-framed and replication proceeds identically.
+  bool binary_frame = false;
   /// Reconnect pacing; the same seeded schedule RetryingClient uses.
   client::RetryPolicy retry;
   /// When set, connection writes draw byte-level faults (drops,

@@ -190,16 +190,17 @@ Result<BatchResult> QueryEngine::AnswerValidatedBatch(
         0, miss.size(), pool_.GrainFor(miss.size()),
         [&](size_t lo, size_t hi) {
           // Scratch lives per chunk: reused across the chunk's queries,
-          // never shared between workers.
-          std::vector<uint32_t> scratch;
-          std::vector<uint32_t> matches;
+          // never shared between workers, and released when the chunk
+          // ends — the engine is the owner of its kernels' memory.
+          table::AnswerScratch scratch;
           for (size_t k = lo; k < hi; ++k) {
             const CountQuery& q = batch[miss[k]];
-            snap.postings->MatchingGroupsInto(q.na_predicate, scratch,
-                                              matches);
+            snap.postings->MatchingGroupsInto(q.na_predicate,
+                                              scratch.intersect,
+                                              scratch.groups);
             uint64_t observed = 0;
             uint64_t matched_size = 0;
-            for (uint32_t gi : matches) {
+            for (uint32_t gi : scratch.groups) {
               observed += snap.index.sa_count(gi, q.sa_code);
               matched_size += snap.index.group_size(gi);
             }

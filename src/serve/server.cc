@@ -289,11 +289,22 @@ void Server::FinishSession(Session& session) {
   drained_cv_.notify_all();
 }
 
+bool Server::WriteToSession(Session& session, const std::string& json) {
+  if (session.binary) {
+    return session.channel
+        .WriteFrame(json, std::string_view(), options_.write_timeout_ms)
+        .ok();
+  }
+  return session.channel.WriteLine(json, options_.write_timeout_ms).ok();
+}
+
 bool Server::HandleLine(const SessionPtr& session, const std::string& line) {
   RequestContext context;
   context.transport_stats = [this] { return Metrics(); };
   context.snapshots = options_.snapshot_provider;
   context.replication_stats = options_.replication_stats;
+  context.allow_binary_frame = true;
+  context.binary_session = session->binary;
   if (options_.snapshot_provider != nullptr) {
     context.on_subscribe = [this, &session] {
       {
@@ -337,7 +348,24 @@ bool Server::HandleLine(const SessionPtr& session, const std::string& line) {
       ++error_codes_[std::string(client::ErrorCodeName(info.error_code))];
     }
   }
-  return session->channel.WriteLine(response, options_.write_timeout_ms).ok();
+  bool alive;
+  if (session->binary && !info.attachment.empty()) {
+    // A bulk response (fetch_snapshot chunk): JSON + raw attachment in one
+    // kFrameJsonWithBytes frame.
+    alive = session->channel
+                .WriteFrame(response, info.attachment,
+                            options_.write_timeout_ms)
+                .ok();
+  } else {
+    alive = WriteToSession(*session, response);
+  }
+  // The hello response itself goes out in the old framing (above); the
+  // negotiated framing applies from the next request on. Renegotiation is
+  // symmetric — hello with "frame":"json" switches a binary session back.
+  if (alive && info.ok && info.op == "hello") {
+    session->binary = info.negotiated_binary;
+  }
+  return alive;
 }
 
 bool Server::FlushPushes(Session& session) {
@@ -347,7 +375,7 @@ bool Server::FlushPushes(Session& session) {
     lines.swap(session.pending_push);
   }
   for (const std::string& line : lines) {
-    if (!session.channel.WriteLine(line, options_.write_timeout_ms).ok()) {
+    if (!WriteToSession(session, line)) {
       return false;
     }
     events_pushed_.fetch_add(1);
@@ -415,9 +443,21 @@ void Server::PumpSession(const SessionPtr& session) {
       return;
     }
     // Non-blocking: drain only what the kernel already has; the poller
-    // watches the fd while we are not here.
-    auto read = session->channel.ReadLine(/*timeout_ms=*/0);
-    if (!read.ok()) {  // hard transport failure (reset, ...)
+    // watches the fd while we are not here. A binary session reads frames
+    // through the same buffer; the frame's JSON payload then flows through
+    // the identical dispatch path a line would.
+    Result<net::ReadResult> read = net::ReadResult{};
+    if (session->binary) {
+      auto frame = session->channel.ReadFrame(/*timeout_ms=*/0);
+      if (frame.ok()) {
+        read = net::ReadResult{frame->event, std::move(frame->payload)};
+      } else {
+        read = frame.status();
+      }
+    } else {
+      read = session->channel.ReadLine(/*timeout_ms=*/0);
+    }
+    if (!read.ok()) {  // hard transport failure (reset, garbled frame, ...)
       FinishSession(*session);
       return;
     }
@@ -442,16 +482,12 @@ void Server::PumpSession(const SessionPtr& session) {
               client::ErrorCodeName(client::ErrorCode::kMalformed))];
         }
         session->last_activity = Clock::now();
-        const bool alive =
-            session->channel
-                .WriteLine(
-                    ErrorResponseLine(
-                        client::ErrorCode::kMalformed,
-                        "request line exceeds " +
-                            std::to_string(options_.max_line_bytes) +
-                            " bytes"),
-                    options_.write_timeout_ms)
-                .ok();
+        const bool alive = WriteToSession(
+            *session, ErrorResponseLine(
+                          client::ErrorCode::kMalformed,
+                          "request line exceeds " +
+                              std::to_string(options_.max_line_bytes) +
+                              " bytes"));
         if (!alive) {
           FinishSession(*session);
           return;

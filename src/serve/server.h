@@ -124,6 +124,11 @@ class Server {
     explicit Session(net::LineChannel ch) : channel(std::move(ch)) {}
     net::LineChannel channel;
     int64_t version = 1;          ///< highest protocol version negotiated
+    /// True once a "hello" negotiated binary frames: requests, responses,
+    /// and pushes all switch to net::LineChannel frames. Only touched by
+    /// the session's current owner (a successful hello flips it in the
+    /// pool slice that handled the request).
+    bool binary = false;
     uint64_t requests = 0;
     uint64_t errors = 0;
     uint64_t epoch_pins = 0;
@@ -152,6 +157,9 @@ class Server {
   void FinishSession(Session& session);
   /// Handles one request line; false when the session must close.
   bool HandleLine(const SessionPtr& session, const std::string& line);
+  /// Writes one response/error JSON in the session's current framing
+  /// (line, or a kFrameJson frame on binary sessions).
+  bool WriteToSession(Session& session, const std::string& json);
   /// Writes the session's queued push lines; false when the peer is gone.
   bool FlushPushes(Session& session);
   /// The ReleaseStore listener: encodes the event once and enqueues it on

@@ -19,20 +19,22 @@ using recpriv::client::ErrorCode;
 
 namespace {
 
-// Field access (RequireField/RequireString/RequireInt) comes from
+// Field access (RequireField/RequireString/RequireUint64) comes from
 // common/json.h — the same protocol-grade messages every codec shares.
+// Every integral wire field (epochs, offsets, byte counts, counters) is
+// decoded through the integer-exact accessor: a 64-bit value above 2^53
+// must survive the wire bit-for-bit, and negative / non-integral /
+// beyond-exact values are wire-level shape errors.
 
 Result<std::optional<uint64_t>> OptionalEpoch(const JsonValue& obj) {
   if (!obj.Has("epoch")) return std::optional<uint64_t>{};
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(obj, "epoch"));
   // Negative epochs are unrepresentable in the typed API, so they are a
-  // wire-level shape error. Epoch 0 (or any never-published epoch) flows
-  // through to the store, which reports it stale — the same Status an
-  // in-process caller gets, keeping the two backends' taxonomies aligned.
-  if (epoch < 0) {
-    return Status::InvalidArgument("'epoch' must be a non-negative integer");
-  }
-  return std::optional<uint64_t>{uint64_t(epoch)};
+  // wire-level shape error (RequireUint64 rejects them). Epoch 0 (or any
+  // never-published epoch) flows through to the store, which reports it
+  // stale — the same Status an in-process caller gets, keeping the two
+  // backends' taxonomies aligned.
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t epoch, RequireUint64(obj, "epoch"));
+  return std::optional<uint64_t>{epoch};
 }
 
 // --- payload encoders (shared by server responses and client decoding) -----
@@ -40,28 +42,24 @@ Result<std::optional<uint64_t>> OptionalEpoch(const JsonValue& obj) {
 JsonValue EncodeDescriptor(const client::ReleaseDescriptor& d) {
   JsonValue out = JsonValue::Object();
   out.Set("name", JsonValue::String(d.name));
-  out.Set("epoch", JsonValue::Int(int64_t(d.epoch)));
-  out.Set("num_records", JsonValue::Int(int64_t(d.num_records)));
-  out.Set("num_groups", JsonValue::Int(int64_t(d.num_groups)));
-  out.Set("retained_epochs", JsonValue::Int(int64_t(d.retained_epochs)));
-  out.Set("oldest_epoch", JsonValue::Int(int64_t(d.oldest_epoch)));
+  out.Set("epoch", JsonValue::Uint(uint64_t(d.epoch)));
+  out.Set("num_records", JsonValue::Uint(uint64_t(d.num_records)));
+  out.Set("num_groups", JsonValue::Uint(uint64_t(d.num_groups)));
+  out.Set("retained_epochs", JsonValue::Uint(uint64_t(d.retained_epochs)));
+  out.Set("oldest_epoch", JsonValue::Uint(uint64_t(d.oldest_epoch)));
   return out;
 }
 
 Result<client::ReleaseDescriptor> DecodeDescriptor(const JsonValue& obj) {
   client::ReleaseDescriptor d;
   RECPRIV_ASSIGN_OR_RETURN(d.name, RequireString(obj, "name"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(obj, "epoch"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t records, RequireInt(obj, "num_records"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t groups, RequireInt(obj, "num_groups"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t retained,
-                           RequireInt(obj, "retained_epochs"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t oldest, RequireInt(obj, "oldest_epoch"));
-  d.epoch = uint64_t(epoch);
-  d.num_records = uint64_t(records);
-  d.num_groups = uint64_t(groups);
-  d.retained_epochs = uint64_t(retained);
-  d.oldest_epoch = uint64_t(oldest);
+  RECPRIV_ASSIGN_OR_RETURN(d.epoch, RequireUint64(obj, "epoch"));
+  RECPRIV_ASSIGN_OR_RETURN(d.num_records, RequireUint64(obj, "num_records"));
+  RECPRIV_ASSIGN_OR_RETURN(d.num_groups, RequireUint64(obj, "num_groups"));
+  RECPRIV_ASSIGN_OR_RETURN(d.retained_epochs,
+                           RequireUint64(obj, "retained_epochs"));
+  RECPRIV_ASSIGN_OR_RETURN(d.oldest_epoch,
+                           RequireUint64(obj, "oldest_epoch"));
   return d;
 }
 
@@ -79,17 +77,17 @@ JsonValue EncodeBatchAnswerPayload(const client::BatchAnswer& batch) {
   JsonValue answers = JsonValue::Array();
   for (const client::AnswerRow& a : batch.answers) {
     JsonValue entry = JsonValue::Object();
-    entry.Set("observed", JsonValue::Int(int64_t(a.observed)));
-    entry.Set("matched_size", JsonValue::Int(int64_t(a.matched_size)));
+    entry.Set("observed", JsonValue::Uint(uint64_t(a.observed)));
+    entry.Set("matched_size", JsonValue::Uint(uint64_t(a.matched_size)));
     entry.Set("estimate", JsonValue::Number(a.estimate));
     entry.Set("cached", JsonValue::Bool(a.cached));
     answers.Append(std::move(entry));
   }
   JsonValue out = JsonValue::Object();
   out.Set("release", JsonValue::String(batch.release));
-  out.Set("epoch", JsonValue::Int(int64_t(batch.epoch)));
-  out.Set("cache_hits", JsonValue::Int(int64_t(batch.cache_hits)));
-  out.Set("cache_misses", JsonValue::Int(int64_t(batch.cache_misses)));
+  out.Set("epoch", JsonValue::Uint(uint64_t(batch.epoch)));
+  out.Set("cache_hits", JsonValue::Uint(uint64_t(batch.cache_hits)));
+  out.Set("cache_misses", JsonValue::Uint(uint64_t(batch.cache_misses)));
   out.Set("answers", std::move(answers));
   return out;
 }
@@ -109,23 +107,23 @@ JsonValue EncodeSchemaPayload(const client::ReleaseSchema& schema) {
   }
   JsonValue out = JsonValue::Object();
   out.Set("release", JsonValue::String(schema.release));
-  out.Set("epoch", JsonValue::Int(int64_t(schema.epoch)));
+  out.Set("epoch", JsonValue::Uint(uint64_t(schema.epoch)));
   out.Set("attributes", std::move(attributes));
   return out;
 }
 
 JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
   JsonValue cache = JsonValue::Object();
-  cache.Set("size", JsonValue::Int(int64_t(stats.cache.size)));
-  cache.Set("capacity", JsonValue::Int(int64_t(stats.cache.capacity)));
-  cache.Set("hits", JsonValue::Int(int64_t(stats.cache.hits)));
-  cache.Set("misses", JsonValue::Int(int64_t(stats.cache.misses)));
+  cache.Set("size", JsonValue::Uint(uint64_t(stats.cache.size)));
+  cache.Set("capacity", JsonValue::Uint(uint64_t(stats.cache.capacity)));
+  cache.Set("hits", JsonValue::Uint(uint64_t(stats.cache.hits)));
+  cache.Set("misses", JsonValue::Uint(uint64_t(stats.cache.misses)));
   JsonValue releases = JsonValue::Array();
   for (const client::ReleaseDescriptor& d : stats.releases) {
     releases.Append(EncodeDescriptor(d));
   }
   JsonValue out = JsonValue::Object();
-  out.Set("threads", JsonValue::Int(int64_t(stats.threads)));
+  out.Set("threads", JsonValue::Uint(uint64_t(stats.threads)));
   out.Set("cache", std::move(cache));
   out.Set("releases", std::move(releases));
   if (stats.scheduler.has_value()) {
@@ -135,25 +133,25 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
     const client::TransportStats& t = *stats.transport;
     JsonValue ops = JsonValue::Object();
     for (const auto& [op, count] : t.ops) {
-      ops.Set(op, JsonValue::Int(int64_t(count)));
+      ops.Set(op, JsonValue::Uint(uint64_t(count)));
     }
     JsonValue transport = JsonValue::Object();
     transport.Set("connections_active",
-                  JsonValue::Int(int64_t(t.connections_active)));
+                  JsonValue::Uint(uint64_t(t.connections_active)));
     transport.Set("connections_accepted",
-                  JsonValue::Int(int64_t(t.connections_accepted)));
+                  JsonValue::Uint(uint64_t(t.connections_accepted)));
     transport.Set("connections_rejected",
-                  JsonValue::Int(int64_t(t.connections_rejected)));
-    transport.Set("sessions_v2", JsonValue::Int(int64_t(t.sessions_v2)));
-    transport.Set("requests", JsonValue::Int(int64_t(t.requests)));
-    transport.Set("errors", JsonValue::Int(int64_t(t.errors)));
+                  JsonValue::Uint(uint64_t(t.connections_rejected)));
+    transport.Set("sessions_v2", JsonValue::Uint(uint64_t(t.sessions_v2)));
+    transport.Set("requests", JsonValue::Uint(uint64_t(t.requests)));
+    transport.Set("errors", JsonValue::Uint(uint64_t(t.errors)));
     transport.Set("malformed_lines",
-                  JsonValue::Int(int64_t(t.malformed_lines)));
+                  JsonValue::Uint(uint64_t(t.malformed_lines)));
     transport.Set("oversized_lines",
-                  JsonValue::Int(int64_t(t.oversized_lines)));
+                  JsonValue::Uint(uint64_t(t.oversized_lines)));
     transport.Set("idle_disconnects",
-                  JsonValue::Int(int64_t(t.idle_disconnects)));
-    transport.Set("epoch_pins", JsonValue::Int(int64_t(t.epoch_pins)));
+                  JsonValue::Uint(uint64_t(t.idle_disconnects)));
+    transport.Set("epoch_pins", JsonValue::Uint(uint64_t(t.epoch_pins)));
     transport.Set("ops", std::move(ops));
     out.Set("transport", std::move(transport));
   }
@@ -174,12 +172,12 @@ JsonValue EncodeStatsPayload(const client::ServerStats& stats) {
     for (const client::StoreReleaseStats& s : stats.store) {
       JsonValue entry = JsonValue::Object();
       entry.Set("release", JsonValue::String(s.release));
-      entry.Set("epoch", JsonValue::Int(int64_t(s.epoch)));
+      entry.Set("epoch", JsonValue::Uint(uint64_t(s.epoch)));
       entry.Set("source", JsonValue::String(s.source));
       entry.Set("open_ms", JsonValue::Number(s.open_ms));
       entry.Set("parse_ms", JsonValue::Number(s.parse_ms));
       entry.Set("build_ms", JsonValue::Number(s.build_ms));
-      entry.Set("bytes_mapped", JsonValue::Int(int64_t(s.bytes_mapped)));
+      entry.Set("bytes_mapped", JsonValue::Uint(uint64_t(s.bytes_mapped)));
       store.Append(std::move(entry));
     }
     out.Set("store", std::move(store));
@@ -264,7 +262,7 @@ Result<JsonValue> HandleSubscribe(QueryEngine& engine,
       RECPRIV_ASSIGN_OR_RETURN(repl::SnapshotProvider::Packed packed,
                                context.snapshots->Pack(rel.name, snap));
       JsonValue entry = JsonValue::Object();
-      entry.Set("epoch", JsonValue::Int(int64_t(snap->epoch)));
+      entry.Set("epoch", JsonValue::Uint(uint64_t(snap->epoch)));
       entry.Set("digest",
                 JsonValue::String(repl::FormatDigest(packed.digest)));
       epochs.Append(std::move(entry));
@@ -281,36 +279,30 @@ Result<JsonValue> HandleSubscribe(QueryEngine& engine,
 }
 
 Result<JsonValue> HandleFetchSnapshot(const JsonValue& request,
-                                      const RequestContext& context) {
+                                      const RequestContext& context,
+                                      RequestInfo* info) {
   if (context.snapshots == nullptr) {
     return Status::NotImplemented(
         "this front end does not serve snapshot transfers");
   }
   RECPRIV_ASSIGN_OR_RETURN(std::string release,
                            RequireString(request, "release"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(request, "epoch"));
-  if (epoch < 0) {
-    return Status::InvalidArgument("'epoch' must be a non-negative integer");
-  }
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t epoch, RequireUint64(request, "epoch"));
   uint64_t offset = 0;
   if (request.Has("offset")) {
-    RECPRIV_ASSIGN_OR_RETURN(int64_t raw, RequireInt(request, "offset"));
-    if (raw < 0) {
-      return Status::InvalidArgument(
-          "'offset' must be a non-negative integer");
-    }
-    offset = uint64_t(raw);
+    RECPRIV_ASSIGN_OR_RETURN(offset, RequireUint64(request, "offset"));
   }
   uint64_t max_bytes = kDefaultFetchChunkBytes;
   if (request.Has("max_bytes")) {
-    RECPRIV_ASSIGN_OR_RETURN(int64_t raw, RequireInt(request, "max_bytes"));
-    if (raw <= 0) {
+    RECPRIV_ASSIGN_OR_RETURN(uint64_t raw,
+                             RequireUint64(request, "max_bytes"));
+    if (raw == 0) {
       return Status::InvalidArgument("'max_bytes' must be a positive integer");
     }
-    max_bytes = std::min(uint64_t(raw), kMaxFetchChunkBytes);
+    max_bytes = std::min(raw, kMaxFetchChunkBytes);
   }
   RECPRIV_ASSIGN_OR_RETURN(repl::SnapshotProvider::Packed packed,
-                           context.snapshots->Get(release, uint64_t(epoch)));
+                           context.snapshots->Get(release, epoch));
   const std::vector<uint8_t>& bytes = *packed.bytes;
   if (offset > bytes.size()) {
     return Status::InvalidArgument(
@@ -320,16 +312,46 @@ Result<JsonValue> HandleFetchSnapshot(const JsonValue& request,
   const uint64_t len = std::min<uint64_t>(max_bytes, bytes.size() - offset);
   JsonValue out = JsonValue::Object();
   out.Set("release", JsonValue::String(release));
-  out.Set("epoch", JsonValue::Int(epoch));
-  out.Set("offset", JsonValue::Int(int64_t(offset)));
-  out.Set("total_bytes", JsonValue::Int(int64_t(bytes.size())));
+  out.Set("epoch", JsonValue::Uint(epoch));
+  out.Set("offset", JsonValue::Uint(offset));
+  out.Set("total_bytes", JsonValue::Uint(uint64_t(bytes.size())));
   out.Set("digest", JsonValue::String(repl::FormatDigest(packed.digest)));
   out.Set("chunk_digest",
           JsonValue::String(repl::FormatDigest(
               repl::BytesDigest(bytes.data() + offset, len))));
-  out.Set("data_b64", JsonValue::String(Base64Encode(bytes.data() + offset,
-                                                     size_t(len))));
+  if (context.binary_session) {
+    // The chunk rides as the response frame's raw attachment: no base64
+    // expansion, no JSON string escaping pass over the payload.
+    out.Set("data_bytes", JsonValue::Uint(len));
+    info->attachment.assign(
+        reinterpret_cast<const char*>(bytes.data() + offset), size_t(len));
+  } else {
+    out.Set("data_b64", JsonValue::String(Base64Encode(bytes.data() + offset,
+                                                       size_t(len))));
+  }
   out.Set("eof", JsonValue::Bool(offset + len == bytes.size()));
+  return out;
+}
+
+// --- session framing ("hello") ----------------------------------------------
+
+Result<JsonValue> HandleHello(const JsonValue& request,
+                              const RequestContext& context,
+                              RequestInfo* info) {
+  std::string frame = "json";
+  if (request.Has("frame")) {
+    RECPRIV_ASSIGN_OR_RETURN(frame, RequireString(request, "frame"));
+  }
+  if (frame != "json" && frame != "binary") {
+    return Status::InvalidArgument(
+        "'frame' must be \"json\" or \"binary\", got \"" + frame + "\"");
+  }
+  // Degrade, don't error: a front end that cannot frame (stdin, loopback)
+  // answers "json" and the session simply stays line-framed.
+  const bool binary = frame == "binary" && context.allow_binary_frame;
+  info->negotiated_binary = binary;
+  JsonValue out = JsonValue::Object();
+  out.Set("frame", JsonValue::String(binary ? "binary" : "json"));
   return out;
 }
 
@@ -337,7 +359,7 @@ Result<JsonValue> HandleFetchSnapshot(const JsonValue& request,
 
 Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
                            QueryEngine& engine, const RequestContext& context,
-                           int64_t version) {
+                           int64_t version, RequestInfo* info) {
   if (op == "query") {
     RECPRIV_ASSIGN_OR_RETURN(client::QueryRequest req,
                              DecodeQueryRequestBody(request));
@@ -386,19 +408,20 @@ Result<JsonValue> Dispatch(const std::string& op, const JsonValue& request,
     out.Set("dropped", EncodeDescriptor(desc));
     return out;
   }
-  if (op == "subscribe" || op == "fetch_snapshot") {
-    // The replication ops postdate v1; a legacy-framed request would have
-    // no way to read structured DATA_LOSS errors or pushed event lines.
+  if (op == "hello" || op == "subscribe" || op == "fetch_snapshot") {
+    // These ops postdate v1; a legacy-framed request would have no way to
+    // read structured DATA_LOSS errors, pushed event lines, or frames.
     if (version < kWireVersionCurrent) {
       return Status::NotImplemented("'" + op + "' requires protocol version 2");
     }
+    if (op == "hello") return HandleHello(request, context, info);
     if (op == "subscribe") return HandleSubscribe(engine, context);
-    return HandleFetchSnapshot(request, context);
+    return HandleFetchSnapshot(request, context, info);
   }
   return Status::InvalidArgument(
       "unknown op '" + op +
-      "' (expected query, list, stats, schema, publish, drop, subscribe, "
-      "or fetch_snapshot)");
+      "' (expected query, list, stats, schema, publish, drop, hello, "
+      "subscribe, or fetch_snapshot)");
 }
 
 // --- response envelopes ----------------------------------------------------
@@ -486,7 +509,8 @@ JsonValue HandleRequest(const JsonValue& request, QueryEngine& engine,
     return fail(version, id, ApiError::FromStatus(op.status()));
   }
   info->op = *op;
-  Result<JsonValue> payload = Dispatch(*op, request, engine, context, version);
+  Result<JsonValue> payload =
+      Dispatch(*op, request, engine, context, version, info);
   if (!payload.ok()) {
     return fail(version, id, ApiError::FromStatus(payload.status()));
   }
@@ -525,8 +549,8 @@ std::string ErrorResponseLine(ErrorCode code, const std::string& message) {
 
 bool IsKnownOp(const std::string& op) {
   return op == "query" || op == "list" || op == "stats" || op == "schema" ||
-         op == "publish" || op == "drop" || op == "subscribe" ||
-         op == "fetch_snapshot";
+         op == "publish" || op == "drop" || op == "hello" ||
+         op == "subscribe" || op == "fetch_snapshot";
 }
 
 size_t ServeLines(std::istream& in, std::ostream& out, QueryEngine& engine) {
@@ -562,23 +586,22 @@ namespace {
 JsonValue Envelope(const char* op, uint64_t id) {
   JsonValue request = JsonValue::Object();
   request.Set("v", JsonValue::Int(kWireVersionCurrent));
-  request.Set("id", JsonValue::Int(int64_t(id)));
+  request.Set("id", JsonValue::Uint(uint64_t(id)));
   request.Set("op", JsonValue::String(op));
   return request;
 }
 
 Result<client::AnswerRow> DecodeAnswerRow(const JsonValue& obj) {
   client::AnswerRow row;
-  RECPRIV_ASSIGN_OR_RETURN(int64_t observed, RequireInt(obj, "observed"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t matched, RequireInt(obj, "matched_size"));
+  RECPRIV_ASSIGN_OR_RETURN(row.observed, RequireUint64(obj, "observed"));
+  RECPRIV_ASSIGN_OR_RETURN(row.matched_size,
+                           RequireUint64(obj, "matched_size"));
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* estimate,
                            RequireField(obj, "estimate"));
   RECPRIV_ASSIGN_OR_RETURN(row.estimate, estimate->AsDouble());
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* cached,
                            RequireField(obj, "cached"));
   RECPRIV_ASSIGN_OR_RETURN(row.cached, cached->AsBool());
-  row.observed = uint64_t(observed);
-  row.matched_size = uint64_t(matched);
   return row;
 }
 
@@ -604,16 +627,16 @@ Result<std::vector<client::ReleaseDescriptor>> DecodeDescriptorArray(
 
 JsonValue EncodeSchedulerStats(const client::SchedulerStats& stats) {
   JsonValue out = JsonValue::Object();
-  out.Set("window_us", JsonValue::Int(int64_t(stats.window_us)));
-  out.Set("submissions", JsonValue::Int(int64_t(stats.submissions)));
+  out.Set("window_us", JsonValue::Uint(uint64_t(stats.window_us)));
+  out.Set("submissions", JsonValue::Uint(uint64_t(stats.submissions)));
   out.Set("coalesced_submissions",
-          JsonValue::Int(int64_t(stats.coalesced_submissions)));
-  out.Set("batches", JsonValue::Int(int64_t(stats.batches)));
-  out.Set("batched_queries", JsonValue::Int(int64_t(stats.batched_queries)));
+          JsonValue::Uint(uint64_t(stats.coalesced_submissions)));
+  out.Set("batches", JsonValue::Uint(uint64_t(stats.batches)));
+  out.Set("batched_queries", JsonValue::Uint(uint64_t(stats.batched_queries)));
   out.Set("max_batch_queries",
-          JsonValue::Int(int64_t(stats.max_batch_queries)));
+          JsonValue::Uint(uint64_t(stats.max_batch_queries)));
   out.Set("max_batch_submissions",
-          JsonValue::Int(int64_t(stats.max_batch_submissions)));
+          JsonValue::Uint(uint64_t(stats.max_batch_submissions)));
   return out;
 }
 
@@ -621,9 +644,9 @@ JsonValue EncodeTenantStats(const client::TenantStats& stats) {
   JsonValue by_tenant = JsonValue::Object();
   for (const auto& [name, c] : stats.tenants) {
     JsonValue entry = JsonValue::Object();
-    entry.Set("admitted", JsonValue::Int(int64_t(c.admitted)));
-    entry.Set("rejected", JsonValue::Int(int64_t(c.rejected)));
-    entry.Set("shed", JsonValue::Int(int64_t(c.shed)));
+    entry.Set("admitted", JsonValue::Uint(uint64_t(c.admitted)));
+    entry.Set("rejected", JsonValue::Uint(uint64_t(c.rejected)));
+    entry.Set("shed", JsonValue::Uint(uint64_t(c.shed)));
     by_tenant.Set(name, std::move(entry));
   }
   JsonValue out = JsonValue::Object();
@@ -637,17 +660,17 @@ JsonValue EncodeReplicationStats(const client::ReplicationStats& stats) {
   JsonValue out = JsonValue::Object();
   out.Set("primary", JsonValue::String(stats.primary));
   out.Set("connected", JsonValue::Bool(stats.connected));
-  out.Set("events_seen", JsonValue::Int(int64_t(stats.events_seen)));
+  out.Set("events_seen", JsonValue::Uint(uint64_t(stats.events_seen)));
   out.Set("snapshots_fetched",
-          JsonValue::Int(int64_t(stats.snapshots_fetched)));
-  out.Set("bytes_fetched", JsonValue::Int(int64_t(stats.bytes_fetched)));
-  out.Set("installs", JsonValue::Int(int64_t(stats.installs)));
-  out.Set("drops", JsonValue::Int(int64_t(stats.drops)));
+          JsonValue::Uint(uint64_t(stats.snapshots_fetched)));
+  out.Set("bytes_fetched", JsonValue::Uint(uint64_t(stats.bytes_fetched)));
+  out.Set("installs", JsonValue::Uint(uint64_t(stats.installs)));
+  out.Set("drops", JsonValue::Uint(uint64_t(stats.drops)));
   out.Set("digest_mismatches",
-          JsonValue::Int(int64_t(stats.digest_mismatches)));
-  out.Set("reconnects", JsonValue::Int(int64_t(stats.reconnects)));
-  out.Set("resyncs", JsonValue::Int(int64_t(stats.resyncs)));
-  out.Set("lag_epochs", JsonValue::Int(int64_t(stats.lag_epochs)));
+          JsonValue::Uint(uint64_t(stats.digest_mismatches)));
+  out.Set("reconnects", JsonValue::Uint(uint64_t(stats.reconnects)));
+  out.Set("resyncs", JsonValue::Uint(uint64_t(stats.resyncs)));
+  out.Set("lag_epochs", JsonValue::Uint(uint64_t(stats.lag_epochs)));
   out.Set("lag_ms", JsonValue::Number(stats.lag_ms));
   return out;
 }
@@ -659,7 +682,7 @@ JsonValue EncodeQueryRequest(const client::QueryRequest& request,
   JsonValue out = Envelope("query", id);
   out.Set("release", JsonValue::String(request.release));
   if (request.epoch.has_value()) {
-    out.Set("epoch", JsonValue::Int(int64_t(*request.epoch)));
+    out.Set("epoch", JsonValue::Uint(uint64_t(*request.epoch)));
   }
   JsonValue queries = JsonValue::Array();
   for (const client::QuerySpec& spec : request.queries) {
@@ -688,7 +711,7 @@ JsonValue EncodeSchemaRequest(const std::string& release,
                               std::optional<uint64_t> epoch, uint64_t id) {
   JsonValue out = Envelope("schema", id);
   out.Set("release", JsonValue::String(release));
-  if (epoch.has_value()) out.Set("epoch", JsonValue::Int(int64_t(*epoch)));
+  if (epoch.has_value()) out.Set("epoch", JsonValue::Uint(uint64_t(*epoch)));
   return out;
 }
 
@@ -770,13 +793,11 @@ Result<std::vector<client::ReleaseDescriptor>> DecodeListResponse(
 Result<client::BatchAnswer> DecodeQueryResponse(const JsonValue& response) {
   client::BatchAnswer batch;
   RECPRIV_ASSIGN_OR_RETURN(batch.release, RequireString(response, "release"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(response, "epoch"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t hits, RequireInt(response, "cache_hits"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t misses,
-                           RequireInt(response, "cache_misses"));
-  batch.epoch = uint64_t(epoch);
-  batch.cache_hits = uint64_t(hits);
-  batch.cache_misses = uint64_t(misses);
+  RECPRIV_ASSIGN_OR_RETURN(batch.epoch, RequireUint64(response, "epoch"));
+  RECPRIV_ASSIGN_OR_RETURN(batch.cache_hits,
+                           RequireUint64(response, "cache_hits"));
+  RECPRIV_ASSIGN_OR_RETURN(batch.cache_misses,
+                           RequireUint64(response, "cache_misses"));
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* answers,
                            RequireField(response, "answers"));
   if (!answers->is_array()) {
@@ -794,8 +815,7 @@ Result<client::BatchAnswer> DecodeQueryResponse(const JsonValue& response) {
 Result<client::ReleaseSchema> DecodeSchemaResponse(const JsonValue& response) {
   client::ReleaseSchema schema;
   RECPRIV_ASSIGN_OR_RETURN(schema.release, RequireString(response, "release"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(response, "epoch"));
-  schema.epoch = uint64_t(epoch);
+  RECPRIV_ASSIGN_OR_RETURN(schema.epoch, RequireUint64(response, "epoch"));
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* attributes,
                            RequireField(response, "attributes"));
   if (!attributes->is_array()) {
@@ -827,16 +847,15 @@ Result<client::ReleaseSchema> DecodeSchemaResponse(const JsonValue& response) {
 
 Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
   client::ServerStats stats;
-  RECPRIV_ASSIGN_OR_RETURN(int64_t threads, RequireInt(response, "threads"));
-  stats.threads = uint64_t(threads);
+  RECPRIV_ASSIGN_OR_RETURN(stats.threads, RequireUint64(response, "threads"));
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* cache,
                            RequireField(response, "cache"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t size, RequireInt(*cache, "size"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t capacity, RequireInt(*cache, "capacity"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t hits, RequireInt(*cache, "hits"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t misses, RequireInt(*cache, "misses"));
-  stats.cache = client::CacheStats{uint64_t(size), uint64_t(capacity),
-                                   uint64_t(hits), uint64_t(misses)};
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t size, RequireUint64(*cache, "size"));
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t capacity,
+                           RequireUint64(*cache, "capacity"));
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t hits, RequireUint64(*cache, "hits"));
+  RECPRIV_ASSIGN_OR_RETURN(uint64_t misses, RequireUint64(*cache, "misses"));
+  stats.cache = client::CacheStats{size, capacity, hits, misses};
   RECPRIV_ASSIGN_OR_RETURN(stats.releases,
                            DecodeDescriptorArray(response, "releases"));
   if (response.Has("scheduler")) {
@@ -846,25 +865,18 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
       return Status::InvalidArgument("'scheduler' must be an object");
     }
     client::SchedulerStats s;
-    RECPRIV_ASSIGN_OR_RETURN(int64_t window, RequireInt(*node, "window_us"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t submissions,
-                             RequireInt(*node, "submissions"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t coalesced,
-                             RequireInt(*node, "coalesced_submissions"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t batches, RequireInt(*node, "batches"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t batched,
-                             RequireInt(*node, "batched_queries"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t max_queries,
-                             RequireInt(*node, "max_batch_queries"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t max_subs,
-                             RequireInt(*node, "max_batch_submissions"));
-    s.window_us = uint64_t(window);
-    s.submissions = uint64_t(submissions);
-    s.coalesced_submissions = uint64_t(coalesced);
-    s.batches = uint64_t(batches);
-    s.batched_queries = uint64_t(batched);
-    s.max_batch_queries = uint64_t(max_queries);
-    s.max_batch_submissions = uint64_t(max_subs);
+    RECPRIV_ASSIGN_OR_RETURN(s.window_us, RequireUint64(*node, "window_us"));
+    RECPRIV_ASSIGN_OR_RETURN(s.submissions,
+                             RequireUint64(*node, "submissions"));
+    RECPRIV_ASSIGN_OR_RETURN(s.coalesced_submissions,
+                             RequireUint64(*node, "coalesced_submissions"));
+    RECPRIV_ASSIGN_OR_RETURN(s.batches, RequireUint64(*node, "batches"));
+    RECPRIV_ASSIGN_OR_RETURN(s.batched_queries,
+                             RequireUint64(*node, "batched_queries"));
+    RECPRIV_ASSIGN_OR_RETURN(s.max_batch_queries,
+                             RequireUint64(*node, "max_batch_queries"));
+    RECPRIV_ASSIGN_OR_RETURN(s.max_batch_submissions,
+                             RequireUint64(*node, "max_batch_submissions"));
     stats.scheduler = s;
   }
   if (response.Has("transport")) {
@@ -874,39 +886,31 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
       return Status::InvalidArgument("'transport' must be an object");
     }
     client::TransportStats t;
-    RECPRIV_ASSIGN_OR_RETURN(int64_t active,
-                             RequireInt(*node, "connections_active"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t accepted,
-                             RequireInt(*node, "connections_accepted"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t rejected,
-                             RequireInt(*node, "connections_rejected"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t v2, RequireInt(*node, "sessions_v2"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t requests, RequireInt(*node, "requests"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t errors, RequireInt(*node, "errors"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t malformed,
-                             RequireInt(*node, "malformed_lines"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t oversized,
-                             RequireInt(*node, "oversized_lines"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t idle,
-                             RequireInt(*node, "idle_disconnects"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t pins, RequireInt(*node, "epoch_pins"));
-    t.connections_active = uint64_t(active);
-    t.connections_accepted = uint64_t(accepted);
-    t.connections_rejected = uint64_t(rejected);
-    t.sessions_v2 = uint64_t(v2);
-    t.requests = uint64_t(requests);
-    t.errors = uint64_t(errors);
-    t.malformed_lines = uint64_t(malformed);
-    t.oversized_lines = uint64_t(oversized);
-    t.idle_disconnects = uint64_t(idle);
-    t.epoch_pins = uint64_t(pins);
+    RECPRIV_ASSIGN_OR_RETURN(t.connections_active,
+                             RequireUint64(*node, "connections_active"));
+    RECPRIV_ASSIGN_OR_RETURN(t.connections_accepted,
+                             RequireUint64(*node, "connections_accepted"));
+    RECPRIV_ASSIGN_OR_RETURN(t.connections_rejected,
+                             RequireUint64(*node, "connections_rejected"));
+    RECPRIV_ASSIGN_OR_RETURN(t.sessions_v2,
+                             RequireUint64(*node, "sessions_v2"));
+    RECPRIV_ASSIGN_OR_RETURN(t.requests, RequireUint64(*node, "requests"));
+    RECPRIV_ASSIGN_OR_RETURN(t.errors, RequireUint64(*node, "errors"));
+    RECPRIV_ASSIGN_OR_RETURN(t.malformed_lines,
+                             RequireUint64(*node, "malformed_lines"));
+    RECPRIV_ASSIGN_OR_RETURN(t.oversized_lines,
+                             RequireUint64(*node, "oversized_lines"));
+    RECPRIV_ASSIGN_OR_RETURN(t.idle_disconnects,
+                             RequireUint64(*node, "idle_disconnects"));
+    RECPRIV_ASSIGN_OR_RETURN(t.epoch_pins,
+                             RequireUint64(*node, "epoch_pins"));
     RECPRIV_ASSIGN_OR_RETURN(const JsonValue* ops, RequireField(*node, "ops"));
     if (!ops->is_object()) {
       return Status::InvalidArgument("'ops' must be an object");
     }
     for (const std::string& op : ops->Keys()) {
-      RECPRIV_ASSIGN_OR_RETURN(int64_t count, RequireInt(*ops, op));
-      t.ops[op] = uint64_t(count);
+      RECPRIV_ASSIGN_OR_RETURN(uint64_t count, RequireUint64(*ops, op));
+      t.ops[op] = count;
     }
     stats.transport = std::move(t);
   }
@@ -931,14 +935,9 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
         return Status::InvalidArgument("each tenant entry must be an object");
       }
       client::TenantCounters c;
-      RECPRIV_ASSIGN_OR_RETURN(int64_t admitted,
-                               RequireInt(*entry, "admitted"));
-      RECPRIV_ASSIGN_OR_RETURN(int64_t rejected,
-                               RequireInt(*entry, "rejected"));
-      RECPRIV_ASSIGN_OR_RETURN(int64_t shed, RequireInt(*entry, "shed"));
-      c.admitted = uint64_t(admitted);
-      c.rejected = uint64_t(rejected);
-      c.shed = uint64_t(shed);
+      RECPRIV_ASSIGN_OR_RETURN(c.admitted, RequireUint64(*entry, "admitted"));
+      RECPRIV_ASSIGN_OR_RETURN(c.rejected, RequireUint64(*entry, "rejected"));
+      RECPRIV_ASSIGN_OR_RETURN(c.shed, RequireUint64(*entry, "shed"));
       q.tenants[name] = c;
     }
     stats.tenants = std::move(q);
@@ -954,31 +953,22 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
     RECPRIV_ASSIGN_OR_RETURN(const JsonValue* connected,
                              RequireField(*node, "connected"));
     RECPRIV_ASSIGN_OR_RETURN(r.connected, connected->AsBool());
-    RECPRIV_ASSIGN_OR_RETURN(int64_t events,
-                             RequireInt(*node, "events_seen"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t fetched,
-                             RequireInt(*node, "snapshots_fetched"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t bytes,
-                             RequireInt(*node, "bytes_fetched"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t installs, RequireInt(*node, "installs"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t drops, RequireInt(*node, "drops"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t mismatches,
-                             RequireInt(*node, "digest_mismatches"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t reconnects,
-                             RequireInt(*node, "reconnects"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t resyncs, RequireInt(*node, "resyncs"));
-    RECPRIV_ASSIGN_OR_RETURN(int64_t lag_epochs,
-                             RequireInt(*node, "lag_epochs"));
+    RECPRIV_ASSIGN_OR_RETURN(r.events_seen,
+                             RequireUint64(*node, "events_seen"));
+    RECPRIV_ASSIGN_OR_RETURN(r.snapshots_fetched,
+                             RequireUint64(*node, "snapshots_fetched"));
+    RECPRIV_ASSIGN_OR_RETURN(r.bytes_fetched,
+                             RequireUint64(*node, "bytes_fetched"));
+    RECPRIV_ASSIGN_OR_RETURN(r.installs, RequireUint64(*node, "installs"));
+    RECPRIV_ASSIGN_OR_RETURN(r.drops, RequireUint64(*node, "drops"));
+    RECPRIV_ASSIGN_OR_RETURN(r.digest_mismatches,
+                             RequireUint64(*node, "digest_mismatches"));
+    RECPRIV_ASSIGN_OR_RETURN(r.reconnects,
+                             RequireUint64(*node, "reconnects"));
+    RECPRIV_ASSIGN_OR_RETURN(r.resyncs, RequireUint64(*node, "resyncs"));
+    RECPRIV_ASSIGN_OR_RETURN(r.lag_epochs,
+                             RequireUint64(*node, "lag_epochs"));
     RECPRIV_ASSIGN_OR_RETURN(r.lag_ms, RequireDouble(*node, "lag_ms"));
-    r.events_seen = uint64_t(events);
-    r.snapshots_fetched = uint64_t(fetched);
-    r.bytes_fetched = uint64_t(bytes);
-    r.installs = uint64_t(installs);
-    r.drops = uint64_t(drops);
-    r.digest_mismatches = uint64_t(mismatches);
-    r.reconnects = uint64_t(reconnects);
-    r.resyncs = uint64_t(resyncs);
-    r.lag_epochs = uint64_t(lag_epochs);
     stats.replication = std::move(r);
   }
   if (response.Has("store")) {
@@ -994,15 +984,13 @@ Result<client::ServerStats> DecodeStatsResponse(const JsonValue& response) {
       }
       client::StoreReleaseStats s;
       RECPRIV_ASSIGN_OR_RETURN(s.release, RequireString(*entry, "release"));
-      RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(*entry, "epoch"));
-      s.epoch = uint64_t(epoch);
+      RECPRIV_ASSIGN_OR_RETURN(s.epoch, RequireUint64(*entry, "epoch"));
       RECPRIV_ASSIGN_OR_RETURN(s.source, RequireString(*entry, "source"));
       RECPRIV_ASSIGN_OR_RETURN(s.open_ms, RequireDouble(*entry, "open_ms"));
       RECPRIV_ASSIGN_OR_RETURN(s.parse_ms, RequireDouble(*entry, "parse_ms"));
       RECPRIV_ASSIGN_OR_RETURN(s.build_ms, RequireDouble(*entry, "build_ms"));
-      RECPRIV_ASSIGN_OR_RETURN(int64_t mapped,
-                               RequireInt(*entry, "bytes_mapped"));
-      s.bytes_mapped = uint64_t(mapped);
+      RECPRIV_ASSIGN_OR_RETURN(s.bytes_mapped,
+                               RequireUint64(*entry, "bytes_mapped"));
       stats.store.push_back(std::move(s));
     }
   }
@@ -1057,11 +1045,7 @@ Result<client::Subscription> DecodeSubscribeResponse(
         return Status::InvalidArgument("each epoch entry must be an object");
       }
       client::EpochDigest ed;
-      RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(*e, "epoch"));
-      if (epoch < 0) {
-        return Status::InvalidArgument("'epoch' must be non-negative");
-      }
-      ed.epoch = uint64_t(epoch);
+      RECPRIV_ASSIGN_OR_RETURN(ed.epoch, RequireUint64(*e, "epoch"));
       RECPRIV_ASSIGN_OR_RETURN(ed.digest, RequireString(*e, "digest"));
       RECPRIV_RETURN_NOT_OK(repl::ParseDigest(ed.digest).status());
       rel.epochs.push_back(std::move(ed));
@@ -1076,42 +1060,58 @@ JsonValue EncodeFetchSnapshotRequest(const std::string& release,
                                      uint64_t max_bytes, uint64_t id) {
   JsonValue out = Envelope("fetch_snapshot", id);
   out.Set("release", JsonValue::String(release));
-  out.Set("epoch", JsonValue::Int(int64_t(epoch)));
-  out.Set("offset", JsonValue::Int(int64_t(offset)));
-  out.Set("max_bytes", JsonValue::Int(int64_t(max_bytes)));
+  out.Set("epoch", JsonValue::Uint(epoch));
+  out.Set("offset", JsonValue::Uint(offset));
+  out.Set("max_bytes", JsonValue::Uint(max_bytes));
   return out;
 }
 
 Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
     const JsonValue& response) {
+  return DecodeFetchSnapshotResponse(response, nullptr);
+}
+
+Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
+    const JsonValue& response, const std::string* attachment) {
   client::SnapshotChunk chunk;
   RECPRIV_ASSIGN_OR_RETURN(chunk.release, RequireString(response, "release"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(response, "epoch"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t offset, RequireInt(response, "offset"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t total,
-                           RequireInt(response, "total_bytes"));
-  if (epoch < 0 || offset < 0 || total < 0) {
-    return Status::InvalidArgument(
-        "'epoch'/'offset'/'total_bytes' must be non-negative");
-  }
-  chunk.epoch = uint64_t(epoch);
-  chunk.offset = uint64_t(offset);
-  chunk.total_bytes = uint64_t(total);
+  RECPRIV_ASSIGN_OR_RETURN(chunk.epoch, RequireUint64(response, "epoch"));
+  RECPRIV_ASSIGN_OR_RETURN(chunk.offset, RequireUint64(response, "offset"));
+  RECPRIV_ASSIGN_OR_RETURN(chunk.total_bytes,
+                           RequireUint64(response, "total_bytes"));
   RECPRIV_ASSIGN_OR_RETURN(chunk.digest, RequireString(response, "digest"));
   RECPRIV_RETURN_NOT_OK(repl::ParseDigest(chunk.digest).status());
   RECPRIV_ASSIGN_OR_RETURN(std::string chunk_digest,
                            RequireString(response, "chunk_digest"));
   RECPRIV_ASSIGN_OR_RETURN(uint64_t expect, repl::ParseDigest(chunk_digest));
-  RECPRIV_ASSIGN_OR_RETURN(const JsonValue* data_node,
-                           RequireField(response, "data_b64"));
-  if (!data_node->is_string()) {
-    return Status::InvalidArgument("'data_b64' must be a string");
+  if (response.Has("data_bytes")) {
+    // Binary-framed response: the chunk is the frame's raw attachment and
+    // "data_bytes" declares its length. Both must agree with what the
+    // transport actually carried.
+    RECPRIV_ASSIGN_OR_RETURN(uint64_t declared,
+                             RequireUint64(response, "data_bytes"));
+    const size_t carried = attachment == nullptr ? 0 : attachment->size();
+    if (declared != carried) {
+      return Status::DataLoss(
+          "'data_bytes' declares " + std::to_string(declared) +
+          " bytes but the frame attachment carried " +
+          std::to_string(carried));
+    }
+    if (attachment != nullptr) {
+      chunk.data.assign(attachment->begin(), attachment->end());
+    }
+  } else {
+    RECPRIV_ASSIGN_OR_RETURN(const JsonValue* data_node,
+                             RequireField(response, "data_b64"));
+    if (!data_node->is_string()) {
+      return Status::InvalidArgument("'data_b64' must be a string");
+    }
+    // View, not copy: the chunk payload is the one field big enough that an
+    // extra pass shows up in follower convergence time.
+    RECPRIV_ASSIGN_OR_RETURN(std::string_view data_b64,
+                             data_node->AsStringView());
+    RECPRIV_ASSIGN_OR_RETURN(chunk.data, Base64Decode(data_b64));
   }
-  // View, not copy: the chunk payload is the one field big enough that an
-  // extra pass shows up in follower convergence time.
-  RECPRIV_ASSIGN_OR_RETURN(std::string_view data_b64,
-                           data_node->AsStringView());
-  RECPRIV_ASSIGN_OR_RETURN(chunk.data, Base64Decode(data_b64));
   RECPRIV_ASSIGN_OR_RETURN(const JsonValue* eof,
                            RequireField(response, "eof"));
   RECPRIV_ASSIGN_OR_RETURN(chunk.eof, eof->AsBool());
@@ -1133,6 +1133,16 @@ Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
   return chunk;
 }
 
+JsonValue EncodeHelloRequest(const std::string& frame, uint64_t id) {
+  JsonValue out = Envelope("hello", id);
+  out.Set("frame", JsonValue::String(frame));
+  return out;
+}
+
+Result<std::string> DecodeHelloResponse(const JsonValue& response) {
+  return RequireString(response, "frame");
+}
+
 JsonValue EncodeEpochEvent(const client::EpochEvent& event) {
   JsonValue out = JsonValue::Object();
   out.Set("v", JsonValue::Int(kWireVersionCurrent));
@@ -1144,7 +1154,7 @@ JsonValue EncodeEpochEvent(const client::EpochEvent& event) {
                                : "drop";
   out.Set("kind", JsonValue::String(kind));
   out.Set("release", JsonValue::String(event.release));
-  out.Set("epoch", JsonValue::Int(int64_t(event.epoch)));
+  out.Set("epoch", JsonValue::Uint(uint64_t(event.epoch)));
   if (event.kind == client::EpochEvent::Kind::kPublish) {
     out.Set("digest", JsonValue::String(event.digest));
   }
@@ -1172,11 +1182,7 @@ Result<client::EpochEvent> DecodeEpochEvent(const JsonValue& line) {
     return Status::InvalidArgument("unknown epoch event kind '" + kind + "'");
   }
   RECPRIV_ASSIGN_OR_RETURN(out.release, RequireString(line, "release"));
-  RECPRIV_ASSIGN_OR_RETURN(int64_t epoch, RequireInt(line, "epoch"));
-  if (epoch < 0) {
-    return Status::InvalidArgument("'epoch' must be non-negative");
-  }
-  out.epoch = uint64_t(epoch);
+  RECPRIV_ASSIGN_OR_RETURN(out.epoch, RequireUint64(line, "epoch"));
   if (out.kind == client::EpochEvent::Kind::kPublish) {
     RECPRIV_ASSIGN_OR_RETURN(out.digest, RequireString(line, "digest"));
     RECPRIV_RETURN_NOT_OK(repl::ParseDigest(out.digest).status());

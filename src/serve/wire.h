@@ -40,7 +40,24 @@
 //   * replication ops (TCP front end only): "subscribe" upgrades the
 //     session into a push stream of epoch events and returns the full
 //     retained-epoch listing with content digests; "fetch_snapshot"
-//     streams a serialized `.rps` image in checksummed base64 chunks.
+//     streams a serialized `.rps` image in checksummed base64 chunks;
+//   * "hello" negotiates the session framing. JSON lines are the default
+//     and the compatibility surface; a client on a frame-capable transport
+//     may ask for length-prefixed binary frames (net/line_channel.h):
+//
+//       {"v":2,"id":0,"op":"hello","frame":"binary"}
+//         -> {"v":2,"id":0,"ok":true,"frame":"binary"}
+//
+//     The response is sent in the session's CURRENT framing and states the
+//     framing the server accepted ("json" when this front end cannot frame,
+//     e.g. stdin — negotiation degrades, it never errors); both sides
+//     switch immediately after it. On a binary session every request and
+//     response is one kFrameJson frame carrying the same JSON text a line
+//     session would carry — byte-identical payloads, so transcripts match
+//     across framings — except "fetch_snapshot" responses, which become
+//     kFrameJsonWithBytes frames: the chunk rides as a raw attachment
+//     (JSON carries "data_bytes":N instead of "data_b64"), skipping base64
+//     expansion and JSON string escaping entirely.
 //
 //   {"v":2,"id":5,"op":"subscribe"}
 //     -> {"v":2,"id":5,"ok":true,"subscribed":true,"releases":[
@@ -124,6 +141,14 @@ struct RequestContext {
   /// link counters and staleness bounds. Absent on non-replicating
   /// servers, so their golden transcripts are unchanged.
   std::function<client::ReplicationStats()> replication_stats;
+  /// True when this front end can switch the session to binary frames (a
+  /// live socket it controls). "hello" negotiates "frame":"json" while
+  /// false — stdin and loopback front ends leave it unset.
+  bool allow_binary_frame = false;
+  /// True when the CURRENT request arrived on a binary-framed session;
+  /// "fetch_snapshot" then emits its chunk as a raw frame attachment
+  /// (RequestInfo::attachment) instead of base64.
+  bool binary_session = false;
 };
 
 /// What one handled request looked like — filled for the front end's
@@ -136,6 +161,13 @@ struct RequestInfo {
   bool subscribed = false;  ///< a "subscribe" op succeeded on this request
   std::string op;           ///< "op" value when present and a string
   client::ErrorCode error_code = client::ErrorCode::kOk;  ///< set iff !ok
+  /// Outcome of a "hello": the framing the session should use from the
+  /// next request on (the hello response itself goes out in the old one).
+  bool negotiated_binary = false;
+  /// Raw bytes to ship as the response frame's attachment
+  /// (kFrameJsonWithBytes). Only ever set on binary sessions
+  /// (RequestContext::binary_session); empty means a plain JSON frame.
+  std::string attachment;
 };
 
 /// Dispatches one parsed request object; never returns an error — failures
@@ -225,9 +257,22 @@ JsonValue EncodeFetchSnapshotRequest(const std::string& release,
                                      uint64_t max_bytes, uint64_t id);
 /// Decodes one chunk, base64-expands its payload, and verifies the chunk
 /// digest — a corrupted transfer surfaces here as DataLoss, before any
-/// byte reaches a follower's reassembly buffer.
+/// byte reaches a follower's reassembly buffer. The attachment overload
+/// handles binary-framed responses, where the chunk arrives as raw frame
+/// bytes ("data_bytes":N) instead of "data_b64"; pass nullptr when the
+/// transport carried no attachment.
 Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
     const JsonValue& response);
+Result<client::SnapshotChunk> DecodeFetchSnapshotResponse(
+    const JsonValue& response, const std::string* attachment);
+
+// --- session framing codec ---------------------------------------------------
+
+/// `frame` is "json" or "binary"; the server answers with the framing it
+/// accepted (graceful degradation, never an error for a supported name).
+JsonValue EncodeHelloRequest(const std::string& frame, uint64_t id);
+/// The accepted framing name from a hello response.
+Result<std::string> DecodeHelloResponse(const JsonValue& response);
 
 /// A pushed epoch-event line (server side). Events are not responses:
 /// they carry no "id"/"ok", and a subscribed client must route any line

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "table/simd/dispatch.h"
 
 namespace recpriv::table {
 
@@ -46,6 +47,17 @@ void RadixSortKeys(std::vector<KeyRow>& a, uint32_t total_bits) {
     for (const KeyRow& kr : a) b[pos[(kr.key >> shift) & 0xFF]++] = kr;
     a.swap(b);
   }
+}
+
+/// The one thread-local scratch left in this file: backs the scratch-less
+/// kernel overloads for cold callers (tests, analysis tools, one-shot
+/// evaluation). Hot paths — the serving engine, pool generation — own an
+/// AnswerScratch and thread it through explicitly, so this instance only
+/// ever holds cold-path working sets and its never-shrinking capacity is
+/// bounded by them.
+AnswerScratch& SharedScratch() {
+  static thread_local AnswerScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -368,26 +380,22 @@ std::vector<uint32_t> FlatGroupIndex::MatchingGroups(
 
 void FlatGroupIndex::MatchingGroupsInto(const Predicate& pred,
                                         std::vector<uint32_t>& out) const {
+  MatchingGroupsInto(pred, SharedScratch(), out);
+}
+
+void FlatGroupIndex::MatchingGroupsInto(const Predicate& pred,
+                                        AnswerScratch& scratch,
+                                        std::vector<uint32_t>& out) const {
   RECPRIV_CHECK(pred.num_attributes() == schema_->num_attributes())
       << "predicate arity mismatch";
   out.clear();
   const size_t n_pub = public_idx_.size();
-  // Bound (key column, code) pairs, collected once per call so the scan
-  // does not re-probe the predicate per group. thread_local keeps the
-  // serving pool's concurrent calls independent with no allocation after
-  // warmup.
-  static thread_local std::vector<std::pair<uint32_t, uint32_t>> bound;
-  bound.clear();
-  for (size_t k = 0; k < n_pub; ++k) {
-    const size_t attr = public_idx_[k];
-    if (pred.is_bound(attr)) bound.emplace_back(uint32_t(k), pred.code(attr));
-  }
-  if (bound.size() == n_pub && n_pub > 0) {
+  CollectBound(pred, scratch);
+  if (scratch.bound.size() == n_pub && n_pub > 0) {
     // Fully bound: at most one group — binary search instead of a scan.
-    static thread_local std::vector<uint32_t> key;
-    key.resize(n_pub);
-    for (const auto& [k, code] : bound) key[k] = code;
-    const Result<size_t> found = FindGroup(key);
+    scratch.key.resize(n_pub);
+    for (const auto& [k, code] : scratch.bound) scratch.key[k] = code;
+    const Result<size_t> found = FindGroup(scratch.key);
     if (found.ok()) out.push_back(uint32_t(*found));
     return;
   }
@@ -395,7 +403,7 @@ void FlatGroupIndex::MatchingGroupsInto(const Predicate& pred,
   for (size_t g = 0; g < num_groups_; ++g) {
     const uint32_t* gk = nk + g * n_pub;
     bool match = true;
-    for (const auto& [k, code] : bound) {
+    for (const auto& [k, code] : scratch.bound) {
       if (gk[k] != code) {
         match = false;
         break;
@@ -412,8 +420,26 @@ uint64_t FlatGroupIndex::CountAnswer(const Predicate& pred,
   return observed;
 }
 
+void FlatGroupIndex::CollectBound(const Predicate& pred,
+                                  AnswerScratch& scratch) const {
+  scratch.bound.clear();
+  const size_t n_pub = public_idx_.size();
+  for (size_t k = 0; k < n_pub; ++k) {
+    const size_t attr = public_idx_[k];
+    if (pred.is_bound(attr)) {
+      scratch.bound.emplace_back(uint32_t(k), pred.code(attr));
+    }
+  }
+}
+
 void FlatGroupIndex::AnswerInto(const Predicate& pred, uint32_t sa,
                                 uint64_t* observed,
+                                uint64_t* matched_size) const {
+  AnswerInto(pred, sa, SharedScratch(), observed, matched_size);
+}
+
+void FlatGroupIndex::AnswerInto(const Predicate& pred, uint32_t sa,
+                                AnswerScratch& scratch, uint64_t* observed,
                                 uint64_t* matched_size) const {
   RECPRIV_CHECK(pred.num_attributes() == schema_->num_attributes())
       << "predicate arity mismatch";
@@ -421,41 +447,55 @@ void FlatGroupIndex::AnswerInto(const Predicate& pred, uint32_t sa,
   *observed = 0;
   *matched_size = 0;
   const size_t n_pub = public_idx_.size();
-  static thread_local std::vector<std::pair<uint32_t, uint32_t>> bound;
-  bound.clear();
-  for (size_t k = 0; k < n_pub; ++k) {
-    const size_t attr = public_idx_[k];
-    if (pred.is_bound(attr)) bound.emplace_back(uint32_t(k), pred.code(attr));
-  }
-  if (bound.size() == n_pub && n_pub > 0) {
-    static thread_local std::vector<uint32_t> key;
-    key.resize(n_pub);
-    for (const auto& [k, code] : bound) key[k] = code;
-    const Result<size_t> found = FindGroup(key);
+  CollectBound(pred, scratch);
+  if (scratch.bound.size() == n_pub && n_pub > 0) {
+    scratch.key.resize(n_pub);
+    for (const auto& [k, code] : scratch.bound) scratch.key[k] = code;
+    const Result<size_t> found = FindGroup(scratch.key);
     if (found.ok()) {
       *observed = sa_count(*found, sa);
       *matched_size = group_size(*found);
     }
     return;
   }
-  const uint32_t* nk = na_codes_.data();
-  uint64_t obs = 0, size = 0;
-  for (size_t g = 0; g < num_groups_; ++g) {
-    const uint32_t* gk = nk + g * n_pub;
-    bool match = true;
-    for (const auto& [k, code] : bound) {
-      if (gk[k] != code) {
-        match = false;
+  // The scan body dispatches to the best SIMD level the host supports;
+  // every level is bit-identical to the scalar reference by construction
+  // (integer sums only — see table/simd/dispatch.h).
+  simd::FusedCountArgs fused;
+  fused.na_codes = na_codes_;
+  fused.sa_counts = sa_counts_;
+  fused.row_offsets = row_offsets_;
+  fused.num_groups = num_groups_;
+  fused.n_pub = n_pub;
+  fused.m = m_;
+  fused.sa = sa;
+  fused.bound = scratch.bound;
+  if (packed_) {
+    // Equivalent packed-key spelling of the same match: attribute k's
+    // code sits in its own bit field, so the bound compare collapses to
+    // one masked 64-bit equality per group over the contiguous sorted
+    // keys (the layout Build sorted by).
+    uint64_t mask = 0, want = 0;
+    bool fits = true;
+    for (const auto& [k, code] : scratch.bound) {
+      const uint32_t bits = key_bits_[k];
+      const uint64_t field =
+          bits >= 64 ? ~uint64_t(0) : (uint64_t(1) << bits) - 1;
+      if (uint64_t(code) > field) {
+        // The code overflows its field, so no group's key can carry it:
+        // the zero-initialized outputs are already the answer.
+        fits = false;
         break;
       }
+      mask |= field << key_shifts_[k];
+      want |= uint64_t(code) << key_shifts_[k];
     }
-    if (match) {
-      obs += sa_counts_[g * m_ + sa];
-      size += row_offsets_[g + 1] - row_offsets_[g];
-    }
+    if (!fits) return;
+    fused.packed_keys = packed_keys_;
+    fused.packed_mask = mask;
+    fused.packed_want = want;
   }
-  *observed = obs;
-  *matched_size = size;
+  simd::FusedCountSums(fused, observed, matched_size);
 }
 
 GroupPostingIndex::GroupPostingIndex(const FlatGroupIndex& index)
@@ -514,13 +554,17 @@ void GroupPostingIndex::MatchingGroupsInto(const Predicate& pred,
 
 uint64_t GroupPostingIndex::CountAnswer(const Predicate& pred,
                                         uint32_t sa) const {
-  // Per-thread scratch: pool generation makes millions of these calls, so
-  // a fresh match vector per call would dominate the intersection cost.
-  static thread_local std::vector<uint32_t> scratch;
-  static thread_local std::vector<uint32_t> matches;
-  MatchingGroupsInto(pred, scratch, matches);
+  return CountAnswer(pred, sa, SharedScratch());
+}
+
+uint64_t GroupPostingIndex::CountAnswer(const Predicate& pred, uint32_t sa,
+                                        AnswerScratch& scratch) const {
+  // Pool generation makes millions of these calls; the threaded scratch
+  // keeps them allocation-free after warmup without a per-kernel
+  // thread_local.
+  MatchingGroupsInto(pred, scratch.intersect, scratch.groups);
   uint64_t ans = 0;
-  for (const uint32_t gi : matches) ans += index_->sa_count(gi, sa);
+  for (const uint32_t gi : scratch.groups) ans += index_->sa_count(gi, sa);
   return ans;
 }
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -37,6 +38,33 @@
 #include "table/table.h"
 
 namespace recpriv::table {
+
+/// Reusable per-call scratch for the count-answer kernels. Previously each
+/// kernel kept its own `static thread_local` vectors, which were duplicated
+/// per kernel and never shrank; callers on a hot path now own one of these
+/// and thread it through, so every kernel (scalar and SIMD) shares one
+/// audited scratch path and the owner controls the memory's lifetime.
+/// Cold callers may use the zero-argument kernel overloads, which route
+/// through a single shared thread-local instance.
+struct AnswerScratch {
+  /// Bound (key column, code) pairs of the current predicate.
+  std::vector<std::pair<uint32_t, uint32_t>> bound;
+  /// NA-key probe buffer for the fully-bound binary-search fast path.
+  std::vector<uint32_t> key;
+  /// Matching group ids (GroupPostingIndex::CountAnswer).
+  std::vector<uint32_t> groups;
+  /// Ping-pong space for posting-list intersection.
+  std::vector<uint32_t> intersect;
+
+  /// Returns all capacity to the allocator — for owners that batch bursts
+  /// of large queries and then go idle.
+  void Release() {
+    bound = {};
+    key = {};
+    groups = {};
+    intersect = {};
+  }
+};
 
 /// Sort-based columnar index of all personal groups of a table.
 ///
@@ -141,7 +169,10 @@ class FlatGroupIndex {
   /// Batched entry point: fills `out` with the matching group ids, clearing
   /// it first. A fully-bound predicate short-circuits to a key binary
   /// search; otherwise one cache-linear scan of the NA-key column.
+  /// The scratch-less overload uses the shared thread-local scratch.
   void MatchingGroupsInto(const Predicate& pred,
+                          std::vector<uint32_t>& out) const;
+  void MatchingGroupsInto(const Predicate& pred, AnswerScratch& scratch,
                           std::vector<uint32_t>& out) const;
 
   /// Group with exactly this NA key (public-index order), or NotFound.
@@ -154,15 +185,25 @@ class FlatGroupIndex {
 
   /// Fused count-query kernel: one scan accumulating both the observed
   /// count O* = sum sa_counts[sa] and the matched size |S*| over the
-  /// groups matching `pred`. The serving engine's uncached path.
+  /// groups matching `pred`. The serving engine's uncached path. The scan
+  /// body is dispatched to the best SIMD kernel the host supports (see
+  /// table/simd/dispatch.h); every level is bit-identical by construction
+  /// (integer sums only). The scratch-less overload uses the shared
+  /// thread-local scratch.
   void AnswerInto(const Predicate& pred, uint32_t sa, uint64_t* observed,
                   uint64_t* matched_size) const;
+  void AnswerInto(const Predicate& pred, uint32_t sa, AnswerScratch& scratch,
+                  uint64_t* observed, uint64_t* matched_size) const;
 
   const SchemaPtr& schema() const { return schema_; }
   /// Attribute indices (schema order) of the public attributes.
   const std::vector<size_t>& public_indices() const { return public_idx_; }
 
  private:
+  /// Fills `scratch.bound` with the predicate's bound (key column, code)
+  /// pairs, collected once per call so the scan does not re-probe the
+  /// predicate per group.
+  void CollectBound(const Predicate& pred, AnswerScratch& scratch) const;
   /// Packs `na` into a 64-bit key; false when a code overflows its
   /// attribute's bit field (no group can carry it).
   bool PackKey(std::span<const uint32_t> na, uint64_t* key) const;
@@ -224,8 +265,11 @@ class GroupPostingIndex {
                           std::vector<uint32_t>& out) const;
 
   /// Sum of sa_counts[sa] over matching groups (a count-query answer).
-  /// Reuses per-thread scratch — no allocation after warmup.
+  /// The scratch-threaded overload allocates nothing after warmup; the
+  /// scratch-less one reuses the shared thread-local scratch.
   uint64_t CountAnswer(const Predicate& pred, uint32_t sa) const;
+  uint64_t CountAnswer(const Predicate& pred, uint32_t sa,
+                       AnswerScratch& scratch) const;
 
  private:
   const FlatGroupIndex* index_;

@@ -1,0 +1,200 @@
+// AVX2 level of the fused count kernel: 8 groups per iteration, windowed
+// match-then-accumulate.
+//
+// Matching takes the packed 64-bit key stream when the caller provides
+// one ((key & mask) == want over two contiguous 256-bit loads per 8-group
+// block — no gathers, and far less key traffic than the row-major
+// na_codes matrix). Without packed keys, per 8-group block each bound
+// (key column, code) pair gathers the 8 groups' codes on that column
+// (stride n_pub) and compares against the broadcast code; the per-pair
+// equality masks AND together into one 8-lane match mask, with an
+// all-lanes-dead early exit so selective predicates cost one gather per
+// block.
+//
+// Accumulation is deliberately NOT fused into the match block. The sums
+//
+//   observed     += sa_counts[g*m + sa]
+//   matched_size += row_offsets[g+1] - row_offsets[g]
+//
+// read the histogram matrix at stride m*8 bytes on an irregular (matched-
+// only) subset — on any release whose matrix has left L2, that is one
+// full memory latency per matched group, and it dominates the query. So
+// the kernel runs in windows: it first sweeps a window of groups
+// collecting matched ids and issuing a prefetch for each id's histogram
+// line the moment its match bit is known, then walks the collected ids
+// accumulating from lines whose fetches have had the rest of the window's
+// match work to complete behind. The miss cost overlaps across the whole
+// window instead of serializing block by block (the old masked-gather
+// form measured *slower* than scalar at CENSUS-300k scale for exactly
+// that reason).
+//
+// Sums are unsigned-integer adds in ascending group order, so the result
+// is bit-identical to the scalar reference regardless of this schedule; a
+// scalar tail handles num_groups % 8.
+//
+// The function carries target("avx2") instead of the whole file being
+// compiled with -mavx2: the compiler may only use AVX2 inside this one
+// function, which is reached strictly behind the HostSupportsAvx2() check
+// in dispatch.cc.
+
+#include "table/simd/dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+namespace recpriv::table::simd {
+
+__attribute__((target("avx2"))) void FusedCountSumsAvx2(
+    const FusedCountArgs& args, uint64_t* observed, uint64_t* matched_size) {
+  const size_t n_pub = args.n_pub;
+  const size_t m = args.m;
+  // The 32-bit NA-code gather indexes up to (num_groups-1)*n_pub + k; an
+  // index column that large cannot happen for any real release (it means
+  // >2^31 NA codes, an 8 GiB column), but degrade to scalar rather than
+  // trust the impossible.
+  if (args.num_groups * n_pub >
+      size_t(std::numeric_limits<int32_t>::max())) {
+    FusedCountSumsScalar(args, observed, matched_size);
+    return;
+  }
+  const uint32_t* nk = args.na_codes.data();
+  const uint64_t* counts = args.sa_counts.data();
+  const uint64_t* offsets = args.row_offsets.data();
+  const size_t sa = size_t(args.sa);
+
+  // Matched group ids of the current window. Sized so the id buffer stays
+  // a few pages of stack while giving each prefetch thousands of cycles
+  // of match work to complete behind.
+  constexpr size_t kWindowGroups = 2048;
+  uint32_t matched[kWindowGroups];
+
+  // Lane l of a block handles group g+l; its NA-code row starts at
+  // (g+l)*n_pub, so the per-lane index offsets are l*n_pub.
+  const __m256i lane_row = _mm256_mullo_epi32(
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+      _mm256_set1_epi32(int32_t(n_pub)));
+
+  uint64_t obs = 0;
+  uint64_t size = 0;
+  size_t g = 0;
+  const size_t vec_end = args.num_groups & ~size_t(7);
+  if (!args.packed_keys.empty()) {
+    // Packed-key match: one contiguous 64-bit stream, (key & mask) ==
+    // want, 8 groups per two 256-bit loads — no gathers at all, and 2.5x
+    // less key traffic than the row-major na_codes matrix on a 5-column
+    // schema.
+    const uint64_t* pk = args.packed_keys.data();
+    const __m256i vmask = _mm256_set1_epi64x(int64_t(args.packed_mask));
+    const __m256i vwant = _mm256_set1_epi64x(int64_t(args.packed_want));
+    while (g < vec_end) {
+      const size_t window_end = std::min(vec_end, g + kWindowGroups);
+      size_t n = 0;
+      for (; g < window_end; g += 8) {
+        const __m256i k0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pk + g));
+        const __m256i k1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pk + g + 4));
+        const __m256i m0 =
+            _mm256_cmpeq_epi64(_mm256_and_si256(k0, vmask), vwant);
+        const __m256i m1 =
+            _mm256_cmpeq_epi64(_mm256_and_si256(k1, vmask), vwant);
+        uint32_t lanes =
+            uint32_t(_mm256_movemask_pd(_mm256_castsi256_pd(m0))) |
+            (uint32_t(_mm256_movemask_pd(_mm256_castsi256_pd(m1))) << 4);
+        while (lanes != 0) {
+          const uint32_t l = uint32_t(__builtin_ctz(lanes));
+          lanes &= lanes - 1;
+          const uint32_t id = uint32_t(g) + l;
+          matched[n++] = id;
+          _mm_prefetch(
+              reinterpret_cast<const char*>(counts + size_t(id) * m + sa),
+              _MM_HINT_T0);
+          _mm_prefetch(reinterpret_cast<const char*>(offsets + id),
+                       _MM_HINT_T0);
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const size_t id = matched[i];
+        obs += counts[id * m + sa];
+        size += offsets[id + 1] - offsets[id];
+      }
+    }
+  } else
+  while (g < vec_end) {
+    const size_t window_end = std::min(vec_end, g + kWindowGroups);
+    size_t n = 0;
+    for (; g < window_end; g += 8) {
+      __m256i match = _mm256_set1_epi32(-1);
+      const __m256i row0 = _mm256_add_epi32(
+          lane_row, _mm256_set1_epi32(int32_t(g * n_pub)));
+      for (const auto& [k, code] : args.bound) {
+        const __m256i idx = _mm256_add_epi32(row0,
+                                             _mm256_set1_epi32(int32_t(k)));
+        const __m256i codes = _mm256_i32gather_epi32(
+            reinterpret_cast<const int*>(nk), idx, 4);
+        match = _mm256_and_si256(
+            match,
+            _mm256_cmpeq_epi32(codes, _mm256_set1_epi32(int32_t(code))));
+        if (_mm256_testz_si256(match, match)) break;
+      }
+      if (_mm256_testz_si256(match, match)) continue;
+      uint32_t lanes =
+          uint32_t(_mm256_movemask_ps(_mm256_castsi256_ps(match)));
+      while (lanes != 0) {
+        const uint32_t l = uint32_t(__builtin_ctz(lanes));
+        lanes &= lanes - 1;
+        const uint32_t id = uint32_t(g) + l;
+        matched[n++] = id;
+        _mm_prefetch(
+            reinterpret_cast<const char*>(counts + size_t(id) * m + sa),
+            _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char*>(offsets + id),
+                     _MM_HINT_T0);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t id = matched[i];
+      obs += counts[id * m + sa];
+      size += offsets[id + 1] - offsets[id];
+    }
+  }
+
+  // Scalar tail: the last num_groups % 8 groups.
+  for (; g < args.num_groups; ++g) {
+    const uint32_t* gk = nk + g * n_pub;
+    bool group_matches = true;
+    for (const auto& [k, code] : args.bound) {
+      if (gk[k] != code) {
+        group_matches = false;
+        break;
+      }
+    }
+    if (group_matches) {
+      obs += counts[g * m + sa];
+      size += offsets[g + 1] - offsets[g];
+    }
+  }
+  *observed = obs;
+  *matched_size = size;
+}
+
+}  // namespace recpriv::table::simd
+
+#else  // non-x86: the symbol must exist for dispatch.cc, but it is never
+       // selected (HostSupportsAvx2() is false), so scalar semantics are
+       // both safe and correct.
+
+namespace recpriv::table::simd {
+
+void FusedCountSumsAvx2(const FusedCountArgs& args, uint64_t* observed,
+                        uint64_t* matched_size) {
+  FusedCountSumsScalar(args, observed, matched_size);
+}
+
+}  // namespace recpriv::table::simd
+
+#endif

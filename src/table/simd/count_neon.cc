@@ -1,0 +1,16 @@
+// NEON level of the fused count kernel — currently a stub that forwards to
+// the scalar reference. The dispatch plumbing, level negotiation, and the
+// differential test all treat kNeon as a first-class level already, so
+// landing real aarch64 intrinsics later is a one-file change with the
+// bit-identity contract pre-enforced.
+
+#include "table/simd/dispatch.h"
+
+namespace recpriv::table::simd {
+
+void FusedCountSumsNeon(const FusedCountArgs& args, uint64_t* observed,
+                        uint64_t* matched_size) {
+  FusedCountSumsScalar(args, observed, matched_size);
+}
+
+}  // namespace recpriv::table::simd

@@ -1,0 +1,33 @@
+// Portable reference implementation of the fused count kernel. This is the
+// semantics contract: every SIMD level must produce bit-identical
+// (observed, matched_size) for the same FusedCountArgs.
+
+#include "table/simd/dispatch.h"
+
+namespace recpriv::table::simd {
+
+void FusedCountSumsScalar(const FusedCountArgs& args, uint64_t* observed,
+                          uint64_t* matched_size) {
+  const uint32_t* nk = args.na_codes.data();
+  const uint64_t* counts = args.sa_counts.data();
+  const uint64_t* offsets = args.row_offsets.data();
+  uint64_t obs = 0, size = 0;
+  for (size_t g = 0; g < args.num_groups; ++g) {
+    const uint32_t* gk = nk + g * args.n_pub;
+    bool match = true;
+    for (const auto& [k, code] : args.bound) {
+      if (gk[k] != code) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      obs += counts[g * args.m + args.sa];
+      size += offsets[g + 1] - offsets[g];
+    }
+  }
+  *observed = obs;
+  *matched_size = size;
+}
+
+}  // namespace recpriv::table::simd

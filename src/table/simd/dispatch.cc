@@ -1,0 +1,111 @@
+#include "table/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace recpriv::table::simd {
+
+namespace {
+
+/// The override set via SetDispatchLevel; kAuto means "resolve from host".
+std::atomic<DispatchLevel> g_requested{DispatchLevel::kAuto};
+/// One-time warning latch for an unparseable RECPRIV_SIMD value.
+std::atomic<bool> g_env_warned{false};
+
+bool HostSupportsNeon() {
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// kAuto -> the best level the host supports; RECPRIV_SIMD, when set,
+/// replaces kAuto as the request (so a programmatic SetDispatchLevel still
+/// wins over the environment).
+DispatchLevel ResolveAuto() {
+  if (const char* env = std::getenv("RECPRIV_SIMD")) {
+    const Result<DispatchLevel> parsed = ParseDispatchLevel(env);
+    if (parsed.ok()) {
+      if (*parsed != DispatchLevel::kAuto) return *parsed;
+    } else if (!g_env_warned.exchange(true)) {
+      RECPRIV_LOG(Warning) << "ignoring RECPRIV_SIMD='" << env
+                           << "': " << parsed.status().message();
+    }
+  }
+  if (HostSupportsAvx2()) return DispatchLevel::kAvx2;
+  if (HostSupportsNeon()) return DispatchLevel::kNeon;
+  return DispatchLevel::kScalar;
+}
+
+/// Degrades a requested level to one the host can actually execute.
+DispatchLevel Executable(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kAvx2:
+      return HostSupportsAvx2() ? level : DispatchLevel::kScalar;
+    case DispatchLevel::kNeon:
+      return HostSupportsNeon() ? level : DispatchLevel::kScalar;
+    default:
+      return DispatchLevel::kScalar;
+  }
+}
+
+}  // namespace
+
+const char* LevelName(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kAuto: return "auto";
+    case DispatchLevel::kScalar: return "scalar";
+    case DispatchLevel::kAvx2: return "avx2";
+    case DispatchLevel::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+Result<DispatchLevel> ParseDispatchLevel(std::string_view name) {
+  if (name == "auto") return DispatchLevel::kAuto;
+  if (name == "scalar") return DispatchLevel::kScalar;
+  if (name == "avx2") return DispatchLevel::kAvx2;
+  if (name == "neon") return DispatchLevel::kNeon;
+  return Status::InvalidArgument(
+      "unknown SIMD dispatch level '" + std::string(name) +
+      "' (expected auto, scalar, avx2, or neon)");
+}
+
+bool HostSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+DispatchLevel ActiveLevel() {
+  const DispatchLevel requested = g_requested.load(std::memory_order_relaxed);
+  return Executable(requested == DispatchLevel::kAuto ? ResolveAuto()
+                                                      : requested);
+}
+
+void SetDispatchLevel(DispatchLevel level) {
+  g_requested.store(level, std::memory_order_relaxed);
+}
+
+void FusedCountSums(const FusedCountArgs& args, uint64_t* observed,
+                    uint64_t* matched_size) {
+  switch (ActiveLevel()) {
+    case DispatchLevel::kAvx2:
+      FusedCountSumsAvx2(args, observed, matched_size);
+      return;
+    case DispatchLevel::kNeon:
+      FusedCountSumsNeon(args, observed, matched_size);
+      return;
+    default:
+      FusedCountSumsScalar(args, observed, matched_size);
+      return;
+  }
+}
+
+}  // namespace recpriv::table::simd

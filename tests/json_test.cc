@@ -116,6 +116,64 @@ TEST(JsonTest, RoundTripPretty) {
   EXPECT_EQ(back->ToString(), root.ToString());
 }
 
+TEST(JsonTest, ExactIntegersSurviveAboveTwoToThe53) {
+  // 2^53 + 1 is the first integer a double cannot represent; the exact-int
+  // sidecar must carry it (and everything up to UINT64_MAX) through
+  // build -> serialize -> parse -> accessor without rounding.
+  const uint64_t cases[] = {(1ull << 53) + 1, (1ull << 60) + 7,
+                            uint64_t(INT64_MAX), UINT64_MAX};
+  for (uint64_t u : cases) {
+    JsonValue v = JsonValue::Uint(u);
+    EXPECT_EQ(v.ToString(), std::to_string(u));
+    auto back = JsonValue::Parse(v.ToString());
+    ASSERT_TRUE(back.ok()) << u;
+    EXPECT_EQ(*back->AsUint64(), u);
+  }
+  JsonValue min = JsonValue::Int(INT64_MIN);
+  EXPECT_EQ(min.ToString(), "-9223372036854775808");
+  auto back = JsonValue::Parse(min.ToString());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back->AsInt(), INT64_MIN);
+  EXPECT_FALSE(back->AsUint64().ok());  // negative
+}
+
+TEST(JsonTest, AsUint64Rejections) {
+  EXPECT_FALSE(JsonValue::Number(1.5).AsUint64().ok());    // non-integral
+  EXPECT_FALSE(JsonValue::Number(-1.0).AsUint64().ok());   // negative
+  EXPECT_FALSE(JsonValue::Int(-1).AsUint64().ok());        // negative, exact
+  EXPECT_FALSE(JsonValue::String("7").AsUint64().ok());    // wrong type
+  // An integral double above 2^53 is not exact and must not be trusted.
+  EXPECT_FALSE(JsonValue::Number(1e18).AsUint64().ok());
+  EXPECT_FALSE((*JsonValue::Parse("1e18")).AsUint64().ok());
+  // But the same magnitude in pure integer syntax parses exactly.
+  EXPECT_EQ(*(*JsonValue::Parse("1000000000000000000")).AsUint64(),
+            1000000000000000000ull);
+  // Beyond uint64 range, integer syntax degrades to a double and is
+  // rejected by the exact accessor rather than silently rounded.
+  EXPECT_FALSE((*JsonValue::Parse("18446744073709551616")).AsUint64().ok());
+  EXPECT_EQ(*JsonValue::Uint(0).AsUint64(), 0u);  // zero is fine
+}
+
+TEST(JsonTest, AsIntExactBounds) {
+  EXPECT_EQ(*JsonValue::Int(INT64_MAX).AsInt(), INT64_MAX);
+  EXPECT_EQ(*JsonValue::Int(INT64_MIN).AsInt(), INT64_MIN);
+  EXPECT_FALSE(JsonValue::Uint(uint64_t(INT64_MAX) + 1).AsInt().ok());
+  EXPECT_FALSE((*JsonValue::Parse("9223372036854775808")).AsInt().ok());
+  EXPECT_EQ(*(*JsonValue::Parse("-9223372036854775808")).AsInt(), INT64_MIN);
+  // One past INT64_MIN overflows the exact path and degrades to a double;
+  // the unsigned exact accessor still rejects it for being negative.
+  EXPECT_FALSE((*JsonValue::Parse("-9223372036854775809")).AsUint64().ok());
+}
+
+TEST(JsonTest, ExactIntegerOutputMatchesLegacyFormatBelow2To53) {
+  // Golden transcripts pin wire bytes: exact-int nodes must print the same
+  // digits the old double path produced for every value below 2^53.
+  for (int64_t v : {int64_t(0), int64_t(1), int64_t(-1), int64_t(45222),
+                    int64_t(-1000000), (int64_t(1) << 53) - 1}) {
+    EXPECT_EQ(JsonValue::Int(v).ToString(), std::to_string(v));
+  }
+}
+
 TEST(JsonTest, DeterministicKeyOrder) {
   JsonValue a = JsonValue::Object();
   a.Set("z", JsonValue::Int(1));

@@ -352,6 +352,119 @@ TEST(LineChannelFaultTest, DelayedWriteTimesOutThenArrivesIntact) {
   writer.join();
 }
 
+// --- binary frames (negotiated sessions) ------------------------------------
+
+TEST(FrameTest, JsonFrameRoundTrips) {
+  ChannelPair pair = MakePair();
+  const std::string json = "{\"op\":\"list\",\"v\":2}";
+  ASSERT_TRUE(pair.client.WriteFrame(json, std::string_view(), 2000).ok());
+  auto read = pair.server.ReadFrame(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->event, ReadEvent::kLine);
+  EXPECT_EQ(read->type, kFrameJson);
+  EXPECT_EQ(read->payload, json);
+  EXPECT_TRUE(read->attachment.empty());
+}
+
+TEST(FrameTest, AttachmentFrameCarriesRawBytes) {
+  ChannelPair pair = MakePair();
+  const std::string json = "{\"data_bytes\":5,\"ok\":true}";
+  // Raw bytes that would be mangled by line framing: newlines, NULs, and
+  // high bytes — exactly what base64 existed to avoid.
+  const std::string bytes("\n\0\xff\x80=", 5);
+  ASSERT_TRUE(pair.server.WriteFrame(json, bytes, 2000).ok());
+  auto read = pair.client.ReadFrame(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->event, ReadEvent::kLine);
+  EXPECT_EQ(read->type, kFrameJsonWithBytes);
+  EXPECT_EQ(read->payload, json);
+  EXPECT_EQ(read->attachment, bytes);
+}
+
+TEST(FrameTest, FramesSurviveSplitAndCoalescedDelivery) {
+  ChannelPair pair = MakePair();
+  // Two frames sent as raw bytes: the first split into single-byte writes,
+  // the second glued onto the first's tail — the reader's buffer must
+  // reassemble both regardless of packetization.
+  const std::string f1 = LineChannel::EncodeFrame("{\"id\":1}", "abc");
+  const std::string f2 = LineChannel::EncodeFrame("{\"id\":2}", std::string_view());
+  std::thread writer([&] {
+    for (char c : f1) {
+      ASSERT_TRUE(pair.client.WriteRaw(&c, 1, 2000).ok());
+    }
+    ASSERT_TRUE(pair.client.WriteRaw(f2.data(), f2.size(), 2000).ok());
+  });
+  auto r1 = pair.server.ReadFrame(5000);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_EQ(r1->event, ReadEvent::kLine);
+  EXPECT_EQ(r1->payload, "{\"id\":1}");
+  EXPECT_EQ(r1->attachment, "abc");
+  auto r2 = pair.server.ReadFrame(5000);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  ASSERT_EQ(r2->event, ReadEvent::kLine);
+  EXPECT_EQ(r2->payload, "{\"id\":2}");
+  writer.join();
+}
+
+TEST(FrameTest, OversizedFrameIsDrainedAndSessionResyncs) {
+  LineChannelOptions options;
+  options.max_line_bytes = 64;
+  ChannelPair pair = MakePair(options);
+  ASSERT_TRUE(pair.client
+                  .WriteFrame(std::string(1000, 'x'), std::string_view(), 2000)
+                  .ok());
+  ASSERT_TRUE(
+      pair.client.WriteFrame("{\"after\":true}", std::string_view(), 2000).ok());
+  auto big = pair.server.ReadFrame(2000);
+  ASSERT_TRUE(big.ok()) << big.status();
+  EXPECT_EQ(big->event, ReadEvent::kOversized);
+  auto next = pair.server.ReadFrame(2000);
+  ASSERT_TRUE(next.ok()) << next.status();
+  ASSERT_EQ(next->event, ReadEvent::kLine);
+  EXPECT_EQ(next->payload, "{\"after\":true}");
+}
+
+TEST(FrameTest, MidFrameEofIsEofNotAPartialFrame) {
+  ChannelPair pair = MakePair();
+  const std::string frame = LineChannel::EncodeFrame("{\"id\":1}", "abcdef");
+  ASSERT_TRUE(pair.client.WriteRaw(frame.data(), frame.size() / 2, 2000).ok());
+  pair.client.Close();
+  auto read = pair.server.ReadFrame(2000);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->event, ReadEvent::kEof);
+}
+
+TEST(FrameTest, GarbledInteriorLengthIsAHardError) {
+  ChannelPair pair = MakePair();
+  // A type-2 frame whose interior json length points past the payload:
+  // the stream cannot be resynchronized, so this must be a Status, not a
+  // recoverable ReadEvent.
+  std::string frame = LineChannel::EncodeFrame("{}", "abc");
+  frame[kFrameHeaderBytes] = 0x7f;  // json_len low byte: 2 -> 127
+  ASSERT_TRUE(pair.client.WriteRaw(frame.data(), frame.size(), 2000).ok());
+  auto read = pair.server.ReadFrame(2000);
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(FrameTest, LineToFrameSwitchKeepsBufferedBytes) {
+  ChannelPair pair = MakePair();
+  // A hello line and the first binary frame arrive in ONE burst — the
+  // situation a pipelining client creates. The channel must hand over the
+  // buffered remainder when the reader switches framings mid-stream.
+  const std::string burst =
+      "{\"op\":\"hello\"}\n" + LineChannel::EncodeFrame("{\"op\":\"list\"}",
+                                                        std::string_view());
+  ASSERT_TRUE(pair.client.WriteRaw(burst.data(), burst.size(), 2000).ok());
+  auto line = pair.server.ReadLine(2000);
+  ASSERT_TRUE(line.ok()) << line.status();
+  ASSERT_EQ(line->event, ReadEvent::kLine);
+  EXPECT_EQ(line->line, "{\"op\":\"hello\"}");
+  auto frame = pair.server.ReadFrame(2000);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->event, ReadEvent::kLine);
+  EXPECT_EQ(frame->payload, "{\"op\":\"list\"}");
+}
+
 TEST(LineChannelTest, ManyLinesInOneBurst) {
   ChannelPair pair = MakePair();
   constexpr int kLines = 200;

@@ -657,5 +657,180 @@ TEST(ReplOracleTest, FollowerAnswersBitIdenticalOnBothBackends) {
   fs::remove_all(dir);
 }
 
+// --- binary frames (wire "hello" negotiation) -------------------------------
+
+TEST(BinaryFrameTest, TranscriptMatchesJsonSessionByteForByte) {
+  Primary p = Primary::Make();
+  client::InProcessClient admin(p.engine);
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(1)).ok());
+  // Warm the answer cache so both sessions' query responses report the
+  // same hit/miss counters regardless of which session asks first.
+  ASSERT_TRUE(admin.Query(DemoQueries("rel")).ok());
+
+  auto json_session =
+      client::TcpTransport::Connect("127.0.0.1", p.server->port());
+  ASSERT_TRUE(json_session.ok()) << json_session.status();
+  auto bin_session =
+      client::TcpTransport::Connect("127.0.0.1", p.server->port());
+  ASSERT_TRUE(bin_session.ok()) << bin_session.status();
+  auto hello = (*bin_session)
+                   ->RoundTrip(serve::wire::EncodeHelloRequest("binary", 1)
+                                   .ToString());
+  ASSERT_TRUE(hello.ok()) << hello.status();
+  EXPECT_NE(hello->find("\"frame\":\"binary\""), std::string::npos) << *hello;
+  ASSERT_TRUE((*bin_session)->SetBinaryFrame(true).ok());
+
+  // The golden-transcript contract: the same request bytes produce the
+  // same response bytes on a line-framed and a binary-framed session —
+  // success shapes, v1 shapes, structured errors, and MALFORMED alike
+  // (the "stats" op is excluded: its counters are session-dependent).
+  const std::vector<std::string> transcript = {
+      "{\"v\":2,\"id\":10,\"op\":\"list\"}",
+      "{\"v\":2,\"id\":11,\"op\":\"schema\",\"release\":\"rel\"}",
+      serve::wire::EncodeQueryRequest(DemoQueries("rel"), 12).ToString(),
+      "{\"v\":2,\"id\":13,\"op\":\"schema\",\"release\":\"nope\"}",
+      "{\"v\":2,\"id\":14,\"op\":\"frobnicate\"}",
+      "this is not json",
+      "{\"op\":\"list\"}",  // a v1-shaped request rides frames unchanged
+  };
+  for (const std::string& request : transcript) {
+    auto from_json = (*json_session)->RoundTrip(request);
+    auto from_binary = (*bin_session)->RoundTrip(request);
+    ASSERT_TRUE(from_json.ok()) << from_json.status();
+    ASSERT_TRUE(from_binary.ok()) << from_binary.status();
+    EXPECT_EQ(*from_json, *from_binary) << "request: " << request;
+  }
+}
+
+TEST(BinaryFrameTest, FetchSnapshotChunkRidesAsRawAttachment) {
+  Primary p = Primary::Make();
+  client::InProcessClient admin(p.engine);
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(1)).ok());
+  auto snap = p.store->Get("rel");
+  ASSERT_TRUE(snap.ok());
+  auto expect = store::SerializeSnapshot(**snap, "rel");
+  ASSERT_TRUE(expect.ok()) << expect.status();
+
+  // Fetch the image over a JSON session and over a binary session; the
+  // reassembled bytes must be identical, and the binary path must carry
+  // the chunk as a raw frame attachment ("data_bytes"), never base64.
+  auto fetch_image = [&](client::LineProtocolClient& client) {
+    std::vector<uint8_t> image;
+    uint64_t offset = 0;
+    for (;;) {
+      auto chunk = client.FetchSnapshotChunk("rel", 1, offset, 4096);
+      EXPECT_TRUE(chunk.ok()) << chunk.status();
+      if (!chunk.ok()) break;
+      image.insert(image.end(), chunk->data.begin(), chunk->data.end());
+      offset += chunk->data.size();
+      if (chunk->eof) break;
+    }
+    return image;
+  };
+
+  auto json_client = client::ConnectTcp("127.0.0.1", p.server->port());
+  ASSERT_TRUE(json_client.ok());
+  const std::vector<uint8_t> via_json = fetch_image(**json_client);
+  EXPECT_EQ(via_json, *expect);
+
+  auto bin_client = client::ConnectTcp("127.0.0.1", p.server->port());
+  ASSERT_TRUE(bin_client.ok());
+  auto negotiated = (*bin_client)->NegotiateBinaryFrame();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status();
+  EXPECT_TRUE(*negotiated);
+  const std::vector<uint8_t> via_binary = fetch_image(**bin_client);
+  EXPECT_EQ(via_binary, *expect);
+
+  // Peek under the client: the raw binary-framed response says
+  // "data_bytes" and carries a non-empty attachment.
+  auto raw = client::TcpTransport::Connect("127.0.0.1", p.server->port());
+  ASSERT_TRUE(raw.ok());
+  auto hello = (*raw)->RoundTrip(
+      serve::wire::EncodeHelloRequest("binary", 1).ToString());
+  ASSERT_TRUE(hello.ok()) << hello.status();
+  ASSERT_TRUE((*raw)->SetBinaryFrame(true).ok());
+  auto response = (*raw)->RoundTrip(
+      serve::wire::EncodeFetchSnapshotRequest("rel", 1, 0, 4096, 2)
+          .ToString());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->find("\"data_bytes\":"), std::string::npos) << *response;
+  EXPECT_EQ(response->find("\"data_b64\""), std::string::npos) << *response;
+  ASSERT_NE((*raw)->LastAttachment(), nullptr);
+  EXPECT_EQ((*raw)->LastAttachment()->size(),
+            std::min<size_t>(4096, expect->size()));
+}
+
+TEST(BinaryFrameTest, PushedEventsRideFrames) {
+  Primary p = Primary::Make();
+  client::InProcessClient admin(p.engine);
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(1)).ok());
+
+  auto client = client::ConnectTcp("127.0.0.1", p.server->port());
+  ASSERT_TRUE(client.ok());
+  auto negotiated = (*client)->NegotiateBinaryFrame();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status();
+  EXPECT_TRUE(*negotiated);
+  auto sub = (*client)->Subscribe();
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  ASSERT_EQ(sub->releases.size(), 1u);
+
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(2)).ok());
+  std::vector<EpochEvent> events;
+  for (int spin = 0; spin < 100 && events.empty(); ++spin) {
+    auto polled = (*client)->PollEvents(100);
+    ASSERT_TRUE(polled.ok()) << polled.status();
+    events.insert(events.end(), polled->begin(), polled->end());
+  }
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].kind, EpochEvent::Kind::kPublish);
+  EXPECT_EQ(events[0].release, "rel");
+  EXPECT_EQ(events[0].epoch, 2u);
+}
+
+TEST(BinaryFrameTest, LoopbackDegradesToJsonGracefully) {
+  Primary p = Primary::Make();
+  client::InProcessClient admin(p.engine);
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(1)).ok());
+  // A loopback transport cannot switch framings: negotiation reports a
+  // JSON session without touching the wire, and everything still works.
+  client::LineProtocolClient client(
+      std::make_unique<client::LoopbackTransport>(*p.engine));
+  auto negotiated = client.NegotiateBinaryFrame();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status();
+  EXPECT_FALSE(*negotiated);
+  EXPECT_TRUE(client.List().ok());
+}
+
+TEST(ReplicatorTest, MirrorsOverBinaryFrames) {
+  Primary p = Primary::Make();
+  client::InProcessClient admin(p.engine);
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(1)).ok());
+
+  const std::string dir = TempDir("binary_frames");
+  ReplicatorOptions repl_options;
+  repl_options.binary_frame = true;
+  Follower f = Follower::Make(dir, p.server->port(), repl_options);
+  ASSERT_TRUE(f.replicator->WaitForConnected(5000));
+  ASSERT_TRUE(f.replicator->WaitForEpoch("rel", 1, 5000));
+
+  // Live publish arrives as a framed push and fetches as raw attachments;
+  // the installed file still hashes to the primary's advertisement.
+  ASSERT_TRUE(admin.PublishBundle("rel", DemoBundle(2)).ok());
+  ASSERT_TRUE(f.replicator->WaitForEpoch("rel", 2, 5000));
+  auto path = f.store->ManagedSnapshotPath("rel", 2);
+  ASSERT_TRUE(path.ok());
+  auto file_digest = FileDigest(*path);
+  ASSERT_TRUE(file_digest.ok());
+  auto primary_snap = p.store->Get("rel", 2);
+  ASSERT_TRUE(primary_snap.ok());
+  auto packed = p.provider->Pack("rel", *primary_snap);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(*file_digest, packed->digest);
+  EXPECT_EQ(f.replicator->Stats().digest_mismatches, 0u);
+
+  f.replicator->Stop();
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace recpriv::repl

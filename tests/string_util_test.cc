@@ -65,5 +65,94 @@ TEST(FormatTest, DoubleSignificantDigits) {
   EXPECT_EQ(FormatDouble(1234.5678, 6), "1234.57");
 }
 
+// --- base64 ----------------------------------------------------------------
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) out.push_back(uint8_t(v));
+  return out;
+}
+
+TEST(Base64Test, RoundTripsAllBoundaryLengths) {
+  // Every input length 0..9 covers each padding shape (0, 1, 2 '=') on
+  // both sides of the decoder's fast-path/tail split (the tail is the last
+  // 4-char group; inputs past 3 bytes exercise the fast path too).
+  std::vector<uint8_t> data;
+  for (size_t n = 0; n <= 9; ++n) {
+    const std::string encoded = Base64Encode(data.data(), data.size());
+    EXPECT_EQ(encoded.size(), ((n + 2) / 3) * 4) << "n=" << n;
+    auto decoded = Base64Decode(encoded);
+    ASSERT_TRUE(decoded.ok()) << "n=" << n << ": " << decoded.status();
+    EXPECT_EQ(*decoded, data) << "n=" << n;
+    data.push_back(uint8_t(0xA0 + n));
+  }
+}
+
+TEST(Base64Test, KnownVectors) {
+  EXPECT_EQ(Base64Encode(nullptr, 0), "");
+  const std::string s = "Man";
+  EXPECT_EQ(Base64Encode(reinterpret_cast<const uint8_t*>(s.data()), 3),
+            "TWFu");
+  EXPECT_EQ(*Base64Decode("TWFu"), Bytes({'M', 'a', 'n'}));
+  EXPECT_EQ(*Base64Decode("TWE="), Bytes({'M', 'a'}));
+  EXPECT_EQ(*Base64Decode("TQ=="), Bytes({'M'}));
+  EXPECT_EQ(*Base64Decode(""), Bytes({}));
+}
+
+TEST(Base64Test, RejectsMidStreamPaddingWithExactOffset) {
+  // '=' decodes to value 64; a non-final group must reject it, never pass
+  // it through as data. Each case names the exact offset of the bad byte.
+  const struct {
+    const char* input;
+    size_t offset;
+  } cases[] = {
+      {"A=AAAAAA", 1},  // fast-path group, slot 1
+      {"AA=AAAAA", 2},  // fast-path group, slot 2
+      {"AAA=AAAA", 3},  // fast-path group, slot 3
+      {"====AAAA", 0},  // whole fast-path group is padding
+      {"AAAAA=AAAAAA", 5},  // second fast-path group
+      {"=AAA", 0},     // tail group, slot 0 (never legal)
+      {"A=AA", 1},     // tail group, slot 1 (never legal)
+  };
+  for (const auto& c : cases) {
+    const auto result = Base64Decode(c.input);
+    ASSERT_FALSE(result.ok()) << c.input;
+    EXPECT_EQ(result.status().message(),
+              "base64: misplaced padding at offset " +
+                  std::to_string(c.offset))
+        << c.input;
+  }
+}
+
+TEST(Base64Test, RejectsDataAfterPaddingWithExactOffset) {
+  const auto result = Base64Decode("AAAAAA=A");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "base64: data after padding at offset 7");
+}
+
+TEST(Base64Test, RejectsInvalidCharactersWithExactOffset) {
+  const struct {
+    const char* input;
+    size_t offset;
+  } cases[] = {
+      {"AA!A", 2},       // tail group
+      {"AAAA*AAA", 4},   // fast-path group
+      {"AAAA\nAAA", 4},  // whitespace is not tolerated either
+  };
+  for (const auto& c : cases) {
+    const auto result = Base64Decode(c.input);
+    ASSERT_FALSE(result.ok()) << c.input;
+    EXPECT_EQ(result.status().message(),
+              "base64: invalid character at offset " + std::to_string(c.offset))
+        << c.input;
+  }
+}
+
+TEST(Base64Test, RejectsBadLength) {
+  for (const char* input : {"A", "AB", "ABC", "AAAAA"}) {
+    EXPECT_FALSE(Base64Decode(input).ok()) << input;
+  }
+}
+
 }  // namespace
 }  // namespace recpriv

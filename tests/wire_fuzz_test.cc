@@ -60,6 +60,17 @@ std::vector<std::string> ValidCorpus() {
       R"({"op":"query","release":"demo","queries":[{"where":{"Disease":"flu"},"sa":"flu"}]})",
       R"({"v":2,"op":"query","release":"demo","epoch":999,"queries":[{"sa":"flu"}]})",
       R"({"v":2,"op":"query","release":"ghost","queries":[{"sa":"flu"}]})",
+      // integer-exactness territory: ids and integral fields above 2^53,
+      // where a double-typed decode silently rounds. The contract checker
+      // compares the echoed id byte-for-byte, so these fail loudly if the
+      // codec regresses to doubles.
+      R"({"v":2,"id":9007199254740993,"op":"list"})",
+      R"({"v":2,"id":18446744073709551615,"op":"stats"})",
+      R"({"v":2,"id":20,"op":"schema","release":"demo","epoch":9007199254740993})",
+      R"({"v":2,"id":21,"op":"schema","release":"demo","epoch":18446744073709551615})",
+      R"({"v":2,"id":22,"op":"schema","release":"demo","epoch":1e18})",
+      R"({"v":2,"id":23,"op":"schema","release":"demo","epoch":-1})",
+      R"({"v":2,"id":24,"op":"schema","release":"demo","epoch":18446744073709551616})",
   };
 }
 
@@ -270,6 +281,35 @@ TEST_F(WireFuzzTest, DoublyMutatedLinesNeverBreakTheContract) {
     Feed(MutateLine(MutateLine(base, rng), rng));
     if (HasFatalFailure()) return;
   }
+}
+
+TEST_F(WireFuzzTest, IntegralWireFieldsAreExactAboveTwoToThe53) {
+  // A schema request pinned to an epoch above 2^53 must come back as a
+  // STALE_EPOCH-class error naming a different epoch — never succeed
+  // because the requested epoch rounded down to the published one, and
+  // never crash. 9007199254740993 (2^53 + 1) rounds to 2^53 in a double.
+  const std::string line =
+      R"({"v":2,"id":1,"op":"schema","release":"demo","epoch":9007199254740993})";
+  auto response = JsonValue::Parse(HandleRequestLine(line, *engine_));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(*(*response->Get("ok"))->AsBool());
+
+  // Non-exact syntax for the same magnitude (1e18, an integral double) is
+  // rejected outright: the codec refuses to guess which integer was meant.
+  const std::string sloppy =
+      R"({"v":2,"id":2,"op":"schema","release":"demo","epoch":1e18})";
+  response = JsonValue::Parse(HandleRequestLine(sloppy, *engine_));
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(*(*response->Get("ok"))->AsBool());
+  auto code = (*(*response->Get("error"))->Get("code"))->AsString();
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, "INVALID_REQUEST");
+
+  // The id survives byte-for-byte even at UINT64_MAX.
+  const std::string huge_id = R"({"v":2,"id":18446744073709551615,"op":"list"})";
+  response = JsonValue::Parse(HandleRequestLine(huge_id, *engine_));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ((*response->Get("id"))->ToString(), "18446744073709551615");
 }
 
 TEST_F(WireFuzzTest, EmptyAndWhitespaceLines) {
