@@ -1,0 +1,288 @@
+// Incremental-republish bench: delta-merge republish (StreamingPublisher::
+// PublishIncremental — side index over the delta, SPS re-run on touched
+// groups only, two-level run merge) vs the full rebuild it replaces
+// (record-level SPS over the whole buffer + radix-sort index Build).
+//
+// Dataset: synthesized CENSUS at 300,000 records with a 1% insert delta —
+// the regime the incremental path exists for: a large stable base touched
+// by a small batch of fresh rows. Both arms start from the same published
+// base and produce a query-ready (table, index) for the next epoch.
+//
+// Correctness is asserted, not assumed: the merge-built index must be
+// bit-identical (array by array) to a full radix-sort Build over the same
+// canonical table, and the merge_index=false reference arm — same inserts,
+// same RNG seed — must produce the identical table AND index. A faster
+// republish that changed one answer would be a bug, not a win.
+//
+// Results go to stdout and to --out (default BENCH_incremental_republish.json):
+//
+//   {
+//     "schema": "bench_incremental_republish/v1",
+//     "quick": false,
+//     "dataset": {"rows": R, "delta_rows": D, "groups": G,
+//                 "groups_touched": T, "groups_carried": C},
+//     "benchmarks": {
+//       "republish/incremental": {"ms": M, "iters": I},
+//       "republish/full":        {"ms": M, "iters": I}
+//     },
+//     "speedup": full_ms / incremental_ms,
+//     "identical": true
+//   }
+//
+// Exits non-zero unless the incremental republish is >=5x faster than the
+// full rebuild at the >=100k-row scale (the gate CI pins); --quick shrinks
+// the dataset for smoke runs (gate skipped, identity still asserted).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/sps.h"
+#include "core/streaming.h"
+#include "datagen/census.h"
+#include "exp/reporting.h"
+#include "table/flat_group_index.h"
+#include "testing_util.h"
+
+namespace {
+
+using namespace recpriv;  // NOLINT
+
+using recpriv::core::IncrementalPublishResult;
+using recpriv::core::StreamingPublisher;
+using recpriv::table::FlatGroupIndex;
+using recpriv::table::Table;
+
+template <typename A, typename B>
+bool SpanEqual(A a, B b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool SameStorage(const FlatGroupIndex& a, const FlatGroupIndex& b) {
+  const auto sa = a.storage();
+  const auto sb = b.storage();
+  return sa.packed == sb.packed && sa.num_groups == sb.num_groups &&
+         sa.num_records == sb.num_records &&
+         SpanEqual(sa.packed_keys, sb.packed_keys) &&
+         SpanEqual(sa.na_codes, sb.na_codes) &&
+         SpanEqual(sa.sa_counts, sb.sa_counts) &&
+         SpanEqual(sa.row_offsets, sb.row_offsets) &&
+         SpanEqual(sa.row_values, sb.row_values);
+}
+
+bool SameTable(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (!SpanEqual(a.column(c), b.column(c))) return false;
+  }
+  return true;
+}
+
+/// A publisher holding `base` published (one incremental publish behind it)
+/// and `delta` inserted but pending — the state each timed republish starts
+/// from. Draws its setup SPS stream from `seed`.
+Result<StreamingPublisher> PreparePublisher(const Table& data, size_t base,
+                                            size_t delta,
+                                            const core::PrivacyParams& params,
+                                            uint64_t seed) {
+  RECPRIV_ASSIGN_OR_RETURN(StreamingPublisher publisher,
+                           StreamingPublisher::Make(data.schema(), params));
+  std::vector<uint32_t> row(data.num_columns());
+  auto insert = [&](size_t r) -> Status {
+    for (size_t c = 0; c < data.num_columns(); ++c) row[c] = data.at(r, c);
+    return publisher.Insert(row);
+  };
+  for (size_t r = 0; r < base; ++r) {
+    RECPRIV_RETURN_NOT_OK(insert(r));
+  }
+  Rng rng(seed);
+  RECPRIV_RETURN_NOT_OK(
+      publisher.PublishIncremental(rng, /*merge_index=*/true).status());
+  for (size_t r = base; r < base + delta; ++r) {
+    RECPRIV_RETURN_NOT_OK(insert(r));
+  }
+  return publisher;
+}
+
+int Run(int argc, char** argv) {
+  auto flags = FlagSet::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  const bool quick = *flags->GetBool("quick", false);
+  const std::string out_path =
+      flags->GetString("out", "BENCH_incremental_republish.json");
+  const size_t rows = quick ? 20000 : 300000;
+  const size_t delta_rows = rows / 100;  // the 1% insert batch
+  const size_t iters_inc = quick ? 1 : 3;
+  const size_t iters_full = quick ? 1 : 2;
+
+  exp::PrintBanner(std::cout,
+                   "Incremental republish: delta merge vs full SPS rebuild",
+                   quick ? "quick smoke size (gate skipped)"
+                         : "CENSUS 300k base + 1% delta");
+
+  // --- one CENSUS draw covers base and delta (same schema, same dicts) -----
+  const uint64_t seed = recpriv::testing::HarnessSeed(20150315);
+  Rng data_rng(seed);
+  auto data =
+      datagen::GenerateCensus({.num_records = rows + delta_rows}, data_rng);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  core::PrivacyParams params;
+  params.lambda = 0.3;
+  params.delta = 0.3;
+  params.retention_p = 0.5;
+  params.domain_m = data->schema()->sa_domain_size();
+
+  // --- timed arm 1: incremental republish (merge path) ---------------------
+  // Each iteration consumes its pending delta, so every iteration gets its
+  // own prepared publisher; setup (inserts + base publish) is untimed, and
+  // iteration 0 is a discarded warmup (page cache, allocator).
+  double inc_ms_total = 0.0;
+  Result<IncrementalPublishResult> merged = Status::Internal("never ran");
+  for (size_t i = 0; i < iters_inc + 1; ++i) {
+    auto publisher =
+        PreparePublisher(*data, rows, delta_rows, params, seed + 1);
+    if (!publisher.ok()) {
+      std::cerr << publisher.status() << "\n";
+      return 1;
+    }
+    Rng rng(seed + 2);
+    WallTimer timer;
+    merged = publisher->PublishIncremental(rng, /*merge_index=*/true);
+    if (i > 0) inc_ms_total += timer.Millis();
+    if (!merged.ok()) {
+      std::cerr << merged.status() << "\n";
+      return 1;
+    }
+  }
+  const double inc_ms = inc_ms_total / double(iters_inc);
+
+  // --- timed arm 2: the full rebuild it replaces ---------------------------
+  // Record-level SPS over the whole base+delta buffer, then a radix-sort
+  // index build — the cost Publish()+Build pays at every republish.
+  auto full_publisher =
+      PreparePublisher(*data, rows, delta_rows, params, seed + 1);
+  if (!full_publisher.ok()) {
+    std::cerr << full_publisher.status() << "\n";
+    return 1;
+  }
+  double full_ms_total = 0.0;
+  for (size_t i = 0; i < iters_full; ++i) {
+    Rng rng(seed + 3);
+    WallTimer timer;
+    auto sps = full_publisher->Publish(rng);
+    if (!sps.ok()) {
+      std::cerr << sps.status() << "\n";
+      return 1;
+    }
+    FlatGroupIndex index = FlatGroupIndex::Build(sps->table);
+    full_ms_total += timer.Millis();
+    if (index.num_records() != merged->index.num_records()) {
+      std::cerr << "full rebuild released a different record count\n";
+      return 1;
+    }
+  }
+  const double full_ms = full_ms_total / double(iters_full);
+
+  // --- bit-identity: merge path vs reference builds ------------------------
+  // (a) the merged index vs a full Build over the same canonical table;
+  // (b) the merge_index=false arm (same inserts, same seeds) — table and
+  //     index both — so the flag provably selects only the algorithm.
+  bool identical = SameStorage(merged->index,
+                               FlatGroupIndex::Build(merged->table));
+  {
+    auto reference =
+        PreparePublisher(*data, rows, delta_rows, params, seed + 1);
+    if (!reference.ok()) {
+      std::cerr << reference.status() << "\n";
+      return 1;
+    }
+    Rng rng(seed + 2);
+    auto rebuilt = reference->PublishIncremental(rng, /*merge_index=*/false);
+    if (!rebuilt.ok()) {
+      std::cerr << rebuilt.status() << "\n";
+      return 1;
+    }
+    identical = identical && SameTable(merged->table, rebuilt->table) &&
+                SameStorage(merged->index, rebuilt->index);
+  }
+
+  const double speedup = full_ms / std::max(inc_ms, 1e-9);
+  std::cout << "\ncensus: " << FormatWithCommas(int64_t(rows)) << " base + "
+            << FormatWithCommas(int64_t(delta_rows)) << " delta rows, "
+            << FormatWithCommas(int64_t(merged->index.num_groups()))
+            << " groups (" << merged->stats.groups_touched << " touched, "
+            << merged->stats.groups_carried << " carried forward)\n\n";
+  exp::AsciiTable table({"republish path", "ms", "iters"});
+  table.AddRow({"incremental (delta merge)", FormatDouble(inc_ms, 4),
+                std::to_string(iters_inc)});
+  table.AddRow({"full SPS rebuild", FormatDouble(full_ms, 4),
+                std::to_string(iters_full)});
+  table.Print(std::cout);
+  std::cout << "speedup: " << FormatDouble(speedup, 3)
+            << "x, content identical: " << (identical ? "yes" : "NO") << "\n";
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::String("bench_incremental_republish/v1"));
+  doc.Set("quick", JsonValue::Bool(quick));
+  JsonValue dataset = JsonValue::Object();
+  dataset.Set("rows", JsonValue::Int(int64_t(rows)));
+  dataset.Set("delta_rows", JsonValue::Int(int64_t(delta_rows)));
+  dataset.Set("groups", JsonValue::Int(int64_t(merged->index.num_groups())));
+  dataset.Set("groups_touched",
+              JsonValue::Int(int64_t(merged->stats.groups_touched)));
+  dataset.Set("groups_carried",
+              JsonValue::Int(int64_t(merged->stats.groups_carried)));
+  doc.Set("dataset", std::move(dataset));
+  JsonValue benchmarks = JsonValue::Object();
+  auto entry = [](double ms, size_t iters) {
+    JsonValue e = JsonValue::Object();
+    e.Set("ms", JsonValue::Number(ms));
+    e.Set("iters", JsonValue::Int(int64_t(iters)));
+    return e;
+  };
+  benchmarks.Set("republish/incremental", entry(inc_ms, iters_inc));
+  benchmarks.Set("republish/full", entry(full_ms, iters_full));
+  doc.Set("benchmarks", std::move(benchmarks));
+  doc.Set("speedup", JsonValue::Number(speedup));
+  doc.Set("identical", JsonValue::Bool(identical));
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << doc.ToString(2) << "\n";
+  }
+  std::cout << "results written to " << out_path << "\n";
+
+  if (!identical) {
+    std::cout << "content equality: FAIL\n";
+    return 1;
+  }
+  if (rows >= 100000) {
+    const bool pass = speedup >= 5.0;
+    std::cout << ">=5x incremental republish vs full rebuild at >=100k rows: "
+              << (pass ? "PASS" : "FAIL") << "\n";
+    return pass ? 0 : 1;
+  }
+  std::cout << "speedup gate skipped (below 100k rows at this size)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

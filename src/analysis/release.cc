@@ -1,8 +1,10 @@
 #include "analysis/release.h"
 
+#include <bit>
 #include <fstream>
 #include <sstream>
 
+#include "common/checksum.h"
 #include "common/json.h"
 #include "common/timer.h"
 #include "table/csv.h"
@@ -11,6 +13,39 @@ namespace recpriv::analysis {
 
 using recpriv::core::PrivacyParams;
 using recpriv::table::Table;
+
+namespace {
+
+/// Chains one typed array into a running XXH64 (the hash family of
+/// repl/digest — see src/repl/digest.h): the previous digest seeds the
+/// next block, so section order matters and a zero-length section still
+/// advances the chain.
+template <typename T>
+uint64_t ChainHash(uint64_t seed, std::span<const T> data) {
+  return XxHash64(data.data(), data.size() * sizeof(T), seed);
+}
+
+/// Content digest of a snapshot's answer-determining state: every index
+/// storage section plus the perturbation operator (p, m). Deliberately
+/// excludes the epoch — the digest identifies what the snapshot answers,
+/// not which publish produced it.
+uint64_t ComputeContentDigest(const recpriv::table::FlatGroupIndex& index,
+                              const recpriv::perturb::UniformPerturbation& up) {
+  const recpriv::table::FlatGroupIndex::Storage s = index.storage();
+  const uint64_t dims[3] = {s.packed ? 1u : 0u, s.num_groups, s.num_records};
+  uint64_t d = XxHash64(dims, sizeof(dims), /*seed=*/0);
+  d = ChainHash(d, s.packed_keys);
+  d = ChainHash(d, s.na_codes);
+  d = ChainHash(d, s.sa_counts);
+  d = ChainHash(d, s.row_offsets);
+  d = ChainHash(d, s.row_values);
+  const uint64_t params[2] = {std::bit_cast<uint64_t>(up.retention_p),
+                              uint64_t(up.domain_m)};
+  d = XxHash64(params, sizeof(params), d);
+  return d;
+}
+
+}  // namespace
 
 JsonValue BuildManifest(const ReleaseBundle& bundle) {
   JsonValue root = JsonValue::Object();
@@ -191,6 +226,7 @@ Result<std::shared_ptr<const ReleaseSnapshot>> AssembleSnapshot(
   snap->up = recpriv::perturb::UniformPerturbation{
       snap->bundle.params.retention_p, snap->bundle.params.domain_m};
   RECPRIV_RETURN_NOT_OK(snap->up.Validate());
+  snap->content_digest = ComputeContentDigest(snap->index, snap->up);
   return std::shared_ptr<const ReleaseSnapshot>(std::move(snap));
 }
 

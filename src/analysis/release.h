@@ -52,8 +52,9 @@ Result<Reconstructor> MakeReconstructor(const ReleaseBundle& bundle);
 /// layer's `stats` op so an operator can see, per release, whether it was
 /// built from memory, parsed from CSV, or mapped from a binary snapshot.
 struct SnapshotSource {
-  /// "memory" (published in-process), "csv" (LoadRelease), or "snapshot"
-  /// (mmap'd from a persisted .rps file — see src/store/).
+  /// "memory" (published in-process), "csv" (LoadRelease), "snapshot"
+  /// (mmap'd from a persisted .rps file — see src/store/), or
+  /// "incremental" (delta-merge republish — ReleaseStore::PublishIncremental).
   std::string kind = "memory";
   double open_ms = 0.0;   ///< map + validate + decode manifest ("snapshot")
   double parse_ms = 0.0;  ///< CSV + manifest parse ("csv")
@@ -85,6 +86,14 @@ struct ReleaseSnapshot {
   /// snapshot time so per-answer reconstruction never re-validates.
   recpriv::perturb::UniformPerturbation up{0.5, 2};
   uint64_t epoch = 0;
+  /// XXH64 chained over the answer-determining content: the index's
+  /// storage sections plus (p, m). Two snapshots answer every count query
+  /// identically iff these agree, so the serving layer keys its answer
+  /// cache on this instead of the epoch number — an epoch number can be
+  /// reused with different data (Drop followed by OpenSnapshot of a
+  /// same-epoch file, e.g. via replication or restart recovery), and a
+  /// digest-keyed cache can never serve answers from the dropped data.
+  uint64_t content_digest = 0;
   SnapshotSource source;
   /// Keepalive for storage `index` borrows instead of owning — an mmap'd
   /// snapshot file, type-erased so this layer needs no dependency on the

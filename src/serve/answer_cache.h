@@ -1,12 +1,16 @@
 // Thread-safe LRU cache of count-query answers.
 //
-// Keys are release-name + epoch + canonical query bytes (see
-// query/canonical.h), so a republished release invalidates implicitly: its
-// epoch bumps, every new lookup misses, and the stale epoch's entries age
-// out of the LRU tail without any explicit flush. Repeated queries against
-// a stable release are O(1) — the property the paper's consumption model
-// makes possible, because a published release is immutable and an answer
-// over it never goes stale.
+// Keys are release-name + snapshot content digest + canonical query bytes
+// (see query/canonical.h and analysis::ReleaseSnapshot::content_digest), so
+// a republished release invalidates implicitly: its content digest changes,
+// every new lookup misses, and the stale snapshot's entries age out of the
+// LRU tail without any explicit flush. The digest — not the epoch number —
+// is what identifies a snapshot's answers: Drop + OpenSnapshot can
+// reinstall a previously-used epoch with different content, which an
+// epoch-keyed cache would silently answer from the dropped data. Repeated
+// queries against a stable release are O(1) — the property the paper's
+// consumption model makes possible, because a published release is
+// immutable and an answer over it never goes stale.
 
 #pragma once
 

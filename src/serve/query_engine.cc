@@ -19,15 +19,22 @@ using recpriv::table::Predicate;
 
 namespace {
 
-/// (release name, epoch, canonical query bytes) — see answer_cache.h.
-std::string CacheKey(const std::string& release, uint64_t epoch,
+/// (release name, snapshot content digest, canonical query bytes) — see
+/// answer_cache.h. The digest, not the epoch number, identifies what the
+/// snapshot answers: Drop followed by OpenSnapshot (replication, restart
+/// recovery) can reinstall a previously-used epoch number with different
+/// data, and an epoch-keyed cache would serve answers from the dropped
+/// release. Keying on the digest makes that impossible — and lets a
+/// bit-identical republish (e.g. an incremental publish with an empty
+/// delta) keep its warm cache for free.
+std::string CacheKey(const std::string& release, uint64_t content_digest,
                      const CountQuery& q) {
   std::string key;
   key.reserve(release.size() + 9 + q.na_predicate.num_bound() * 8 + 5);
   key += release;
   key.push_back('\0');
   for (int shift = 0; shift < 64; shift += 8) {
-    key.push_back(char((epoch >> shift) & 0xFF));
+    key.push_back(char((content_digest >> shift) & 0xFF));
   }
   key += recpriv::query::CanonicalKey(q);
   return key;
@@ -155,7 +162,7 @@ Result<BatchResult> QueryEngine::AnswerValidatedBatch(
       miss.push_back(i);
       continue;
     }
-    keys[i] = use_cache ? CacheKey(release, snap.epoch, batch[i])
+    keys[i] = use_cache ? CacheKey(release, snap.content_digest, batch[i])
                         : recpriv::query::CanonicalKey(batch[i]);
     CachedAnswer hit;
     if (use_cache && cache_.Lookup(keys[i], &hit)) {

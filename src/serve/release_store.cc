@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/timer.h"
 #include "store/snapshot_reader.h"
 #include "store/snapshot_writer.h"
 
@@ -118,6 +119,13 @@ Result<SnapshotPtr> ReleaseStore::PublishWithSource(
   RECPRIV_ASSIGN_OR_RETURN(
       SnapshotPtr snap,
       SnapshotRelease(std::move(bundle), epoch, std::move(source)));
+  return InstallBuilt(name, std::move(snap), info);
+}
+
+Result<SnapshotPtr> ReleaseStore::InstallBuilt(const std::string& name,
+                                               SnapshotPtr snap,
+                                               ReleaseInfo* info) {
+  const uint64_t epoch = snap->epoch;
   // A durable store persists before it installs: a publish that is visible
   // to queries but missing from disk would silently vanish on restart.
   if (!snapshot_dir_.empty()) {
@@ -153,6 +161,45 @@ Result<SnapshotPtr> ReleaseStore::PublishFromStreaming(
                        std::move(sensitive),
                        /*generalization=*/{}};
   return Publish(name, std::move(bundle));
+}
+
+Result<SnapshotPtr> ReleaseStore::PublishIncremental(
+    const std::string& name, recpriv::core::StreamingPublisher& publisher,
+    Rng& rng, bool merge_index,
+    recpriv::core::IncrementalPublishStats* stats) {
+  if (name.empty()) {
+    return Status::InvalidArgument("release name must be non-empty");
+  }
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = ++next_epoch_[name];
+  }
+  // Keepalive across the merge: hold the currently served snapshot (the
+  // merge's base level) until the new epoch is fully assembled, so a
+  // concurrent Drop or retention trim cannot release base-derived memory
+  // while the publish still reads it.
+  SnapshotPtr base;
+  if (const Result<SnapshotPtr> got = Get(name); got.ok()) base = *got;
+
+  recpriv::analysis::SnapshotSource source;
+  source.kind = "incremental";
+  WallTimer timer;
+  RECPRIV_ASSIGN_OR_RETURN(recpriv::core::IncrementalPublishResult result,
+                           publisher.PublishIncremental(rng, merge_index));
+  source.build_ms = timer.Millis();
+  if (stats != nullptr) *stats = result.stats;
+
+  std::string sensitive = result.table.schema()->sensitive().name;
+  ReleaseBundle bundle{std::move(result.table), publisher.params(),
+                       std::move(sensitive),
+                       /*generalization=*/{}};
+  RECPRIV_ASSIGN_OR_RETURN(
+      SnapshotPtr snap,
+      recpriv::analysis::AssembleSnapshot(std::move(bundle), epoch,
+                                          std::move(result.index),
+                                          std::move(source)));
+  return InstallBuilt(name, std::move(snap), /*info=*/nullptr);
 }
 
 Result<SnapshotPtr> ReleaseStore::Get(const std::string& name) const {

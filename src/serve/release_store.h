@@ -15,9 +15,12 @@
 // epochs (default kDefaultRetainedEpochs, including the current one), so a
 // client that pinned an epoch mid-analysis keeps reading that exact
 // snapshot across republishes — Get(name, epoch) — until the epoch ages
-// out of the window. Epoch numbers are never reused for a name, even
-// across Drop + republish, so a stale pin can fail loudly but can never
-// silently read different data.
+// out of the window. Publish never reuses an epoch number for a name, even
+// across Drop + republish; OpenSnapshot, however, installs whatever epoch
+// a file's manifest declares, so Drop followed by recovery or replication
+// CAN legitimately reinstall a previously-used epoch number with different
+// content — which is why the serving layer's answer cache keys on each
+// snapshot's content digest, never on the (name, epoch) pair.
 
 #pragma once
 
@@ -115,6 +118,23 @@ class ReleaseStore {
       const std::string& name,
       const recpriv::core::StreamingPublisher& publisher, Rng& rng);
 
+  /// Incremental republish from a streaming publisher
+  /// (core::StreamingPublisher::PublishIncremental): only groups touched
+  /// by rows inserted since the publisher's previous incremental publish
+  /// are re-run through SPS, and the next index is assembled by a
+  /// two-level run merge instead of a full rebuild. The currently served
+  /// snapshot of `name` (the merge's base level) is pinned for the whole
+  /// merge, so a concurrent Drop or window trim cannot release it while
+  /// sections derived from it are being read. Persisted snapshots are
+  /// always written self-contained — the borrow is an in-memory seam only.
+  /// `merge_index=false` builds the same bit-identical snapshot through
+  /// the full radix-sort path (the reference arm for tests and CI). When
+  /// `stats` is non-null it receives the publish's delta bookkeeping.
+  Result<SnapshotPtr> PublishIncremental(
+      const std::string& name, recpriv::core::StreamingPublisher& publisher,
+      Rng& rng, bool merge_index = true,
+      recpriv::core::IncrementalPublishStats* stats = nullptr);
+
   /// The current snapshot of `name`, or NotFound.
   Result<SnapshotPtr> Get(const std::string& name) const;
 
@@ -184,6 +204,12 @@ class ReleaseStore {
  private:
   ReleaseInfo InfoLocked(const std::string& name,
                          const std::vector<SnapshotPtr>& window) const;
+  /// The shared publish tail: persists `snap` (durable stores persist
+  /// before they install), installs it into `name`'s window, fills `info`
+  /// under the install's critical section, deletes evicted files, and
+  /// notifies listeners. Returns the snapshot now being served.
+  Result<SnapshotPtr> InstallBuilt(const std::string& name, SnapshotPtr snap,
+                                   ReleaseInfo* info);
   /// The managed file path of (name, epoch) under snapshot_dir.
   std::string ManagedPath(const std::string& name, uint64_t epoch) const;
   /// Inserts `snap` into `name`'s window (epoch-sorted), trims the window,

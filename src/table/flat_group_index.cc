@@ -298,6 +298,111 @@ Result<FlatGroupIndex> FlatGroupIndex::FromStorage(SchemaPtr schema,
   return idx;
 }
 
+Result<FlatGroupIndex> FlatGroupIndex::MergeRuns(SchemaPtr schema,
+                                                 const GroupRun& base,
+                                                 const GroupRun& overlay,
+                                                 KeyMode mode) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("MergeRuns: null schema");
+  }
+  FlatGroupIndex idx;
+  idx.schema_ = std::move(schema);
+  idx.DeriveKeyLayout(mode == KeyMode::kAuto);
+  const size_t n_pub = idx.public_idx_.size();
+  const size_t m = idx.m_;
+
+  // Both runs are caller-assembled (the overlay from freshly perturbed
+  // histograms, the base possibly from borrowed index sections), so their
+  // invariants are re-checked before any section is trusted: consistent
+  // sizes, in-domain codes, strictly ascending keys.
+  for (const GroupRun* run : {&base, &overlay}) {
+    if (run->na_codes.size() != run->num_groups * n_pub ||
+        run->sa_counts.size() != run->num_groups * m) {
+      return Status::InvalidArgument(
+          "MergeRuns: run sections disagree with the group count");
+    }
+    for (size_t k = 0; k < n_pub; ++k) {
+      const uint32_t dom =
+          uint32_t(idx.schema_->attribute(idx.public_idx_[k]).domain.size());
+      for (uint64_t gi = 0; gi < run->num_groups; ++gi) {
+        if (run->na_codes[gi * n_pub + k] >= dom) {
+          return Status::InvalidArgument(
+              "MergeRuns: NA code outside its domain");
+        }
+      }
+    }
+    for (uint64_t gi = 0; gi + 1 < run->num_groups; ++gi) {
+      const uint32_t* a = run->na_codes.data() + gi * n_pub;
+      const uint32_t* b = a + n_pub;
+      if (!std::lexicographical_compare(a, a + n_pub, b, b + n_pub)) {
+        return Status::InvalidArgument(
+            "MergeRuns: run keys not strictly ascending");
+      }
+    }
+  }
+
+  auto key_at = [n_pub](const GroupRun& run, uint64_t gi) {
+    return run.na_codes.data() + gi * n_pub;
+  };
+  auto lex_cmp = [n_pub](const uint32_t* a, const uint32_t* b) {
+    for (size_t k = 0; k < n_pub; ++k) {
+      if (a[k] != b[k]) return a[k] < b[k] ? -1 : 1;
+    }
+    return 0;
+  };
+
+  idx.row_offsets_own_.push_back(0);
+  const size_t expect_groups = size_t(base.num_groups + overlay.num_groups);
+  idx.na_codes_own_.reserve(expect_groups * n_pub);
+  idx.sa_counts_own_.reserve(expect_groups * m);
+  auto emit = [&](const GroupRun& run, uint64_t gi) {
+    const uint64_t* hist = run.sa_counts.data() + gi * m;
+    uint64_t size = 0;
+    for (size_t sa = 0; sa < m; ++sa) size += hist[sa];
+    if (size == 0) return;  // tombstone: the group vanishes from the output
+    const uint32_t* key = key_at(run, gi);
+    if (idx.packed_) {
+      uint64_t packed = 0;
+      // Cannot fail: the domain check above bounds every code by its
+      // attribute's bit field.
+      const bool fits = idx.PackKey({key, n_pub}, &packed);
+      RECPRIV_DCHECK(fits);
+      (void)fits;
+      idx.packed_keys_own_.push_back(packed);
+    }
+    idx.na_codes_own_.insert(idx.na_codes_own_.end(), key, key + n_pub);
+    idx.sa_counts_own_.insert(idx.sa_counts_own_.end(), hist, hist + m);
+    idx.row_offsets_own_.push_back(idx.row_offsets_own_.back() + size);
+  };
+
+  uint64_t i = 0, j = 0;
+  while (i < base.num_groups || j < overlay.num_groups) {
+    int cmp;
+    if (i == base.num_groups) {
+      cmp = 1;
+    } else if (j == overlay.num_groups) {
+      cmp = -1;
+    } else {
+      cmp = lex_cmp(key_at(base, i), key_at(overlay, j));
+    }
+    if (cmp < 0) {
+      emit(base, i);
+      ++i;
+    } else {
+      emit(overlay, j);  // on a collision the overlay replaces the base group
+      ++j;
+      if (cmp == 0) ++i;
+    }
+  }
+
+  idx.num_groups_ = idx.row_offsets_own_.size() - 1;
+  idx.num_records_ = size_t(idx.row_offsets_own_.back());
+  idx.row_values_own_.resize(idx.num_records_);
+  std::iota(idx.row_values_own_.begin(), idx.row_values_own_.end(), 0u);
+  idx.BindOwnedStorage();
+  return idx;
+}
+
 double FlatGroupIndex::AverageGroupSize() const {
   if (num_groups_ == 0) return 0.0;
   return static_cast<double>(num_records_) / static_cast<double>(num_groups_);

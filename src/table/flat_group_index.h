@@ -98,6 +98,37 @@ class FlatGroupIndex {
   /// Builds the index with one pack + sort + run-length pass.
   static FlatGroupIndex Build(const Table& t, KeyMode mode = KeyMode::kAuto);
 
+  /// One sorted run of groups for MergeRuns: NA keys in strictly ascending
+  /// lexicographic order, each paired with its SA histogram row. The spans
+  /// typically borrow the `na_codes` / `sa_counts` sections of a built
+  /// index's Storage (see RunOf) — the borrow seam that lets a merged
+  /// index read base sections without copying them first.
+  struct GroupRun {
+    std::span<const uint32_t> na_codes;   ///< num_groups x num_public
+    std::span<const uint64_t> sa_counts;  ///< num_groups x m
+    uint64_t num_groups = 0;
+  };
+
+  /// Views the group sections of built storage as a run (borrows `s`).
+  static GroupRun RunOf(const Storage& s) {
+    return GroupRun{s.na_codes, s.sa_counts, s.num_groups};
+  }
+
+  /// Two-level (LSM-style) run-merge build: produces the index of the
+  /// canonical group-major table assembled from `base` with `overlay`
+  /// applied on top. On a key collision the overlay's histogram replaces
+  /// the base group's; an overlay histogram summing to zero is a tombstone
+  /// that deletes the group. The output describes a table whose rows are
+  /// group-major in ascending key order with each group's SA values in
+  /// ascending-value runs, so `row_values` is the identity permutation and
+  /// the result is bit-identical to `Build` over that table — without the
+  /// O(n log n) sort. Cost is O(|base| + |overlay| + n_out). The run spans
+  /// are only read during the call; the result owns all of its storage.
+  static Result<FlatGroupIndex> MergeRuns(SchemaPtr schema,
+                                          const GroupRun& base,
+                                          const GroupRun& overlay,
+                                          KeyMode mode = KeyMode::kAuto);
+
   /// Reconstructs an index over borrowed columns without copying them.
   /// Every structural invariant Build guarantees is re-validated here —
   /// the spans typically come from a file — and any violation returns

@@ -38,7 +38,7 @@ Result<Table> Table::FromColumns(SchemaPtr schema,
   return out;
 }
 
-Status Table::AppendRow(std::span<const uint32_t> codes) {
+Status Table::ValidateRow(std::span<const uint32_t> codes) const {
   if (codes.size() != columns_.size()) {
     return Status::InvalidArgument(
         "row arity mismatch: got " + std::to_string(codes.size()) +
@@ -51,6 +51,11 @@ Status Table::AppendRow(std::span<const uint32_t> codes) {
                                 schema_->attribute(c).name);
     }
   }
+  return Status::OK();
+}
+
+Status Table::AppendRow(std::span<const uint32_t> codes) {
+  RECPRIV_RETURN_NOT_OK(ValidateRow(codes));
   AppendRowUnchecked(codes);
   return Status::OK();
 }

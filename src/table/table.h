@@ -33,6 +33,13 @@ class Table {
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
 
+  /// Validates one row of codes against the schema (arity + domains)
+  /// without appending it — exactly the check AppendRow performs before it
+  /// mutates anything. Lets callers that must interleave validation with
+  /// other side effects (e.g. RNG draws) reject a row with zero state
+  /// change of their own.
+  Status ValidateRow(std::span<const uint32_t> codes) const;
+
   /// Appends one row of codes (one per attribute, schema order). Codes must
   /// be valid for their attribute domains.
   Status AppendRow(std::span<const uint32_t> codes);

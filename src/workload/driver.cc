@@ -90,12 +90,47 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
   auto engine = std::make_shared<serve::QueryEngine>(store, options.engine);
 
   DriverReport report;
+  // Incremental mode: one StreamingPublisher per release, seeded with the
+  // same deterministic raw table the legacy path perturbs, plus a
+  // per-release writer RNG that persists across republishes (the SPS draw
+  // stream PublishIncremental keeps deterministic). The writer thread is
+  // the only mutator once the run starts.
+  struct IncrementalState {
+    recpriv::core::StreamingPublisher publisher;
+    Rng rng;
+  };
+  std::map<std::string, std::unique_ptr<IncrementalState>> incremental;
   for (const SyntheticReleaseSpec& r : spec.releases) {
-    RECPRIV_ASSIGN_OR_RETURN(recpriv::analysis::ReleaseBundle bundle,
-                             MakeBundle(r, InitialPerturbSeed(r)));
-    RECPRIV_ASSIGN_OR_RETURN(serve::SnapshotPtr snap,
-                             store->Publish(r.name, std::move(bundle)));
-    oracle.Register(r.name, std::move(snap));
+    if (options.incremental_delta == 0) {
+      RECPRIV_ASSIGN_OR_RETURN(recpriv::analysis::ReleaseBundle bundle,
+                               MakeBundle(r, InitialPerturbSeed(r)));
+      RECPRIV_ASSIGN_OR_RETURN(serve::SnapshotPtr snap,
+                               store->Publish(r.name, std::move(bundle)));
+      oracle.Register(r.name, std::move(snap));
+      ++report.publishes;
+      continue;
+    }
+    RECPRIV_ASSIGN_OR_RETURN(recpriv::table::Table raw, MakeRawTable(r));
+    recpriv::core::PrivacyParams params;
+    params.retention_p = r.retention_p;
+    params.domain_m = r.sa_domain;
+    RECPRIV_RETURN_NOT_OK(params.Validate());
+    RECPRIV_ASSIGN_OR_RETURN(
+        recpriv::core::StreamingPublisher publisher,
+        recpriv::core::StreamingPublisher::Make(raw.schema(), params));
+    std::vector<uint32_t> row(raw.num_columns());
+    for (size_t i = 0; i < raw.num_rows(); ++i) {
+      for (size_t c = 0; c < raw.num_columns(); ++c) row[c] = raw.at(i, c);
+      RECPRIV_RETURN_NOT_OK(publisher.Insert(row));
+    }
+    auto state = std::make_unique<IncrementalState>(
+        IncrementalState{std::move(publisher), Rng(InitialPerturbSeed(r))});
+    RECPRIV_ASSIGN_OR_RETURN(
+        serve::SnapshotPtr snap,
+        store->PublishIncremental(r.name, state->publisher, state->rng,
+                                  options.incremental_merge));
+    oracle.RegisterRebuilt(r.name, snap);
+    incremental.emplace(r.name, std::move(state));
     ++report.publishes;
   }
 
@@ -257,17 +292,56 @@ Result<DriverReport> RunWorkload(const GeneratedWorkload& workload,
         continue;
       }
       if (op.kind == OpKind::kPublish) {
-        auto bundle = MakeBundle(*it->second, op.publish_seed);
-        if (!bundle.ok()) {
-          ++writer_tally.hard_failures;
-          continue;
+        serve::SnapshotPtr snap;
+        if (options.incremental_delta > 0) {
+          IncrementalState& state = *incremental.at(op.release);
+          auto rows = MakeDeltaRows(*it->second, op.publish_seed,
+                                    options.incremental_delta);
+          bool inserted = rows.ok();
+          for (size_t i = 0; inserted && i < rows->size(); ++i) {
+            inserted = state.publisher.Insert((*rows)[i]).ok();
+          }
+          if (!inserted) {
+            ++writer_tally.hard_failures;
+            continue;
+          }
+          auto published = store->PublishIncremental(
+              op.release, state.publisher, state.rng,
+              options.incremental_merge);
+          if (!published.ok()) {
+            ++writer_tally.hard_failures;
+            continue;
+          }
+          snap = *std::move(published);
+        } else {
+          auto bundle = MakeBundle(*it->second, op.publish_seed);
+          if (!bundle.ok()) {
+            ++writer_tally.hard_failures;
+            continue;
+          }
+          auto published = store->Publish(op.release, *std::move(bundle));
+          if (!published.ok()) {
+            ++writer_tally.hard_failures;
+            continue;
+          }
+          snap = *std::move(published);
         }
-        auto snap = store->Publish(op.release, *std::move(bundle));
-        if (!snap.ok()) {
-          ++writer_tally.hard_failures;
-          continue;
+        // Register the WHOLE retention window, not just the snapshot this
+        // publish handed back: Publish returns the epoch being served, so
+        // under churn an intermediate epoch could otherwise stay
+        // unregistered while still pinnable — a mid-churn pinned read must
+        // verify too. Register is first-wins, so the sweep never displaces
+        // an entry (in particular a RegisterRebuilt reference twin).
+        if (auto window = store->Window(op.release); window.ok()) {
+          for (const serve::SnapshotPtr& s : *window) {
+            oracle.Register(op.release, s);
+          }
         }
-        oracle.Register(op.release, *std::move(snap));
+        if (options.incremental_delta > 0) {
+          oracle.RegisterRebuilt(op.release, snap);
+        } else {
+          oracle.Register(op.release, std::move(snap));
+        }
         ++writer_publishes;
       } else if (op.kind == OpKind::kDrop) {
         // Dropping an already-dropped release is a legal no-op race.

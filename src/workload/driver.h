@@ -65,6 +65,18 @@ struct DriverOptions {
   /// rebuilt, so a faulted run still completes answer-clean.
   bool retry = false;
   recpriv::client::RetryPolicy retry_policy;
+  /// When > 0 the writer republishes through the store's incremental path
+  /// (serve::ReleaseStore::PublishIncremental): each publish op inserts
+  /// this many fresh raw rows (MakeDeltaRows, seeded by the op's
+  /// publish_seed) into the release's StreamingPublisher and republishes
+  /// by delta merge, and the oracle verifies against an independently
+  /// rebuilt index (Oracle::RegisterRebuilt). 0 keeps the legacy
+  /// record-level full-perturb republish.
+  size_t incremental_delta = 0;
+  /// Incremental mode only: assemble each republished index by run merge
+  /// (true) or by the bit-identical full radix-sort reference build
+  /// (false) — the comparison arm CI runs with identical expected answers.
+  bool incremental_merge = true;
 };
 
 /// Latency profile of one tenant's requests (successful or not), as

@@ -16,7 +16,28 @@ using recpriv::table::Schema;
 
 void Oracle::Register(const std::string& release, serve::SnapshotPtr snap) {
   std::lock_guard<std::mutex> lock(mu_);
-  snapshots_[{release, snap->epoch}] = std::move(snap);
+  // First registration wins: within a run, (release, epoch) names one
+  // immutable snapshot, so a re-registration (the writer's retention-window
+  // sweep, a reader's self-registration) carries the same content — and
+  // keeping the first entry preserves a RegisterRebuilt reference twin.
+  const uint64_t epoch = snap->epoch;
+  snapshots_.emplace(std::make_pair(release, epoch), std::move(snap));
+}
+
+void Oracle::RegisterRebuilt(const std::string& release,
+                             const serve::SnapshotPtr& snap) {
+  recpriv::analysis::ReleaseBundle copy{snap->bundle.data.Clone(),
+                                        snap->bundle.params,
+                                        snap->bundle.sensitive_attribute,
+                                        snap->bundle.generalization};
+  auto rebuilt =
+      recpriv::analysis::SnapshotRelease(std::move(copy), snap->epoch);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Unlike Register, the rebuilt twin REPLACES any earlier entry (a reader
+  // may have self-registered the served snapshot first): verification must
+  // run against the independent rebuild whenever one exists.
+  snapshots_[{release, snap->epoch}] =
+      rebuilt.ok() ? *std::move(rebuilt) : snap;
 }
 
 size_t Oracle::size() const {

@@ -10,8 +10,17 @@
 // micro-batching scheduler must all be answer-preserving, and any
 // divergence under concurrency or churn is a mismatch, not noise.
 //
-// Epochs are never reused per name (serve/release_store.h), so a
-// registered (release, epoch) key can never be ambiguous.
+// Publish never reuses an epoch per name (serve/release_store.h), so
+// within one driver run a registered (release, epoch) key is unambiguous.
+// (Drop + OpenSnapshot can reinstall an old epoch number, but the driver
+// recovers snapshots before any of its own publishes — never mid-run.)
+//
+// For incrementally merged snapshots, Register alone would verify the
+// serving stack against the SAME merged index that produced the answers —
+// a correct merge and a wrong-but-consistent merge would both pass.
+// RegisterRebuilt closes that hole: it re-indexes the snapshot's table
+// from scratch through the full radix-sort build, so verification pits
+// the merge path against an independently constructed reference.
 
 #pragma once
 
@@ -36,8 +45,18 @@ class Oracle {
   };
 
   /// Records the snapshot now served for its release/epoch. Called by the
-  /// driver under the same ordering as the publishes themselves.
+  /// driver under the same ordering as the publishes themselves. First
+  /// registration of a (release, epoch) wins — later calls are no-ops
+  /// (within a run the pair names one immutable snapshot).
   void Register(const std::string& release, serve::SnapshotPtr snap);
+
+  /// Registers an independently rebuilt twin of `snap`: same data, same
+  /// epoch, but the group index reconstructed from the snapshot's table by
+  /// the full radix-sort build — the reference an incrementally merged
+  /// index must agree with bit-for-bit (see file comment). Falls back to
+  /// registering `snap` itself if the rebuild fails.
+  void RegisterRebuilt(const std::string& release,
+                       const serve::SnapshotPtr& snap);
 
   /// Verifies one answered batch against the snapshot it claims to have
   /// been served from. `specs` are the request's queries, parallel to

@@ -104,6 +104,38 @@ Result<Table> MakeRawTable(const SyntheticReleaseSpec& spec) {
   return raw;
 }
 
+Result<std::vector<std::vector<uint32_t>>> MakeDeltaRows(
+    const SyntheticReleaseSpec& spec, uint64_t delta_seed, size_t count) {
+  if (spec.public_domains.empty()) {
+    return Status::InvalidArgument("spec needs at least one public attribute");
+  }
+  if (spec.sa_domain < 2) {
+    return Status::InvalidArgument("SA domain must have m >= 2 values");
+  }
+  Rng rng(delta_seed);
+  const size_t m = spec.sa_domain;
+  std::vector<AliasSampler> na_samplers;
+  na_samplers.reserve(spec.public_domains.size());
+  for (size_t domain : spec.public_domains) {
+    na_samplers.emplace_back(ZipfWeights(domain, spec.na_skew));
+  }
+  const AliasSampler sa_sampler(ZipfWeights(m, spec.sa_skew));
+
+  std::vector<std::vector<uint32_t>> rows;
+  rows.reserve(count);
+  std::vector<uint32_t> row(spec.public_domains.size() + 1);
+  for (size_t r = 0; r < count; ++r) {
+    uint32_t na_sum = 0;
+    for (size_t k = 0; k < na_samplers.size(); ++k) {
+      row[k] = uint32_t(na_samplers[k].Sample(rng));
+      na_sum += row[k];
+    }
+    row.back() = uint32_t((sa_sampler.Sample(rng) + na_sum) % m);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 Result<recpriv::analysis::ReleaseBundle> MakeBundle(
     const SyntheticReleaseSpec& spec, uint64_t perturb_seed) {
   RECPRIV_ASSIGN_OR_RETURN(Table raw, MakeRawTable(spec));

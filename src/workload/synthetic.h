@@ -65,4 +65,12 @@ Result<recpriv::table::Table> MakeRawTable(const SyntheticReleaseSpec& spec);
 Result<recpriv::analysis::ReleaseBundle> MakeBundle(
     const SyntheticReleaseSpec& spec, uint64_t perturb_seed);
 
+/// `count` fresh raw rows drawn from the SAME distributions as
+/// MakeRawTable(spec), under an independent Rng(delta_seed) — the insert
+/// stream of an incremental-republish scenario. Deterministic in
+/// (spec, delta_seed, count); rows are codes in schema order, ready for
+/// core::StreamingPublisher::Insert.
+Result<std::vector<std::vector<uint32_t>>> MakeDeltaRows(
+    const SyntheticReleaseSpec& spec, uint64_t delta_seed, size_t count);
+
 }  // namespace recpriv::workload

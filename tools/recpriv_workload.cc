@@ -46,6 +46,15 @@ options:
   --snapshot-dir DIR    run against a persistent snapshot store: recover
                         any .rps snapshots in DIR first, persist every
                         publish there (the recpriv_serve restart path)
+  --incremental-delta N republish incrementally: every writer publish
+                        inserts N fresh raw rows and republishes by delta
+                        merge (store PublishIncremental), verified against
+                        an independently rebuilt index; 0 = legacy
+                        full-perturb republish                [default 0]
+  --full-rebuild        with --incremental-delta: build each republished
+                        index by the full radix-sort reference path
+                        instead of the run merge (bit-identical answers —
+                        CI compares the two)
   --quota-qps X         per-tenant admission quota (queries/s); 0 = off
                         (over quota: RESOURCE_EXHAUSTED)      [default 0]
   --quota-burst X       token-bucket burst; 0 = max(qps, 1)   [default 0]
@@ -205,7 +214,7 @@ void PrintReport(const workload::DriverReport& report) {
 
 int Run(int argc, char** argv) {
   const std::vector<std::string> boolean_flags = {
-      "tcp", "verify", "list-profiles", "retry", "help"};
+      "tcp", "verify", "list-profiles", "retry", "full-rebuild", "help"};
   auto flags_or = FlagSet::Parse(argc, argv, boolean_flags);
   if (!flags_or.ok()) return Fail(flags_or.status());
   const FlagSet& flags = *flags_or;
@@ -216,7 +225,8 @@ int Run(int argc, char** argv) {
       "cache",   "retain",   "batch-window-us",          "json",
       "snapshot-dir",        "quota-qps",   "quota-burst",
       "deadline-ms",         "faults",      "fault-seed",
-      "retry",   "max-retries",             "help"};
+      "retry",   "max-retries",             "help",
+      "incremental-delta",   "full-rebuild"};
   for (const auto& name : flags.FlagNames()) {
     if (!known.count(name)) {
       std::cerr << "unknown flag --" << name << "\n" << kUsage;
@@ -319,6 +329,20 @@ int Run(int argc, char** argv) {
   }
   options.retry = *retry;
   options.retry_policy.max_retries = int(*max_retries);
+
+  auto incremental_delta = flags.GetInt("incremental-delta", 0);
+  auto full_rebuild = flags.GetBool("full-rebuild", false);
+  if (!incremental_delta.ok()) return Fail(incremental_delta.status());
+  if (!full_rebuild.ok()) return Fail(full_rebuild.status());
+  if (*incremental_delta < 0) {
+    return Fail(Status::InvalidArgument("--incremental-delta must be >= 0"));
+  }
+  if (*full_rebuild && *incremental_delta == 0) {
+    return Fail(Status::InvalidArgument(
+        "--full-rebuild only applies with --incremental-delta > 0"));
+  }
+  options.incremental_delta = size_t(*incremental_delta);
+  options.incremental_merge = !*full_rebuild;
 
   Result<workload::DriverReport> report = Status::Internal("unreachable");
   if (flags.Has("replay")) {
